@@ -1,0 +1,11 @@
+//! Regenerate Figure 4.
+use openarc_bench::{experiments, render};
+use openarc_suite::Scale;
+
+fn main() {
+    let rows = experiments::figure4(Scale::bench());
+    println!("{}", render::figure4_text(&rows));
+    let json = serde_json::to_string_pretty(&rows).unwrap();
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/figure4.json", json).ok();
+}

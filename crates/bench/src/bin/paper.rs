@@ -1,0 +1,15 @@
+//! Regenerate the whole evaluation section in one run.
+use openarc_bench::{experiments, render};
+use openarc_suite::Scale;
+
+fn main() {
+    let scale = Scale::bench();
+    let problems = experiments::validate_suite(scale);
+    assert!(problems.is_empty(), "suite validation failed: {problems:?}");
+    println!("suite validated at bench scale (n={}, iters={})\n", scale.n, scale.iters);
+    println!("{}", render::figure1_text(&experiments::figure1(scale)));
+    println!("{}", render::table2_text(&experiments::table2(scale)));
+    println!("{}", render::figure3_text(&experiments::figure3(scale)));
+    println!("{}", render::table3_text(&experiments::table3(scale)));
+    println!("{}", render::figure4_text(&experiments::figure4(scale)));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table 2.
+use openarc_bench::{experiments, render};
+use openarc_suite::Scale;
+
+fn main() {
+    let t = experiments::table2(Scale::bench());
+    println!("{}", render::table2_text(&t));
+    let json = serde_json::to_string_pretty(&t).unwrap();
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/table2.json", json).ok();
+}

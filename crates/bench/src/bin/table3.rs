@@ -1,0 +1,11 @@
+//! Regenerate Table 3.
+use openarc_bench::{experiments, render};
+use openarc_suite::Scale;
+
+fn main() {
+    let rows = experiments::table3(Scale::bench());
+    println!("{}", render::table3_text(&rows));
+    let json = serde_json::to_string_pretty(&rows).unwrap();
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/table3.json", json).ok();
+}

@@ -1,0 +1,12 @@
+//! # openarc-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§IV). See [`experiments`] for the drivers and the
+//! `figure1`/`figure3`/`figure4`/`table2`/`table3` binaries for the
+//! renderers; `cargo bench` measures the real (wall-clock) cost of the
+//! same pipelines with Criterion.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;

@@ -1,0 +1,1360 @@
+//! Executor: runs a [`Translated`] program on the simulated machine.
+//!
+//! Three modes:
+//!
+//! * **Normal** — the production run: data regions, transfers, device
+//!   kernels, coherence checks (when instrumented).
+//! * **CpuOnly** — the reference run: every compute region executes its
+//!   sequential fallback on the host; no device traffic (the normalization
+//!   baseline of Figures 1 and 3).
+//! * **Verify** — the paper's §III-A kernel verification: target kernels
+//!   run on the device *and* sequentially on the host (asynchronously
+//!   overlapped, post-demotion semantics), outputs are compared with a
+//!   configurable error margin, and the host's sequential results remain
+//!   canonical so errors never propagate.
+
+use crate::ir::{KernelParam, RtOp};
+use crate::translate::Translated;
+use openarc_gpusim::{launch, tree_combine, LaunchConfig, RaceReport, TimeCategory};
+use openarc_minic::ast::BinOp;
+use openarc_minic::ScalarTy;
+use openarc_openacc::ReductionOp;
+use openarc_runtime::{DevSide, Machine};
+use openarc_vm::interp::{eval_bin, BasicEnv};
+use openarc_vm::{Env, Handle, ThreadState, Value, VmError, GLOBALS_INIT};
+use std::collections::{BTreeSet, HashMap};
+
+/// §III-C application-knowledge assertion kinds.
+#[derive(Debug, Clone)]
+pub enum AssertKind {
+    /// Sum of all elements must be within `tol` of `expected`.
+    ChecksumWithin {
+        /// Expected checksum.
+        expected: f64,
+        /// Allowed absolute deviation.
+        tol: f64,
+    },
+    /// Every element must be finite.
+    AllFinite,
+    /// Every element must be `>= 0`.
+    NonNegative,
+}
+
+/// A user-provided kernel assertion (§III-C debug-assertion API).
+#[derive(Debug, Clone)]
+pub struct KernelAssertion {
+    /// Kernel name it applies to.
+    pub kernel: String,
+    /// Variable whose device result is checked.
+    pub var: String,
+    /// The predicate.
+    pub kind: AssertKind,
+}
+
+/// Kernel-verification configuration (§III-A).
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Kernels to verify (names). `None` = all.
+    pub targets: Option<BTreeSet<String>>,
+    /// Invert the target set (the paper's `complement=1`).
+    pub complement: bool,
+    /// Relative error tolerance.
+    pub rel_tol: f64,
+    /// Absolute error tolerance.
+    pub abs_tol: f64,
+    /// `minValueToCheck`: compare only when `|cpu| >=` this threshold.
+    pub min_value_to_check: f64,
+    /// §III-C user value bounds per variable: differences where both values
+    /// fall inside the bound are accepted.
+    pub bounds: HashMap<String, (f64, f64)>,
+    /// §III-C assertions evaluated on device results.
+    pub assertions: Vec<KernelAssertion>,
+    /// Async queue used for the demoted transfers/kernels.
+    pub queue: i64,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            targets: None,
+            complement: false,
+            rel_tol: 1e-6,
+            abs_tol: 1e-9,
+            min_value_to_check: 0.0,
+            bounds: HashMap::new(),
+            assertions: Vec::new(),
+            queue: 1,
+        }
+    }
+}
+
+/// Identity of one transfer site for interactive edits: the report site
+/// label, the variable, and the direction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TransferKey {
+    /// Report site label (e.g. `update0`, `data_enter0`, `main_kernel2`).
+    pub site: String,
+    /// Variable name.
+    pub var: String,
+    /// True for host→device.
+    pub to_device: bool,
+}
+
+/// Programmer edits applied on top of the translated transfer plan — the
+/// concrete form of "modify data clauses in the input program according to
+/// the suggestions" (§IV-C).
+#[derive(Debug, Clone, Default)]
+pub struct TransferOverlay {
+    /// Transfers removed entirely (e.g. `copy` → `create`).
+    pub disable: std::collections::BTreeSet<TransferKey>,
+    /// Transfers moved after their enclosing loop (the Listing 4 deferral:
+    /// "the memory transfer can be deferred until the k-loop finishes").
+    pub defer: std::collections::BTreeSet<TransferKey>,
+}
+
+impl TransferOverlay {
+    /// Number of edits applied.
+    pub fn len(&self) -> usize {
+        self.disable.len() + self.defer.len()
+    }
+
+    /// True when no edits are applied.
+    pub fn is_empty(&self) -> bool {
+        self.disable.is_empty() && self.defer.is_empty()
+    }
+}
+
+/// Execution mode.
+#[derive(Debug, Clone, Default)]
+pub enum ExecMode {
+    /// Production run.
+    #[default]
+    Normal,
+    /// Sequential reference run.
+    CpuOnly,
+    /// Kernel verification run.
+    Verify(VerifyOptions),
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Mode.
+    pub mode: ExecMode,
+    /// Enable the coherence tracker (memory-transfer verification).
+    pub check_transfers: bool,
+    /// Device race oracle on/off.
+    pub race_detect: bool,
+    /// Device launch knobs.
+    pub launch: LaunchConfig,
+    /// Host instruction budget.
+    pub step_budget: u64,
+    /// Interactive transfer edits.
+    pub overlay: TransferOverlay,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            mode: ExecMode::Normal,
+            check_transfers: false,
+            race_detect: true,
+            launch: LaunchConfig::default(),
+            step_budget: 5_000_000_000,
+            overlay: TransferOverlay::default(),
+        }
+    }
+}
+
+/// Verification verdict for one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct KernelVerification {
+    /// Kernel name.
+    pub kernel: String,
+    /// Times the kernel was verified.
+    pub launches: u64,
+    /// Launches whose outputs diverged beyond the margin.
+    pub failed_launches: u64,
+    /// Elements compared in total.
+    pub compared_elems: u64,
+    /// Elements that diverged.
+    pub mismatched_elems: u64,
+    /// Largest absolute divergence seen.
+    pub max_abs_err: f64,
+    /// Assertion failures (§III-C).
+    pub assertion_failures: u64,
+}
+
+impl KernelVerification {
+    /// Did verification flag this kernel?
+    pub fn flagged(&self) -> bool {
+        self.failed_launches > 0 || self.assertion_failures > 0
+    }
+}
+
+/// Result of one execution.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The machine after the run (clock, stats, coherence report, memory).
+    pub machine: Machine,
+    /// Per-kernel verification outcomes (verify mode).
+    pub verify: Vec<KernelVerification>,
+    /// Races observed by the device oracle, per kernel name.
+    pub races: Vec<(String, RaceReport)>,
+    /// Total kernel launches.
+    pub kernel_launches: u64,
+    /// Host instructions interpreted.
+    pub host_instrs: u64,
+}
+
+impl RunResult {
+    /// Simulated wall-clock time, µs.
+    pub fn sim_time_us(&self) -> f64 {
+        self.machine.clock.now()
+    }
+
+    /// Read a named global scalar from the final host state.
+    pub fn global_scalar(&self, tr: &Translated, name: &str) -> Option<Value> {
+        let slot = tr.host_module.global_slot(name)?;
+        self.machine.host.globals.get(slot as usize).copied()
+    }
+
+    /// Snapshot a named global aggregate as f64s from the final host state.
+    pub fn global_array(&self, tr: &Translated, name: &str) -> Option<Vec<f64>> {
+        let slot = tr.host_module.global_slot(name)?;
+        match self.machine.host.globals.get(slot as usize)? {
+            Value::Ptr(h) if !h.is_null() => {
+                let buf = self.machine.host.mem.get(*h).ok()?;
+                Some((0..buf.len()).map(|i| buf.get(i as u64).unwrap().as_f64()).collect())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Execute a translated program.
+pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError> {
+    let host = BasicEnv::for_module(&tr.host_module);
+    let mut machine = Machine::new(host, opts.check_transfers);
+    machine.device.race_detect = opts.race_detect;
+    let mut env = ExecEnv {
+        tr,
+        opts,
+        machine,
+        verify: tr
+            .kernels
+            .iter()
+            .map(|k| KernelVerification { kernel: k.name.clone(), ..Default::default() })
+            .collect(),
+        races: Vec::new(),
+        pending_cpu: 0,
+        device_cells: HashMap::new(),
+        host_cells: HashMap::new(),
+        kernel_launches: 0,
+        deferred: Vec::new(),
+        region_active: HashMap::new(),
+    };
+
+    let mut t = ThreadState::new(&tr.host_module, GLOBALS_INIT, &[])?;
+    while !t.is_done() {
+        t.step(&tr.host_module, &mut env)?;
+    }
+    // `declare` clauses: program-lifetime device residency.
+    if !matches!(opts.mode, ExecMode::CpuOnly | ExecMode::Verify(_)) {
+        for a in &tr.declares {
+            if a.map {
+                let h = env.resolve(&a.var)?;
+                env.machine.map_to_device(h)?;
+                if a.copyin {
+                    env.do_copy(&a.var, "declare", true, None)?;
+                }
+            }
+        }
+    }
+    let mut t = ThreadState::new(&tr.host_module, "main", &[])?;
+    let mut steps: u64 = 0;
+    while !t.is_done() {
+        t.step(&tr.host_module, &mut env)?;
+        env.pending_cpu += 1;
+        steps += 1;
+        if steps > opts.step_budget {
+            return Err(VmError::StepLimit(opts.step_budget));
+        }
+    }
+    env.flush_cpu();
+    if !matches!(opts.mode, ExecMode::CpuOnly | ExecMode::Verify(_)) {
+        for a in &tr.declares {
+            if a.map {
+                if a.copyout {
+                    env.do_copy(&a.var, "declare", false, None)?;
+                }
+                let h = env.resolve(&a.var)?;
+                env.machine.unmap_from_device(h)?;
+            }
+        }
+    }
+    env.machine.clock.wait_all();
+    Ok(RunResult {
+        machine: env.machine,
+        verify: env.verify,
+        races: env.races,
+        kernel_launches: env.kernel_launches,
+        host_instrs: steps,
+    })
+}
+
+struct ExecEnv<'a> {
+    tr: &'a Translated,
+    opts: &'a ExecOptions,
+    machine: Machine,
+    verify: Vec<KernelVerification>,
+    races: Vec<(String, RaceReport)>,
+    pending_cpu: u64,
+    /// Persistent device cells for falsely-shared scalars (like CUDA
+    /// `__device__` temporaries).
+    device_cells: HashMap<String, Handle>,
+    /// Host-side cells for sequential fallbacks.
+    host_cells: HashMap<String, Handle>,
+    kernel_launches: u64,
+    /// Pending deferred transfers per active loop (innermost last).
+    deferred: Vec<Vec<(String, String, bool, Option<i64>)>>,
+    /// Data regions currently active (if-clause decisions at enter time).
+    region_active: HashMap<usize, bool>,
+}
+
+impl ExecEnv<'_> {
+    fn flush_cpu(&mut self) {
+        if self.pending_cpu > 0 {
+            self.machine.charge_cpu(self.pending_cpu);
+            self.pending_cpu = 0;
+        }
+    }
+
+    /// Host buffer handle of a global aggregate.
+    fn resolve(&mut self, var: &str) -> Result<Handle, VmError> {
+        let slot = self
+            .tr
+            .host_module
+            .global_slot(var)
+            .ok_or_else(|| VmError::Internal(format!("unknown global `{var}`")))?;
+        match self.machine.host.globals[slot as usize] {
+            Value::Ptr(h) if !h.is_null() => Ok(h),
+            Value::Ptr(h) => Err(VmError::BadHandle(h)),
+            other => Err(VmError::TypeError(format!("`{var}` is not a buffer: {other}"))),
+        }
+    }
+
+    fn scalar_value(&self, var: &str) -> Result<Value, VmError> {
+        let slot = self
+            .tr
+            .host_module
+            .global_slot(var)
+            .ok_or_else(|| VmError::Internal(format!("unknown global `{var}`")))?;
+        Ok(self.machine.host.globals[slot as usize])
+    }
+
+    fn store_scalar(&mut self, var: &str, v: Value) -> Result<(), VmError> {
+        let slot = self
+            .tr
+            .host_module
+            .global_slot(var)
+            .ok_or_else(|| VmError::Internal(format!("unknown global `{var}`")))?;
+        self.machine.host.globals[slot as usize] = v;
+        Ok(())
+    }
+
+    fn scalar_elem_of(&self, var: &str) -> ScalarTy {
+        self.tr
+            .host_module
+            .global_slot(var)
+            .and_then(|s| self.tr.host_module.globals.get(s as usize))
+            .and_then(|g| g.ty.elem())
+            .unwrap_or(ScalarTy::Double)
+    }
+
+    /// Perform (or skip/defer, per the interactive overlay) one transfer.
+    fn do_copy(
+        &mut self,
+        var: &str,
+        site: &str,
+        to_device: bool,
+        queue: Option<i64>,
+    ) -> Result<(), VmError> {
+        let key = TransferKey { site: site.to_string(), var: var.to_string(), to_device };
+        if self.opts.overlay.disable.contains(&key) {
+            return Ok(());
+        }
+        if self.opts.overlay.defer.contains(&key) {
+            if let Some(frame) = self.deferred.last_mut() {
+                // Replace any earlier pending copy of the same var/direction
+                // (only the final value matters).
+                frame.retain(|(v, _, d, _)| !(v == var && *d == to_device));
+                frame.push((var.to_string(), format!("{site}_deferred"), to_device, queue));
+                return Ok(());
+            }
+            // No enclosing loop: execute in place.
+        }
+        let h = self.resolve(var)?;
+        if to_device {
+            self.machine.copy_to_device_named(h, site, queue, Some(var))
+        } else {
+            self.machine.copy_to_host_named(h, site, queue, Some(var))
+        }
+    }
+
+    fn flush_deferred(&mut self) -> Result<(), VmError> {
+        if let Some(frame) = self.deferred.pop() {
+            for (var, site, to_device, queue) in frame {
+                let h = self.resolve(&var)?;
+                if to_device {
+                    self.machine.copy_to_device_named(h, &site, queue, Some(&var))?;
+                } else {
+                    self.machine.copy_to_host_named(h, &site, queue, Some(&var))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, id: u16) -> Result<(), VmError> {
+        self.flush_cpu();
+        let op = self
+            .tr
+            .ops
+            .get(id as usize)
+            .cloned()
+            .ok_or_else(|| VmError::Internal(format!("bad host op id {id}")))?;
+        let verify_mode = matches!(self.opts.mode, ExecMode::Verify(_));
+        let cpu_only = matches!(self.opts.mode, ExecMode::CpuOnly);
+        match op {
+            RtOp::LoopEnter { label } => {
+                self.machine.loop_context.push((label, 0));
+                self.deferred.push(Vec::new());
+            }
+            RtOp::LoopTick => {
+                if let Some(last) = self.machine.loop_context.last_mut() {
+                    last.1 += 1;
+                }
+            }
+            RtOp::LoopExit => {
+                self.machine.loop_context.pop();
+                if !verify_mode && !cpu_only {
+                    self.flush_deferred()?;
+                } else {
+                    self.deferred.pop();
+                }
+            }
+            RtOp::Wait(q) => {
+                if !verify_mode && !cpu_only {
+                    match q {
+                        Some(q) => self.machine.clock.wait(q),
+                        None => self.machine.clock.wait_all(),
+                    }
+                }
+            }
+            RtOp::DataEnter(r) => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let active = self.region_condition(r)?;
+                self.region_active.insert(r, active);
+                if !active {
+                    return Ok(());
+                }
+                let actions = self.tr.data_regions[r].actions.clone();
+                for a in &actions {
+                    if a.map {
+                        let h = self.resolve(&a.var)?;
+                        self.machine.map_to_device(h)?;
+                        if a.copyin {
+                            self.do_copy(&a.var, &format!("data_enter{r}"), true, None)?;
+                        }
+                    }
+                }
+            }
+            RtOp::DataExit(r) => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                // An exit mirrors its matching enter's decision, even if
+                // the condition's inputs changed in between.
+                if !self.region_active.remove(&r).unwrap_or(true) {
+                    return Ok(());
+                }
+                let actions = self.tr.data_regions[r].actions.clone();
+                for a in &actions {
+                    if a.map {
+                        if a.copyout {
+                            self.do_copy(&a.var, &format!("data_exit{r}"), false, None)?;
+                        }
+                        let h = self.resolve(&a.var)?;
+                        self.machine.unmap_from_device(h)?;
+                    }
+                }
+            }
+            RtOp::Update { to_host, to_device, queue, site, if_global } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                if let Some(g) = &if_global {
+                    if !self.scalar_value(g)?.truthy() {
+                        return Ok(());
+                    }
+                }
+                for v in &to_host {
+                    self.do_copy(v, &site, false, queue)?;
+                }
+                for v in &to_device {
+                    self.do_copy(v, &site, true, queue)?;
+                }
+            }
+            RtOp::CheckRead { var, side, site } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let dt = self.machine.cost.check_us;
+                self.machine.clock.advance(TimeCategory::CpuTime, dt);
+                if let Ok(h) = self.resolve(&var) {
+                    self.machine.check_read(h, side, &site);
+                }
+            }
+            RtOp::CheckWrite { var, side, total, site } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let dt = self.machine.cost.check_us;
+                self.machine.clock.advance(TimeCategory::CpuTime, dt);
+                if let Ok(h) = self.resolve(&var) {
+                    self.machine.check_write(h, side, total, &site);
+                }
+            }
+            RtOp::ResetStatus { var, side, st } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let dt = self.machine.cost.check_us;
+                self.machine.clock.advance(TimeCategory::CpuTime, dt);
+                if let Ok(h) = self.resolve(&var) {
+                    self.machine.coherence.reset_status(h, side, st);
+                }
+            }
+            RtOp::Launch(k) => {
+                self.kernel_launches += 1;
+                // `if(cond)` false → host execution (OpenACC semantics).
+                let offload = match &self.tr.kernels[k].if_global {
+                    Some(g) => self.scalar_value(g)?.truthy(),
+                    None => true,
+                };
+                match self.opts.mode.clone() {
+                    ExecMode::Normal if !offload => self.launch_seq(k)?,
+                    ExecMode::Normal => self.launch_normal(k)?,
+                    ExecMode::CpuOnly => self.launch_seq(k)?,
+                    ExecMode::Verify(v) => {
+                        let name = &self.tr.kernels[k].name;
+                        let in_set = v
+                            .targets
+                            .as_ref()
+                            .map(|t| t.contains(name))
+                            .unwrap_or(true);
+                        let selected = in_set != v.complement;
+                        if selected {
+                            self.launch_verified(k, &v)?;
+                        } else {
+                            self.launch_seq(k)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a data region's `if(...)` value (true when absent).
+    fn region_condition(&self, r: usize) -> Result<bool, VmError> {
+        match &self.tr.data_regions[r].if_global {
+            Some(g) => Ok(self.scalar_value(g)?.truthy()),
+            None => Ok(true),
+        }
+    }
+
+    /// Launch configuration for kernel `k`: `num_workers`/`vector_length`
+    /// clauses override the default lockstep wave width.
+    fn launch_cfg(&self, k: usize) -> LaunchConfig {
+        let mut cfg = self.opts.launch.clone();
+        if let Some(w) = self.tr.kernels[k].wave_override {
+            cfg.wave = w;
+        }
+        cfg
+    }
+
+    fn n_threads(&self, k: usize) -> Result<u64, VmError> {
+        let v = self.scalar_value(&self.tr.kernels[k].n_threads_global)?;
+        Ok(v.as_i64().max(0) as u64)
+    }
+
+    /// Build kernel args. `on_device` selects device or host buffers; the
+    /// returned vec lists `(reduction var, op, partial buffer)` to finalize
+    /// and the set of handles to free afterwards (reduction buffers).
+    #[allow(clippy::type_complexity)]
+    fn build_args(
+        &mut self,
+        k: usize,
+        n: u64,
+        on_device: bool,
+    ) -> Result<
+        (
+            Vec<Value>,
+            Vec<(String, ReductionOp, Handle)>,
+            Vec<Handle>,
+            Vec<(String, Handle)>,
+        ),
+        VmError,
+    > {
+        let params = self.tr.kernels[k].params.clone();
+        let mut args = Vec::with_capacity(params.len());
+        let mut reds = Vec::new();
+        let mut temps = Vec::new();
+        let mut cell_writebacks = Vec::new();
+        for p in &params {
+            match p {
+                KernelParam::Aggregate { var } => {
+                    let host_h = self.resolve(var)?;
+                    let h = if on_device { self.machine.device_of(host_h)? } else { host_h };
+                    args.push(Value::Ptr(h));
+                }
+                KernelParam::Scalar { var } => args.push(self.scalar_value(var)?),
+                KernelParam::SharedCell { var, init_global } => {
+                    let elem = init_global
+                        .as_deref()
+                        .map(|g| self.scalar_elem_of(g))
+                        .unwrap_or(ScalarTy::Double);
+                    let key = format!("{}::{}", var, on_device);
+                    let cells: &mut HashMap<String, Handle> =
+                        if on_device { &mut self.device_cells } else { &mut self.host_cells };
+                    let h = match cells.get(&key) {
+                        Some(h) => *h,
+                        None => {
+                            let mem = if on_device {
+                                &mut self.machine.device.mem
+                            } else {
+                                &mut self.machine.host.mem
+                            };
+                            let h = mem.alloc(elem, 1, format!("__cell_{var}"));
+                            if on_device {
+                                self.device_cells.insert(key, h);
+                            } else {
+                                self.host_cells.insert(key, h);
+                            }
+                            if let Some(g) = init_global {
+                                let init = self.scalar_value(g)?;
+                                let mem = if on_device {
+                                    &mut self.machine.device.mem
+                                } else {
+                                    &mut self.machine.host.mem
+                                };
+                                mem.store(h, 0, init)?;
+                            }
+                            h
+                        }
+                    };
+                    args.push(Value::Ptr(h));
+                    // A falsely-shared GLOBAL scalar behaves like a CUDA
+                    // __device__ global: its final value flows back to the
+                    // host variable after the kernel.
+                    if init_global.as_deref() == Some(var.as_str()) {
+                        cell_writebacks.push((var.clone(), h));
+                    }
+                }
+                KernelParam::ReductionSlot { var, op } => {
+                    let elem = self.scalar_elem_of(var);
+                    let mem = if on_device {
+                        &mut self.machine.device.mem
+                    } else {
+                        &mut self.machine.host.mem
+                    };
+                    let h = mem.alloc(elem, n.max(1) as usize, format!("__red_{var}"));
+                    args.push(Value::Ptr(h));
+                    reds.push((var.clone(), *op, h));
+                    temps.push(h);
+                }
+            }
+        }
+        Ok((args, reds, temps, cell_writebacks))
+    }
+
+    /// Copy falsely-shared global scalars back to their host variables.
+    fn writeback_cells(
+        &mut self,
+        cells: &[(String, Handle)],
+        on_device: bool,
+    ) -> Result<(), VmError> {
+        for (var, h) in cells {
+            let v = if on_device {
+                self.machine.device.mem.load(*h, 0)?
+            } else {
+                self.machine.host.mem.load(*h, 0)?
+            };
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, v.cast(elem))?;
+        }
+        Ok(())
+    }
+
+    /// Production launch (Normal mode).
+    fn launch_normal(&mut self, k: usize) -> Result<(), VmError> {
+        let info = self.tr.kernels[k].clone();
+        let n = self.n_threads(k)?;
+        let queue = info.queue;
+        // Data-region-at-kernel semantics: map + copyin. OpenACC `copy`
+        // semantics are present_or_copy: data already mapped by an
+        // enclosing region (possibly under an aliasing name) moves nothing.
+        let mut fresh: std::collections::BTreeSet<String> = Default::default();
+        // A region-managed variable whose region's if(...) evaluated false
+        // falls back to the default per-kernel copy policy.
+        let effective = |env: &Self, a: &crate::ir::DataAction| -> (bool, bool) {
+            match a.covering_region {
+                Some(r) if !env.region_active.get(&r).copied().unwrap_or(false) => {
+                    (true, a.written)
+                }
+                _ => (a.copyin, a.copyout),
+            }
+        };
+        let mut plans: Vec<(crate::ir::DataAction, bool, bool)> = Vec::new();
+        for a in &info.actions {
+            let (ci, co) = effective(self, a);
+            plans.push((a.clone(), ci, co));
+        }
+        for (a, copyin, _) in &plans {
+            if a.map {
+                let h = self.resolve(&a.var)?;
+                let (_, newly) = self.machine.map_to_device(h)?;
+                if newly {
+                    fresh.insert(a.var.clone());
+                }
+                if *copyin && newly {
+                    self.do_copy(&a.var, &info.name, true, queue)?;
+                }
+            }
+        }
+        // GPU-side coherence checks at the kernel boundary.
+        for v in &info.gpu_reads {
+            if let Ok(h) = self.resolve(v) {
+                self.machine.check_read(h, DevSide::Gpu, &info.name);
+            }
+        }
+        for v in &info.gpu_writes {
+            if info.hoisted_writes.contains(v) {
+                continue;
+            }
+            if let Ok(h) = self.resolve(v) {
+                self.machine.check_write(h, DevSide::Gpu, false, &info.name);
+            }
+        }
+        let (args, reds, temps, cells) = self.build_args(k, n, true)?;
+        let cfg = self.launch_cfg(k);
+        let outcome = launch(
+            &mut self.machine.device,
+            &self.tr.kernel_module,
+            &info.name,
+            &args,
+            n,
+            &cfg,
+        )?;
+        for r in outcome.races.clone() {
+            self.races.push((info.name.clone(), r));
+        }
+        self.machine.charge_kernel(&outcome, queue);
+        self.writeback_cells(&cells, true)?;
+        // Reductions finalize on the CPU (device partials → host scalar).
+        for (var, op, buf) in &reds {
+            if let Some(q) = queue {
+                self.machine.clock.wait(q);
+            }
+            let gpu_val = self.fold_device(*buf, *op, n)?;
+            let init = self.scalar_value(var)?;
+            let final_v = red_eval(*op, init, gpu_val)?;
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, final_v.cast(elem))?;
+            // One scalar-sized transfer for the result.
+            let dt = self.machine.cost.transfer_time(elem.size_bytes());
+            self.machine.clock.advance(TimeCategory::MemTransfer, dt);
+        }
+        for t in temps {
+            self.machine.device.mem.free(t)?;
+        }
+        // Copyout + unmap (copyout only for mappings this launch created —
+        // region-managed data stays resident).
+        for (a, _, copyout) in &plans {
+            if *copyout && fresh.contains(&a.var) {
+                self.do_copy(&a.var, &info.name, false, queue)?;
+            }
+        }
+        for a in &info.actions {
+            if a.map {
+                let h = self.resolve(&a.var)?;
+                if let Some(q) = queue {
+                    // Don't free under in-flight async work.
+                    self.machine.clock.wait(q);
+                }
+                self.machine.unmap_from_device(h)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequential fallback execution (CpuOnly mode / unselected kernels in
+    /// Verify mode).
+    fn launch_seq(&mut self, k: usize) -> Result<(), VmError> {
+        let info = self.tr.kernels[k].clone();
+        let n = self.n_threads(k)?;
+        let (mut args, reds, temps, cells) = self.build_args(k, n, false)?;
+        args.insert(0, Value::Int(n as i64));
+        let steps = self.run_host_fn(&info.seq_name, &args)?;
+        self.machine.charge_cpu(steps);
+        self.writeback_cells(&cells, false)?;
+        for (var, op, buf) in &reds {
+            let cpu_val = self.fold_host(*buf, *op, n)?;
+            let init = self.scalar_value(var)?;
+            let final_v = red_eval(*op, init, cpu_val)?;
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, final_v.cast(elem))?;
+        }
+        for t in temps {
+            self.machine.host.mem.free(t)?;
+        }
+        Ok(())
+    }
+
+    /// Verified launch (§III-A): demoted transfers, async GPU + sequential
+    /// CPU reference, comparison, CPU results stay canonical.
+    fn launch_verified(&mut self, k: usize, v: &VerifyOptions) -> Result<(), VmError> {
+        let info = self.tr.kernels[k].clone();
+        let n = self.n_threads(k)?;
+        let q = v.queue;
+        // Demotion: copy in *everything* the kernel touches.
+        let mut touched: Vec<String> = info.gpu_reads.clone();
+        for w in &info.gpu_writes {
+            if !touched.contains(w) {
+                touched.push(w.clone());
+            }
+        }
+        for var in &touched {
+            let h = self.resolve(var)?;
+            self.machine.map_to_device(h)?;
+            // Staging transfers are charged synchronously (they appear as
+            // the Mem Transfer component of Figure 3); the kernel itself
+            // runs asynchronously and overlaps the CPU reference.
+            self.machine.copy_to_device(h, &format!("{}_verify", info.name), None)?;
+        }
+        // Device run (async).
+        let (args, dreds, dtemps, dcells) = self.build_args(k, n, true)?;
+        let cfg = self.launch_cfg(k);
+        let outcome = launch(
+            &mut self.machine.device,
+            &self.tr.kernel_module,
+            &info.name,
+            &args,
+            n,
+            &cfg,
+        )?;
+        for r in outcome.races.clone() {
+            self.races.push((info.name.clone(), r));
+        }
+        self.machine.charge_kernel(&outcome, Some(q));
+        // CPU reference (overlapped).
+        let (mut hargs, hreds, htemps, hcells) = self.build_args(k, n, false)?;
+        hargs.insert(0, Value::Int(n as i64));
+        let steps = self.run_host_fn(&info.seq_name, &hargs)?;
+        self.machine.charge_cpu(steps);
+        // Synchronize before comparing.
+        self.machine.clock.wait(q);
+
+        // Compare written aggregates element-wise.
+        let rec = &mut self.verify[k];
+        rec.launches += 1;
+        let mut mismatches = 0u64;
+        let mut compared = 0u64;
+        let mut max_err = 0f64;
+        for var in &info.gpu_writes {
+            let host_h = self.machine.host.globals
+                [self.tr.host_module.global_slot(var).unwrap() as usize];
+            let Value::Ptr(host_h) = host_h else { continue };
+            let dev_h = self.machine.device_of(host_h)?;
+            let hbuf = self.machine.host.mem.get(host_h)?.clone();
+            let dbuf = self.machine.device.mem.get(dev_h)?.clone();
+            let bound = v.bounds.get(var).copied().or_else(|| {
+                info.knowledge
+                    .bounds
+                    .iter()
+                    .find(|b| b.var == *var)
+                    .map(|b| (b.lo, b.hi))
+            });
+            for i in 0..hbuf.len() as u64 {
+                let c = hbuf.get(i)?.as_f64();
+                let g = dbuf.get(i)?.as_f64();
+                if c.abs() < v.min_value_to_check {
+                    continue;
+                }
+                compared += 1;
+                let err = (c - g).abs();
+                if err > v.abs_tol + v.rel_tol * c.abs() {
+                    // User-specified value bounds can absolve the diff.
+                    if let Some((lo, hi)) = bound {
+                        if c >= lo && c <= hi && g >= lo && g <= hi {
+                            continue;
+                        }
+                    }
+                    mismatches += 1;
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+            }
+        }
+        // Reductions: compare scalar results; CPU value stays canonical.
+        for ((var, op, dbuf), (_, _, hbuf)) in dreds.iter().zip(&hreds) {
+            let gpu_val = self.fold_device(*dbuf, *op, n)?;
+            let cpu_val = self.fold_host(*hbuf, *op, n)?;
+            let init = self.scalar_value(var)?;
+            let cpu_final = red_eval(*op, init, cpu_val)?;
+            let gpu_final = red_eval(*op, init, gpu_val)?;
+            let (c, g) = (cpu_final.as_f64(), gpu_final.as_f64());
+            if c.abs() >= v.min_value_to_check {
+                compared += 1;
+                let err = (c - g).abs();
+                if err > v.abs_tol + v.rel_tol * c.abs() {
+                    mismatches += 1;
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+            }
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, cpu_final.cast(elem))?;
+        }
+        // Falsely-shared global scalars: compare the device cell against
+        // the sequential cell; the CPU value stays canonical.
+        for ((var, dh), (_, hh)) in dcells.iter().zip(&hcells) {
+            let g = self.machine.device.mem.load(*dh, 0)?.as_f64();
+            let c = self.machine.host.mem.load(*hh, 0)?.as_f64();
+            if c.abs() >= v.min_value_to_check {
+                compared += 1;
+                let err = (c - g).abs();
+                if err > v.abs_tol + v.rel_tol * c.abs() {
+                    mismatches += 1;
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+            }
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, Value::F64(c).cast(elem))?;
+        }
+        // §III-C assertions on the device results: API-supplied ones plus
+        // any `openarc verify assert_*` pragmas attached to the kernel.
+        let mut checks: Vec<(String, AssertKind)> = v
+            .assertions
+            .iter()
+            .filter(|a| a.kernel == info.name)
+            .map(|a| (a.var.clone(), a.kind.clone()))
+            .collect();
+        for ka in &info.knowledge.asserts {
+            let kind = match ka {
+                crate::knowledge::KernelAssert::ChecksumWithin { expected, tol, .. } => {
+                    AssertKind::ChecksumWithin { expected: *expected, tol: *tol }
+                }
+                crate::knowledge::KernelAssert::AllFinite { .. } => AssertKind::AllFinite,
+                crate::knowledge::KernelAssert::NonNegative { .. } => AssertKind::NonNegative,
+            };
+            checks.push((ka.var().to_string(), kind));
+        }
+        let mut assertion_failures = 0u64;
+        for (var, kind) in &checks {
+            if let Ok(host_h) = self.resolve(var) {
+                if let Ok(dev_h) = self.machine.device_of(host_h) {
+                    let dbuf = self.machine.device.mem.get(dev_h)?.clone();
+                    let vals: Vec<f64> =
+                        (0..dbuf.len() as u64).map(|i| dbuf.get(i).unwrap().as_f64()).collect();
+                    let ok = match kind {
+                        AssertKind::ChecksumWithin { expected, tol } => {
+                            (vals.iter().sum::<f64>() - expected).abs() <= *tol
+                        }
+                        AssertKind::AllFinite => vals.iter().all(|x| x.is_finite()),
+                        AssertKind::NonNegative => vals.iter().all(|x| *x >= 0.0),
+                    };
+                    if !ok {
+                        assertion_failures += 1;
+                    }
+                }
+            }
+        }
+        // Charge the result comparison (~2 interpreted instrs per element).
+        let dt = self.machine.cost.cpu_time(compared * 2);
+        self.machine.clock.advance(TimeCategory::ResultComp, dt);
+
+        let rec = &mut self.verify[k];
+        rec.compared_elems += compared;
+        rec.mismatched_elems += mismatches;
+        rec.max_abs_err = rec.max_abs_err.max(max_err);
+        rec.assertion_failures += assertion_failures;
+        if mismatches > 0 {
+            rec.failed_launches += 1;
+        }
+
+        // Discard device results: free temporaries, unmap everything.
+        for t in dtemps {
+            self.machine.device.mem.free(t)?;
+        }
+        for t in htemps {
+            self.machine.host.mem.free(t)?;
+        }
+        for var in &touched {
+            let h = self.resolve(var)?;
+            self.machine.unmap_from_device(h)?;
+        }
+        Ok(())
+    }
+
+    /// Run a host-module function to completion against host memory only.
+    fn run_host_fn(&mut self, name: &str, args: &[Value]) -> Result<u64, VmError> {
+        let mut t = ThreadState::new(&self.tr.host_module, name, args)?;
+        // The fallback touches only parameters, so a plain host env view is
+        // enough; reuse self as the env (globals resolve fine).
+        while !t.is_done() {
+            t.step(&self.tr.host_module, self)?;
+        }
+        Ok(t.steps)
+    }
+
+    fn fold_device(&mut self, buf: Handle, op: ReductionOp, n: u64) -> Result<Value, VmError> {
+        let b = self.machine.device.mem.get(buf)?;
+        let vals: Vec<Value> = (0..n).map(|i| b.get(i)).collect::<Result<_, _>>()?;
+        let f = move |a: Value, b: Value| red_eval(op, a, b);
+        match tree_combine(&vals, &f)? {
+            Some(v) => Ok(v),
+            None => Ok(identity_value(op)),
+        }
+    }
+
+    fn fold_host(&mut self, buf: Handle, op: ReductionOp, n: u64) -> Result<Value, VmError> {
+        let b = self.machine.host.mem.get(buf)?;
+        let mut acc: Option<Value> = None;
+        for i in 0..n {
+            let v = b.get(i)?;
+            acc = Some(match acc {
+                None => v,
+                Some(a) => red_eval(op, a, v)?,
+            });
+        }
+        Ok(acc.unwrap_or_else(|| identity_value(op)))
+    }
+}
+
+/// Identity element as a [`Value`].
+fn identity_value(op: ReductionOp) -> Value {
+    Value::F64(op.identity())
+}
+
+/// Apply a reduction operator to two values.
+pub fn red_eval(op: ReductionOp, a: Value, b: Value) -> Result<Value, VmError> {
+    match op {
+        ReductionOp::Add => eval_bin(BinOp::Add, a, b),
+        ReductionOp::Mul => eval_bin(BinOp::Mul, a, b),
+        ReductionOp::Max => {
+            if a.as_f64() >= b.as_f64() {
+                Ok(a)
+            } else {
+                Ok(b)
+            }
+        }
+        ReductionOp::Min => {
+            if a.as_f64() <= b.as_f64() {
+                Ok(a)
+            } else {
+                Ok(b)
+            }
+        }
+        ReductionOp::BitAnd => eval_bin(BinOp::BitAnd, a, b),
+        ReductionOp::BitOr => eval_bin(BinOp::BitOr, a, b),
+        ReductionOp::BitXor => eval_bin(BinOp::BitXor, a, b),
+        ReductionOp::LogAnd => Ok(Value::Int((a.truthy() && b.truthy()) as i64)),
+        ReductionOp::LogOr => Ok(Value::Int((a.truthy() || b.truthy()) as i64)),
+    }
+}
+
+impl Env for ExecEnv<'_> {
+    fn load_global(&mut self, slot: u16) -> Result<Value, VmError> {
+        self.machine.host.load_global(slot)
+    }
+
+    fn store_global(&mut self, slot: u16, v: Value) -> Result<(), VmError> {
+        self.machine.host.store_global(slot, v)
+    }
+
+    fn load_elem(&mut self, h: Handle, idx: u64) -> Result<Value, VmError> {
+        self.machine.host.load_elem(h, idx)
+    }
+
+    fn store_elem(&mut self, h: Handle, idx: u64, v: Value) -> Result<(), VmError> {
+        self.machine.host.store_elem(h, idx, v)
+    }
+
+    fn malloc(&mut self, elem: ScalarTy, len: u64, label: &str) -> Result<Handle, VmError> {
+        self.machine.host.malloc(elem, len, label)
+    }
+
+    fn free(&mut self, h: Handle) -> Result<(), VmError> {
+        // Freeing a host allocation invalidates any device mapping and its
+        // coherence record.
+        while self.machine.present.contains(h) {
+            self.machine.unmap_from_device(h)?;
+        }
+        self.machine.coherence.untrack(h);
+        self.machine.host.free(h)
+    }
+
+    fn host_op(&mut self, id: u16) -> Result<(), VmError> {
+        self.dispatch(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{translate, TranslateOptions};
+    use openarc_minic::frontend;
+    use openarc_runtime::IssueKind;
+
+    fn run_src(src: &str, topts: &TranslateOptions, eopts: &ExecOptions) -> (Translated, RunResult) {
+        let (p, s) = frontend(src).expect("frontend");
+        let tr = translate(&p, &s, topts).expect("translate");
+        let r = execute(&tr, eopts).expect("execute");
+        (tr, r)
+    }
+
+    const COPY_SRC: &str = "double q[64];\ndouble w[64];\nvoid main() {\n int j;\n for (j = 0; j < 64; j++) { w[j] = (double) j; }\n #pragma acc kernels loop gang worker\n for (j = 0; j < 64; j++) { q[j] = w[j] * 2.0; }\n}";
+
+    #[test]
+    fn normal_mode_produces_correct_output() {
+        let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &ExecOptions::default());
+        let q = r.global_array(&tr, "q").unwrap();
+        for (i, v) in q.iter().enumerate() {
+            assert_eq!(*v, i as f64 * 2.0);
+        }
+        assert_eq!(r.kernel_launches, 1);
+        assert!(r.races.is_empty());
+        // Naive policy: q and w copied in, q copied out.
+        assert_eq!(r.machine.stats.h2d_count, 2);
+        assert_eq!(r.machine.stats.d2h_count, 1);
+        assert!(r.sim_time_us() > 0.0);
+    }
+
+    #[test]
+    fn cpu_only_mode_matches_normal_output() {
+        let eopts = ExecOptions { mode: ExecMode::CpuOnly, ..Default::default() };
+        let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+        let q = r.global_array(&tr, "q").unwrap();
+        for (i, v) in q.iter().enumerate() {
+            assert_eq!(*v, i as f64 * 2.0);
+        }
+        assert_eq!(r.machine.stats.total_count(), 0, "no transfers in CPU mode");
+        assert_eq!(r.machine.stats.dev_allocs, 0);
+    }
+
+    #[test]
+    fn reduction_finalizes_on_host() {
+        let src = "double a[100];\ndouble s;\nvoid main() {\n int j;\n for (j = 0; j < 100; j++) { a[j] = 1.0; }\n s = 5.0;\n #pragma acc kernels loop gang reduction(+:s)\n for (j = 0; j < 100; j++) { s += a[j]; }\n}";
+        let (tr, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
+        assert_eq!(r.global_scalar(&tr, "s").unwrap().as_f64(), 105.0);
+    }
+
+    #[test]
+    fn data_region_avoids_per_kernel_transfers() {
+        let src = "double q[64];\ndouble w[64];\nvoid main() {\n int k; int j;\n #pragma acc data copyin(w) copyout(q)\n {\n  for (k = 0; k < 5; k++) {\n   #pragma acc kernels loop gang\n   for (j = 0; j < 64; j++) { q[j] = w[j] + (double) k; }\n  }\n }\n}";
+        let (_, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
+        // One copyin at region enter, one copyout at region exit.
+        assert_eq!(r.machine.stats.h2d_count, 1);
+        assert_eq!(r.machine.stats.d2h_count, 1);
+        assert_eq!(r.machine.stats.dev_allocs, 2);
+        // Versus naive: 5 kernels × 2 copyins + 5 copyouts.
+        let naive_src = src.replace("#pragma acc data copyin(w) copyout(q)\n {\n", "{\n");
+        let (p, s) = frontend(&naive_src).unwrap();
+        let tr = translate(&p, &s, &TranslateOptions::default()).unwrap();
+        let rn = execute(&tr, &ExecOptions::default()).unwrap();
+        assert!(rn.machine.stats.total_bytes() > 5 * r.machine.stats.total_bytes());
+    }
+
+    #[test]
+    fn update_host_transfers_back() {
+        let src = "double q[16];\ndouble w[16];\ndouble s;\nvoid main() {\n int j;\n #pragma acc data copyin(w) create(q)\n {\n  #pragma acc kernels loop gang\n  for (j = 0; j < 16; j++) { q[j] = w[j] + 1.0; }\n  #pragma acc update host(q)\n }\n s = q[3];\n}";
+        let (tr, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
+        assert_eq!(r.global_scalar(&tr, "s").unwrap().as_f64(), 1.0);
+    }
+
+    #[test]
+    fn missing_update_leaves_stale_host_data() {
+        // Same as above without the update: host q stays zero.
+        let src = "double q[16];\ndouble w[16];\ndouble s;\nvoid main() {\n int j;\n for (j = 0; j < 16; j++) { w[j] = 2.0; }\n #pragma acc data copyin(w) create(q)\n {\n  #pragma acc kernels loop gang\n  for (j = 0; j < 16; j++) { q[j] = w[j] + 1.0; }\n }\n s = q[3];\n}";
+        let (tr, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
+        assert_eq!(r.global_scalar(&tr, "s").unwrap().as_f64(), 0.0, "bug reproduced: host never updated");
+    }
+
+    #[test]
+    fn coherence_detects_missing_transfer() {
+        let src = "double q[16];\ndouble w[16];\ndouble s;\nvoid main() {\n int j;\n #pragma acc data copyin(w) create(q)\n {\n  #pragma acc kernels loop gang\n  for (j = 0; j < 16; j++) { q[j] = w[j] + 1.0; }\n }\n s = q[3];\n}";
+        let (p, se) = frontend(src).unwrap();
+        let topts = TranslateOptions { instrument: true, ..Default::default() };
+        let tr = translate(&p, &se, &topts).unwrap();
+        let eopts = ExecOptions { check_transfers: true, ..Default::default() };
+        let r = execute(&tr, &eopts).unwrap();
+        assert!(
+            r.machine.report.count(IssueKind::Missing) >= 1,
+            "report: {}",
+            r.machine.report
+        );
+    }
+
+    #[test]
+    fn coherence_detects_redundant_transfer() {
+        // w never changes after the region entry copyin, yet an update
+        // device(w) inside the loop re-copies it every iteration.
+        let src = "double q[16];\ndouble w[16];\nvoid main() {\n int k; int j;\n #pragma acc data copyin(w) copyout(q)\n {\n  for (k = 0; k < 3; k++) {\n   #pragma acc update device(w)\n   #pragma acc kernels loop gang\n   for (j = 0; j < 16; j++) { q[j] = w[j]; }\n  }\n }\n}";
+        let (p, se) = frontend(src).unwrap();
+        let topts = TranslateOptions { instrument: true, ..Default::default() };
+        let tr = translate(&p, &se, &topts).unwrap();
+        let eopts = ExecOptions { check_transfers: true, ..Default::default() };
+        let r = execute(&tr, &eopts).unwrap();
+        assert!(
+            r.machine.report.count(IssueKind::Redundant) >= 3,
+            "report: {}",
+            r.machine.report
+        );
+        // Context strings include the enclosing loop iteration (Listing 4).
+        let text = r.machine.report.to_string();
+        assert!(text.contains("k-loop index ="), "{text}");
+    }
+
+    #[test]
+    fn verify_mode_passes_clean_kernel() {
+        let vopts = VerifyOptions::default();
+        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+        assert_eq!(r.verify.len(), 1);
+        assert_eq!(r.verify[0].launches, 1);
+        assert!(!r.verify[0].flagged(), "{:?}", r.verify[0]);
+        assert!(r.verify[0].compared_elems > 0);
+        // Verification moves data: breakdown has transfer + result comp.
+        assert!(r.machine.clock.breakdown.get(TimeCategory::ResultComp) > 0.0);
+        assert!(r.machine.clock.breakdown.get(TimeCategory::GpuMemFree) > 0.0);
+    }
+
+    #[test]
+    fn verify_mode_catches_injected_race() {
+        // Shared temporary without privatization: lockstep corrupts it.
+        let src = "double a[64];\ndouble tmp;\nvoid main() {\n int j;\n #pragma acc kernels loop gang\n for (j = 0; j < 64; j++) { tmp = (double) j; a[j] = tmp * 2.0; }\n}";
+        let (p, s) = frontend(src).unwrap();
+        let topts = TranslateOptions { auto_privatize: false, auto_reduction: false, ..Default::default() };
+        let tr = translate(&p, &s, &topts).unwrap();
+        let eopts = ExecOptions { mode: ExecMode::Verify(VerifyOptions::default()), ..Default::default() };
+        let r = execute(&tr, &eopts).unwrap();
+        assert!(r.verify[0].flagged(), "verification must catch the race: {:?}", r.verify[0]);
+        // The oracle saw the race too.
+        assert!(r.races.iter().any(|(k, rr)| k == "main_kernel0" && rr.label.contains("tmp")));
+    }
+
+    #[test]
+    fn verify_untargeted_kernels_run_sequentially() {
+        let vopts = VerifyOptions {
+            targets: Some(std::iter::once("main_kernel9".to_string()).collect()),
+            ..Default::default()
+        };
+        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+        // Kernel not selected: ran on CPU, output still correct.
+        assert_eq!(r.verify[0].launches, 0);
+        let q = r.global_array(&tr, "q").unwrap();
+        assert_eq!(q[10], 20.0);
+        assert_eq!(r.machine.stats.total_count(), 0);
+    }
+
+    #[test]
+    fn verify_complement_selects_inverse() {
+        let vopts = VerifyOptions {
+            targets: Some(std::iter::once("main_kernel9".to_string()).collect()),
+            complement: true,
+            ..Default::default()
+        };
+        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+        assert_eq!(r.verify[0].launches, 1);
+    }
+
+    #[test]
+    fn min_value_to_check_skips_tiny_values() {
+        let vopts = VerifyOptions { min_value_to_check: 1e9, ..Default::default() };
+        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+        assert_eq!(r.verify[0].compared_elems, 0);
+    }
+
+    #[test]
+    fn assertion_api_flags_bad_checksum() {
+        let vopts = VerifyOptions {
+            assertions: vec![KernelAssertion {
+                kernel: "main_kernel0".into(),
+                var: "q".into(),
+                kind: AssertKind::ChecksumWithin { expected: -1.0, tol: 0.5 },
+            }],
+            ..Default::default()
+        };
+        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+        assert_eq!(r.verify[0].assertion_failures, 1);
+        let vopts_ok = VerifyOptions {
+            assertions: vec![KernelAssertion {
+                kernel: "main_kernel0".into(),
+                var: "q".into(),
+                kind: AssertKind::NonNegative,
+            }],
+            ..Default::default()
+        };
+        let eopts = ExecOptions { mode: ExecMode::Verify(vopts_ok), ..Default::default() };
+        let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+        assert_eq!(r.verify[0].assertion_failures, 0);
+    }
+
+    #[test]
+    fn async_kernel_overlaps_and_waits() {
+        let src = "double q[64];\ndouble w[64];\nint z;\nvoid main() {\n int j;\n #pragma acc kernels loop async(1) gang copy(q) copyin(w)\n for (j = 0; j < 64; j++) { q[j] = w[j]; }\n for (j = 0; j < 1000; j++) { z = z + 1; }\n #pragma acc wait(1)\n}";
+        let (tr, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
+        assert_eq!(r.global_scalar(&tr, "z").unwrap(), Value::Int(1000));
+        assert!(r.sim_time_us() > 0.0);
+    }
+
+    #[test]
+    fn collapse_kernel_runs_correctly() {
+        let src = "double g[8][8];\ndouble s;\nvoid main() {\n int i; int j;\n #pragma acc kernels loop gang collapse(2)\n for (i = 0; i < 8; i++) for (j = 0; j < 8; j++) { g[i][j] = (double)(i * 8 + j); }\n s = g[7][7];\n}";
+        let (tr, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
+        assert_eq!(r.global_scalar(&tr, "s").unwrap().as_f64(), 63.0);
+        let g = r.global_array(&tr, "g").unwrap();
+        assert_eq!(g[13], 13.0);
+    }
+
+    #[test]
+    fn malloc_backed_pointers_work_in_kernels() {
+        let src = "double *p;\nint n;\ndouble s;\nvoid main() {\n int j;\n n = 32;\n p = (double *) malloc(n * sizeof(double));\n for (j = 0; j < n; j++) { p[j] = 1.0; }\n #pragma acc kernels loop gang\n for (j = 0; j < n; j++) { p[j] = p[j] + 1.0; }\n s = p[31];\n}";
+        let (tr, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
+        assert_eq!(r.global_scalar(&tr, "s").unwrap().as_f64(), 2.0);
+    }
+
+    #[test]
+    fn seq_and_gpu_reduction_roundings_differ_but_within_margin() {
+        // Large float reduction: tree vs sequential rounding differ.
+        let src = "float a[4096];\ndouble s;\nvoid main() {\n int j;\n for (j = 0; j < 4096; j++) { a[j] = 0.1f; }\n #pragma acc kernels loop gang reduction(+:s)\n for (j = 0; j < 4096; j++) { s += (double) a[j]; }\n}";
+        let eopts = ExecOptions { mode: ExecMode::Verify(VerifyOptions::default()), ..Default::default() };
+        let (tr, r) = run_src(src, &TranslateOptions::default(), &eopts);
+        assert!(!r.verify[0].flagged(), "{:?}", r.verify[0]);
+        let s = r.global_scalar(&tr, "s").unwrap().as_f64();
+        assert!((s - 409.6).abs() < 0.1, "{s}");
+    }
+}

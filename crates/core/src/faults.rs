@@ -1,0 +1,142 @@
+//! Fault injection for the Table 2 experiment (§IV-B).
+//!
+//! The paper evaluates kernel verification by *removing* `private`/
+//! `reduction` clauses from the directive programs and disabling the
+//! compiler's automatic privatization / reduction recognition, so that the
+//! translated kernels contain real races. This module performs the clause
+//! stripping; the recognition switches live in
+//! [`crate::translate::TranslateOptions`].
+
+use openarc_minic::ast::{Block, Program, Stmt};
+use openarc_minic::span::Diagnostic;
+use openarc_openacc::{parse_directive, Directive};
+
+/// Statistics from one stripping pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StripStats {
+    /// `private`/`firstprivate` clauses removed.
+    pub private_removed: usize,
+    /// `reduction` clauses removed.
+    pub reductions_removed: usize,
+    /// Directives visited.
+    pub directives_seen: usize,
+}
+
+/// Remove all `private`, `firstprivate`, and `reduction` clauses from every
+/// `acc` directive in the program.
+pub fn strip_privatization(program: &Program) -> Result<(Program, StripStats), Diagnostic> {
+    let mut out = program.clone();
+    let mut stats = StripStats::default();
+    for item in &mut out.items {
+        if let openarc_minic::ast::Item::Func(f) = item {
+            strip_block(&mut f.body, &mut stats)?;
+        }
+    }
+    Ok((out, stats))
+}
+
+fn strip_block(b: &mut Block, stats: &mut StripStats) -> Result<(), Diagnostic> {
+    for s in &mut b.stmts {
+        strip_stmt(s, stats)?;
+    }
+    Ok(())
+}
+
+fn strip_stmt(s: &mut Stmt, stats: &mut StripStats) -> Result<(), Diagnostic> {
+    for pr in &mut s.pragmas {
+        let Some(d) = parse_directive(&pr.text, pr.span)? else { continue };
+        stats.directives_seen += 1;
+        let rewritten = match d {
+            Directive::Compute(mut c) => {
+                stats.private_removed +=
+                    c.loop_spec.private.len() + c.loop_spec.firstprivate.len();
+                stats.reductions_removed += c.loop_spec.reductions.len();
+                c.loop_spec.private.clear();
+                c.loop_spec.firstprivate.clear();
+                c.loop_spec.reductions.clear();
+                Some(Directive::Compute(c))
+            }
+            Directive::Loop(mut l) => {
+                stats.private_removed += l.private.len() + l.firstprivate.len();
+                stats.reductions_removed += l.reductions.len();
+                l.private.clear();
+                l.firstprivate.clear();
+                l.reductions.clear();
+                Some(Directive::Loop(l))
+            }
+            _ => None,
+        };
+        if let Some(d) = rewritten {
+            pr.text = d.to_string().trim_start_matches("acc ").to_string();
+            pr.text = format!("acc {}", pr.text);
+        }
+    }
+    // Recurse into nested statements.
+    match &mut s.kind {
+        openarc_minic::ast::StmtKind::If { then_blk, else_blk, .. } => {
+            strip_block(then_blk, stats)?;
+            if let Some(e) = else_blk {
+                strip_block(e, stats)?;
+            }
+        }
+        openarc_minic::ast::StmtKind::For { body, init, step, .. } => {
+            if let Some(i) = init {
+                strip_stmt(i, stats)?;
+            }
+            if let Some(st) = step {
+                strip_stmt(st, stats)?;
+            }
+            strip_block(body, stats)?;
+        }
+        openarc_minic::ast::StmtKind::While { body, .. } => strip_block(body, stats)?,
+        openarc_minic::ast::StmtKind::Block(b) => strip_block(b, stats)?,
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openarc_minic::parse;
+
+    #[test]
+    fn strips_private_and_reduction() {
+        let p = parse(
+            "double a[8];\ndouble s;\ndouble t;\nvoid main() {\n int j;\n #pragma acc kernels loop gang private(t) reduction(+:s)\n for (j = 0; j < 8; j++) { t = a[j]; s += t; }\n}",
+        )
+        .unwrap();
+        let (stripped, stats) = strip_privatization(&p).unwrap();
+        assert_eq!(stats.private_removed, 1);
+        assert_eq!(stats.reductions_removed, 1);
+        let f = stripped.func("main").unwrap();
+        let text = &f.body.stmts[1].pragmas[0].text;
+        assert!(!text.contains("private"), "{text}");
+        assert!(!text.contains("reduction"), "{text}");
+        assert!(text.contains("gang"), "{text}");
+    }
+
+    #[test]
+    fn leaves_data_directives_alone() {
+        let p = parse(
+            "double a[8];\nvoid main() {\n #pragma acc data copyin(a)\n { }\n}",
+        )
+        .unwrap();
+        let (stripped, stats) = strip_privatization(&p).unwrap();
+        assert_eq!(stats.private_removed, 0);
+        let f = stripped.func("main").unwrap();
+        assert_eq!(f.body.stmts[0].pragmas[0].text, "acc data copyin(a)");
+    }
+
+    #[test]
+    fn nested_loop_directives_stripped() {
+        let p = parse(
+            "double a[8];\nvoid main() {\n int i; int j; double t;\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) {\n  #pragma acc loop vector private(t)\n  for (j = 0; j < 8; j++) { t = a[j]; a[j] = t; }\n }\n}",
+        )
+        .unwrap();
+        let (stripped, stats) = strip_privatization(&p).unwrap();
+        assert_eq!(stats.private_removed, 1);
+        let printed = openarc_minic::print_program(&stripped);
+        assert!(!printed.contains("private"), "{printed}");
+    }
+}

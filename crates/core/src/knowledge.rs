@@ -1,0 +1,245 @@
+//! §III-C: application-knowledge-guided debugging directives.
+//!
+//! The paper introduces (1) "a set of directives to allow users to bound
+//! the values of the variables in the target GPU kernel" — differences
+//! within the bound are not reported — and (2) "a debug assertion API ...
+//! inserted at the end of the kernel call to enable automatic error
+//! detection" (e.g. checksums).
+//!
+//! OpenARC's own extension pragmas use the `openarc` namespace; we follow
+//! suit. Attached to a compute construct:
+//!
+//! ```c
+//! #pragma openarc verify bounds(temp, 0.0, 100.0)
+//! #pragma openarc verify assert_checksum(q, 4096.0, 0.5)
+//! #pragma openarc verify assert_finite(q)
+//! #pragma openarc verify assert_nonnegative(q)
+//! #pragma acc kernels loop gang worker
+//! for (...) { ... }
+//! ```
+
+use openarc_minic::span::Diagnostic;
+use openarc_minic::{Span, Stmt};
+
+/// A user-declared value bound for one variable (§III-C item 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBound {
+    /// Bounded variable.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+/// A user-declared kernel-exit assertion (§III-C item 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelAssert {
+    /// Σ elements must be within `tol` of `expected`.
+    ChecksumWithin {
+        /// Asserted variable.
+        var: String,
+        /// Expected checksum.
+        expected: f64,
+        /// Allowed absolute deviation.
+        tol: f64,
+    },
+    /// Every element must be finite.
+    AllFinite {
+        /// Asserted variable.
+        var: String,
+    },
+    /// Every element must be ≥ 0.
+    NonNegative {
+        /// Asserted variable.
+        var: String,
+    },
+}
+
+impl KernelAssert {
+    /// The asserted variable.
+    pub fn var(&self) -> &str {
+        match self {
+            KernelAssert::ChecksumWithin { var, .. }
+            | KernelAssert::AllFinite { var }
+            | KernelAssert::NonNegative { var } => var,
+        }
+    }
+}
+
+/// Knowledge attached to one compute construct.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelKnowledge {
+    /// Value bounds.
+    pub bounds: Vec<KernelBound>,
+    /// Exit assertions.
+    pub asserts: Vec<KernelAssert>,
+}
+
+impl KernelKnowledge {
+    /// True when nothing was declared.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty() && self.asserts.is_empty()
+    }
+}
+
+/// Parse all `openarc verify ...` pragmas attached to a statement.
+pub fn knowledge_of(stmt: &Stmt) -> Result<KernelKnowledge, Diagnostic> {
+    let mut out = KernelKnowledge::default();
+    for pr in &stmt.pragmas {
+        let Some(rest) = pr.text.strip_prefix("openarc ") else { continue };
+        let Some(rest) = rest.trim().strip_prefix("verify ") else {
+            return Err(Diagnostic::error(
+                format!("unknown openarc pragma: `{}`", pr.text),
+                pr.span,
+            ));
+        };
+        parse_clause(rest.trim(), &mut out, pr.span)?;
+    }
+    Ok(out)
+}
+
+fn parse_clause(text: &str, out: &mut KernelKnowledge, span: Span) -> Result<(), Diagnostic> {
+    let (head, args) = split_call(text, span)?;
+    match head {
+        "bounds" => {
+            let (var, nums) = var_and_floats(&args, 2, "bounds", span)?;
+            let (lo, hi) = (nums[0], nums[1]);
+            if lo > hi {
+                return Err(Diagnostic::error(
+                    format!("bounds({var}, {lo}, {hi}): lower bound exceeds upper"),
+                    span,
+                ));
+            }
+            out.bounds.push(KernelBound { var, lo, hi });
+        }
+        "assert_checksum" => {
+            let (var, nums) = var_and_floats(&args, 2, "assert_checksum", span)?;
+            out.asserts.push(KernelAssert::ChecksumWithin {
+                var,
+                expected: nums[0],
+                tol: nums[1],
+            });
+        }
+        "assert_finite" => {
+            let (var, _) = var_and_floats(&args, 0, "assert_finite", span)?;
+            out.asserts.push(KernelAssert::AllFinite { var });
+        }
+        "assert_nonnegative" => {
+            let (var, _) = var_and_floats(&args, 0, "assert_nonnegative", span)?;
+            out.asserts.push(KernelAssert::NonNegative { var });
+        }
+        other => {
+            return Err(Diagnostic::error(
+                format!("unknown openarc verify clause `{other}`"),
+                span,
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Split `name(a, b, c)` into the name and raw argument list.
+fn split_call(text: &str, span: Span) -> Result<(&str, Vec<String>), Diagnostic> {
+    let open = text
+        .find('(')
+        .ok_or_else(|| Diagnostic::error(format!("expected `(` in `{text}`"), span))?;
+    if !text.ends_with(')') {
+        return Err(Diagnostic::error(format!("expected `)` at end of `{text}`"), span));
+    }
+    let head = text[..open].trim();
+    let inner = &text[open + 1..text.len() - 1];
+    let args = inner
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    Ok((head, args))
+}
+
+fn var_and_floats(
+    args: &[String],
+    n_floats: usize,
+    what: &str,
+    span: Span,
+) -> Result<(String, Vec<f64>), Diagnostic> {
+    if args.len() != n_floats + 1 {
+        return Err(Diagnostic::error(
+            format!("{what} expects a variable and {n_floats} number(s), got {} argument(s)", args.len()),
+            span,
+        ));
+    }
+    let var = args[0].clone();
+    if !var.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false) {
+        return Err(Diagnostic::error(format!("{what}: `{var}` is not a variable name"), span));
+    }
+    let mut nums = Vec::with_capacity(n_floats);
+    for a in &args[1..] {
+        nums.push(
+            a.parse::<f64>()
+                .map_err(|_| Diagnostic::error(format!("{what}: bad number `{a}`"), span))?,
+        );
+    }
+    Ok((var, nums))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openarc_minic::parse;
+
+    fn knowledge(pragmas: &str) -> Result<KernelKnowledge, Diagnostic> {
+        let src = format!(
+            "double a[4];\nvoid main() {{\n int j;\n{pragmas}\n #pragma acc kernels loop gang\n for (j = 0; j < 4; j++) {{ a[j] = 1.0; }}\n}}"
+        );
+        let p = parse(&src).unwrap();
+        let f = p.func("main").unwrap();
+        knowledge_of(&f.body.stmts[1])
+    }
+
+    #[test]
+    fn parses_bounds() {
+        let k = knowledge(" #pragma openarc verify bounds(a, 0.0, 100.0)").unwrap();
+        assert_eq!(k.bounds, vec![KernelBound { var: "a".into(), lo: 0.0, hi: 100.0 }]);
+    }
+
+    #[test]
+    fn parses_assertions() {
+        let k = knowledge(
+            " #pragma openarc verify assert_checksum(a, 4.0, 0.1)\n #pragma openarc verify assert_finite(a)\n #pragma openarc verify assert_nonnegative(a)",
+        )
+        .unwrap();
+        assert_eq!(k.asserts.len(), 3);
+        assert_eq!(k.asserts[0].var(), "a");
+        assert!(matches!(k.asserts[1], KernelAssert::AllFinite { .. }));
+    }
+
+    #[test]
+    fn negative_and_exponent_literals() {
+        let k = knowledge(" #pragma openarc verify bounds(a, -1e3, 1e3)").unwrap();
+        assert_eq!(k.bounds[0].lo, -1000.0);
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        assert!(knowledge(" #pragma openarc verify bounds(a, 5.0, 1.0)").is_err());
+    }
+
+    #[test]
+    fn unknown_clause_rejected() {
+        assert!(knowledge(" #pragma openarc verify frobnicate(a)").is_err());
+        assert!(knowledge(" #pragma openarc something_else(a)").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(knowledge(" #pragma openarc verify bounds(a, 1.0)").is_err());
+        assert!(knowledge(" #pragma openarc verify assert_finite(a, 1.0)").is_err());
+    }
+
+    #[test]
+    fn acc_pragmas_ignored() {
+        let k = knowledge("").unwrap();
+        assert!(k.is_empty());
+    }
+}

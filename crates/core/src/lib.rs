@@ -1,0 +1,42 @@
+//! # openarc-core
+//!
+//! The paper's contribution, reproduced: an interactive program debugging
+//! and optimization system for directive-based GPU programs, built on an
+//! OpenACC→device translator.
+//!
+//! * [`translate`] — OpenARC's front half: compute-region outlining,
+//!   privatization / reduction recognition (switchable, for the §IV-B
+//!   fault-injection study), data-clause lowering, `__host_op` markers.
+//! * [`instrument`] — §III-B coherence-check placement (first-access,
+//!   last-write resets, Listing-3 hoisting).
+//! * [`exec`] — the executor over the simulated machine, with Normal /
+//!   CpuOnly / Verify modes and the interactive [`exec::TransferOverlay`].
+//! * [`verify`] — §III-A kernel verification: memory-transfer demotion
+//!   (Listing 2) and the one-call [`verify::verify_kernels`] driver.
+//! * [`interactive`] — the §III-B/Figure-2 iterative optimization loop
+//!   (Table 3's mechanics: suggestions, false-suggestion recovery).
+//! * [`faults`] — clause stripping for the Table 2 experiment.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod faults;
+pub mod instrument;
+pub mod interactive;
+pub mod ir;
+pub mod knowledge;
+pub mod options;
+pub mod translate;
+pub mod verify;
+
+pub use exec::{
+    execute, ExecMode, ExecOptions, KernelVerification, RunResult, TransferKey, TransferOverlay,
+    VerifyOptions,
+};
+pub use faults::strip_privatization;
+pub use knowledge::{KernelAssert, KernelBound, KernelKnowledge};
+pub use options::{parse_verification_options, verification_options_from_env};
+pub use interactive::{optimize_transfers, InteractiveOutcome, OutputSpec};
+pub use ir::{DataAction, KernelInfo, KernelParam, RtOp};
+pub use translate::{translate, Translated, TranslateOptions};
+pub use verify::{demote_source, verify_kernels, VerificationReport};

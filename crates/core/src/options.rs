@@ -1,0 +1,178 @@
+//! The paper's user-facing configuration interface (§III-A): verification
+//! options are supplied "by adding directives or using environment
+//! variables (e.g., `verificationOptions=complement=0,kernels=main_kernel0`
+//! informs the compiler to verify a specific kernel ... and
+//! `minValueToCheck=1e-32` enforces that result is compared only if its
+//! value is bigger than a specified threshold)".
+
+use crate::exec::VerifyOptions;
+use std::collections::BTreeSet;
+
+/// Error from parsing an option string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptionError(pub String);
+
+impl std::fmt::Display for OptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid option: {}", self.0)
+    }
+}
+
+impl std::error::Error for OptionError {}
+
+/// Parse the paper's `verificationOptions` syntax into [`VerifyOptions`].
+///
+/// Grammar (comma-separated `key=value` pairs):
+///
+/// * `complement=0|1` — verify only the listed kernels (`0`) or everything
+///   except them (`1`);
+/// * `kernels=<name>[:<name>...]` — target kernel names;
+/// * `minValueToCheck=<float>`;
+/// * `relTol=<float>` / `absTol=<float>` — comparison margins;
+/// * `queue=<int>` — async queue used for demoted transfers.
+///
+/// ```
+/// use openarc_core::options::parse_verification_options;
+/// let v = parse_verification_options(
+///     "complement=0,kernels=main_kernel0,minValueToCheck=1e-32",
+/// ).unwrap();
+/// assert!(!v.complement);
+/// assert!(v.targets.unwrap().contains("main_kernel0"));
+/// assert_eq!(v.min_value_to_check, 1e-32);
+/// ```
+pub fn parse_verification_options(spec: &str) -> Result<VerifyOptions, OptionError> {
+    let mut opts = VerifyOptions::default();
+    for pair in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(OptionError(format!("`{pair}` is not key=value")));
+        };
+        match key.trim() {
+            "complement" => {
+                opts.complement = match value.trim() {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(OptionError(format!("complement must be 0 or 1, got `{other}`"))),
+                }
+            }
+            "kernels" => {
+                let names: BTreeSet<String> =
+                    value.split(':').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+                if names.is_empty() {
+                    return Err(OptionError("kernels list is empty".into()));
+                }
+                opts.targets = Some(names);
+            }
+            "minValueToCheck" => {
+                opts.min_value_to_check = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| OptionError(format!("bad float `{value}`")))?;
+            }
+            "relTol" => {
+                opts.rel_tol = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| OptionError(format!("bad float `{value}`")))?;
+            }
+            "absTol" => {
+                opts.abs_tol = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| OptionError(format!("bad float `{value}`")))?;
+            }
+            "queue" => {
+                opts.queue = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| OptionError(format!("bad integer `{value}`")))?;
+            }
+            other => return Err(OptionError(format!("unknown key `{other}`"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Read [`VerifyOptions`] from the process environment, mirroring the
+/// paper's interface: `OPENARC_VERIFICATION_OPTIONS` holds the
+/// `verificationOptions` string and `OPENARC_MIN_VALUE_TO_CHECK` overrides
+/// the threshold.
+pub fn verification_options_from_env() -> Result<VerifyOptions, OptionError> {
+    let mut opts = match std::env::var("OPENARC_VERIFICATION_OPTIONS") {
+        Ok(spec) => parse_verification_options(&spec)?,
+        Err(_) => VerifyOptions::default(),
+    };
+    if let Ok(v) = std::env::var("OPENARC_MIN_VALUE_TO_CHECK") {
+        opts.min_value_to_check =
+            v.parse().map_err(|_| OptionError(format!("bad float `{v}`")))?;
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let v = parse_verification_options("complement=0,kernels=main_kernel0").unwrap();
+        assert!(!v.complement);
+        assert_eq!(
+            v.targets.unwrap().into_iter().collect::<Vec<_>>(),
+            vec!["main_kernel0"]
+        );
+    }
+
+    #[test]
+    fn parses_multiple_kernels_and_margins() {
+        let v = parse_verification_options(
+            "complement=1,kernels=main_kernel0:main_kernel2,relTol=1e-4,absTol=1e-8,queue=3",
+        )
+        .unwrap();
+        assert!(v.complement);
+        assert_eq!(v.targets.as_ref().unwrap().len(), 2);
+        assert_eq!(v.rel_tol, 1e-4);
+        assert_eq!(v.abs_tol, 1e-8);
+        assert_eq!(v.queue, 3);
+    }
+
+    #[test]
+    fn parses_min_value_to_check() {
+        let v = parse_verification_options("minValueToCheck=1e-32").unwrap();
+        assert_eq!(v.min_value_to_check, 1e-32);
+    }
+
+    #[test]
+    fn empty_spec_is_default() {
+        let v = parse_verification_options("").unwrap();
+        assert!(v.targets.is_none());
+        assert!(!v.complement);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = parse_verification_options(" complement = 1 , kernels = k0 ").unwrap();
+        assert!(v.complement);
+        assert!(v.targets.unwrap().contains("k0"));
+    }
+
+    #[test]
+    fn rejects_bad_pairs() {
+        assert!(parse_verification_options("complement").is_err());
+        assert!(parse_verification_options("complement=2").is_err());
+        assert!(parse_verification_options("kernels=").is_err());
+        assert!(parse_verification_options("minValueToCheck=abc").is_err());
+        assert!(parse_verification_options("frobnicate=1").is_err());
+    }
+
+    #[test]
+    fn env_interface_round_trips() {
+        // Set-and-read through the documented env vars.
+        std::env::set_var("OPENARC_VERIFICATION_OPTIONS", "kernels=main_kernel1");
+        std::env::set_var("OPENARC_MIN_VALUE_TO_CHECK", "0.5");
+        let v = verification_options_from_env().unwrap();
+        assert!(v.targets.unwrap().contains("main_kernel1"));
+        assert_eq!(v.min_value_to_check, 0.5);
+        std::env::remove_var("OPENARC_VERIFICATION_OPTIONS");
+        std::env::remove_var("OPENARC_MIN_VALUE_TO_CHECK");
+    }
+}

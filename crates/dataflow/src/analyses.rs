@@ -1,0 +1,619 @@
+//! The paper's dataflow analyses.
+//!
+//! * [`liveness`] — classic backward liveness (used by the translator).
+//! * [`dead_live`] — **Algorithm 1**: may-dead / may-live / must-dead.
+//! * [`last_write`] — **Algorithm 2**: last-write detection, optionally
+//!   restarting at kernel boundaries ("along some path from program exits
+//!   or from the next kernel calls").
+//! * [`first_access`] — first-read / first-write placement (following the
+//!   Pai et al. scheme the paper cites), restarting at kernel boundaries.
+//! * [`natural_loops`] — loop bodies for the check-hoisting optimization
+//!   of §III-B (Listing 3).
+
+use crate::cfg::{Cfg, Side};
+use crate::solver::{solve, Problem, Solution};
+use std::collections::{BTreeMap, BTreeSet};
+
+type Set = BTreeSet<String>;
+
+/// All variable names mentioned by either side of any node.
+pub fn universe(cfg: &Cfg) -> Set {
+    let mut u = Set::new();
+    for n in &cfg.nodes {
+        for s in [&n.host, &n.gpu] {
+            u.extend(s.reads.iter().cloned());
+            u.extend(s.writes.iter().cloned());
+            u.extend(s.kills.iter().cloned());
+        }
+    }
+    u
+}
+
+// ---------------------------------------------------------------- liveness
+
+struct Liveness {
+    side: Side,
+}
+
+impl Problem for Liveness {
+    type Fact = Set;
+
+    fn backward(&self) -> bool {
+        true
+    }
+
+    fn boundary(&self) -> Set {
+        Set::new()
+    }
+
+    fn init(&self) -> Set {
+        Set::new()
+    }
+
+    fn meet(&self, a: &Set, b: &Set) -> Set {
+        a.union(b).cloned().collect()
+    }
+
+    fn transfer(&self, cfg: &Cfg, n: usize, out: &Set) -> Set {
+        let s = cfg.nodes[n].summary(self.side);
+        let mut live = out.clone();
+        for k in &s.kills {
+            live.remove(k);
+        }
+        // Only total writes kill liveness; element writes leave the rest of
+        // the array live.
+        for w in &s.total_writes {
+            live.remove(w);
+        }
+        live.extend(s.reads.iter().cloned());
+        live
+    }
+}
+
+/// Backward liveness; `before[n]` = live-in at node `n`.
+pub fn liveness(cfg: &Cfg, side: Side) -> Solution<Set> {
+    solve(cfg, &Liveness { side })
+}
+
+// ------------------------------------------------------------ Algorithm 1
+
+/// Joint may-live / may-dead fact.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeadLiveFact {
+    /// Variables read-before-written on **some** following path.
+    pub live: Set,
+    /// Variables written-first on **all** following paths.
+    pub dead: Set,
+}
+
+/// Deadness classification of one variable at one program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deadness {
+    /// Read before written on some path: the value is needed.
+    Live,
+    /// Written first on every path (possibly partially): the value is
+    /// *presumably* dead — the paper reports transfers of such variables as
+    /// **may-redundant** and asks the programmer.
+    MayDead,
+    /// Not accessed on any following path: **verified** dead.
+    MustDead,
+}
+
+struct DeadLive {
+    side: Side,
+    universe: Set,
+    /// Skip `update` transfer nodes: transfers are the objects being
+    /// diagnosed, so they must not count as genuine DEF/USE (data-region
+    /// transfers are naturally invisible here; this keeps updates
+    /// consistent with them).
+    ignore_updates: bool,
+}
+
+impl Problem for DeadLive {
+    type Fact = DeadLiveFact;
+
+    fn backward(&self) -> bool {
+        true
+    }
+
+    fn boundary(&self) -> DeadLiveFact {
+        // OUTLive(EXIT) = ∅, OUTDead(EXIT) = ∅.
+        DeadLiveFact::default()
+    }
+
+    fn init(&self) -> DeadLiveFact {
+        // Optimistic ⊤: live = ∅ (∪-meet), dead = universe (∩-meet).
+        DeadLiveFact { live: Set::new(), dead: self.universe.clone() }
+    }
+
+    fn meet(&self, a: &DeadLiveFact, b: &DeadLiveFact) -> DeadLiveFact {
+        DeadLiveFact {
+            live: a.live.union(&b.live).cloned().collect(),
+            dead: a.dead.intersection(&b.dead).cloned().collect(),
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg, n: usize, out: &DeadLiveFact) -> DeadLiveFact {
+        if self.ignore_updates
+            && matches!(cfg.nodes[n].kind, crate::cfg::NodeKind::Update(_))
+        {
+            return out.clone();
+        }
+        let s = cfg.nodes[n].summary(self.side);
+        // Algorithm 1:
+        //   INLive(n) = OUTLive(n) − KILL(n) − DEF(n) + USE(n)
+        //   INDead(n) = OUTDead(n) − KILL(n) + DEF(n) − USE(n)
+        let mut live = out.live.clone();
+        let mut dead = out.dead.clone();
+        for k in &s.kills {
+            live.remove(k);
+            dead.remove(k);
+        }
+        for d in &s.writes {
+            live.remove(d);
+            dead.insert(d.clone());
+        }
+        for u in &s.reads {
+            dead.remove(u);
+            live.insert(u.clone());
+        }
+        DeadLiveFact { live, dead }
+    }
+}
+
+/// Result of Algorithm 1 with a convenience classifier.
+pub struct DeadLiveResult {
+    /// Solver solution (`before[n]` = fact on entry to `n`).
+    pub sol: Solution<DeadLiveFact>,
+}
+
+impl DeadLiveResult {
+    /// Classify `var` *after* node `n` executes (i.e. on its out-edge).
+    pub fn after(&self, n: usize, var: &str) -> Deadness {
+        Self::classify(&self.sol.after[n], var)
+    }
+
+    /// Classify `var` at entry to node `n`.
+    pub fn before(&self, n: usize, var: &str) -> Deadness {
+        Self::classify(&self.sol.before[n], var)
+    }
+
+    fn classify(f: &DeadLiveFact, var: &str) -> Deadness {
+        if f.live.contains(var) {
+            Deadness::Live
+        } else if f.dead.contains(var) {
+            Deadness::MayDead
+        } else {
+            Deadness::MustDead
+        }
+    }
+}
+
+/// Run Algorithm 1 for one side (transfers visible as accesses).
+pub fn dead_live(cfg: &Cfg, side: Side) -> DeadLiveResult {
+    let p = DeadLive { side, universe: universe(cfg), ignore_updates: false };
+    DeadLiveResult { sol: solve(cfg, &p) }
+}
+
+/// Run Algorithm 1 treating `update` transfer nodes as transparent — the
+/// variant used to place `reset_status` calls, where deadness must be
+/// judged by *compute* accesses only.
+pub fn dead_live_compute(cfg: &Cfg, side: Side) -> DeadLiveResult {
+    let p = DeadLive { side, universe: universe(cfg), ignore_updates: true };
+    DeadLiveResult { sol: solve(cfg, &p) }
+}
+
+// ------------------------------------------------------------ Algorithm 2
+
+struct LastWrite {
+    side: Side,
+    universe: Set,
+    reset_at_kernels: bool,
+}
+
+impl Problem for LastWrite {
+    type Fact = Set;
+
+    fn backward(&self) -> bool {
+        true
+    }
+
+    fn boundary(&self) -> Set {
+        Set::new()
+    }
+
+    fn init(&self) -> Set {
+        self.universe.clone()
+    }
+
+    fn meet(&self, a: &Set, b: &Set) -> Set {
+        a.intersection(b).cloned().collect()
+    }
+
+    fn transfer(&self, cfg: &Cfg, n: usize, out: &Set) -> Set {
+        // Algorithm 2: INWrite(n) = OUTWrite(n) + DEF(n) − KILL(n), with
+        // kernels acting as analysis restarts when requested.
+        let node = &cfg.nodes[n];
+        let mut fact = if self.reset_at_kernels && node.is_kernel() { Set::new() } else { out.clone() };
+        let s = node.summary(self.side);
+        fact.extend(s.writes.iter().cloned());
+        for k in &s.kills {
+            fact.remove(k);
+        }
+        fact
+    }
+}
+
+/// Result of Algorithm 2.
+pub struct LastWriteResult {
+    sol: Solution<Set>,
+}
+
+impl LastWriteResult {
+    /// Variables for which node `n` is a *last write* on some path
+    /// (`LASTWrite(n) = INWrite(n) − OUTWrite(n)`, restricted to variables
+    /// the node actually writes).
+    pub fn last_written_at(&self, cfg: &Cfg, side: Side, n: usize) -> Set {
+        let written = &cfg.nodes[n].summary(side).writes;
+        self.sol.before[n]
+            .iter()
+            .filter(|v| written.contains(*v) && !self.sol.after[n].contains(*v))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Run Algorithm 2 for one side.
+pub fn last_write(cfg: &Cfg, side: Side, reset_at_kernels: bool) -> LastWriteResult {
+    let p = LastWrite { side, universe: universe(cfg), reset_at_kernels };
+    LastWriteResult { sol: solve(cfg, &p) }
+}
+
+// ----------------------------------------------------------- first access
+
+/// Which access kind a first-access query concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessSel {
+    /// Reads.
+    Read,
+    /// Writes.
+    Write,
+}
+
+struct AccessedBefore {
+    side: Side,
+    sel: AccessSel,
+    universe: Set,
+}
+
+impl Problem for AccessedBefore {
+    type Fact = Set;
+
+    fn backward(&self) -> bool {
+        false
+    }
+
+    fn boundary(&self) -> Set {
+        Set::new()
+    }
+
+    fn init(&self) -> Set {
+        self.universe.clone()
+    }
+
+    fn meet(&self, a: &Set, b: &Set) -> Set {
+        // ∩: "definitely accessed on every path so far". A variable NOT in
+        // the set may see its first access here on some path.
+        a.intersection(b).cloned().collect()
+    }
+
+    fn transfer(&self, cfg: &Cfg, n: usize, inn: &Set) -> Set {
+        let node = &cfg.nodes[n];
+        // Kernel launches restart host-side tracking ("…from each GPU
+        // kernel call"): the device may have changed coherence state.
+        let mut fact = if node.is_kernel() { Set::new() } else { inn.clone() };
+        let s = node.summary(self.side);
+        let acc = match self.sel {
+            AccessSel::Read => &s.reads,
+            AccessSel::Write => &s.writes,
+        };
+        fact.extend(acc.iter().cloned());
+        for k in &s.kills {
+            fact.remove(k);
+        }
+        fact
+    }
+}
+
+/// For each node, the variables whose read/write at that node may be the
+/// first since program entry or the last kernel call — exactly the points
+/// where §III-B's optimized instrumentation inserts `check_read` /
+/// `check_write` calls.
+pub fn first_access(cfg: &Cfg, side: Side, sel: AccessSel) -> Vec<Set> {
+    let p = AccessedBefore { side, sel, universe: universe(cfg) };
+    let sol = solve(cfg, &p);
+    cfg.nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let s = node.summary(side);
+            let acc = match sel {
+                AccessSel::Read => &s.reads,
+                AccessSel::Write => &s.writes,
+            };
+            acc.iter().filter(|v| !sol.before[i].contains(*v)).cloned().collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------- natural loops
+
+/// A natural loop: its head (branch node) and full body node set.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Loop header node.
+    pub head: usize,
+    /// All nodes in the loop, including the header.
+    pub body: BTreeSet<usize>,
+}
+
+/// Find natural loops from back edges (sufficient for our structured CFGs,
+/// where every loop header is a [`crate::cfg::NodeKind::Branch`] node).
+/// Multiple back edges to the same header merge into one loop.
+pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let mut by_head: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (n, ss) in cfg.succ.iter().enumerate() {
+        for &h in ss {
+            if h <= n && matches!(cfg.nodes[h].kind, crate::cfg::NodeKind::Branch) {
+                // Back edge n → h. Body: h plus everything that reaches n
+                // backwards without passing through h.
+                let body = by_head.entry(h).or_default();
+                body.insert(h);
+                let mut stack = vec![n];
+                while let Some(x) = stack.pop() {
+                    if body.contains(&x) {
+                        continue;
+                    }
+                    body.insert(x);
+                    for &p in &cfg.pred[x] {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+    by_head
+        .into_iter()
+        .map(|(head, body)| NaturalLoop { head, body })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use openarc_minic::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).expect("parse");
+        Cfg::build(p.func("main").unwrap()).expect("cfg")
+    }
+
+    fn node_writing(cfg: &Cfg, var: &str) -> usize {
+        cfg.nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.host.writes.contains(var) && !n.is_kernel())
+            .map(|(i, _)| i)
+            .expect("writer node")
+    }
+
+    // -------- liveness --------
+
+    #[test]
+    fn liveness_basic() {
+        let cfg = cfg_of("int a;\nint b;\nvoid main() { a = 1; b = a; }");
+        let live = liveness(&cfg, Side::Host);
+        let n_a = node_writing(&cfg, "a");
+        // After `a = 1`, `a` is live (read by the next statement).
+        assert!(live.after[n_a].contains("a"));
+        // At exit nothing is live.
+        assert!(live.before[cfg.exit].is_empty());
+    }
+
+    #[test]
+    fn partial_write_keeps_array_live() {
+        let cfg = cfg_of(
+            "double q[4];\nint z;\nvoid main() { q[0] = 1.0; z = (int) q[1]; q[2] = 2.0; z = (int) q[3]; }",
+        );
+        let live = liveness(&cfg, Side::Host);
+        let first = cfg.succ[cfg.entry][0];
+        // q stays live through the partial write at the third statement.
+        assert!(live.after[first].contains("q"));
+    }
+
+    // -------- Algorithm 1 --------
+
+    #[test]
+    fn written_first_everywhere_is_may_dead() {
+        // `a` is overwritten (element-wise) before any read on all paths.
+        let cfg = cfg_of(
+            "double a[4];\nint z;\nvoid main() { z = 0; a[0] = 1.0; z = (int) a[0]; }",
+        );
+        let dl = dead_live(&cfg, Side::Host);
+        let n_z = node_writing(&cfg, "z");
+        // At entry of the first statement, the next access to `a` is a
+        // write → may-dead (partial write, so not provably dead).
+        assert_eq!(dl.before(n_z, "a"), Deadness::MayDead);
+    }
+
+    #[test]
+    fn read_on_some_path_is_live() {
+        let cfg = cfg_of(
+            "double a[4];\nint z;\nvoid main() { if (z) { z = (int) a[0]; } else { a[0] = 1.0; } }",
+        );
+        let dl = dead_live(&cfg, Side::Host);
+        let branch = cfg.succ[cfg.entry][0];
+        assert_eq!(dl.before(branch, "a"), Deadness::Live);
+    }
+
+    #[test]
+    fn untouched_variable_is_must_dead() {
+        let cfg = cfg_of("double a[4];\nint z;\nvoid main() { z = 1; z = z + 1; }");
+        let dl = dead_live(&cfg, Side::Host);
+        let first = cfg.succ[cfg.entry][0];
+        assert_eq!(dl.before(first, "a"), Deadness::MustDead);
+    }
+
+    #[test]
+    fn paper_cg_example_partial_write_is_may_dead_not_must() {
+        // Listing 1 discussion: the next access to q on every path is a
+        // *partial* write, but unwritten elements are read afterwards. The
+        // algorithm classifies q may-dead (transfer reported only as
+        // MAY-redundant, so the user must verify) — not must-dead, which
+        // would have wrongly declared the transfer redundant.
+        let cfg = cfg_of(
+            "double q[8];\nint z;\nvoid main() { q[0] = 0.5; z = (int) q[1]; }",
+        );
+        let dl = dead_live(&cfg, Side::Host);
+        let first = cfg.succ[cfg.entry][0];
+        assert_eq!(dl.before(first, "q"), Deadness::MayDead);
+    }
+
+    #[test]
+    fn free_removes_from_both_sets() {
+        let cfg = cfg_of("double *p;\nvoid main() { free(p); }");
+        let dl = dead_live(&cfg, Side::Host);
+        let n = cfg.succ[cfg.entry][0];
+        // After free, p is gone: must-dead at the entry of a following nop.
+        assert_eq!(dl.after(n, "p"), Deadness::MustDead);
+    }
+
+    // -------- Algorithm 2 --------
+
+    #[test]
+    fn last_write_found_in_sequence() {
+        let cfg = cfg_of("int a;\nint z;\nvoid main() { a = 1; a = 2; z = a; }");
+        let lw = last_write(&cfg, Side::Host, false);
+        let writers: Vec<usize> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.host.writes.contains("a"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(writers.len(), 2);
+        let first_is_last = lw.last_written_at(&cfg, Side::Host, writers[0]).contains("a");
+        let second_is_last = lw.last_written_at(&cfg, Side::Host, writers[1]).contains("a");
+        assert!(!first_is_last, "a is rewritten later");
+        assert!(second_is_last, "final write should be last");
+    }
+
+    #[test]
+    fn kernel_resets_last_write_tracking() {
+        let cfg = cfg_of(
+            "double a[8];\ndouble b[8];\nvoid main() {\n int j;\n a[0] = 1.0;\n #pragma acc kernels loop gang\n for (j = 0; j < 8; j++) { b[j] = a[j]; }\n a[1] = 2.0;\n}",
+        );
+        let lw = last_write(&cfg, Side::Host, true);
+        let writers: Vec<usize> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.host.writes.contains("a") && !n.is_kernel())
+            .map(|(i, _)| i)
+            .collect();
+        // With kernel reset, the write BEFORE the kernel is a last write
+        // relative to the kernel boundary.
+        assert!(lw.last_written_at(&cfg, Side::Host, writers[0]).contains("a"));
+        assert!(lw.last_written_at(&cfg, Side::Host, writers[1]).contains("a"));
+    }
+
+    // -------- first access --------
+
+    #[test]
+    fn first_read_flagged_once_in_straight_line() {
+        let cfg = cfg_of("int a;\nint z;\nvoid main() { z = a; z = a + a; }");
+        let fr = first_access(&cfg, Side::Host, AccessSel::Read);
+        let readers: Vec<usize> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.host.reads.contains("a"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(fr[readers[0]].contains("a"));
+        assert!(!fr[readers[1]].contains("a"));
+    }
+
+    #[test]
+    fn kernel_call_restarts_first_read() {
+        let cfg = cfg_of(
+            "double a[8];\nint z;\nvoid main() {\n int j;\n z = (int) a[0];\n #pragma acc kernels loop gang\n for (j = 0; j < 8; j++) { a[j] = 1.0; }\n z = (int) a[1];\n}",
+        );
+        let fr = first_access(&cfg, Side::Host, AccessSel::Read);
+        let readers: Vec<usize> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.host.reads.contains("a") && matches!(n.kind, crate::cfg::NodeKind::Plain))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(readers.len(), 2);
+        assert!(fr[readers[0]].contains("a"), "read before kernel is first");
+        assert!(fr[readers[1]].contains("a"), "read after kernel is first again");
+    }
+
+    #[test]
+    fn first_read_in_loop_flagged_at_loop_node() {
+        // A read inside a loop with no kernel: first iteration is a first
+        // read, so the in-loop node is flagged (the hoisting optimization
+        // later moves the check out).
+        let cfg = cfg_of(
+            "double a[8];\nint z;\nvoid main() { int j; for (j = 0; j < 8; j++) { z = z + (int) a[j]; } }",
+        );
+        let fr = first_access(&cfg, Side::Host, AccessSel::Read);
+        let flagged = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .any(|(i, n)| n.host.reads.contains("a") && fr[i].contains("a"));
+        assert!(flagged);
+    }
+
+    // -------- natural loops --------
+
+    #[test]
+    fn natural_loop_contains_body_nodes() {
+        let cfg = cfg_of(
+            "int a;\nvoid main() { int i; for (i = 0; i < 3; i++) { a = i; } a = 9; }",
+        );
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        let body_writer = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.host.writes.contains("a") && n.loop_depth == 1)
+            .map(|(i, _)| i)
+            .unwrap();
+        let outside_writer = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.host.writes.contains("a") && n.loop_depth == 0)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(l.body.contains(&body_writer));
+        assert!(!l.body.contains(&outside_writer));
+    }
+
+    #[test]
+    fn nested_loops_found() {
+        let cfg = cfg_of(
+            "int a;\nvoid main() { int i; int j; for (i=0;i<2;i++) { for (j=0;j<2;j++) { a = 1; } } }",
+        );
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Generic worklist dataflow solver.
+
+use crate::cfg::Cfg;
+
+/// A monotone dataflow problem over a [`Cfg`].
+pub trait Problem {
+    /// Lattice element.
+    type Fact: Clone + PartialEq;
+
+    /// True for backward problems (facts flow exit → entry).
+    fn backward(&self) -> bool;
+
+    /// Fact at the boundary node (entry for forward, exit for backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Optimistic initial fact for all other nodes (⊤).
+    fn init(&self) -> Self::Fact;
+
+    /// Meet of two facts (⊓).
+    fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact;
+
+    /// Transfer function of node `n` applied to the incoming fact
+    /// (the OUT fact for backward problems, the IN fact for forward ones).
+    fn transfer(&self, cfg: &Cfg, n: usize, incoming: &Self::Fact) -> Self::Fact;
+}
+
+/// Fixpoint solution: `before[n]` is the fact at node entry, `after[n]` at
+/// node exit (in control-flow order, regardless of analysis direction).
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at each node's entry.
+    pub before: Vec<F>,
+    /// Fact at each node's exit.
+    pub after: Vec<F>,
+}
+
+/// Iterate to fixpoint.
+pub fn solve<P: Problem>(cfg: &Cfg, p: &P) -> Solution<P::Fact> {
+    let n = cfg.len();
+    let mut before: Vec<P::Fact> = vec![p.init(); n];
+    let mut after: Vec<P::Fact> = vec![p.init(); n];
+    if p.backward() {
+        after[cfg.exit] = p.boundary();
+        before[cfg.exit] = p.transfer(cfg, cfg.exit, &after[cfg.exit]);
+    } else {
+        before[cfg.entry] = p.boundary();
+        after[cfg.entry] = p.transfer(cfg, cfg.entry, &before[cfg.entry]);
+    }
+    // Simple round-robin iteration: CFGs here are small (one per function),
+    // and set lattices converge in a few passes.
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(rounds < 10_000, "dataflow failed to converge");
+        for i in 0..n {
+            if p.backward() {
+                if i == cfg.exit {
+                    continue;
+                }
+                let mut acc: Option<P::Fact> = None;
+                for &s in &cfg.succ[i] {
+                    acc = Some(match acc {
+                        None => before[s].clone(),
+                        Some(a) => p.meet(&a, &before[s]),
+                    });
+                }
+                let out = acc.unwrap_or_else(|| p.init());
+                let inn = p.transfer(cfg, i, &out);
+                if out != after[i] || inn != before[i] {
+                    after[i] = out;
+                    before[i] = inn;
+                    changed = true;
+                }
+            } else {
+                if i == cfg.entry {
+                    continue;
+                }
+                let mut acc: Option<P::Fact> = None;
+                for &pr in &cfg.pred[i] {
+                    acc = Some(match acc {
+                        None => after[pr].clone(),
+                        Some(a) => p.meet(&a, &after[pr]),
+                    });
+                }
+                let inn = acc.unwrap_or_else(|| p.init());
+                let out = p.transfer(cfg, i, &inn);
+                if inn != before[i] || out != after[i] {
+                    before[i] = inn;
+                    after[i] = out;
+                    changed = true;
+                }
+            }
+        }
+    }
+    Solution { before, after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, Side};
+    use openarc_minic::parse;
+    use std::collections::BTreeSet;
+
+    /// Classic reaching-writes (forward, union) to exercise the solver.
+    struct ReachingWrites;
+
+    impl Problem for ReachingWrites {
+        type Fact = BTreeSet<String>;
+
+        fn backward(&self) -> bool {
+            false
+        }
+
+        fn boundary(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+
+        fn init(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+
+        fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+            a.union(b).cloned().collect()
+        }
+
+        fn transfer(&self, cfg: &Cfg, n: usize, incoming: &Self::Fact) -> Self::Fact {
+            let mut out = incoming.clone();
+            out.extend(cfg.nodes[n].summary(Side::Host).writes.iter().cloned());
+            out
+        }
+    }
+
+    #[test]
+    fn forward_union_reaches_through_branches() {
+        let p = parse(
+            "int a;\nint b;\nint c;\nvoid main() { if (c) { a = 1; } else { b = 2; } c = 3; }",
+        )
+        .unwrap();
+        let cfg = Cfg::build(p.func("main").unwrap()).unwrap();
+        let sol = solve(&cfg, &ReachingWrites);
+        let at_exit = &sol.before[cfg.exit];
+        assert!(at_exit.contains("a"));
+        assert!(at_exit.contains("b"));
+        assert!(at_exit.contains("c"));
+    }
+
+    #[test]
+    fn loop_fixpoint_converges() {
+        let p = parse("int a;\nvoid main() { int i; for (i = 0; i < 4; i++) { a = i; } }").unwrap();
+        let cfg = Cfg::build(p.func("main").unwrap()).unwrap();
+        let sol = solve(&cfg, &ReachingWrites);
+        assert!(sol.before[cfg.exit].contains("a"));
+        assert!(sol.before[cfg.exit].contains("i"));
+    }
+}

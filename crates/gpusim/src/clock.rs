@@ -1,0 +1,207 @@
+//! Simulated wall clock with async-queue timelines and a per-category
+//! time breakdown (the accounting behind the paper's Figure 3).
+
+use std::collections::HashMap;
+
+/// Where simulated time was spent. Matches Figure 3's legend plus kernel
+/// execution (which the figure folds into Async-Wait because verification
+/// kernels run asynchronously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeCategory {
+    /// Device memory frees.
+    GpuMemFree,
+    /// Device memory allocations.
+    GpuMemAlloc,
+    /// Host↔device transfers (synchronous part).
+    MemTransfer,
+    /// Host blocked in `wait` for async work.
+    AsyncWait,
+    /// Output comparison against the CPU reference (kernel verification).
+    ResultComp,
+    /// Host CPU computation.
+    CpuTime,
+    /// Synchronous kernel execution.
+    KernelExec,
+}
+
+impl TimeCategory {
+    /// All categories, in Figure 3 order.
+    pub const ALL: [TimeCategory; 7] = [
+        TimeCategory::GpuMemFree,
+        TimeCategory::GpuMemAlloc,
+        TimeCategory::MemTransfer,
+        TimeCategory::AsyncWait,
+        TimeCategory::ResultComp,
+        TimeCategory::CpuTime,
+        TimeCategory::KernelExec,
+    ];
+
+    /// Display label (Figure 3 legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCategory::GpuMemFree => "GPU Mem Free",
+            TimeCategory::GpuMemAlloc => "GPU Mem Alloc",
+            TimeCategory::MemTransfer => "Mem Transfer",
+            TimeCategory::AsyncWait => "Async-Wait",
+            TimeCategory::ResultComp => "Result-Comp",
+            TimeCategory::CpuTime => "CPU Time",
+            TimeCategory::KernelExec => "Kernel Exec",
+        }
+    }
+}
+
+/// Accumulated simulated time per category, µs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeBreakdown {
+    per_cat: HashMap<u8, f64>,
+}
+
+impl TimeBreakdown {
+    fn key(cat: TimeCategory) -> u8 {
+        TimeCategory::ALL.iter().position(|c| *c == cat).unwrap() as u8
+    }
+
+    /// Add `dt` µs to `cat`.
+    pub fn add(&mut self, cat: TimeCategory, dt: f64) {
+        *self.per_cat.entry(Self::key(cat)).or_insert(0.0) += dt;
+    }
+
+    /// Time spent in `cat`.
+    pub fn get(&self, cat: TimeCategory) -> f64 {
+        self.per_cat.get(&Self::key(cat)).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all categories.
+    pub fn total(&self) -> f64 {
+        self.per_cat.values().sum()
+    }
+}
+
+/// The machine clock: a host timeline plus one timeline per async queue.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    host_now: f64,
+    queues: HashMap<i64, f64>,
+    /// Per-category accounting of host-visible time.
+    pub breakdown: TimeBreakdown,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current host time, µs.
+    pub fn now(&self) -> f64 {
+        self.host_now
+    }
+
+    /// Advance the host timeline by `dt` µs, charging `cat`.
+    pub fn advance(&mut self, cat: TimeCategory, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative time {dt}");
+        self.host_now += dt;
+        self.breakdown.add(cat, dt);
+    }
+
+    /// Enqueue `dt` µs of asynchronous work on `queue`. The work starts no
+    /// earlier than the host's current time and the queue's previous end;
+    /// the host does not block.
+    pub fn enqueue_async(&mut self, queue: i64, dt: f64) {
+        let end = self.queues.entry(queue).or_insert(0.0);
+        let start = end.max(self.host_now);
+        *end = start + dt;
+    }
+
+    /// Block the host until `queue` drains, charging the stall to
+    /// [`TimeCategory::AsyncWait`].
+    pub fn wait(&mut self, queue: i64) {
+        if let Some(end) = self.queues.get(&queue).copied() {
+            if end > self.host_now {
+                let stall = end - self.host_now;
+                self.host_now = end;
+                self.breakdown.add(TimeCategory::AsyncWait, stall);
+            }
+        }
+    }
+
+    /// Block the host until every queue drains.
+    pub fn wait_all(&mut self) {
+        let queues: Vec<i64> = self.queues.keys().copied().collect();
+        for q in queues {
+            self.wait(q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates_by_category() {
+        let mut c = SimClock::new();
+        c.advance(TimeCategory::CpuTime, 5.0);
+        c.advance(TimeCategory::MemTransfer, 3.0);
+        c.advance(TimeCategory::CpuTime, 2.0);
+        assert_eq!(c.now(), 10.0);
+        assert_eq!(c.breakdown.get(TimeCategory::CpuTime), 7.0);
+        assert_eq!(c.breakdown.get(TimeCategory::MemTransfer), 3.0);
+        assert_eq!(c.breakdown.total(), 10.0);
+    }
+
+    #[test]
+    fn async_overlap_hides_gpu_time() {
+        let mut c = SimClock::new();
+        c.enqueue_async(1, 100.0); // kernel on queue 1
+        c.advance(TimeCategory::CpuTime, 60.0); // CPU overlaps
+        c.wait(1);
+        // Only the remaining 40 µs stall the host.
+        assert_eq!(c.breakdown.get(TimeCategory::AsyncWait), 40.0);
+        assert_eq!(c.now(), 100.0);
+    }
+
+    #[test]
+    fn async_fully_hidden_when_cpu_longer() {
+        let mut c = SimClock::new();
+        c.enqueue_async(1, 30.0);
+        c.advance(TimeCategory::CpuTime, 50.0);
+        c.wait(1);
+        assert_eq!(c.breakdown.get(TimeCategory::AsyncWait), 0.0);
+        assert_eq!(c.now(), 50.0);
+    }
+
+    #[test]
+    fn queue_serializes_its_own_work() {
+        let mut c = SimClock::new();
+        c.enqueue_async(1, 10.0);
+        c.enqueue_async(1, 10.0); // starts after the first
+        c.wait(1);
+        assert_eq!(c.now(), 20.0);
+    }
+
+    #[test]
+    fn separate_queues_overlap() {
+        let mut c = SimClock::new();
+        c.enqueue_async(1, 10.0);
+        c.enqueue_async(2, 10.0);
+        c.wait_all();
+        assert_eq!(c.now(), 10.0);
+    }
+
+    #[test]
+    fn wait_on_idle_queue_is_free() {
+        let mut c = SimClock::new();
+        c.wait(7);
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn async_after_host_progress_starts_at_host_now() {
+        let mut c = SimClock::new();
+        c.advance(TimeCategory::CpuTime, 100.0);
+        c.enqueue_async(1, 5.0);
+        c.wait(1);
+        assert_eq!(c.now(), 105.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cost model for the simulated accelerator machine.
+//!
+//! The paper's platform was an Intel Xeon X5660 host with an NVIDIA Tesla
+//! M2090 over PCIe 2.0. We model the *shape* of that machine: a host CPU
+//! executing ~10⁹ simple operations per second, an accelerator with much
+//! higher aggregate throughput but slower single threads, and a transfer
+//! link whose per-transfer latency dominates small copies while bandwidth
+//! dominates large ones. All times are in microseconds of simulated time.
+
+/// Tunable machine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of one host↔device transfer (PCIe + driver latency), µs.
+    pub xfer_latency_us: f64,
+    /// Transfer bandwidth in bytes per µs (8 GB/s ≈ 8000 B/µs).
+    pub xfer_bytes_per_us: f64,
+    /// Device memory allocation cost, µs.
+    pub alloc_us: f64,
+    /// Device memory free cost, µs.
+    pub free_us: f64,
+    /// Kernel launch overhead, µs.
+    pub launch_us: f64,
+    /// Host CPU rate: interpreted VM instructions per µs.
+    pub cpu_instr_per_us: f64,
+    /// Aggregate device rate: VM instructions per µs across all threads.
+    pub gpu_agg_instr_per_us: f64,
+    /// Single device thread rate (GPU cores are slower than CPU cores).
+    pub gpu_thread_instr_per_us: f64,
+    /// Cost of one runtime coherence check / status call, µs (drives the
+    /// Figure 4 instrumentation-overhead measurement).
+    pub check_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Roughly Fermi-class ratios: CPU 1 GHz-equivalent interpreter,
+        // GPU 50× aggregate throughput, individual GPU thread 10× slower
+        // than a CPU thread, PCIe 2.0 x16 ≈ 6 GB/s with ~20 µs latency.
+        CostModel {
+            xfer_latency_us: 20.0,
+            xfer_bytes_per_us: 6000.0,
+            alloc_us: 10.0,
+            free_us: 5.0,
+            launch_us: 8.0,
+            cpu_instr_per_us: 1000.0,
+            gpu_agg_instr_per_us: 50_000.0,
+            gpu_thread_instr_per_us: 100.0,
+            check_us: 0.08,
+        }
+    }
+}
+
+impl CostModel {
+    /// Time for one host↔device transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.xfer_latency_us + bytes as f64 / self.xfer_bytes_per_us
+    }
+
+    /// Time for a kernel that executed `total_instrs` over all threads, with
+    /// the longest single thread executing `max_thread_instrs`.
+    ///
+    /// The kernel is throughput-bound when wide, latency-bound (critical
+    /// path of the longest thread) when narrow.
+    pub fn kernel_time(&self, total_instrs: u64, max_thread_instrs: u64) -> f64 {
+        let throughput = total_instrs as f64 / self.gpu_agg_instr_per_us;
+        let critical = max_thread_instrs as f64 / self.gpu_thread_instr_per_us;
+        self.launch_us + throughput.max(critical)
+    }
+
+    /// Time for `instrs` interpreted host instructions.
+    pub fn cpu_time(&self, instrs: u64) -> f64 {
+        instrs as f64 / self.cpu_instr_per_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_latency_dominates_small_copies() {
+        let c = CostModel::default();
+        let small = c.transfer_time(64);
+        let large = c.transfer_time(64 * 1024 * 1024);
+        assert!(small < 21.0, "{small}");
+        assert!(large > 1000.0, "{large}");
+        // Two small transfers cost more than one transfer of combined size.
+        assert!(2.0 * c.transfer_time(1024) > c.transfer_time(2048));
+    }
+
+    #[test]
+    fn kernel_time_bounded_by_critical_path() {
+        let c = CostModel::default();
+        // Narrow kernel: 1 thread, 10_000 instrs → latency-bound.
+        let narrow = c.kernel_time(10_000, 10_000);
+        assert!(narrow >= 10_000.0 / c.gpu_thread_instr_per_us);
+        // Wide kernel: 1M instrs over many threads, longest 100.
+        let wide = c.kernel_time(1_000_000, 100);
+        assert!((wide - (c.launch_us + 1_000_000.0 / c.gpu_agg_instr_per_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_aggregate_faster_than_cpu() {
+        let c = CostModel::default();
+        let n = 10_000_000u64;
+        assert!(c.kernel_time(n, n / 1000) < c.cpu_time(n));
+    }
+}

@@ -1,0 +1,130 @@
+//! The simulated accelerator device: its own address space and the
+//! kernel-visible execution environment.
+
+use crate::race::{AccessKind, RaceDetector};
+use openarc_vm::{Env, Handle, MemSpace, Value, VmError};
+use openarc_minic::ScalarTy;
+use std::collections::HashMap;
+
+/// A simulated GPU: a separate memory space plus race-detection switch.
+#[derive(Debug, Default)]
+pub struct Device {
+    /// Device memory — disjoint from the host [`MemSpace`].
+    pub mem: MemSpace,
+    /// When true, kernel launches record conflicting accesses.
+    pub race_detect: bool,
+}
+
+impl Device {
+    /// A fresh device with race detection enabled (the simulator is our
+    /// ground-truth oracle, so it defaults on; benches can disable it).
+    pub fn new() -> Device {
+        Device { mem: MemSpace::new(), race_detect: true }
+    }
+}
+
+/// The [`Env`] a simulated GPU thread executes against. Kernels receive all
+/// data through parameters (CUDA-style), so global-slot access is an
+/// internal error.
+pub struct DeviceEnv<'a> {
+    mem: &'a mut MemSpace,
+    races: Option<&'a mut RaceDetector>,
+    labels: HashMap<Handle, String>,
+    /// Id of the thread currently being stepped (set by the executor).
+    pub current_tid: u64,
+}
+
+impl<'a> DeviceEnv<'a> {
+    /// Wrap device memory (and optionally a race detector) for one launch.
+    pub fn new(mem: &'a mut MemSpace, races: Option<&'a mut RaceDetector>) -> DeviceEnv<'a> {
+        DeviceEnv { mem, races, labels: HashMap::new(), current_tid: 0 }
+    }
+
+    fn label_of(&mut self, h: Handle) -> String {
+        if let Some(l) = self.labels.get(&h) {
+            return l.clone();
+        }
+        let l = self.mem.get(h).map(|b| b.label.clone()).unwrap_or_default();
+        self.labels.insert(h, l.clone());
+        l
+    }
+
+    fn note(&mut self, h: Handle, idx: u64, kind: AccessKind) {
+        if self.races.is_some() {
+            let tid = self.current_tid;
+            let label = self.label_of(h);
+            if let Some(r) = self.races.as_deref_mut() {
+                r.record(h, &label, idx, tid, kind);
+            }
+        }
+    }
+}
+
+impl Env for DeviceEnv<'_> {
+    fn load_global(&mut self, slot: u16) -> Result<Value, VmError> {
+        Err(VmError::Internal(format!(
+            "kernel accessed host global slot {slot}; kernels must receive data via parameters"
+        )))
+    }
+
+    fn store_global(&mut self, slot: u16, _v: Value) -> Result<(), VmError> {
+        Err(VmError::Internal(format!(
+            "kernel wrote host global slot {slot}; kernels must receive data via parameters"
+        )))
+    }
+
+    fn load_elem(&mut self, h: Handle, idx: u64) -> Result<Value, VmError> {
+        self.note(h, idx, AccessKind::Read);
+        self.mem.load(h, idx)
+    }
+
+    fn store_elem(&mut self, h: Handle, idx: u64, v: Value) -> Result<(), VmError> {
+        self.note(h, idx, AccessKind::Write);
+        self.mem.store(h, idx, v)
+    }
+
+    fn malloc(&mut self, _elem: ScalarTy, _len: u64, _label: &str) -> Result<Handle, VmError> {
+        Err(VmError::Internal("kernels cannot allocate device memory".into()))
+    }
+
+    fn free(&mut self, _h: Handle) -> Result<(), VmError> {
+        Err(VmError::Internal("kernels cannot free device memory".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_env_tracks_accesses() {
+        let mut mem = MemSpace::new();
+        let h = mem.alloc(ScalarTy::Double, 4, "a");
+        let mut det = RaceDetector::new();
+        let mut env = DeviceEnv::new(&mut mem, Some(&mut det));
+        env.current_tid = 0;
+        env.store_elem(h, 0, Value::F64(1.0)).unwrap();
+        env.current_tid = 1;
+        env.store_elem(h, 0, Value::F64(2.0)).unwrap();
+        assert!(det.any());
+        assert_eq!(det.reports()[0].label, "a");
+    }
+
+    #[test]
+    fn device_env_without_detector_still_works() {
+        let mut mem = MemSpace::new();
+        let h = mem.alloc(ScalarTy::Int, 2, "x");
+        let mut env = DeviceEnv::new(&mut mem, None);
+        env.store_elem(h, 1, Value::Int(9)).unwrap();
+        assert_eq!(env.load_elem(h, 1).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn kernel_global_access_is_internal_error() {
+        let mut mem = MemSpace::new();
+        let mut env = DeviceEnv::new(&mut mem, None);
+        assert!(env.load_global(0).is_err());
+        assert!(env.store_global(0, Value::Int(1)).is_err());
+        assert!(env.malloc(ScalarTy::Int, 4, "x").is_err());
+    }
+}

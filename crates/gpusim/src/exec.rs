@@ -1,0 +1,293 @@
+//! Lockstep kernel executor.
+//!
+//! Kernels are MiniC functions compiled to bytecode whose first parameter
+//! is the global thread id. The executor instantiates one resumable
+//! [`ThreadState`] per thread and steps them **round-robin, one instruction
+//! at a time**, in waves of bounded width (like resident thread blocks).
+//!
+//! Lockstep interleaving is what makes the paper's target bugs observable:
+//! when a privatization is missed and a scalar temporary is shared, every
+//! thread's write lands before any thread's read, so the race corrupts the
+//! result deterministically — exactly the "active error" class of Table 2.
+
+use crate::device::{Device, DeviceEnv};
+use crate::race::{RaceDetector, RaceReport};
+use openarc_vm::{Module, ThreadState, Value, VmError};
+
+/// Execution knobs for one launch.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Number of threads resident (stepped in lockstep) at once.
+    pub wave: u32,
+    /// Total instruction budget across all threads (runaway guard).
+    pub step_budget: u64,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig { wave: 256, step_budget: 2_000_000_000 }
+    }
+}
+
+/// Instruction counts and race reports from one kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct KernelOutcome {
+    /// Instructions executed over all threads.
+    pub total_instrs: u64,
+    /// Longest single-thread instruction count.
+    pub max_thread_instrs: u64,
+    /// Races observed (empty when detection is off).
+    pub races: Vec<RaceReport>,
+    /// Number of threads launched.
+    pub n_threads: u64,
+}
+
+/// Launch `kernel` over `n_threads` threads. Thread `i` receives arguments
+/// `[Int(i), base_args...]`.
+pub fn launch(
+    device: &mut Device,
+    module: &Module,
+    kernel: &str,
+    base_args: &[Value],
+    n_threads: u64,
+    cfg: &LaunchConfig,
+) -> Result<KernelOutcome, VmError> {
+    let mut outcome = KernelOutcome { n_threads, ..Default::default() };
+    let mut detector = device.race_detect.then(RaceDetector::new);
+    let wave = cfg.wave.max(1) as u64;
+    let mut spent: u64 = 0;
+
+    let mut start = 0u64;
+    while start < n_threads {
+        let end = (start + wave).min(n_threads);
+        let mut threads: Vec<ThreadState> = Vec::with_capacity((end - start) as usize);
+        let mut args: Vec<Value> = Vec::with_capacity(base_args.len() + 1);
+        for tid in start..end {
+            args.clear();
+            args.push(Value::Int(tid as i64));
+            args.extend_from_slice(base_args);
+            threads.push(ThreadState::new(module, kernel, &args)?);
+        }
+        let mut env = DeviceEnv::new(&mut device.mem, detector.as_mut());
+        // Lockstep: one instruction per live thread per round.
+        let mut live = threads.len();
+        while live > 0 {
+            for (i, t) in threads.iter_mut().enumerate() {
+                if t.is_done() {
+                    continue;
+                }
+                env.current_tid = start + i as u64;
+                t.step(module, &mut env)?;
+                spent += 1;
+                if spent > cfg.step_budget {
+                    return Err(VmError::StepLimit(cfg.step_budget));
+                }
+                if t.is_done() {
+                    live -= 1;
+                }
+            }
+        }
+        for t in &threads {
+            outcome.total_instrs += t.steps;
+            outcome.max_thread_instrs = outcome.max_thread_instrs.max(t.steps);
+        }
+        start = end;
+    }
+    if let Some(d) = detector {
+        outcome.races = d.reports();
+    }
+    Ok(outcome)
+}
+
+/// Combine per-thread partial values pairwise (tournament tree), the way a
+/// GPU reduction combines partials. For floating point this produces
+/// different rounding than the host's left-to-right loop — the precision
+/// mismatch the paper's configurable error margin exists to absorb.
+pub fn tree_combine(
+    vals: &[Value],
+    f: &dyn Fn(Value, Value) -> Result<Value, VmError>,
+) -> Result<Option<Value>, VmError> {
+    if vals.is_empty() {
+        return Ok(None);
+    }
+    let mut level: Vec<Value> = vals.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(f(pair[0], pair[1])?);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    Ok(Some(level[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openarc_minic::frontend;
+    use openarc_minic::ast::BinOp;
+    use openarc_minic::ScalarTy;
+    use openarc_vm::{compile, interp::eval_bin};
+
+    /// Compile a standalone kernel program (kernels take `__gid` first).
+    fn kernel_module(src: &str) -> Module {
+        let (p, s) = frontend(src).expect("frontend");
+        compile(&p, &s).expect("compile")
+    }
+
+    #[test]
+    fn parallel_elementwise_copy() {
+        let m = kernel_module(
+            "void k(int gid, double *q, double *w) { q[gid] = w[gid]; }",
+        );
+        let mut dev = Device::new();
+        let q = dev.mem.alloc(ScalarTy::Double, 100, "q");
+        let w = dev.mem.alloc(ScalarTy::Double, 100, "w");
+        for i in 0..100 {
+            dev.mem.store(w, i, Value::F64(i as f64)).unwrap();
+        }
+        let out = launch(
+            &mut dev,
+            &m,
+            "k",
+            &[Value::Ptr(q), Value::Ptr(w)],
+            100,
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.n_threads, 100);
+        assert!(out.races.is_empty(), "{:?}", out.races);
+        for i in 0..100 {
+            assert_eq!(dev.mem.load(q, i).unwrap(), Value::F64(i as f64));
+        }
+        assert!(out.total_instrs > 0);
+        assert!(out.max_thread_instrs <= out.total_instrs);
+    }
+
+    #[test]
+    fn missed_privatization_races_and_corrupts() {
+        // `tmp` is a shared one-element buffer instead of a private local:
+        // lockstep guarantees every thread's write lands before the reads.
+        let m = kernel_module(
+            "void k(int gid, double *a, double *tmp) { tmp[0] = (double) gid; a[gid] = tmp[0] * 2.0; }",
+        );
+        let mut dev = Device::new();
+        let a = dev.mem.alloc(ScalarTy::Double, 64, "a");
+        let tmp = dev.mem.alloc(ScalarTy::Double, 1, "tmp");
+        let out = launch(
+            &mut dev,
+            &m,
+            "k",
+            &[Value::Ptr(a), Value::Ptr(tmp)],
+            64,
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+        assert!(!out.races.is_empty(), "expected a race on tmp");
+        assert_eq!(out.races[0].label, "tmp");
+        // Lockstep: every thread read the LAST writer's value (63).
+        let mut wrong = 0;
+        for i in 0..64 {
+            if dev.mem.load(a, i).unwrap() != Value::F64(i as f64 * 2.0) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong >= 63, "lockstep should corrupt nearly all lanes, got {wrong}");
+    }
+
+    #[test]
+    fn private_local_does_not_race() {
+        let m = kernel_module(
+            "void k(int gid, double *a) { double tmp; tmp = (double) gid; a[gid] = tmp * 2.0; }",
+        );
+        let mut dev = Device::new();
+        let a = dev.mem.alloc(ScalarTy::Double, 64, "a");
+        let out =
+            launch(&mut dev, &m, "k", &[Value::Ptr(a)], 64, &LaunchConfig::default()).unwrap();
+        assert!(out.races.is_empty());
+        for i in 0..64 {
+            assert_eq!(dev.mem.load(a, i).unwrap(), Value::F64(i as f64 * 2.0));
+        }
+    }
+
+    #[test]
+    fn waves_partition_large_launches() {
+        let m = kernel_module("void k(int gid, int *a) { a[gid] = gid + 1; }");
+        let mut dev = Device::new();
+        let a = dev.mem.alloc(ScalarTy::Int, 1000, "a");
+        let cfg = LaunchConfig { wave: 64, ..Default::default() };
+        launch(&mut dev, &m, "k", &[Value::Ptr(a)], 1000, &cfg).unwrap();
+        for i in 0..1000 {
+            assert_eq!(dev.mem.load(a, i).unwrap(), Value::Int(i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let m = kernel_module("void k(int gid, int *a) { while (1) { a[0] = gid; } }");
+        let mut dev = Device::new();
+        let a = dev.mem.alloc(ScalarTy::Int, 1, "a");
+        let cfg = LaunchConfig { wave: 8, step_budget: 10_000 };
+        let r = launch(&mut dev, &m, "k", &[Value::Ptr(a)], 8, &cfg);
+        assert!(matches!(r, Err(VmError::StepLimit(_))));
+    }
+
+    #[test]
+    fn zero_threads_is_a_noop() {
+        let m = kernel_module("void k(int gid) { }");
+        let mut dev = Device::new();
+        let out = launch(&mut dev, &m, "k", &[], 0, &LaunchConfig::default()).unwrap();
+        assert_eq!(out.total_instrs, 0);
+        assert_eq!(out.n_threads, 0);
+    }
+
+    #[test]
+    fn tree_combine_matches_sum_for_ints() {
+        let vals: Vec<Value> = (1..=10).map(Value::Int).collect();
+        let f = |a: Value, b: Value| eval_bin(BinOp::Add, a, b);
+        let r = tree_combine(&vals, &f).unwrap().unwrap();
+        assert_eq!(r, Value::Int(55));
+    }
+
+    #[test]
+    fn tree_combine_float_order_differs_from_sequential() {
+        // A big head value swallows the 1.0s one-by-one sequentially (f32
+        // eps at 1e8 is 8.0), while the tree first builds them into one
+        // large partial that survives the final add.
+        let mut vals = vec![Value::F32(1e8)];
+        vals.extend(std::iter::repeat(Value::F32(1.0)).take(1000));
+        let mut seq = 0.0f32;
+        for v in &vals {
+            if let Value::F32(x) = v {
+                seq += x;
+            }
+        }
+        let f = |a: Value, b: Value| eval_bin(BinOp::Add, a, b);
+        let tree = match tree_combine(&vals, &f).unwrap().unwrap() {
+            Value::F32(x) => x,
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(seq, tree, "tree and sequential rounding should differ");
+        assert!((seq - tree).abs() / seq.abs() < 1e-4, "but only slightly");
+    }
+
+    #[test]
+    fn tree_combine_empty_is_none() {
+        let f = |a: Value, b: Value| eval_bin(BinOp::Add, a, b);
+        assert_eq!(tree_combine(&[], &f).unwrap(), None);
+    }
+
+    #[test]
+    fn race_detection_can_be_disabled() {
+        let m = kernel_module("void k(int gid, int *x) { x[0] = gid; }");
+        let mut dev = Device::new();
+        dev.race_detect = false;
+        let x = dev.mem.alloc(ScalarTy::Int, 1, "x");
+        let out = launch(&mut dev, &m, "k", &[Value::Ptr(x)], 32, &LaunchConfig::default()).unwrap();
+        assert!(out.races.is_empty());
+    }
+}

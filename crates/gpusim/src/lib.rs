@@ -1,0 +1,37 @@
+//! # openarc-gpusim
+//!
+//! Deterministic GPU simulator for OpenARC-rs — the substitute for the
+//! paper's Tesla M2090 + CUDA stack (see DESIGN.md §4).
+//!
+//! What it preserves of the real machine, because the paper's results
+//! depend on it:
+//!
+//! * **Separate address spaces** — device memory is its own
+//!   [`openarc_vm::MemSpace`]; data moves only through explicit transfers,
+//!   so missing/redundant-transfer bugs behave as on hardware.
+//! * **Lockstep thread execution** ([`exec::launch`]) — races from missed
+//!   privatization corrupt results deterministically, like
+//!   warp-synchronous execution.
+//! * **Transfer/latency cost shape** ([`cost::CostModel`]) — per-transfer
+//!   latency plus bandwidth term, slow single threads but high aggregate
+//!   throughput, so time breakdowns (Figures 1/3/4) keep the paper's shape.
+//! * **Floating-point divergence** — `float` math stays in f32 and
+//!   reductions combine in tree order ([`exec::tree_combine`]).
+//!
+//! Beyond the paper's hardware, the simulator adds a race **oracle**
+//! ([`race::RaceDetector`]) used to count latent errors in the Table 2
+//! reproduction.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod cost;
+pub mod device;
+pub mod exec;
+pub mod race;
+
+pub use clock::{SimClock, TimeBreakdown, TimeCategory};
+pub use cost::CostModel;
+pub use device::{Device, DeviceEnv};
+pub use exec::{launch, tree_combine, KernelOutcome, LaunchConfig};
+pub use race::{AccessKind, RaceDetector, RaceReport};

@@ -1,0 +1,191 @@
+//! Data-race detection inside simulated kernels.
+//!
+//! This is the *ground-truth oracle* our Table 2 reproduction uses to
+//! classify injected concurrency bugs: the paper's kernel-verification tool
+//! only observes *active* errors (wrong outputs), while races whose final
+//! value happens to be unused are *latent*. The simulator sees every
+//! conflicting access, so it can count latent races the output comparison
+//! cannot.
+
+use openarc_vm::Handle;
+use std::collections::HashMap;
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read.
+    Read,
+    /// Write.
+    Write,
+}
+
+/// Summary of races observed on one buffer during one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceReport {
+    /// The buffer.
+    pub handle: Handle,
+    /// Buffer label (source variable name).
+    pub label: String,
+    /// Number of conflicting access pairs observed.
+    pub conflicts: u64,
+    /// Example conflicting element index.
+    pub example_idx: u64,
+    /// Example pair of thread ids.
+    pub example_threads: (u64, u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LastAccess {
+    tid: u64,
+    wrote: bool,
+    read_tid: u64,
+    read_any: bool,
+}
+
+/// Per-launch access table. Tracks, per element, the last writer and
+/// whether any other thread touched it.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    last: HashMap<(Handle, u64), LastAccess>,
+    races: HashMap<Handle, RaceReport>,
+}
+
+impl RaceDetector {
+    /// Fresh detector (one per kernel launch).
+    pub fn new() -> RaceDetector {
+        RaceDetector::default()
+    }
+
+    /// Record an access by thread `tid` to `handle[idx]`.
+    pub fn record(&mut self, handle: Handle, label: &str, idx: u64, tid: u64, kind: AccessKind) {
+        let entry = self.last.entry((handle, idx));
+        match entry {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(LastAccess {
+                    tid,
+                    wrote: kind == AccessKind::Write,
+                    read_tid: tid,
+                    read_any: kind == AccessKind::Read,
+                });
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let la = o.get_mut();
+                let conflict = match kind {
+                    // write-after-write or write-after-read by another thread
+                    AccessKind::Write => {
+                        (la.wrote && la.tid != tid) || (la.read_any && la.read_tid != tid)
+                    }
+                    // read-after-write by another thread
+                    AccessKind::Read => la.wrote && la.tid != tid,
+                };
+                if conflict {
+                    let other = if la.wrote { la.tid } else { la.read_tid };
+                    let rep = self.races.entry(handle).or_insert_with(|| RaceReport {
+                        handle,
+                        label: label.to_string(),
+                        conflicts: 0,
+                        example_idx: idx,
+                        example_threads: (other, tid),
+                    });
+                    rep.conflicts += 1;
+                }
+                match kind {
+                    AccessKind::Write => {
+                        la.wrote = true;
+                        la.tid = tid;
+                    }
+                    AccessKind::Read => {
+                        la.read_any = true;
+                        la.read_tid = tid;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports for all buffers that raced, sorted by label.
+    pub fn reports(&self) -> Vec<RaceReport> {
+        let mut v: Vec<RaceReport> = self.races.values().cloned().collect();
+        v.sort_by(|a, b| a.label.cmp(&b.label));
+        v
+    }
+
+    /// True if any race was observed.
+    pub fn any(&self) -> bool {
+        !self.races.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: Handle = Handle(3);
+
+    #[test]
+    fn disjoint_indices_do_not_race() {
+        let mut d = RaceDetector::new();
+        d.record(H, "a", 0, 0, AccessKind::Write);
+        d.record(H, "a", 1, 1, AccessKind::Write);
+        d.record(H, "a", 0, 0, AccessKind::Read);
+        assert!(!d.any());
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let mut d = RaceDetector::new();
+        d.record(H, "tmp", 0, 0, AccessKind::Write);
+        d.record(H, "tmp", 0, 1, AccessKind::Write);
+        assert!(d.any());
+        let r = &d.reports()[0];
+        assert_eq!(r.label, "tmp");
+        assert_eq!(r.example_threads, (0, 1));
+        assert_eq!(r.conflicts, 1);
+    }
+
+    #[test]
+    fn read_after_foreign_write_detected() {
+        let mut d = RaceDetector::new();
+        d.record(H, "s", 0, 2, AccessKind::Write);
+        d.record(H, "s", 0, 5, AccessKind::Read);
+        assert!(d.any());
+    }
+
+    #[test]
+    fn write_after_foreign_read_detected() {
+        let mut d = RaceDetector::new();
+        d.record(H, "s", 0, 2, AccessKind::Read);
+        d.record(H, "s", 0, 5, AccessKind::Write);
+        assert!(d.any());
+    }
+
+    #[test]
+    fn same_thread_sequence_is_fine() {
+        let mut d = RaceDetector::new();
+        d.record(H, "x", 0, 4, AccessKind::Read);
+        d.record(H, "x", 0, 4, AccessKind::Write);
+        d.record(H, "x", 0, 4, AccessKind::Read);
+        assert!(!d.any());
+    }
+
+    #[test]
+    fn conflicts_accumulate_per_buffer() {
+        let mut d = RaceDetector::new();
+        for t in 0..10u64 {
+            d.record(H, "acc", 0, t, AccessKind::Read);
+            d.record(H, "acc", 0, t, AccessKind::Write);
+        }
+        let r = &d.reports()[0];
+        assert!(r.conflicts >= 9, "{}", r.conflicts);
+        assert_eq!(d.reports().len(), 1);
+    }
+
+    #[test]
+    fn reads_only_never_race() {
+        let mut d = RaceDetector::new();
+        for t in 0..5u64 {
+            d.record(H, "ro", 0, t, AccessKind::Read);
+        }
+        assert!(!d.any());
+    }
+}

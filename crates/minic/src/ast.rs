@@ -1,0 +1,649 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! The AST is deliberately close to the source: `#pragma` lines are kept as
+//! raw [`Pragma`] attachments on the following statement so the OpenACC
+//! layer (crate `openarc-openacc`) can parse, validate, and — crucially for
+//! the paper's passes — *rewrite* them (memory-transfer demotion edits data
+//! clauses in place and the pretty-printer reproduces Listing-2-style
+//! output).
+//!
+//! Every statement and expression carries a unique [`NodeId`]; dataflow
+//! analyses and the coherence-check instrumentation key their results on
+//! these ids.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Unique id of an AST node within one [`Program`].
+pub type NodeId = u32;
+
+/// Primitive scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarTy {
+    /// 64-bit signed integer (C `int` widened for simplicity).
+    Int,
+    /// 64-bit signed integer (C `long`).
+    Long,
+    /// 32-bit IEEE float.
+    Float,
+    /// 64-bit IEEE float.
+    Double,
+}
+
+impl ScalarTy {
+    /// Size in bytes of one element, used by the transfer cost model.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            ScalarTy::Int => 4,
+            ScalarTy::Long => 8,
+            ScalarTy::Float => 4,
+            ScalarTy::Double => 8,
+        }
+    }
+
+    /// True for `float`/`double`.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarTy::Float | ScalarTy::Double)
+    }
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarTy::Int => write!(f, "int"),
+            ScalarTy::Long => write!(f, "long"),
+            ScalarTy::Float => write!(f, "float"),
+            ScalarTy::Double => write!(f, "double"),
+        }
+    }
+}
+
+/// A MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// `void` (function returns only).
+    Void,
+    /// A scalar value.
+    Scalar(ScalarTy),
+    /// Pointer to scalar, e.g. `double *`. Only one indirection level is
+    /// supported; the benchmarks never need more.
+    Ptr(ScalarTy),
+    /// Statically sized array, e.g. `double a[512][512]`.
+    Array(ScalarTy, Vec<u64>),
+}
+
+impl Ty {
+    /// The element scalar type of arrays/pointers, or the scalar itself.
+    pub fn elem(&self) -> Option<ScalarTy> {
+        match self {
+            Ty::Void => None,
+            Ty::Scalar(s) | Ty::Ptr(s) | Ty::Array(s, _) => Some(*s),
+        }
+    }
+
+    /// True if this type names CPU/GPU-shareable aggregate data (array or
+    /// heap pointer) — the "variables of interest" of the coherence tracker.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Ty::Ptr(_) | Ty::Array(_, _))
+    }
+
+    /// Total element count of a static array (product of dims).
+    pub fn static_len(&self) -> Option<u64> {
+        match self {
+            Ty::Array(_, dims) => Some(dims.iter().product()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => write!(f, "void"),
+            Ty::Scalar(s) => write!(f, "{s}"),
+            Ty::Ptr(s) => write!(f, "{s} *"),
+            Ty::Array(s, dims) => {
+                write!(f, "{s}")?;
+                for d in dims {
+                    write!(f, "[{d}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A raw `#pragma` attachment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pragma {
+    /// Text after `#pragma`, whitespace-normalized.
+    pub text: String,
+    /// Source location of the pragma line.
+    pub span: Span,
+}
+
+/// Binary operators (C spellings).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// True for `&&`/`||` (short-circuit evaluation).
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for comparison operators (result type int).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical not `!`.
+    Not,
+    /// Bitwise not `~`.
+    BitNot,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+            UnOp::BitNot => write!(f, "~"),
+        }
+    }
+}
+
+/// Compound-assignment operators (`=` is [`AssignOp::Set`]).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl AssignOp {
+    /// The binary operator a compound assignment expands to, if any.
+    pub fn binop(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Set => None,
+            AssignOp::Add => Some(BinOp::Add),
+            AssignOp::Sub => Some(BinOp::Sub),
+            AssignOp::Mul => Some(BinOp::Mul),
+            AssignOp::Div => Some(BinOp::Div),
+        }
+    }
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignOp::Set => write!(f, "="),
+            AssignOp::Add => write!(f, "+="),
+            AssignOp::Sub => write!(f, "-="),
+            AssignOp::Mul => write!(f, "*="),
+            AssignOp::Div => write!(f, "/="),
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Source span.
+    pub span: Span,
+    /// What kind of expression.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal; bool marks an `f` suffix.
+    FloatLit(f64, bool),
+    /// Variable reference.
+    Var(String),
+    /// Array/pointer element access `base[i0][i1]...`.
+    Index {
+        /// Array or pointer variable name.
+        base: String,
+        /// One index per dimension.
+        indices: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conditional `c ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name (`sqrt`, `malloc`, or a user function).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// C-style cast `(double)x` or `(double *)malloc(...)`.
+    Cast {
+        /// Target type.
+        ty: Ty,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `sizeof(double)` etc.
+    SizeOf(ScalarTy),
+}
+
+impl Expr {
+    /// Visit this expression and all sub-expressions (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::IntLit(_) | ExprKind::FloatLit(..) | ExprKind::Var(_) | ExprKind::SizeOf(_) => {}
+            ExprKind::Index { indices, .. } => {
+                for e in indices {
+                    e.walk(f);
+                }
+            }
+            ExprKind::Unary { expr, .. } | ExprKind::Cast { expr, .. } => expr.walk(f),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Ternary { cond, then_e, else_e } => {
+                cond.walk(f);
+                then_e.walk(f);
+                else_e.walk(f);
+            }
+            ExprKind::Call { args, .. } => {
+                for e in args {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Names of all variables *read* by this expression, including array
+    /// bases (index expressions are walked too).
+    pub fn reads(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match &e.kind {
+            ExprKind::Var(n) => out.push(n.clone()),
+            ExprKind::Index { base, .. } => out.push(base.clone()),
+            _ => {}
+        });
+        out
+    }
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar or pointer variable.
+    Var(String),
+    /// Array/pointer element.
+    Index {
+        /// Array or pointer variable name.
+        base: String,
+        /// One index per dimension.
+        indices: Vec<Expr>,
+    },
+}
+
+impl LValue {
+    /// The variable name being written.
+    pub fn base(&self) -> &str {
+        match self {
+            LValue::Var(n) => n,
+            LValue::Index { base, .. } => base,
+        }
+    }
+
+    /// True if the write covers the whole variable (a scalar/pointer
+    /// assignment), false for element writes (partial writes — the paper's
+    /// CG `q` example).
+    pub fn is_total(&self) -> bool {
+        matches!(self, LValue::Var(_))
+    }
+}
+
+/// A variable declaration (global, local, or parameter-like).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Node id.
+    pub id: NodeId,
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Optional initializer (scalars only).
+    pub init: Option<Expr>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A statement node with attached pragmas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Source span.
+    pub span: Span,
+    /// Pragmas immediately preceding this statement.
+    pub pragmas: Vec<Pragma>,
+    /// Statement body.
+    pub kind: StmtKind,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration.
+    Decl(VarDecl),
+    /// Expression statement (usually a call).
+    Expr(Expr),
+    /// Assignment `target op= value`.
+    Assign {
+        /// Destination.
+        target: LValue,
+        /// `=`, `+=`, ...
+        op: AssignOp,
+        /// Source expression.
+        value: Expr,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Init statement (declaration or assignment), if any.
+        init: Option<Box<Stmt>>,
+        /// Loop condition, if any.
+        cond: Option<Expr>,
+        /// Step statement, if any.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// A braced block (data regions attach their pragma here).
+    Block(Block),
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (scalar or pointer).
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Node id.
+    pub id: NodeId,
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Global variable.
+    Global(VarDecl),
+    /// Function definition.
+    Func(Func),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Next unused [`NodeId`]; passes that synthesize nodes allocate from
+    /// here via [`Program::fresh_id`].
+    pub next_id: NodeId,
+}
+
+impl Program {
+    /// Allocate a fresh node id.
+    pub fn fresh_id(&mut self) -> NodeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Find a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.items.iter().find_map(|it| match it {
+            Item::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Mutable lookup of a function by name.
+    pub fn func_mut(&mut self, name: &str) -> Option<&mut Func> {
+        self.items.iter_mut().find_map(|it| match it {
+            Item::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterate over all global variable declarations.
+    pub fn globals(&self) -> impl Iterator<Item = &VarDecl> {
+        self.items.iter().filter_map(|it| match it {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+}
+
+/// Walk every statement in a block, depth-first, pre-order.
+pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &block.stmts {
+        walk_stmt(s, f);
+    }
+}
+
+/// Walk one statement and its nested statements, pre-order.
+pub fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
+    f(stmt);
+    match &stmt.kind {
+        StmtKind::If { then_blk, else_blk, .. } => {
+            walk_stmts(then_blk, f);
+            if let Some(e) = else_blk {
+                walk_stmts(e, f);
+            }
+        }
+        StmtKind::For { init, step, body, .. } => {
+            if let Some(i) = init {
+                walk_stmt(i, f);
+            }
+            if let Some(s) = step {
+                walk_stmt(s, f);
+            }
+            walk_stmts(body, f);
+        }
+        StmtKind::While { body, .. } => walk_stmts(body, f),
+        StmtKind::Block(b) => walk_stmts(b, f),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr { id: 0, span: Span::dummy(), kind }
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(ScalarTy::Int.size_bytes(), 4);
+        assert_eq!(ScalarTy::Double.size_bytes(), 8);
+        assert!(ScalarTy::Float.is_float());
+        assert!(!ScalarTy::Long.is_float());
+    }
+
+    #[test]
+    fn ty_aggregate_and_len() {
+        assert!(Ty::Ptr(ScalarTy::Double).is_aggregate());
+        assert!(!Ty::Scalar(ScalarTy::Int).is_aggregate());
+        assert_eq!(Ty::Array(ScalarTy::Float, vec![4, 8]).static_len(), Some(32));
+        assert_eq!(Ty::Ptr(ScalarTy::Float).static_len(), None);
+    }
+
+    #[test]
+    fn ty_display() {
+        assert_eq!(Ty::Ptr(ScalarTy::Double).to_string(), "double *");
+        assert_eq!(Ty::Array(ScalarTy::Int, vec![3, 5]).to_string(), "int[3][5]");
+    }
+
+    #[test]
+    fn expr_reads_collects_bases() {
+        let expr = e(ExprKind::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(e(ExprKind::Index {
+                base: "a".into(),
+                indices: vec![e(ExprKind::Var("i".into()))],
+            })),
+            rhs: Box::new(e(ExprKind::Var("x".into()))),
+        });
+        let mut reads = expr.reads();
+        reads.sort();
+        assert_eq!(reads, vec!["a", "i", "x"]);
+    }
+
+    #[test]
+    fn lvalue_totality() {
+        assert!(LValue::Var("p".into()).is_total());
+        assert!(!LValue::Index { base: "a".into(), indices: vec![] }.is_total());
+    }
+
+    #[test]
+    fn assign_op_expansion() {
+        assert_eq!(AssignOp::Add.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Set.binop(), None);
+    }
+
+    #[test]
+    fn fresh_ids_monotonic() {
+        let mut p = Program::default();
+        let a = p.fresh_id();
+        let b = p.fresh_id();
+        assert!(b > a);
+    }
+}

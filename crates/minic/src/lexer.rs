@@ -1,0 +1,486 @@
+//! Hand-written lexer for MiniC.
+//!
+//! The lexer understands the C subset used by the benchmark suite plus
+//! `#pragma` lines, which are captured verbatim (with `\` line continuations
+//! folded) so the OpenACC directive parser can process them separately.
+//! `//` and `/* ... */` comments are skipped.
+
+use crate::span::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lex `src` into a token stream ending with [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn span_from(&self, start: usize, line: u32) -> Span {
+        Span::new(start as u32, self.pos as u32, line)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let span = self.span_from(start, line);
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let line = self.line;
+            let c = self.peek();
+            if c == 0 {
+                self.push(TokenKind::Eof, start, line);
+                return Ok(self.tokens);
+            }
+            match c {
+                b'#' => self.lex_pragma(start, line)?,
+                b'0'..=b'9' => self.lex_number(start, line)?,
+                b'.' if self.peek2().is_ascii_digit() => self.lex_number(start, line)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start, line),
+                _ => self.lex_symbol(start, line)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let line = self.line;
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(Diagnostic::error(
+                                "unterminated block comment",
+                                self.span_from(start, line),
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_pragma(&mut self, start: usize, line: u32) -> Result<(), Diagnostic> {
+        // Consume '#'.
+        self.bump();
+        // Expect the word "pragma".
+        let word_start = self.pos;
+        while self.peek().is_ascii_alphabetic() {
+            self.bump();
+        }
+        let word = &self.src[word_start..self.pos];
+        if word != b"pragma" {
+            return Err(Diagnostic::error(
+                format!(
+                    "unsupported preprocessor directive `#{}`",
+                    String::from_utf8_lossy(word)
+                ),
+                self.span_from(start, line),
+            ));
+        }
+        // Capture the rest of the (logical) line, folding `\` continuations.
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                0 | b'\n' => break,
+                b'\\' => {
+                    // A backslash immediately before the newline joins lines.
+                    let mut look = self.pos + 1;
+                    while matches!(self.src.get(look), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+                        look += 1;
+                    }
+                    if matches!(self.src.get(look), Some(b'\n')) {
+                        while self.pos <= look {
+                            self.bump();
+                        }
+                        text.push(' ');
+                    } else {
+                        text.push(self.bump() as char);
+                    }
+                }
+                c => {
+                    text.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+        let text = normalize_ws(&text);
+        self.push(TokenKind::Pragma(text), start, line);
+        Ok(())
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32) -> Result<(), Diagnostic> {
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. identifier boundary).
+                self.pos = save;
+            }
+        }
+        let mut text: &str = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let mut f_suffix = false;
+        if matches!(self.peek(), b'f' | b'F') {
+            f_suffix = true;
+            is_float = true;
+            self.bump();
+        } else if matches!(self.peek(), b'l' | b'L' | b'u' | b'U') {
+            self.bump();
+        }
+        // `text` excludes any suffix character.
+        let _ = &mut text;
+        let span = self.span_from(start, line);
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| Diagnostic::error(format!("invalid float literal `{text}`"), span))?;
+            self.push(TokenKind::FloatLit(v, f_suffix), start, line);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| Diagnostic::error(format!("invalid int literal `{text}`"), span))?;
+            self.push(TokenKind::IntLit(v), start, line);
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, start: usize, line: u32) {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let kind = match text {
+            "int" => TokenKind::KwInt,
+            "long" => TokenKind::KwLong,
+            "float" => TokenKind::KwFloat,
+            "double" => TokenKind::KwDouble,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "sizeof" => TokenKind::KwSizeof,
+            _ => TokenKind::Ident(text.to_string()),
+        };
+        self.push(kind, start, line);
+    }
+
+    fn lex_symbol(&mut self, start: usize, line: u32) -> Result<(), Diagnostic> {
+        use TokenKind::*;
+        let c = self.bump();
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b':' => Colon,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'^' => Caret,
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    MinusAssign
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            b'%' => Percent,
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    AmpAmp
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    PipePipe
+                } else {
+                    Pipe
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Ne
+                } else {
+                    Bang
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Eq
+                } else {
+                    Assign
+                }
+            }
+            b'<' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    Le
+                }
+                b'<' => {
+                    self.bump();
+                    Shl
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    Ge
+                }
+                b'>' => {
+                    self.bump();
+                    Shr
+                }
+                _ => Gt,
+            },
+            other => {
+                return Err(Diagnostic::error(
+                    format!("unexpected character `{}`", other as char),
+                    self.span_from(start, line),
+                ))
+            }
+        };
+        self.push(kind, start, line);
+        Ok(())
+    }
+}
+
+/// Collapse runs of whitespace to single spaces and trim the ends.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_decl() {
+        assert_eq!(
+            kinds("int x = 3;"),
+            vec![
+                T::KwInt,
+                T::Ident("x".into()),
+                T::Assign,
+                T::IntLit(3),
+                T::Semi,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_float_forms() {
+        assert_eq!(
+            kinds("1.5 2e3 1e-32 3.0f 7f"),
+            vec![
+                T::FloatLit(1.5, false),
+                T::FloatLit(2000.0, false),
+                T::FloatLit(1e-32, false),
+                T::FloatLit(3.0, true),
+                T::FloatLit(7.0, true),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("a += b << 2 && !c"),
+            vec![
+                T::Ident("a".into()),
+                T::PlusAssign,
+                T::Ident("b".into()),
+                T::Shl,
+                T::IntLit(2),
+                T::AmpAmp,
+                T::Bang,
+                T::Ident("c".into()),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_pragma_line() {
+        let ks = kinds("#pragma acc kernels loop gang worker\nfor(;;) ;");
+        assert_eq!(ks[0], T::Pragma("acc kernels loop gang worker".into()));
+        assert_eq!(ks[1], T::KwFor);
+    }
+
+    #[test]
+    fn lex_pragma_continuation() {
+        let src = "#pragma acc kernels loop async(1) \\\n    gang worker copy(q)\nx;";
+        let ks = kinds(src);
+        assert_eq!(
+            ks[0],
+            T::Pragma("acc kernels loop async(1) gang worker copy(q)".into())
+        );
+        assert_eq!(ks[1], T::Ident("x".into()));
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        assert_eq!(
+            kinds("a /* mid */ b // tail\nc"),
+            vec![
+                T::Ident("a".into()),
+                T::Ident("b".into()),
+                T::Ident("c".into()),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn unknown_directive_is_error() {
+        assert!(lex("#include <stdio.h>").is_err());
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 4);
+    }
+
+    #[test]
+    fn exponent_requires_digits() {
+        // `1e` followed by identifier char: lexes as 1 then ident `e`.
+        let ks = kinds("1e");
+        assert_eq!(ks[0], T::IntLit(1));
+        assert_eq!(ks[1], T::Ident("e".into()));
+    }
+
+    #[test]
+    fn integer_suffixes_allowed() {
+        assert_eq!(kinds("10L 3u")[..2], [T::IntLit(10), T::IntLit(3)]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token. Punctuation variants are self-describing.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword candidate, e.g. `main`, `i`.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal (`1.5`, `1e-3`, `2.0f`). The bool is true when
+    /// the literal carried an `f` suffix (single precision).
+    FloatLit(f64, bool),
+    /// A `#pragma ...` line, with continuations folded in. Contains the text
+    /// after `#pragma`, e.g. `acc kernels loop gang worker`.
+    Pragma(String),
+
+    // Keywords.
+    KwInt,
+    KwLong,
+    KwFloat,
+    KwDouble,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// If this token is a type keyword, return its display name.
+    pub fn type_keyword(&self) -> Option<&'static str> {
+        match self {
+            TokenKind::KwInt => Some("int"),
+            TokenKind::KwLong => Some("long"),
+            TokenKind::KwFloat => Some("float"),
+            TokenKind::KwDouble => Some("double"),
+            TokenKind::KwVoid => Some("void"),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "{s}"),
+            IntLit(v) => write!(f, "{v}"),
+            FloatLit(v, suf) => {
+                if *suf {
+                    write!(f, "{v}f")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Pragma(s) => write!(f, "#pragma {s}"),
+            KwInt => write!(f, "int"),
+            KwLong => write!(f, "long"),
+            KwFloat => write!(f, "float"),
+            KwDouble => write!(f, "double"),
+            KwVoid => write!(f, "void"),
+            KwIf => write!(f, "if"),
+            KwElse => write!(f, "else"),
+            KwFor => write!(f, "for"),
+            KwWhile => write!(f, "while"),
+            KwReturn => write!(f, "return"),
+            KwBreak => write!(f, "break"),
+            KwContinue => write!(f, "continue"),
+            KwSizeof => write!(f, "sizeof"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            Semi => write!(f, ";"),
+            Comma => write!(f, ","),
+            Colon => write!(f, ":"),
+            Question => write!(f, "?"),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Caret => write!(f, "^"),
+            Tilde => write!(f, "~"),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            AmpAmp => write!(f, "&&"),
+            PipePipe => write!(f, "||"),
+            Bang => write!(f, "!"),
+            Assign => write!(f, "="),
+            PlusAssign => write!(f, "+="),
+            MinusAssign => write!(f, "-="),
+            StarAssign => write!(f, "*="),
+            SlashAssign => write!(f, "/="),
+            PlusPlus => write!(f, "++"),
+            MinusMinus => write!(f, "--"),
+            Eq => write!(f, "=="),
+            Ne => write!(f, "!="),
+            Lt => write!(f, "<"),
+            Gt => write!(f, ">"),
+            Le => write!(f, "<="),
+            Ge => write!(f, ">="),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_keyword_mapping() {
+        assert_eq!(TokenKind::KwDouble.type_keyword(), Some("double"));
+        assert_eq!(TokenKind::Plus.type_keyword(), None);
+    }
+
+    #[test]
+    fn display_round_trip_symbols() {
+        assert_eq!(TokenKind::Shl.to_string(), "<<");
+        assert_eq!(TokenKind::PlusAssign.to_string(), "+=");
+        assert_eq!(TokenKind::FloatLit(1.5, true).to_string(), "1.5f");
+    }
+}

@@ -1,0 +1,345 @@
+//! The runtime coherence tracker of §III-B.
+//!
+//! Each variable of interest (array / malloc'd region shared between CPU
+//! and GPU) carries one of three states **per device**: `notstale`,
+//! `maystale`, `stale` — tracked at whole-allocation granularity exactly as
+//! the paper prescribes ("we track coherence status at the granularity of
+//! entire array or memory region allocated by a malloc call").
+//!
+//! State machine (paper, §III-B):
+//! * all variables start **not-stale** on both devices until the first
+//!   write;
+//! * a write on one device sets the *other* device's state to **stale**
+//!   (or to **may-stale**/**not-stale** when the compiler proved the remote
+//!   copy may-dead/must-dead — `reset_status`);
+//! * a transfer sets the destination **not-stale**; a local total
+//!   overwrite does the same;
+//! * deallocation sets the state **stale**; a reduction kernel whose final
+//!   value lands on the CPU leaves the GPU copy **stale**.
+
+use openarc_vm::Handle;
+use std::collections::HashMap;
+
+/// Coherence state of one copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum St {
+    /// Up to date.
+    #[default]
+    NotStale,
+    /// Possibly outdated (compiler said may-dead, or partial overwrite of a
+    /// stale copy).
+    MayStale,
+    /// Outdated: the other device modified the data.
+    Stale,
+}
+
+/// Which copy of the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DevSide {
+    /// Host CPU copy.
+    Cpu,
+    /// Device (GPU) copy.
+    Gpu,
+}
+
+impl DevSide {
+    /// The opposite side.
+    pub fn other(self) -> DevSide {
+        match self {
+            DevSide::Cpu => DevSide::Gpu,
+            DevSide::Gpu => DevSide::Cpu,
+        }
+    }
+}
+
+/// Diagnosis of a read access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadDiag {
+    /// Fine.
+    Ok,
+    /// Local copy stale → a transfer is missing.
+    Missing,
+    /// Local copy may-stale → transfer needed only if the written part
+    /// does not cover the reads (user must verify).
+    MayMissing,
+}
+
+/// Diagnosis of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XferDiag {
+    /// Source-side verdict: copying from a stale source spreads bad data.
+    pub incorrect: Option<bool>,
+    /// Destination-side verdict: `Some(true)` = redundant,
+    /// `Some(false)` = may-redundant, `None` = necessary.
+    pub redundant: Option<bool>,
+}
+
+/// Per-variable coherence record.
+#[derive(Debug, Clone, Default)]
+pub struct VarState {
+    /// CPU-side state.
+    pub cpu: St,
+    /// GPU-side state.
+    pub gpu: St,
+    /// Variable label for reports.
+    pub label: String,
+}
+
+impl VarState {
+    /// State of `side`.
+    pub fn get(&self, side: DevSide) -> St {
+        match side {
+            DevSide::Cpu => self.cpu,
+            DevSide::Gpu => self.gpu,
+        }
+    }
+
+    fn set(&mut self, side: DevSide, st: St) {
+        match side {
+            DevSide::Cpu => self.cpu = st,
+            DevSide::Gpu => self.gpu = st,
+        }
+    }
+}
+
+/// The coherence tracker, keyed by host allocation handle.
+///
+/// ```
+/// use openarc_runtime::{Coherence, DevSide, ReadDiag};
+/// use openarc_vm::Handle;
+/// let mut c = Coherence::new(true);
+/// let h = Handle(1);
+/// c.track(h, "a");
+/// c.on_write(h, DevSide::Gpu, false);           // kernel writes a
+/// assert_eq!(c.check_read(h, DevSide::Cpu), ReadDiag::Missing);
+/// let diag = c.on_transfer(h, DevSide::Cpu);    // copy it back
+/// assert_eq!(diag.redundant, None);             // the copy was needed
+/// assert_eq!(c.check_read(h, DevSide::Cpu), ReadDiag::Ok);
+/// let diag = c.on_transfer(h, DevSide::Cpu);    // copy it again
+/// assert_eq!(diag.redundant, Some(true));       // now it's redundant
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Coherence {
+    vars: HashMap<Handle, VarState>,
+    /// Master switch: when off (production runs), all checks return Ok and
+    /// no state is maintained — used to measure the Figure 4 overhead.
+    pub enabled: bool,
+}
+
+impl Coherence {
+    /// A tracker with checking enabled.
+    pub fn new(enabled: bool) -> Coherence {
+        Coherence { vars: HashMap::new(), enabled }
+    }
+
+    /// Begin tracking `h` (first device mapping). Both sides not-stale.
+    pub fn track(&mut self, h: Handle, label: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.vars.entry(h).or_insert_with(|| VarState {
+            cpu: St::NotStale,
+            gpu: St::NotStale,
+            label: label.into(),
+        });
+    }
+
+    /// Stop tracking (host free).
+    pub fn untrack(&mut self, h: Handle) {
+        self.vars.remove(&h);
+    }
+
+    /// Current state, if tracked.
+    pub fn state(&self, h: Handle) -> Option<&VarState> {
+        self.vars.get(&h)
+    }
+
+    /// `check_read(h, side)`: diagnose a read on `side`.
+    pub fn check_read(&self, h: Handle, side: DevSide) -> ReadDiag {
+        if !self.enabled {
+            return ReadDiag::Ok;
+        }
+        match self.vars.get(&h).map(|v| v.get(side)) {
+            Some(St::Stale) => ReadDiag::Missing,
+            Some(St::MayStale) => ReadDiag::MayMissing,
+            _ => ReadDiag::Ok,
+        }
+    }
+
+    /// `check_write(h, side, total)`: diagnose and apply a write on `side`.
+    /// Returns the diagnosis of the *local* copy before the write (a stale
+    /// copy being partially overwritten is the paper's may-missing case).
+    pub fn on_write(&mut self, h: Handle, side: DevSide, total: bool) -> ReadDiag {
+        if !self.enabled {
+            return ReadDiag::Ok;
+        }
+        let Some(v) = self.vars.get_mut(&h) else { return ReadDiag::Ok };
+        let before = v.get(side);
+        let diag = match before {
+            St::Stale if !total => ReadDiag::MayMissing,
+            _ => ReadDiag::Ok,
+        };
+        // Local copy: a total overwrite is fresh; a partial overwrite of a
+        // stale copy leaves it may-stale.
+        let local_after = if total {
+            St::NotStale
+        } else {
+            match before {
+                St::Stale | St::MayStale => St::MayStale,
+                St::NotStale => St::NotStale,
+            }
+        };
+        v.set(side, local_after);
+        // Remote copy goes stale (reset_status may soften this afterwards).
+        v.set(side.other(), St::Stale);
+        diag
+    }
+
+    /// Diagnose and apply a transfer into `dst` side.
+    pub fn on_transfer(&mut self, h: Handle, dst: DevSide) -> XferDiag {
+        if !self.enabled {
+            return XferDiag { incorrect: None, redundant: None };
+        }
+        let Some(v) = self.vars.get_mut(&h) else {
+            return XferDiag { incorrect: None, redundant: None };
+        };
+        let src_state = v.get(dst.other());
+        let dst_state = v.get(dst);
+        let incorrect = match src_state {
+            St::Stale => Some(true),
+            St::MayStale => Some(false),
+            St::NotStale => None,
+        };
+        let redundant = match dst_state {
+            St::NotStale => Some(true),
+            St::MayStale => Some(false),
+            St::Stale => None,
+        };
+        v.set(dst, St::NotStale);
+        XferDiag { incorrect, redundant }
+    }
+
+    /// `reset_status(h, side, st)`: compiler-directed state override (dead
+    /// variables, deallocation, CPU-final reductions).
+    pub fn reset_status(&mut self, h: Handle, side: DevSide, st: St) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(v) = self.vars.get_mut(&h) {
+            v.set(side, st);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: Handle = Handle(5);
+
+    fn tracked() -> Coherence {
+        let mut c = Coherence::new(true);
+        c.track(H, "a");
+        c
+    }
+
+    #[test]
+    fn starts_not_stale_both_sides() {
+        let c = tracked();
+        let v = c.state(H).unwrap();
+        assert_eq!(v.cpu, St::NotStale);
+        assert_eq!(v.gpu, St::NotStale);
+        assert_eq!(c.check_read(H, DevSide::Cpu), ReadDiag::Ok);
+    }
+
+    #[test]
+    fn write_stales_remote() {
+        let mut c = tracked();
+        c.on_write(H, DevSide::Gpu, false);
+        assert_eq!(c.state(H).unwrap().cpu, St::Stale);
+        assert_eq!(c.check_read(H, DevSide::Cpu), ReadDiag::Missing);
+        assert_eq!(c.check_read(H, DevSide::Gpu), ReadDiag::Ok);
+    }
+
+    #[test]
+    fn transfer_clears_staleness() {
+        let mut c = tracked();
+        c.on_write(H, DevSide::Gpu, false);
+        let d = c.on_transfer(H, DevSide::Cpu);
+        assert_eq!(d.redundant, None, "transfer was needed");
+        assert_eq!(d.incorrect, None, "source was fresh");
+        assert_eq!(c.check_read(H, DevSide::Cpu), ReadDiag::Ok);
+    }
+
+    #[test]
+    fn transfer_to_fresh_copy_is_redundant() {
+        let mut c = tracked();
+        let d = c.on_transfer(H, DevSide::Gpu);
+        assert_eq!(d.redundant, Some(true));
+    }
+
+    #[test]
+    fn transfer_from_stale_source_is_incorrect() {
+        let mut c = tracked();
+        c.on_write(H, DevSide::Gpu, false); // CPU copy stale now
+        let d = c.on_transfer(H, DevSide::Gpu); // CPU → GPU copies stale data
+        assert_eq!(d.incorrect, Some(true));
+    }
+
+    #[test]
+    fn partial_overwrite_of_stale_copy_is_may_missing() {
+        let mut c = tracked();
+        c.on_write(H, DevSide::Gpu, false); // CPU stale
+        let diag = c.on_write(H, DevSide::Cpu, false); // partial CPU write
+        assert_eq!(diag, ReadDiag::MayMissing);
+        assert_eq!(c.state(H).unwrap().cpu, St::MayStale);
+        assert_eq!(c.check_read(H, DevSide::Cpu), ReadDiag::MayMissing);
+    }
+
+    #[test]
+    fn total_overwrite_refreshes_local() {
+        let mut c = tracked();
+        c.on_write(H, DevSide::Gpu, false); // CPU stale
+        let diag = c.on_write(H, DevSide::Cpu, true);
+        assert_eq!(diag, ReadDiag::Ok);
+        assert_eq!(c.state(H).unwrap().cpu, St::NotStale);
+        // And the GPU copy went stale in turn.
+        assert_eq!(c.state(H).unwrap().gpu, St::Stale);
+    }
+
+    #[test]
+    fn reset_status_overrides() {
+        let mut c = tracked();
+        c.on_write(H, DevSide::Cpu, true); // GPU stale
+        // Compiler proved GPU copy must-dead → mark not-stale so the next
+        // transfer to it is flagged redundant.
+        c.reset_status(H, DevSide::Gpu, St::NotStale);
+        let d = c.on_transfer(H, DevSide::Gpu);
+        assert_eq!(d.redundant, Some(true));
+    }
+
+    #[test]
+    fn may_dead_gives_may_redundant() {
+        let mut c = tracked();
+        c.on_write(H, DevSide::Cpu, true); // GPU stale
+        c.reset_status(H, DevSide::Gpu, St::MayStale);
+        let d = c.on_transfer(H, DevSide::Gpu);
+        assert_eq!(d.redundant, Some(false), "may-redundant");
+    }
+
+    #[test]
+    fn disabled_tracker_is_silent() {
+        let mut c = Coherence::new(false);
+        c.track(H, "a");
+        c.on_write(H, DevSide::Gpu, false);
+        assert_eq!(c.check_read(H, DevSide::Cpu), ReadDiag::Ok);
+        assert!(c.state(H).is_none());
+    }
+
+    #[test]
+    fn untrack_forgets() {
+        let mut c = tracked();
+        c.untrack(H);
+        assert!(c.state(H).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! # openarc-runtime
+//!
+//! The OpenACC runtime of OpenARC-rs: present table, structured data
+//! environments, the host↔device transfer engine with simulated-time
+//! accounting, and — the paper's §III-B centerpiece — the **runtime
+//! coherence tracker** (`notstale` / `maystale` / `stale` per variable per
+//! device) plus the report engine that produces Listing-4-style
+//! missing/incorrect/redundant/may-* findings.
+
+#![warn(missing_docs)]
+
+pub mod coherence;
+pub mod machine;
+pub mod present;
+pub mod report;
+
+pub use coherence::{Coherence, DevSide, ReadDiag, St, VarState, XferDiag};
+pub use machine::{Machine, TransferStats};
+pub use present::{Mapping, PresentTable};
+pub use report::{Direction, Issue, IssueKind, Report};

@@ -1,0 +1,407 @@
+//! The composed simulated machine: host memory + device + clock + present
+//! table + coherence tracker + report engine.
+//!
+//! `openarc-core`'s executor drives a [`Machine`] while running translated
+//! host bytecode; every directive-lowered runtime operation lands here.
+
+use crate::coherence::{Coherence, DevSide, ReadDiag, St};
+use crate::present::PresentTable;
+use crate::report::{Direction, Issue, IssueKind, Report};
+use openarc_gpusim::{CostModel, Device, KernelOutcome, SimClock, TimeCategory};
+use openarc_vm::interp::BasicEnv;
+use openarc_vm::{Handle, VmError};
+
+/// Transfer and allocation statistics (Figure 1's "total transferred data
+/// size" series).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferStats {
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Number of host→device transfers.
+    pub h2d_count: u64,
+    /// Number of device→host transfers.
+    pub d2h_count: u64,
+    /// Device allocations.
+    pub dev_allocs: u64,
+    /// Device frees.
+    pub dev_frees: u64,
+}
+
+impl TransferStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Total number of transfers.
+    pub fn total_count(&self) -> u64 {
+        self.h2d_count + self.d2h_count
+    }
+}
+
+/// The whole simulated platform.
+#[derive(Debug, Default)]
+pub struct Machine {
+    /// Host memory and global slots.
+    pub host: BasicEnv,
+    /// The simulated GPU.
+    pub device: Device,
+    /// Simulated time.
+    pub clock: SimClock,
+    /// Machine cost parameters.
+    pub cost: CostModel,
+    /// Host↔device mapping table.
+    pub present: PresentTable,
+    /// Coherence tracker (§III-B).
+    pub coherence: Coherence,
+    /// Findings of the current profiling run.
+    pub report: Report,
+    /// Transfer statistics.
+    pub stats: TransferStats,
+    /// Enclosing-loop context maintained by the executor
+    /// (`(label, current index)`, outermost first).
+    pub loop_context: Vec<(String, i64)>,
+}
+
+impl Machine {
+    /// Build a machine around a prepared host environment.
+    pub fn new(host: BasicEnv, check_transfers: bool) -> Machine {
+        Machine {
+            host,
+            device: Device::new(),
+            clock: SimClock::new(),
+            cost: CostModel::default(),
+            present: PresentTable::new(),
+            coherence: Coherence::new(check_transfers),
+            report: Report::default(),
+            stats: TransferStats::default(),
+            loop_context: Vec::new(),
+        }
+    }
+
+    /// Ensure `h` is tracked by the coherence machinery (variables of
+    /// interest are tracked from their first observed access, so host
+    /// initialization writes before the first mapping are not lost).
+    fn track_handle(&mut self, h: Handle) {
+        if let Ok(b) = self.host.mem.get(h) {
+            let label = b.label.clone();
+            self.coherence.track(h, label);
+        }
+    }
+
+    fn issue(&mut self, kind: IssueKind, h: Handle, site: &str, dir: Option<Direction>) {
+        let var = self
+            .host
+            .mem
+            .get(h)
+            .map(|b| b.label.clone())
+            .unwrap_or_else(|_| format!("{h}"));
+        self.report.push(Issue {
+            kind,
+            var,
+            site: site.to_string(),
+            direction: dir,
+            loop_context: self.loop_context.clone(),
+        });
+    }
+
+    /// Ensure `host_h` is mapped on the device; allocates (and charges the
+    /// clock) when absent. Returns (device handle, newly_mapped).
+    pub fn map_to_device(&mut self, host_h: Handle) -> Result<(Handle, bool), VmError> {
+        if let Some(dev) = self.present.device_of(host_h) {
+            self.present.retain(host_h)?;
+            return Ok((dev, false));
+        }
+        let (elem, len, label) = {
+            let b = self.host.mem.get(host_h)?;
+            (b.elem, b.len(), b.label.clone())
+        };
+        let dev = self.device.mem.alloc(elem, len, label.clone());
+        self.present.insert(host_h, dev, label.clone())?;
+        self.coherence.track(host_h, label);
+        self.clock.advance(TimeCategory::GpuMemAlloc, self.cost.alloc_us);
+        self.stats.dev_allocs += 1;
+        Ok((dev, true))
+    }
+
+    /// Release one region reference; frees the device mirror at zero.
+    pub fn unmap_from_device(&mut self, host_h: Handle) -> Result<(), VmError> {
+        if let Some(dev) = self.present.release(host_h)? {
+            self.device.mem.free(dev)?;
+            self.clock.advance(TimeCategory::GpuMemFree, self.cost.free_us);
+            self.stats.dev_frees += 1;
+            // Deallocation makes the device copy stale (paper §III-B).
+            self.coherence.reset_status(host_h, DevSide::Gpu, St::Stale);
+        }
+        Ok(())
+    }
+
+    /// Copy host → device. `site` names the transfer for reports;
+    /// `queue` makes it asynchronous.
+    pub fn copy_to_device(
+        &mut self,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+    ) -> Result<(), VmError> {
+        self.copy_to_device_named(host_h, site, queue, None)
+    }
+
+    /// [`Machine::copy_to_device`] with an explicit variable name for
+    /// reports (aliased pointers share one buffer label; suggestions must
+    /// name the variable the directive used).
+    pub fn copy_to_device_named(
+        &mut self,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
+        self.track_handle(host_h);
+        let dev = self
+            .present
+            .device_of(host_h)
+            .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyin")))?;
+        let (host_mem, dev_mem) = (&self.host.mem, &mut self.device.mem);
+        let src = host_mem.get(host_h)?;
+        dev_mem.get_mut(dev)?.copy_from(src)?;
+        let bytes = src.size_bytes();
+        self.charge_transfer(bytes, queue);
+        self.stats.h2d_bytes += bytes;
+        self.stats.h2d_count += 1;
+        let diag = self.coherence.on_transfer(host_h, DevSide::Gpu);
+        self.transfer_issues(diag, host_h, site, Direction::ToDevice, name);
+        Ok(())
+    }
+
+    /// Copy device → host.
+    pub fn copy_to_host(
+        &mut self,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+    ) -> Result<(), VmError> {
+        self.copy_to_host_named(host_h, site, queue, None)
+    }
+
+    /// [`Machine::copy_to_host`] with an explicit report variable name.
+    pub fn copy_to_host_named(
+        &mut self,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
+        self.track_handle(host_h);
+        let dev = self
+            .present
+            .device_of(host_h)
+            .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyout")))?;
+        let (dev_mem, host_mem) = (&self.device.mem, &mut self.host.mem);
+        let src = dev_mem.get(dev)?;
+        host_mem.get_mut(host_h)?.copy_from(src)?;
+        let bytes = src.size_bytes();
+        self.charge_transfer(bytes, queue);
+        self.stats.d2h_bytes += bytes;
+        self.stats.d2h_count += 1;
+        let diag = self.coherence.on_transfer(host_h, DevSide::Cpu);
+        self.transfer_issues(diag, host_h, site, Direction::ToHost, name);
+        Ok(())
+    }
+
+    fn charge_transfer(&mut self, bytes: u64, queue: Option<i64>) {
+        let dt = self.cost.transfer_time(bytes);
+        match queue {
+            Some(q) => self.clock.enqueue_async(q, dt),
+            None => self.clock.advance(TimeCategory::MemTransfer, dt),
+        }
+    }
+
+    fn transfer_issues(
+        &mut self,
+        diag: crate::coherence::XferDiag,
+        h: Handle,
+        site: &str,
+        dir: Direction,
+        name: Option<&str>,
+    ) {
+        let push = |m: &mut Machine, kind: IssueKind| match name {
+            Some(n) => {
+                let issue = Issue {
+                    kind,
+                    var: n.to_string(),
+                    site: site.to_string(),
+                    direction: Some(dir),
+                    loop_context: m.loop_context.clone(),
+                };
+                m.report.push(issue);
+            }
+            None => m.issue(kind, h, site, Some(dir)),
+        };
+        match diag.incorrect {
+            Some(true) => push(self, IssueKind::Incorrect),
+            Some(false) => push(self, IssueKind::MayIncorrect),
+            None => {}
+        }
+        match diag.redundant {
+            Some(true) => push(self, IssueKind::Redundant),
+            Some(false) => push(self, IssueKind::MayRedundant),
+            None => {}
+        }
+    }
+
+    /// `check_read` runtime call.
+    pub fn check_read(&mut self, h: Handle, side: DevSide, site: &str) {
+        self.track_handle(h);
+        match self.coherence.check_read(h, side) {
+            ReadDiag::Ok => {}
+            ReadDiag::Missing => self.issue(IssueKind::Missing, h, site, None),
+            ReadDiag::MayMissing => self.issue(IssueKind::MayMissing, h, site, None),
+        }
+    }
+
+    /// `check_write` runtime call (also applies the write's state change).
+    pub fn check_write(&mut self, h: Handle, side: DevSide, total: bool, site: &str) {
+        self.track_handle(h);
+        match self.coherence.on_write(h, side, total) {
+            ReadDiag::Ok => {}
+            ReadDiag::Missing => self.issue(IssueKind::Missing, h, site, None),
+            ReadDiag::MayMissing => self.issue(IssueKind::MayMissing, h, site, None),
+        }
+    }
+
+    /// Charge a kernel execution to the clock.
+    pub fn charge_kernel(&mut self, outcome: &KernelOutcome, queue: Option<i64>) {
+        let dt = self.cost.kernel_time(outcome.total_instrs, outcome.max_thread_instrs);
+        match queue {
+            Some(q) => self.clock.enqueue_async(q, dt),
+            None => self.clock.advance(TimeCategory::KernelExec, dt),
+        }
+    }
+
+    /// Charge host CPU work (interpreted instructions).
+    pub fn charge_cpu(&mut self, instrs: u64) {
+        let dt = self.cost.cpu_time(instrs);
+        self.clock.advance(TimeCategory::CpuTime, dt);
+    }
+
+    /// Resolve the device handle for a mapped host buffer.
+    pub fn device_of(&self, host_h: Handle) -> Result<Handle, VmError> {
+        self.present
+            .device_of(host_h)
+            .ok_or_else(|| VmError::Internal(format!("{host_h} is not present on the device")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openarc_minic::ScalarTy;
+    use openarc_vm::Value;
+
+    fn machine_with_buffer(len: usize) -> (Machine, Handle) {
+        let mut host = BasicEnv::default();
+        host.mem = openarc_vm::MemSpace::new();
+        let h = host.mem.alloc(ScalarTy::Double, len, "a");
+        (Machine::new(host, true), h)
+    }
+
+    #[test]
+    fn map_copy_roundtrip() {
+        let (mut m, h) = machine_with_buffer(8);
+        for i in 0..8 {
+            m.host.mem.store(h, i, Value::F64(i as f64)).unwrap();
+        }
+        let (dev, new) = m.map_to_device(h).unwrap();
+        assert!(new);
+        m.copy_to_device(h, "enter", None).unwrap();
+        assert_eq!(m.device.mem.load(dev, 3).unwrap(), Value::F64(3.0));
+        // Mutate on device, copy back.
+        m.device.mem.store(dev, 3, Value::F64(99.0)).unwrap();
+        m.coherence.on_write(h, DevSide::Gpu, false);
+        m.copy_to_host(h, "exit", None).unwrap();
+        assert_eq!(m.host.mem.load(h, 3).unwrap(), Value::F64(99.0));
+        assert_eq!(m.stats.h2d_count, 1);
+        assert_eq!(m.stats.d2h_count, 1);
+        assert_eq!(m.stats.total_bytes(), 2 * 64);
+    }
+
+    #[test]
+    fn clock_charged_for_alloc_and_transfer() {
+        let (mut m, h) = machine_with_buffer(1024);
+        m.map_to_device(h).unwrap();
+        m.copy_to_device(h, "enter", None).unwrap();
+        assert!(m.clock.breakdown.get(TimeCategory::GpuMemAlloc) > 0.0);
+        assert!(m.clock.breakdown.get(TimeCategory::MemTransfer) > 0.0);
+    }
+
+    #[test]
+    fn nested_mapping_refcounts() {
+        let (mut m, h) = machine_with_buffer(4);
+        let (_, new1) = m.map_to_device(h).unwrap();
+        let (_, new2) = m.map_to_device(h).unwrap();
+        assert!(new1);
+        assert!(!new2);
+        m.unmap_from_device(h).unwrap();
+        assert!(m.present.contains(h));
+        m.unmap_from_device(h).unwrap();
+        assert!(!m.present.contains(h));
+        assert_eq!(m.stats.dev_allocs, 1);
+        assert_eq!(m.stats.dev_frees, 1);
+    }
+
+    #[test]
+    fn redundant_transfer_reported_with_context() {
+        let (mut m, h) = machine_with_buffer(4);
+        m.map_to_device(h).unwrap();
+        m.loop_context.push(("k-loop".into(), 2));
+        // Fresh on both sides → the second copyin is redundant.
+        m.copy_to_device(h, "enter0", None).unwrap();
+        m.copy_to_device(h, "enter0", None).unwrap();
+        let msgs: Vec<String> = m.report.issues.iter().map(|i| i.to_string()).collect();
+        assert!(msgs.iter().any(|s| s.contains("redundant") && s.contains("k-loop index = 2")), "{msgs:?}");
+    }
+
+    #[test]
+    fn missing_transfer_reported_on_stale_read() {
+        let (mut m, h) = machine_with_buffer(4);
+        m.map_to_device(h).unwrap();
+        m.check_write(h, DevSide::Gpu, false, "kernel0"); // host goes stale
+        m.check_read(h, DevSide::Cpu, "host_read0");
+        assert_eq!(m.report.count(IssueKind::Missing), 1);
+    }
+
+    #[test]
+    fn async_transfer_charges_queue_not_host() {
+        let (mut m, h) = machine_with_buffer(1 << 20);
+        m.map_to_device(h).unwrap();
+        let before = m.clock.breakdown.get(TimeCategory::MemTransfer);
+        m.copy_to_device(h, "enter", Some(1)).unwrap();
+        assert_eq!(m.clock.breakdown.get(TimeCategory::MemTransfer), before);
+        m.clock.wait(1);
+        assert!(m.clock.breakdown.get(TimeCategory::AsyncWait) > 0.0);
+    }
+
+    #[test]
+    fn unmap_stales_device_copy() {
+        let (mut m, h) = machine_with_buffer(4);
+        m.map_to_device(h).unwrap();
+        m.unmap_from_device(h).unwrap();
+        // Re-map: coherence remembers the device copy is stale.
+        m.map_to_device(h).unwrap();
+        assert_eq!(m.coherence.state(h).unwrap().gpu, St::Stale);
+    }
+
+    #[test]
+    fn kernel_charge_sync_vs_async() {
+        let (mut m, _) = machine_with_buffer(1);
+        let out = KernelOutcome { total_instrs: 1_000_000, max_thread_instrs: 1000, races: vec![], n_threads: 1000 };
+        m.charge_kernel(&out, None);
+        assert!(m.clock.breakdown.get(TimeCategory::KernelExec) > 0.0);
+        let before = m.clock.now();
+        m.charge_kernel(&out, Some(2));
+        assert_eq!(m.clock.now(), before, "async kernel does not advance host");
+    }
+}

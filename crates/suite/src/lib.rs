@@ -1,0 +1,213 @@
+//! # openarc-suite
+//!
+//! The twelve OpenACC benchmark programs of the paper (§IV-A) ported to
+//! MiniC: two kernel benchmarks (JACOBI, SPMUL), two NAS Parallel
+//! Benchmarks (EP, CG), and eight Rodinia benchmarks (BACKPROP, BFS, CFD,
+//! SRAD, HOTSPOT, KMEANS, LUD, NW).
+//!
+//! Each benchmark comes in three directive variants:
+//!
+//! * [`Variant::Naive`] — no data clauses at all: the OpenACC *default*
+//!   memory management scheme (every kernel allocates, copies in, copies
+//!   out, frees) — Figure 1's numerator.
+//! * [`Variant::Unoptimized`] — data regions allocate device memory but
+//!   transfers are conservative (`update` around every kernel) — the
+//!   starting point of the Table 3 interactive optimization.
+//! * [`Variant::Optimized`] — the hand-tuned transfer pattern — Figure 1's
+//!   baseline and Table 3's reference.
+//!
+//! All inputs are generated in-program from deterministic integer
+//! arithmetic, so every variant is self-contained and reproducible.
+
+#![warn(missing_docs)]
+
+pub mod backprop;
+pub mod bfs;
+pub mod cfd;
+pub mod cg;
+pub mod ep;
+pub mod hotspot;
+pub mod jacobi;
+pub mod kmeans;
+pub mod lud;
+pub mod nw;
+pub mod spmul;
+pub mod srad;
+
+use openarc_core::exec::{execute, ExecMode, ExecOptions, RunResult};
+use openarc_core::interactive::OutputSpec;
+use openarc_core::translate::{translate, Translated, TranslateOptions};
+
+/// Which directive variant of a benchmark to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Default memory management (no data clauses).
+    Naive,
+    /// Conservative transfers (Table 3 start point).
+    Unoptimized,
+    /// Hand-optimized transfers.
+    Optimized,
+}
+
+impl Variant {
+    /// All variants.
+    pub const ALL: [Variant; 3] = [Variant::Naive, Variant::Unoptimized, Variant::Optimized];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Naive => "naive",
+            Variant::Unoptimized => "unoptimized",
+            Variant::Optimized => "optimized",
+        }
+    }
+}
+
+/// One benchmark program family.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (paper spelling).
+    pub name: &'static str,
+    /// Source of the naive variant.
+    pub naive: String,
+    /// Source of the conservatively-annotated variant.
+    pub unoptimized: String,
+    /// Source of the hand-optimized variant.
+    pub optimized: String,
+    /// Output variables checked against the sequential reference.
+    pub outputs: OutputSpec,
+    /// Compute regions in the program.
+    pub n_kernels: usize,
+    /// Kernels containing private data (Table 2 bookkeeping).
+    pub kernels_with_private: usize,
+    /// Kernels containing reductions (Table 2 bookkeeping).
+    pub kernels_with_reduction: usize,
+}
+
+impl Benchmark {
+    /// Source text of a variant.
+    pub fn source(&self, v: Variant) -> &str {
+        match v {
+            Variant::Naive => &self.naive,
+            Variant::Unoptimized => &self.unoptimized,
+            Variant::Optimized => &self.optimized,
+        }
+    }
+}
+
+/// Default problem scale used by tests (small) — benches pass larger ones.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Linear problem size (grid side, vector length, node count).
+    pub n: usize,
+    /// Outer iteration count.
+    pub iters: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { n: 32, iters: 4 }
+    }
+}
+
+impl Scale {
+    /// The scale used by the paper-shaped bench runs.
+    pub fn bench() -> Scale {
+        Scale { n: 64, iters: 8 }
+    }
+}
+
+/// All twelve benchmarks at the given scale.
+pub fn all(scale: Scale) -> Vec<Benchmark> {
+    vec![
+        backprop::benchmark(scale),
+        bfs::benchmark(scale),
+        cfd::benchmark(scale),
+        cg::benchmark(scale),
+        ep::benchmark(scale),
+        hotspot::benchmark(scale),
+        jacobi::benchmark(scale),
+        kmeans::benchmark(scale),
+        lud::benchmark(scale),
+        nw::benchmark(scale),
+        spmul::benchmark(scale),
+        srad::benchmark(scale),
+    ]
+}
+
+/// Translate a benchmark variant.
+pub fn translate_variant(
+    b: &Benchmark,
+    v: Variant,
+    topts: &TranslateOptions,
+) -> Result<Translated, String> {
+    let (p, s) = openarc_minic::frontend(b.source(v))
+        .map_err(|e| format!("{} [{}] frontend: {e:?}", b.name, v.name()))?;
+    translate(&p, &s, topts).map_err(|e| format!("{} [{}] translate: {e:?}", b.name, v.name()))
+}
+
+/// Translate and execute a benchmark variant.
+pub fn run_variant(
+    b: &Benchmark,
+    v: Variant,
+    topts: &TranslateOptions,
+    eopts: &ExecOptions,
+) -> Result<(Translated, RunResult), String> {
+    let tr = translate_variant(b, v, topts)?;
+    let r = execute(&tr, eopts).map_err(|e| format!("{} [{}] execute: {e}", b.name, v.name()))?;
+    Ok((tr, r))
+}
+
+/// Verify a variant produces outputs matching its own sequential reference
+/// (used by every benchmark's tests).
+pub fn check_variant(b: &Benchmark, v: Variant) -> Result<(), String> {
+    let topts = TranslateOptions::default();
+    let (tr, gpu) = run_variant(b, v, &topts, &ExecOptions::default())?;
+    let cpu = execute(
+        &tr,
+        &ExecOptions { mode: ExecMode::CpuOnly, race_detect: false, ..Default::default() },
+    )
+    .map_err(|e| format!("{} [{}] cpu run: {e}", b.name, v.name()))?;
+    let reference = openarc_core::interactive::capture_outputs(&tr, &cpu, &b.outputs);
+    if !openarc_core::interactive::outputs_match(&tr, &gpu, &reference, b.outputs.tol.max(1e-9)) {
+        return Err(format!("{} [{}] outputs diverge from sequential reference", b.name, v.name()));
+    }
+    if !gpu.races.is_empty() {
+        return Err(format!("{} [{}] unexpected races: {:?}", b.name, v.name(), gpu.races));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_twelve() {
+        let all = all(Scale::default());
+        assert_eq!(all.len(), 12);
+        let names: Vec<&str> = all.iter().map(|b| b.name).collect();
+        for expected in [
+            "BACKPROP", "BFS", "CFD", "CG", "EP", "HOTSPOT", "JACOBI", "KMEANS", "LUD", "NW",
+            "SPMUL", "SRAD",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn kernel_counts_match_declared() {
+        for b in all(Scale::default()) {
+            let tr = translate_variant(&b, Variant::Optimized, &Default::default())
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(
+                tr.kernels.len(),
+                b.n_kernels,
+                "{}: declared {} kernels, translator found {}",
+                b.name,
+                b.n_kernels,
+                tr.kernels.len()
+            );
+        }
+    }
+}

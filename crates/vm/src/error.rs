@@ -1,0 +1,74 @@
+//! VM runtime errors.
+
+use crate::value::Handle;
+use std::fmt;
+
+/// Errors raised during bytecode execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Buffer element access past the end.
+    OutOfBounds {
+        /// Buffer label (source variable name).
+        label: String,
+        /// Offending index.
+        idx: u64,
+        /// Buffer length.
+        len: usize,
+    },
+    /// Use of a freed or null handle.
+    BadHandle(Handle),
+    /// Buffer shapes differ in a copy.
+    TransferMismatch {
+        /// Source label.
+        src: String,
+        /// Destination label.
+        dst: String,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// A pointer value appeared where a number was required.
+    TypeError(String),
+    /// Call of an unknown function or intrinsic.
+    UnknownFunction(String),
+    /// The step budget was exhausted (runaway loop guard).
+    StepLimit(u64),
+    /// Internal inconsistency (compiler bug).
+    Internal(String),
+    /// malloc with a non-positive size.
+    BadAlloc(i64),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBounds { label, idx, len } => {
+                write!(f, "index {idx} out of bounds for `{label}` (len {len})")
+            }
+            VmError::BadHandle(h) => write!(f, "use of invalid buffer handle {h}"),
+            VmError::TransferMismatch { src, dst } => {
+                write!(f, "shape mismatch copying `{src}` → `{dst}`")
+            }
+            VmError::DivByZero => write!(f, "integer division by zero"),
+            VmError::TypeError(m) => write!(f, "type error: {m}"),
+            VmError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            VmError::StepLimit(n) => write!(f, "step limit {n} exhausted"),
+            VmError::Internal(m) => write!(f, "internal VM error: {m}"),
+            VmError::BadAlloc(n) => write!(f, "malloc of non-positive size {n}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VmError::OutOfBounds { label: "a".into(), idx: 5, len: 4 };
+        assert!(e.to_string().contains("out of bounds"));
+        assert!(VmError::DivByZero.to_string().contains("division"));
+        assert!(VmError::UnknownFunction("f".into()).to_string().contains("`f`"));
+    }
+}

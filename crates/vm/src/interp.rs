@@ -1,0 +1,736 @@
+//! Resumable bytecode interpreter.
+//!
+//! Execution state lives in a [`ThreadState`] that advances one instruction
+//! per [`ThreadState::step`] call. This resumability is what lets the GPU
+//! simulator run gangs/workers in *lockstep* (round-robin stepping), which
+//! in turn makes data races from missed privatization manifest
+//! deterministically — the behaviour the paper's kernel verification has to
+//! detect.
+//!
+//! Memory and globals are accessed through the [`Env`] trait, so the same
+//! bytecode runs against host memory, instrumented host memory, or
+//! simulated device memory.
+
+use crate::bytecode::{Chunk, Instr, Intrinsic, Module};
+use crate::error::VmError;
+use crate::mem::MemSpace;
+use crate::value::{Handle, Value};
+use openarc_minic::ast::{BinOp, UnOp};
+use openarc_minic::{ScalarTy, Ty};
+
+/// Environment a thread executes against: global slots + buffer memory.
+pub trait Env {
+    /// Read global slot `slot`.
+    fn load_global(&mut self, slot: u16) -> Result<Value, VmError>;
+    /// Write global slot `slot`.
+    fn store_global(&mut self, slot: u16, v: Value) -> Result<(), VmError>;
+    /// Read one buffer element.
+    fn load_elem(&mut self, h: Handle, idx: u64) -> Result<Value, VmError>;
+    /// Write one buffer element.
+    fn store_elem(&mut self, h: Handle, idx: u64, v: Value) -> Result<(), VmError>;
+    /// Allocate a buffer of `len` elements, labelled `label` for reports.
+    fn malloc(&mut self, elem: ScalarTy, len: u64, label: &str) -> Result<Handle, VmError>;
+    /// Free a buffer.
+    fn free(&mut self, h: Handle) -> Result<(), VmError>;
+
+    /// Execute an opaque runtime operation (directive lowering). The
+    /// default environment has no runtime attached.
+    fn host_op(&mut self, id: u16) -> Result<(), VmError> {
+        Err(VmError::Internal(format!("host op {id} with no runtime attached")))
+    }
+}
+
+/// Result of a single step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// More instructions remain.
+    Continue,
+    /// The entry function returned.
+    Done(Option<Value>),
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    chunk: u16,
+    pc: usize,
+    base: usize,
+}
+
+/// One executing activation of a function (a host thread or one simulated
+/// GPU thread).
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+    frames: Vec<Frame>,
+    /// Executed instruction count (feeds the cost model).
+    pub steps: u64,
+    done: Option<Option<Value>>,
+}
+
+impl ThreadState {
+    /// Create a thread entering `func` with `args`.
+    pub fn new(module: &Module, func: &str, args: &[Value]) -> Result<ThreadState, VmError> {
+        let idx = *module
+            .func_index
+            .get(func)
+            .ok_or_else(|| VmError::UnknownFunction(func.to_string()))?;
+        let chunk = &module.chunks[idx as usize];
+        if args.len() != chunk.n_params as usize {
+            return Err(VmError::Internal(format!(
+                "function `{func}` expects {} args, got {}",
+                chunk.n_params,
+                args.len()
+            )));
+        }
+        let mut locals = vec![Value::Int(0); chunk.n_locals as usize];
+        for (i, a) in args.iter().enumerate() {
+            locals[i] = coerce_local(*a, &chunk.local_tys[i]);
+        }
+        Ok(ThreadState {
+            stack: Vec::with_capacity(16),
+            locals,
+            frames: vec![Frame { chunk: idx, pc: 0, base: 0 }],
+            steps: 0,
+            done: None,
+        })
+    }
+
+    /// True once the entry function has returned.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// The return value, if finished.
+    pub fn result(&self) -> Option<Option<Value>> {
+        self.done.clone()
+    }
+
+    fn pop(&mut self) -> Result<Value, VmError> {
+        self.stack.pop().ok_or_else(|| VmError::Internal("stack underflow".into()))
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self, module: &Module, env: &mut dyn Env) -> Result<Step, VmError> {
+        if let Some(v) = &self.done {
+            return Ok(Step::Done(v.clone()));
+        }
+        self.steps += 1;
+        let frame = self.frames.last_mut().expect("active frame");
+        let chunk: &Chunk = &module.chunks[frame.chunk as usize];
+        let Some(instr) = chunk.code.get(frame.pc).copied() else {
+            return Err(VmError::Internal(format!("pc {} out of range in `{}`", frame.pc, chunk.name)));
+        };
+        frame.pc += 1;
+        let base = frame.base;
+        match instr {
+            Instr::Const(i) => self.stack.push(chunk.consts[i as usize]),
+            Instr::LoadLocal(s) => self.stack.push(self.locals[base + s as usize]),
+            Instr::StoreLocal(s) => {
+                let v = self.pop()?;
+                self.locals[base + s as usize] = v;
+            }
+            Instr::LoadGlobal(s) => {
+                let v = env.load_global(s)?;
+                self.stack.push(v);
+            }
+            Instr::StoreGlobal(s) => {
+                let v = self.pop()?;
+                env.store_global(s, v)?;
+            }
+            Instr::LoadElem => {
+                let idx = self.pop()?;
+                let h = self.pop()?;
+                let h = as_handle(h)?;
+                let v = env.load_elem(h, index_of(idx)?)?;
+                self.stack.push(v);
+            }
+            Instr::StoreElem => {
+                let v = self.pop()?;
+                let idx = self.pop()?;
+                let h = self.pop()?;
+                let h = as_handle(h)?;
+                env.store_elem(h, index_of(idx)?, v)?;
+            }
+            Instr::Bin(op) => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.stack.push(eval_bin(op, a, b)?);
+            }
+            Instr::Un(op) => {
+                let a = self.pop()?;
+                self.stack.push(eval_un(op, a)?);
+            }
+            Instr::Cast(ty) => {
+                let a = self.pop()?;
+                match a {
+                    Value::Ptr(_) => self.stack.push(a),
+                    other => self.stack.push(other.cast(ty)),
+                }
+            }
+            Instr::Jump(t) => {
+                self.frames.last_mut().expect("frame").pc = t as usize;
+            }
+            Instr::JumpIfFalse(t) => {
+                let v = self.pop()?;
+                if !v.truthy() {
+                    self.frames.last_mut().expect("frame").pc = t as usize;
+                }
+            }
+            Instr::JumpIfTrue(t) => {
+                let v = self.pop()?;
+                if v.truthy() {
+                    self.frames.last_mut().expect("frame").pc = t as usize;
+                }
+            }
+            Instr::Call(fidx) => {
+                let callee = &module.chunks[fidx as usize];
+                let n = callee.n_params as usize;
+                if self.stack.len() < n {
+                    return Err(VmError::Internal("stack underflow in call".into()));
+                }
+                let new_base = self.locals.len();
+                self.locals.resize(new_base + callee.n_locals as usize, Value::Int(0));
+                for i in (0..n).rev() {
+                    let v = self.pop()?;
+                    self.locals[new_base + i] = coerce_local(v, &callee.local_tys[i]);
+                }
+                self.frames.push(Frame { chunk: fidx, pc: 0, base: new_base });
+            }
+            Instr::CallIntrinsic(intr) => {
+                let v = if intr.arity() == 2 {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    eval_intrinsic2(intr, a, b)?
+                } else {
+                    let a = self.pop()?;
+                    eval_intrinsic1(intr, a)?
+                };
+                self.stack.push(v);
+            }
+            Instr::Malloc(elem, label) => {
+                let len = self.pop()?.as_i64();
+                if len <= 0 {
+                    return Err(VmError::BadAlloc(len));
+                }
+                // Size arrives in *bytes* (C idiom `n * sizeof(double)`).
+                let elems = (len as u64).div_ceil(elem.size_bytes());
+                let name = chunk
+                    .labels
+                    .get(label as usize)
+                    .map(|s| s.as_str())
+                    .unwrap_or("malloc");
+                let h = env.malloc(elem, elems, name)?;
+                self.stack.push(Value::Ptr(h));
+            }
+            Instr::Free => {
+                let h = as_handle(self.pop()?)?;
+                env.free(h)?;
+            }
+            Instr::Return => {
+                let v = self.pop()?;
+                self.ret(Some(v));
+            }
+            Instr::ReturnVoid => {
+                self.ret(None);
+            }
+            Instr::HostOp(id) => {
+                env.host_op(id)?;
+            }
+            Instr::Pop => {
+                self.pop()?;
+            }
+            Instr::Dup => {
+                let v = *self
+                    .stack
+                    .last()
+                    .ok_or_else(|| VmError::Internal("stack underflow".into()))?;
+                self.stack.push(v);
+            }
+        }
+        if let Some(v) = &self.done {
+            Ok(Step::Done(v.clone()))
+        } else {
+            Ok(Step::Continue)
+        }
+    }
+
+    fn ret(&mut self, v: Option<Value>) {
+        let frame = self.frames.pop().expect("frame");
+        self.locals.truncate(frame.base);
+        if self.frames.is_empty() {
+            self.done = Some(v);
+        } else if let Some(v) = v {
+            self.stack.push(v);
+        }
+    }
+
+    /// Run to completion with a step budget.
+    pub fn run(
+        &mut self,
+        module: &Module,
+        env: &mut dyn Env,
+        budget: u64,
+    ) -> Result<Option<Value>, VmError> {
+        loop {
+            if self.steps >= budget {
+                return Err(VmError::StepLimit(budget));
+            }
+            match self.step(module, env)? {
+                Step::Continue => {}
+                Step::Done(v) => return Ok(v),
+            }
+        }
+    }
+}
+
+fn as_handle(v: Value) -> Result<Handle, VmError> {
+    match v {
+        Value::Ptr(h) if !h.is_null() => Ok(h),
+        Value::Ptr(h) => Err(VmError::BadHandle(h)),
+        other => Err(VmError::TypeError(format!("expected pointer, found {other}"))),
+    }
+}
+
+fn index_of(v: Value) -> Result<u64, VmError> {
+    let i = v.as_i64();
+    if i < 0 {
+        Err(VmError::TypeError(format!("negative index {i}")))
+    } else {
+        Ok(i as u64)
+    }
+}
+
+fn coerce_local(v: Value, ty: &Ty) -> Value {
+    match ty {
+        Ty::Scalar(s) => match v {
+            Value::Ptr(_) => v,
+            other => other.cast(*s),
+        },
+        _ => v,
+    }
+}
+
+/// Evaluate a binary operator with C-style promotion. `float ⊕ float` stays
+/// in `f32` — the single-precision rounding divergence between CPU and GPU
+/// paths that motivates the paper's configurable comparison margins.
+pub fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, VmError> {
+    use BinOp::*;
+    // Pointer comparisons.
+    if let (Value::Ptr(x), Value::Ptr(y)) = (a, b) {
+        return match op {
+            Eq => Ok(Value::Int((x == y) as i64)),
+            Ne => Ok(Value::Int((x != y) as i64)),
+            _ => Err(VmError::TypeError(format!("operator `{op}` on pointers"))),
+        };
+    }
+    if matches!(a, Value::Ptr(_)) || matches!(b, Value::Ptr(_)) {
+        return Err(VmError::TypeError(format!("operator `{op}` mixes pointer and number")));
+    }
+    let int_only = matches!(op, Rem | BitAnd | BitOr | BitXor | Shl | Shr);
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            Add => Ok(Value::Int(x.wrapping_add(y))),
+            Sub => Ok(Value::Int(x.wrapping_sub(y))),
+            Mul => Ok(Value::Int(x.wrapping_mul(y))),
+            Div => {
+                if y == 0 {
+                    Err(VmError::DivByZero)
+                } else {
+                    Ok(Value::Int(x.wrapping_div(y)))
+                }
+            }
+            Rem => {
+                if y == 0 {
+                    Err(VmError::DivByZero)
+                } else {
+                    Ok(Value::Int(x.wrapping_rem(y)))
+                }
+            }
+            Lt => Ok(Value::Int((x < y) as i64)),
+            Gt => Ok(Value::Int((x > y) as i64)),
+            Le => Ok(Value::Int((x <= y) as i64)),
+            Ge => Ok(Value::Int((x >= y) as i64)),
+            Eq => Ok(Value::Int((x == y) as i64)),
+            Ne => Ok(Value::Int((x != y) as i64)),
+            BitAnd => Ok(Value::Int(x & y)),
+            BitOr => Ok(Value::Int(x | y)),
+            BitXor => Ok(Value::Int(x ^ y)),
+            Shl => Ok(Value::Int(x.wrapping_shl(y as u32))),
+            Shr => Ok(Value::Int(x.wrapping_shr(y as u32))),
+            And => Ok(Value::Int(((x != 0) && (y != 0)) as i64)),
+            Or => Ok(Value::Int(((x != 0) || (y != 0)) as i64)),
+        },
+        _ if int_only => Err(VmError::TypeError(format!("operator `{op}` requires integers"))),
+        // Single precision when no f64 operand is involved.
+        (x, y) if !matches!(x, Value::F64(_)) && !matches!(y, Value::F64(_)) => {
+            let xf = x.as_f64() as f32;
+            let yf = y.as_f64() as f32;
+            eval_float_op(op, xf as f64, yf as f64, true)
+        }
+        (x, y) => eval_float_op(op, x.as_f64(), y.as_f64(), false),
+    }
+}
+
+fn eval_float_op(op: BinOp, x: f64, y: f64, single: bool) -> Result<Value, VmError> {
+    use BinOp::*;
+    let num = |v: f64| {
+        if single {
+            Value::F32(v as f32)
+        } else {
+            Value::F64(v)
+        }
+    };
+    Ok(match op {
+        Add => num(if single { (x as f32 + y as f32) as f64 } else { x + y }),
+        Sub => num(if single { (x as f32 - y as f32) as f64 } else { x - y }),
+        Mul => num(if single { (x as f32 * y as f32) as f64 } else { x * y }),
+        Div => num(if single { (x as f32 / y as f32) as f64 } else { x / y }),
+        Lt => Value::Int((x < y) as i64),
+        Gt => Value::Int((x > y) as i64),
+        Le => Value::Int((x <= y) as i64),
+        Ge => Value::Int((x >= y) as i64),
+        Eq => Value::Int((x == y) as i64),
+        Ne => Value::Int((x != y) as i64),
+        And => Value::Int(((x != 0.0) && (y != 0.0)) as i64),
+        Or => Value::Int(((x != 0.0) || (y != 0.0)) as i64),
+        _ => return Err(VmError::TypeError(format!("operator `{op}` on floats"))),
+    })
+}
+
+/// Evaluate a unary operator.
+pub fn eval_un(op: UnOp, a: Value) -> Result<Value, VmError> {
+    match (op, a) {
+        (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(v.wrapping_neg())),
+        (UnOp::Neg, Value::F32(v)) => Ok(Value::F32(-v)),
+        (UnOp::Neg, Value::F64(v)) => Ok(Value::F64(-v)),
+        (UnOp::Not, v) => Ok(Value::Int(!v.truthy() as i64)),
+        (UnOp::BitNot, Value::Int(v)) => Ok(Value::Int(!v)),
+        (op, v) => Err(VmError::TypeError(format!("unary `{op}` on {v}"))),
+    }
+}
+
+fn eval_intrinsic1(intr: Intrinsic, a: Value) -> Result<Value, VmError> {
+    if matches!(a, Value::Ptr(_)) {
+        return Err(VmError::TypeError("intrinsic on pointer".into()));
+    }
+    let x = a.as_f64();
+    Ok(match intr {
+        Intrinsic::Sqrt => Value::F64(x.sqrt()),
+        Intrinsic::Fabs => Value::F64(x.abs()),
+        Intrinsic::Exp => Value::F64(x.exp()),
+        Intrinsic::Log => Value::F64(x.ln()),
+        Intrinsic::Sin => Value::F64(x.sin()),
+        Intrinsic::Cos => Value::F64(x.cos()),
+        Intrinsic::Floor => Value::F64(x.floor()),
+        Intrinsic::Ceil => Value::F64(x.ceil()),
+        Intrinsic::Abs => Value::Int(a.as_i64().wrapping_abs()),
+        Intrinsic::SqrtF => Value::F32((x as f32).sqrt()),
+        Intrinsic::ExpF => Value::F32((x as f32).exp()),
+        Intrinsic::FabsF => Value::F32((x as f32).abs()),
+        Intrinsic::LogF => Value::F32((x as f32).ln()),
+        other => return Err(VmError::Internal(format!("{other:?} is not unary"))),
+    })
+}
+
+fn eval_intrinsic2(intr: Intrinsic, a: Value, b: Value) -> Result<Value, VmError> {
+    if matches!(a, Value::Ptr(_)) || matches!(b, Value::Ptr(_)) {
+        return Err(VmError::TypeError("intrinsic on pointer".into()));
+    }
+    let (x, y) = (a.as_f64(), b.as_f64());
+    Ok(match intr {
+        Intrinsic::Pow => Value::F64(x.powf(y)),
+        Intrinsic::PowF => Value::F32((x as f32).powf(y as f32)),
+        Intrinsic::Fmin => Value::F64(x.min(y)),
+        Intrinsic::Fmax => Value::F64(x.max(y)),
+        Intrinsic::Min | Intrinsic::Max => {
+            let int_mode = matches!(a, Value::Int(_)) && matches!(b, Value::Int(_));
+            let take_min = intr == Intrinsic::Min;
+            if int_mode {
+                let (ai, bi) = (a.as_i64(), b.as_i64());
+                Value::Int(if take_min { ai.min(bi) } else { ai.max(bi) })
+            } else {
+                Value::F64(if take_min { x.min(y) } else { x.max(y) })
+            }
+        }
+        other => return Err(VmError::Internal(format!("{other:?} is not binary"))),
+    })
+}
+
+/// A plain environment over a single [`MemSpace`] — used for host execution
+/// in tests and by the runtime crate as the host half of the machine.
+#[derive(Debug, Clone, Default)]
+pub struct BasicEnv {
+    /// Global slot values.
+    pub globals: Vec<Value>,
+    /// Backing memory.
+    pub mem: MemSpace,
+}
+
+impl BasicEnv {
+    /// Prepare globals for `module`: arrays are allocated, scalars zeroed.
+    pub fn for_module(module: &Module) -> BasicEnv {
+        let mut mem = MemSpace::new();
+        let mut globals = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            let v = match &g.ty {
+                Ty::Array(s, dims) => {
+                    let len: u64 = dims.iter().product();
+                    Value::Ptr(mem.alloc(*s, len as usize, g.name.clone()))
+                }
+                Ty::Ptr(_) => Value::Ptr(Handle::NULL),
+                Ty::Scalar(s) => Value::zero(*s),
+                Ty::Void => Value::Int(0),
+            };
+            globals.push(v);
+        }
+        BasicEnv { globals, mem }
+    }
+}
+
+impl Env for BasicEnv {
+    fn load_global(&mut self, slot: u16) -> Result<Value, VmError> {
+        self.globals
+            .get(slot as usize)
+            .copied()
+            .ok_or_else(|| VmError::Internal(format!("global slot {slot} out of range")))
+    }
+
+    fn store_global(&mut self, slot: u16, v: Value) -> Result<(), VmError> {
+        let g = self
+            .globals
+            .get_mut(slot as usize)
+            .ok_or_else(|| VmError::Internal(format!("global slot {slot} out of range")))?;
+        *g = v;
+        Ok(())
+    }
+
+    fn load_elem(&mut self, h: Handle, idx: u64) -> Result<Value, VmError> {
+        self.mem.load(h, idx)
+    }
+
+    fn store_elem(&mut self, h: Handle, idx: u64, v: Value) -> Result<(), VmError> {
+        self.mem.store(h, idx, v)
+    }
+
+    fn malloc(&mut self, elem: ScalarTy, len: u64, label: &str) -> Result<Handle, VmError> {
+        Ok(self.mem.alloc(elem, len as usize, label))
+    }
+
+    fn free(&mut self, h: Handle) -> Result<(), VmError> {
+        self.mem.free(h)
+    }
+}
+
+/// Compile-free helper: run `func` of `module` in `env` to completion.
+pub fn call_function(
+    module: &Module,
+    env: &mut dyn Env,
+    func: &str,
+    args: &[Value],
+    budget: u64,
+) -> Result<Option<Value>, VmError> {
+    let mut t = ThreadState::new(module, func, args)?;
+    t.run(module, env, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, GLOBALS_INIT};
+    use openarc_minic::frontend;
+
+    const BUDGET: u64 = 10_000_000;
+
+    fn run_main(src: &str) -> (Module, BasicEnv) {
+        let (p, s) = frontend(src).expect("frontend");
+        let m = compile(&p, &s).expect("compile");
+        let mut env = BasicEnv::for_module(&m);
+        call_function(&m, &mut env, GLOBALS_INIT, &[], BUDGET).unwrap();
+        call_function(&m, &mut env, "main", &[], BUDGET).unwrap();
+        (m, env)
+    }
+
+    fn global_val(m: &Module, env: &BasicEnv, name: &str) -> Value {
+        env.globals[m.global_slot(name).unwrap() as usize]
+    }
+
+    #[test]
+    fn arithmetic_and_assignment() {
+        let (m, env) = run_main("int n;\ndouble d;\nvoid main() { n = 2 + 3 * 4; d = 1.5 * 2.0; }");
+        assert_eq!(global_val(&m, &env, "n"), Value::Int(14));
+        assert_eq!(global_val(&m, &env, "d"), Value::F64(3.0));
+    }
+
+    #[test]
+    fn loops_and_array_sum() {
+        let (m, env) = run_main(
+            "double a[10];\ndouble s;\nvoid main() { int i; for (i = 0; i < 10; i++) { a[i] = (double) i; } s = 0.0; for (i = 0; i < 10; i++) { s += a[i]; } }",
+        );
+        assert_eq!(global_val(&m, &env, "s"), Value::F64(45.0));
+    }
+
+    #[test]
+    fn two_dimensional_arrays() {
+        let (m, env) = run_main(
+            "double g[3][4];\ndouble s;\nvoid main() { int i; int j; for (i=0;i<3;i++) for (j=0;j<4;j++) g[i][j] = (double)(i*10+j); s = g[2][3]; }",
+        );
+        assert_eq!(global_val(&m, &env, "s"), Value::F64(23.0));
+    }
+
+    #[test]
+    fn user_function_calls() {
+        let (m, env) = run_main(
+            "double sq(double x) { return x * x; }\nint fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\ndouble d;\nint k;\nvoid main() { d = sq(3.0); k = fib(10); }",
+        );
+        assert_eq!(global_val(&m, &env, "d"), Value::F64(9.0));
+        assert_eq!(global_val(&m, &env, "k"), Value::Int(55));
+    }
+
+    #[test]
+    fn malloc_free_and_pointer_indexing() {
+        let (m, env) = run_main(
+            "double *p;\ndouble s;\nvoid main() { int i; p = (double *) malloc(8 * sizeof(double)); for (i=0;i<8;i++) p[i] = 2.0; s = p[7]; }",
+        );
+        assert_eq!(global_val(&m, &env, "s"), Value::F64(2.0));
+        // p still allocated
+        assert_eq!(env.mem.live_buffers(), 1);
+    }
+
+    #[test]
+    fn pointer_swap() {
+        let (m, env) = run_main(
+            "double *p;\ndouble *q;\ndouble *t;\ndouble s;\nvoid main() { p = (double *) malloc(sizeof(double)); q = (double *) malloc(sizeof(double)); p[0] = 1.0; q[0] = 2.0; t = p; p = q; q = t; s = p[0]; }",
+        );
+        assert_eq!(global_val(&m, &env, "s"), Value::F64(2.0));
+    }
+
+    #[test]
+    fn float_single_precision_rounding() {
+        // 0.1f + 0.2f in f32 differs from the f64 sum.
+        let (m, env) = run_main("float f;\ndouble d;\nvoid main() { f = 0.1f + 0.2f; d = 0.1 + 0.2; }");
+        let f = match global_val(&m, &env, "f") {
+            Value::F32(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let d = match global_val(&m, &env, "d") {
+            Value::F64(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(f as f64, d);
+        assert!((f as f64 - d).abs() < 1e-7);
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // Division by zero on the RHS must not run when LHS decides.
+        let (m, env) = run_main(
+            "int n;\nint ok;\nvoid main() { n = 0; if (n != 0 && 10 / n > 1) { ok = 1; } else { ok = 2; } }",
+        );
+        assert_eq!(global_val(&m, &env, "ok"), Value::Int(2));
+    }
+
+    #[test]
+    fn ternary_and_intrinsics() {
+        let (m, env) = run_main(
+            "double d;\nint k;\nvoid main() { d = sqrt(16.0) + fabs(-2.0) + pow(2.0, 3.0); k = max(3, 9) + min(2, 5) + abs(-4); d = d + (k > 10 ? 0.5 : 0.25); }",
+        );
+        assert_eq!(global_val(&m, &env, "k"), Value::Int(15));
+        assert_eq!(global_val(&m, &env, "d"), Value::F64(14.5));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let (m, env) = run_main(
+            "int s;\nvoid main() { int i; s = 0; for (i = 0; i < 100; i++) { if (i % 2 == 0) continue; if (i > 8) break; s += i; } }",
+        );
+        // 1 + 3 + 5 + 7 = 16
+        assert_eq!(global_val(&m, &env, "s"), Value::Int(16));
+    }
+
+    #[test]
+    fn while_loop() {
+        let (m, env) = run_main("int n;\nvoid main() { n = 1; while (n < 100) { n = n * 2; } }");
+        assert_eq!(global_val(&m, &env, "n"), Value::Int(128));
+    }
+
+    #[test]
+    fn global_initializers_applied() {
+        let (m, env) = run_main("int n = 5;\ndouble e = 2.5;\nint m2;\nvoid main() { m2 = n * 2; }");
+        assert_eq!(global_val(&m, &env, "m2"), Value::Int(10));
+        assert_eq!(global_val(&m, &env, "e"), Value::F64(2.5));
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let (p, s) = frontend("int n;\nvoid main() { n = 1 / 0; }").unwrap();
+        let m = compile(&p, &s).unwrap();
+        let mut env = BasicEnv::for_module(&m);
+        let r = call_function(&m, &mut env, "main", &[], BUDGET);
+        assert_eq!(r, Err(VmError::DivByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let (p, s) = frontend("double a[4];\nvoid main() { a[9] = 1.0; }").unwrap();
+        let m = compile(&p, &s).unwrap();
+        let mut env = BasicEnv::for_module(&m);
+        let r = call_function(&m, &mut env, "main", &[], BUDGET);
+        assert!(matches!(r, Err(VmError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let (p, s) = frontend("void main() { while (1) { } }").unwrap();
+        let m = compile(&p, &s).unwrap();
+        let mut env = BasicEnv::for_module(&m);
+        let r = call_function(&m, &mut env, "main", &[], 1000);
+        assert!(matches!(r, Err(VmError::StepLimit(_))));
+    }
+
+    #[test]
+    fn null_pointer_use_reported() {
+        let (p, s) = frontend("double *p;\nvoid main() { p[0] = 1.0; }").unwrap();
+        let m = compile(&p, &s).unwrap();
+        let mut env = BasicEnv::for_module(&m);
+        let r = call_function(&m, &mut env, "main", &[], BUDGET);
+        assert!(matches!(r, Err(VmError::BadHandle(_))));
+    }
+
+    #[test]
+    fn function_args_coerced_to_param_types() {
+        let (m, env) = run_main("double half(double x) { return x / 2.0; }\ndouble d;\nvoid main() { d = half(5); }");
+        assert_eq!(global_val(&m, &env, "d"), Value::F64(2.5));
+    }
+
+    #[test]
+    fn thread_state_resumable_stepping() {
+        let (p, s) = frontend("int n;\nvoid main() { n = 1; n = n + 1; n = n + 1; }").unwrap();
+        let m = compile(&p, &s).unwrap();
+        let mut env = BasicEnv::for_module(&m);
+        let mut t = ThreadState::new(&m, "main", &[]).unwrap();
+        let mut steps = 0;
+        while !t.is_done() {
+            t.step(&m, &mut env).unwrap();
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(env.globals[0], Value::Int(3));
+        assert_eq!(t.steps, steps);
+    }
+
+    #[test]
+    fn compound_elementwise_assign() {
+        let (m, env) = run_main(
+            "double a[4];\ndouble s;\nvoid main() { int i; for (i=0;i<4;i++) a[i] = 1.0; for (i=0;i<4;i++) a[i] += 0.5; s = a[0] + a[3]; }",
+        );
+        assert_eq!(global_val(&m, &env, "s"), Value::F64(3.0));
+    }
+
+    #[test]
+    fn modulo_and_bitops() {
+        let (m, env) = run_main("int a;\nint b;\nvoid main() { a = 17 % 5; b = (3 << 2) | 1; }");
+        assert_eq!(global_val(&m, &env, "a"), Value::Int(2));
+        assert_eq!(global_val(&m, &env, "b"), Value::Int(13));
+    }
+}

@@ -1,0 +1,168 @@
+//! The `openarc` command-line driver: run, verify, and optimize OpenACC
+//! MiniC programs from files.
+//!
+//! ```text
+//! openarc run <file.c>                 translate + execute, print outputs
+//! openarc cpu <file.c>                 sequential reference execution
+//! openarc verify <file.c> [spec]      §III-A kernel verification
+//!                                      (spec: the paper's
+//!                                      verificationOptions syntax)
+//! openarc check <file.c>               §III-B memory-transfer verification
+//! openarc demote <file.c> <kernel#>    print the Listing-2 demotion
+//! ```
+
+use openarc::core::options::parse_verification_options;
+use openarc::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("openarc: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: openarc <run|cpu|verify|check|demote> <file.c> [args]\n\
+     \n\
+     run    <file.c>            translate and execute on the simulated device\n\
+     cpu    <file.c>            execute the sequential reference\n\
+     verify <file.c> [options]  kernel verification; options use the paper's\n\
+                                syntax, e.g. complement=0,kernels=main_kernel0\n\
+     check  <file.c>            memory-transfer verification report\n\
+     demote <file.c> <kernel#>  print the memory-transfer-demoted program"
+        .to_string()
+}
+
+fn load(path: &str) -> Result<(openarc::minic::Program, openarc::minic::Sema), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    frontend(&src).map_err(|ds| {
+        ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    })
+}
+
+fn print_outputs(tr: &Translated, r: &openarc::core::exec::RunResult) {
+    for g in &tr.host_module.globals {
+        if g.name.starts_with("__") {
+            continue;
+        }
+        match &g.ty {
+            openarc::minic::Ty::Scalar(_) => {
+                if let Some(v) = r.global_scalar(tr, &g.name) {
+                    println!("{:<16} = {v}", g.name);
+                }
+            }
+            openarc::minic::Ty::Array(..) | openarc::minic::Ty::Ptr(_) => {
+                if let Some(vals) = r.global_array(tr, &g.name) {
+                    let head: Vec<String> =
+                        vals.iter().take(6).map(|v| format!("{v:.6}")).collect();
+                    let ell = if vals.len() > 6 { ", …" } else { "" };
+                    println!("{:<16} = [{}{}] (len {})", g.name, head.join(", "), ell, vals.len());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "run" | "cpu" => {
+            let path = rest.first().ok_or_else(usage)?;
+            let (p, s) = load(path)?;
+            let tr = translate(&p, &s, &TranslateOptions::default())
+                .map_err(|ds| ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n"))?;
+            let mode = if cmd == "cpu" { ExecMode::CpuOnly } else { ExecMode::Normal };
+            let r = execute(&tr, &ExecOptions { mode, ..Default::default() })
+                .map_err(|e| e.to_string())?;
+            print_outputs(&tr, &r);
+            println!("--");
+            println!("kernel launches   : {}", r.kernel_launches);
+            println!("simulated time    : {:.1} µs", r.sim_time_us());
+            println!(
+                "transfers         : {} ops, {} bytes",
+                r.machine.stats.total_count(),
+                r.machine.stats.total_bytes()
+            );
+            if !r.races.is_empty() {
+                println!("data races        : {}", r.races.len());
+                for (k, race) in &r.races {
+                    println!("  {k}: {} ({} conflicts)", race.label, race.conflicts);
+                }
+                return Ok(1);
+            }
+            Ok(0)
+        }
+        "verify" => {
+            let path = rest.first().ok_or_else(usage)?;
+            let vopts = match rest.get(1) {
+                Some(spec) => parse_verification_options(spec).map_err(|e| e.to_string())?,
+                None => VerifyOptions::default(),
+            };
+            let (p, s) = load(path)?;
+            let (_, report) = verify_kernels(&p, &s, &TranslateOptions::default(), vopts)
+                .map_err(|e| e.to_string())?;
+            for k in &report.kernels {
+                let verdict = if k.flagged() { "FAIL" } else if k.launches > 0 { "ok" } else { "skipped" };
+                println!(
+                    "{:<20} launches={:<4} mismatched={:<8} max|err|={:<12.3e} asserts_failed={:<3} {verdict}",
+                    k.kernel, k.launches, k.mismatched_elems, k.max_abs_err, k.assertion_failures
+                );
+            }
+            println!(
+                "--\nverification time = {:.2}x sequential CPU",
+                report.normalized_time()
+            );
+            Ok(if report.flagged().is_empty() { 0 } else { 1 })
+        }
+        "check" => {
+            let path = rest.first().ok_or_else(usage)?;
+            let (p, s) = load(path)?;
+            let topts = TranslateOptions { instrument: true, ..Default::default() };
+            let tr = translate(&p, &s, &topts)
+                .map_err(|ds| ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n"))?;
+            let r = execute(
+                &tr,
+                &ExecOptions { check_transfers: true, ..Default::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            if r.machine.report.issues.is_empty() {
+                println!("no memory-transfer issues found");
+                Ok(0)
+            } else {
+                print!("{}", r.machine.report);
+                Ok(if r.machine.report.has_errors() { 1 } else { 0 })
+            }
+        }
+        "demote" => {
+            let path = rest.first().ok_or_else(usage)?;
+            let idx: usize = rest
+                .get(1)
+                .ok_or_else(usage)?
+                .parse()
+                .map_err(|_| "kernel index must be an integer".to_string())?;
+            let (p, s) = load(path)?;
+            let tr = translate(&p, &s, &TranslateOptions::default())
+                .map_err(|ds| ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n"))?;
+            if idx >= tr.kernels.len() {
+                return Err(format!(
+                    "kernel index {idx} out of range: the program has {} kernel(s)",
+                    tr.kernels.len()
+                ));
+            }
+            let demoted = demote_source(&p, &std::iter::once(idx).collect(), 1)
+                .map_err(|e| e.to_string())?;
+            print!("{}", openarc::minic::print_program(&demoted));
+            Ok(0)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(0)
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

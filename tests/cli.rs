@@ -1,0 +1,138 @@
+//! Integration tests of the `openarc` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_openarc"))
+}
+
+fn write_temp(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("openarc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(src.as_bytes()).unwrap();
+    path
+}
+
+const SAXPY: &str = r#"
+double x[32];
+double y[32];
+void main() {
+    int j;
+    for (j = 0; j < 32; j++) { x[j] = 1.0; y[j] = (double) j; }
+    #pragma acc kernels loop gang worker
+    for (j = 0; j < 32; j++) { y[j] = 2.0 * x[j] + y[j]; }
+}
+"#;
+
+#[test]
+fn run_prints_outputs_and_stats() {
+    let path = write_temp("saxpy.c", SAXPY);
+    let out = bin().arg("run").arg(&path).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("kernel launches   : 1"), "{text}");
+    assert!(text.contains("y "), "{text}");
+    assert!(text.contains("2.000000, 3.000000"), "{text}");
+}
+
+#[test]
+fn cpu_mode_produces_same_values_without_transfers() {
+    let path = write_temp("saxpy_cpu.c", SAXPY);
+    let out = bin().arg("cpu").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("transfers         : 0 ops"), "{text}");
+    assert!(text.contains("2.000000, 3.000000"), "{text}");
+}
+
+#[test]
+fn verify_reports_per_kernel_and_exit_codes() {
+    let path = write_temp("saxpy_v.c", SAXPY);
+    let out = bin()
+        .arg("verify")
+        .arg(&path)
+        .arg("complement=0,kernels=main_kernel0")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("main_kernel0"), "{text}");
+    assert!(text.contains(" ok"), "{text}");
+}
+
+#[test]
+fn check_flags_missing_transfer_with_exit_1() {
+    let src = r#"
+double q[16];
+double w[16];
+double out;
+void main() {
+    int j;
+    for (j = 0; j < 16; j++) { w[j] = 3.0; }
+    #pragma acc data copyin(w) create(q)
+    {
+        #pragma acc kernels loop gang
+        for (j = 0; j < 16; j++) { q[j] = w[j]; }
+    }
+    out = q[0];
+}
+"#;
+    let path = write_temp("leaky.c", src);
+    let out = bin().arg("check").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("memory transfer is missing"), "{text}");
+}
+
+#[test]
+fn check_clean_program_exits_0() {
+    let path = write_temp("saxpy_chk.c", SAXPY);
+    let out = bin().arg("check").arg(&path).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn demote_prints_listing2_transform() {
+    let path = write_temp("saxpy_dem.c", SAXPY);
+    let out = bin().arg("demote").arg(&path).arg("0").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("async(1)"), "{text}");
+    assert!(text.contains("copy(y)"), "{text}");
+    assert!(text.contains("acc wait(1)"), "{text}");
+}
+
+#[test]
+fn bad_source_reports_diagnostic() {
+    let path = write_temp("bad.c", "void main() { undeclared = 1; }");
+    let out = bin().arg("run").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("undeclared"), "{text}");
+}
+
+#[test]
+fn unknown_command_shows_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("usage:"), "{text}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = bin().arg("run").arg("/nonexistent/nope.c").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn demote_out_of_range_kernel_is_an_error() {
+    let path = write_temp("saxpy_oor.c", SAXPY);
+    let out = bin().arg("demote").arg(&path).arg("99").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("out of range"), "{text}");
+}
