@@ -1,30 +1,21 @@
-//! Criterion bench over the Figure 1 pipeline: wall-clock cost of running
-//! a benchmark under the naive vs. optimized memory-management scheme.
+//! Wall-clock cost of running a benchmark under the naive vs. optimized
+//! memory-management scheme (the Figure 1 pipeline).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use openarc_bench::timing::report;
 use openarc_core::exec::ExecOptions;
 use openarc_suite::{jacobi, run_variant, Scale, Variant};
 
-fn bench_figure1(c: &mut Criterion) {
-    let scale = Scale::default();
-    let b = jacobi::benchmark(scale);
-    let mut g = c.benchmark_group("figure1_jacobi");
-    g.sample_size(10);
+fn main() {
+    println!("figure1_jacobi");
+    let b = jacobi::benchmark(Scale::default());
     for v in [Variant::Naive, Variant::Optimized] {
-        g.bench_function(v.name(), |bench| {
-            bench.iter_batched(
-                || (),
-                |_| {
-                    let eopts = ExecOptions { race_detect: false, ..Default::default() };
-                    let (_, r) = run_variant(&b, v, &Default::default(), &eopts).unwrap();
-                    r.machine.stats.total_bytes()
-                },
-                BatchSize::SmallInput,
-            )
+        report(v.name(), 10, || {
+            let eopts = ExecOptions {
+                race_detect: false,
+                ..Default::default()
+            };
+            let (_, r) = run_variant(&b, v, &Default::default(), &eopts).unwrap();
+            r.machine.stats.total_bytes()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_figure1);
-criterion_main!(benches);

@@ -1,36 +1,33 @@
-//! Criterion bench over the Figure 3 pipeline: wall-clock cost of kernel
-//! verification (demoted transfers + device run + CPU reference +
-//! comparison) versus a plain run.
+//! Wall-clock cost of kernel verification (demoted transfers, device run,
+//! CPU reference, comparison) versus a plain run — the Figure 3 pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use openarc_bench::timing::report;
 use openarc_core::exec::{execute, ExecMode, ExecOptions, VerifyOptions};
 use openarc_suite::{hotspot, translate_variant, Scale, Variant};
 
-fn bench_figure3(c: &mut Criterion) {
+fn main() {
+    println!("figure3_hotspot");
     let b = hotspot::benchmark(Scale::default());
     let tr = translate_variant(&b, Variant::Optimized, &Default::default()).unwrap();
-    let mut g = c.benchmark_group("figure3_hotspot");
-    g.sample_size(10);
-    g.bench_function("plain", |bench| {
-        bench.iter(|| {
-            execute(&tr, &ExecOptions { race_detect: false, ..Default::default() }).unwrap()
-        })
+    report("plain", 10, || {
+        execute(
+            &tr,
+            &ExecOptions {
+                race_detect: false,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     });
-    g.bench_function("verify_all_kernels", |bench| {
-        bench.iter(|| {
-            execute(
-                &tr,
-                &ExecOptions {
-                    mode: ExecMode::Verify(VerifyOptions::default()),
-                    race_detect: false,
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        })
+    report("verify_all_kernels", 10, || {
+        execute(
+            &tr,
+            &ExecOptions {
+                mode: ExecMode::Verify(VerifyOptions::default()),
+                race_detect: false,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figure3);
-criterion_main!(benches);

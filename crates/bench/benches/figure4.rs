@@ -1,38 +1,43 @@
-//! Criterion bench over the Figure 4 pipeline: wall-clock overhead of the
-//! memory-transfer-verification instrumentation.
+//! Wall-clock overhead of the memory-transfer-verification
+//! instrumentation (the Figure 4 pipeline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use openarc_bench::timing::report;
 use openarc_core::exec::{execute, ExecOptions};
 use openarc_core::translate::TranslateOptions;
 use openarc_suite::{srad, translate_variant, Scale, Variant};
 
-fn bench_figure4(c: &mut Criterion) {
+fn main() {
+    println!("figure4_srad");
     let b = srad::benchmark(Scale::default());
     let plain_tr = translate_variant(&b, Variant::Optimized, &Default::default()).unwrap();
     let instr_tr = translate_variant(
         &b,
         Variant::Optimized,
-        &TranslateOptions { instrument: true, ..Default::default() },
+        &TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        },
     )
     .unwrap();
-    let mut g = c.benchmark_group("figure4_srad");
-    g.sample_size(10);
-    g.bench_function("uninstrumented", |bench| {
-        bench.iter(|| {
-            execute(&plain_tr, &ExecOptions { race_detect: false, ..Default::default() }).unwrap()
-        })
+    report("uninstrumented", 10, || {
+        execute(
+            &plain_tr,
+            &ExecOptions {
+                race_detect: false,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     });
-    g.bench_function("instrumented", |bench| {
-        bench.iter(|| {
-            execute(
-                &instr_tr,
-                &ExecOptions { check_transfers: true, race_detect: false, ..Default::default() },
-            )
-            .unwrap()
-        })
+    report("instrumented", 10, || {
+        execute(
+            &instr_tr,
+            &ExecOptions {
+                check_transfers: true,
+                race_detect: false,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figure4);
-criterion_main!(benches);

@@ -1,31 +1,24 @@
-//! Criterion bench over the Table 2 pipeline: clause stripping +
-//! race-injected verification of one benchmark.
+//! Wall-clock cost of clause stripping + race-injected verification of
+//! one benchmark (the Table 2 pipeline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use openarc_bench::timing::report;
 use openarc_core::exec::VerifyOptions;
 use openarc_core::faults::strip_privatization;
 use openarc_core::translate::TranslateOptions;
 use openarc_core::verify::verify_kernels;
 use openarc_suite::{ep, Scale, Variant};
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
+    println!("table2_ep");
     let b = ep::benchmark(Scale::default());
     let (p, s) = openarc_minic::frontend(b.source(Variant::Optimized)).unwrap();
-    let mut g = c.benchmark_group("table2_ep");
-    g.sample_size(10);
-    g.bench_function("strip_and_verify", |bench| {
-        bench.iter(|| {
-            let (stripped, _) = strip_privatization(&p).unwrap();
-            let topts = TranslateOptions {
-                auto_privatize: false,
-                auto_reduction: false,
-                ..Default::default()
-            };
-            verify_kernels(&stripped, &s, &topts, VerifyOptions::default()).unwrap()
-        })
+    report("strip_and_verify", 10, || {
+        let (stripped, _) = strip_privatization(&p).unwrap();
+        let topts = TranslateOptions {
+            auto_privatize: false,
+            auto_reduction: false,
+            ..Default::default()
+        };
+        verify_kernels(&stripped, &s, &topts, VerifyOptions::default()).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

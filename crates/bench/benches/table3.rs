@@ -1,28 +1,27 @@
-//! Criterion bench over the Table 3 pipeline: the full interactive
-//! optimization loop on the conservatively-annotated JACOBI.
+//! Wall-clock cost of the full interactive optimization loop on the
+//! conservatively-annotated JACOBI (the Table 3 pipeline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use openarc_bench::timing::report;
 use openarc_core::exec::ExecOptions;
 use openarc_core::interactive::optimize_transfers;
 use openarc_core::translate::TranslateOptions;
 use openarc_suite::{jacobi, Scale, Variant};
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
+    println!("table3_jacobi");
     let b = jacobi::benchmark(Scale::default());
     let (p, s) = openarc_minic::frontend(b.source(Variant::Unoptimized)).unwrap();
-    let topts = TranslateOptions { instrument: true, ..Default::default() };
-    let mut g = c.benchmark_group("table3_jacobi");
-    g.sample_size(10);
-    g.bench_function("interactive_loop", |bench| {
-        bench.iter(|| {
-            let eopts = ExecOptions { race_detect: false, ..Default::default() };
-            let out = optimize_transfers(&p, &s, &topts, &b.outputs, &eopts, 10).unwrap();
-            assert!(out.converged);
-            out.iterations
-        })
+    let topts = TranslateOptions {
+        instrument: true,
+        ..Default::default()
+    };
+    report("interactive_loop", 10, || {
+        let eopts = ExecOptions {
+            race_detect: false,
+            ..Default::default()
+        };
+        let out = optimize_transfers(&p, &s, &topts, &b.outputs, &eopts, 10).unwrap();
+        assert!(out.converged);
+        out.iterations
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

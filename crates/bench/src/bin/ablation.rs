@@ -31,9 +31,15 @@ fn ablate_check_placement() {
         let b = jacobi::benchmark(Scale::bench());
         let (p, s) = openarc_minic::frontend(b.source(Variant::Optimized)).unwrap();
         let tr = translate(&p, &s, &TranslateOptions::default()).unwrap();
-        execute(&tr, &ExecOptions { race_detect: false, ..Default::default() })
-            .unwrap()
-            .sim_time_us()
+        execute(
+            &tr,
+            &ExecOptions {
+                race_detect: false,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .sim_time_us()
     };
     println!(
         "{:<22}{:>14}{:>16}{:>12}",
@@ -62,7 +68,11 @@ fn ablate_check_placement() {
             .count();
         let r = execute(
             &tr,
-            &ExecOptions { check_transfers: true, race_detect: false, ..Default::default() },
+            &ExecOptions {
+                check_transfers: true,
+                race_detect: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!(
@@ -110,7 +120,11 @@ void main() {
         let tr = translate(&p, &s, &topts).unwrap();
         let r = execute(
             &tr,
-            &ExecOptions { check_transfers: true, race_detect: false, ..Default::default() },
+            &ExecOptions {
+                check_transfers: true,
+                race_detect: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let redundant = r.machine.report.count(IssueKind::Redundant);
@@ -123,7 +137,10 @@ void main() {
 /// manifest?
 fn ablate_lockstep() {
     println!("Ablation 3 — lockstep wave width vs race manifestation (JACOBI, stripped clauses)");
-    println!("{:<22}{:>10}{:>18}", "wave width", "races", "verification FAIL");
+    println!(
+        "{:<22}{:>10}{:>18}",
+        "wave width", "races", "verification FAIL"
+    );
     let b = jacobi::benchmark(Scale::default());
     let (p, s) = openarc_minic::frontend(b.source(Variant::Optimized)).unwrap();
     let (stripped, _) = strip_privatization(&p).unwrap();
@@ -138,7 +155,10 @@ fn ablate_lockstep() {
             &tr,
             &ExecOptions {
                 mode: ExecMode::Verify(VerifyOptions::default()),
-                launch: LaunchConfig { wave, ..Default::default() },
+                launch: LaunchConfig {
+                    wave,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )

@@ -5,7 +5,7 @@ use openarc_suite::Scale;
 fn main() {
     let rows = experiments::figure3(Scale::bench());
     println!("{}", render::figure3_text(&rows));
-    let json = serde_json::to_string_pretty(&rows).unwrap();
+    let json = experiments::rows_json(&rows, |r| r.to_json()).pretty();
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/figure3.json", json).ok();
 }

@@ -6,7 +6,10 @@ fn main() {
     let scale = Scale::bench();
     let problems = experiments::validate_suite(scale);
     assert!(problems.is_empty(), "suite validation failed: {problems:?}");
-    println!("suite validated at bench scale (n={}, iters={})\n", scale.n, scale.iters);
+    println!(
+        "suite validated at bench scale (n={}, iters={})\n",
+        scale.n, scale.iters
+    );
     println!("{}", render::figure1_text(&experiments::figure1(scale)));
     println!("{}", render::table2_text(&experiments::table2(scale)));
     println!("{}", render::figure3_text(&experiments::figure3(scale)));

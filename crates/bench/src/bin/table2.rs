@@ -5,7 +5,7 @@ use openarc_suite::Scale;
 fn main() {
     let t = experiments::table2(Scale::bench());
     println!("{}", render::table2_text(&t));
-    let json = serde_json::to_string_pretty(&t).unwrap();
+    let json = t.to_json().pretty();
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/table2.json", json).ok();
 }

@@ -9,13 +9,12 @@ use openarc_core::translate::{translate, TranslateOptions};
 use openarc_core::verify::verify_kernels;
 use openarc_gpusim::TimeCategory;
 use openarc_suite::{all, run_variant, translate_variant, Benchmark, Scale, Variant};
-use serde::Serialize;
 use std::collections::BTreeSet;
 
 // ------------------------------------------------------------- Figure 1
 
 /// One bar pair of Figure 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Row {
     /// Benchmark name.
     pub name: String,
@@ -60,7 +59,7 @@ pub fn figure1(scale: Scale) -> Vec<Fig1Row> {
 // ------------------------------------------------------------- Table 2
 
 /// Per-benchmark kernel-verification fault-injection outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Benchmark name.
     pub name: String,
@@ -81,7 +80,7 @@ pub struct Table2Row {
 }
 
 /// Aggregated Table 2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// Per-benchmark rows.
     pub rows: Vec<Table2Row>,
@@ -153,7 +152,7 @@ pub fn table2(scale: Scale) -> Table2 {
 // ------------------------------------------------------------- Figure 3
 
 /// One stacked bar of Figure 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Row {
     /// Benchmark name.
     pub name: String,
@@ -170,9 +169,8 @@ pub fn figure3(scale: Scale) -> Vec<Fig3Row> {
     for b in all(scale) {
         let (p, s) = openarc_minic::frontend(b.source(Variant::Optimized))
             .unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
-        let (_, report) =
-            verify_kernels(&p, &s, &topts_plain(), VerifyOptions::default())
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (_, report) = verify_kernels(&p, &s, &topts_plain(), VerifyOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let base = report.cpu_baseline_us.max(1e-9);
         let categories = TimeCategory::ALL
             .iter()
@@ -191,7 +189,7 @@ pub fn figure3(scale: Scale) -> Vec<Fig3Row> {
 // ------------------------------------------------------------- Table 3
 
 /// One Table 3 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Benchmark name.
     pub name: String,
@@ -212,7 +210,10 @@ pub struct Table3Row {
 pub fn table3(scale: Scale) -> Vec<Table3Row> {
     let mut rows = Vec::new();
     for b in all(scale) {
-        let topts = TranslateOptions { instrument: true, ..Default::default() };
+        let topts = TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        };
         let (p, s) = openarc_minic::frontend(b.source(Variant::Unoptimized))
             .unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
         let out = optimize_transfers(&p, &s, &topts, &b.outputs, &eopts_plain(), 12)
@@ -239,7 +240,7 @@ pub fn table3(scale: Scale) -> Vec<Table3Row> {
 // ------------------------------------------------------------- Figure 4
 
 /// One bar of Figure 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Benchmark name.
     pub name: String,
@@ -258,8 +259,15 @@ pub fn figure4(scale: Scale) -> Vec<Fig4Row> {
     for b in all(scale) {
         let (_, plain) = run_variant(&b, Variant::Optimized, &topts_plain(), &eopts_plain())
             .unwrap_or_else(|e| panic!("{e}"));
-        let topts = TranslateOptions { instrument: true, ..Default::default() };
-        let eopts = ExecOptions { check_transfers: true, race_detect: false, ..Default::default() };
+        let topts = TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        };
+        let eopts = ExecOptions {
+            check_transfers: true,
+            race_detect: false,
+            ..Default::default()
+        };
         let (_, instr) =
             run_variant(&b, Variant::Optimized, &topts, &eopts).unwrap_or_else(|e| panic!("{e}"));
         let p = plain.sim_time_us().max(1e-9);
@@ -281,7 +289,10 @@ fn topts_plain() -> TranslateOptions {
 }
 
 fn eopts_plain() -> ExecOptions {
-    ExecOptions { race_detect: false, ..Default::default() }
+    ExecOptions {
+        race_detect: false,
+        ..Default::default()
+    }
 }
 
 /// Sanity driver used by the bins: confirms every benchmark's optimized
@@ -303,7 +314,11 @@ fn check_at_scale(b: &Benchmark, v: Variant) -> Result<(), String> {
     let gpu = execute(&tr, &eopts_plain()).map_err(|e| format!("{}: {e}", b.name))?;
     let cpu = execute(
         &tr,
-        &ExecOptions { mode: ExecMode::CpuOnly, race_detect: false, ..Default::default() },
+        &ExecOptions {
+            mode: ExecMode::CpuOnly,
+            race_detect: false,
+            ..Default::default()
+        },
     )
     .map_err(|e| format!("{}: {e}", b.name))?;
     let reference = capture_outputs(&tr, &cpu, &b.outputs);
@@ -311,6 +326,115 @@ fn check_at_scale(b: &Benchmark, v: Variant) -> Result<(), String> {
         return Err(format!("{} [{}] diverges at bench scale", b.name, v.name()));
     }
     Ok(())
+}
+
+// ------------------------------------------------------- JSON rendering
+// (hand-rolled via openarc-trace's JSON writer; the workspace builds
+// offline with no external crates)
+
+use openarc_trace::json::Json;
+
+/// Render a slice of rows as a JSON array via each row's `to_json`.
+pub fn rows_json<T>(rows: &[T], f: impl Fn(&T) -> Json) -> Json {
+    Json::Arr(rows.iter().map(f).collect())
+}
+
+impl Fig1Row {
+    /// JSON object for `results/figure1.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("time_ratio", Json::from(self.time_ratio)),
+            ("bytes_ratio", Json::from(self.bytes_ratio)),
+            ("naive_us", Json::from(self.naive_us)),
+            ("opt_us", Json::from(self.opt_us)),
+            ("naive_bytes", Json::from(self.naive_bytes)),
+            ("opt_bytes", Json::from(self.opt_bytes)),
+        ])
+    }
+}
+
+impl Table2Row {
+    /// JSON object for one Table 2 row.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("kernels", Json::from(self.kernels)),
+            ("with_private", Json::from(self.with_private)),
+            ("with_reduction", Json::from(self.with_reduction)),
+            ("active_detected", Json::from(self.active_detected)),
+            ("active_missed", Json::from(self.active_missed)),
+            ("latent", Json::from(self.latent)),
+        ])
+    }
+}
+
+impl Table2 {
+    /// JSON object for `results/table2.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rows", rows_json(&self.rows, Table2Row::to_json)),
+            ("kernels_tested", Json::from(self.kernels_tested)),
+            (
+                "kernels_with_private",
+                Json::from(self.kernels_with_private),
+            ),
+            (
+                "kernels_with_reduction",
+                Json::from(self.kernels_with_reduction),
+            ),
+            ("active_errors", Json::from(self.active_errors)),
+            ("active_missed", Json::from(self.active_missed)),
+            ("latent_errors", Json::from(self.latent_errors)),
+        ])
+    }
+}
+
+impl Fig3Row {
+    /// JSON object for `results/figure3.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            (
+                "categories",
+                Json::Arr(
+                    self.categories
+                        .iter()
+                        .map(|(l, v)| Json::Arr(vec![Json::from(l.as_str()), Json::from(*v)]))
+                        .collect(),
+                ),
+            ),
+            ("total", Json::from(self.total)),
+        ])
+    }
+}
+
+impl Table3Row {
+    /// JSON object for `results/table3.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("total_iterations", Json::from(self.total_iterations)),
+            (
+                "incorrect_iterations",
+                Json::from(self.incorrect_iterations),
+            ),
+            ("uncaught_redundancy", Json::from(self.uncaught_redundancy)),
+            ("converged", Json::from(self.converged)),
+        ])
+    }
+}
+
+impl Fig4Row {
+    /// JSON object for `results/figure4.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("overhead_pct", Json::from(self.overhead_pct)),
+            ("plain_us", Json::from(self.plain_us)),
+            ("instrumented_us", Json::from(self.instrumented_us)),
+        ])
+    }
 }
 
 // Re-exported so the bins can translate without re-stating imports.
@@ -330,8 +454,18 @@ mod tests {
         let rows = figure1(Scale::default());
         assert_eq!(rows.len(), 12);
         for r in &rows {
-            assert!(r.time_ratio >= 1.0, "{}: time ratio {}", r.name, r.time_ratio);
-            assert!(r.bytes_ratio >= 1.0, "{}: bytes ratio {}", r.name, r.bytes_ratio);
+            assert!(
+                r.time_ratio >= 1.0,
+                "{}: time ratio {}",
+                r.name,
+                r.time_ratio
+            );
+            assert!(
+                r.bytes_ratio >= 1.0,
+                "{}: bytes ratio {}",
+                r.name,
+                r.bytes_ratio
+            );
         }
         // At least half the benchmarks show >5× data-volume inflation.
         let big = rows.iter().filter(|r| r.bytes_ratio > 5.0).count();
@@ -342,9 +476,18 @@ mod tests {
     fn table2_all_active_detected_none_latent() {
         let t = table2(Scale::default());
         assert_eq!(t.rows.len(), 12);
-        assert_eq!(t.active_missed, 0, "verification must catch every active error");
-        assert!(t.active_errors > 0, "fault injection must produce active errors");
-        assert!(t.latent_errors > 0, "uniform-temp kernels must produce latent races");
+        assert_eq!(
+            t.active_missed, 0,
+            "verification must catch every active error"
+        );
+        assert!(
+            t.active_errors > 0,
+            "fault injection must produce active errors"
+        );
+        assert!(
+            t.latent_errors > 0,
+            "uniform-temp kernels must produce latent races"
+        );
         assert!(t.kernels_tested >= 30);
     }
 

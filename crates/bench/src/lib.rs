@@ -4,9 +4,10 @@
 //! evaluation (§IV). See [`experiments`] for the drivers and the
 //! `figure1`/`figure3`/`figure4`/`table2`/`table3` binaries for the
 //! renderers; `cargo bench` measures the real (wall-clock) cost of the
-//! same pipelines with Criterion.
+//! same pipelines with the [`timing`] helper.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod render;
+pub mod timing;

@@ -44,7 +44,9 @@ pub fn table2_text(t: &Table2) -> String {
 
 /// Render Figure 3.
 pub fn figure3_text(rows: &[Fig3Row]) -> String {
-    let mut s = String::from("Figure 3 — kernel-verification time breakdown (normalized to sequential CPU)\n");
+    let mut s = String::from(
+        "Figure 3 — kernel-verification time breakdown (normalized to sequential CPU)\n",
+    );
     if let Some(first) = rows.first() {
         s.push_str(&format!("{:<12}", "benchmark"));
         for (label, _) in &first.categories {

@@ -1,0 +1,64 @@
+//! Minimal wall-clock measurement for the `benches/` targets.
+//!
+//! The workspace builds offline with no external crates, so the benches
+//! use this helper instead of Criterion: fixed sample count, median /
+//! min / max over `std::time::Instant`.
+
+use std::time::Instant;
+
+/// Wall-clock stats over repeated runs of a closure, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median sample.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Run `f` once as warmup, then `samples` timed times; returns the stats.
+pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> Stats {
+    std::hint::black_box(f());
+    let mut times: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    Stats {
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        max_ns: *times.last().unwrap(),
+        samples,
+    }
+}
+
+/// Measure and print one labelled row (`label  median  min  max`).
+pub fn report<T>(label: &str, samples: usize, f: impl FnMut() -> T) -> Stats {
+    let s = measure(samples, f);
+    println!(
+        "{:<28} median {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms   ({} samples)",
+        label,
+        s.median_ns as f64 / 1e6,
+        s.min_ns as f64 / 1e6,
+        s.max_ns as f64 / 1e6,
+        s.samples
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_orders_stats() {
+        let s = measure(5, || (0..1000u64).sum::<u64>());
+        assert_eq!(s.samples, 5);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+}

@@ -20,6 +20,7 @@ use openarc_minic::ast::BinOp;
 use openarc_minic::ScalarTy;
 use openarc_openacc::ReductionOp;
 use openarc_runtime::{DevSide, Machine};
+use openarc_trace::Journal;
 use openarc_vm::interp::{eval_bin, BasicEnv};
 use openarc_vm::{Env, Handle, ThreadState, Value, VmError, GLOBALS_INIT};
 use std::collections::{BTreeSet, HashMap};
@@ -151,6 +152,8 @@ pub struct ExecOptions {
     pub step_budget: u64,
     /// Interactive transfer edits.
     pub overlay: TransferOverlay,
+    /// Event journal threaded through the machine; disabled by default.
+    pub journal: Journal,
 }
 
 impl Default for ExecOptions {
@@ -162,6 +165,7 @@ impl Default for ExecOptions {
             launch: LaunchConfig::default(),
             step_budget: 5_000_000_000,
             overlay: TransferOverlay::default(),
+            journal: Journal::disabled(),
         }
     }
 }
@@ -225,7 +229,11 @@ impl RunResult {
         match self.machine.host.globals.get(slot as usize)? {
             Value::Ptr(h) if !h.is_null() => {
                 let buf = self.machine.host.mem.get(*h).ok()?;
-                Some((0..buf.len()).map(|i| buf.get(i as u64).unwrap().as_f64()).collect())
+                Some(
+                    (0..buf.len())
+                        .map(|i| buf.get(i as u64).unwrap().as_f64())
+                        .collect(),
+                )
             }
             _ => None,
         }
@@ -237,6 +245,7 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
     let host = BasicEnv::for_module(&tr.host_module);
     let mut machine = Machine::new(host, opts.check_transfers);
     machine.device.race_detect = opts.race_detect;
+    machine.set_journal(opts.journal.clone());
     let mut env = ExecEnv {
         tr,
         opts,
@@ -244,7 +253,10 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
         verify: tr
             .kernels
             .iter()
-            .map(|k| KernelVerification { kernel: k.name.clone(), ..Default::default() })
+            .map(|k| KernelVerification {
+                kernel: k.name.clone(),
+                ..Default::default()
+            })
             .collect(),
         races: Vec::new(),
         pending_cpu: 0,
@@ -303,6 +315,9 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
     })
 }
 
+/// A deferred transfer: (var, site, to_device, async queue).
+type DeferredCopy = (String, String, bool, Option<i64>);
+
 struct ExecEnv<'a> {
     tr: &'a Translated,
     opts: &'a ExecOptions,
@@ -317,7 +332,7 @@ struct ExecEnv<'a> {
     host_cells: HashMap<String, Handle>,
     kernel_launches: u64,
     /// Pending deferred transfers per active loop (innermost last).
-    deferred: Vec<Vec<(String, String, bool, Option<i64>)>>,
+    deferred: Vec<Vec<DeferredCopy>>,
     /// Data regions currently active (if-clause decisions at enter time).
     region_active: HashMap<usize, bool>,
 }
@@ -340,7 +355,9 @@ impl ExecEnv<'_> {
         match self.machine.host.globals[slot as usize] {
             Value::Ptr(h) if !h.is_null() => Ok(h),
             Value::Ptr(h) => Err(VmError::BadHandle(h)),
-            other => Err(VmError::TypeError(format!("`{var}` is not a buffer: {other}"))),
+            other => Err(VmError::TypeError(format!(
+                "`{var}` is not a buffer: {other}"
+            ))),
         }
     }
 
@@ -380,7 +397,11 @@ impl ExecEnv<'_> {
         to_device: bool,
         queue: Option<i64>,
     ) -> Result<(), VmError> {
-        let key = TransferKey { site: site.to_string(), var: var.to_string(), to_device };
+        let key = TransferKey {
+            site: site.to_string(),
+            var: var.to_string(),
+            to_device,
+        };
         if self.opts.overlay.disable.contains(&key) {
             return Ok(());
         }
@@ -389,7 +410,12 @@ impl ExecEnv<'_> {
                 // Replace any earlier pending copy of the same var/direction
                 // (only the final value matters).
                 frame.retain(|(v, _, d, _)| !(v == var && *d == to_device));
-                frame.push((var.to_string(), format!("{site}_deferred"), to_device, queue));
+                frame.push((
+                    var.to_string(),
+                    format!("{site}_deferred"),
+                    to_device,
+                    queue,
+                ));
                 return Ok(());
             }
             // No enclosing loop: execute in place.
@@ -407,9 +433,11 @@ impl ExecEnv<'_> {
             for (var, site, to_device, queue) in frame {
                 let h = self.resolve(&var)?;
                 if to_device {
-                    self.machine.copy_to_device_named(h, &site, queue, Some(&var))?;
+                    self.machine
+                        .copy_to_device_named(h, &site, queue, Some(&var))?;
                 } else {
-                    self.machine.copy_to_host_named(h, &site, queue, Some(&var))?;
+                    self.machine
+                        .copy_to_host_named(h, &site, queue, Some(&var))?;
                 }
             }
         }
@@ -492,7 +520,13 @@ impl ExecEnv<'_> {
                     }
                 }
             }
-            RtOp::Update { to_host, to_device, queue, site, if_global } => {
+            RtOp::Update {
+                to_host,
+                to_device,
+                queue,
+                site,
+                if_global,
+            } => {
                 if verify_mode || cpu_only {
                     return Ok(());
                 }
@@ -518,7 +552,12 @@ impl ExecEnv<'_> {
                     self.machine.check_read(h, side, &site);
                 }
             }
-            RtOp::CheckWrite { var, side, total, site } => {
+            RtOp::CheckWrite {
+                var,
+                side,
+                total,
+                site,
+            } => {
                 if verify_mode || cpu_only {
                     return Ok(());
                 }
@@ -551,11 +590,7 @@ impl ExecEnv<'_> {
                     ExecMode::CpuOnly => self.launch_seq(k)?,
                     ExecMode::Verify(v) => {
                         let name = &self.tr.kernels[k].name;
-                        let in_set = v
-                            .targets
-                            .as_ref()
-                            .map(|t| t.contains(name))
-                            .unwrap_or(true);
+                        let in_set = v.targets.as_ref().map(|t| t.contains(name)).unwrap_or(true);
                         let selected = in_set != v.complement;
                         if selected {
                             self.launch_verified(k, &v)?;
@@ -619,7 +654,11 @@ impl ExecEnv<'_> {
             match p {
                 KernelParam::Aggregate { var } => {
                     let host_h = self.resolve(var)?;
-                    let h = if on_device { self.machine.device_of(host_h)? } else { host_h };
+                    let h = if on_device {
+                        self.machine.device_of(host_h)?
+                    } else {
+                        host_h
+                    };
                     args.push(Value::Ptr(h));
                 }
                 KernelParam::Scalar { var } => args.push(self.scalar_value(var)?),
@@ -629,8 +668,11 @@ impl ExecEnv<'_> {
                         .map(|g| self.scalar_elem_of(g))
                         .unwrap_or(ScalarTy::Double);
                     let key = format!("{}::{}", var, on_device);
-                    let cells: &mut HashMap<String, Handle> =
-                        if on_device { &mut self.device_cells } else { &mut self.host_cells };
+                    let cells: &mut HashMap<String, Handle> = if on_device {
+                        &mut self.device_cells
+                    } else {
+                        &mut self.host_cells
+                    };
                     let h = match cells.get(&key) {
                         Some(h) => *h,
                         None => {
@@ -763,7 +805,8 @@ impl ExecEnv<'_> {
         for r in outcome.races.clone() {
             self.races.push((info.name.clone(), r));
         }
-        self.machine.charge_kernel(&outcome, queue);
+        self.machine
+            .charge_kernel_named(&info.name, &outcome, queue);
         self.writeback_cells(&cells, true)?;
         // Reductions finalize on the CPU (device partials → host scalar).
         for (var, op, buf) in &reds {
@@ -844,7 +887,8 @@ impl ExecEnv<'_> {
             // Staging transfers are charged synchronously (they appear as
             // the Mem Transfer component of Figure 3); the kernel itself
             // runs asynchronously and overlaps the CPU reference.
-            self.machine.copy_to_device(h, &format!("{}_verify", info.name), None)?;
+            self.machine
+                .copy_to_device(h, &format!("{}_verify", info.name), None)?;
         }
         // Device run (async).
         let (args, dreds, dtemps, dcells) = self.build_args(k, n, true)?;
@@ -860,7 +904,8 @@ impl ExecEnv<'_> {
         for r in outcome.races.clone() {
             self.races.push((info.name.clone(), r));
         }
-        self.machine.charge_kernel(&outcome, Some(q));
+        self.machine
+            .charge_kernel_named(&info.name, &outcome, Some(q));
         // CPU reference (overlapped).
         let (mut hargs, hreds, htemps, hcells) = self.build_args(k, n, false)?;
         hargs.insert(0, Value::Int(n as i64));
@@ -876,8 +921,8 @@ impl ExecEnv<'_> {
         let mut compared = 0u64;
         let mut max_err = 0f64;
         for var in &info.gpu_writes {
-            let host_h = self.machine.host.globals
-                [self.tr.host_module.global_slot(var).unwrap() as usize];
+            let host_h =
+                self.machine.host.globals[self.tr.host_module.global_slot(var).unwrap() as usize];
             let Value::Ptr(host_h) = host_h else { continue };
             let dev_h = self.machine.device_of(host_h)?;
             let hbuf = self.machine.host.mem.get(host_h)?.clone();
@@ -961,7 +1006,10 @@ impl ExecEnv<'_> {
         for ka in &info.knowledge.asserts {
             let kind = match ka {
                 crate::knowledge::KernelAssert::ChecksumWithin { expected, tol, .. } => {
-                    AssertKind::ChecksumWithin { expected: *expected, tol: *tol }
+                    AssertKind::ChecksumWithin {
+                        expected: *expected,
+                        tol: *tol,
+                    }
                 }
                 crate::knowledge::KernelAssert::AllFinite { .. } => AssertKind::AllFinite,
                 crate::knowledge::KernelAssert::NonNegative { .. } => AssertKind::NonNegative,
@@ -973,8 +1021,9 @@ impl ExecEnv<'_> {
             if let Ok(host_h) = self.resolve(var) {
                 if let Ok(dev_h) = self.machine.device_of(host_h) {
                     let dbuf = self.machine.device.mem.get(dev_h)?.clone();
-                    let vals: Vec<f64> =
-                        (0..dbuf.len() as u64).map(|i| dbuf.get(i).unwrap().as_f64()).collect();
+                    let vals: Vec<f64> = (0..dbuf.len() as u64)
+                        .map(|i| dbuf.get(i).unwrap().as_f64())
+                        .collect();
                     let ok = match kind {
                         AssertKind::ChecksumWithin { expected, tol } => {
                             (vals.iter().sum::<f64>() - expected).abs() <= *tol
@@ -999,6 +1048,20 @@ impl ExecEnv<'_> {
         rec.assertion_failures += assertion_failures;
         if mismatches > 0 {
             rec.failed_launches += 1;
+        }
+        if self.machine.journal().is_enabled() {
+            self.machine.clock.journal.emit(openarc_trace::TraceEvent {
+                ts_us: self.machine.clock.now(),
+                dur_us: 0.0,
+                track: openarc_trace::Track::Host,
+                kind: openarc_trace::EventKind::Verification {
+                    kernel: info.name.clone(),
+                    passed: mismatches == 0 && assertion_failures == 0,
+                    compared_elems: compared,
+                    mismatched_elems: mismatches,
+                    max_abs_err: max_err,
+                },
+            });
         }
 
         // Discard device results: free temporaries, unmap everything.
@@ -1125,7 +1188,11 @@ mod tests {
     use openarc_minic::frontend;
     use openarc_runtime::IssueKind;
 
-    fn run_src(src: &str, topts: &TranslateOptions, eopts: &ExecOptions) -> (Translated, RunResult) {
+    fn run_src(
+        src: &str,
+        topts: &TranslateOptions,
+        eopts: &ExecOptions,
+    ) -> (Translated, RunResult) {
         let (p, s) = frontend(src).expect("frontend");
         let tr = translate(&p, &s, topts).expect("translate");
         let r = execute(&tr, eopts).expect("execute");
@@ -1136,7 +1203,11 @@ mod tests {
 
     #[test]
     fn normal_mode_produces_correct_output() {
-        let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &ExecOptions::default());
+        let (tr, r) = run_src(
+            COPY_SRC,
+            &TranslateOptions::default(),
+            &ExecOptions::default(),
+        );
         let q = r.global_array(&tr, "q").unwrap();
         for (i, v) in q.iter().enumerate() {
             assert_eq!(*v, i as f64 * 2.0);
@@ -1151,7 +1222,10 @@ mod tests {
 
     #[test]
     fn cpu_only_mode_matches_normal_output() {
-        let eopts = ExecOptions { mode: ExecMode::CpuOnly, ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::CpuOnly,
+            ..Default::default()
+        };
         let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
         let q = r.global_array(&tr, "q").unwrap();
         for (i, v) in q.iter().enumerate() {
@@ -1196,16 +1270,26 @@ mod tests {
         // Same as above without the update: host q stays zero.
         let src = "double q[16];\ndouble w[16];\ndouble s;\nvoid main() {\n int j;\n for (j = 0; j < 16; j++) { w[j] = 2.0; }\n #pragma acc data copyin(w) create(q)\n {\n  #pragma acc kernels loop gang\n  for (j = 0; j < 16; j++) { q[j] = w[j] + 1.0; }\n }\n s = q[3];\n}";
         let (tr, r) = run_src(src, &TranslateOptions::default(), &ExecOptions::default());
-        assert_eq!(r.global_scalar(&tr, "s").unwrap().as_f64(), 0.0, "bug reproduced: host never updated");
+        assert_eq!(
+            r.global_scalar(&tr, "s").unwrap().as_f64(),
+            0.0,
+            "bug reproduced: host never updated"
+        );
     }
 
     #[test]
     fn coherence_detects_missing_transfer() {
         let src = "double q[16];\ndouble w[16];\ndouble s;\nvoid main() {\n int j;\n #pragma acc data copyin(w) create(q)\n {\n  #pragma acc kernels loop gang\n  for (j = 0; j < 16; j++) { q[j] = w[j] + 1.0; }\n }\n s = q[3];\n}";
         let (p, se) = frontend(src).unwrap();
-        let topts = TranslateOptions { instrument: true, ..Default::default() };
+        let topts = TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        };
         let tr = translate(&p, &se, &topts).unwrap();
-        let eopts = ExecOptions { check_transfers: true, ..Default::default() };
+        let eopts = ExecOptions {
+            check_transfers: true,
+            ..Default::default()
+        };
         let r = execute(&tr, &eopts).unwrap();
         assert!(
             r.machine.report.count(IssueKind::Missing) >= 1,
@@ -1220,9 +1304,15 @@ mod tests {
         // device(w) inside the loop re-copies it every iteration.
         let src = "double q[16];\ndouble w[16];\nvoid main() {\n int k; int j;\n #pragma acc data copyin(w) copyout(q)\n {\n  for (k = 0; k < 3; k++) {\n   #pragma acc update device(w)\n   #pragma acc kernels loop gang\n   for (j = 0; j < 16; j++) { q[j] = w[j]; }\n  }\n }\n}";
         let (p, se) = frontend(src).unwrap();
-        let topts = TranslateOptions { instrument: true, ..Default::default() };
+        let topts = TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        };
         let tr = translate(&p, &se, &topts).unwrap();
-        let eopts = ExecOptions { check_transfers: true, ..Default::default() };
+        let eopts = ExecOptions {
+            check_transfers: true,
+            ..Default::default()
+        };
         let r = execute(&tr, &eopts).unwrap();
         assert!(
             r.machine.report.count(IssueKind::Redundant) >= 3,
@@ -1237,7 +1327,10 @@ mod tests {
     #[test]
     fn verify_mode_passes_clean_kernel() {
         let vopts = VerifyOptions::default();
-        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(vopts),
+            ..Default::default()
+        };
         let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
         assert_eq!(r.verify.len(), 1);
         assert_eq!(r.verify[0].launches, 1);
@@ -1253,13 +1346,27 @@ mod tests {
         // Shared temporary without privatization: lockstep corrupts it.
         let src = "double a[64];\ndouble tmp;\nvoid main() {\n int j;\n #pragma acc kernels loop gang\n for (j = 0; j < 64; j++) { tmp = (double) j; a[j] = tmp * 2.0; }\n}";
         let (p, s) = frontend(src).unwrap();
-        let topts = TranslateOptions { auto_privatize: false, auto_reduction: false, ..Default::default() };
+        let topts = TranslateOptions {
+            auto_privatize: false,
+            auto_reduction: false,
+            ..Default::default()
+        };
         let tr = translate(&p, &s, &topts).unwrap();
-        let eopts = ExecOptions { mode: ExecMode::Verify(VerifyOptions::default()), ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(VerifyOptions::default()),
+            ..Default::default()
+        };
         let r = execute(&tr, &eopts).unwrap();
-        assert!(r.verify[0].flagged(), "verification must catch the race: {:?}", r.verify[0]);
+        assert!(
+            r.verify[0].flagged(),
+            "verification must catch the race: {:?}",
+            r.verify[0]
+        );
         // The oracle saw the race too.
-        assert!(r.races.iter().any(|(k, rr)| k == "main_kernel0" && rr.label.contains("tmp")));
+        assert!(r
+            .races
+            .iter()
+            .any(|(k, rr)| k == "main_kernel0" && rr.label.contains("tmp")));
     }
 
     #[test]
@@ -1268,7 +1375,10 @@ mod tests {
             targets: Some(std::iter::once("main_kernel9".to_string()).collect()),
             ..Default::default()
         };
-        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(vopts),
+            ..Default::default()
+        };
         let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
         // Kernel not selected: ran on CPU, output still correct.
         assert_eq!(r.verify[0].launches, 0);
@@ -1284,15 +1394,24 @@ mod tests {
             complement: true,
             ..Default::default()
         };
-        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(vopts),
+            ..Default::default()
+        };
         let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
         assert_eq!(r.verify[0].launches, 1);
     }
 
     #[test]
     fn min_value_to_check_skips_tiny_values() {
-        let vopts = VerifyOptions { min_value_to_check: 1e9, ..Default::default() };
-        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let vopts = VerifyOptions {
+            min_value_to_check: 1e9,
+            ..Default::default()
+        };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(vopts),
+            ..Default::default()
+        };
         let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
         assert_eq!(r.verify[0].compared_elems, 0);
     }
@@ -1303,11 +1422,17 @@ mod tests {
             assertions: vec![KernelAssertion {
                 kernel: "main_kernel0".into(),
                 var: "q".into(),
-                kind: AssertKind::ChecksumWithin { expected: -1.0, tol: 0.5 },
+                kind: AssertKind::ChecksumWithin {
+                    expected: -1.0,
+                    tol: 0.5,
+                },
             }],
             ..Default::default()
         };
-        let eopts = ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(vopts),
+            ..Default::default()
+        };
         let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
         assert_eq!(r.verify[0].assertion_failures, 1);
         let vopts_ok = VerifyOptions {
@@ -1318,7 +1443,10 @@ mod tests {
             }],
             ..Default::default()
         };
-        let eopts = ExecOptions { mode: ExecMode::Verify(vopts_ok), ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(vopts_ok),
+            ..Default::default()
+        };
         let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
         assert_eq!(r.verify[0].assertion_failures, 0);
     }
@@ -1351,7 +1479,10 @@ mod tests {
     fn seq_and_gpu_reduction_roundings_differ_but_within_margin() {
         // Large float reduction: tree vs sequential rounding differ.
         let src = "float a[4096];\ndouble s;\nvoid main() {\n int j;\n for (j = 0; j < 4096; j++) { a[j] = 0.1f; }\n #pragma acc kernels loop gang reduction(+:s)\n for (j = 0; j < 4096; j++) { s += (double) a[j]; }\n}";
-        let eopts = ExecOptions { mode: ExecMode::Verify(VerifyOptions::default()), ..Default::default() };
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(VerifyOptions::default()),
+            ..Default::default()
+        };
         let (tr, r) = run_src(src, &TranslateOptions::default(), &eopts);
         assert!(!r.verify[0].flagged(), "{:?}", r.verify[0]);
         let s = r.global_scalar(&tr, "s").unwrap().as_f64();

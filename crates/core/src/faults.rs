@@ -44,12 +44,13 @@ fn strip_block(b: &mut Block, stats: &mut StripStats) -> Result<(), Diagnostic> 
 
 fn strip_stmt(s: &mut Stmt, stats: &mut StripStats) -> Result<(), Diagnostic> {
     for pr in &mut s.pragmas {
-        let Some(d) = parse_directive(&pr.text, pr.span)? else { continue };
+        let Some(d) = parse_directive(&pr.text, pr.span)? else {
+            continue;
+        };
         stats.directives_seen += 1;
         let rewritten = match d {
             Directive::Compute(mut c) => {
-                stats.private_removed +=
-                    c.loop_spec.private.len() + c.loop_spec.firstprivate.len();
+                stats.private_removed += c.loop_spec.private.len() + c.loop_spec.firstprivate.len();
                 stats.reductions_removed += c.loop_spec.reductions.len();
                 c.loop_spec.private.clear();
                 c.loop_spec.firstprivate.clear();
@@ -73,13 +74,17 @@ fn strip_stmt(s: &mut Stmt, stats: &mut StripStats) -> Result<(), Diagnostic> {
     }
     // Recurse into nested statements.
     match &mut s.kind {
-        openarc_minic::ast::StmtKind::If { then_blk, else_blk, .. } => {
+        openarc_minic::ast::StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
             strip_block(then_blk, stats)?;
             if let Some(e) = else_blk {
                 strip_block(e, stats)?;
             }
         }
-        openarc_minic::ast::StmtKind::For { body, init, step, .. } => {
+        openarc_minic::ast::StmtKind::For {
+            body, init, step, ..
+        } => {
             if let Some(i) = init {
                 strip_stmt(i, stats)?;
             }
@@ -118,10 +123,7 @@ mod tests {
 
     #[test]
     fn leaves_data_directives_alone() {
-        let p = parse(
-            "double a[8];\nvoid main() {\n #pragma acc data copyin(a)\n { }\n}",
-        )
-        .unwrap();
+        let p = parse("double a[8];\nvoid main() {\n #pragma acc data copyin(a)\n { }\n}").unwrap();
         let (stripped, stats) = strip_privatization(&p).unwrap();
         assert_eq!(stats.private_removed, 0);
         let f = stripped.func("main").unwrap();

@@ -16,7 +16,8 @@
 
 use crate::ir::RtOp;
 use openarc_dataflow::{
-    dead_live_compute, first_access, last_write, natural_loops, AccessSel, Cfg, Deadness, NodeKind, Side,
+    dead_live_compute, first_access, last_write, natural_loops, AccessSel, Cfg, Deadness, NodeKind,
+    Side,
 };
 use openarc_minic::span::Diagnostic;
 use openarc_minic::{Func, NodeId, Sema};
@@ -106,25 +107,21 @@ pub fn plan(
     // exists BEFORE the write_check() call within the loop" — only
     // transfers preceding the kernel in the iteration matter (the paper's
     // own example keeps the post-kernel memcpyout and still hoists).
-    let loop_has_transfer_of_before = |l: &openarc_dataflow::NaturalLoop,
-                                       var: &str,
-                                       kernel_node: usize|
-     -> bool {
-        l.body.iter().any(|&n| match &cfg.nodes[n].kind {
-            NodeKind::Update(u) => {
-                // User-removed updates no longer transfer anything.
-                let removed = cfg.nodes[n]
-                    .stmt
-                    .map(|id| ignored_updates.contains(&id))
-                    .unwrap_or(false);
-                !removed
-                    && n < kernel_node
-                    && u.host.iter().chain(&u.device).any(|v| v == var)
-            }
-            NodeKind::DataEnter(_) | NodeKind::DataExit(_) => true,
-            _ => false,
-        })
-    };
+    let loop_has_transfer_of_before =
+        |l: &openarc_dataflow::NaturalLoop, var: &str, kernel_node: usize| -> bool {
+            l.body.iter().any(|&n| match &cfg.nodes[n].kind {
+                NodeKind::Update(u) => {
+                    // User-removed updates no longer transfer anything.
+                    let removed = cfg.nodes[n]
+                        .stmt
+                        .map(|id| ignored_updates.contains(&id))
+                        .unwrap_or(false);
+                    !removed && n < kernel_node && u.host.iter().chain(&u.device).any(|v| v == var)
+                }
+                NodeKind::DataEnter(_) | NodeKind::DataExit(_) => true,
+                _ => false,
+            })
+        };
     let loop_has_host_access_of = |l: &openarc_dataflow::NaturalLoop, var: &str| -> bool {
         l.body.iter().any(|&n| {
             let node = &cfg.nodes[n];
@@ -156,7 +153,11 @@ pub fn plan(
         let Some(stmt) = node.stmt else { continue };
         for var in reads_at[n].iter().filter(|v| tracked.contains(*v)) {
             let site = format!("cpu_read@{stmt}");
-            let op = RtOp::CheckRead { var: var.clone(), side: DevSide::Cpu, site };
+            let op = RtOp::CheckRead {
+                var: var.clone(),
+                side: DevSide::Cpu,
+                site,
+            };
             let target = if optimize {
                 hoist_target(&cfg, &loops_of(n), &loop_has_kernel, stmt)
             } else {
@@ -167,7 +168,12 @@ pub fn plan(
         for var in writes_at[n].iter().filter(|v| tracked.contains(*v)) {
             let total = node.host.total_writes.contains(var);
             let site = format!("cpu_write@{stmt}");
-            let op = RtOp::CheckWrite { var: var.clone(), side: DevSide::Cpu, total, site };
+            let op = RtOp::CheckWrite {
+                var: var.clone(),
+                side: DevSide::Cpu,
+                total,
+                site,
+            };
             let target = if optimize {
                 hoist_target(&cfg, &loops_of(n), &loop_has_kernel, stmt)
             } else {
@@ -203,11 +209,19 @@ pub fn plan(
             match dl_gpu.after(n, var) {
                 Deadness::MustDead => ins.after_push(
                     target,
-                    RtOp::ResetStatus { var: var.clone(), side: DevSide::Gpu, st: St::NotStale },
+                    RtOp::ResetStatus {
+                        var: var.clone(),
+                        side: DevSide::Gpu,
+                        st: St::NotStale,
+                    },
                 ),
                 Deadness::MayDead => ins.after_push(
                     target,
-                    RtOp::ResetStatus { var: var.clone(), side: DevSide::Gpu, st: St::MayStale },
+                    RtOp::ResetStatus {
+                        var: var.clone(),
+                        side: DevSide::Gpu,
+                        st: St::MayStale,
+                    },
                 ),
                 Deadness::Live => {}
             }
@@ -223,11 +237,19 @@ pub fn plan(
             match dl_host.after(k, var) {
                 Deadness::MustDead => ins.after_push(
                     stmt,
-                    RtOp::ResetStatus { var: var.clone(), side: DevSide::Cpu, st: St::NotStale },
+                    RtOp::ResetStatus {
+                        var: var.clone(),
+                        side: DevSide::Cpu,
+                        st: St::NotStale,
+                    },
                 ),
                 Deadness::MayDead => ins.after_push(
                     stmt,
-                    RtOp::ResetStatus { var: var.clone(), side: DevSide::Cpu, st: St::MayStale },
+                    RtOp::ResetStatus {
+                        var: var.clone(),
+                        side: DevSide::Cpu,
+                        st: St::MayStale,
+                    },
                 ),
                 Deadness::Live => {}
             }
@@ -239,7 +261,9 @@ pub fn plan(
         for &k in &cfg.kernel_nodes() {
             let kstmt = cfg.nodes[k].stmt.expect("kernel stmt");
             let enclosing = loops_of(k);
-            let Some(outer) = enclosing.first() else { continue };
+            let Some(outer) = enclosing.first() else {
+                continue;
+            };
             for var in cfg.nodes[k].gpu.writes.clone() {
                 if !tracked.contains(&var) {
                     continue;
@@ -257,7 +281,10 @@ pub fn plan(
                             site: format!("gpu_write_hoisted@{kstmt}"),
                         },
                     );
-                    ins.hoisted_kernel_writes.entry(kstmt).or_default().push(var);
+                    ins.hoisted_kernel_writes
+                        .entry(kstmt)
+                        .or_default()
+                        .push(var);
                 }
             }
         }
@@ -350,9 +377,11 @@ mod tests {
         let f = p.func("main").unwrap();
         let for_id = f.body.stmts[1].id;
         assert!(
-            ins.before.get(&for_id).map(|v| v
-                .iter()
-                .any(|op| matches!(op, RtOp::CheckRead { var, .. } if var == "a")))
+            ins.before
+                .get(&for_id)
+                .map(|v| v
+                    .iter()
+                    .any(|op| matches!(op, RtOp::CheckRead { var, .. } if var == "a")))
                 .unwrap_or(false),
             "{ins:?}"
         );
@@ -386,7 +415,9 @@ mod tests {
             .after
             .values()
             .flatten()
-            .filter(|op| matches!(op, RtOp::ResetStatus { var, side: DevSide::Gpu, .. } if var == "a"))
+            .filter(
+                |op| matches!(op, RtOp::ResetStatus { var, side: DevSide::Gpu, .. } if var == "a"),
+            )
             .collect();
         assert!(!resets.is_empty(), "{ins:?}");
     }
@@ -405,7 +436,11 @@ mod tests {
             }
         });
         let kid = kernel_id.unwrap();
-        let hoisted = ins.hoisted_kernel_writes.get(&kid).cloned().unwrap_or_default();
+        let hoisted = ins
+            .hoisted_kernel_writes
+            .get(&kid)
+            .cloned()
+            .unwrap_or_default();
         assert!(hoisted.contains(&"b".to_string()), "{ins:?}");
     }
 

@@ -75,7 +75,9 @@ pub fn capture_outputs(tr: &Translated, r: &RunResult, spec: &OutputSpec) -> Ref
 /// Compare a run's outputs against the reference.
 pub fn outputs_match(tr: &Translated, r: &RunResult, reference: &Reference, tol: f64) -> bool {
     for (name, expect) in &reference.arrays {
-        let Some(got) = r.global_array(tr, name) else { return false };
+        let Some(got) = r.global_array(tr, name) else {
+            return false;
+        };
         if got.len() != expect.len() {
             return false;
         }
@@ -86,7 +88,9 @@ pub fn outputs_match(tr: &Translated, r: &RunResult, reference: &Reference, tol:
         }
     }
     for (name, expect) in &reference.scalars {
-        let Some(got) = r.global_scalar(tr, name) else { return false };
+        let Some(got) = r.global_scalar(tr, name) else {
+            return false;
+        };
         if (got.as_f64() - expect).abs() > tol + tol * expect.abs() {
             return false;
         }
@@ -246,9 +250,7 @@ pub fn optimize_transfers(
                     .report
                     .issues
                     .iter()
-                    .filter(|i| {
-                        matches!(i.kind, IssueKind::Missing | IssueKind::Incorrect)
-                    })
+                    .filter(|i| matches!(i.kind, IssueKind::Missing | IssueKind::Incorrect))
                     .map(|i| i.var.clone())
                     .collect(),
                 Err(_) => BTreeSet::new(),
@@ -258,7 +260,11 @@ pub fn optimize_transfers(
                 .position(|(k, kind)| {
                     error_vars.contains(&k.var) && matches!(kind, IssueKind::MayRedundant)
                 })
-                .or_else(|| last_applied.iter().position(|(k, _)| error_vars.contains(&k.var)))
+                .or_else(|| {
+                    last_applied
+                        .iter()
+                        .position(|(k, _)| error_vars.contains(&k.var))
+                })
                 .or_else(|| {
                     last_applied
                         .iter()
@@ -291,7 +297,11 @@ pub fn optimize_transfers(
                 .find(|i| i.var == var && i.site == site && i.kind == kind)
                 .and_then(|i| i.direction);
             let Some(dir) = dir else { continue };
-            let key = TransferKey { site: site.clone(), var: var.clone(), to_device: dir == Direction::ToDevice };
+            let key = TransferKey {
+                site: site.clone(),
+                var: var.clone(),
+                to_device: dir == Direction::ToDevice,
+            };
             if pinned.contains(&key)
                 || overlay.disable.contains(&key)
                 || overlay.defer.contains(&key)
@@ -310,14 +320,15 @@ pub fn optimize_transfers(
             // variables are program outputs and never deletes their final
             // device→host transfer (a deferral keeps the final value, so
             // in-loop output copyouts may still be deferred).
-            let is_output = spec.arrays.iter().any(|a| *a == var)
-                || spec.scalars.iter().any(|a| *a == var);
+            let is_output = spec.arrays.contains(&var) || spec.scalars.contains(&var);
             if is_output && dir == Direction::ToHost && !in_loop {
                 continue;
             }
             if in_loop && dir == Direction::ToHost {
                 overlay.defer.insert(key.clone());
-                entry.applied.push(format!("defer {}:{} past loop", site, var));
+                entry
+                    .applied
+                    .push(format!("defer {}:{} past loop", site, var));
             } else {
                 overlay.disable.insert(key.clone());
                 entry.applied.push(format!("remove {}:{}", site, var));
@@ -358,12 +369,17 @@ fn fully_removed_updates(
     for (site, stmt) in &tr.update_sites {
         // Find the op for this site to learn its variables/directions.
         let op = tr.ops.iter().find_map(|o| match o {
-            crate::ir::RtOp::Update { to_host, to_device, site: s2, .. } if s2 == site => {
-                Some((to_host.clone(), to_device.clone()))
-            }
+            crate::ir::RtOp::Update {
+                to_host,
+                to_device,
+                site: s2,
+                ..
+            } if s2 == site => Some((to_host.clone(), to_device.clone())),
             _ => None,
         });
-        let Some((to_host, to_device)) = op else { continue };
+        let Some((to_host, to_device)) = op else {
+            continue;
+        };
         let all_removed = to_host.iter().all(|v| {
             overlay.disable.contains(&TransferKey {
                 site: site.clone(),
@@ -392,7 +408,10 @@ mod tests {
 
     fn optimize_src(src: &str, spec: &OutputSpec) -> InteractiveOutcome {
         let (p, s) = frontend(src).expect("frontend");
-        let topts = TranslateOptions { instrument: true, ..Default::default() };
+        let topts = TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        };
         optimize_transfers(&p, &s, &topts, spec, &ExecOptions::default(), 10).unwrap()
     }
 
@@ -421,7 +440,11 @@ mod tests {
         );
         // 4 transfers reduced to 1 (deferred) + initial copyin.
         assert!(out.final_stats.d2h_count <= 2, "{:?}", out.final_stats);
-        assert!(out.iterations >= 2 && out.iterations <= 4, "{}", out.iterations);
+        assert!(
+            out.iterations >= 2 && out.iterations <= 4,
+            "{}",
+            out.iterations
+        );
     }
 
     #[test]

@@ -186,7 +186,15 @@ mod tests {
 
     #[test]
     fn data_action_defaults() {
-        let a = DataAction { var: "q".into(), map: true, copyin: true, copyout: false, from_clause: Some(DataClauseKind::CopyIn), covering_region: None, written: false };
+        let a = DataAction {
+            var: "q".into(),
+            map: true,
+            copyin: true,
+            copyout: false,
+            from_clause: Some(DataClauseKind::CopyIn),
+            covering_region: None,
+            written: false,
+        };
         assert_eq!(a.from_clause, Some(DataClauseKind::CopyIn));
         assert!(a.map && a.copyin && !a.copyout);
     }

@@ -87,7 +87,9 @@ impl KernelKnowledge {
 pub fn knowledge_of(stmt: &Stmt) -> Result<KernelKnowledge, Diagnostic> {
     let mut out = KernelKnowledge::default();
     for pr in &stmt.pragmas {
-        let Some(rest) = pr.text.strip_prefix("openarc ") else { continue };
+        let Some(rest) = pr.text.strip_prefix("openarc ") else {
+            continue;
+        };
         let Some(rest) = rest.trim().strip_prefix("verify ") else {
             return Err(Diagnostic::error(
                 format!("unknown openarc pragma: `{}`", pr.text),
@@ -145,7 +147,10 @@ fn split_call(text: &str, span: Span) -> Result<(&str, Vec<String>), Diagnostic>
         .find('(')
         .ok_or_else(|| Diagnostic::error(format!("expected `(` in `{text}`"), span))?;
     if !text.ends_with(')') {
-        return Err(Diagnostic::error(format!("expected `)` at end of `{text}`"), span));
+        return Err(Diagnostic::error(
+            format!("expected `)` at end of `{text}`"),
+            span,
+        ));
     }
     let head = text[..open].trim();
     let inner = &text[open + 1..text.len() - 1];
@@ -165,13 +170,24 @@ fn var_and_floats(
 ) -> Result<(String, Vec<f64>), Diagnostic> {
     if args.len() != n_floats + 1 {
         return Err(Diagnostic::error(
-            format!("{what} expects a variable and {n_floats} number(s), got {} argument(s)", args.len()),
+            format!(
+                "{what} expects a variable and {n_floats} number(s), got {} argument(s)",
+                args.len()
+            ),
             span,
         ));
     }
     let var = args[0].clone();
-    if !var.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false) {
-        return Err(Diagnostic::error(format!("{what}: `{var}` is not a variable name"), span));
+    if !var
+        .chars()
+        .next()
+        .map(|c| c.is_alphabetic() || c == '_')
+        .unwrap_or(false)
+    {
+        return Err(Diagnostic::error(
+            format!("{what}: `{var}` is not a variable name"),
+            span,
+        ));
     }
     let mut nums = Vec::with_capacity(n_floats);
     for a in &args[1..] {
@@ -200,7 +216,14 @@ mod tests {
     #[test]
     fn parses_bounds() {
         let k = knowledge(" #pragma openarc verify bounds(a, 0.0, 100.0)").unwrap();
-        assert_eq!(k.bounds, vec![KernelBound { var: "a".into(), lo: 0.0, hi: 100.0 }]);
+        assert_eq!(
+            k.bounds,
+            vec![KernelBound {
+                var: "a".into(),
+                lo: 0.0,
+                hi: 100.0
+            }]
+        );
     }
 
     #[test]

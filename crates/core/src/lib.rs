@@ -4,7 +4,7 @@
 //! and optimization system for directive-based GPU programs, built on an
 //! OpenACC→device translator.
 //!
-//! * [`translate`] — OpenARC's front half: compute-region outlining,
+//! * [`mod@translate`] — OpenARC's front half: compute-region outlining,
 //!   privatization / reduction recognition (switchable, for the §IV-B
 //!   fault-injection study), data-clause lowering, `__host_op` markers.
 //! * [`instrument`] — §III-B coherence-check placement (first-access,
@@ -34,9 +34,9 @@ pub use exec::{
     VerifyOptions,
 };
 pub use faults::strip_privatization;
-pub use knowledge::{KernelAssert, KernelBound, KernelKnowledge};
-pub use options::{parse_verification_options, verification_options_from_env};
 pub use interactive::{optimize_transfers, InteractiveOutcome, OutputSpec};
 pub use ir::{DataAction, KernelInfo, KernelParam, RtOp};
-pub use translate::{translate, Translated, TranslateOptions};
+pub use knowledge::{KernelAssert, KernelBound, KernelKnowledge};
+pub use options::{parse_verification_options, verification_options_from_env};
+pub use translate::{translate, TranslateOptions, Translated};
 pub use verify::{demote_source, verify_kernels, VerificationReport};

@@ -51,12 +51,19 @@ pub fn parse_verification_options(spec: &str) -> Result<VerifyOptions, OptionErr
                 opts.complement = match value.trim() {
                     "0" => false,
                     "1" => true,
-                    other => return Err(OptionError(format!("complement must be 0 or 1, got `{other}`"))),
+                    other => {
+                        return Err(OptionError(format!(
+                            "complement must be 0 or 1, got `{other}`"
+                        )))
+                    }
                 }
             }
             "kernels" => {
-                let names: BTreeSet<String> =
-                    value.split(':').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+                let names: BTreeSet<String> = value
+                    .split(':')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
                 if names.is_empty() {
                     return Err(OptionError("kernels list is empty".into()));
                 }
@@ -102,8 +109,9 @@ pub fn verification_options_from_env() -> Result<VerifyOptions, OptionError> {
         Err(_) => VerifyOptions::default(),
     };
     if let Ok(v) = std::env::var("OPENARC_MIN_VALUE_TO_CHECK") {
-        opts.min_value_to_check =
-            v.parse().map_err(|_| OptionError(format!("bad float `{v}`")))?;
+        opts.min_value_to_check = v
+            .parse()
+            .map_err(|_| OptionError(format!("bad float `{v}`")))?;
     }
     Ok(opts)
 }

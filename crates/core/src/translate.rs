@@ -21,9 +21,7 @@ use openarc_minic::ast::*;
 use openarc_minic::sema::FuncInfo;
 use openarc_minic::span::Diagnostic;
 use openarc_minic::{Sema, Span};
-use openarc_openacc::{
-    directives_of, ComputeSpec, DataClause, Directive, ReductionOp,
-};
+use openarc_openacc::{directives_of, ComputeSpec, DataClause, Directive, ReductionOp};
 use openarc_vm::{compile as vm_compile, Module};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -146,12 +144,18 @@ pub fn translate(
     for f in tx.seq_funcs.drain(..).collect::<Vec<_>>() {
         items.push(Item::Func(f));
     }
-    let host_program = Program { items, next_id: tx.next_id };
+    let host_program = Program {
+        items,
+        next_id: tx.next_id,
+    };
 
     // Extend the host sema with synthesized globals and functions.
     let mut host_sema = sema.clone();
     for g in host_program.globals() {
-        host_sema.globals.entry(g.name.clone()).or_insert_with(|| g.ty.clone());
+        host_sema
+            .globals
+            .entry(g.name.clone())
+            .or_insert_with(|| g.ty.clone());
     }
     for item in &host_program.items {
         if let Item::Func(f) = item {
@@ -161,8 +165,7 @@ pub fn translate(
                 .or_insert_with(|| build_funcinfo(f));
         }
     }
-    let host_module =
-        vm_compile(&host_program, &host_sema).map_err(|d| vec![d])?;
+    let host_module = vm_compile(&host_program, &host_sema).map_err(|d| vec![d])?;
 
     let kernel_program = Program {
         items: tx.kernel_funcs.drain(..).map(Item::Func).collect(),
@@ -174,8 +177,7 @@ pub fn translate(
             kernel_sema.funcs.insert(f.name.clone(), build_funcinfo(f));
         }
     }
-    let kernel_module =
-        vm_compile(&kernel_program, &kernel_sema).map_err(|d| vec![d])?;
+    let kernel_module = vm_compile(&kernel_program, &kernel_sema).map_err(|d| vec![d])?;
 
     Ok(Translated {
         host_program,
@@ -202,7 +204,11 @@ fn build_funcinfo(f: &Func) -> FuncInfo {
             locals.insert(d.name.clone(), d.ty.clone());
         }
     });
-    FuncInfo { ret: f.ret.clone(), params: f.params.clone(), locals }
+    FuncInfo {
+        ret: f.ret.clone(),
+        params: f.params.clone(),
+        locals,
+    }
 }
 
 struct Tx<'a> {
@@ -254,7 +260,11 @@ impl Tx<'_> {
                 span,
                 kind: ExprKind::Call {
                     name: openarc_vm::HOST_OP.to_string(),
-                    args: vec![Expr { id: arg_id, span, kind: ExprKind::IntLit(id as i64) }],
+                    args: vec![Expr {
+                        id: arg_id,
+                        span,
+                        kind: ExprKind::IntLit(id as i64),
+                    }],
                 },
             }),
         }
@@ -262,7 +272,13 @@ impl Tx<'_> {
 
     fn synth_global(&mut self, name: &str, ty: Ty, span: Span) {
         let id = self.id();
-        self.synth_globals.push(VarDecl { id, name: name.to_string(), ty, init: None, span });
+        self.synth_globals.push(VarDecl {
+            id,
+            name: name.to_string(),
+            ty,
+            init: None,
+            span,
+        });
     }
 
     fn assign_global_stmt(&mut self, name: &str, value: Expr, span: Span) -> Stmt {
@@ -358,8 +374,9 @@ impl Tx<'_> {
             }
         }
         // Compute construct.
-        if let Some((Directive::Compute(spec), _)) =
-            dirs.iter().find(|(d, _)| matches!(d, Directive::Compute(_)))
+        if let Some((Directive::Compute(spec), _)) = dirs
+            .iter()
+            .find(|(d, _)| matches!(d, Directive::Compute(_)))
         {
             let spec = spec.clone();
             self.lower_compute(s, &spec, out);
@@ -410,7 +427,11 @@ impl Tx<'_> {
                 },
                 None => None,
             };
-            self.data_regions.push(DataRegionInfo { actions, if_global, stmt: s.id });
+            self.data_regions.push(DataRegionInfo {
+                actions,
+                if_global,
+                stmt: s.id,
+            });
             let enter = self.host_op_stmt(RtOp::DataEnter(region), s.span);
             out.push(enter);
             self.region_stack.push((region, dspec.clauses.clone()));
@@ -478,8 +499,9 @@ impl Tx<'_> {
         }
         // `declare`: program-lifetime data clauses — the runtime maps them
         // before `main` runs.
-        if let Some((Directive::Declare(cs), _)) =
-            dirs.iter().find(|(d, _)| matches!(d, Directive::Declare(_)))
+        if let Some((Directive::Declare(cs), _)) = dirs
+            .iter()
+            .find(|(d, _)| matches!(d, Directive::Declare(_)))
         {
             for c in cs {
                 for item in &c.items {
@@ -501,14 +523,21 @@ impl Tx<'_> {
         }
         // Unsupported standalone directives are ignored with an error for
         // host_data (which would change semantics).
-        if dirs.iter().any(|(d, _)| matches!(d, Directive::HostData { .. })) {
+        if dirs
+            .iter()
+            .any(|(d, _)| matches!(d, Directive::HostData { .. }))
+        {
             self.err("host_data is not supported by this translator", s.span);
             return;
         }
 
         // Plain statement: recurse into control flow.
         match &s.kind {
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let id = self.id();
                 out.push(Stmt {
                     id,
@@ -521,7 +550,12 @@ impl Tx<'_> {
                     },
                 });
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let wrap = subtree_has_acc(s);
                 let inner_body = self.lower_block(body);
                 let body2 = if wrap {
@@ -566,8 +600,12 @@ impl Tx<'_> {
                     inner_body
                 };
                 if wrap {
-                    let enter =
-                        self.host_op_stmt(RtOp::LoopEnter { label: "while-loop".into() }, s.span);
+                    let enter = self.host_op_stmt(
+                        RtOp::LoopEnter {
+                            label: "while-loop".into(),
+                        },
+                        s.span,
+                    );
                     out.push(enter);
                 }
                 let id = self.id();
@@ -575,7 +613,10 @@ impl Tx<'_> {
                     id,
                     span: s.span,
                     pragmas: Vec::new(),
-                    kind: StmtKind::While { cond: cond.clone(), body: body2 },
+                    kind: StmtKind::While {
+                        cond: cond.clone(),
+                        body: body2,
+                    },
                 });
                 if wrap {
                     let exit = self.host_op_stmt(RtOp::LoopExit, s.span);
@@ -628,10 +669,7 @@ impl Tx<'_> {
                         if body.stmts.len() == 1 {
                             cursor = body.stmts[0].clone();
                         } else {
-                            self.err(
-                                "collapse requires perfectly nested loops",
-                                s.span,
-                            );
+                            self.err("collapse requires perfectly nested loops", s.span);
                             return;
                         }
                     }
@@ -697,9 +735,7 @@ impl Tx<'_> {
                 ScalarClass::Reduction(explicit_red[name])
             } else if explicit_private.contains(name) {
                 ScalarClass::Private
-            } else if explicit_fp.contains(name) {
-                ScalarClass::Param
-            } else if !u.written {
+            } else if explicit_fp.contains(name) || !u.written {
                 ScalarClass::Param
             } else if self.opts.auto_privatize && u.first_is_write() {
                 ScalarClass::Private
@@ -715,7 +751,10 @@ impl Tx<'_> {
         }
 
         // --- kernel parameter assembly -----------------------------------
-        let mut params: Vec<Param> = vec![Param { name: "__gid".into(), ty: Ty::Scalar(ScalarTy::Int) }];
+        let mut params: Vec<Param> = vec![Param {
+            name: "__gid".into(),
+            ty: Ty::Scalar(ScalarTy::Int),
+        }];
         let mut recipes: Vec<KernelParam> = Vec::new();
         let mut capture_count = 0usize;
         let span = s.span;
@@ -743,32 +782,38 @@ impl Tx<'_> {
                 continue;
             }
             agg_dims.insert(name.clone(), dims);
-            params.push(Param { name: name.clone(), ty: Ty::Ptr(elem) });
+            params.push(Param {
+                name: name.clone(),
+                ty: Ty::Ptr(elem),
+            });
             recipes.push(KernelParam::Aggregate { var: name.clone() });
         }
 
         // Scalar inputs (params) — includes firstprivate.
-        let mut scalar_param =
-            |tx: &mut Tx, name: &str, pre: &mut Vec<Stmt>| -> String {
-                // Returns the host global the executor reads.
-                if tx.sema.is_global(&tx.cur_func, name) {
-                    name.to_string()
-                } else {
-                    let g = format!("__k{kernel_idx}_c{capture_count}");
-                    capture_count += 1;
-                    let ty = tx
-                        .sema
-                        .var_ty(&tx.cur_func, name)
-                        .cloned()
-                        .unwrap_or(Ty::Scalar(ScalarTy::Double));
-                    tx.synth_global(&g, ty, span);
-                    let vid = tx.id();
-                    let value = Expr { id: vid, span, kind: ExprKind::Var(name.to_string()) };
-                    let st = tx.assign_global_stmt(&g, value, span);
-                    pre.push(st);
-                    g
-                }
-            };
+        let mut scalar_param = |tx: &mut Tx, name: &str, pre: &mut Vec<Stmt>| -> String {
+            // Returns the host global the executor reads.
+            if tx.sema.is_global(&tx.cur_func, name) {
+                name.to_string()
+            } else {
+                let g = format!("__k{kernel_idx}_c{capture_count}");
+                capture_count += 1;
+                let ty = tx
+                    .sema
+                    .var_ty(&tx.cur_func, name)
+                    .cloned()
+                    .unwrap_or(Ty::Scalar(ScalarTy::Double));
+                tx.synth_global(&g, ty, span);
+                let vid = tx.id();
+                let value = Expr {
+                    id: vid,
+                    span,
+                    kind: ExprKind::Var(name.to_string()),
+                };
+                let st = tx.assign_global_stmt(&g, value, span);
+                pre.push(st);
+                g
+            }
+        };
 
         for (name, class) in &classes {
             if matches!(class, ScalarClass::Param) {
@@ -778,7 +823,10 @@ impl Tx<'_> {
                     .cloned()
                     .unwrap_or(Ty::Scalar(ScalarTy::Double));
                 let resolved = scalar_param(self, name, &mut pre_stmts);
-                params.push(Param { name: name.clone(), ty });
+                params.push(Param {
+                    name: name.clone(),
+                    ty,
+                });
                 recipes.push(KernelParam::Scalar { var: resolved });
             }
         }
@@ -805,14 +853,20 @@ impl Tx<'_> {
             self.synth_global(&lo_global, Ty::Scalar(ScalarTy::Long), span);
             let st = self.assign_global_stmt(&lo_global, level.lo.clone(), span);
             pre_stmts.push(st);
-            params.push(Param { name: format!("__lo{l}"), ty: Ty::Scalar(ScalarTy::Long) });
+            params.push(Param {
+                name: format!("__lo{l}"),
+                ty: Ty::Scalar(ScalarTy::Long),
+            });
             recipes.push(KernelParam::Scalar { var: lo_global });
             if l == 1 {
                 let span_global = format!("__k{kernel_idx}_span1");
                 self.synth_global(&span_global, Ty::Scalar(ScalarTy::Long), span);
                 let st = self.assign_global_stmt(&span_global, count, span);
                 pre_stmts.push(st);
-                params.push(Param { name: "__span1".into(), ty: Ty::Scalar(ScalarTy::Long) });
+                params.push(Param {
+                    name: "__span1".into(),
+                    ty: Ty::Scalar(ScalarTy::Long),
+                });
                 recipes.push(KernelParam::Scalar { var: span_global });
             }
         }
@@ -831,8 +885,14 @@ impl Tx<'_> {
                     } else {
                         Some(scalar_param(self, name, &mut pre_stmts))
                     };
-                    params.push(Param { name: format!("__cell_{name}"), ty: Ty::Ptr(elem) });
-                    recipes.push(KernelParam::SharedCell { var: name.clone(), init_global });
+                    params.push(Param {
+                        name: format!("__cell_{name}"),
+                        ty: Ty::Ptr(elem),
+                    });
+                    recipes.push(KernelParam::SharedCell {
+                        var: name.clone(),
+                        init_global,
+                    });
                     cells.insert(name.clone());
                 }
                 ScalarClass::Reduction(op) => {
@@ -844,8 +904,14 @@ impl Tx<'_> {
                         continue;
                     }
                     let elem = self.scalar_elem(name);
-                    params.push(Param { name: format!("__red_{name}"), ty: Ty::Ptr(elem) });
-                    recipes.push(KernelParam::ReductionSlot { var: name.clone(), op: *op });
+                    params.push(Param {
+                        name: format!("__red_{name}"),
+                        ty: Ty::Ptr(elem),
+                    });
+                    recipes.push(KernelParam::ReductionSlot {
+                        var: name.clone(),
+                        op: *op,
+                    });
                     reductions.push((name.clone(), *op));
                 }
                 _ => {}
@@ -895,15 +961,26 @@ impl Tx<'_> {
         }
         // Reduction epilogue: __red_s[__gid] = s;
         for (name, _) in &reductions {
-            let gid = Expr { id: self.next_id_bump(), span, kind: ExprKind::Var("__gid".into()) };
-            let val = Expr { id: self.next_id_bump(), span, kind: ExprKind::Var(name.clone()) };
+            let gid = Expr {
+                id: self.next_id_bump(),
+                span,
+                kind: ExprKind::Var("__gid".into()),
+            };
+            let val = Expr {
+                id: self.next_id_bump(),
+                span,
+                kind: ExprKind::Var(name.clone()),
+            };
             let sid = self.next_id_bump();
             kbody.push(Stmt {
                 id: sid,
                 span,
                 pragmas: Vec::new(),
                 kind: StmtKind::Assign {
-                    target: LValue::Index { base: format!("__red_{name}"), indices: vec![gid] },
+                    target: LValue::Index {
+                        base: format!("__red_{name}"),
+                        indices: vec![gid],
+                    },
                     op: AssignOp::Set,
                     value: val,
                 },
@@ -915,13 +992,18 @@ impl Tx<'_> {
             name: kname.clone(),
             ret: Ty::Void,
             params: params.clone(),
-            body: Block { stmts: kbody.clone() },
+            body: Block {
+                stmts: kbody.clone(),
+            },
             span,
         };
         self.kernel_funcs.push(kfunc);
 
         // --- sequential fallback -------------------------------------------
-        let mut seq_params = vec![Param { name: "__n".into(), ty: Ty::Scalar(ScalarTy::Long) }];
+        let mut seq_params = vec![Param {
+            name: "__n".into(),
+            ty: Ty::Scalar(ScalarTy::Long),
+        }];
         seq_params.extend(params.iter().skip(1).cloned());
         let loop_body = Block { stmts: kbody };
         let gid_decl_id = self.next_id_bump();
@@ -1124,7 +1206,13 @@ impl Tx<'_> {
             id,
             span,
             pragmas: Vec::new(),
-            kind: StmtKind::Decl(VarDecl { id: did, name: name.to_string(), ty, init: None, span }),
+            kind: StmtKind::Decl(VarDecl {
+                id: did,
+                name: name.to_string(),
+                ty,
+                init: None,
+                span,
+            }),
         }
     }
 
@@ -1134,7 +1222,11 @@ impl Tx<'_> {
             id,
             span,
             pragmas: Vec::new(),
-            kind: StmtKind::Assign { target: LValue::Var(name.to_string()), op: AssignOp::Set, value },
+            kind: StmtKind::Assign {
+                target: LValue::Var(name.to_string()),
+                op: AssignOp::Set,
+                value,
+            },
         }
     }
 
@@ -1142,12 +1234,14 @@ impl Tx<'_> {
     fn identity_expr(&mut self, op: ReductionOp, elem: ScalarTy, span: Span) -> Expr {
         let id = self.id();
         let kind = match (op, elem.is_float()) {
-            (ReductionOp::Add | ReductionOp::BitOr | ReductionOp::BitXor | ReductionOp::LogOr, true) => {
-                ExprKind::FloatLit(0.0, elem == ScalarTy::Float)
-            }
-            (ReductionOp::Add | ReductionOp::BitOr | ReductionOp::BitXor | ReductionOp::LogOr, false) => {
-                ExprKind::IntLit(0)
-            }
+            (
+                ReductionOp::Add | ReductionOp::BitOr | ReductionOp::BitXor | ReductionOp::LogOr,
+                true,
+            ) => ExprKind::FloatLit(0.0, elem == ScalarTy::Float),
+            (
+                ReductionOp::Add | ReductionOp::BitOr | ReductionOp::BitXor | ReductionOp::LogOr,
+                false,
+            ) => ExprKind::IntLit(0),
             (ReductionOp::Mul | ReductionOp::LogAnd, true) => {
                 ExprKind::FloatLit(1.0, elem == ScalarTy::Float)
             }
@@ -1163,7 +1257,11 @@ impl Tx<'_> {
 
     /// Index reconstruction from `__gid` for loop level `l`.
     fn gid_to_index(&mut self, l: usize, n_levels: usize, span: Span) -> Expr {
-        let e = |kind: ExprKind, tx: &mut Tx| Expr { id: tx.id(), span, kind };
+        let e = |kind: ExprKind, tx: &mut Tx| Expr {
+            id: tx.id(),
+            span,
+            kind,
+        };
         let gid = e(ExprKind::Var("__gid".into()), self);
         let local = if n_levels == 1 {
             gid
@@ -1171,20 +1269,32 @@ impl Tx<'_> {
             // __gid / __span1
             let span1 = e(ExprKind::Var("__span1".into()), self);
             e(
-                ExprKind::Binary { op: BinOp::Div, lhs: Box::new(gid), rhs: Box::new(span1) },
+                ExprKind::Binary {
+                    op: BinOp::Div,
+                    lhs: Box::new(gid),
+                    rhs: Box::new(span1),
+                },
                 self,
             )
         } else {
             // __gid % __span1
             let span1 = e(ExprKind::Var("__span1".into()), self);
             e(
-                ExprKind::Binary { op: BinOp::Rem, lhs: Box::new(gid), rhs: Box::new(span1) },
+                ExprKind::Binary {
+                    op: BinOp::Rem,
+                    lhs: Box::new(gid),
+                    rhs: Box::new(span1),
+                },
                 self,
             )
         };
         let lo = e(ExprKind::Var(format!("__lo{l}")), self);
         e(
-            ExprKind::Binary { op: BinOp::Add, lhs: Box::new(lo), rhs: Box::new(local) },
+            ExprKind::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(lo),
+                rhs: Box::new(local),
+            },
             self,
         )
     }
@@ -1211,15 +1321,30 @@ impl Tx<'_> {
                 op: *op,
                 value: self.rewrite_expr(value, aggs, cells),
             },
-            StmtKind::If { cond, then_blk, else_blk } => StmtKind::If {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => StmtKind::If {
                 cond: self.rewrite_expr(cond, aggs, cells),
                 then_blk: self.rewrite_block(then_blk, aggs, cells),
-                else_blk: else_blk.as_ref().map(|b| self.rewrite_block(b, aggs, cells)),
+                else_blk: else_blk
+                    .as_ref()
+                    .map(|b| self.rewrite_block(b, aggs, cells)),
             },
-            StmtKind::For { init, cond, step, body } => StmtKind::For {
-                init: init.as_ref().map(|i| Box::new(self.rewrite_stmt(i, aggs, cells))),
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => StmtKind::For {
+                init: init
+                    .as_ref()
+                    .map(|i| Box::new(self.rewrite_stmt(i, aggs, cells))),
                 cond: cond.as_ref().map(|c| self.rewrite_expr(c, aggs, cells)),
-                step: step.as_ref().map(|st| Box::new(self.rewrite_stmt(st, aggs, cells))),
+                step: step
+                    .as_ref()
+                    .map(|st| Box::new(self.rewrite_stmt(st, aggs, cells))),
                 body: self.rewrite_block(body, aggs, cells),
             },
             StmtKind::While { cond, body } => StmtKind::While {
@@ -1229,7 +1354,12 @@ impl Tx<'_> {
             StmtKind::Block(b) => StmtKind::Block(self.rewrite_block(b, aggs, cells)),
             other => other.clone(),
         };
-        Stmt { id: s.id, span: s.span, pragmas: Vec::new(), kind }
+        Stmt {
+            id: s.id,
+            span: s.span,
+            pragmas: Vec::new(),
+            kind,
+        }
     }
 
     fn rewrite_block(
@@ -1238,7 +1368,13 @@ impl Tx<'_> {
         aggs: &BTreeMap<String, Option<Vec<u64>>>,
         cells: &BTreeSet<String>,
     ) -> Block {
-        Block { stmts: b.stmts.iter().map(|s| self.rewrite_stmt(s, aggs, cells)).collect() }
+        Block {
+            stmts: b
+                .stmts
+                .iter()
+                .map(|s| self.rewrite_stmt(s, aggs, cells))
+                .collect(),
+        }
     }
 
     fn rewrite_lvalue(
@@ -1251,18 +1387,27 @@ impl Tx<'_> {
         match lv {
             LValue::Var(n) if cells.contains(n) => LValue::Index {
                 base: format!("__cell_{n}"),
-                indices: vec![Expr { id: self.id(), span, kind: ExprKind::IntLit(0) }],
+                indices: vec![Expr {
+                    id: self.id(),
+                    span,
+                    kind: ExprKind::IntLit(0),
+                }],
             },
             LValue::Var(n) => LValue::Var(n.clone()),
             LValue::Index { base, indices } => {
-                let rewritten: Vec<Expr> =
-                    indices.iter().map(|e| self.rewrite_expr(e, aggs, cells)).collect();
+                let rewritten: Vec<Expr> = indices
+                    .iter()
+                    .map(|e| self.rewrite_expr(e, aggs, cells))
+                    .collect();
                 match aggs.get(base) {
                     Some(Some(dims)) if dims.len() > 1 => LValue::Index {
                         base: base.clone(),
                         indices: vec![self.linearize(dims, rewritten, span)],
                     },
-                    _ => LValue::Index { base: base.clone(), indices: rewritten },
+                    _ => LValue::Index {
+                        base: base.clone(),
+                        indices: rewritten,
+                    },
                 }
             }
         }
@@ -1277,17 +1422,26 @@ impl Tx<'_> {
         let kind = match &e.kind {
             ExprKind::Var(n) if cells.contains(n) => ExprKind::Index {
                 base: format!("__cell_{n}"),
-                indices: vec![Expr { id: self.id(), span: e.span, kind: ExprKind::IntLit(0) }],
+                indices: vec![Expr {
+                    id: self.id(),
+                    span: e.span,
+                    kind: ExprKind::IntLit(0),
+                }],
             },
             ExprKind::Index { base, indices } => {
-                let rewritten: Vec<Expr> =
-                    indices.iter().map(|x| self.rewrite_expr(x, aggs, cells)).collect();
+                let rewritten: Vec<Expr> = indices
+                    .iter()
+                    .map(|x| self.rewrite_expr(x, aggs, cells))
+                    .collect();
                 match aggs.get(base) {
                     Some(Some(dims)) if dims.len() > 1 => ExprKind::Index {
                         base: base.clone(),
                         indices: vec![self.linearize(dims, rewritten, e.span)],
                     },
-                    _ => ExprKind::Index { base: base.clone(), indices: rewritten },
+                    _ => ExprKind::Index {
+                        base: base.clone(),
+                        indices: rewritten,
+                    },
                 }
             }
             ExprKind::Unary { op, expr } => ExprKind::Unary {
@@ -1299,14 +1453,21 @@ impl Tx<'_> {
                 lhs: Box::new(self.rewrite_expr(lhs, aggs, cells)),
                 rhs: Box::new(self.rewrite_expr(rhs, aggs, cells)),
             },
-            ExprKind::Ternary { cond, then_e, else_e } => ExprKind::Ternary {
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => ExprKind::Ternary {
                 cond: Box::new(self.rewrite_expr(cond, aggs, cells)),
                 then_e: Box::new(self.rewrite_expr(then_e, aggs, cells)),
                 else_e: Box::new(self.rewrite_expr(else_e, aggs, cells)),
             },
             ExprKind::Call { name, args } => ExprKind::Call {
                 name: name.clone(),
-                args: args.iter().map(|a| self.rewrite_expr(a, aggs, cells)).collect(),
+                args: args
+                    .iter()
+                    .map(|a| self.rewrite_expr(a, aggs, cells))
+                    .collect(),
             },
             ExprKind::Cast { ty, expr } => ExprKind::Cast {
                 ty: ty.clone(),
@@ -1314,7 +1475,11 @@ impl Tx<'_> {
             },
             other => other.clone(),
         };
-        Expr { id: e.id, span: e.span, kind }
+        Expr {
+            id: e.id,
+            span: e.span,
+            kind,
+        }
     }
 
     /// `((i0 * d1 + i1) * d2 + i2) ...`
@@ -1323,16 +1488,28 @@ impl Tx<'_> {
         let mut acc = it.next().expect("at least one index");
         for (k, ix) in it.enumerate() {
             let d = dims[k + 1];
-            let dc = Expr { id: self.id(), span, kind: ExprKind::IntLit(d as i64) };
+            let dc = Expr {
+                id: self.id(),
+                span,
+                kind: ExprKind::IntLit(d as i64),
+            };
             let mul = Expr {
                 id: self.id(),
                 span,
-                kind: ExprKind::Binary { op: BinOp::Mul, lhs: Box::new(acc), rhs: Box::new(dc) },
+                kind: ExprKind::Binary {
+                    op: BinOp::Mul,
+                    lhs: Box::new(acc),
+                    rhs: Box::new(dc),
+                },
             };
             acc = Expr {
                 id: self.id(),
                 span,
-                kind: ExprKind::Binary { op: BinOp::Add, lhs: Box::new(mul), rhs: Box::new(ix) },
+                kind: ExprKind::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(mul),
+                    rhs: Box::new(ix),
+                },
             };
         }
         acc
@@ -1371,7 +1548,11 @@ impl LoopLevel {
                 kind: ExprKind::Binary {
                     op: BinOp::Add,
                     lhs: Box::new(sub),
-                    rhs: Box::new(Expr { id: fresh(), span, kind: ExprKind::IntLit(1) }),
+                    rhs: Box::new(Expr {
+                        id: fresh(),
+                        span,
+                        kind: ExprKind::IntLit(1),
+                    }),
                 },
             }
         } else {
@@ -1382,21 +1563,39 @@ impl LoopLevel {
 
 /// Extract a canonical parallel loop: `for (i = lo; i </(<=) hi; i++/i+=1)`.
 fn extract_level(s: &Stmt) -> Result<LoopLevel, String> {
-    let StmtKind::For { init, cond, step, body } = &s.kind else {
+    let StmtKind::For {
+        init,
+        cond,
+        step,
+        body,
+    } = &s.kind
+    else {
         return Err("compute construct must annotate a for loop".into());
     };
     let (var, lo) = match init.as_deref() {
-        Some(Stmt { kind: StmtKind::Assign { target: LValue::Var(v), op: AssignOp::Set, value }, .. }) => {
-            (v.clone(), value.clone())
-        }
-        Some(Stmt { kind: StmtKind::Decl(d), .. }) => match &d.init {
+        Some(Stmt {
+            kind:
+                StmtKind::Assign {
+                    target: LValue::Var(v),
+                    op: AssignOp::Set,
+                    value,
+                },
+            ..
+        }) => (v.clone(), value.clone()),
+        Some(Stmt {
+            kind: StmtKind::Decl(d),
+            ..
+        }) => match &d.init {
             Some(init) => (d.name.clone(), init.clone()),
             None => return Err("parallel loop variable must be initialized".into()),
         },
         _ => return Err("parallel loop must initialize its induction variable".into()),
     };
     let (hi, inclusive) = match cond {
-        Some(Expr { kind: ExprKind::Binary { op, lhs, rhs }, .. }) => {
+        Some(Expr {
+            kind: ExprKind::Binary { op, lhs, rhs },
+            ..
+        }) => {
             let ok_var = matches!(&lhs.kind, ExprKind::Var(v) if *v == var);
             if !ok_var {
                 return Err("parallel loop condition must compare the induction variable".into());
@@ -1410,11 +1609,24 @@ fn extract_level(s: &Stmt) -> Result<LoopLevel, String> {
         _ => return Err("parallel loop must have a condition".into()),
     };
     match step.as_deref() {
-        Some(Stmt { kind: StmtKind::Assign { target: LValue::Var(v), op: AssignOp::Add, value }, .. })
-            if *v == var && matches!(value.kind, ExprKind::IntLit(1)) => {}
+        Some(Stmt {
+            kind:
+                StmtKind::Assign {
+                    target: LValue::Var(v),
+                    op: AssignOp::Add,
+                    value,
+                },
+            ..
+        }) if *v == var && matches!(value.kind, ExprKind::IntLit(1)) => {}
         _ => return Err("parallel loop step must be i++ or i += 1".into()),
     }
-    Ok(LoopLevel { var, lo, hi, inclusive, body: body.clone() })
+    Ok(LoopLevel {
+        var,
+        lo,
+        hi,
+        inclusive,
+        body: body.clone(),
+    })
 }
 
 /// First event observed for a scalar inside a region.
@@ -1484,10 +1696,18 @@ fn collect_region_accesses(
 }
 
 fn is_aggregate(sema: &Sema, func: &str, name: &str) -> bool {
-    sema.var_ty(func, name).map(|t| t.is_aggregate()).unwrap_or(false)
+    sema.var_ty(func, name)
+        .map(|t| t.is_aggregate())
+        .unwrap_or(false)
 }
 
-fn note_read(acc: &mut RegionAccesses, exclude: &BTreeSet<String>, sema: &Sema, func: &str, name: &str) {
+fn note_read(
+    acc: &mut RegionAccesses,
+    exclude: &BTreeSet<String>,
+    sema: &Sema,
+    func: &str,
+    name: &str,
+) {
     if exclude.contains(name) {
         return;
     }
@@ -1563,7 +1783,11 @@ fn reduction_shape(target: &str, op: AssignOp, value: &Expr) -> Option<Reduction
         AssignOp::Set => {}
     }
     match &value.kind {
-        ExprKind::Binary { op: BinOp::Add, lhs, rhs } => {
+        ExprKind::Binary {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        } => {
             if is_var(lhs, target) && !expr_reads_var(rhs, target) {
                 return Some(ReductionOp::Add);
             }
@@ -1572,7 +1796,11 @@ fn reduction_shape(target: &str, op: AssignOp, value: &Expr) -> Option<Reduction
             }
             None
         }
-        ExprKind::Binary { op: BinOp::Mul, lhs, rhs } => {
+        ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+        } => {
             if is_var(lhs, target) && !expr_reads_var(rhs, target) {
                 return Some(ReductionOp::Mul);
             }
@@ -1587,9 +1815,9 @@ fn reduction_shape(target: &str, op: AssignOp, value: &Expr) -> Option<Reduction
                 "min" | "fmin" => ReductionOp::Min,
                 _ => return None,
             };
-            if is_var(&args[0], target) && !expr_reads_var(&args[1], target) {
-                Some(op)
-            } else if is_var(&args[1], target) && !expr_reads_var(&args[0], target) {
+            if (is_var(&args[0], target) && !expr_reads_var(&args[1], target))
+                || (is_var(&args[1], target) && !expr_reads_var(&args[0], target))
+            {
                 Some(op)
             } else {
                 None
@@ -1668,7 +1896,11 @@ fn collect_stmt(
                         }
                     }
                     other_value => {
-                        let e = Expr { id: 0, span: s.span, kind: other_value.clone() };
+                        let e = Expr {
+                            id: 0,
+                            span: s.span,
+                            kind: other_value.clone(),
+                        };
                         note_expr_reads(&e, acc, exclude, sema, func);
                     }
                 }
@@ -1683,14 +1915,23 @@ fn collect_stmt(
                 LValue::Index { base, .. } => note_write(acc, exclude, sema, func, base, None),
             }
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             note_expr_reads(cond, acc, exclude, sema, func);
             collect_block(then_blk, exclude, sema, func, acc);
             if let Some(e) = else_blk {
                 collect_block(e, exclude, sema, func, acc);
             }
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(i) = init {
                 collect_stmt(i, exclude, sema, func, acc);
             }
@@ -1753,7 +1994,9 @@ fn escaping_branch(s: &Stmt) -> Option<&'static str> {
                 StmtKind::Break if loop_depth == 0 => return Some("break"),
                 StmtKind::Continue if loop_depth == 0 => return Some("continue"),
                 StmtKind::Return(_) => return Some("return"),
-                StmtKind::If { then_blk, else_blk, .. } => {
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
                     if let Some(k) = scan(then_blk, loop_depth) {
                         return Some(k);
                     }
@@ -1806,7 +2049,10 @@ fn strip_pragmas(s: &Stmt) -> Stmt {
 /// Loop label for reports: `i-loop` when the induction variable is known.
 fn loop_label(init: Option<&Stmt>) -> String {
     match init.map(|s| &s.kind) {
-        Some(StmtKind::Assign { target: LValue::Var(v), .. }) => format!("{v}-loop"),
+        Some(StmtKind::Assign {
+            target: LValue::Var(v),
+            ..
+        }) => format!("{v}-loop"),
         Some(StmtKind::Decl(d)) => format!("{}-loop", d.name),
         _ => "loop".to_string(),
     }
@@ -1857,7 +2103,10 @@ mod tests {
         }
         assert_eq!(t.data_regions.len(), 1);
         assert_eq!(t.data_regions[0].actions.len(), 2);
-        assert!(!t.data_regions[0].actions[0].copyin, "create does not transfer");
+        assert!(
+            !t.data_regions[0].actions[0].copyin,
+            "create does not transfer"
+        );
     }
 
     #[test]
@@ -1877,9 +2126,17 @@ mod tests {
         let t = translate_src(src);
         let k = &t.kernels[0];
         // tmp auto-privatized (first access is a write), s reduction, n param.
-        assert!(k.params.iter().any(|p| matches!(p, KernelParam::ReductionSlot { var, op: ReductionOp::Add } if var == "s")));
-        assert!(k.params.iter().any(|p| matches!(p, KernelParam::Scalar { var } if var == "n")));
-        assert!(!k.params.iter().any(|p| matches!(p, KernelParam::SharedCell { var, .. } if var == "tmp")));
+        assert!(k.params.iter().any(
+            |p| matches!(p, KernelParam::ReductionSlot { var, op: ReductionOp::Add } if var == "s")
+        ));
+        assert!(k
+            .params
+            .iter()
+            .any(|p| matches!(p, KernelParam::Scalar { var } if var == "n")));
+        assert!(!k
+            .params
+            .iter()
+            .any(|p| matches!(p, KernelParam::SharedCell { var, .. } if var == "tmp")));
         assert_eq!(k.reductions.len(), 1);
     }
 
@@ -1887,14 +2144,21 @@ mod tests {
     fn auto_reduction_recognized_without_clause() {
         let src = "double a[10];\ndouble s;\nvoid main() {\n int j;\n #pragma acc kernels loop gang\n for (j = 0; j < 10; j++) { s += a[j]; }\n}";
         let t = translate_src(src);
-        assert_eq!(t.kernels[0].reductions, vec![("s".to_string(), ReductionOp::Add)]);
+        assert_eq!(
+            t.kernels[0].reductions,
+            vec![("s".to_string(), ReductionOp::Add)]
+        );
     }
 
     #[test]
     fn disabled_recognition_creates_shared_cell() {
         let src = "double a[10];\ndouble s;\nvoid main() {\n int j;\n #pragma acc kernels loop gang\n for (j = 0; j < 10; j++) { s += a[j]; }\n}";
         let (p, sm) = frontend(src).unwrap();
-        let opts = TranslateOptions { auto_reduction: false, auto_privatize: false, ..Default::default() };
+        let opts = TranslateOptions {
+            auto_reduction: false,
+            auto_privatize: false,
+            ..Default::default()
+        };
         let t = translate(&p, &sm, &opts).unwrap();
         assert!(t.kernels[0]
             .params
@@ -1908,8 +2172,17 @@ mod tests {
         let src = "double g[8][8];\nvoid main() {\n int i; int j;\n #pragma acc kernels loop gang worker collapse(2)\n for (i = 0; i < 8; i++) for (j = 0; j < 8; j++) { g[i][j] = 1.0; }\n}";
         let t = translate_src(src);
         let k = &t.kernels[0];
-        assert!(k.params.iter().filter(|p| matches!(p, KernelParam::Scalar { var } if var.contains("_lo"))).count() == 2);
-        assert!(k.params.iter().any(|p| matches!(p, KernelParam::Scalar { var } if var.contains("span1"))));
+        assert!(
+            k.params
+                .iter()
+                .filter(|p| matches!(p, KernelParam::Scalar { var } if var.contains("_lo")))
+                .count()
+                == 2
+        );
+        assert!(k
+            .params
+            .iter()
+            .any(|p| matches!(p, KernelParam::Scalar { var } if var.contains("span1"))));
     }
 
     #[test]
@@ -1917,7 +2190,10 @@ mod tests {
         let src = "double a[100];\nvoid main() {\n int j; int n2; n2 = 50;\n #pragma acc kernels loop gang\n for (j = 0; j < n2; j++) { a[j] = 1.0; }\n}";
         let t = translate_src(src);
         // A synthesized global holds the captured bound.
-        assert!(t.host_program.globals().any(|g| g.name.starts_with("__k0_")));
+        assert!(t
+            .host_program
+            .globals()
+            .any(|g| g.name.starts_with("__k0_")));
         // And n threads global exists.
         assert!(t.host_module.global_slot("__k0_n").is_some());
     }
@@ -1926,7 +2202,9 @@ mod tests {
     fn update_and_wait_lowered_to_ops() {
         let src = "double b[4];\nvoid main() {\n #pragma acc update host(b)\n #pragma acc wait(1)\n b[0] = 1.0;\n}";
         let t = translate_src(src);
-        assert!(t.ops.iter().any(|o| matches!(o, RtOp::Update { to_host, .. } if to_host == &vec!["b".to_string()])));
+        assert!(t.ops.iter().any(
+            |o| matches!(o, RtOp::Update { to_host, .. } if to_host == &vec!["b".to_string()])
+        ));
         assert!(t.ops.iter().any(|o| matches!(o, RtOp::Wait(Some(1)))));
     }
 
@@ -1934,7 +2212,10 @@ mod tests {
     fn loop_context_ops_inserted_around_kernel_loops() {
         let src = "double q[8];\ndouble w[8];\nvoid main() {\n int k; int j;\n for (k = 0; k < 3; k++) {\n  #pragma acc kernels loop gang\n  for (j = 0; j < 8; j++) { q[j] = w[j]; }\n }\n}";
         let t = translate_src(src);
-        assert!(t.ops.iter().any(|o| matches!(o, RtOp::LoopEnter { label } if label == "k-loop")));
+        assert!(t
+            .ops
+            .iter()
+            .any(|o| matches!(o, RtOp::LoopEnter { label } if label == "k-loop")));
         assert!(t.ops.contains(&RtOp::LoopTick));
         assert!(t.ops.contains(&RtOp::LoopExit));
     }
@@ -1981,7 +2262,10 @@ mod tests {
     fn instrumented_translation_adds_check_ops() {
         let src = "double a[8];\nint z;\nvoid main() {\n int j;\n z = (int) a[0];\n #pragma acc kernels loop gang\n for (j = 0; j < 8; j++) { a[j] = 1.0; }\n}";
         let (p, s) = frontend(src).unwrap();
-        let opts = TranslateOptions { instrument: true, ..Default::default() };
+        let opts = TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        };
         let t = translate(&p, &s, &opts).unwrap();
         assert!(t.ops.iter().any(|o| matches!(o, RtOp::CheckRead { .. })));
     }
@@ -1996,7 +2280,11 @@ mod escape_tests {
         let src = "double a[4];\nvoid main() {\n int j;\n for (j = 0; j < 4; j++) {\n  #pragma acc data copyin(a)\n  {\n   if (j == 2) { break; }\n  }\n }\n}";
         let (p, s) = frontend(src).unwrap();
         let err = translate(&p, &s, &TranslateOptions::default()).unwrap_err();
-        assert!(err.iter().any(|d| d.message.contains("branch out of a structured data region")), "{err:?}");
+        assert!(
+            err.iter()
+                .any(|d| d.message.contains("branch out of a structured data region")),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -2021,7 +2309,10 @@ mod wave_tests {
 
     fn kernel0(src: &str) -> crate::ir::KernelInfo {
         let (p, s) = frontend(src).unwrap();
-        translate(&p, &s, &TranslateOptions::default()).unwrap().kernels[0].clone()
+        translate(&p, &s, &TranslateOptions::default())
+            .unwrap()
+            .kernels[0]
+            .clone()
     }
 
     #[test]
@@ -2048,7 +2339,11 @@ mod wave_tests {
         // directive).
         let src = "double a[32];\ndouble tmp;\nvoid main() {\n int j;\n #pragma acc kernels loop gang num_workers(1) vector_length(1)\n for (j = 0; j < 32; j++) { tmp = (double) j; a[j] = tmp + 1.0; }\n}";
         let (p, s) = frontend(src).unwrap();
-        let topts = TranslateOptions { auto_privatize: false, auto_reduction: false, ..Default::default() };
+        let topts = TranslateOptions {
+            auto_privatize: false,
+            auto_reduction: false,
+            ..Default::default()
+        };
         let tr = translate(&p, &s, &topts).unwrap();
         let r = crate::exec::execute(&tr, &crate::exec::ExecOptions::default()).unwrap();
         let a = r.global_array(&tr, "a").unwrap();

@@ -13,14 +13,12 @@
 //!   return per-kernel verdicts plus the Figure-3 time breakdown.
 
 use crate::exec::{execute, ExecMode, ExecOptions, KernelVerification, VerifyOptions};
-use crate::translate::{translate, Translated, TranslateOptions};
+use crate::translate::{translate, TranslateOptions, Translated};
 use openarc_gpusim::{RaceReport, TimeBreakdown};
 use openarc_minic::ast::*;
 use openarc_minic::span::Diagnostic;
 use openarc_minic::Sema;
-use openarc_openacc::{
-    directives_of, DataClause, DataClauseKind, DataItem, Directive,
-};
+use openarc_openacc::{directives_of, DataClause, DataClauseKind, DataItem, Directive};
 use openarc_vm::VmError;
 use std::collections::BTreeSet;
 
@@ -87,7 +85,8 @@ fn demote_stmt(
 ) -> Result<(), Diagnostic> {
     // Data region: remember its clauses, drop the directive, keep the block.
     let dirs = directives_of(&s)?;
-    if let Some((Directive::Data(d), _)) = dirs.iter().find(|(d, _)| matches!(d, Directive::Data(_)))
+    if let Some((Directive::Data(d), _)) =
+        dirs.iter().find(|(d, _)| matches!(d, Directive::Data(_)))
     {
         let mut clauses = enclosing.to_vec();
         clauses.extend(d.clauses.clone());
@@ -106,7 +105,12 @@ fn demote_stmt(
             }
             other => {
                 let blk = Block {
-                    stmts: vec![Stmt { id: s.id, span: s.span, pragmas: Vec::new(), kind: other }],
+                    stmts: vec![Stmt {
+                        id: s.id,
+                        span: s.span,
+                        pragmas: Vec::new(),
+                        kind: other,
+                    }],
                 };
                 let demoted = demote_block(blk, targets, queue, counter, &clauses)?;
                 out.push(Stmt {
@@ -145,10 +149,16 @@ fn demote_stmt(
             // Restrict to variables the enclosing regions or defaults would
             // have managed — demotion moves every accessed aggregate.
             if !copy_items.is_empty() {
-                spec.data.push(DataClause { kind: DataClauseKind::Copy, items: copy_items });
+                spec.data.push(DataClause {
+                    kind: DataClauseKind::Copy,
+                    items: copy_items,
+                });
             }
             if !copyin_items.is_empty() {
-                spec.data.push(DataClause { kind: DataClauseKind::CopyIn, items: copyin_items });
+                spec.data.push(DataClause {
+                    kind: DataClauseKind::CopyIn,
+                    items: copyin_items,
+                });
             }
             spec.async_queue = Some(queue);
             let _ = enclosing; // clauses are subsumed by the full demotion
@@ -163,7 +173,10 @@ fn demote_stmt(
             out.push(Stmt {
                 id: s.id,
                 span,
-                pragmas: vec![Pragma { text: format!("acc wait({queue})"), span }],
+                pragmas: vec![Pragma {
+                    text: format!("acc wait({queue})"),
+                    span,
+                }],
                 kind: StmtKind::Block(Block::default()),
             });
         } else {
@@ -192,7 +205,11 @@ fn recurse_plain(
     enclosing: &[DataClause],
 ) -> Result<Stmt, Diagnostic> {
     let kind = match s.kind {
-        StmtKind::If { cond, then_blk, else_blk } => StmtKind::If {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => StmtKind::If {
             cond,
             then_blk: demote_block(then_blk, targets, queue, counter, enclosing)?,
             else_blk: match else_blk {
@@ -200,7 +217,12 @@ fn recurse_plain(
                 None => None,
             },
         },
-        StmtKind::For { init, cond, step, body } => StmtKind::For {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => StmtKind::For {
             init,
             cond,
             step,
@@ -213,7 +235,12 @@ fn recurse_plain(
         StmtKind::Block(b) => StmtKind::Block(demote_block(b, targets, queue, counter, enclosing)?),
         other => other,
     };
-    Ok(Stmt { id: s.id, span: s.span, pragmas: s.pragmas, kind })
+    Ok(Stmt {
+        id: s.id,
+        span: s.span,
+        pragmas: s.pragmas,
+        kind,
+    })
 }
 
 /// Aggregate variables read / written inside a compute region (syntactic).
@@ -345,13 +372,23 @@ pub fn verify_kernels(
     // Baseline: sequential CPU run.
     let base = execute(
         &tr,
-        &ExecOptions { mode: ExecMode::CpuOnly, race_detect: false, ..Default::default() },
+        &ExecOptions {
+            mode: ExecMode::CpuOnly,
+            race_detect: false,
+            ..Default::default()
+        },
     )
     .map_err(VerifyError::Run)?;
     let cpu_baseline_us = base.sim_time_us();
     // Verification run.
-    let r = execute(&tr, &ExecOptions { mode: ExecMode::Verify(vopts), ..Default::default() })
-        .map_err(VerifyError::Run)?;
+    let r = execute(
+        &tr,
+        &ExecOptions {
+            mode: ExecMode::Verify(vopts),
+            ..Default::default()
+        },
+    )
+    .map_err(VerifyError::Run)?;
     let report = VerificationReport {
         kernels: r.verify.clone(),
         breakdown: r.machine.clock.breakdown.clone(),
@@ -396,7 +433,10 @@ mod tests {
         let text = print_program(&demoted);
         // Data clauses moved onto the kernel with adjusted transfer types,
         // async added, wait inserted, data directive gone (Listing 2).
-        assert!(text.contains("acc kernels loop async(1) gang worker copy(q) copyin(w)"), "{text}");
+        assert!(
+            text.contains("acc kernels loop async(1) gang worker copy(q) copyin(w)"),
+            "{text}"
+        );
         assert!(text.contains("acc wait(1)"), "{text}");
         assert!(!text.contains("acc data"), "{text}");
     }
@@ -425,13 +465,21 @@ mod tests {
     #[test]
     fn verify_kernels_end_to_end_clean() {
         let (p, s) = frontend(LISTING1).unwrap();
-        let (_, report) =
-            verify_kernels(&p, &s, &TranslateOptions::default(), VerifyOptions::default()).unwrap();
+        let (_, report) = verify_kernels(
+            &p,
+            &s,
+            &TranslateOptions::default(),
+            VerifyOptions::default(),
+        )
+        .unwrap();
         assert_eq!(report.kernels.len(), 1);
         assert!(report.flagged().is_empty());
         assert_eq!(report.kernels[0].launches, 3, "verified on every iteration");
         assert!(report.cpu_baseline_us > 0.0);
-        assert!(report.normalized_time() > 1.0, "verification costs more than plain CPU");
+        assert!(
+            report.normalized_time() > 1.0,
+            "verification costs more than plain CPU"
+        );
     }
 
     #[test]
@@ -447,8 +495,7 @@ mod tests {
             auto_reduction: false,
             ..Default::default()
         };
-        let (_, report) =
-            verify_kernels(&stripped, &s, &topts, VerifyOptions::default()).unwrap();
+        let (_, report) = verify_kernels(&stripped, &s, &topts, VerifyOptions::default()).unwrap();
         assert_eq!(report.flagged().len(), 1);
         assert!(!report.races.is_empty());
     }

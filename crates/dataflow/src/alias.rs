@@ -42,12 +42,7 @@ impl AliasInfo {
     }
 
     /// Points-to set of `var` as seen inside `func`.
-    pub fn points_to(
-        &self,
-        sema: &openarc_minic::Sema,
-        func: &str,
-        var: &str,
-    ) -> BTreeSet<Loc> {
+    pub fn points_to(&self, sema: &openarc_minic::Sema, func: &str, var: &str) -> BTreeSet<Loc> {
         self.pts
             .get(&Self::key(sema, func, var))
             .cloned()
@@ -106,7 +101,11 @@ pub fn analyze(program: &Program, sema: &openarc_minic::Sema) -> AliasInfo {
         let Item::Func(f) = item else { continue };
         walk_stmts(&f.body, &mut |s| {
             let (target, value) = match &s.kind {
-                StmtKind::Assign { target: LValue::Var(t), op: AssignOp::Set, value } => (t, value),
+                StmtKind::Assign {
+                    target: LValue::Var(t),
+                    op: AssignOp::Set,
+                    value,
+                } => (t, value),
                 StmtKind::Decl(d) => {
                     if let (Ty::Ptr(_), Some(init)) = (&d.ty, &d.init) {
                         note_ptr_assign(&mut info, &mut copies, sema, f, &d.name, init, s.id);
@@ -156,7 +155,10 @@ fn note_ptr_assign(
 ) {
     let dst = AliasInfo::key(sema, &f.name, target);
     match &value.kind {
-        ExprKind::Cast { ty: Ty::Ptr(_), expr } => {
+        ExprKind::Cast {
+            ty: Ty::Ptr(_),
+            expr,
+        } => {
             if matches!(&expr.kind, ExprKind::Call { name, .. } if name == "malloc") {
                 info.pts.entry(dst).or_default().insert(Loc::Malloc(site));
             } else {
@@ -179,12 +181,7 @@ fn note_ptr_assign(
 /// Passing a pointer to a user function makes the *parameter* alias the
 /// argument; we conservatively mark the argument Unknown-free but add the
 /// flow edge implicitly by marking params Unknown already (see `analyze`).
-fn note_call_effects(
-    _info: &mut AliasInfo,
-    _sema: &openarc_minic::Sema,
-    _f: &Func,
-    _s: &Stmt,
-) {
+fn note_call_effects(_info: &mut AliasInfo, _sema: &openarc_minic::Sema, _f: &Func, _s: &Stmt) {
     // Parameters are already seeded Unknown; nothing further to do for the
     // benchmarks' call patterns.
 }

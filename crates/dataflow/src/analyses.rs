@@ -123,7 +123,10 @@ impl Problem for DeadLive {
 
     fn init(&self) -> DeadLiveFact {
         // Optimistic ⊤: live = ∅ (∪-meet), dead = universe (∩-meet).
-        DeadLiveFact { live: Set::new(), dead: self.universe.clone() }
+        DeadLiveFact {
+            live: Set::new(),
+            dead: self.universe.clone(),
+        }
     }
 
     fn meet(&self, a: &DeadLiveFact, b: &DeadLiveFact) -> DeadLiveFact {
@@ -134,9 +137,7 @@ impl Problem for DeadLive {
     }
 
     fn transfer(&self, cfg: &Cfg, n: usize, out: &DeadLiveFact) -> DeadLiveFact {
-        if self.ignore_updates
-            && matches!(cfg.nodes[n].kind, crate::cfg::NodeKind::Update(_))
-        {
+        if self.ignore_updates && matches!(cfg.nodes[n].kind, crate::cfg::NodeKind::Update(_)) {
             return out.clone();
         }
         let s = cfg.nodes[n].summary(self.side);
@@ -191,16 +192,28 @@ impl DeadLiveResult {
 
 /// Run Algorithm 1 for one side (transfers visible as accesses).
 pub fn dead_live(cfg: &Cfg, side: Side) -> DeadLiveResult {
-    let p = DeadLive { side, universe: universe(cfg), ignore_updates: false };
-    DeadLiveResult { sol: solve(cfg, &p) }
+    let p = DeadLive {
+        side,
+        universe: universe(cfg),
+        ignore_updates: false,
+    };
+    DeadLiveResult {
+        sol: solve(cfg, &p),
+    }
 }
 
 /// Run Algorithm 1 treating `update` transfer nodes as transparent — the
 /// variant used to place `reset_status` calls, where deadness must be
 /// judged by *compute* accesses only.
 pub fn dead_live_compute(cfg: &Cfg, side: Side) -> DeadLiveResult {
-    let p = DeadLive { side, universe: universe(cfg), ignore_updates: true };
-    DeadLiveResult { sol: solve(cfg, &p) }
+    let p = DeadLive {
+        side,
+        universe: universe(cfg),
+        ignore_updates: true,
+    };
+    DeadLiveResult {
+        sol: solve(cfg, &p),
+    }
 }
 
 // ------------------------------------------------------------ Algorithm 2
@@ -234,7 +247,11 @@ impl Problem for LastWrite {
         // Algorithm 2: INWrite(n) = OUTWrite(n) + DEF(n) − KILL(n), with
         // kernels acting as analysis restarts when requested.
         let node = &cfg.nodes[n];
-        let mut fact = if self.reset_at_kernels && node.is_kernel() { Set::new() } else { out.clone() };
+        let mut fact = if self.reset_at_kernels && node.is_kernel() {
+            Set::new()
+        } else {
+            out.clone()
+        };
         let s = node.summary(self.side);
         fact.extend(s.writes.iter().cloned());
         for k in &s.kills {
@@ -265,8 +282,14 @@ impl LastWriteResult {
 
 /// Run Algorithm 2 for one side.
 pub fn last_write(cfg: &Cfg, side: Side, reset_at_kernels: bool) -> LastWriteResult {
-    let p = LastWrite { side, universe: universe(cfg), reset_at_kernels };
-    LastWriteResult { sol: solve(cfg, &p) }
+    let p = LastWrite {
+        side,
+        universe: universe(cfg),
+        reset_at_kernels,
+    };
+    LastWriteResult {
+        sol: solve(cfg, &p),
+    }
 }
 
 // ----------------------------------------------------------- first access
@@ -311,7 +334,11 @@ impl Problem for AccessedBefore {
         let node = &cfg.nodes[n];
         // Kernel launches restart host-side tracking ("…from each GPU
         // kernel call"): the device may have changed coherence state.
-        let mut fact = if node.is_kernel() { Set::new() } else { inn.clone() };
+        let mut fact = if node.is_kernel() {
+            Set::new()
+        } else {
+            inn.clone()
+        };
         let s = node.summary(self.side);
         let acc = match self.sel {
             AccessSel::Read => &s.reads,
@@ -330,7 +357,11 @@ impl Problem for AccessedBefore {
 /// where §III-B's optimized instrumentation inserts `check_read` /
 /// `check_write` calls.
 pub fn first_access(cfg: &Cfg, side: Side, sel: AccessSel) -> Vec<Set> {
-    let p = AccessedBefore { side, sel, universe: universe(cfg) };
+    let p = AccessedBefore {
+        side,
+        sel,
+        universe: universe(cfg),
+    };
     let sol = solve(cfg, &p);
     cfg.nodes
         .iter()
@@ -341,7 +372,10 @@ pub fn first_access(cfg: &Cfg, side: Side, sel: AccessSel) -> Vec<Set> {
                 AccessSel::Read => &s.reads,
                 AccessSel::Write => &s.writes,
             };
-            acc.iter().filter(|v| !sol.before[i].contains(*v)).cloned().collect()
+            acc.iter()
+                .filter(|v| !sol.before[i].contains(*v))
+                .cloned()
+                .collect()
         })
         .collect()
 }
@@ -437,9 +471,8 @@ mod tests {
     #[test]
     fn written_first_everywhere_is_may_dead() {
         // `a` is overwritten (element-wise) before any read on all paths.
-        let cfg = cfg_of(
-            "double a[4];\nint z;\nvoid main() { z = 0; a[0] = 1.0; z = (int) a[0]; }",
-        );
+        let cfg =
+            cfg_of("double a[4];\nint z;\nvoid main() { z = 0; a[0] = 1.0; z = (int) a[0]; }");
         let dl = dead_live(&cfg, Side::Host);
         let n_z = node_writing(&cfg, "z");
         // At entry of the first statement, the next access to `a` is a
@@ -472,9 +505,7 @@ mod tests {
         // algorithm classifies q may-dead (transfer reported only as
         // MAY-redundant, so the user must verify) — not must-dead, which
         // would have wrongly declared the transfer redundant.
-        let cfg = cfg_of(
-            "double q[8];\nint z;\nvoid main() { q[0] = 0.5; z = (int) q[1]; }",
-        );
+        let cfg = cfg_of("double q[8];\nint z;\nvoid main() { q[0] = 0.5; z = (int) q[1]; }");
         let dl = dead_live(&cfg, Side::Host);
         let first = cfg.succ[cfg.entry][0];
         assert_eq!(dl.before(first, "q"), Deadness::MayDead);
@@ -503,8 +534,12 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(writers.len(), 2);
-        let first_is_last = lw.last_written_at(&cfg, Side::Host, writers[0]).contains("a");
-        let second_is_last = lw.last_written_at(&cfg, Side::Host, writers[1]).contains("a");
+        let first_is_last = lw
+            .last_written_at(&cfg, Side::Host, writers[0])
+            .contains("a");
+        let second_is_last = lw
+            .last_written_at(&cfg, Side::Host, writers[1])
+            .contains("a");
         assert!(!first_is_last, "a is rewritten later");
         assert!(second_is_last, "final write should be last");
     }
@@ -524,8 +559,12 @@ mod tests {
             .collect();
         // With kernel reset, the write BEFORE the kernel is a last write
         // relative to the kernel boundary.
-        assert!(lw.last_written_at(&cfg, Side::Host, writers[0]).contains("a"));
-        assert!(lw.last_written_at(&cfg, Side::Host, writers[1]).contains("a"));
+        assert!(lw
+            .last_written_at(&cfg, Side::Host, writers[0])
+            .contains("a"));
+        assert!(lw
+            .last_written_at(&cfg, Side::Host, writers[1])
+            .contains("a"));
     }
 
     // -------- first access --------
@@ -555,12 +594,17 @@ mod tests {
             .nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.host.reads.contains("a") && matches!(n.kind, crate::cfg::NodeKind::Plain))
+            .filter(|(_, n)| {
+                n.host.reads.contains("a") && matches!(n.kind, crate::cfg::NodeKind::Plain)
+            })
             .map(|(i, _)| i)
             .collect();
         assert_eq!(readers.len(), 2);
         assert!(fr[readers[0]].contains("a"), "read before kernel is first");
-        assert!(fr[readers[1]].contains("a"), "read after kernel is first again");
+        assert!(
+            fr[readers[1]].contains("a"),
+            "read after kernel is first again"
+        );
     }
 
     #[test]
@@ -584,9 +628,8 @@ mod tests {
 
     #[test]
     fn natural_loop_contains_body_nodes() {
-        let cfg = cfg_of(
-            "int a;\nvoid main() { int i; for (i = 0; i < 3; i++) { a = i; } a = 9; }",
-        );
+        let cfg =
+            cfg_of("int a;\nvoid main() { int i; for (i = 0; i < 3; i++) { a = i; } a = 9; }");
         let loops = natural_loops(&cfg);
         assert_eq!(loops.len(), 1);
         let l = &loops[0];

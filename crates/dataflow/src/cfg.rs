@@ -162,14 +162,16 @@ impl Cfg {
     /// Element accesses through the pointer remain data accesses.
     pub fn build_typed(func: &Func, sema: &openarc_minic::Sema) -> Result<Cfg, Diagnostic> {
         let fname = func.name.clone();
-        let is_ptr = move |n: &str| {
-            matches!(sema.var_ty(&fname, n), Some(openarc_minic::Ty::Ptr(_)))
-        };
+        let is_ptr =
+            move |n: &str| matches!(sema.var_ty(&fname, n), Some(openarc_minic::Ty::Ptr(_)));
         Cfg::build_inner(func, &is_ptr)
     }
 
     fn build_inner(func: &Func, is_ptr: &dyn Fn(&str) -> bool) -> Result<Cfg, Diagnostic> {
-        let mut b = Builder { is_ptr, ..Builder::new(is_ptr) };
+        let mut b = Builder {
+            is_ptr,
+            ..Builder::new(is_ptr)
+        };
         let entry = b.add(CfgNode {
             stmt: None,
             kind: NodeKind::Entry,
@@ -253,7 +255,13 @@ impl Builder<'_> {
     }
 
     fn plain(&mut self, stmt: Option<NodeId>, kind: NodeKind, host: AccessSummary) -> usize {
-        self.add(CfgNode { stmt, kind, host, gpu: AccessSummary::default(), loop_depth: self.loop_depth })
+        self.add(CfgNode {
+            stmt,
+            kind,
+            host,
+            gpu: AccessSummary::default(),
+            loop_depth: self.loop_depth,
+        })
     }
 
     fn edge(&mut self, from: usize, to: usize) {
@@ -273,15 +281,18 @@ impl Builder<'_> {
     fn lower_stmt(&mut self, s: &Stmt, cur: usize) -> Result<usize, Diagnostic> {
         let dirs = directives_of(s)?;
         // Compute construct → a single kernel node.
-        if let Some((Directive::Compute(spec), _)) =
-            dirs.iter().find(|(d, _)| matches!(d, Directive::Compute(_)))
+        if let Some((Directive::Compute(spec), _)) = dirs
+            .iter()
+            .find(|(d, _)| matches!(d, Directive::Compute(_)))
         {
             let mut gpu = AccessSummary::default();
             summarize_region(s, &mut gpu, self.is_ptr);
             // Launch-time host reads: loop bounds and scalar kernel inputs
             // are read on the host when marshalling arguments.
-            let mut host = AccessSummary::default();
-            host.reads = gpu.reads.clone();
+            let host = AccessSummary {
+                reads: gpu.reads.clone(),
+                ..Default::default()
+            };
             let node = self.add(CfgNode {
                 stmt: Some(s.id),
                 kind: NodeKind::Kernel(self.regions.len()),
@@ -289,7 +300,11 @@ impl Builder<'_> {
                 gpu,
                 loop_depth: self.loop_depth,
             });
-            self.regions.push(ComputeRegion { stmt: s.id, spec: spec.clone(), node });
+            self.regions.push(ComputeRegion {
+                stmt: s.id,
+                spec: spec.clone(),
+                node,
+            });
             self.stmt_node.insert(s.id, node);
             self.edge(cur, node);
             return Ok(node);
@@ -299,7 +314,11 @@ impl Builder<'_> {
             dirs.iter().find(|(d, _)| matches!(d, Directive::Data(_)))
         {
             let region_idx = self.data_regions.len();
-            let enter = self.plain(Some(s.id), NodeKind::DataEnter(region_idx), AccessSummary::default());
+            let enter = self.plain(
+                Some(s.id),
+                NodeKind::DataEnter(region_idx),
+                AccessSummary::default(),
+            );
             self.stmt_node.insert(s.id, enter);
             self.edge(cur, enter);
             // Reserve the slot before lowering the body so nested regions
@@ -314,7 +333,11 @@ impl Builder<'_> {
                 StmtKind::Block(b) => self.lower_block(b, enter)?,
                 _ => self.lower_plain(s, enter)?,
             };
-            let exit = self.plain(Some(s.id), NodeKind::DataExit(region_idx), AccessSummary::default());
+            let exit = self.plain(
+                Some(s.id),
+                NodeKind::DataExit(region_idx),
+                AccessSummary::default(),
+            );
             self.edge(body_end, exit);
             self.data_regions[region_idx].exit_node = exit;
             return Ok(exit);
@@ -366,7 +389,11 @@ impl Builder<'_> {
                 self.edge(cur, node);
                 Ok(node)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let mut host = AccessSummary::default();
                 expr_reads_typed(cond, &mut host.reads, self.is_ptr);
                 let cnode = self.plain(Some(s.id), NodeKind::Branch, host);
@@ -403,7 +430,12 @@ impl Builder<'_> {
                 }
                 Ok(after)
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let mut cur2 = cur;
                 if let Some(i) = init {
                     cur2 = self.lower_stmt(i, cur2)?;
@@ -494,10 +526,8 @@ pub fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
 /// data read; element reads through it (`q[i]`) are.
 fn expr_reads_typed(e: &Expr, out: &mut BTreeSet<String>, is_ptr: &dyn Fn(&str) -> bool) {
     e.walk(&mut |x| match &x.kind {
-        ExprKind::Var(n) => {
-            if !is_ptr(n) {
-                out.insert(n.clone());
-            }
+        ExprKind::Var(n) if !is_ptr(n) => {
+            out.insert(n.clone());
         }
         ExprKind::Index { base, .. } => {
             out.insert(base.clone());
@@ -565,7 +595,11 @@ fn note_expr_effects(e: &Expr, sum: &mut AccessSummary) {
     e.walk(&mut |x| {
         if let ExprKind::Call { name, args } = &x.kind {
             if name == "free" {
-                if let Some(Expr { kind: ExprKind::Var(p), .. }) = args.first() {
+                if let Some(Expr {
+                    kind: ExprKind::Var(p),
+                    ..
+                }) = args.first()
+                {
                     sum.kills.insert(p.clone());
                 }
             } else if !openarc_minic::sema::is_intrinsic(name) {
@@ -591,11 +625,7 @@ fn summarize_region(s: &Stmt, sum: &mut AccessSummary, is_ptr: &dyn Fn(&str) -> 
             StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
                 expr_reads_typed(cond, &mut sum.reads, is_ptr)
             }
-            StmtKind::For { cond, .. } => {
-                if let Some(c) = cond {
-                    expr_reads_typed(c, &mut sum.reads, is_ptr)
-                }
-            }
+            StmtKind::For { cond: Some(c), .. } => expr_reads_typed(c, &mut sum.reads, is_ptr),
             _ => {}
         }
     });
@@ -677,16 +707,21 @@ mod tests {
         );
         assert_eq!(cfg.data_regions.len(), 1);
         let dr = &cfg.data_regions[0];
-        assert!(matches!(cfg.nodes[dr.enter_node].kind, NodeKind::DataEnter(0)));
-        assert!(matches!(cfg.nodes[dr.exit_node].kind, NodeKind::DataExit(0)));
+        assert!(matches!(
+            cfg.nodes[dr.enter_node].kind,
+            NodeKind::DataEnter(0)
+        ));
+        assert!(matches!(
+            cfg.nodes[dr.exit_node].kind,
+            NodeKind::DataExit(0)
+        ));
         assert_ne!(dr.exit_node, usize::MAX);
     }
 
     #[test]
     fn update_node_access_direction() {
-        let cfg = cfg_of(
-            "double b[4];\nvoid main() {\n #pragma acc update host(b)\n b[0] = 1.0;\n}",
-        );
+        let cfg =
+            cfg_of("double b[4];\nvoid main() {\n #pragma acc update host(b)\n b[0] = 1.0;\n}");
         let un = cfg
             .nodes
             .iter()
@@ -705,7 +740,8 @@ mod tests {
 
     #[test]
     fn partial_vs_total_writes() {
-        let cfg = cfg_of("double a[4];\ndouble *p;\ndouble *q2;\nvoid main() { a[0] = 1.0; p = q2; }");
+        let cfg =
+            cfg_of("double a[4];\ndouble *p;\ndouble *q2;\nvoid main() { a[0] = 1.0; p = q2; }");
         let n1 = cfg.succ[cfg.entry][0];
         assert!(cfg.nodes[n1].host.writes.contains("a"));
         assert!(!cfg.nodes[n1].host.total_writes.contains("a"));

@@ -3,7 +3,7 @@
 //! Control-flow graphs and the dataflow analyses behind the paper's
 //! memory-transfer verification and optimization (§III-B):
 //!
-//! * [`cfg`] — OpenACC-aware CFG construction: compute regions collapse
+//! * [`mod@cfg`] — OpenACC-aware CFG construction: compute regions collapse
 //!   into kernel nodes with device-side access summaries.
 //! * [`analyses::dead_live`] — the paper's **Algorithm 1**
 //!   (may-dead / may-live / must-dead).
@@ -24,8 +24,8 @@ pub mod solver;
 
 pub use alias::{analyze as alias_analyze, AliasInfo, Loc};
 pub use analyses::{
-    dead_live, dead_live_compute, first_access, last_write, liveness, natural_loops, AccessSel, DeadLiveResult,
-    Deadness, LastWriteResult, NaturalLoop,
+    dead_live, dead_live_compute, first_access, last_write, liveness, natural_loops, AccessSel,
+    DeadLiveResult, Deadness, LastWriteResult, NaturalLoop,
 };
 pub use cfg::{AccessSummary, Cfg, CfgNode, ComputeRegion, DataRegion, NodeKind, Side};
 pub use solver::{solve, Problem, Solution};

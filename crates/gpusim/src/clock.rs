@@ -1,6 +1,12 @@
 //! Simulated wall clock with async-queue timelines and a per-category
 //! time breakdown (the accounting behind the paper's Figure 3).
+//!
+//! When a [`Journal`] is attached, the clock emits a
+//! [`openarc_trace::EventKind::Slice`] at the instant each charge lands, so
+//! per-category sums over the journal reproduce [`TimeBreakdown`] exactly
+//! (same `f64` additions, same order).
 
+use openarc_trace::{Category, EventKind, Journal, TraceEvent, Track};
 use std::collections::HashMap;
 
 /// Where simulated time was spent. Matches Figure 3's legend plus kernel
@@ -48,6 +54,19 @@ impl TimeCategory {
             TimeCategory::KernelExec => "Kernel Exec",
         }
     }
+
+    /// The journal-schema category this clock category maps onto.
+    pub fn trace_category(self) -> Category {
+        match self {
+            TimeCategory::GpuMemFree => Category::GpuMemFree,
+            TimeCategory::GpuMemAlloc => Category::GpuMemAlloc,
+            TimeCategory::MemTransfer => Category::MemTransfer,
+            TimeCategory::AsyncWait => Category::AsyncWait,
+            TimeCategory::ResultComp => Category::ResultComp,
+            TimeCategory::CpuTime => Category::CpuTime,
+            TimeCategory::KernelExec => Category::KernelExec,
+        }
+    }
 }
 
 /// Accumulated simulated time per category, µs.
@@ -84,6 +103,9 @@ pub struct SimClock {
     queues: HashMap<i64, f64>,
     /// Per-category accounting of host-visible time.
     pub breakdown: TimeBreakdown,
+    /// Event journal; the default (disabled) journal makes every emission
+    /// a single branch.
+    pub journal: Journal,
 }
 
 impl SimClock {
@@ -100,17 +122,27 @@ impl SimClock {
     /// Advance the host timeline by `dt` µs, charging `cat`.
     pub fn advance(&mut self, cat: TimeCategory, dt: f64) {
         debug_assert!(dt >= 0.0, "negative time {dt}");
+        self.journal.emit(TraceEvent {
+            ts_us: self.host_now,
+            dur_us: dt,
+            track: Track::Host,
+            kind: EventKind::Slice {
+                cat: cat.trace_category(),
+            },
+        });
         self.host_now += dt;
         self.breakdown.add(cat, dt);
     }
 
     /// Enqueue `dt` µs of asynchronous work on `queue`. The work starts no
     /// earlier than the host's current time and the queue's previous end;
-    /// the host does not block.
-    pub fn enqueue_async(&mut self, queue: i64, dt: f64) {
+    /// the host does not block. Returns the simulated start time of the
+    /// enqueued span, so callers can journal it with a true timestamp.
+    pub fn enqueue_async(&mut self, queue: i64, dt: f64) -> f64 {
         let end = self.queues.entry(queue).or_insert(0.0);
         let start = end.max(self.host_now);
         *end = start + dt;
+        start
     }
 
     /// Block the host until `queue` drains, charging the stall to
@@ -119,15 +151,25 @@ impl SimClock {
         if let Some(end) = self.queues.get(&queue).copied() {
             if end > self.host_now {
                 let stall = end - self.host_now;
+                self.journal.emit(TraceEvent {
+                    ts_us: self.host_now,
+                    dur_us: stall,
+                    track: Track::Host,
+                    kind: EventKind::Slice {
+                        cat: Category::AsyncWait,
+                    },
+                });
                 self.host_now = end;
                 self.breakdown.add(TimeCategory::AsyncWait, stall);
             }
         }
     }
 
-    /// Block the host until every queue drains.
+    /// Block the host until every queue drains. Queues drain in sorted-id
+    /// order so journaled stall slices are deterministic.
     pub fn wait_all(&mut self) {
-        let queues: Vec<i64> = self.queues.keys().copied().collect();
+        let mut queues: Vec<i64> = self.queues.keys().copied().collect();
+        queues.sort_unstable();
         for q in queues {
             self.wait(q);
         }
@@ -200,8 +242,29 @@ mod tests {
     fn async_after_host_progress_starts_at_host_now() {
         let mut c = SimClock::new();
         c.advance(TimeCategory::CpuTime, 100.0);
-        c.enqueue_async(1, 5.0);
+        let start = c.enqueue_async(1, 5.0);
+        assert_eq!(start, 100.0);
         c.wait(1);
         assert_eq!(c.now(), 105.0);
+    }
+
+    #[test]
+    fn journal_slices_reconcile_with_breakdown() {
+        let mut c = SimClock::new();
+        c.journal = Journal::enabled();
+        c.advance(TimeCategory::CpuTime, 1.25);
+        c.advance(TimeCategory::MemTransfer, 0.5);
+        c.enqueue_async(1, 10.0);
+        c.advance(TimeCategory::CpuTime, 3.0);
+        c.wait_all();
+        let events = c.journal.snapshot();
+        for (cat, total) in openarc_trace::category_totals(&events) {
+            let clock_cat = TimeCategory::ALL
+                .iter()
+                .copied()
+                .find(|t| t.trace_category() == cat)
+                .unwrap();
+            assert_eq!(total, c.breakdown.get(clock_cat), "{cat}");
+        }
     }
 }

@@ -2,8 +2,8 @@
 //! kernel-visible execution environment.
 
 use crate::race::{AccessKind, RaceDetector};
-use openarc_vm::{Env, Handle, MemSpace, Value, VmError};
 use openarc_minic::ScalarTy;
+use openarc_vm::{Env, Handle, MemSpace, Value, VmError};
 use std::collections::HashMap;
 
 /// A simulated GPU: a separate memory space plus race-detection switch.
@@ -19,7 +19,10 @@ impl Device {
     /// A fresh device with race detection enabled (the simulator is our
     /// ground-truth oracle, so it defaults on; benches can disable it).
     pub fn new() -> Device {
-        Device { mem: MemSpace::new(), race_detect: true }
+        Device {
+            mem: MemSpace::new(),
+            race_detect: true,
+        }
     }
 }
 
@@ -37,7 +40,12 @@ pub struct DeviceEnv<'a> {
 impl<'a> DeviceEnv<'a> {
     /// Wrap device memory (and optionally a race detector) for one launch.
     pub fn new(mem: &'a mut MemSpace, races: Option<&'a mut RaceDetector>) -> DeviceEnv<'a> {
-        DeviceEnv { mem, races, labels: HashMap::new(), current_tid: 0 }
+        DeviceEnv {
+            mem,
+            races,
+            labels: HashMap::new(),
+            current_tid: 0,
+        }
     }
 
     fn label_of(&mut self, h: Handle) -> String {
@@ -84,11 +92,15 @@ impl Env for DeviceEnv<'_> {
     }
 
     fn malloc(&mut self, _elem: ScalarTy, _len: u64, _label: &str) -> Result<Handle, VmError> {
-        Err(VmError::Internal("kernels cannot allocate device memory".into()))
+        Err(VmError::Internal(
+            "kernels cannot allocate device memory".into(),
+        ))
     }
 
     fn free(&mut self, _h: Handle) -> Result<(), VmError> {
-        Err(VmError::Internal("kernels cannot free device memory".into()))
+        Err(VmError::Internal(
+            "kernels cannot free device memory".into(),
+        ))
     }
 }
 

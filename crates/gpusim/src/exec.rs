@@ -25,7 +25,10 @@ pub struct LaunchConfig {
 
 impl Default for LaunchConfig {
     fn default() -> Self {
-        LaunchConfig { wave: 256, step_budget: 2_000_000_000 }
+        LaunchConfig {
+            wave: 256,
+            step_budget: 2_000_000_000,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ pub fn launch(
     n_threads: u64,
     cfg: &LaunchConfig,
 ) -> Result<KernelOutcome, VmError> {
-    let mut outcome = KernelOutcome { n_threads, ..Default::default() };
+    let mut outcome = KernelOutcome {
+        n_threads,
+        ..Default::default()
+    };
     let mut detector = device.race_detect.then(RaceDetector::new);
     let wave = cfg.wave.max(1) as u64;
     let mut spent: u64 = 0;
@@ -128,8 +134,8 @@ pub fn tree_combine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use openarc_minic::frontend;
     use openarc_minic::ast::BinOp;
+    use openarc_minic::frontend;
     use openarc_minic::ScalarTy;
     use openarc_vm::{compile, interp::eval_bin};
 
@@ -141,9 +147,7 @@ mod tests {
 
     #[test]
     fn parallel_elementwise_copy() {
-        let m = kernel_module(
-            "void k(int gid, double *q, double *w) { q[gid] = w[gid]; }",
-        );
+        let m = kernel_module("void k(int gid, double *q, double *w) { q[gid] = w[gid]; }");
         let mut dev = Device::new();
         let q = dev.mem.alloc(ScalarTy::Double, 100, "q");
         let w = dev.mem.alloc(ScalarTy::Double, 100, "w");
@@ -196,7 +200,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong >= 63, "lockstep should corrupt nearly all lanes, got {wrong}");
+        assert!(
+            wrong >= 63,
+            "lockstep should corrupt nearly all lanes, got {wrong}"
+        );
     }
 
     #[test]
@@ -206,8 +213,15 @@ mod tests {
         );
         let mut dev = Device::new();
         let a = dev.mem.alloc(ScalarTy::Double, 64, "a");
-        let out =
-            launch(&mut dev, &m, "k", &[Value::Ptr(a)], 64, &LaunchConfig::default()).unwrap();
+        let out = launch(
+            &mut dev,
+            &m,
+            "k",
+            &[Value::Ptr(a)],
+            64,
+            &LaunchConfig::default(),
+        )
+        .unwrap();
         assert!(out.races.is_empty());
         for i in 0..64 {
             assert_eq!(dev.mem.load(a, i).unwrap(), Value::F64(i as f64 * 2.0));
@@ -219,7 +233,10 @@ mod tests {
         let m = kernel_module("void k(int gid, int *a) { a[gid] = gid + 1; }");
         let mut dev = Device::new();
         let a = dev.mem.alloc(ScalarTy::Int, 1000, "a");
-        let cfg = LaunchConfig { wave: 64, ..Default::default() };
+        let cfg = LaunchConfig {
+            wave: 64,
+            ..Default::default()
+        };
         launch(&mut dev, &m, "k", &[Value::Ptr(a)], 1000, &cfg).unwrap();
         for i in 0..1000 {
             assert_eq!(dev.mem.load(a, i).unwrap(), Value::Int(i as i64 + 1));
@@ -231,7 +248,10 @@ mod tests {
         let m = kernel_module("void k(int gid, int *a) { while (1) { a[0] = gid; } }");
         let mut dev = Device::new();
         let a = dev.mem.alloc(ScalarTy::Int, 1, "a");
-        let cfg = LaunchConfig { wave: 8, step_budget: 10_000 };
+        let cfg = LaunchConfig {
+            wave: 8,
+            step_budget: 10_000,
+        };
         let r = launch(&mut dev, &m, "k", &[Value::Ptr(a)], 8, &cfg);
         assert!(matches!(r, Err(VmError::StepLimit(_))));
     }
@@ -259,7 +279,7 @@ mod tests {
         // eps at 1e8 is 8.0), while the tree first builds them into one
         // large partial that survives the final add.
         let mut vals = vec![Value::F32(1e8)];
-        vals.extend(std::iter::repeat(Value::F32(1.0)).take(1000));
+        vals.extend(std::iter::repeat_n(Value::F32(1.0), 1000));
         let mut seq = 0.0f32;
         for v in &vals {
             if let Value::F32(x) = v {
@@ -287,7 +307,15 @@ mod tests {
         let mut dev = Device::new();
         dev.race_detect = false;
         let x = dev.mem.alloc(ScalarTy::Int, 1, "x");
-        let out = launch(&mut dev, &m, "k", &[Value::Ptr(x)], 32, &LaunchConfig::default()).unwrap();
+        let out = launch(
+            &mut dev,
+            &m,
+            "k",
+            &[Value::Ptr(x)],
+            32,
+            &LaunchConfig::default(),
+        )
+        .unwrap();
         assert!(out.races.is_empty());
     }
 }

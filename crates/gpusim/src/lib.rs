@@ -21,6 +21,18 @@
 //! Beyond the paper's hardware, the simulator adds a race **oracle**
 //! ([`race::RaceDetector`]) used to count latent errors in the Table 2
 //! reproduction.
+//!
+//! ## Event journal
+//!
+//! The simulated clock ([`clock::SimClock`]) owns the run's
+//! [`openarc_trace::Journal`]. Every time charge
+//! ([`SimClock::advance`], and the stall portion of [`SimClock::wait`])
+//! emits a `Slice` event tagged with its [`TimeCategory`] at the moment
+//! the charge lands — so the journal's per-category totals are the same
+//! f64 additions, in the same order, as [`TimeBreakdown`], and reconcile
+//! with it exactly. Async work enqueued via [`SimClock::enqueue_async`]
+//! reports its true simulated start time so kernel/transfer spans land
+//! on the right queue track of the trace.
 
 #![warn(missing_docs)]
 

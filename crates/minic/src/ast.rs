@@ -154,7 +154,10 @@ impl BinOp {
 
     /// True for comparison operators (result type int).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 
@@ -316,7 +319,10 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match &self.kind {
-            ExprKind::IntLit(_) | ExprKind::FloatLit(..) | ExprKind::Var(_) | ExprKind::SizeOf(_) => {}
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(..)
+            | ExprKind::Var(_)
+            | ExprKind::SizeOf(_) => {}
             ExprKind::Index { indices, .. } => {
                 for e in indices {
                     e.walk(f);
@@ -327,7 +333,11 @@ impl Expr {
                 lhs.walk(f);
                 rhs.walk(f);
             }
-            ExprKind::Ternary { cond, then_e, else_e } => {
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.walk(f);
                 then_e.walk(f);
                 else_e.walk(f);
@@ -561,13 +571,17 @@ pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
 pub fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
     f(stmt);
     match &stmt.kind {
-        StmtKind::If { then_blk, else_blk, .. } => {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
             walk_stmts(then_blk, f);
             if let Some(e) = else_blk {
                 walk_stmts(e, f);
             }
         }
-        StmtKind::For { init, step, body, .. } => {
+        StmtKind::For {
+            init, step, body, ..
+        } => {
             if let Some(i) = init {
                 walk_stmt(i, f);
             }
@@ -587,7 +601,11 @@ mod tests {
     use super::*;
 
     fn e(kind: ExprKind) -> Expr {
-        Expr { id: 0, span: Span::dummy(), kind }
+        Expr {
+            id: 0,
+            span: Span::dummy(),
+            kind,
+        }
     }
 
     #[test]
@@ -602,14 +620,20 @@ mod tests {
     fn ty_aggregate_and_len() {
         assert!(Ty::Ptr(ScalarTy::Double).is_aggregate());
         assert!(!Ty::Scalar(ScalarTy::Int).is_aggregate());
-        assert_eq!(Ty::Array(ScalarTy::Float, vec![4, 8]).static_len(), Some(32));
+        assert_eq!(
+            Ty::Array(ScalarTy::Float, vec![4, 8]).static_len(),
+            Some(32)
+        );
         assert_eq!(Ty::Ptr(ScalarTy::Float).static_len(), None);
     }
 
     #[test]
     fn ty_display() {
         assert_eq!(Ty::Ptr(ScalarTy::Double).to_string(), "double *");
-        assert_eq!(Ty::Array(ScalarTy::Int, vec![3, 5]).to_string(), "int[3][5]");
+        assert_eq!(
+            Ty::Array(ScalarTy::Int, vec![3, 5]).to_string(),
+            "int[3][5]"
+        );
     }
 
     #[test]
@@ -630,7 +654,11 @@ mod tests {
     #[test]
     fn lvalue_totality() {
         assert!(LValue::Var("p".into()).is_total());
-        assert!(!LValue::Index { base: "a".into(), indices: vec![] }.is_total());
+        assert!(!LValue::Index {
+            base: "a".into(),
+            indices: vec![]
+        }
+        .is_total());
     }
 
     #[test]

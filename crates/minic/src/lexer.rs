@@ -22,7 +22,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn peek(&self) -> u8 {

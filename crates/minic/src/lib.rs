@@ -24,7 +24,10 @@ pub mod sema;
 pub mod span;
 pub mod token;
 
-pub use ast::{Block, Expr, ExprKind, Func, Item, LValue, NodeId, Pragma, Program, ScalarTy, Stmt, StmtKind, Ty, VarDecl};
+pub use ast::{
+    Block, Expr, ExprKind, Func, Item, LValue, NodeId, Pragma, Program, ScalarTy, Stmt, StmtKind,
+    Ty, VarDecl,
+};
 pub use parser::{parse, parse_expression};
 pub use pretty::print_program;
 pub use sema::{check, Sema};

@@ -13,7 +13,11 @@ use crate::token::{Token, TokenKind};
 /// Parse a full MiniC translation unit.
 pub fn parse(src: &str) -> Result<Program, Diagnostic> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    };
     p.program()
 }
 
@@ -22,7 +26,11 @@ pub fn parse(src: &str) -> Result<Program, Diagnostic> {
 /// program must not rely on id uniqueness.
 pub fn parse_expression(src: &str) -> Result<Expr, Diagnostic> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    };
     let e = p.expr()?;
     if !matches!(p.peek(), TokenKind::Eof) {
         return Err(Diagnostic::error(
@@ -42,7 +50,10 @@ pub fn is_standalone_pragma(text: &str) -> bool {
     }
     match words.next() {
         Some(w) => {
-            let head: String = w.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            let head: String = w
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
             matches!(head.as_str(), "update" | "wait" | "declare" | "cache")
                 || w.starts_with("wait(")
                 || w.starts_with("update(")
@@ -116,7 +127,10 @@ impl Parser {
                 self.bump();
                 Ok((name, sp))
             }
-            other => Err(Diagnostic::error(format!("expected identifier, found `{other}`"), sp)),
+            other => Err(Diagnostic::error(
+                format!("expected identifier, found `{other}`"),
+                sp,
+            )),
         }
     }
 
@@ -135,7 +149,10 @@ impl Parser {
             TokenKind::KwDouble => Some(ScalarTy::Double),
             TokenKind::KwVoid => None,
             other => {
-                return Err(Diagnostic::error(format!("expected type, found `{other}`"), sp))
+                return Err(Diagnostic::error(
+                    format!("expected type, found `{other}`"),
+                    sp,
+                ))
             }
         };
         self.bump();
@@ -159,7 +176,9 @@ impl Parser {
                 }
                 other => {
                     return Err(Diagnostic::error(
-                        format!("array dimension must be a positive integer literal, found `{other}`"),
+                        format!(
+                            "array dimension must be a positive integer literal, found `{other}`"
+                        ),
                         sp,
                     ))
                 }
@@ -182,7 +201,10 @@ impl Parser {
             }
             items.push(self.item()?);
         }
-        Ok(Program { items, next_id: self.next_id })
+        Ok(Program {
+            items,
+            next_id: self.next_id,
+        })
     }
 
     fn item(&mut self) -> Result<Item, Diagnostic> {
@@ -209,7 +231,10 @@ impl Parser {
         let dims = self.array_dims()?;
         let ty = if is_ptr {
             if !dims.is_empty() {
-                return Err(Diagnostic::error("pointer-to-array declarators are unsupported", sp));
+                return Err(Diagnostic::error(
+                    "pointer-to-array declarators are unsupported",
+                    sp,
+                ));
             }
             Ty::Ptr(base)
         } else if dims.is_empty() {
@@ -217,11 +242,21 @@ impl Parser {
         } else {
             Ty::Array(base, dims)
         };
-        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         if init.is_some() && ty.is_aggregate() && !matches!(ty, Ty::Ptr(_)) {
             return Err(Diagnostic::error("array initializers are unsupported", sp));
         }
-        Ok(VarDecl { id: self.fresh(), name, ty, init, span: sp.to(self.prev_span()) })
+        Ok(VarDecl {
+            id: self.fresh(),
+            name,
+            ty,
+            init,
+            span: sp.to(self.prev_span()),
+        })
     }
 
     fn func_item(
@@ -249,8 +284,8 @@ impl Parser {
                     let is_ptr = self.eat(&TokenKind::Star);
                     let (pname, _) = self.expect_ident()?;
                     let dims = self.array_dims()?;
-                    let base = base
-                        .ok_or_else(|| Diagnostic::error("parameter cannot be void", psp))?;
+                    let base =
+                        base.ok_or_else(|| Diagnostic::error("parameter cannot be void", psp))?;
                     let ty = if is_ptr || !dims.is_empty() {
                         // Array parameters decay to pointers.
                         Ty::Ptr(base)
@@ -266,7 +301,14 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(Func { id: self.fresh(), name, ret, params, body, span: sp.to(self.prev_span()) })
+        Ok(Func {
+            id: self.fresh(),
+            name,
+            ret,
+            params,
+            body,
+            span: sp.to(self.prev_span()),
+        })
     }
 
     // ---------------- Statements ----------------
@@ -276,7 +318,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while !self.eat(&TokenKind::RBrace) {
             if matches!(self.peek(), TokenKind::Eof) {
-                return Err(Diagnostic::error("unexpected end of input in block", self.span()));
+                return Err(Diagnostic::error(
+                    "unexpected end of input in block",
+                    self.span(),
+                ));
             }
             self.stmt_into(&mut stmts)?;
         }
@@ -308,7 +353,10 @@ impl Parser {
             if let Some(first) = stmts.first_mut() {
                 first.pragmas = pragmas;
             } else if !pragmas.is_empty() {
-                return Err(Diagnostic::error("pragma not followed by a statement", self.span()));
+                return Err(Diagnostic::error(
+                    "pragma not followed by a statement",
+                    self.span(),
+                ));
             }
             out.append(&mut stmts);
         }
@@ -349,7 +397,11 @@ impl Parser {
             TokenKind::KwWhile => self.while_stmt()?,
             TokenKind::KwReturn => {
                 self.bump();
-                let e = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let e = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 self.mk_stmt(sp, StmtKind::Return(e))
             }
@@ -377,7 +429,12 @@ impl Parser {
     }
 
     fn mk_stmt(&mut self, sp: Span, kind: StmtKind) -> Stmt {
-        Stmt { id: self.fresh(), span: sp.to(self.prev_span()), pragmas: Vec::new(), kind }
+        Stmt {
+            id: self.fresh(),
+            span: sp.to(self.prev_span()),
+            pragmas: Vec::new(),
+            kind,
+        }
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
@@ -387,8 +444,19 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(TokenKind::RParen)?;
         let then_blk = self.stmt_as_block()?;
-        let else_blk = if self.eat(&TokenKind::KwElse) { Some(self.stmt_as_block()?) } else { None };
-        Ok(self.mk_stmt(sp, StmtKind::If { cond, then_blk, else_blk }))
+        let else_blk = if self.eat(&TokenKind::KwElse) {
+            Some(self.stmt_as_block()?)
+        } else {
+            None
+        };
+        Ok(self.mk_stmt(
+            sp,
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+        ))
     }
 
     fn while_stmt(&mut self) -> Result<Stmt, Diagnostic> {
@@ -423,7 +491,11 @@ impl Parser {
             Some(Box::new(self.simple_stmt()?))
         };
         self.expect(TokenKind::Semi)?;
-        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+        let cond = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::Semi)?;
         let step = if self.peek() == &TokenKind::RParen {
             None
@@ -432,7 +504,15 @@ impl Parser {
         };
         self.expect(TokenKind::RParen)?;
         let body = self.stmt_as_block()?;
-        Ok(self.mk_stmt(sp, StmtKind::For { init, cond, step, body }))
+        Ok(self.mk_stmt(
+            sp,
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+        ))
     }
 
     /// Parse a statement and wrap single statements into a one-entry block.
@@ -452,10 +532,21 @@ impl Parser {
         let sp = self.span();
         // Prefix increment/decrement.
         if matches!(self.peek(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
-            let op = if self.bump().kind == TokenKind::PlusPlus { AssignOp::Add } else { AssignOp::Sub };
+            let op = if self.bump().kind == TokenKind::PlusPlus {
+                AssignOp::Add
+            } else {
+                AssignOp::Sub
+            };
             let lv = self.lvalue()?;
             let one = self.int_one(sp);
-            return Ok(self.mk_stmt(sp, StmtKind::Assign { target: lv, op, value: one }));
+            return Ok(self.mk_stmt(
+                sp,
+                StmtKind::Assign {
+                    target: lv,
+                    op,
+                    value: one,
+                },
+            ));
         }
         let e = self.expr()?;
         match self.peek().clone() {
@@ -488,14 +579,25 @@ impl Parser {
                     Diagnostic::error("operand of ++/-- is not assignable", e.span)
                 })?;
                 let one = self.int_one(sp);
-                Ok(self.mk_stmt(sp, StmtKind::Assign { target, op, value: one }))
+                Ok(self.mk_stmt(
+                    sp,
+                    StmtKind::Assign {
+                        target,
+                        op,
+                        value: one,
+                    },
+                ))
             }
             _ => Ok(self.mk_stmt(sp, StmtKind::Expr(e))),
         }
     }
 
     fn int_one(&mut self, sp: Span) -> Expr {
-        Expr { id: self.fresh(), span: sp, kind: ExprKind::IntLit(1) }
+        Expr {
+            id: self.fresh(),
+            span: sp,
+            kind: ExprKind::IntLit(1),
+        }
     }
 
     fn lvalue(&mut self) -> Result<LValue, Diagnostic> {
@@ -564,7 +666,11 @@ impl Parser {
             lhs = Expr {
                 id: self.fresh(),
                 span,
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
             };
         }
         Ok(lhs)
@@ -586,7 +692,14 @@ impl Parser {
             self.bump();
             let e = self.unary()?;
             let span = sp.to(e.span);
-            return Ok(Expr { id: self.fresh(), span, kind: ExprKind::Unary { op, expr: Box::new(e) } });
+            return Ok(Expr {
+                id: self.fresh(),
+                span,
+                kind: ExprKind::Unary {
+                    op,
+                    expr: Box::new(e),
+                },
+            });
         }
         self.postfix_expr()
     }
@@ -600,15 +713,21 @@ impl Parser {
                 let (base, tsp) = self.base_type()?;
                 let is_ptr = self.eat(&TokenKind::Star);
                 self.expect(TokenKind::RParen)?;
-                let base =
-                    base.ok_or_else(|| Diagnostic::error("cannot cast to void", tsp))?;
-                let ty = if is_ptr { Ty::Ptr(base) } else { Ty::Scalar(base) };
+                let base = base.ok_or_else(|| Diagnostic::error("cannot cast to void", tsp))?;
+                let ty = if is_ptr {
+                    Ty::Ptr(base)
+                } else {
+                    Ty::Scalar(base)
+                };
                 let inner = self.unary()?;
                 let span = sp.to(inner.span);
                 return Ok(Expr {
                     id: self.fresh(),
                     span,
-                    kind: ExprKind::Cast { ty, expr: Box::new(inner) },
+                    kind: ExprKind::Cast {
+                        ty,
+                        expr: Box::new(inner),
+                    },
                 });
             }
             self.bump();
@@ -622,16 +741,28 @@ impl Parser {
             let (base, tsp) = self.base_type()?;
             let base = base.ok_or_else(|| Diagnostic::error("sizeof(void) is invalid", tsp))?;
             self.expect(TokenKind::RParen)?;
-            return Ok(Expr { id: self.fresh(), span: sp.to(self.prev_span()), kind: ExprKind::SizeOf(base) });
+            return Ok(Expr {
+                id: self.fresh(),
+                span: sp.to(self.prev_span()),
+                kind: ExprKind::SizeOf(base),
+            });
         }
         match self.peek().clone() {
             TokenKind::IntLit(v) => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span: sp, kind: ExprKind::IntLit(v) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span: sp,
+                    kind: ExprKind::IntLit(v),
+                })
             }
             TokenKind::FloatLit(v, suf) => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span: sp, kind: ExprKind::FloatLit(v, suf) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span: sp,
+                    kind: ExprKind::FloatLit(v, suf),
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -654,10 +785,17 @@ impl Parser {
                     };
                     return self.maybe_index(e);
                 }
-                let e = Expr { id: self.fresh(), span: sp, kind: ExprKind::Var(name) };
+                let e = Expr {
+                    id: self.fresh(),
+                    span: sp,
+                    kind: ExprKind::Var(name),
+                };
                 self.maybe_index(e)
             }
-            other => Err(Diagnostic::error(format!("expected expression, found `{other}`"), sp)),
+            other => Err(Diagnostic::error(
+                format!("expected expression, found `{other}`"),
+                sp,
+            )),
         }
     }
 
@@ -681,7 +819,11 @@ impl Parser {
             self.expect(TokenKind::RBracket)?;
         }
         let span = e.span.to(self.prev_span());
-        Ok(Expr { id: self.fresh(), span, kind: ExprKind::Index { base, indices } })
+        Ok(Expr {
+            id: self.fresh(),
+            span,
+            kind: ExprKind::Index { base, indices },
+        })
     }
 }
 
@@ -689,9 +831,10 @@ impl Parser {
 fn expr_to_lvalue(e: &Expr) -> Option<LValue> {
     match &e.kind {
         ExprKind::Var(n) => Some(LValue::Var(n.clone())),
-        ExprKind::Index { base, indices } => {
-            Some(LValue::Index { base: base.clone(), indices: indices.clone() })
-        }
+        ExprKind::Index { base, indices } => Some(LValue::Index {
+            base: base.clone(),
+            indices: indices.clone(),
+        }),
         _ => None,
     }
 }
@@ -734,9 +877,7 @@ mod tests {
 
     #[test]
     fn standalone_update_pragma_is_own_statement() {
-        let p = parse_ok(
-            "void main() {\n int x;\n #pragma acc update host(x)\n x = 1;\n}",
-        );
+        let p = parse_ok("void main() {\n int x;\n #pragma acc update host(x)\n x = 1;\n}");
         let body = &p.func("main").unwrap().body;
         assert_eq!(body.stmts.len(), 3);
         assert_eq!(body.stmts[1].pragmas[0].text, "acc update host(x)");
@@ -747,9 +888,7 @@ mod tests {
 
     #[test]
     fn data_pragma_attaches_to_block() {
-        let p = parse_ok(
-            "void main() {\n #pragma acc data copyin(a)\n {\n  int i;\n }\n}",
-        );
+        let p = parse_ok("void main() {\n #pragma acc data copyin(a)\n {\n  int i;\n }\n}");
         let body = &p.func("main").unwrap().body;
         assert_eq!(body.stmts[0].pragmas[0].text, "acc data copyin(a)");
         assert!(matches!(body.stmts[0].kind, StmtKind::Block(_)));
@@ -757,7 +896,9 @@ mod tests {
 
     #[test]
     fn parse_malloc_cast_sizeof() {
-        let p = parse_ok("double *p;\nint n;\nvoid main() { p = (double *) malloc(n * sizeof(double)); }");
+        let p = parse_ok(
+            "double *p;\nint n;\nvoid main() { p = (double *) malloc(n * sizeof(double)); }",
+        );
         let body = &p.func("main").unwrap().body;
         match &body.stmts[0].kind {
             StmtKind::Assign { target, value, .. } => {
@@ -774,7 +915,11 @@ mod tests {
         let body = &p.func("main").unwrap().body;
         match &body.stmts[1].kind {
             StmtKind::Assign { value, .. } => match &value.kind {
-                ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                ExprKind::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("unexpected: {other:?}"),
@@ -788,7 +933,10 @@ mod tests {
         let p = parse_ok("float g[4][4];\nvoid main() { int i; g[i][i+1] = 0.5f; }");
         let body = &p.func("main").unwrap().body;
         match &body.stmts[1].kind {
-            StmtKind::Assign { target: LValue::Index { base, indices }, .. } => {
+            StmtKind::Assign {
+                target: LValue::Index { base, indices },
+                ..
+            } => {
                 assert_eq!(base, "g");
                 assert_eq!(indices.len(), 2);
             }
@@ -802,7 +950,13 @@ mod tests {
         let body = &p.func("main").unwrap().body;
         assert!(matches!(
             &body.stmts[1].kind,
-            StmtKind::Assign { value: Expr { kind: ExprKind::Ternary { .. }, .. }, .. }
+            StmtKind::Assign {
+                value: Expr {
+                    kind: ExprKind::Ternary { .. },
+                    ..
+                },
+                ..
+            }
         ));
     }
 
@@ -870,7 +1024,9 @@ mod tests {
         let p = parse_ok("void main() { for (int i = 0; i < 3; i++) { } }");
         let body = &p.func("main").unwrap().body;
         match &body.stmts[0].kind {
-            StmtKind::For { init: Some(init), .. } => {
+            StmtKind::For {
+                init: Some(init), ..
+            } => {
                 assert!(matches!(init.kind, StmtKind::Decl(_)))
             }
             other => panic!("unexpected: {other:?}"),

@@ -120,7 +120,11 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             print_expr(out, value);
             out.push_str(";\n");
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             indent(out, level);
             out.push_str("if (");
             print_expr(out, cond);
@@ -132,7 +136,12 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             }
             out.push('\n');
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             indent(out, level);
             out.push_str("for (");
             if let Some(i) = init {
@@ -265,7 +274,11 @@ pub fn print_expr(out: &mut String, e: &Expr) {
             print_expr(out, rhs);
             out.push(')');
         }
-        ExprKind::Ternary { cond, then_e, else_e } => {
+        ExprKind::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             out.push('(');
             print_expr(out, cond);
             out.push_str(" ? ");
@@ -317,8 +330,8 @@ mod tests {
     fn round_trip(src: &str) {
         let p1 = parse(src).expect("first parse");
         let printed = print_program(&p1);
-        let p2 = parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        let p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
         assert_eq!(normalize(&p1), normalize(&p2), "printed:\n{printed}");
     }
 
@@ -365,6 +378,9 @@ mod tests {
         let src = "void main() {\n #pragma acc kernels loop async(1) gang worker copy(q) copyin(w)\n for (int j = 0; j < 3; j++) { }\n}";
         let p = parse(src).unwrap();
         let s = print_program(&p);
-        assert!(s.contains("#pragma acc kernels loop async(1) gang worker copy(q) copyin(w)"), "{s}");
+        assert!(
+            s.contains("#pragma acc kernels loop async(1) gang worker copy(q) copyin(w)"),
+            "{s}"
+        );
     }
 }

@@ -48,7 +48,11 @@ impl Sema {
     /// True if `name` inside `func` refers to a global (not shadowed by a
     /// local).
     pub fn is_global(&self, func: &str, name: &str) -> bool {
-        !self.funcs.get(func).map(|f| f.locals.contains_key(name)).unwrap_or(false)
+        !self
+            .funcs
+            .get(func)
+            .map(|f| f.locals.contains_key(name))
+            .unwrap_or(false)
             && self.globals.contains_key(name)
     }
 }
@@ -69,7 +73,12 @@ pub fn check(p: &Program) -> Result<Sema, Vec<Diagnostic>> {
     let mut cx = Checker::default();
     for item in &p.items {
         if let Item::Global(g) = item {
-            if cx.sema.globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+            if cx
+                .sema
+                .globals
+                .insert(g.name.clone(), g.ty.clone())
+                .is_some()
+            {
                 cx.errs.push(Diagnostic::error(
                     format!("duplicate global `{}`", g.name),
                     g.span,
@@ -84,7 +93,11 @@ pub fn check(p: &Program) -> Result<Sema, Vec<Diagnostic>> {
             for prm in &f.params {
                 locals.insert(prm.name.clone(), prm.ty.clone());
             }
-            let info = FuncInfo { ret: f.ret.clone(), params: f.params.clone(), locals };
+            let info = FuncInfo {
+                ret: f.ret.clone(),
+                params: f.params.clone(),
+                locals,
+            };
             if cx.sema.funcs.insert(f.name.clone(), info).is_some() {
                 cx.errs.push(Diagnostic::error(
                     format!("duplicate function `{}`", f.name),
@@ -129,10 +142,17 @@ impl Checker {
     }
 
     fn declare_local(&mut self, f: &Func, d: &VarDecl) {
-        let info = self.sema.funcs.get_mut(&f.name).expect("signature collected");
+        let info = self
+            .sema
+            .funcs
+            .get_mut(&f.name)
+            .expect("signature collected");
         if self.sema.globals.contains_key(&d.name) {
             self.errs.push(Diagnostic::error(
-                format!("local `{}` shadows a global (shadowing is unsupported)", d.name),
+                format!(
+                    "local `{}` shadows a global (shadowing is unsupported)",
+                    d.name
+                ),
                 d.span,
             ));
             return;
@@ -180,14 +200,23 @@ impl Checker {
                     self.expect_numeric_or_matching_ptr(t, &vty, s);
                 }
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.expect_scalar(f, cond);
                 self.check_block(f, then_blk);
                 if let Some(e) = else_blk {
                     self.check_block(f, e);
                 }
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.check_stmt(f, i);
                 }
@@ -259,7 +288,10 @@ impl Checker {
             LValue::Var(n) => match self.sema.var_ty(&f.name, n).cloned() {
                 Some(t) => Some(t),
                 None => {
-                    self.errs.push(Diagnostic::error(format!("undeclared variable `{n}`"), s.span));
+                    self.errs.push(Diagnostic::error(
+                        format!("undeclared variable `{n}`"),
+                        s.span,
+                    ));
                     None
                 }
             },
@@ -275,7 +307,10 @@ impl Checker {
     fn index_elem_ty(&mut self, f: &Func, base: &str, n_indices: usize, s: &Stmt) -> Option<Ty> {
         match self.sema.var_ty(&f.name, base).cloned() {
             None => {
-                self.errs.push(Diagnostic::error(format!("undeclared variable `{base}`"), s.span));
+                self.errs.push(Diagnostic::error(
+                    format!("undeclared variable `{base}`"),
+                    s.span,
+                ));
                 None
             }
             Some(Ty::Ptr(el)) => {
@@ -325,8 +360,10 @@ impl Checker {
             ExprKind::Var(n) => match self.sema.var_ty(&f.name, n).cloned() {
                 Some(t) => Some(t),
                 None => {
-                    self.errs
-                        .push(Diagnostic::error(format!("undeclared variable `{n}`"), e.span));
+                    self.errs.push(Diagnostic::error(
+                        format!("undeclared variable `{n}`"),
+                        e.span,
+                    ));
                     None
                 }
             },
@@ -391,7 +428,12 @@ impl Checker {
                 }
                 if matches!(
                     op,
-                    BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
+                    BinOp::Rem
+                        | BinOp::BitAnd
+                        | BinOp::BitOr
+                        | BinOp::BitXor
+                        | BinOp::Shl
+                        | BinOp::Shr
                 ) && (a.is_float() || b.is_float())
                 {
                     self.errs.push(Diagnostic::error(
@@ -402,7 +444,11 @@ impl Checker {
                 }
                 Some(Ty::Scalar(promote(*a, *b)))
             }
-            ExprKind::Ternary { cond, then_e, else_e } => {
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 self.expect_scalar(f, cond);
                 let t1 = self.type_expr(f, then_e)?;
                 let t2 = self.type_expr(f, else_e)?;
@@ -462,7 +508,10 @@ impl Checker {
             return self.type_intrinsic(f, e, name, args);
         }
         let Some(info) = self.sema.funcs.get(name).cloned() else {
-            self.errs.push(Diagnostic::error(format!("call to unknown function `{name}`"), e.span));
+            self.errs.push(Diagnostic::error(
+                format!("call to unknown function `{name}`"),
+                e.span,
+            ));
             for a in args {
                 self.type_expr(f, a);
             }
@@ -523,15 +572,23 @@ impl Checker {
             }
             "pow" | "fmin" | "fmax" | "powf" => {
                 self.expect_n_scalars(e, name, args, &arg_tys, 2);
-                Some(Ty::Scalar(if name.ends_with('f') { ScalarTy::Float } else { ScalarTy::Double }))
+                Some(Ty::Scalar(if name.ends_with('f') {
+                    ScalarTy::Float
+                } else {
+                    ScalarTy::Double
+                }))
             }
             "min" | "max" => {
                 self.expect_n_scalars(e, name, args, &arg_tys, 2);
                 // Integer min/max when both args are integers, else double.
-                let both_int = arg_tys.iter().all(|t| {
-                    matches!(t, Some(Ty::Scalar(s)) if !s.is_float())
-                });
-                Some(Ty::Scalar(if both_int { ScalarTy::Int } else { ScalarTy::Double }))
+                let both_int = arg_tys
+                    .iter()
+                    .all(|t| matches!(t, Some(Ty::Scalar(s)) if !s.is_float()));
+                Some(Ty::Scalar(if both_int {
+                    ScalarTy::Int
+                } else {
+                    ScalarTy::Double
+                }))
             }
             "abs" => {
                 self.expect_n_scalars(e, name, args, &arg_tys, 1);
@@ -559,7 +616,10 @@ impl Checker {
     ) {
         if args.len() != n {
             self.errs.push(Diagnostic::error(
-                format!("intrinsic `{name}` expects {n} argument(s), got {}", args.len()),
+                format!(
+                    "intrinsic `{name}` expects {n} argument(s), got {}",
+                    args.len()
+                ),
                 e.span,
             ));
         }
@@ -704,6 +764,9 @@ mod tests {
         let p = parse("void main() { double d; d = 1 + 2.5; }").unwrap();
         let s = check(&p).unwrap();
         // At least one Double-typed expression exists (the addition).
-        assert!(s.expr_ty.values().any(|t| *t == Ty::Scalar(ScalarTy::Double)));
+        assert!(s
+            .expr_ty
+            .values()
+            .any(|t| *t == Ty::Scalar(ScalarTy::Double)));
     }
 }

@@ -35,7 +35,11 @@ impl Span {
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
-            line: self.line.min(other.line).max(1).max(self.line.min(other.line)),
+            line: self
+                .line
+                .min(other.line)
+                .max(1)
+                .max(self.line.min(other.line)),
         }
     }
 
@@ -86,17 +90,29 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Construct an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Construct a warning diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Construct a note diagnostic.
     pub fn note(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Note, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Note,
+            message: message.into(),
+            span,
+        }
     }
 }
 

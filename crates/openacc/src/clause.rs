@@ -106,7 +106,10 @@ pub struct DataItem {
 impl DataItem {
     /// An item without bounds.
     pub fn new(name: impl Into<String>) -> Self {
-        DataItem { name: name.into(), bounds: None }
+        DataItem {
+            name: name.into(),
+            bounds: None,
+        }
     }
 }
 
@@ -131,7 +134,10 @@ pub struct DataClause {
 impl DataClause {
     /// Build a clause over plain variable names.
     pub fn of(kind: DataClauseKind, names: &[&str]) -> Self {
-        DataClause { kind, items: names.iter().map(|n| DataItem::new(*n)).collect() }
+        DataClause {
+            kind,
+            items: names.iter().map(|n| DataItem::new(*n)).collect(),
+        }
     }
 
     /// Variable names listed in this clause.

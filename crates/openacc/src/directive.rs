@@ -162,7 +162,11 @@ impl fmt::Display for Directive {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Directive::Compute(c) => {
-                write!(f, "acc {}", if c.is_parallel { "parallel" } else { "kernels" })?;
+                write!(
+                    f,
+                    "acc {}",
+                    if c.is_parallel { "parallel" } else { "kernels" }
+                )?;
                 if c.combined_loop {
                     write!(f, " loop")?;
                 }
@@ -256,7 +260,11 @@ mod tests {
                 DataClause::of(DataClauseKind::CopyIn, &["w"]),
             ],
             async_queue: Some(1),
-            loop_spec: LoopSpec { gang: true, worker: true, ..Default::default() },
+            loop_spec: LoopSpec {
+                gang: true,
+                worker: true,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert_eq!(
@@ -270,15 +278,24 @@ mod tests {
         let ls = LoopSpec {
             gang: true,
             private: vec!["tmp".into()],
-            reductions: vec![Reduction { op: ReductionOp::Add, vars: vec!["sum".into()] }],
+            reductions: vec![Reduction {
+                op: ReductionOp::Add,
+                vars: vec!["sum".into()],
+            }],
             ..Default::default()
         };
-        assert_eq!(Directive::Loop(ls).to_string(), "acc loop gang private(tmp) reduction(+:sum)");
+        assert_eq!(
+            Directive::Loop(ls).to_string(),
+            "acc loop gang private(tmp) reduction(+:sum)"
+        );
     }
 
     #[test]
     fn display_update_and_wait() {
-        let u = UpdateSpec { host: vec!["b".into()], ..Default::default() };
+        let u = UpdateSpec {
+            host: vec!["b".into()],
+            ..Default::default()
+        };
         assert_eq!(Directive::Update(u).to_string(), "acc update host(b)");
         assert_eq!(Directive::Wait(Some(2)).to_string(), "acc wait(2)");
         assert_eq!(Directive::Wait(None).to_string(), "acc wait");
@@ -287,6 +304,10 @@ mod tests {
     #[test]
     fn loop_spec_schedule_detection() {
         assert!(!LoopSpec::default().has_schedule());
-        assert!(LoopSpec { seq: true, ..Default::default() }.has_schedule());
+        assert!(LoopSpec {
+            seq: true,
+            ..Default::default()
+        }
+        .has_schedule());
     }
 }

@@ -11,7 +11,11 @@ use openarc_minic::span::{Diagnostic, Span};
 /// Parse one directive. Returns `Ok(None)` for non-`acc` pragmas (e.g.
 /// `omp ...`), which callers should ignore.
 pub fn parse_directive(text: &str, span: Span) -> Result<Option<Directive>, Diagnostic> {
-    let mut p = DirParser { toks: tokenize(text, span)?, pos: 0, span };
+    let mut p = DirParser {
+        toks: tokenize(text, span)?,
+        pos: 0,
+        span,
+    };
     if !p.eat_ident("acc") {
         return Ok(None);
     }
@@ -151,7 +155,10 @@ impl DirParser {
         let head = self.expect_any_ident()?;
         match head.as_str() {
             "kernels" | "parallel" => {
-                let mut spec = ComputeSpec { is_parallel: head == "parallel", ..Default::default() };
+                let mut spec = ComputeSpec {
+                    is_parallel: head == "parallel",
+                    ..Default::default()
+                };
                 if self.eat_ident("loop") {
                     spec.combined_loop = true;
                 }
@@ -216,7 +223,9 @@ impl DirParser {
                     match self.try_data_clause()? {
                         Some(c) => cs.push(c),
                         None => {
-                            return Err(self.err(format!("unknown declare clause: `{}`", self.rest())))
+                            return Err(
+                                self.err(format!("unknown declare clause: `{}`", self.rest()))
+                            )
                         }
                     }
                 }
@@ -440,7 +449,11 @@ impl DirParser {
 
 fn push_tok_text(out: &mut String, t: &Tok) {
     // Separate adjacent words/numbers; punctuation needs no spacing.
-    let prev_wordish = out.chars().last().map(|c| c.is_alphanumeric() || c == '_').unwrap_or(false);
+    let prev_wordish = out
+        .chars()
+        .last()
+        .map(|c| c.is_alphanumeric() || c == '_')
+        .unwrap_or(false);
     if prev_wordish && matches!(t, Tok::Ident(_) | Tok::Int(_)) {
         out.push(' ');
     }
@@ -468,7 +481,10 @@ mod tests {
 
     #[test]
     fn non_acc_pragma_ignored() {
-        assert_eq!(parse_directive("omp parallel for", Span::dummy()).unwrap(), None);
+        assert_eq!(
+            parse_directive("omp parallel for", Span::dummy()).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -578,14 +594,22 @@ mod tests {
         let d = parse_ok("acc data if(n > 100) copy(a)");
         let data = d.as_data().unwrap();
         let cond = data.if_cond.as_deref().unwrap();
-        assert!(cond.contains('>') && cond.contains('n') && cond.contains("100"), "{cond}");
+        assert!(
+            cond.contains('>') && cond.contains('n') && cond.contains("100"),
+            "{cond}"
+        );
         assert_eq!(data.clauses[0].kind, DataClauseKind::Copy);
     }
 
     #[test]
     fn parse_host_data() {
         let d = parse_ok("acc host_data use_device(buf)");
-        assert_eq!(d, Directive::HostData { use_device: vec!["buf".into()] });
+        assert_eq!(
+            d,
+            Directive::HostData {
+                use_device: vec!["buf".into()]
+            }
+        );
     }
 
     #[test]

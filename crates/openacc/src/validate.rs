@@ -13,13 +13,13 @@ use openarc_minic::span::{Diagnostic, Span};
 use openarc_minic::{Sema, Ty};
 
 /// Validate one directive as seen from inside function `func`.
-pub fn validate_directive(
-    d: &Directive,
-    sema: &Sema,
-    func: &str,
-    span: Span,
-) -> Vec<Diagnostic> {
-    let mut v = Validator { sema, func, span, errs: Vec::new() };
+pub fn validate_directive(d: &Directive, sema: &Sema, func: &str, span: Span) -> Vec<Diagnostic> {
+    let mut v = Validator {
+        sema,
+        func,
+        span,
+        errs: Vec::new(),
+    };
     match d {
         Directive::Compute(c) => v.compute(c),
         Directive::Data(ds) => v.data(ds),
@@ -84,7 +84,9 @@ impl Validator<'_> {
     fn expect_scalar(&mut self, name: &str) {
         if let Some(t) = self.expect_known(name) {
             if !matches!(t, Ty::Scalar(_)) {
-                self.err(format!("variable `{name}` must be scalar here, found `{t}`"));
+                self.err(format!(
+                    "variable `{name}` must be scalar here, found `{t}`"
+                ));
             }
         }
     }
@@ -125,7 +127,9 @@ impl Validator<'_> {
         for r in &ls.reductions {
             for n in &r.vars {
                 if ls.private.contains(n) || ls.firstprivate.contains(n) {
-                    self.err(format!("variable `{n}` is both private and a reduction target"));
+                    self.err(format!(
+                        "variable `{n}` is both private and a reduction target"
+                    ));
                 }
             }
         }
@@ -168,7 +172,8 @@ mod tests {
         validate_directive(&d, &sema, "main", Span::dummy())
     }
 
-    const SRC: &str = "double q[10];\ndouble w[10];\ndouble *p;\nint n;\ndouble s;\nvoid main() { int i; }";
+    const SRC: &str =
+        "double q[10];\ndouble w[10];\ndouble *p;\nint n;\ndouble s;\nvoid main() { int i; }";
 
     #[test]
     fn valid_data_clause_passes() {
@@ -215,7 +220,10 @@ mod tests {
         let errs = check(SRC, "acc parallel num_gangs(1) gang");
         assert!(errs.is_empty());
         // Parser requires a plain integer, so build the spec directly.
-        let d = Directive::Compute(ComputeSpec { num_gangs: Some(0), ..Default::default() });
+        let d = Directive::Compute(ComputeSpec {
+            num_gangs: Some(0),
+            ..Default::default()
+        });
         let (_, sema) = frontend(SRC).unwrap();
         let errs = validate_directive(&d, &sema, "main", Span::dummy());
         assert!(errs[0].message.contains("positive"));

@@ -129,7 +129,10 @@ pub struct Coherence {
 impl Coherence {
     /// A tracker with checking enabled.
     pub fn new(enabled: bool) -> Coherence {
-        Coherence { vars: HashMap::new(), enabled }
+        Coherence {
+            vars: HashMap::new(),
+            enabled,
+        }
     }
 
     /// Begin tracking `h` (first device mapping). Both sides not-stale.
@@ -173,7 +176,9 @@ impl Coherence {
         if !self.enabled {
             return ReadDiag::Ok;
         }
-        let Some(v) = self.vars.get_mut(&h) else { return ReadDiag::Ok };
+        let Some(v) = self.vars.get_mut(&h) else {
+            return ReadDiag::Ok;
+        };
         let before = v.get(side);
         let diag = match before {
             St::Stale if !total => ReadDiag::MayMissing,
@@ -198,10 +203,16 @@ impl Coherence {
     /// Diagnose and apply a transfer into `dst` side.
     pub fn on_transfer(&mut self, h: Handle, dst: DevSide) -> XferDiag {
         if !self.enabled {
-            return XferDiag { incorrect: None, redundant: None };
+            return XferDiag {
+                incorrect: None,
+                redundant: None,
+            };
         }
         let Some(v) = self.vars.get_mut(&h) else {
-            return XferDiag { incorrect: None, redundant: None };
+            return XferDiag {
+                incorrect: None,
+                redundant: None,
+            };
         };
         let src_state = v.get(dst.other());
         let dst_state = v.get(dst);
@@ -216,7 +227,10 @@ impl Coherence {
             St::Stale => None,
         };
         v.set(dst, St::NotStale);
-        XferDiag { incorrect, redundant }
+        XferDiag {
+            incorrect,
+            redundant,
+        }
     }
 
     /// `reset_status(h, side, st)`: compiler-directed state override (dead
@@ -311,8 +325,8 @@ mod tests {
     fn reset_status_overrides() {
         let mut c = tracked();
         c.on_write(H, DevSide::Cpu, true); // GPU stale
-        // Compiler proved GPU copy must-dead → mark not-stale so the next
-        // transfer to it is flagged redundant.
+                                           // Compiler proved GPU copy must-dead → mark not-stale so the next
+                                           // transfer to it is flagged redundant.
         c.reset_status(H, DevSide::Gpu, St::NotStale);
         let d = c.on_transfer(H, DevSide::Gpu);
         assert_eq!(d.redundant, Some(true));

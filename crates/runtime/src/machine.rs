@@ -8,6 +8,7 @@ use crate::coherence::{Coherence, DevSide, ReadDiag, St};
 use crate::present::PresentTable;
 use crate::report::{Direction, Issue, IssueKind, Report};
 use openarc_gpusim::{CostModel, Device, KernelOutcome, SimClock, TimeCategory};
+use openarc_trace::{EventKind, Journal, TraceEvent, Track};
 use openarc_vm::interp::BasicEnv;
 use openarc_vm::{Handle, VmError};
 
@@ -81,6 +82,84 @@ impl Machine {
         }
     }
 
+    /// Attach an event journal. The journal lives on the clock, so clock
+    /// slices and the machine's semantic events interleave on one timeline.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.clock.journal = journal;
+    }
+
+    /// The attached journal (disabled by default).
+    pub fn journal(&self) -> &Journal {
+        &self.clock.journal
+    }
+
+    /// Emit an instant event at the current host time.
+    fn emit(&self, kind: EventKind) {
+        self.clock.journal.emit(TraceEvent {
+            ts_us: self.clock.now(),
+            dur_us: 0.0,
+            track: Track::Host,
+            kind,
+        });
+    }
+
+    fn var_label(&self, h: Handle) -> String {
+        self.host
+            .mem
+            .get(h)
+            .map(|b| b.label.clone())
+            .unwrap_or_else(|_| format!("{h}"))
+    }
+
+    fn st_name(st: St) -> &'static str {
+        match st {
+            St::NotStale => "notstale",
+            St::MayStale => "maystale",
+            St::Stale => "stale",
+        }
+    }
+
+    fn coh_snapshot(&self, h: Handle) -> Option<(St, St)> {
+        self.coherence.state(h).map(|v| (v.cpu, v.gpu))
+    }
+
+    /// Journal the coherence transitions between `before` (a
+    /// [`Machine::coh_snapshot`] taken before the state change) and now.
+    fn emit_coherence_diff(&self, h: Handle, before: Option<(St, St)>, cause: &'static str) {
+        if !self.clock.journal.is_enabled() {
+            return;
+        }
+        let (Some(before), Some(after)) = (before, self.coh_snapshot(h)) else {
+            return;
+        };
+        let var = self.var_label(h);
+        for (side, b, a) in [("cpu", before.0, after.0), ("gpu", before.1, after.1)] {
+            if b != a {
+                self.emit(EventKind::Coherence {
+                    var: var.clone(),
+                    side,
+                    from: Self::st_name(b),
+                    to: Self::st_name(a),
+                    cause,
+                });
+            }
+        }
+    }
+
+    /// Record a finding in the report and, when tracing, in the journal.
+    fn push_issue(&mut self, issue: Issue) {
+        if self.clock.journal.is_enabled() {
+            self.emit(EventKind::Finding {
+                severity: issue.kind.severity(),
+                kind: format!("{:?}", issue.kind),
+                var: issue.var.clone(),
+                site: issue.site.clone(),
+                message: issue.to_string(),
+            });
+        }
+        self.report.push(issue);
+    }
+
     /// Ensure `h` is tracked by the coherence machinery (variables of
     /// interest are tracked from their first observed access, so host
     /// initialization writes before the first mapping are not lost).
@@ -98,7 +177,7 @@ impl Machine {
             .get(h)
             .map(|b| b.label.clone())
             .unwrap_or_else(|_| format!("{h}"));
-        self.report.push(Issue {
+        self.push_issue(Issue {
             kind,
             var,
             site: site.to_string(),
@@ -112,17 +191,29 @@ impl Machine {
     pub fn map_to_device(&mut self, host_h: Handle) -> Result<(Handle, bool), VmError> {
         if let Some(dev) = self.present.device_of(host_h) {
             self.present.retain(host_h)?;
+            if self.clock.journal.is_enabled() {
+                self.emit(EventKind::PresentHit {
+                    var: self.var_label(host_h),
+                });
+            }
             return Ok((dev, false));
         }
-        let (elem, len, label) = {
+        let (elem, len, label, bytes) = {
             let b = self.host.mem.get(host_h)?;
-            (b.elem, b.len(), b.label.clone())
+            (b.elem, b.len(), b.label.clone(), b.size_bytes())
         };
+        if self.clock.journal.is_enabled() {
+            self.emit(EventKind::PresentMiss { var: label.clone() });
+        }
         let dev = self.device.mem.alloc(elem, len, label.clone());
         self.present.insert(host_h, dev, label.clone())?;
-        self.coherence.track(host_h, label);
-        self.clock.advance(TimeCategory::GpuMemAlloc, self.cost.alloc_us);
+        self.coherence.track(host_h, label.clone());
+        self.clock
+            .advance(TimeCategory::GpuMemAlloc, self.cost.alloc_us);
         self.stats.dev_allocs += 1;
+        if self.clock.journal.is_enabled() {
+            self.emit(EventKind::DevAlloc { var: label, bytes });
+        }
         Ok((dev, true))
     }
 
@@ -130,10 +221,18 @@ impl Machine {
     pub fn unmap_from_device(&mut self, host_h: Handle) -> Result<(), VmError> {
         if let Some(dev) = self.present.release(host_h)? {
             self.device.mem.free(dev)?;
-            self.clock.advance(TimeCategory::GpuMemFree, self.cost.free_us);
+            self.clock
+                .advance(TimeCategory::GpuMemFree, self.cost.free_us);
             self.stats.dev_frees += 1;
+            if self.clock.journal.is_enabled() {
+                self.emit(EventKind::DevFree {
+                    var: self.var_label(host_h),
+                });
+            }
             // Deallocation makes the device copy stale (paper §III-B).
+            let before = self.coh_snapshot(host_h);
             self.coherence.reset_status(host_h, DevSide::Gpu, St::Stale);
+            self.emit_coherence_diff(host_h, before, "dealloc");
         }
         Ok(())
     }
@@ -168,10 +267,13 @@ impl Machine {
         let src = host_mem.get(host_h)?;
         dev_mem.get_mut(dev)?.copy_from(src)?;
         let bytes = src.size_bytes();
-        self.charge_transfer(bytes, queue);
+        let (ts, dt, track) = self.charge_transfer(bytes, queue);
         self.stats.h2d_bytes += bytes;
         self.stats.h2d_count += 1;
+        self.emit_transfer(host_h, name, site, ts, dt, track, bytes, true);
+        let before = self.coh_snapshot(host_h);
         let diag = self.coherence.on_transfer(host_h, DevSide::Gpu);
+        self.emit_coherence_diff(host_h, before, "transfer");
         self.transfer_issues(diag, host_h, site, Direction::ToDevice, name);
         Ok(())
     }
@@ -203,20 +305,60 @@ impl Machine {
         let src = dev_mem.get(dev)?;
         host_mem.get_mut(host_h)?.copy_from(src)?;
         let bytes = src.size_bytes();
-        self.charge_transfer(bytes, queue);
+        let (ts, dt, track) = self.charge_transfer(bytes, queue);
         self.stats.d2h_bytes += bytes;
         self.stats.d2h_count += 1;
+        self.emit_transfer(host_h, name, site, ts, dt, track, bytes, false);
+        let before = self.coh_snapshot(host_h);
         let diag = self.coherence.on_transfer(host_h, DevSide::Cpu);
+        self.emit_coherence_diff(host_h, before, "transfer");
         self.transfer_issues(diag, host_h, site, Direction::ToHost, name);
         Ok(())
     }
 
-    fn charge_transfer(&mut self, bytes: u64, queue: Option<i64>) {
+    /// Charge a transfer to the clock. Returns the span's simulated start
+    /// time, duration and track for journaling.
+    fn charge_transfer(&mut self, bytes: u64, queue: Option<i64>) -> (f64, f64, Track) {
         let dt = self.cost.transfer_time(bytes);
         match queue {
-            Some(q) => self.clock.enqueue_async(q, dt),
-            None => self.clock.advance(TimeCategory::MemTransfer, dt),
+            Some(q) => (self.clock.enqueue_async(q, dt), dt, Track::Queue(q)),
+            None => {
+                let ts = self.clock.now();
+                self.clock.advance(TimeCategory::MemTransfer, dt);
+                (ts, dt, Track::Host)
+            }
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_transfer(
+        &self,
+        host_h: Handle,
+        name: Option<&str>,
+        site: &str,
+        ts: f64,
+        dt: f64,
+        track: Track,
+        bytes: u64,
+        to_device: bool,
+    ) {
+        if !self.clock.journal.is_enabled() {
+            return;
+        }
+        let var = name
+            .map(str::to_string)
+            .unwrap_or_else(|| self.var_label(host_h));
+        self.clock.journal.emit(TraceEvent {
+            ts_us: ts,
+            dur_us: dt,
+            track,
+            kind: EventKind::Transfer {
+                var,
+                site: site.to_string(),
+                bytes,
+                to_device,
+            },
+        });
     }
 
     fn transfer_issues(
@@ -236,7 +378,7 @@ impl Machine {
                     direction: Some(dir),
                     loop_context: m.loop_context.clone(),
                 };
-                m.report.push(issue);
+                m.push_issue(issue);
             }
             None => m.issue(kind, h, site, Some(dir)),
         };
@@ -265,7 +407,10 @@ impl Machine {
     /// `check_write` runtime call (also applies the write's state change).
     pub fn check_write(&mut self, h: Handle, side: DevSide, total: bool, site: &str) {
         self.track_handle(h);
-        match self.coherence.on_write(h, side, total) {
+        let before = self.coh_snapshot(h);
+        let diag = self.coherence.on_write(h, side, total);
+        self.emit_coherence_diff(h, before, "write");
+        match diag {
             ReadDiag::Ok => {}
             ReadDiag::Missing => self.issue(IssueKind::Missing, h, site, None),
             ReadDiag::MayMissing => self.issue(IssueKind::MayMissing, h, site, None),
@@ -274,10 +419,39 @@ impl Machine {
 
     /// Charge a kernel execution to the clock.
     pub fn charge_kernel(&mut self, outcome: &KernelOutcome, queue: Option<i64>) {
-        let dt = self.cost.kernel_time(outcome.total_instrs, outcome.max_thread_instrs);
-        match queue {
-            Some(q) => self.clock.enqueue_async(q, dt),
-            None => self.clock.advance(TimeCategory::KernelExec, dt),
+        self.charge_kernel_named("kernel", outcome, queue);
+    }
+
+    /// [`Machine::charge_kernel`] journaling the launch and execution span
+    /// under the kernel's name.
+    pub fn charge_kernel_named(&mut self, name: &str, outcome: &KernelOutcome, queue: Option<i64>) {
+        let dt = self
+            .cost
+            .kernel_time(outcome.total_instrs, outcome.max_thread_instrs);
+        if self.clock.journal.is_enabled() {
+            self.emit(EventKind::KernelLaunch {
+                kernel: name.to_string(),
+                n_threads: outcome.n_threads,
+                queue,
+            });
+        }
+        let (ts, track) = match queue {
+            Some(q) => (self.clock.enqueue_async(q, dt), Track::Queue(q)),
+            None => {
+                let ts = self.clock.now();
+                self.clock.advance(TimeCategory::KernelExec, dt);
+                (ts, Track::Host)
+            }
+        };
+        if self.clock.journal.is_enabled() {
+            self.clock.journal.emit(TraceEvent {
+                ts_us: ts,
+                dur_us: dt,
+                track,
+                kind: EventKind::KernelComplete {
+                    kernel: name.to_string(),
+                },
+            });
         }
     }
 
@@ -302,8 +476,10 @@ mod tests {
     use openarc_vm::Value;
 
     fn machine_with_buffer(len: usize) -> (Machine, Handle) {
-        let mut host = BasicEnv::default();
-        host.mem = openarc_vm::MemSpace::new();
+        let mut host = BasicEnv {
+            mem: openarc_vm::MemSpace::new(),
+            ..Default::default()
+        };
         let h = host.mem.alloc(ScalarTy::Double, len, "a");
         (Machine::new(host, true), h)
     }
@@ -361,7 +537,11 @@ mod tests {
         m.copy_to_device(h, "enter0", None).unwrap();
         m.copy_to_device(h, "enter0", None).unwrap();
         let msgs: Vec<String> = m.report.issues.iter().map(|i| i.to_string()).collect();
-        assert!(msgs.iter().any(|s| s.contains("redundant") && s.contains("k-loop index = 2")), "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|s| s.contains("redundant") && s.contains("k-loop index = 2")),
+            "{msgs:?}"
+        );
     }
 
     #[test]
@@ -395,9 +575,81 @@ mod tests {
     }
 
     #[test]
+    fn journal_captures_semantic_events() {
+        use openarc_trace::EventKind as Ev;
+        let (mut m, h) = machine_with_buffer(8);
+        m.set_journal(Journal::enabled());
+        m.map_to_device(h).unwrap(); // miss + alloc
+        m.map_to_device(h).unwrap(); // hit
+        m.copy_to_device(h, "enter0", None).unwrap(); // redundant → finding
+        m.check_write(h, DevSide::Gpu, false, "k0"); // cpu → stale
+        m.copy_to_host(h, "exit0", None).unwrap();
+        m.unmap_from_device(h).unwrap();
+        m.unmap_from_device(h).unwrap(); // refcount 0 → free
+        let events = m.journal().snapshot();
+        let has = |pred: &dyn Fn(&Ev) -> bool| events.iter().any(|e| pred(&e.kind));
+        assert!(has(&|k| matches!(k, Ev::PresentMiss { var } if var == "a")));
+        assert!(has(&|k| matches!(k, Ev::PresentHit { var } if var == "a")));
+        assert!(has(
+            &|k| matches!(k, Ev::DevAlloc { var, bytes } if var == "a" && *bytes == 64)
+        ));
+        assert!(has(&|k| matches!(k, Ev::DevFree { .. })));
+        assert!(has(&|k| matches!(
+            k,
+            Ev::Transfer {
+                to_device: true,
+                ..
+            }
+        )));
+        assert!(has(&|k| matches!(
+            k,
+            Ev::Transfer {
+                to_device: false,
+                ..
+            }
+        )));
+        assert!(has(&|k| matches!(
+            k,
+            Ev::Coherence {
+                side: "cpu",
+                to: "stale",
+                cause: "write",
+                ..
+            }
+        )));
+        assert!(has(
+            &|k| matches!(k, Ev::Finding { kind, .. } if kind == "Redundant")
+        ));
+        // Slices reconcile with the clock breakdown.
+        for (cat, total) in openarc_trace::category_totals(&events) {
+            let clock_cat = TimeCategory::ALL
+                .iter()
+                .copied()
+                .find(|t| t.trace_category() == cat)
+                .unwrap();
+            assert_eq!(total, m.clock.breakdown.get(clock_cat), "{cat}");
+        }
+    }
+
+    #[test]
+    fn disabled_journal_changes_nothing() {
+        let (mut m, h) = machine_with_buffer(8);
+        m.map_to_device(h).unwrap();
+        m.copy_to_device(h, "enter0", None).unwrap();
+        assert!(!m.journal().is_enabled());
+        assert!(m.journal().snapshot().is_empty());
+        assert_eq!(m.report.issues.len(), 1, "report still works untraced");
+    }
+
+    #[test]
     fn kernel_charge_sync_vs_async() {
         let (mut m, _) = machine_with_buffer(1);
-        let out = KernelOutcome { total_instrs: 1_000_000, max_thread_instrs: 1000, races: vec![], n_threads: 1000 };
+        let out = KernelOutcome {
+            total_instrs: 1_000_000,
+            max_thread_instrs: 1000,
+            races: vec![],
+            n_threads: 1000,
+        };
         m.charge_kernel(&out, None);
         assert!(m.clock.breakdown.get(TimeCategory::KernelExec) > 0.0);
         let before = m.clock.now();

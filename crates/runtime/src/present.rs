@@ -39,19 +39,30 @@ impl PresentTable {
 
     /// Host handle for a device buffer (reverse lookup).
     pub fn host_of(&self, dev: Handle) -> Option<Handle> {
-        self.map
-            .iter()
-            .find(|(_, m)| m.dev == dev)
-            .map(|(h, _)| *h)
+        self.map.iter().find(|(_, m)| m.dev == dev).map(|(h, _)| *h)
     }
 
     /// Record a new mapping with refcount 1. Errors if already present
     /// (callers must check [`PresentTable::contains`] first and bump).
-    pub fn insert(&mut self, host: Handle, dev: Handle, label: impl Into<String>) -> Result<(), VmError> {
+    pub fn insert(
+        &mut self,
+        host: Handle,
+        dev: Handle,
+        label: impl Into<String>,
+    ) -> Result<(), VmError> {
         if self.map.contains_key(&host) {
-            return Err(VmError::Internal(format!("{host} already present on device")));
+            return Err(VmError::Internal(format!(
+                "{host} already present on device"
+            )));
         }
-        self.map.insert(host, Mapping { dev, refcount: 1, label: label.into() });
+        self.map.insert(
+            host,
+            Mapping {
+                dev,
+                refcount: 1,
+                label: label.into(),
+            },
+        );
         Ok(())
     }
 

@@ -1,11 +1,10 @@
 //! The report engine: structured findings the interactive tool shows the
 //! programmer, with Listing-4-style loop-iteration context.
 
-use serde::Serialize;
 use std::fmt;
 
 /// Transfer direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Host → device.
     ToDevice,
@@ -25,7 +24,7 @@ impl fmt::Display for Direction {
 /// Kind of finding. The three suggestion classes of §IV-C: information on
 /// redundant transfers, errors on missing/incorrect transfers, and warnings
 /// on may-redundant / may-missing transfers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IssueKind {
     /// Destination already up to date.
     Redundant,
@@ -54,12 +53,15 @@ impl IssueKind {
 
     /// True for the `may-*` kinds that require user verification.
     pub fn needs_user(self) -> bool {
-        matches!(self, IssueKind::MayRedundant | IssueKind::MayMissing | IssueKind::MayIncorrect)
+        matches!(
+            self,
+            IssueKind::MayRedundant | IssueKind::MayMissing | IssueKind::MayIncorrect
+        )
     }
 }
 
 /// One finding.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Issue {
     /// What was diagnosed.
     pub kind: IssueKind,
@@ -89,7 +91,11 @@ impl fmt::Display for Issue {
         match self.kind {
             IssueKind::Redundant => {
                 let dir = self.direction.map(|d| d.to_string()).unwrap_or_default();
-                write!(f, "- Copying {} {} in {}{} is redundant.", self.var, dir, self.site, ctx)
+                write!(
+                    f,
+                    "- Copying {} {} in {}{} is redundant.",
+                    self.var, dir, self.site, ctx
+                )
             }
             IssueKind::MayRedundant => {
                 let dir = self.direction.map(|d| d.to_string()).unwrap_or_default();
@@ -124,7 +130,7 @@ impl fmt::Display for Issue {
 }
 
 /// Collected findings of one profiling run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Report {
     /// All findings in occurrence order.
     pub issues: Vec<Issue>,

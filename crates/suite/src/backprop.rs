@@ -16,7 +16,16 @@ pub fn benchmark(scale: Scale) -> Benchmark {
     let ni = scale.n.max(16);
     let nh = (scale.n / 2).max(8);
     let epochs = scale.iters.max(2);
-    let make = |data_open: &str, k1: &str, k2: &str, k3: &str, k4: &str, k5: &str, upd_dev: &str, upd_host: &str, post: &str, data_close: &str| {
+    let make = |data_open: &str,
+                k1: &str,
+                k2: &str,
+                k3: &str,
+                k4: &str,
+                k5: &str,
+                upd_dev: &str,
+                upd_host: &str,
+                post: &str,
+                data_close: &str| {
         format!(
             r#"double in_units[{ni}];
 double hid_units[{nh}];
@@ -167,12 +176,16 @@ mod tests {
     #[test]
     fn outputs_are_sigmoid_range() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let out = r.global_array(&tr, "out_units").unwrap();
         assert!(out.iter().all(|x| *x > 0.0 && *x < 1.0), "{out:?}");
         let err = r.global_scalar(&tr, "err").unwrap().as_f64();
-        assert!(err >= 0.0 && err < 4.0, "{err}");
+        assert!((0.0..4.0).contains(&err), "{err}");
     }
 }

@@ -128,9 +128,13 @@ mod tests {
     #[test]
     fn costs_match_tree_depth() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let cost = r.global_array(&tr, "cost").unwrap();
         assert_eq!(cost[0], 0.0);
         assert_eq!(cost[1], 1.0);

@@ -9,7 +9,14 @@ use openarc_core::interactive::OutputSpec;
 pub fn benchmark(scale: Scale) -> Benchmark {
     let n = scale.n.max(16);
     let iters = scale.iters.max(2);
-    let make = |data_open: &str, k1: &str, k2: &str, k3: &str, k4: &str, upd: &str, post: &str, data_close: &str| {
+    let make = |data_open: &str,
+                k1: &str,
+                k2: &str,
+                k3: &str,
+                k4: &str,
+                upd: &str,
+                post: &str,
+                data_close: &str| {
         format!(
             r#"double vars[{n3}];
 double old_vars[{n3}];
@@ -128,9 +135,13 @@ mod tests {
     #[test]
     fn diffusion_smooths_but_conserves_sign() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let v = r.global_array(&tr, "vars").unwrap();
         assert!(v.iter().all(|x| *x > 0.0 && x.is_finite()));
     }

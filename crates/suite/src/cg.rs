@@ -185,9 +185,13 @@ mod tests {
     #[test]
     fn residual_shrinks() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let rho = r.global_scalar(&tr, "rho").unwrap().as_f64();
         let n = Scale::default().n.max(8) as f64;
         // Initial rho = n; CG on a well-conditioned SPD band matrix reduces

@@ -100,9 +100,13 @@ mod tests {
     #[test]
     fn acceptance_ratio_plausible() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let cnt = r.global_scalar(&tr, "cnt").unwrap().as_f64();
         let n = (Scale::default().n * Scale::default().n / 4).max(16) as f64;
         let pairs = (Scale::default().iters.max(2) * 2) as f64;

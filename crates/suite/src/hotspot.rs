@@ -104,9 +104,13 @@ mod tests {
     #[test]
     fn temperatures_remain_physical() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let t = r.global_array(&tr, "temp").unwrap();
         assert!(t.iter().all(|x| *x > 50.0 && *x < 80.0));
     }

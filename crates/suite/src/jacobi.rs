@@ -14,7 +14,13 @@ use openarc_core::interactive::OutputSpec;
 pub fn benchmark(scale: Scale) -> Benchmark {
     let n = scale.n.max(8);
     let iters = scale.iters.max(2);
-    let make = |data_open: &str, p1: &str, p2: &str, upd_dev: &str, upd_host: &str, post: &str, data_close: &str| {
+    let make = |data_open: &str,
+                p1: &str,
+                p2: &str,
+                upd_dev: &str,
+                upd_host: &str,
+                post: &str,
+                data_close: &str| {
         format!(
             r#"double a[{n}][{n}];
 double anew[{n}][{n}];
@@ -140,9 +146,13 @@ mod tests {
         let (_, naive) =
             crate::run_variant(&b, Variant::Naive, &Default::default(), &Default::default())
                 .unwrap();
-        let (_, opt) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (_, opt) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         assert!(
             naive.machine.stats.total_bytes() > 4 * opt.machine.stats.total_bytes(),
             "naive {} vs opt {}",

@@ -13,7 +13,13 @@ const KC: usize = 4;
 pub fn benchmark(scale: Scale) -> Benchmark {
     let n = (scale.n * 2).max(16);
     let iters = scale.iters.max(2);
-    let make = |data_open: &str, k1: &str, upd_mem: &str, upd_clu: &str, upd_extra: &str, post: &str, data_close: &str| {
+    let make = |data_open: &str,
+                k1: &str,
+                upd_mem: &str,
+                upd_clu: &str,
+                upd_extra: &str,
+                post: &str,
+                data_close: &str| {
         format!(
             r#"double feats[{nf}];
 double clusters[{kf}];
@@ -146,9 +152,13 @@ mod tests {
     #[test]
     fn clustering_separates_generated_groups() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let mem = r.global_array(&tr, "membership").unwrap();
         // Points were generated around KC distinct offsets; the assignment
         // must use more than one cluster.

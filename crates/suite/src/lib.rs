@@ -36,7 +36,7 @@ pub mod srad;
 
 use openarc_core::exec::{execute, ExecMode, ExecOptions, RunResult};
 use openarc_core::interactive::OutputSpec;
-use openarc_core::translate::{translate, Translated, TranslateOptions};
+use openarc_core::translate::{translate, TranslateOptions, Translated};
 
 /// Which directive variant of a benchmark to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,15 +165,28 @@ pub fn check_variant(b: &Benchmark, v: Variant) -> Result<(), String> {
     let (tr, gpu) = run_variant(b, v, &topts, &ExecOptions::default())?;
     let cpu = execute(
         &tr,
-        &ExecOptions { mode: ExecMode::CpuOnly, race_detect: false, ..Default::default() },
+        &ExecOptions {
+            mode: ExecMode::CpuOnly,
+            race_detect: false,
+            ..Default::default()
+        },
     )
     .map_err(|e| format!("{} [{}] cpu run: {e}", b.name, v.name()))?;
     let reference = openarc_core::interactive::capture_outputs(&tr, &cpu, &b.outputs);
     if !openarc_core::interactive::outputs_match(&tr, &gpu, &reference, b.outputs.tol.max(1e-9)) {
-        return Err(format!("{} [{}] outputs diverge from sequential reference", b.name, v.name()));
+        return Err(format!(
+            "{} [{}] outputs diverge from sequential reference",
+            b.name,
+            v.name()
+        ));
     }
     if !gpu.races.is_empty() {
-        return Err(format!("{} [{}] unexpected races: {:?}", b.name, v.name(), gpu.races));
+        return Err(format!(
+            "{} [{}] unexpected races: {:?}",
+            b.name,
+            v.name(),
+            gpu.races
+        ));
     }
     Ok(())
 }

@@ -15,7 +15,13 @@ use openarc_core::interactive::OutputSpec;
 /// Build the LUD benchmark at the given scale.
 pub fn benchmark(scale: Scale) -> Benchmark {
     let n = (scale.n / 2).max(8);
-    let make = |data_open: &str, k1: &str, k2: &str, upd_dev: &str, upd_post: &str, post: &str, data_close: &str| {
+    let make = |data_open: &str,
+                k1: &str,
+                k2: &str,
+                upd_dev: &str,
+                upd_post: &str,
+                post: &str,
+                data_close: &str| {
         format!(
             r#"double *m;
 double *mview;
@@ -115,9 +121,13 @@ mod tests {
     #[test]
     fn lu_factors_reconstruct_matrix_shape() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let m = r.global_array(&tr, "m").unwrap();
         let n = (Scale::default().n / 2).max(8);
         // Diagonal of U stays positive and dominant for this matrix.

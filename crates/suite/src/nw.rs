@@ -110,9 +110,13 @@ mod tests {
     #[test]
     fn wavefront_fills_whole_matrix() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let s = r.global_array(&tr, "score").unwrap();
         let n = Scale::default().n.max(8);
         // Bottom-right cell must have been computed (nonzero path cost).

@@ -10,7 +10,13 @@ pub fn benchmark(scale: Scale) -> Benchmark {
     let n = scale.n.max(8);
     let iters = scale.iters.max(2);
     let nnz_cap = n * 5;
-    let make = |data_open: &str, k1: &str, k2: &str, k3: &str, upd_host: &str, post: &str, data_close: &str| {
+    let make = |data_open: &str,
+                k1: &str,
+                k2: &str,
+                k3: &str,
+                upd_host: &str,
+                post: &str,
+                data_close: &str| {
         format!(
             r#"int rowptr[{np1}];
 int colidx[{nnz}];
@@ -127,9 +133,13 @@ mod tests {
     #[test]
     fn x_stays_normalized() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let x = r.global_array(&tr, "x").unwrap();
         let norm: f64 = x.iter().map(|v| v * v).sum();
         // After the final rescale x has unit norm.

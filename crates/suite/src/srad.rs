@@ -10,9 +10,10 @@ pub fn benchmark(scale: Scale) -> Benchmark {
     let n = scale.n.max(8);
     let iters = scale.iters.max(2);
     let size = n * n;
-    let make = |data_open: &str, k1: &str, k2: &str, k3: &str, upd: &str, post: &str, data_close: &str| {
-        format!(
-            r#"double img[{n}][{n}];
+    let make =
+        |data_open: &str, k1: &str, k2: &str, k3: &str, upd: &str, post: &str, data_close: &str| {
+            format!(
+                r#"double img[{n}][{n}];
 double cc[{n}][{n}];
 double dn_a[{n}][{n}];
 double ds_a[{n}][{n}];
@@ -91,19 +92,19 @@ void main() {{
 {data_close}
 }}
 "#,
-            n = n,
-            nm1 = n - 1,
-            size = size,
-            iters = iters,
-            data_open = data_open,
-            k1 = k1,
-            k2 = k2,
-            k3 = k3,
-            upd = upd,
-            post = post,
-            data_close = data_close,
-        )
-    };
+                n = n,
+                nm1 = n - 1,
+                size = size,
+                iters = iters,
+                data_open = data_open,
+                k1 = k1,
+                k2 = k2,
+                k3 = k3,
+                upd = upd,
+                post = post,
+                data_close = data_close,
+            )
+        };
 
     let k1 = "#pragma acc kernels loop gang worker collapse(2) reduction(+:sum) reduction(+:sum2)";
     let k2 = "#pragma acc kernels loop gang worker collapse(2) private(iN, iS, jW, jE, dn, ds, dw, de, g2, l, num, den, qsq, cval)";
@@ -156,9 +157,13 @@ mod tests {
     #[test]
     fn diffusion_reduces_variance() {
         let b = benchmark(Scale::default());
-        let (tr, r) =
-            crate::run_variant(&b, Variant::Optimized, &Default::default(), &Default::default())
-                .unwrap();
+        let (tr, r) = crate::run_variant(
+            &b,
+            Variant::Optimized,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         let img = r.global_array(&tr, "img").unwrap();
         let mean: f64 = img.iter().sum::<f64>() / img.len() as f64;
         let var: f64 = img.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / img.len() as f64;

@@ -1,0 +1,254 @@
+//! Chrome `trace_event` export.
+//!
+//! Produces the JSON Object Format understood by `chrome://tracing`,
+//! Perfetto and Speedscope: a `traceEvents` array of complete (`"X"`) and
+//! instant (`"i"`) events. The mapping:
+//!
+//! * timestamps/durations are the simulator's microseconds, unchanged
+//!   (`ts`/`dur` are specified in µs);
+//! * the host timeline is `tid 0`; each async queue gets its own `tid`
+//!   (`1 + rank` in sorted queue order), named via `thread_name` metadata;
+//! * slices and spans become `"X"` events; everything else becomes a
+//!   thread-scoped `"i"` instant;
+//! * the payload (bytes, direction, coherence states, verdicts…) lands in
+//!   `args`, so clicking an event in the viewer shows the evidence.
+
+use crate::event::{EventKind, TraceEvent, Track};
+use crate::json::Json;
+
+/// The `pid` every event is tagged with.
+const PID: u64 = 1;
+
+fn tid_of(track: Track, queue_tids: &[(i64, u64)]) -> u64 {
+    match track {
+        Track::Host => 0,
+        Track::Queue(q) => queue_tids
+            .iter()
+            .find(|(id, _)| *id == q)
+            .map(|(_, t)| *t)
+            .unwrap_or(999),
+    }
+}
+
+fn args_of(ev: &TraceEvent) -> Json {
+    match &ev.kind {
+        EventKind::Slice { cat } => Json::obj(vec![("category", Json::from(cat.label()))]),
+        EventKind::KernelLaunch {
+            kernel,
+            n_threads,
+            queue,
+        } => Json::obj(vec![
+            ("kernel", Json::from(kernel.as_str())),
+            ("n_threads", Json::from(*n_threads)),
+            ("queue", queue.map(Json::I64).unwrap_or(Json::Null)),
+        ]),
+        EventKind::KernelComplete { kernel } => {
+            Json::obj(vec![("kernel", Json::from(kernel.as_str()))])
+        }
+        EventKind::DevAlloc { var, bytes } => Json::obj(vec![
+            ("var", Json::from(var.as_str())),
+            ("bytes", Json::from(*bytes)),
+        ]),
+        EventKind::DevFree { var } => Json::obj(vec![("var", Json::from(var.as_str()))]),
+        EventKind::Transfer {
+            var,
+            site,
+            bytes,
+            to_device,
+        } => Json::obj(vec![
+            ("var", Json::from(var.as_str())),
+            ("site", Json::from(site.as_str())),
+            ("bytes", Json::from(*bytes)),
+            (
+                "direction",
+                Json::from(if *to_device { "H2D" } else { "D2H" }),
+            ),
+        ]),
+        EventKind::PresentHit { var } | EventKind::PresentMiss { var } => {
+            Json::obj(vec![("var", Json::from(var.as_str()))])
+        }
+        EventKind::Coherence {
+            var,
+            side,
+            from,
+            to,
+            cause,
+        } => Json::obj(vec![
+            ("var", Json::from(var.as_str())),
+            ("side", Json::from(*side)),
+            ("from", Json::from(*from)),
+            ("to", Json::from(*to)),
+            ("cause", Json::from(*cause)),
+        ]),
+        EventKind::Finding {
+            severity,
+            kind,
+            var,
+            site,
+            message,
+        } => Json::obj(vec![
+            ("severity", Json::from(*severity)),
+            ("kind", Json::from(kind.as_str())),
+            ("var", Json::from(var.as_str())),
+            ("site", Json::from(site.as_str())),
+            ("message", Json::from(message.as_str())),
+        ]),
+        EventKind::Verification {
+            kernel,
+            passed,
+            compared_elems,
+            mismatched_elems,
+            max_abs_err,
+        } => Json::obj(vec![
+            ("kernel", Json::from(kernel.as_str())),
+            ("passed", Json::from(*passed)),
+            ("compared_elems", Json::from(*compared_elems)),
+            ("mismatched_elems", Json::from(*mismatched_elems)),
+            ("max_abs_err", Json::from(*max_abs_err)),
+        ]),
+    }
+}
+
+fn meta(name: &str, tid: u64, value: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(PID)),
+        ("tid", Json::from(tid)),
+        ("args", Json::obj(vec![("name", Json::from(value))])),
+    ])
+}
+
+/// Render events as a Chrome `trace_event` JSON document.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    // Stable queue → tid assignment: sorted queue ids, starting at tid 1.
+    let mut queues: Vec<i64> = events.iter().filter_map(|e| e.track.queue()).collect();
+    queues.sort_unstable();
+    queues.dedup();
+    let queue_tids: Vec<(i64, u64)> = queues
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (*q, i as u64 + 1))
+        .collect();
+
+    let mut out: Vec<Json> = Vec::with_capacity(events.len() + queue_tids.len() + 2);
+    out.push(meta("process_name", 0, "openarc simulated machine"));
+    out.push(meta("thread_name", 0, "host"));
+    for (q, tid) in &queue_tids {
+        out.push(meta("thread_name", *tid, &format!("async queue {q}")));
+    }
+    for ev in events {
+        let tid = tid_of(ev.track, &queue_tids);
+        let mut pairs: Vec<(&str, Json)> = vec![
+            ("name", Json::from(ev.name())),
+            ("cat", Json::from(ev.chrome_category())),
+        ];
+        if ev.dur_us > 0.0 {
+            pairs.push(("ph", Json::from("X")));
+            pairs.push(("ts", Json::F64(ev.ts_us)));
+            pairs.push(("dur", Json::F64(ev.dur_us)));
+        } else {
+            pairs.push(("ph", Json::from("i")));
+            pairs.push(("ts", Json::F64(ev.ts_us)));
+            pairs.push(("s", Json::from("t")));
+        }
+        pairs.push(("pid", Json::from(PID)));
+        pairs.push(("tid", Json::from(tid)));
+        pairs.push(("args", args_of(ev)));
+        out.push(Json::obj(pairs));
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::obj(vec![("generator", Json::from("openarc profile"))]),
+        ),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+
+    fn ev(ts: f64, dur: f64, track: Track, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            dur_us: dur,
+            track,
+            kind,
+        }
+    }
+
+    #[test]
+    fn spans_and_instants_map_to_x_and_i() {
+        let events = vec![
+            ev(
+                0.0,
+                5.0,
+                Track::Host,
+                EventKind::Slice {
+                    cat: Category::CpuTime,
+                },
+            ),
+            ev(
+                5.0,
+                0.0,
+                Track::Host,
+                EventKind::DevFree { var: "a".into() },
+            ),
+        ];
+        let s = chrome_trace(&events);
+        assert!(s.contains(r#""ph": "X""#), "{s}");
+        assert!(s.contains(r#""ph": "i""#), "{s}");
+        assert!(s.contains(r#""traceEvents""#));
+        assert!(s.contains(r#""displayTimeUnit": "ms""#));
+    }
+
+    #[test]
+    fn queues_get_stable_tids_and_names() {
+        let events = vec![
+            ev(
+                0.0,
+                3.0,
+                Track::Queue(4),
+                EventKind::KernelComplete { kernel: "k".into() },
+            ),
+            ev(
+                0.0,
+                3.0,
+                Track::Queue(1),
+                EventKind::KernelComplete { kernel: "k".into() },
+            ),
+        ];
+        let s = chrome_trace(&events);
+        assert!(s.contains(r#""name": "async queue 1""#), "{s}");
+        assert!(s.contains(r#""name": "async queue 4""#), "{s}");
+        // Queue 1 sorts first → tid 1; queue 4 → tid 2.
+        let i1 = s.find("async queue 1").unwrap();
+        let i4 = s.find("async queue 4").unwrap();
+        assert!(i1 < i4);
+    }
+
+    #[test]
+    fn args_carry_payload() {
+        let events = vec![ev(
+            1.0,
+            2.0,
+            Track::Host,
+            EventKind::Transfer {
+                var: "b".into(),
+                site: "update0".into(),
+                bytes: 512,
+                to_device: false,
+            },
+        )];
+        let s = chrome_trace(&events);
+        assert!(s.contains(r#""direction": "D2H""#), "{s}");
+        assert!(s.contains(r#""bytes": 512"#), "{s}");
+        assert!(s.contains(r#""site": "update0""#), "{s}");
+    }
+}

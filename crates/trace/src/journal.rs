@@ -1,0 +1,148 @@
+//! The journal collector: a cheaply-cloneable handle every layer of the
+//! stack can emit into.
+//!
+//! A disabled journal (the default) is a `None` — emitting through it is a
+//! single branch, so instrumented code paths cost nothing measurable when
+//! tracing is off. An enabled journal shares one append-only event vector
+//! behind a mutex; clones share the same buffer, which is what lets the
+//! clock (inside `gpusim`), the machine (inside `runtime`) and the
+//! executor (inside `core`) all write one interleaved timeline.
+
+use crate::event::TraceEvent;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct Inner {
+    /// Maximum retained events; `0` = unbounded.
+    cap: usize,
+    /// Events discarded once `cap` was reached.
+    dropped: AtomicU64,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// A shareable event collector. `Default` is the disabled journal.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Journal {
+    /// A disabled journal: every emit is a no-op.
+    pub fn disabled() -> Journal {
+        Journal { inner: None }
+    }
+
+    /// An enabled, unbounded journal.
+    pub fn enabled() -> Journal {
+        Journal::with_capacity(0)
+    }
+
+    /// An enabled journal retaining at most `cap` events (`0` =
+    /// unbounded). Events past the cap are counted in [`Journal::dropped`]
+    /// instead of stored, bounding memory on very long runs.
+    pub fn with_capacity(cap: usize) -> Journal {
+        Journal {
+            inner: Some(Arc::new(Inner {
+                cap,
+                dropped: AtomicU64::new(0),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event. No-op (one branch) when disabled.
+    pub fn emit(&self, ev: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        let mut events = inner.events.lock().expect("journal poisoned");
+        if inner.cap != 0 && events.len() >= inner.cap {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(ev);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.events.lock().expect("journal poisoned").len(),
+            None => 0,
+        }
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the capacity bound was hit.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Copy of every retained event, in emission order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.events.lock().expect("journal poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, EventKind, Track};
+
+    fn slice(ts: f64, dt: f64, cat: Category) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            dur_us: dt,
+            track: Track::Host,
+            kind: EventKind::Slice { cat },
+        }
+    }
+
+    #[test]
+    fn disabled_journal_collects_nothing() {
+        let j = Journal::disabled();
+        j.emit(slice(0.0, 1.0, Category::CpuTime));
+        assert!(!j.is_enabled());
+        assert!(j.is_empty());
+        assert_eq!(j.snapshot(), vec![]);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let j = Journal::enabled();
+        let j2 = j.clone();
+        j.emit(slice(0.0, 1.0, Category::CpuTime));
+        j2.emit(slice(1.0, 2.0, Category::MemTransfer));
+        assert_eq!(j.len(), 2);
+        assert_eq!(j2.len(), 2);
+        assert_eq!(j.snapshot()[1].ts_us, 1.0);
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let j = Journal::with_capacity(2);
+        for i in 0..5 {
+            j.emit(slice(i as f64, 1.0, Category::CpuTime));
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Journal::default().is_enabled());
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-category and per-kernel summaries of a journal.
+//!
+//! [`category_totals`] replays the journal's [`EventKind::Slice`] charges in
+//! emission order, performing the *same* floating-point additions in the
+//! *same* order as the simulator clock's `TimeBreakdown` — so the two
+//! reconcile exactly, not approximately.
+
+use crate::event::{Category, EventKind, TraceEvent};
+use std::fmt;
+
+/// Per-category host-time totals, in [`Category::ALL`] order.
+///
+/// Because slices are emitted at the instant the clock charges time, the
+/// per-category sums here are bit-for-bit equal to the clock's
+/// `TimeBreakdown` for the same run.
+pub fn category_totals(events: &[TraceEvent]) -> [(Category, f64); 7] {
+    let mut acc = [0.0f64; 7];
+    for ev in events {
+        if let EventKind::Slice { cat } = ev.kind {
+            let idx = Category::ALL.iter().position(|c| *c == cat).unwrap();
+            acc[idx] += ev.dur_us;
+        }
+    }
+    let mut out = [(Category::GpuMemFree, 0.0); 7];
+    for (i, cat) in Category::ALL.iter().enumerate() {
+        out[i] = (*cat, acc[i]);
+    }
+    out
+}
+
+/// Aggregated activity for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Number of launches observed.
+    pub launches: u64,
+    /// Summed execution-span time, µs (async spans included).
+    pub exec_us: f64,
+    /// Host→device transfers attributed to this kernel's sites.
+    pub h2d_count: u64,
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Device→host transfers attributed to this kernel's sites.
+    pub d2h_count: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Verification verdicts that passed.
+    pub verified_ok: u64,
+    /// Verification verdicts that failed.
+    pub verified_fail: u64,
+    /// Largest absolute error across this kernel's verdicts.
+    pub max_abs_err: f64,
+    /// Transfer-report findings attributed to this kernel's sites.
+    pub findings: u64,
+}
+
+/// A rendered-ready digest of a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Host-time totals per category (reconciles with the clock).
+    pub categories: [(Category, f64); 7],
+    /// Sum over all categories, µs.
+    pub total_us: f64,
+    /// Per-kernel rows, in first-launch order.
+    pub kernels: Vec<KernelRow>,
+    /// Events summarized.
+    pub n_events: usize,
+}
+
+/// Digest `events` into per-category totals and per-kernel rows.
+pub fn summarize(events: &[TraceEvent]) -> Summary {
+    let categories = category_totals(events);
+    let total_us = categories.iter().map(|(_, t)| t).sum();
+
+    let mut kernels: Vec<KernelRow> = Vec::new();
+    let row = |kernels: &mut Vec<KernelRow>, name: &str| -> usize {
+        if let Some(i) = kernels.iter().position(|r| r.name == name) {
+            return i;
+        }
+        kernels.push(KernelRow {
+            name: name.to_string(),
+            launches: 0,
+            exec_us: 0.0,
+            h2d_count: 0,
+            h2d_bytes: 0,
+            d2h_count: 0,
+            d2h_bytes: 0,
+            verified_ok: 0,
+            verified_fail: 0,
+            max_abs_err: 0.0,
+            findings: 0,
+        });
+        kernels.len() - 1
+    };
+
+    for ev in events {
+        match &ev.kind {
+            EventKind::KernelLaunch { kernel, .. } => {
+                let i = row(&mut kernels, kernel);
+                kernels[i].launches += 1;
+            }
+            EventKind::KernelComplete { kernel } => {
+                let i = row(&mut kernels, kernel);
+                kernels[i].exec_us += ev.dur_us;
+            }
+            EventKind::Verification {
+                kernel,
+                passed,
+                max_abs_err,
+                ..
+            } => {
+                let i = row(&mut kernels, kernel);
+                if *passed {
+                    kernels[i].verified_ok += 1;
+                } else {
+                    kernels[i].verified_fail += 1;
+                }
+                if *max_abs_err > kernels[i].max_abs_err {
+                    kernels[i].max_abs_err = *max_abs_err;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Second pass: transfers and findings attach by report site, which only
+    // matches kernels discovered above.
+    let names: Vec<String> = kernels.iter().map(|r| r.name.clone()).collect();
+    for ev in events {
+        for (i, name) in names.iter().enumerate() {
+            if !ev.matches_kernel(name) {
+                continue;
+            }
+            match &ev.kind {
+                EventKind::Transfer {
+                    bytes, to_device, ..
+                } => {
+                    if *to_device {
+                        kernels[i].h2d_count += 1;
+                        kernels[i].h2d_bytes += bytes;
+                    } else {
+                        kernels[i].d2h_count += 1;
+                        kernels[i].d2h_bytes += bytes;
+                    }
+                }
+                EventKind::Finding { .. } => kernels[i].findings += 1,
+                _ => {}
+            }
+        }
+    }
+
+    Summary {
+        categories,
+        total_us,
+        kernels,
+        n_events: events.len(),
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "host time by category ({} events)", self.n_events)?;
+        for (cat, us) in &self.categories {
+            writeln!(f, "  {:<14} {:>14.3} us", cat.label(), us)?;
+        }
+        writeln!(f, "  {:<14} {:>14.3} us", "TOTAL", self.total_us)?;
+        if self.kernels.is_empty() {
+            return Ok(());
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  {:<18} {:>8} {:>14} {:>16} {:>16} {:>10} {:>9}",
+            "kernel", "launches", "exec us", "H2D", "D2H", "verify", "findings"
+        )?;
+        for r in &self.kernels {
+            let verify = if r.verified_ok + r.verified_fail == 0 {
+                "-".to_string()
+            } else if r.verified_fail == 0 {
+                format!("{} ok", r.verified_ok)
+            } else {
+                format!("{} FAIL", r.verified_fail)
+            };
+            writeln!(
+                f,
+                "  {:<18} {:>8} {:>14.3} {:>16} {:>16} {:>10} {:>9}",
+                r.name,
+                r.launches,
+                r.exec_us,
+                format!("{}x {} B", r.h2d_count, r.h2d_bytes),
+                format!("{}x {} B", r.d2h_count, r.d2h_bytes),
+                verify,
+                r.findings,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+
+    fn slice(ts: f64, dt: f64, cat: Category) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            dur_us: dt,
+            track: Track::Host,
+            kind: EventKind::Slice { cat },
+        }
+    }
+
+    #[test]
+    fn category_totals_sum_in_order() {
+        let events = vec![
+            slice(0.0, 1.5, Category::CpuTime),
+            slice(1.5, 2.5, Category::MemTransfer),
+            slice(4.0, 3.0, Category::CpuTime),
+        ];
+        let totals = category_totals(&events);
+        let get = |c: Category| totals.iter().find(|(k, _)| *k == c).unwrap().1;
+        assert_eq!(get(Category::CpuTime), 1.5 + 3.0);
+        assert_eq!(get(Category::MemTransfer), 2.5);
+        assert_eq!(get(Category::KernelExec), 0.0);
+    }
+
+    #[test]
+    fn kernels_aggregate_launches_exec_and_verdicts() {
+        let mk = |kind| TraceEvent {
+            ts_us: 0.0,
+            dur_us: 0.0,
+            track: Track::Host,
+            kind,
+        };
+        let events = vec![
+            mk(EventKind::KernelLaunch {
+                kernel: "k0".into(),
+                n_threads: 32,
+                queue: None,
+            }),
+            TraceEvent {
+                ts_us: 0.0,
+                dur_us: 7.0,
+                track: Track::Queue(1),
+                kind: EventKind::KernelComplete {
+                    kernel: "k0".into(),
+                },
+            },
+            mk(EventKind::Verification {
+                kernel: "k0".into(),
+                passed: true,
+                compared_elems: 32,
+                mismatched_elems: 0,
+                max_abs_err: 1e-9,
+            }),
+            mk(EventKind::Transfer {
+                var: "a".into(),
+                site: "k0".into(),
+                bytes: 256,
+                to_device: true,
+            }),
+            mk(EventKind::Finding {
+                severity: "warning",
+                kind: "Redundant".into(),
+                var: "a".into(),
+                site: "k0_in".into(),
+                message: "m".into(),
+            }),
+        ];
+        let s = summarize(&events);
+        assert_eq!(s.kernels.len(), 1);
+        let r = &s.kernels[0];
+        assert_eq!(r.launches, 1);
+        assert_eq!(r.exec_us, 7.0);
+        assert_eq!(r.verified_ok, 1);
+        assert_eq!(r.h2d_count, 1);
+        assert_eq!(r.h2d_bytes, 256);
+        assert_eq!(r.findings, 1);
+        let shown = s.to_string();
+        assert!(shown.contains("k0"), "{shown}");
+        assert!(shown.contains("TOTAL"), "{shown}");
+    }
+}

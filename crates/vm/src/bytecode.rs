@@ -61,7 +61,12 @@ impl Intrinsic {
     /// Number of arguments.
     pub fn arity(self) -> usize {
         match self {
-            Intrinsic::Pow | Intrinsic::Fmin | Intrinsic::Fmax | Intrinsic::Min | Intrinsic::Max | Intrinsic::PowF => 2,
+            Intrinsic::Pow
+            | Intrinsic::Fmin
+            | Intrinsic::Fmax
+            | Intrinsic::Min
+            | Intrinsic::Max
+            | Intrinsic::PowF => 2,
             _ => 1,
         }
     }

@@ -24,7 +24,10 @@ pub const HOST_OP: &str = "__host_op";
 pub fn compile(program: &Program, sema: &Sema) -> Result<Module, Diagnostic> {
     let mut module = Module::default();
     for (i, g) in program.globals().enumerate() {
-        module.globals.push(GlobalInfo { name: g.name.clone(), ty: g.ty.clone() });
+        module.globals.push(GlobalInfo {
+            name: g.name.clone(),
+            ty: g.ty.clone(),
+        });
         module.global_index.insert(g.name.clone(), i as u16);
     }
     // Reserve chunk indices so calls can be emitted before callee bodies.
@@ -35,7 +38,9 @@ pub fn compile(program: &Program, sema: &Sema) -> Result<Module, Diagnostic> {
             funcs.push(f);
         }
     }
-    module.func_index.insert(GLOBALS_INIT.to_string(), funcs.len() as u16);
+    module
+        .func_index
+        .insert(GLOBALS_INIT.to_string(), funcs.len() as u16);
 
     for f in &funcs {
         let chunk = FnCompiler::new(&module, sema, f).compile()?;
@@ -47,14 +52,20 @@ pub fn compile(program: &Program, sema: &Sema) -> Result<Module, Diagnostic> {
 
 /// Build the `__globals_init` chunk that stores every global initializer.
 fn compile_globals_init(module: &Module, program: &Program) -> Result<Chunk, Diagnostic> {
-    let mut chunk = Chunk { name: GLOBALS_INIT.to_string(), ..Default::default() };
+    let mut chunk = Chunk {
+        name: GLOBALS_INIT.to_string(),
+        ..Default::default()
+    };
     for g in program.globals() {
         if let Some(init) = &g.init {
             let slot = module.global_slot(&g.name).expect("global slot");
             // Initializers are constant (checked by sema); fold them here.
             let v = const_eval(init).ok_or_else(|| {
                 Diagnostic::error(
-                    format!("global `{}` initializer is not a supported constant", g.name),
+                    format!(
+                        "global `{}` initializer is not a supported constant",
+                        g.name
+                    ),
                     g.span,
                 )
             })?;
@@ -62,7 +73,10 @@ fn compile_globals_init(module: &Module, program: &Program) -> Result<Chunk, Dia
                 Ty::Scalar(s) => *s,
                 other => {
                     return Err(Diagnostic::error(
-                        format!("global `{}` of type `{other}` cannot have an initializer", g.name),
+                        format!(
+                            "global `{}` of type `{other}` cannot have an initializer",
+                            g.name
+                        ),
                         g.span,
                     ))
                 }
@@ -82,7 +96,10 @@ fn const_eval(e: &Expr) -> Option<Value> {
         ExprKind::IntLit(v) => Some(Value::Int(*v)),
         ExprKind::FloatLit(v, true) => Some(Value::F32(*v as f32)),
         ExprKind::FloatLit(v, false) => Some(Value::F64(*v)),
-        ExprKind::Unary { op: UnOp::Neg, expr } => match const_eval(expr)? {
+        ExprKind::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => match const_eval(expr)? {
             Value::Int(v) => Some(Value::Int(-v)),
             Value::F32(v) => Some(Value::F32(-v)),
             Value::F64(v) => Some(Value::F64(-v)),
@@ -93,7 +110,10 @@ fn const_eval(e: &Expr) -> Option<Value> {
             let b = const_eval(rhs)?;
             crate::interp::eval_bin(*op, a, b).ok()
         }
-        ExprKind::Cast { ty: Ty::Scalar(s), expr } => Some(const_eval(expr)?.cast(*s)),
+        ExprKind::Cast {
+            ty: Ty::Scalar(s),
+            expr,
+        } => Some(const_eval(expr)?.cast(*s)),
         ExprKind::SizeOf(s) => Some(Value::Int(s.size_bytes() as i64)),
         _ => None,
     }
@@ -121,7 +141,10 @@ impl<'a> FnCompiler<'a> {
             module,
             sema,
             func,
-            chunk: Chunk { name: func.name.clone(), ..Default::default() },
+            chunk: Chunk {
+                name: func.name.clone(),
+                ..Default::default()
+            },
             locals: HashMap::new(),
             loops: Vec::new(),
             malloc_target: "malloc".to_string(),
@@ -219,7 +242,11 @@ impl<'a> FnCompiler<'a> {
                 Ok(())
             }
             StmtKind::Assign { target, op, value } => self.assign(target, *op, value, s.span),
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.expr_value(cond)?;
                 let jf = self.emit_jump(Instr::JumpIfFalse);
                 self.block(then_blk)?;
@@ -238,7 +265,10 @@ impl<'a> FnCompiler<'a> {
                 let top = self.here();
                 self.expr_value(cond)?;
                 let jf = self.emit_jump(Instr::JumpIfFalse);
-                self.loops.push(LoopCtx { break_jumps: vec![], continue_jumps: vec![] });
+                self.loops.push(LoopCtx {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
                 self.block(body)?;
                 let ctx = self.loops.pop().expect("loop ctx");
                 for j in ctx.continue_jumps {
@@ -253,7 +283,12 @@ impl<'a> FnCompiler<'a> {
                 }
                 Ok(())
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -265,7 +300,10 @@ impl<'a> FnCompiler<'a> {
                     }
                     None => None,
                 };
-                self.loops.push(LoopCtx { break_jumps: vec![], continue_jumps: vec![] });
+                self.loops.push(LoopCtx {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
                 self.block(body)?;
                 let ctx = self.loops.pop().expect("loop ctx");
                 let step_at = self.here();
@@ -309,7 +347,11 @@ impl<'a> FnCompiler<'a> {
                 if self.loops.is_empty() {
                     return Err(self.err("`continue` outside a loop", s.span));
                 }
-                self.loops.last_mut().expect("loop ctx").continue_jumps.push(j);
+                self.loops
+                    .last_mut()
+                    .expect("loop ctx")
+                    .continue_jumps
+                    .push(j);
                 Ok(())
             }
         }
@@ -414,10 +456,7 @@ impl<'a> FnCompiler<'a> {
             }
             Ty::Array(_, dims) => {
                 if indices.len() != dims.len() {
-                    return Err(self.err(
-                        format!("array `{base}` dimension mismatch"),
-                        span,
-                    ));
+                    return Err(self.err(format!("array `{base}` dimension mismatch"), span));
                 }
                 // linear = ((i0 * d1 + i1) * d2 + i2) ...
                 self.expr_value(&indices[0])?;
@@ -431,12 +470,7 @@ impl<'a> FnCompiler<'a> {
                     self.emit(Instr::Bin(BinOp::Add));
                 }
             }
-            other => {
-                return Err(self.err(
-                    format!("cannot index `{base}` of type `{other}`"),
-                    span,
-                ))
-            }
+            other => return Err(self.err(format!("cannot index `{base}` of type `{other}`"), span)),
         }
         Ok(())
     }
@@ -458,7 +492,11 @@ impl<'a> FnCompiler<'a> {
                 Ok(true)
             }
             ExprKind::FloatLit(v, suf) => {
-                let val = if *suf { Value::F32(*v as f32) } else { Value::F64(*v) };
+                let val = if *suf {
+                    Value::F32(*v as f32)
+                } else {
+                    Value::F64(*v)
+                };
                 let c = self.chunk.add_const(val);
                 self.emit(Instr::Const(c));
                 Ok(true)
@@ -520,7 +558,11 @@ impl<'a> FnCompiler<'a> {
                 }
                 Ok(true)
             }
-            ExprKind::Ternary { cond, then_e, else_e } => {
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 self.expr_value(cond)?;
                 let jf = self.emit_jump(Instr::JumpIfFalse);
                 self.expr_value(then_e)?;
@@ -557,12 +599,11 @@ impl<'a> FnCompiler<'a> {
         if name == HOST_OP {
             // Synthetic runtime-op marker inserted by the translator.
             let id = match args {
-                [Expr { kind: ExprKind::IntLit(v), .. }] if *v >= 0 && *v <= u16::MAX as i64 => {
-                    *v as u16
-                }
-                _ => {
-                    return Err(self.err("__host_op requires one small integer literal", e.span))
-                }
+                [Expr {
+                    kind: ExprKind::IntLit(v),
+                    ..
+                }] if *v >= 0 && *v <= u16::MAX as i64 => *v as u16,
+                _ => return Err(self.err("__host_op requires one small integer literal", e.span)),
             };
             self.emit(Instr::HostOp(id));
             return Ok(false);
@@ -665,14 +706,23 @@ mod tests {
         let m = compile_src("int n = 42;\ndouble eps = 1e-6;\nvoid main() { }");
         let c = m.chunk(GLOBALS_INIT).unwrap();
         assert!(c.consts.contains(&Value::Int(42)));
-        assert!(c.code.iter().filter(|i| matches!(i, Instr::StoreGlobal(_))).count() == 2);
+        assert!(
+            c.code
+                .iter()
+                .filter(|i| matches!(i, Instr::StoreGlobal(_)))
+                .count()
+                == 2
+        );
     }
 
     #[test]
     fn malloc_compiles_to_malloc_instr() {
         let m = compile_src("double *p;\nint n;\nvoid main() { p = (double *) malloc(n * sizeof(double)); free(p); }");
         let c = m.chunk("main").unwrap();
-        assert!(c.code.iter().any(|i| matches!(i, Instr::Malloc(ScalarTy::Double, _))));
+        assert!(c
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Malloc(ScalarTy::Double, _))));
         assert!(c.code.iter().any(|i| matches!(i, Instr::Free)));
     }
 

@@ -66,9 +66,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = VmError::OutOfBounds { label: "a".into(), idx: 5, len: 4 };
+        let e = VmError::OutOfBounds {
+            label: "a".into(),
+            idx: 5,
+            len: 4,
+        };
         assert!(e.to_string().contains("out of bounds"));
         assert!(VmError::DivByZero.to_string().contains("division"));
-        assert!(VmError::UnknownFunction("f".into()).to_string().contains("`f`"));
+        assert!(VmError::UnknownFunction("f".into())
+            .to_string()
+            .contains("`f`"));
     }
 }

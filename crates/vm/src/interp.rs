@@ -36,7 +36,9 @@ pub trait Env {
     /// Execute an opaque runtime operation (directive lowering). The
     /// default environment has no runtime attached.
     fn host_op(&mut self, id: u16) -> Result<(), VmError> {
-        Err(VmError::Internal(format!("host op {id} with no runtime attached")))
+        Err(VmError::Internal(format!(
+            "host op {id} with no runtime attached"
+        )))
     }
 }
 
@@ -90,7 +92,11 @@ impl ThreadState {
         Ok(ThreadState {
             stack: Vec::with_capacity(16),
             locals,
-            frames: vec![Frame { chunk: idx, pc: 0, base: 0 }],
+            frames: vec![Frame {
+                chunk: idx,
+                pc: 0,
+                base: 0,
+            }],
             steps: 0,
             done: None,
         })
@@ -103,23 +109,28 @@ impl ThreadState {
 
     /// The return value, if finished.
     pub fn result(&self) -> Option<Option<Value>> {
-        self.done.clone()
+        self.done
     }
 
     fn pop(&mut self) -> Result<Value, VmError> {
-        self.stack.pop().ok_or_else(|| VmError::Internal("stack underflow".into()))
+        self.stack
+            .pop()
+            .ok_or_else(|| VmError::Internal("stack underflow".into()))
     }
 
     /// Execute one instruction.
     pub fn step(&mut self, module: &Module, env: &mut dyn Env) -> Result<Step, VmError> {
-        if let Some(v) = &self.done {
-            return Ok(Step::Done(v.clone()));
+        if let Some(v) = self.done {
+            return Ok(Step::Done(v));
         }
         self.steps += 1;
         let frame = self.frames.last_mut().expect("active frame");
         let chunk: &Chunk = &module.chunks[frame.chunk as usize];
         let Some(instr) = chunk.code.get(frame.pc).copied() else {
-            return Err(VmError::Internal(format!("pc {} out of range in `{}`", frame.pc, chunk.name)));
+            return Err(VmError::Internal(format!(
+                "pc {} out of range in `{}`",
+                frame.pc, chunk.name
+            )));
         };
         frame.pc += 1;
         let base = frame.base;
@@ -190,12 +201,17 @@ impl ThreadState {
                     return Err(VmError::Internal("stack underflow in call".into()));
                 }
                 let new_base = self.locals.len();
-                self.locals.resize(new_base + callee.n_locals as usize, Value::Int(0));
+                self.locals
+                    .resize(new_base + callee.n_locals as usize, Value::Int(0));
                 for i in (0..n).rev() {
                     let v = self.pop()?;
                     self.locals[new_base + i] = coerce_local(v, &callee.local_tys[i]);
                 }
-                self.frames.push(Frame { chunk: fidx, pc: 0, base: new_base });
+                self.frames.push(Frame {
+                    chunk: fidx,
+                    pc: 0,
+                    base: new_base,
+                });
             }
             Instr::CallIntrinsic(intr) => {
                 let v = if intr.arity() == 2 {
@@ -248,8 +264,8 @@ impl ThreadState {
                 self.stack.push(v);
             }
         }
-        if let Some(v) = &self.done {
-            Ok(Step::Done(v.clone()))
+        if let Some(v) = self.done {
+            Ok(Step::Done(v))
         } else {
             Ok(Step::Continue)
         }
@@ -288,7 +304,9 @@ fn as_handle(v: Value) -> Result<Handle, VmError> {
     match v {
         Value::Ptr(h) if !h.is_null() => Ok(h),
         Value::Ptr(h) => Err(VmError::BadHandle(h)),
-        other => Err(VmError::TypeError(format!("expected pointer, found {other}"))),
+        other => Err(VmError::TypeError(format!(
+            "expected pointer, found {other}"
+        ))),
     }
 }
 
@@ -325,7 +343,9 @@ pub fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, VmError> {
         };
     }
     if matches!(a, Value::Ptr(_)) || matches!(b, Value::Ptr(_)) {
-        return Err(VmError::TypeError(format!("operator `{op}` mixes pointer and number")));
+        return Err(VmError::TypeError(format!(
+            "operator `{op}` mixes pointer and number"
+        )));
     }
     let int_only = matches!(op, Rem | BitAnd | BitOr | BitXor | Shl | Shr);
     match (a, b) {
@@ -361,7 +381,9 @@ pub fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, VmError> {
             And => Ok(Value::Int(((x != 0) && (y != 0)) as i64)),
             Or => Ok(Value::Int(((x != 0) || (y != 0)) as i64)),
         },
-        _ if int_only => Err(VmError::TypeError(format!("operator `{op}` requires integers"))),
+        _ if int_only => Err(VmError::TypeError(format!(
+            "operator `{op}` requires integers"
+        ))),
         // Single precision when no f64 operand is involved.
         (x, y) if !matches!(x, Value::F64(_)) && !matches!(y, Value::F64(_)) => {
             let xf = x.as_f64() as f32;
@@ -382,10 +404,26 @@ fn eval_float_op(op: BinOp, x: f64, y: f64, single: bool) -> Result<Value, VmErr
         }
     };
     Ok(match op {
-        Add => num(if single { (x as f32 + y as f32) as f64 } else { x + y }),
-        Sub => num(if single { (x as f32 - y as f32) as f64 } else { x - y }),
-        Mul => num(if single { (x as f32 * y as f32) as f64 } else { x * y }),
-        Div => num(if single { (x as f32 / y as f32) as f64 } else { x / y }),
+        Add => num(if single {
+            (x as f32 + y as f32) as f64
+        } else {
+            x + y
+        }),
+        Sub => num(if single {
+            (x as f32 - y as f32) as f64
+        } else {
+            x - y
+        }),
+        Mul => num(if single {
+            (x as f32 * y as f32) as f64
+        } else {
+            x * y
+        }),
+        Div => num(if single {
+            (x as f32 / y as f32) as f64
+        } else {
+            x / y
+        }),
         Lt => Value::Int((x < y) as i64),
         Gt => Value::Int((x > y) as i64),
         Le => Value::Int((x <= y) as i64),
@@ -608,7 +646,8 @@ mod tests {
     #[test]
     fn float_single_precision_rounding() {
         // 0.1f + 0.2f in f32 differs from the f64 sum.
-        let (m, env) = run_main("float f;\ndouble d;\nvoid main() { f = 0.1f + 0.2f; d = 0.1 + 0.2; }");
+        let (m, env) =
+            run_main("float f;\ndouble d;\nvoid main() { f = 0.1f + 0.2f; d = 0.1 + 0.2; }");
         let f = match global_val(&m, &env, "f") {
             Value::F32(v) => v,
             other => panic!("{other:?}"),
@@ -656,7 +695,8 @@ mod tests {
 
     #[test]
     fn global_initializers_applied() {
-        let (m, env) = run_main("int n = 5;\ndouble e = 2.5;\nint m2;\nvoid main() { m2 = n * 2; }");
+        let (m, env) =
+            run_main("int n = 5;\ndouble e = 2.5;\nint m2;\nvoid main() { m2 = n * 2; }");
         assert_eq!(global_val(&m, &env, "m2"), Value::Int(10));
         assert_eq!(global_val(&m, &env, "e"), Value::F64(2.5));
     }
@@ -699,7 +739,9 @@ mod tests {
 
     #[test]
     fn function_args_coerced_to_param_types() {
-        let (m, env) = run_main("double half(double x) { return x / 2.0; }\ndouble d;\nvoid main() { d = half(5); }");
+        let (m, env) = run_main(
+            "double half(double x) { return x / 2.0; }\ndouble d;\nvoid main() { d = half(5); }",
+        );
         assert_eq!(global_val(&m, &env, "d"), Value::F64(2.5));
     }
 

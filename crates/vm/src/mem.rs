@@ -59,7 +59,11 @@ pub struct Buffer {
 impl Buffer {
     /// Allocate a zeroed buffer.
     pub fn new(elem: ScalarTy, len: usize, label: impl Into<String>) -> Buffer {
-        Buffer { elem, data: BufData::new(elem, len), label: label.into() }
+        Buffer {
+            elem,
+            data: BufData::new(elem, len),
+            label: label.into(),
+        }
     }
 
     /// Element count.
@@ -85,7 +89,11 @@ impl Buffer {
             BufData::F32(v) => v.get(i).map(|x| Value::F32(*x)),
             BufData::F64(v) => v.get(i).map(|x| Value::F64(*x)),
         }
-        .ok_or(VmError::OutOfBounds { label: self.label.clone(), idx, len: self.len() })
+        .ok_or(VmError::OutOfBounds {
+            label: self.label.clone(),
+            idx,
+            len: self.len(),
+        })
     }
 
     /// Write element `idx` (value is coerced to the element type).
@@ -93,7 +101,11 @@ impl Buffer {
         let i = idx as usize;
         let len = self.len();
         if i >= len {
-            return Err(VmError::OutOfBounds { label: self.label.clone(), idx, len });
+            return Err(VmError::OutOfBounds {
+                label: self.label.clone(),
+                idx,
+                len,
+            });
         }
         match &mut self.data {
             BufData::I64(d) => d[i] = v.as_i64(),
@@ -130,7 +142,11 @@ pub struct MemSpace {
 impl MemSpace {
     /// An empty memory space.
     pub fn new() -> MemSpace {
-        MemSpace { bufs: vec![None], allocated_bytes: 0, peak_bytes: 0 }
+        MemSpace {
+            bufs: vec![None],
+            allocated_bytes: 0,
+            peak_bytes: 0,
+        }
     }
 
     /// Allocate a zeroed buffer; returns its handle.
@@ -237,7 +253,10 @@ mod tests {
         let mut m = MemSpace::new();
         let h = m.alloc(ScalarTy::Int, 2, "x");
         assert!(matches!(m.load(h, 2), Err(VmError::OutOfBounds { .. })));
-        assert!(matches!(m.store(h, 99, Value::Int(0)), Err(VmError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.store(h, 99, Value::Int(0)),
+            Err(VmError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -252,7 +271,10 @@ mod tests {
     #[test]
     fn null_handle_invalid() {
         let m = MemSpace::new();
-        assert!(matches!(m.load(Handle::NULL, 0), Err(VmError::BadHandle(_))));
+        assert!(matches!(
+            m.load(Handle::NULL, 0),
+            Err(VmError::BadHandle(_))
+        ));
     }
 
     #[test]
@@ -284,8 +306,14 @@ mod tests {
         let b = Buffer::new(ScalarTy::Double, 3, "b");
         assert!(a.copy_from(&b).is_ok());
         let c = Buffer::new(ScalarTy::Float, 3, "c");
-        assert!(matches!(a.copy_from(&c), Err(VmError::TransferMismatch { .. })));
+        assert!(matches!(
+            a.copy_from(&c),
+            Err(VmError::TransferMismatch { .. })
+        ));
         let d = Buffer::new(ScalarTy::Double, 4, "d");
-        assert!(matches!(a.copy_from(&d), Err(VmError::TransferMismatch { .. })));
+        assert!(matches!(
+            a.copy_from(&d),
+            Err(VmError::TransferMismatch { .. })
+        ));
     }
 }

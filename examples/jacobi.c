@@ -1,0 +1,50 @@
+/* JACOBI 2D 5-point stencil, in the paper's *unoptimized* shape:
+ * the host copy of `a` is conservatively refreshed on every sweep with
+ * `#pragma acc update`, which the §III-B transfer verifier flags as
+ * redundant (Listing 4).  Try:
+ *
+ *   openarc check   examples/jacobi.c
+ *   openarc profile examples/jacobi.c --summary --explain a
+ *   openarc profile examples/jacobi.c --trace-out jacobi-trace.json
+ *   openarc demote  examples/jacobi.c 0
+ */
+double a[32][32];
+double anew[32][32];
+double checksum;
+void main() {
+    int i; int j; int k; double tmp; double fac;
+    for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+            a[i][j] = 0.0;
+            anew[i][j] = 0.0;
+        }
+    }
+    for (j = 0; j < 32; j++) { a[0][j] = 100.0; anew[0][j] = 100.0; }
+#pragma acc data copyin(a) create(anew)
+{
+    for (k = 0; k < 4; k++) {
+#pragma acc update device(a)
+#pragma acc kernels loop gang worker collapse(2) private(tmp)
+        for (i = 1; i < 31; i++) {
+            for (j = 1; j < 31; j++) {
+                tmp = a[i - 1][j] + a[i + 1][j] + a[i][j - 1] + a[i][j + 1];
+                anew[i][j] = 0.25 * tmp;
+            }
+        }
+#pragma acc kernels loop gang worker collapse(2) private(fac)
+        for (i = 1; i < 31; i++) {
+            for (j = 1; j < 31; j++) {
+                fac = 1.0;
+                a[i][j] = fac * anew[i][j];
+            }
+        }
+#pragma acc update host(a)
+    }
+}
+    checksum = 0.0;
+    for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+            checksum += a[i][j];
+        }
+    }
+}

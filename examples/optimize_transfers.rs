@@ -11,12 +11,19 @@ fn main() {
     let b = openarc::suite::jacobi::benchmark(Scale::default());
 
     // Peek at the raw tool output for one instrumented run.
-    let topts = TranslateOptions { instrument: true, ..Default::default() };
+    let topts = TranslateOptions {
+        instrument: true,
+        ..Default::default()
+    };
     let (program, sema) = frontend(b.source(Variant::Unoptimized)).unwrap();
     let tr = translate(&program, &sema, &topts).unwrap();
     let run = execute(
         &tr,
-        &ExecOptions { check_transfers: true, race_detect: false, ..Default::default() },
+        &ExecOptions {
+            check_transfers: true,
+            race_detect: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     println!("--- tool report (first profiling run) ---");
@@ -28,7 +35,10 @@ fn main() {
         &sema,
         &topts,
         &b.outputs,
-        &ExecOptions { race_detect: false, ..Default::default() },
+        &ExecOptions {
+            race_detect: false,
+            ..Default::default()
+        },
         10,
     )
     .unwrap();

@@ -35,7 +35,10 @@ void main() {
     let tr = translate(&program, &sema, &TranslateOptions::default()).expect("translate");
     let run = execute(&tr, &ExecOptions::default()).expect("execute");
 
-    println!("checksum          = {:.3}", run.global_scalar(&tr, "checksum").unwrap().as_f64());
+    println!(
+        "checksum          = {:.3}",
+        run.global_scalar(&tr, "checksum").unwrap().as_f64()
+    );
     println!("kernel launches   = {}", run.kernel_launches);
     println!("simulated time    = {:.1} µs", run.sim_time_us());
     println!(

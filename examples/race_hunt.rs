@@ -21,14 +21,20 @@ fn main() {
             auto_reduction: false,
             ..Default::default()
         };
-        let (_, report) =
-            verify_kernels(&faulty, &sema, &topts, VerifyOptions::default()).unwrap();
-        let active: Vec<&str> =
-            report.kernels.iter().filter(|k| k.flagged()).map(|k| k.kernel.as_str()).collect();
+        let (_, report) = verify_kernels(&faulty, &sema, &topts, VerifyOptions::default()).unwrap();
+        let active: Vec<&str> = report
+            .kernels
+            .iter()
+            .filter(|k| k.flagged())
+            .map(|k| k.kernel.as_str())
+            .collect();
         let raced: std::collections::BTreeSet<&str> =
             report.races.iter().map(|(k, _)| k.as_str()).collect();
-        let latent: Vec<&str> =
-            raced.iter().filter(|k| !active.contains(*k)).copied().collect();
+        let latent: Vec<&str> = raced
+            .iter()
+            .filter(|k| !active.contains(*k))
+            .copied()
+            .collect();
         println!(
             "{:<10} stripped {:>2} clauses → active: {:?}, latent: {:?}",
             b.name,

@@ -61,5 +61,11 @@ void main() {
         );
     }
     assert_eq!(bad.flagged().len(), 1, "the race must be detected");
-    println!("race oracle saw: {:?}", bad.races.iter().map(|(k, r)| (k, &r.label)).collect::<Vec<_>>());
+    println!(
+        "race oracle saw: {:?}",
+        bad.races
+            .iter()
+            .map(|(k, r)| (k, &r.label))
+            .collect::<Vec<_>>()
+    );
 }

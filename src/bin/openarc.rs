@@ -9,10 +9,13 @@
 //!                                      verificationOptions syntax)
 //! openarc check <file.c>               §III-B memory-transfer verification
 //! openarc demote <file.c> <kernel#>    print the Listing-2 demotion
+//! openarc profile <file.c> [flags]     event-journal profiling: Chrome
+//!                                      trace export + per-kernel summary
 //! ```
 
 use openarc::core::options::parse_verification_options;
 use openarc::prelude::*;
+use openarc::trace::{chrome_trace, explain_var, summarize};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,21 +29,30 @@ fn main() {
 }
 
 fn usage() -> String {
-    "usage: openarc <run|cpu|verify|check|demote> <file.c> [args]\n\
+    "usage: openarc <run|cpu|verify|check|demote|profile> <file.c> [args]\n\
      \n\
      run    <file.c>            translate and execute on the simulated device\n\
      cpu    <file.c>            execute the sequential reference\n\
      verify <file.c> [options]  kernel verification; options use the paper's\n\
                                 syntax, e.g. complement=0,kernels=main_kernel0\n\
      check  <file.c>            memory-transfer verification report\n\
-     demote <file.c> <kernel#>  print the memory-transfer-demoted program"
+     demote <file.c> <kernel#>  print the memory-transfer-demoted program\n\
+     profile <file.c> [flags]   run with the event journal enabled\n\
+       --trace-out <path>       write a Chrome trace_event JSON file\n\
+       --summary                print per-category and per-kernel totals\n\
+       --filter-kernel <name>   restrict the trace/kernel table to one kernel\n\
+       --explain <var>          print the event timeline for one variable\n\
+       --verify                 profile a kernel-verification run instead"
         .to_string()
 }
 
 fn load(path: &str) -> Result<(openarc::minic::Program, openarc::minic::Sema), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     frontend(&src).map_err(|ds| {
-        ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        ds.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
     })
 }
 
@@ -60,7 +72,13 @@ fn print_outputs(tr: &Translated, r: &openarc::core::exec::RunResult) {
                     let head: Vec<String> =
                         vals.iter().take(6).map(|v| format!("{v:.6}")).collect();
                     let ell = if vals.len() > 6 { ", …" } else { "" };
-                    println!("{:<16} = [{}{}] (len {})", g.name, head.join(", "), ell, vals.len());
+                    println!(
+                        "{:<16} = [{}{}] (len {})",
+                        g.name,
+                        head.join(", "),
+                        ell,
+                        vals.len()
+                    );
                 }
             }
             _ => {}
@@ -74,11 +92,25 @@ fn run(args: &[String]) -> Result<i32, String> {
         "run" | "cpu" => {
             let path = rest.first().ok_or_else(usage)?;
             let (p, s) = load(path)?;
-            let tr = translate(&p, &s, &TranslateOptions::default())
-                .map_err(|ds| ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n"))?;
-            let mode = if cmd == "cpu" { ExecMode::CpuOnly } else { ExecMode::Normal };
-            let r = execute(&tr, &ExecOptions { mode, ..Default::default() })
-                .map_err(|e| e.to_string())?;
+            let tr = translate(&p, &s, &TranslateOptions::default()).map_err(|ds| {
+                ds.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })?;
+            let mode = if cmd == "cpu" {
+                ExecMode::CpuOnly
+            } else {
+                ExecMode::Normal
+            };
+            let r = execute(
+                &tr,
+                &ExecOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
             print_outputs(&tr, &r);
             println!("--");
             println!("kernel launches   : {}", r.kernel_launches);
@@ -107,7 +139,13 @@ fn run(args: &[String]) -> Result<i32, String> {
             let (_, report) = verify_kernels(&p, &s, &TranslateOptions::default(), vopts)
                 .map_err(|e| e.to_string())?;
             for k in &report.kernels {
-                let verdict = if k.flagged() { "FAIL" } else if k.launches > 0 { "ok" } else { "skipped" };
+                let verdict = if k.flagged() {
+                    "FAIL"
+                } else if k.launches > 0 {
+                    "ok"
+                } else {
+                    "skipped"
+                };
                 println!(
                     "{:<20} launches={:<4} mismatched={:<8} max|err|={:<12.3e} asserts_failed={:<3} {verdict}",
                     k.kernel, k.launches, k.mismatched_elems, k.max_abs_err, k.assertion_failures
@@ -122,12 +160,22 @@ fn run(args: &[String]) -> Result<i32, String> {
         "check" => {
             let path = rest.first().ok_or_else(usage)?;
             let (p, s) = load(path)?;
-            let topts = TranslateOptions { instrument: true, ..Default::default() };
-            let tr = translate(&p, &s, &topts)
-                .map_err(|ds| ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n"))?;
+            let topts = TranslateOptions {
+                instrument: true,
+                ..Default::default()
+            };
+            let tr = translate(&p, &s, &topts).map_err(|ds| {
+                ds.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })?;
             let r = execute(
                 &tr,
-                &ExecOptions { check_transfers: true, ..Default::default() },
+                &ExecOptions {
+                    check_transfers: true,
+                    ..Default::default()
+                },
             )
             .map_err(|e| e.to_string())?;
             if r.machine.report.issues.is_empty() {
@@ -146,23 +194,133 @@ fn run(args: &[String]) -> Result<i32, String> {
                 .parse()
                 .map_err(|_| "kernel index must be an integer".to_string())?;
             let (p, s) = load(path)?;
-            let tr = translate(&p, &s, &TranslateOptions::default())
-                .map_err(|ds| ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n"))?;
+            let tr = translate(&p, &s, &TranslateOptions::default()).map_err(|ds| {
+                ds.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })?;
             if idx >= tr.kernels.len() {
                 return Err(format!(
                     "kernel index {idx} out of range: the program has {} kernel(s)",
                     tr.kernels.len()
                 ));
             }
-            let demoted = demote_source(&p, &std::iter::once(idx).collect(), 1)
-                .map_err(|e| e.to_string())?;
+            let demoted =
+                demote_source(&p, &std::iter::once(idx).collect(), 1).map_err(|e| e.to_string())?;
             print!("{}", openarc::minic::print_program(&demoted));
             Ok(0)
         }
+        "profile" => profile(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(0)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+/// `openarc profile`: run the program with the event journal enabled, then
+/// render the journal as a Chrome trace, a per-kernel summary, and/or a
+/// per-variable timeline.
+fn profile(rest: &[String]) -> Result<i32, String> {
+    let mut path: Option<&str> = None;
+    let mut trace_out: Option<&str> = None;
+    let mut summary = false;
+    let mut filter_kernel: Option<&str> = None;
+    let mut explain: Vec<&str> = Vec::new();
+    let mut verify = false;
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--summary" => summary = true,
+            "--filter-kernel" => filter_kernel = Some(value("--filter-kernel")?),
+            "--explain" => explain.push(value("--explain")?),
+            "--verify" => verify = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown profile flag `{flag}`\n{}", usage()));
+            }
+            p if path.is_none() => path = Some(p),
+            p => return Err(format!("unexpected argument `{p}`\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    // With no output selected, the summary is the default deliverable.
+    if trace_out.is_none() && explain.is_empty() {
+        summary = true;
+    }
+
+    let (p, s) = load(path)?;
+    let topts = TranslateOptions {
+        instrument: true,
+        ..Default::default()
+    };
+    let tr = translate(&p, &s, &topts).map_err(|ds| {
+        ds.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    let mode = if verify {
+        ExecMode::Verify(VerifyOptions::default())
+    } else {
+        ExecMode::Normal
+    };
+    let opts = ExecOptions {
+        mode,
+        check_transfers: true,
+        journal: Journal::enabled(),
+        ..Default::default()
+    };
+    let r = execute(&tr, &opts).map_err(|e| e.to_string())?;
+    let events = r.machine.journal().snapshot();
+
+    if let Some(out) = trace_out {
+        let filtered: Vec<openarc::trace::TraceEvent> = match filter_kernel {
+            Some(k) => events
+                .iter()
+                .filter(|e| e.matches_kernel(k))
+                .cloned()
+                .collect(),
+            None => events.clone(),
+        };
+        std::fs::write(out, chrome_trace(&filtered)).map_err(|e| format!("{out}: {e}"))?;
+        println!(
+            "wrote {} events to {out} (chrome://tracing / Perfetto)",
+            filtered.len()
+        );
+    }
+
+    for var in &explain {
+        match explain_var(&events, var) {
+            Some(text) => println!("{text}"),
+            None => println!("no journal events mention `{var}`"),
+        }
+    }
+
+    if summary {
+        let mut sum = summarize(&events);
+        if let Some(k) = filter_kernel {
+            sum.kernels.retain(|row| row.name == k);
+        }
+        print!("{sum}");
+        println!("--");
+        println!("journal events    : {}", events.len());
+        println!("kernel launches   : {}", r.kernel_launches);
+        println!("simulated time    : {:.1} µs", r.sim_time_us());
+    }
+
+    let flagged = r.verify.iter().any(|k| k.flagged());
+    Ok(if r.machine.report.has_errors() || flagged {
+        1
+    } else {
+        0
+    })
 }

@@ -42,6 +42,7 @@ pub use openarc_minic as minic;
 pub use openarc_openacc as openacc;
 pub use openarc_runtime as runtime;
 pub use openarc_suite as suite;
+pub use openarc_trace as trace;
 pub use openarc_vm as vm;
 
 /// The most commonly used items in one import.
@@ -50,8 +51,9 @@ pub mod prelude {
         execute, ExecMode, ExecOptions, RunResult, TransferOverlay, VerifyOptions,
     };
     pub use openarc_core::interactive::{optimize_transfers, OutputSpec};
-    pub use openarc_core::translate::{translate, Translated, TranslateOptions};
+    pub use openarc_core::translate::{translate, TranslateOptions, Translated};
     pub use openarc_core::verify::{demote_source, verify_kernels};
     pub use openarc_minic::frontend;
     pub use openarc_suite::{Benchmark, Scale, Variant};
+    pub use openarc_trace::{chrome_trace, explain_var, summarize, Journal};
 }

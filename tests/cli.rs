@@ -124,7 +124,11 @@ fn unknown_command_shows_usage() {
 
 #[test]
 fn missing_file_is_a_clean_error() {
-    let out = bin().arg("run").arg("/nonexistent/nope.c").output().unwrap();
+    let out = bin()
+        .arg("run")
+        .arg("/nonexistent/nope.c")
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -135,4 +139,125 @@ fn demote_out_of_range_kernel_is_an_error() {
     assert_eq!(out.status.code(), Some(2));
     let text = String::from_utf8(out.stderr).unwrap();
     assert!(text.contains("out of range"), "{text}");
+}
+
+// ------------------------------------------------------------- profile
+
+/// JACOBI-style loop with a per-sweep redundant `update device`, so the
+/// profile journal contains transfer findings to explain.
+const REDUNDANT_UPDATE: &str = r#"
+double a[16];
+double out;
+void main() {
+    int j; int k;
+    for (j = 0; j < 16; j++) { a[j] = 1.0; }
+    #pragma acc data copyin(a)
+    {
+        for (k = 0; k < 3; k++) {
+            #pragma acc update device(a)
+            #pragma acc kernels loop gang worker
+            for (j = 0; j < 16; j++) { a[j] = a[j] + 1.0; }
+            #pragma acc update host(a)
+        }
+    }
+    out = a[0];
+}
+"#;
+
+#[test]
+fn profile_prints_summary_by_default() {
+    let path = write_temp("prof_sum.c", SAXPY);
+    let out = bin().arg("profile").arg(&path).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("host time by category"), "{text}");
+    assert!(text.contains("Mem Transfer"), "{text}");
+    assert!(text.contains("main_kernel0"), "{text}");
+    assert!(text.contains("journal events"), "{text}");
+}
+
+#[test]
+fn profile_trace_out_writes_chrome_json() {
+    let path = write_temp("prof_trace.c", SAXPY);
+    let trace = std::env::temp_dir().join("openarc-cli-tests/prof_trace.json");
+    let out = bin()
+        .arg("profile")
+        .arg(&path)
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"ph\": \"X\""), "{json}");
+    assert!(json.contains("main_kernel0"), "{json}");
+    // --trace-out alone suppresses the summary.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(!text.contains("host time by category"), "{text}");
+    assert!(text.contains("wrote"), "{text}");
+}
+
+#[test]
+fn profile_explain_shows_redundant_transfer_timeline() {
+    let path = write_temp("prof_expl.c", REDUNDANT_UPDATE);
+    let out = bin()
+        .arg("profile")
+        .arg(&path)
+        .arg("--explain")
+        .arg("a")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("timeline for `a`"), "{text}");
+    assert!(text.contains("H2D transfer"), "{text}");
+    assert!(text.contains("Redundant"), "{text}");
+    assert!(text.contains("notstale"), "{text}");
+}
+
+#[test]
+fn profile_filter_kernel_restricts_tables() {
+    let path = write_temp("prof_filt.c", REDUNDANT_UPDATE);
+    let out = bin()
+        .arg("profile")
+        .arg(&path)
+        .arg("--summary")
+        .arg("--filter-kernel")
+        .arg("nonexistent_kernel")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Category totals stay global; the kernel table is filtered empty.
+    assert!(text.contains("host time by category"), "{text}");
+    assert!(!text.contains("main_kernel0"), "{text}");
+}
+
+#[test]
+fn profile_verify_mode_reports_verdicts() {
+    let path = write_temp("prof_ver.c", SAXPY);
+    let out = bin()
+        .arg("profile")
+        .arg(&path)
+        .arg("--verify")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("1 ok"), "{text}");
+}
+
+#[test]
+fn profile_unknown_flag_is_an_error() {
+    let path = write_temp("prof_bad.c", SAXPY);
+    let out = bin()
+        .arg("profile")
+        .arg(&path)
+        .arg("--bogus")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("unknown profile flag"), "{text}");
 }

@@ -8,11 +8,18 @@ use openarc::runtime::IssueKind;
 
 fn run_instrumented(src: &str) -> (Translated, openarc::core::exec::RunResult) {
     let (p, s) = frontend(src).unwrap();
-    let topts = TranslateOptions { instrument: true, ..Default::default() };
+    let topts = TranslateOptions {
+        instrument: true,
+        ..Default::default()
+    };
     let tr = translate(&p, &s, &topts).unwrap();
     let r = execute(
         &tr,
-        &ExecOptions { check_transfers: true, race_detect: false, ..Default::default() },
+        &ExecOptions {
+            check_transfers: true,
+            race_detect: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     (tr, r)
@@ -39,7 +46,11 @@ void main() {
 }
 "#;
     let (_, r) = run_instrumented(src);
-    assert!(r.machine.report.count(IssueKind::Redundant) >= 3, "{}", r.machine.report);
+    assert!(
+        r.machine.report.count(IssueKind::Redundant) >= 3,
+        "{}",
+        r.machine.report
+    );
     assert!(!r.machine.report.has_errors(), "{}", r.machine.report);
 }
 
@@ -91,7 +102,11 @@ void main() {
 }
 "#;
     let (tr, r) = run_instrumented(src);
-    assert!(r.machine.report.count(IssueKind::Missing) >= 1, "{}", r.machine.report);
+    assert!(
+        r.machine.report.count(IssueKind::Missing) >= 1,
+        "{}",
+        r.machine.report
+    );
     // And the bug is real: the host read got a stale zero.
     assert_eq!(r.global_scalar(&tr, "out").unwrap().as_f64(), 0.0);
 }
@@ -126,7 +141,11 @@ void main() {
             || r.machine.report.count(IssueKind::MayMissing) >= 1,
         "{text}"
     );
-    assert_eq!(r.global_array(&tr, "q").unwrap()[0], 5.0, "device saw the stale value");
+    assert_eq!(
+        r.global_array(&tr, "q").unwrap()[0],
+        5.0,
+        "device saw the stale value"
+    );
 }
 
 #[test]
@@ -184,5 +203,8 @@ void main() {
     assert!(text.contains("Copying b from device to host"), "{text}");
     assert!(text.contains("k-loop index = 2"), "{text}");
     assert!(text.contains("k-loop index = 4"), "{text}");
-    assert!(!text.contains("k-loop index = 1) is redundant"), "first copyout is needed: {text}");
+    assert!(
+        !text.contains("k-loop index = 1) is redundant"),
+        "first copyout is needed: {text}"
+    );
 }

@@ -7,7 +7,14 @@ use openarc::prelude::*;
 fn run(src: &str) -> (Translated, openarc::core::exec::RunResult) {
     let (p, s) = frontend(src).unwrap();
     let tr = translate(&p, &s, &TranslateOptions::default()).unwrap();
-    let r = execute(&tr, &ExecOptions { race_detect: false, ..Default::default() }).unwrap();
+    let r = execute(
+        &tr,
+        &ExecOptions {
+            race_detect: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     (tr, r)
 }
 
@@ -183,8 +190,13 @@ void main() {
 "#;
     let (p, s) = frontend(src).unwrap();
     // Healthy: checksum Σ(j+1) = 2080 holds.
-    let (_, ok) =
-        verify_kernels(&p, &s, &TranslateOptions::default(), VerifyOptions::default()).unwrap();
+    let (_, ok) = verify_kernels(
+        &p,
+        &s,
+        &TranslateOptions::default(),
+        VerifyOptions::default(),
+    )
+    .unwrap();
     assert_eq!(ok.kernels[0].assertion_failures, 0);
     // Injected race: checksum breaks; the assertion catches it even with a
     // sky-high comparison tolerance (the §III-C "automatic bug detection"
@@ -195,7 +207,11 @@ void main() {
         auto_reduction: false,
         ..Default::default()
     };
-    let vopts = VerifyOptions { rel_tol: 1e9, abs_tol: 1e9, ..Default::default() };
+    let vopts = VerifyOptions {
+        rel_tol: 1e9,
+        abs_tol: 1e9,
+        ..Default::default()
+    };
     let (_, bad) = verify_kernels(&stripped, &s, &topts, vopts).unwrap();
     assert!(bad.kernels[0].assertion_failures > 0);
     assert!(bad.kernels[0].flagged());
@@ -214,8 +230,13 @@ void main() {
 }
 "#;
     let (p, s) = frontend(src).unwrap();
-    let (_, rep) =
-        verify_kernels(&p, &s, &TranslateOptions::default(), VerifyOptions::default()).unwrap();
+    let (_, rep) = verify_kernels(
+        &p,
+        &s,
+        &TranslateOptions::default(),
+        VerifyOptions::default(),
+    )
+    .unwrap();
     assert_eq!(rep.kernels[0].assertion_failures, 0);
 }
 

@@ -54,8 +54,13 @@ fn listing2_demotion_then_verification_passes() {
     assert!(text.contains("copy(q)"), "{text}");
     assert!(text.contains("copyin(w)"), "{text}");
     // Full verification of the original program: clean, runs per launch.
-    let (_, report) =
-        verify_kernels(&p, &s, &TranslateOptions::default(), VerifyOptions::default()).unwrap();
+    let (_, report) = verify_kernels(
+        &p,
+        &s,
+        &TranslateOptions::default(),
+        VerifyOptions::default(),
+    )
+    .unwrap();
     assert!(report.flagged().is_empty());
     assert_eq!(report.kernels[0].launches, 6);
 }
@@ -74,8 +79,13 @@ void main() {
 "#;
     let (p, s) = frontend(src).unwrap();
     // Healthy: clause present → clean.
-    let (_, ok) =
-        verify_kernels(&p, &s, &TranslateOptions::default(), VerifyOptions::default()).unwrap();
+    let (_, ok) = verify_kernels(
+        &p,
+        &s,
+        &TranslateOptions::default(),
+        VerifyOptions::default(),
+    )
+    .unwrap();
     assert!(ok.flagged().is_empty());
     // Fault-injected: stripped + recognition off → detected.
     let (bad, _) = strip_privatization(&p).unwrap();
@@ -88,28 +98,35 @@ void main() {
     assert_eq!(flagged.flagged().len(), 1);
     // Recognition ON rescues the stripped program (OpenARC's automatic
     // reduction recognition).
-    let (_, rescued) =
-        verify_kernels(&bad, &s, &TranslateOptions::default(), VerifyOptions::default()).unwrap();
+    let (_, rescued) = verify_kernels(
+        &bad,
+        &s,
+        &TranslateOptions::default(),
+        VerifyOptions::default(),
+    )
+    .unwrap();
     assert!(rescued.flagged().is_empty());
 }
 
 #[test]
 fn jacobi_interactive_reaches_hand_optimized_transfer_count() {
     let b = openarc::suite::jacobi::benchmark(Scale::default());
-    let topts = TranslateOptions { instrument: true, ..Default::default() };
+    let topts = TranslateOptions {
+        instrument: true,
+        ..Default::default()
+    };
     let (p, s) = frontend(b.source(Variant::Unoptimized)).unwrap();
-    let eopts = ExecOptions { race_detect: false, ..Default::default() };
+    let eopts = ExecOptions {
+        race_detect: false,
+        ..Default::default()
+    };
     let out = optimize_transfers(&p, &s, &topts, &b.outputs, &eopts, 10).unwrap();
     assert!(out.converged);
     assert_eq!(out.incorrect_iterations, 0);
     // Hand-optimized reference.
-    let (_, opt) = openarc::suite::run_variant(
-        &b,
-        Variant::Optimized,
-        &TranslateOptions::default(),
-        &eopts,
-    )
-    .unwrap();
+    let (_, opt) =
+        openarc::suite::run_variant(&b, Variant::Optimized, &TranslateOptions::default(), &eopts)
+            .unwrap();
     assert_eq!(
         out.final_stats.total_count(),
         opt.machine.stats.total_count(),
@@ -122,8 +139,7 @@ fn whole_suite_runs_at_alternate_scale() {
     // Different size/iteration mix than both unit tests and benches.
     let scale = Scale { n: 24, iters: 3 };
     for b in openarc::suite::all(scale) {
-        openarc::suite::check_variant(&b, Variant::Optimized)
-            .unwrap_or_else(|e| panic!("{e}"));
+        openarc::suite::check_variant(&b, Variant::Optimized).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
@@ -131,7 +147,10 @@ fn whole_suite_runs_at_alternate_scale() {
 fn figure1_shape_naive_never_beats_optimized() {
     let scale = Scale { n: 24, iters: 3 };
     for b in openarc::suite::all(scale) {
-        let eopts = ExecOptions { race_detect: false, ..Default::default() };
+        let eopts = ExecOptions {
+            race_detect: false,
+            ..Default::default()
+        };
         let (_, naive) =
             openarc::suite::run_variant(&b, Variant::Naive, &TranslateOptions::default(), &eopts)
                 .unwrap();

@@ -1,4 +1,9 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-style tests over the core data structures and invariants.
+//!
+//! The workspace builds offline with no external crates, so instead of a
+//! property-testing framework these tests drive the same invariants with a
+//! small deterministic xorshift PRNG and exhaustive grids — every run
+//! checks the identical case set.
 
 use openarc::minic::{parse, print_program};
 use openarc::openacc::{parse_directive, DataClause, DataClauseKind, Directive, LoopSpec};
@@ -7,128 +12,193 @@ use openarc::vm::interp::eval_bin;
 use openarc::vm::{Handle, MemSpace, Value};
 use openarc_minic::ast::BinOp;
 use openarc_minic::ScalarTy;
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* PRNG — the same sequence on every run.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform-ish i64 in `[lo, hi)`.
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// f64 in `[lo, hi)` with coarse granularity (still exercises signs,
+    /// magnitudes and fractional parts).
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.below(1_000_000) as f64 / 1_000_000.0)
+    }
+}
 
 // ---------------------------------------------------------- minic parser
 
-/// Generate small well-formed expressions as text.
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(|v| v.to_string()),
-        (0u32..100u32).prop_map(|v| format!("{v}.5")),
-        Just("x".to_string()),
-        Just("y".to_string()),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+/// Generate a small well-formed expression as text.
+fn gen_expr(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.below(4) {
+        0 => rng.int(0, 1000).to_string(),
+        1 => format!("{}.5", rng.below(100)),
+        2 => "x".to_string(),
+        _ => "y".to_string(),
+    };
+    if depth == 0 || rng.below(3) == 0 {
+        return leaf(rng);
     }
-    let sub = arb_expr(depth - 1);
-    let sub2 = arb_expr(depth - 1);
-    prop_oneof![
-        leaf,
-        (sub, sub2, prop_oneof![Just("+"), Just("-"), Just("*")])
-            .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-    ]
-    .boxed()
+    let a = gen_expr(rng, depth - 1);
+    let b = gen_expr(rng, depth - 1);
+    let op = ["+", "-", "*"][rng.below(3) as usize];
+    format!("({a} {op} {b})")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// parse ∘ print ∘ parse is the identity (up to formatting).
-    #[test]
-    fn parser_pretty_round_trip(e in arb_expr(3)) {
+/// parse ∘ print ∘ parse is the identity (up to formatting).
+#[test]
+fn parser_pretty_round_trip() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for _ in 0..64 {
+        let e = gen_expr(&mut rng, 3);
         let src = format!("double x;\ndouble y;\ndouble z;\nvoid main() {{ z = {e}; }}");
         let p1 = parse(&src).expect("first parse");
         let printed = print_program(&p1);
         let p2 = parse(&printed).expect("re-parse");
-        prop_assert_eq!(print_program(&p1), print_program(&p2));
+        assert_eq!(print_program(&p1), print_program(&p2), "{e}");
     }
+}
 
-    /// VM integer arithmetic matches native Rust (wrapping semantics).
-    #[test]
-    fn vm_int_arith_matches_native(a in -10_000i64..10_000, b in -10_000i64..10_000) {
-        prop_assert_eq!(
+/// VM integer arithmetic matches native Rust (wrapping semantics).
+#[test]
+fn vm_int_arith_matches_native() {
+    let mut rng = Rng::new(1);
+    let mut cases: Vec<(i64, i64)> =
+        vec![(0, 0), (1, -1), (-10_000, 9_999), (9_999, -10_000), (7, 0)];
+    for _ in 0..200 {
+        cases.push((rng.int(-10_000, 10_000), rng.int(-10_000, 10_000)));
+    }
+    for (a, b) in cases {
+        assert_eq!(
             eval_bin(BinOp::Add, Value::Int(a), Value::Int(b)).unwrap(),
             Value::Int(a.wrapping_add(b))
         );
-        prop_assert_eq!(
+        assert_eq!(
             eval_bin(BinOp::Mul, Value::Int(a), Value::Int(b)).unwrap(),
             Value::Int(a.wrapping_mul(b))
         );
         if b != 0 {
-            prop_assert_eq!(
+            assert_eq!(
                 eval_bin(BinOp::Div, Value::Int(a), Value::Int(b)).unwrap(),
                 Value::Int(a / b)
             );
         }
     }
+}
 
-    /// VM double arithmetic matches native f64 bit-for-bit.
-    #[test]
-    fn vm_f64_arith_matches_native(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+/// VM double arithmetic matches native f64 bit-for-bit.
+#[test]
+fn vm_f64_arith_matches_native() {
+    let mut rng = Rng::new(2);
+    for _ in 0..200 {
+        let a = rng.f64(-1e6, 1e6);
+        let b = rng.f64(-1e6, 1e6);
         for (op, expect) in [
             (BinOp::Add, a + b),
             (BinOp::Sub, a - b),
             (BinOp::Mul, a * b),
         ] {
             match eval_bin(op, Value::F64(a), Value::F64(b)).unwrap() {
-                Value::F64(v) => prop_assert_eq!(v.to_bits(), expect.to_bits()),
-                other => prop_assert!(false, "unexpected {:?}", other),
+                Value::F64(v) => assert_eq!(v.to_bits(), expect.to_bits(), "{a} {op:?} {b}"),
+                other => panic!("unexpected {other:?}"),
             }
         }
     }
+}
 
-    /// Comparisons always yield canonical 0/1 ints.
-    #[test]
-    fn vm_comparisons_are_boolean(a in -100i64..100, b in -100i64..100) {
-        for op in [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne] {
-            match eval_bin(op, Value::Int(a), Value::Int(b)).unwrap() {
-                Value::Int(v) => prop_assert!(v == 0 || v == 1),
-                other => prop_assert!(false, "unexpected {:?}", other),
+/// Comparisons always yield canonical 0/1 ints.
+#[test]
+fn vm_comparisons_are_boolean() {
+    for a in -5i64..=5 {
+        for b in -5i64..=5 {
+            for op in [
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::Eq,
+                BinOp::Ne,
+            ] {
+                match eval_bin(op, Value::Int(a), Value::Int(b)).unwrap() {
+                    Value::Int(v) => assert!(v == 0 || v == 1),
+                    other => panic!("unexpected {other:?}"),
+                }
             }
         }
     }
+}
 
-    // ----------------------------------------------------- memory space
+// ----------------------------------------------------- memory space
 
-    /// Whatever is stored is loaded back (after elem-type coercion).
-    #[test]
-    fn memspace_store_load_round_trip(vals in prop::collection::vec(-1e9f64..1e9, 1..64)) {
+/// Whatever is stored is loaded back (after elem-type coercion).
+#[test]
+fn memspace_store_load_round_trip() {
+    let mut rng = Rng::new(3);
+    for len in [1usize, 2, 7, 63] {
+        let vals: Vec<f64> = (0..len).map(|_| rng.f64(-1e9, 1e9)).collect();
         let mut m = MemSpace::new();
         let h = m.alloc(ScalarTy::Double, vals.len(), "buf");
         for (i, v) in vals.iter().enumerate() {
             m.store(h, i as u64, Value::F64(*v)).unwrap();
         }
         for (i, v) in vals.iter().enumerate() {
-            prop_assert_eq!(m.load(h, i as u64).unwrap(), Value::F64(*v));
+            assert_eq!(m.load(h, i as u64).unwrap(), Value::F64(*v));
         }
-        prop_assert_eq!(m.get(h).unwrap().size_bytes(), vals.len() as u64 * 8);
+        assert_eq!(m.get(h).unwrap().size_bytes(), vals.len() as u64 * 8);
     }
+}
 
-    /// Byte accounting never goes negative and peak is monotone.
-    #[test]
-    fn memspace_accounting_invariants(sizes in prop::collection::vec(1usize..128, 1..20)) {
+/// Byte accounting never goes negative and peak is monotone.
+#[test]
+fn memspace_accounting_invariants() {
+    let mut rng = Rng::new(4);
+    for round in 0..10 {
+        let sizes: Vec<usize> = (0..(1 + round * 2))
+            .map(|_| 1 + rng.below(127) as usize)
+            .collect();
         let mut m = MemSpace::new();
         let mut hs = Vec::new();
         let mut peak = 0;
         for (i, len) in sizes.iter().enumerate() {
             hs.push(m.alloc(ScalarTy::Double, *len, format!("b{i}")));
             peak = peak.max(m.allocated_bytes());
-            prop_assert_eq!(m.peak_bytes(), peak);
+            assert_eq!(m.peak_bytes(), peak);
         }
         for h in hs {
             m.free(h).unwrap();
         }
-        prop_assert_eq!(m.allocated_bytes(), 0);
-        prop_assert_eq!(m.peak_bytes(), peak);
+        assert_eq!(m.allocated_bytes(), 0);
+        assert_eq!(m.peak_bytes(), peak);
     }
+}
 
-    // ----------------------------------------------------- present table
+// ----------------------------------------------------- present table
 
-    /// Retain/release counts balance; device handle stable until drop.
-    #[test]
-    fn present_table_refcount_balance(extra in 0u32..6) {
+/// Retain/release counts balance; device handle stable until drop.
+#[test]
+fn present_table_refcount_balance() {
+    for extra in 0u32..6 {
         let mut t = PresentTable::new();
         let host = Handle(7);
         let dev = Handle(9);
@@ -137,76 +207,103 @@ proptest! {
             t.retain(host).unwrap();
         }
         for _ in 0..extra {
-            prop_assert_eq!(t.release(host).unwrap(), None);
-            prop_assert_eq!(t.device_of(host), Some(dev));
+            assert_eq!(t.release(host).unwrap(), None);
+            assert_eq!(t.device_of(host), Some(dev));
         }
-        prop_assert_eq!(t.release(host).unwrap(), Some(dev));
-        prop_assert!(!t.contains(host));
+        assert_eq!(t.release(host).unwrap(), Some(dev));
+        assert!(!t.contains(host));
     }
+}
 
-    // ----------------------------------------------- coherence machine
+// ----------------------------------------------- coherence machine
 
-    /// After any event sequence: a transfer to a side makes reads on that
-    /// side clean, and a remote write makes the untouched side dirty.
-    #[test]
-    fn coherence_transfer_always_cleans(ops in prop::collection::vec(0u8..6, 0..40)) {
+/// After any event sequence: the two copies are never both stale, a
+/// transfer to a side makes reads on that side clean, and a remote write
+/// makes the untouched side dirty.
+#[test]
+fn coherence_transfer_always_cleans() {
+    let mut rng = Rng::new(5);
+    for _ in 0..100 {
         let mut c = Coherence::new(true);
         let h = Handle(3);
         c.track(h, "a");
-        for op in ops {
-            match op {
-                0 => { c.on_write(h, DevSide::Cpu, false); }
-                1 => { c.on_write(h, DevSide::Gpu, false); }
-                2 => { c.on_write(h, DevSide::Cpu, true); }
-                3 => { c.on_write(h, DevSide::Gpu, true); }
-                4 => { c.on_transfer(h, DevSide::Cpu); }
-                _ => { c.on_transfer(h, DevSide::Gpu); }
+        let n_ops = rng.below(40);
+        for _ in 0..n_ops {
+            match rng.below(6) {
+                0 => {
+                    c.on_write(h, DevSide::Cpu, false);
+                }
+                1 => {
+                    c.on_write(h, DevSide::Gpu, false);
+                }
+                2 => {
+                    c.on_write(h, DevSide::Cpu, true);
+                }
+                3 => {
+                    c.on_write(h, DevSide::Gpu, true);
+                }
+                4 => {
+                    c.on_transfer(h, DevSide::Cpu);
+                }
+                _ => {
+                    c.on_transfer(h, DevSide::Gpu);
+                }
             }
             // Invariant: the two copies are never both stale — someone
             // holds the latest data.
             let v = c.state(h).unwrap();
-            prop_assert!(
+            assert!(
                 !(v.cpu == St::Stale && v.gpu == St::Stale),
-                "both sides stale: {:?}", v
+                "both sides stale: {v:?}"
             );
         }
         // A transfer in always cleans the destination.
         c.on_transfer(h, DevSide::Cpu);
-        prop_assert_eq!(c.check_read(h, DevSide::Cpu), ReadDiag::Ok);
+        assert_eq!(c.check_read(h, DevSide::Cpu), ReadDiag::Ok);
         c.on_write(h, DevSide::Cpu, false);
-        prop_assert_eq!(c.check_read(h, DevSide::Gpu), ReadDiag::Missing);
+        assert_eq!(c.check_read(h, DevSide::Gpu), ReadDiag::Missing);
     }
+}
 
-    // ------------------------------------------------ directive parsing
+// ------------------------------------------------ directive parsing
 
-    /// Directive display round-trips through the parser for arbitrary
-    /// clause combinations.
-    #[test]
-    fn directive_display_round_trip(
-        gang in any::<bool>(),
-        worker in any::<bool>(),
-        asyncq in prop::option::of(0i64..8),
-        n_copy in 0usize..3,
-        n_create in 0usize..3,
-    ) {
-        let names = ["aa", "bb", "cc"];
-        let mut spec = openarc::openacc::ComputeSpec {
-            combined_loop: true,
-            async_queue: asyncq,
-            loop_spec: LoopSpec { gang, worker, ..Default::default() },
-            ..Default::default()
-        };
-        if n_copy > 0 {
-            spec.data.push(DataClause::of(DataClauseKind::Copy, &names[..n_copy]));
+/// Directive display round-trips through the parser for every clause
+/// combination in the grid.
+#[test]
+fn directive_display_round_trip() {
+    let names = ["aa", "bb", "cc"];
+    for gang in [false, true] {
+        for worker in [false, true] {
+            for asyncq in [None, Some(0i64), Some(3), Some(7)] {
+                for n_copy in 0usize..3 {
+                    for n_create in 0usize..3 {
+                        let mut spec = openarc::openacc::ComputeSpec {
+                            combined_loop: true,
+                            async_queue: asyncq,
+                            loop_spec: LoopSpec {
+                                gang,
+                                worker,
+                                ..Default::default()
+                            },
+                            ..Default::default()
+                        };
+                        if n_copy > 0 {
+                            spec.data
+                                .push(DataClause::of(DataClauseKind::Copy, &names[..n_copy]));
+                        }
+                        if n_create > 0 {
+                            spec.data
+                                .push(DataClause::of(DataClauseKind::Create, &names[..n_create]));
+                        }
+                        let d = Directive::Compute(spec);
+                        let text = d.to_string();
+                        let parsed = parse_directive(&text, openarc::minic::Span::dummy())
+                            .expect("parse")
+                            .expect("acc directive");
+                        assert_eq!(d, parsed);
+                    }
+                }
+            }
         }
-        if n_create > 0 {
-            spec.data.push(DataClause::of(DataClauseKind::Create, &names[..n_create]));
-        }
-        let d = Directive::Compute(spec);
-        let text = d.to_string();
-        let parsed = parse_directive(&text, openarc::minic::Span::dummy())
-            .expect("parse")
-            .expect("acc directive");
-        prop_assert_eq!(d, parsed);
     }
 }

@@ -8,9 +8,13 @@ use openarc::prelude::*;
 fn every_benchmark_verifies_clean_when_healthy() {
     for b in openarc::suite::all(Scale::default()) {
         let (p, s) = frontend(b.source(Variant::Optimized)).unwrap();
-        let (tr, report) =
-            verify_kernels(&p, &s, &TranslateOptions::default(), VerifyOptions::default())
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (tr, report) = verify_kernels(
+            &p,
+            &s,
+            &TranslateOptions::default(),
+            VerifyOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         assert!(
             report.flagged().is_empty(),
             "{}: healthy program flagged: {:?}",
@@ -49,13 +53,21 @@ fn fault_injection_never_escapes_detection_when_output_corrupting() {
         // Ground truth: does the race corrupt final outputs?
         let cpu = execute(
             &tr,
-            &ExecOptions { mode: ExecMode::CpuOnly, race_detect: false, ..Default::default() },
+            &ExecOptions {
+                mode: ExecMode::CpuOnly,
+                race_detect: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let gpu = execute(&tr, &ExecOptions::default()).unwrap();
         let reference = openarc::core::interactive::capture_outputs(&tr, &cpu, &b.outputs);
-        let corrupted =
-            !openarc::core::interactive::outputs_match(&tr, &gpu, &reference, b.outputs.tol.max(1e-9));
+        let corrupted = !openarc::core::interactive::outputs_match(
+            &tr,
+            &gpu,
+            &reference,
+            b.outputs.tol.max(1e-9),
+        );
         // Verification verdict.
         let (_, report) = verify_kernels(&stripped, &s, &topts, VerifyOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
@@ -88,17 +100,29 @@ fn every_variant_matches_its_sequential_reference() {
             let tr = translate(&p, &s, &TranslateOptions::default()).unwrap();
             let r = execute(
                 &tr,
-                &ExecOptions { race_detect: false, ..Default::default() },
+                &ExecOptions {
+                    race_detect: false,
+                    ..Default::default()
+                },
             )
             .unwrap_or_else(|e| panic!("{} [{}]: {e}", b.name, v.name()));
             let cpu = execute(
                 &tr,
-                &ExecOptions { mode: ExecMode::CpuOnly, race_detect: false, ..Default::default() },
+                &ExecOptions {
+                    mode: ExecMode::CpuOnly,
+                    race_detect: false,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let reference = openarc::core::interactive::capture_outputs(&tr, &cpu, &b.outputs);
             assert!(
-                openarc::core::interactive::outputs_match(&tr, &r, &reference, b.outputs.tol.max(1e-9)),
+                openarc::core::interactive::outputs_match(
+                    &tr,
+                    &r,
+                    &reference,
+                    b.outputs.tol.max(1e-9)
+                ),
                 "{} [{}] diverges from its reference",
                 b.name,
                 v.name()
@@ -110,7 +134,10 @@ fn every_variant_matches_its_sequential_reference() {
 #[test]
 fn naive_variant_moves_at_least_as_much_data() {
     for b in openarc::suite::all(Scale::default()) {
-        let eopts = ExecOptions { race_detect: false, ..Default::default() };
+        let eopts = ExecOptions {
+            race_detect: false,
+            ..Default::default()
+        };
         let naive = openarc::suite::run_variant(&b, Variant::Naive, &Default::default(), &eopts)
             .unwrap()
             .1;
@@ -127,6 +154,12 @@ fn naive_variant_moves_at_least_as_much_data() {
             opt.machine.stats.total_bytes(),
         );
         assert!(nb >= ob, "{}: naive {} < optimized {}", b.name, nb, ob);
-        assert!(ub >= ob, "{}: unoptimized {} < optimized {}", b.name, ub, ob);
+        assert!(
+            ub >= ob,
+            "{}: unoptimized {} < optimized {}",
+            b.name,
+            ub,
+            ob
+        );
     }
 }
