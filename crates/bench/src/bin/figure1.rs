@@ -1,9 +1,9 @@
 //! Regenerate Figure 1.
-use openarc_bench::{experiments, render};
-use openarc_suite::Scale;
+use openarc_bench::{experiments, render, sweep};
 
 fn main() {
-    let rows = experiments::figure1(Scale::bench());
+    let sw = sweep::sweep_from_env("figure1");
+    let rows = sweep::exit_on_error("figure1", experiments::figure1(&sw));
     println!("{}", render::figure1_text(&rows));
     let json = experiments::rows_json(&rows, |r| r.to_json()).pretty();
     std::fs::create_dir_all("results").ok();

@@ -1,9 +1,9 @@
 //! Regenerate Figure 3.
-use openarc_bench::{experiments, render};
-use openarc_suite::Scale;
+use openarc_bench::{experiments, render, sweep};
 
 fn main() {
-    let rows = experiments::figure3(Scale::bench());
+    let sw = sweep::sweep_from_env("figure3");
+    let rows = sweep::exit_on_error("figure3", experiments::figure3(&sw));
     println!("{}", render::figure3_text(&rows));
     let json = experiments::rows_json(&rows, |r| r.to_json()).pretty();
     std::fs::create_dir_all("results").ok();

@@ -1,9 +1,9 @@
 //! Regenerate Figure 4.
-use openarc_bench::{experiments, render};
-use openarc_suite::Scale;
+use openarc_bench::{experiments, render, sweep};
 
 fn main() {
-    let rows = experiments::figure4(Scale::bench());
+    let sw = sweep::sweep_from_env("figure4");
+    let rows = sweep::exit_on_error("figure4", experiments::figure4(&sw));
     println!("{}", render::figure4_text(&rows));
     let json = experiments::rows_json(&rows, |r| r.to_json()).pretty();
     std::fs::create_dir_all("results").ok();

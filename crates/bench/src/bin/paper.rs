@@ -1,18 +1,44 @@
-//! Regenerate the whole evaluation section in one run.
-use openarc_bench::{experiments, render};
-use openarc_suite::Scale;
+//! Regenerate the whole evaluation section in one run. The five
+//! experiments share one [`openarc_bench::sweep::Sweep`], so every
+//! translation and cacheable run is compiled/executed once no matter how
+//! many figures touch it; `--jobs N` fans the benchmark matrix across
+//! worker threads with byte-identical output.
+use openarc_bench::sweep::exit_on_error;
+use openarc_bench::{experiments, render, sweep};
 
 fn main() {
-    let scale = Scale::bench();
-    let problems = experiments::validate_suite(scale);
-    assert!(problems.is_empty(), "suite validation failed: {problems:?}");
+    let sw = sweep::sweep_from_env("paper");
+    let problems = exit_on_error("paper", experiments::validate_suite(&sw));
+    if !problems.is_empty() {
+        eprintln!("paper: suite validation failed:");
+        for p in &problems {
+            eprintln!("  {p}");
+        }
+        std::process::exit(1);
+    }
     println!(
-        "suite validated at bench scale (n={}, iters={})\n",
-        scale.n, scale.iters
+        "suite validated (n={}, iters={}, jobs={})\n",
+        sw.scale.n, sw.scale.iters, sw.jobs
     );
-    println!("{}", render::figure1_text(&experiments::figure1(scale)));
-    println!("{}", render::table2_text(&experiments::table2(scale)));
-    println!("{}", render::figure3_text(&experiments::figure3(scale)));
-    println!("{}", render::table3_text(&experiments::table3(scale)));
-    println!("{}", render::figure4_text(&experiments::figure4(scale)));
+    println!(
+        "{}",
+        render::figure1_text(&exit_on_error("paper", experiments::figure1(&sw)))
+    );
+    println!(
+        "{}",
+        render::table2_text(&exit_on_error("paper", experiments::table2(&sw)))
+    );
+    println!(
+        "{}",
+        render::figure3_text(&exit_on_error("paper", experiments::figure3(&sw)))
+    );
+    println!(
+        "{}",
+        render::table3_text(&exit_on_error("paper", experiments::table3(&sw)))
+    );
+    println!(
+        "{}",
+        render::figure4_text(&exit_on_error("paper", experiments::figure4(&sw)))
+    );
+    println!("pipeline cache across experiments:\n{}", sw.session.stats());
 }

@@ -1,0 +1,90 @@
+//! Batch-mode pipeline benchmark: runs the full 12-benchmark × 3-variant
+//! matrix sequentially and fanned across `--jobs N` workers, asserts the
+//! parallel output is byte-identical (rows, journals, and category
+//! totals), times both modes, and writes the machine-readable
+//! `BENCH_pipeline.json` report.
+use openarc_bench::sweep::{parse_bin_args, Sweep};
+use openarc_bench::timing;
+use openarc_trace::json::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, jobs) = match parse_bin_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("pipeline: {e}");
+            eprintln!(
+                "usage: pipeline [--scale small|bench] [--jobs N|auto] [--n SIZE] [--iters COUNT]"
+            );
+            std::process::exit(2);
+        }
+    };
+    // With the default --jobs 1 there is nothing to compare against, so
+    // fall back to one worker per core.
+    let jobs = if jobs <= 1 {
+        openarc_core::sched::auto_jobs()
+    } else {
+        jobs
+    };
+
+    let sequential = Sweep::sequential(scale);
+    let parallel = Sweep::new(scale, jobs);
+    let (rows_seq, events_seq) = match sequential.matrix() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("pipeline: sequential matrix failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (rows_par, events_par) = match parallel.matrix() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("pipeline: parallel matrix failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Determinism gate: the parallel run must be byte-identical to the
+    // sequential one — same rows (f64s compared bit-for-bit via the JSON
+    // rendering), same merged journal, same per-category totals.
+    let json_seq = Json::Arr(rows_seq.iter().map(|r| r.to_json()).collect()).pretty();
+    let json_par = Json::Arr(rows_par.iter().map(|r| r.to_json()).collect()).pretty();
+    let identical = json_seq == json_par
+        && events_seq == events_par
+        && openarc_trace::category_totals(&events_seq)
+            == openarc_trace::category_totals(&events_par);
+    if !identical {
+        eprintln!("pipeline: parallel output diverges from sequential — determinism bug");
+        std::process::exit(1);
+    }
+    println!(
+        "matrix: {} cells, {} journal events, parallel (jobs={jobs}) output identical to sequential",
+        rows_seq.len(),
+        events_seq.len()
+    );
+
+    let samples = 5;
+    let t_seq = timing::report("matrix sequential", samples, || {
+        Sweep::sequential(scale).matrix().unwrap()
+    });
+    let t_par = timing::report(&format!("matrix --jobs {jobs}"), samples, || {
+        Sweep::new(scale, jobs).matrix().unwrap()
+    });
+    let speedup = t_seq.p50_ms() / t_par.p50_ms().max(1e-9);
+    println!("speedup (p50): {speedup:.2}x");
+
+    let report = Json::obj(vec![
+        ("n", Json::from(scale.n)),
+        ("iters", Json::from(scale.iters)),
+        ("jobs", Json::from(jobs)),
+        ("cells", Json::from(rows_seq.len())),
+        ("journal_events", Json::from(events_seq.len())),
+        ("identical_output", Json::from(identical)),
+        ("sequential", t_seq.to_json()),
+        ("parallel", t_par.to_json()),
+        ("speedup_p50", Json::from(speedup)),
+    ])
+    .pretty();
+    std::fs::write("BENCH_pipeline.json", report).ok();
+    println!("wrote BENCH_pipeline.json");
+}

@@ -1,9 +1,9 @@
 //! Regenerate Table 2.
-use openarc_bench::{experiments, render};
-use openarc_suite::Scale;
+use openarc_bench::{experiments, render, sweep};
 
 fn main() {
-    let t = experiments::table2(Scale::bench());
+    let sw = sweep::sweep_from_env("table2");
+    let t = sweep::exit_on_error("table2", experiments::table2(&sw));
     println!("{}", render::table2_text(&t));
     let json = t.to_json().pretty();
     std::fs::create_dir_all("results").ok();

@@ -1,9 +1,9 @@
 //! Regenerate Table 3.
-use openarc_bench::{experiments, render};
-use openarc_suite::Scale;
+use openarc_bench::{experiments, render, sweep};
 
 fn main() {
-    let rows = experiments::table3(Scale::bench());
+    let sw = sweep::sweep_from_env("table3");
+    let rows = sweep::exit_on_error("table3", experiments::table3(&sw));
     println!("{}", render::table3_text(&rows));
     let json = experiments::rows_json(&rows, |r| r.to_json()).pretty();
     std::fs::create_dir_all("results").ok();

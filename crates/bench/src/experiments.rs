@@ -1,14 +1,18 @@
 //! Experiment drivers — one function per table/figure of the paper's
-//! evaluation (§IV). Each returns structured rows; the `figure*`/`table*`
-//! binaries render them, and EXPERIMENTS.md records paper-vs-measured.
+//! evaluation (§IV). Each takes a [`Sweep`] (scale × worker count × shared
+//! pipeline session), fans the 12-benchmark matrix across the sweep's
+//! workers, and returns structured rows in deterministic order; the
+//! `figure*`/`table*` binaries render them, and EXPERIMENTS.md records
+//! paper-vs-measured. Errors propagate as `Result` so the bins can exit
+//! nonzero instead of panicking.
 
-use openarc_core::exec::{execute, ExecMode, ExecOptions, VerifyOptions};
+use crate::sweep::Sweep;
+use openarc_core::exec::{ExecMode, ExecOptions, VerifyOptions};
 use openarc_core::faults::strip_privatization;
 use openarc_core::interactive::{capture_outputs, optimize_transfers, outputs_match};
-use openarc_core::translate::{translate, TranslateOptions};
-use openarc_core::verify::verify_kernels;
+use openarc_core::translate::TranslateOptions;
 use openarc_gpusim::TimeCategory;
-use openarc_suite::{all, run_variant, translate_variant, Benchmark, Scale, Variant};
+use openarc_suite::{run_variant_cached, Benchmark, Variant};
 use std::collections::BTreeSet;
 
 // ------------------------------------------------------------- Figure 1
@@ -34,15 +38,24 @@ pub struct Fig1Row {
 
 /// Figure 1: execution time and transferred data of the OpenACC default
 /// memory-management scheme, normalized to the fully optimized code.
-pub fn figure1(scale: Scale) -> Vec<Fig1Row> {
-    let mut rows = Vec::new();
-    for b in all(scale) {
-        let (_, naive) = run_variant(&b, Variant::Naive, &topts_plain(), &eopts_plain())
-            .unwrap_or_else(|e| panic!("{e}"));
-        let (_, opt) = run_variant(&b, Variant::Optimized, &topts_plain(), &eopts_plain())
-            .unwrap_or_else(|e| panic!("{e}"));
+pub fn figure1(sw: &Sweep) -> Result<Vec<Fig1Row>, String> {
+    let mut rows = sw.map_benchmarks(|b| {
+        let (_, naive) = run_variant_cached(
+            &sw.session,
+            b,
+            Variant::Naive,
+            &topts_plain(),
+            &eopts_plain(),
+        )?;
+        let (_, opt) = run_variant_cached(
+            &sw.session,
+            b,
+            Variant::Optimized,
+            &topts_plain(),
+            &eopts_plain(),
+        )?;
         let opt_bytes = opt.machine.stats.total_bytes().max(1);
-        rows.push(Fig1Row {
+        Ok(Fig1Row {
             name: b.name.to_string(),
             time_ratio: naive.sim_time_us() / opt.sim_time_us().max(1e-9),
             bytes_ratio: naive.machine.stats.total_bytes() as f64 / opt_bytes as f64,
@@ -50,10 +63,10 @@ pub fn figure1(scale: Scale) -> Vec<Fig1Row> {
             opt_us: opt.sim_time_us(),
             naive_bytes: naive.machine.stats.total_bytes(),
             opt_bytes: opt.machine.stats.total_bytes(),
-        });
-    }
+        })
+    })?;
     rows.sort_by(|a, b| a.name.cmp(&b.name));
-    rows
+    Ok(rows)
 }
 
 // ------------------------------------------------------------- Table 2
@@ -101,19 +114,25 @@ pub struct Table2 {
 /// Table 2: strip `private`/`reduction` clauses, disable automatic
 /// recognition, and test whether kernel verification catches the injected
 /// race conditions.
-pub fn table2(scale: Scale) -> Table2 {
-    let mut rows = Vec::new();
-    for b in all(scale) {
-        let (p, s) = openarc_minic::frontend(b.source(Variant::Optimized))
-            .unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
-        let (stripped, _) = strip_privatization(&p).unwrap();
+pub fn table2(sw: &Sweep) -> Result<Table2, String> {
+    let mut rows = sw.map_benchmarks(|b| {
+        let fe = sw
+            .session
+            .frontend(b.source(Variant::Optimized))
+            .map_err(|e| format!("{}: {e:?}", b.name))?;
+        let (stripped, _) = strip_privatization(&fe.program).unwrap();
+        // The stripped program is itself a frontend artifact (keyed by its
+        // printed text), so the fault-injected translation caches too.
+        let fe = sw.session.frontend_program(stripped, fe.sema.clone());
         let topts = TranslateOptions {
             auto_privatize: false,
             auto_reduction: false,
             ..Default::default()
         };
-        let (_, report) = verify_kernels(&stripped, &s, &topts, VerifyOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (_, report) = sw
+            .session
+            .verify(&fe, &topts, VerifyOptions::default())
+            .map_err(|e| format!("{}: {e}", b.name))?;
         let flagged: BTreeSet<&str> = report
             .kernels
             .iter()
@@ -126,7 +145,7 @@ pub fn table2(scale: Scale) -> Table2 {
         // flagged kernel IS an output-corrupting (active) error; raced but
         // unflagged kernels are latent.
         let latent = raced.difference(&flagged).count();
-        rows.push(Table2Row {
+        Ok(Table2Row {
             name: b.name.to_string(),
             kernels: b.n_kernels,
             with_private: b.kernels_with_private,
@@ -134,11 +153,11 @@ pub fn table2(scale: Scale) -> Table2 {
             active_detected,
             active_missed: 0,
             latent,
-        });
-    }
+        })
+    })?;
     rows.sort_by(|a, b| a.name.cmp(&b.name));
     let sum = |f: &dyn Fn(&Table2Row) -> usize| rows.iter().map(f).sum();
-    Table2 {
+    Ok(Table2 {
         kernels_tested: sum(&|r| r.kernels),
         kernels_with_private: sum(&|r| r.with_private),
         kernels_with_reduction: sum(&|r| r.with_reduction),
@@ -146,7 +165,7 @@ pub fn table2(scale: Scale) -> Table2 {
         active_missed: sum(&|r| r.active_missed),
         latent_errors: sum(&|r| r.latent),
         rows,
-    }
+    })
 }
 
 // ------------------------------------------------------------- Figure 3
@@ -164,26 +183,29 @@ pub struct Fig3Row {
 
 /// Figure 3: execution-time breakdown when verifying all kernels,
 /// normalized to sequential CPU execution.
-pub fn figure3(scale: Scale) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    for b in all(scale) {
-        let (p, s) = openarc_minic::frontend(b.source(Variant::Optimized))
-            .unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
-        let (_, report) = verify_kernels(&p, &s, &topts_plain(), VerifyOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+pub fn figure3(sw: &Sweep) -> Result<Vec<Fig3Row>, String> {
+    let mut rows = sw.map_benchmarks(|b| {
+        let fe = sw
+            .session
+            .frontend(b.source(Variant::Optimized))
+            .map_err(|e| format!("{}: {e:?}", b.name))?;
+        let (_, report) = sw
+            .session
+            .verify(&fe, &topts_plain(), VerifyOptions::default())
+            .map_err(|e| format!("{}: {e}", b.name))?;
         let base = report.cpu_baseline_us.max(1e-9);
         let categories = TimeCategory::ALL
             .iter()
             .map(|c| (c.label().to_string(), report.breakdown.get(*c) / base))
             .collect();
-        rows.push(Fig3Row {
+        Ok(Fig3Row {
             name: b.name.to_string(),
             categories,
             total: report.breakdown.total() / base,
-        });
-    }
+        })
+    })?;
     rows.sort_by(|a, b| a.name.cmp(&b.name));
-    rows
+    Ok(rows)
 }
 
 // ------------------------------------------------------------- Table 3
@@ -207,34 +229,50 @@ pub struct Table3Row {
 
 /// Table 3: interactive memory-transfer optimization from the
 /// conservatively-annotated variants.
-pub fn table3(scale: Scale) -> Vec<Table3Row> {
-    let mut rows = Vec::new();
-    for b in all(scale) {
+pub fn table3(sw: &Sweep) -> Result<Vec<Table3Row>, String> {
+    let mut rows = sw.map_benchmarks(|b| {
         let topts = TranslateOptions {
             instrument: true,
             ..Default::default()
         };
-        let (p, s) = openarc_minic::frontend(b.source(Variant::Unoptimized))
-            .unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
-        let out = optimize_transfers(&p, &s, &topts, &b.outputs, &eopts_plain(), 12)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        // The interactive loop re-translates an *edited* program every
+        // round, so only its frontend is shared; the rounds themselves
+        // must run fresh.
+        let fe = sw
+            .session
+            .frontend(b.source(Variant::Unoptimized))
+            .map_err(|e| format!("{}: {e:?}", b.name))?;
+        let out = optimize_transfers(
+            &fe.program,
+            &fe.sema,
+            &topts,
+            &b.outputs,
+            &eopts_plain(),
+            12,
+        )
+        .map_err(|e| format!("{}: {e}", b.name))?;
         // Reference: hand-optimized transfer count.
-        let (_, opt) = run_variant(&b, Variant::Optimized, &topts_plain(), &eopts_plain())
-            .unwrap_or_else(|e| panic!("{e}"));
+        let (_, opt) = run_variant_cached(
+            &sw.session,
+            b,
+            Variant::Optimized,
+            &topts_plain(),
+            &eopts_plain(),
+        )?;
         let uncaught = out
             .final_stats
             .total_count()
             .saturating_sub(opt.machine.stats.total_count());
-        rows.push(Table3Row {
+        Ok(Table3Row {
             name: b.name.to_string(),
             total_iterations: out.iterations,
             incorrect_iterations: out.incorrect_iterations,
             uncaught_redundancy: uncaught,
             converged: out.converged,
-        });
-    }
+        })
+    })?;
     rows.sort_by(|a, b| a.name.cmp(&b.name));
-    rows
+    Ok(rows)
 }
 
 // ------------------------------------------------------------- Figure 4
@@ -254,11 +292,15 @@ pub struct Fig4Row {
 
 /// Figure 4: runtime overhead of memory-transfer verification on the
 /// optimized programs.
-pub fn figure4(scale: Scale) -> Vec<Fig4Row> {
-    let mut rows = Vec::new();
-    for b in all(scale) {
-        let (_, plain) = run_variant(&b, Variant::Optimized, &topts_plain(), &eopts_plain())
-            .unwrap_or_else(|e| panic!("{e}"));
+pub fn figure4(sw: &Sweep) -> Result<Vec<Fig4Row>, String> {
+    let mut rows = sw.map_benchmarks(|b| {
+        let (_, plain) = run_variant_cached(
+            &sw.session,
+            b,
+            Variant::Optimized,
+            &topts_plain(),
+            &eopts_plain(),
+        )?;
         let topts = TranslateOptions {
             instrument: true,
             ..Default::default()
@@ -268,18 +310,17 @@ pub fn figure4(scale: Scale) -> Vec<Fig4Row> {
             race_detect: false,
             ..Default::default()
         };
-        let (_, instr) =
-            run_variant(&b, Variant::Optimized, &topts, &eopts).unwrap_or_else(|e| panic!("{e}"));
+        let (_, instr) = run_variant_cached(&sw.session, b, Variant::Optimized, &topts, &eopts)?;
         let p = plain.sim_time_us().max(1e-9);
-        rows.push(Fig4Row {
+        Ok(Fig4Row {
             name: b.name.to_string(),
             overhead_pct: (instr.sim_time_us() - p) / p * 100.0,
             plain_us: p,
             instrumented_us: instr.sim_time_us(),
-        });
-    }
+        })
+    })?;
     rows.sort_by(|a, b| a.name.cmp(&b.name));
-    rows
+    Ok(rows)
 }
 
 // ---------------------------------------------------------- helpers
@@ -295,34 +336,37 @@ fn eopts_plain() -> ExecOptions {
     }
 }
 
-/// Sanity driver used by the bins: confirms every benchmark's optimized
-/// variant still matches its sequential reference at the bench scale.
-pub fn validate_suite(scale: Scale) -> Vec<String> {
-    let mut problems = Vec::new();
-    for b in all(scale) {
+/// Sanity driver used by the bins: confirms every benchmark variant still
+/// matches its sequential reference at the sweep's scale. Returns the list
+/// of divergences (empty = healthy); infrastructure failures propagate.
+pub fn validate_suite(sw: &Sweep) -> Result<Vec<String>, String> {
+    let per_bench = sw.map_benchmarks(|b| {
+        let mut problems = Vec::new();
         for v in Variant::ALL {
-            if let Err(e) = check_at_scale(&b, v) {
+            if let Err(e) = check_at_scale(sw, b, v) {
                 problems.push(e);
             }
         }
-    }
-    problems
+        Ok(problems)
+    })?;
+    Ok(per_bench.into_iter().flatten().collect())
 }
 
-fn check_at_scale(b: &Benchmark, v: Variant) -> Result<(), String> {
-    let tr = translate_variant(b, v, &topts_plain())?;
-    let gpu = execute(&tr, &eopts_plain()).map_err(|e| format!("{}: {e}", b.name))?;
-    let cpu = execute(
-        &tr,
-        &ExecOptions {
-            mode: ExecMode::CpuOnly,
-            race_detect: false,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| format!("{}: {e}", b.name))?;
-    let reference = capture_outputs(&tr, &cpu, &b.outputs);
-    if !outputs_match(&tr, &gpu, &reference, b.outputs.tol.max(1e-9)) {
+fn check_at_scale(sw: &Sweep, b: &Benchmark, v: Variant) -> Result<(), String> {
+    let (tr, gpu) = run_variant_cached(&sw.session, b, v, &topts_plain(), &eopts_plain())?;
+    let cpu = sw
+        .session
+        .execute(
+            &tr,
+            &ExecOptions {
+                mode: ExecMode::CpuOnly,
+                race_detect: false,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("{}: {e}", b.name))?;
+    let reference = capture_outputs(&tr.tr, &cpu, &b.outputs);
+    if !outputs_match(&tr.tr, &gpu, &reference, b.outputs.tol.max(1e-9)) {
         return Err(format!("{} [{}] diverges at bench scale", b.name, v.name()));
     }
     Ok(())
@@ -440,18 +484,17 @@ impl Fig4Row {
 // Re-exported so the bins can translate without re-stating imports.
 pub use openarc_suite::Scale as BenchScale;
 
-#[allow(unused_imports)]
-use translate as _keep_translate_import;
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openarc_suite::Scale;
 
     #[test]
     fn figure1_shape_holds() {
         // The paper's headline: the default scheme moves orders of
         // magnitude more data and runs much slower than the optimized one.
-        let rows = figure1(Scale::default());
+        let sw = Sweep::sequential(Scale::default());
+        let rows = figure1(&sw).unwrap();
         assert_eq!(rows.len(), 12);
         for r in &rows {
             assert!(
@@ -474,7 +517,8 @@ mod tests {
 
     #[test]
     fn table2_all_active_detected_none_latent() {
-        let t = table2(Scale::default());
+        let sw = Sweep::sequential(Scale::default());
+        let t = table2(&sw).unwrap();
         assert_eq!(t.rows.len(), 12);
         assert_eq!(
             t.active_missed, 0,
@@ -493,7 +537,8 @@ mod tests {
 
     #[test]
     fn figure3_verification_costs_more_than_cpu() {
-        let rows = figure3(Scale::default());
+        let sw = Sweep::sequential(Scale::default());
+        let rows = figure3(&sw).unwrap();
         for r in &rows {
             assert!(r.total > 0.5, "{}: {}", r.name, r.total);
             let transfer: f64 = r
@@ -508,7 +553,8 @@ mod tests {
 
     #[test]
     fn table3_converges_within_paper_range() {
-        let rows = table3(Scale::default());
+        let sw = Sweep::sequential(Scale::default());
+        let rows = table3(&sw).unwrap();
         for r in &rows {
             assert!(r.converged, "{} did not converge", r.name);
             assert!(
@@ -530,7 +576,8 @@ mod tests {
 
     #[test]
     fn figure4_overhead_is_small() {
-        let rows = figure4(Scale::default());
+        let sw = Sweep::sequential(Scale::default());
+        let rows = figure4(&sw).unwrap();
         for r in &rows {
             assert!(
                 r.overhead_pct < 10.0,

@@ -1,0 +1,263 @@
+//! Batch-mode sweep driver: fans benchmark work across cores.
+//!
+//! Every figure/table of the evaluation walks the same 12-benchmark
+//! matrix, and each cell is an independent deterministic simulation — an
+//! embarrassingly parallel workload. A [`Sweep`] couples a problem
+//! [`Scale`], a worker count, and one shared pipeline
+//! [`Session`] so that
+//!
+//! * cells run concurrently on [`openarc_core::sched::run_tasks`] workers,
+//! * repeated compilations of the same variant hit the session's artifact
+//!   cache regardless of which worker asks, and
+//! * results and journals come back in **task order**, making parallel
+//!   output byte-identical to a sequential run.
+
+use crate::timing;
+use openarc_core::exec::ExecOptions;
+use openarc_core::pipeline::Session;
+use openarc_core::sched::run_tasks;
+use openarc_core::translate::TranslateOptions;
+use openarc_suite::{all, run_variant_cached, Benchmark, Scale, Variant};
+use openarc_trace::json::Json;
+use openarc_trace::{merge_parts, Journal, TraceEvent};
+
+/// One batch sweep: scale × worker count × shared artifact cache.
+pub struct Sweep {
+    /// Problem scale every cell runs at.
+    pub scale: Scale,
+    /// Worker threads (`1` = sequential on the calling thread).
+    pub jobs: usize,
+    /// Shared stage cache; thread-safe, so all workers use it directly.
+    pub session: Session,
+}
+
+impl Sweep {
+    /// Sweep with a fresh session.
+    pub fn new(scale: Scale, jobs: usize) -> Sweep {
+        Sweep {
+            scale,
+            jobs,
+            session: Session::new(),
+        }
+    }
+
+    /// Sequential sweep (one worker).
+    pub fn sequential(scale: Scale) -> Sweep {
+        Sweep::new(scale, 1)
+    }
+
+    /// Run `f` over all twelve benchmarks, fanned across the sweep's
+    /// workers; results return in benchmark order. The first error wins.
+    pub fn map_benchmarks<T, F>(&self, f: F) -> Result<Vec<T>, String>
+    where
+        T: Send,
+        F: Fn(&Benchmark) -> Result<T, String> + Sync,
+    {
+        let benches = all(self.scale);
+        let f = &f;
+        let tasks: Vec<_> = benches.iter().map(|b| move || f(b)).collect();
+        run_tasks(self.jobs, tasks).into_iter().collect()
+    }
+}
+
+/// One cell of the full benchmark × variant matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Variant name.
+    pub variant: &'static str,
+    /// Simulated time, µs.
+    pub sim_us: f64,
+    /// Bytes moved between host and device.
+    pub transferred_bytes: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Journal events the run emitted.
+    pub events: usize,
+}
+
+impl MatrixRow {
+    /// JSON object for one matrix cell.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::from(self.bench.as_str())),
+            ("variant", Json::from(self.variant)),
+            ("sim_us", Json::from(self.sim_us)),
+            ("transferred_bytes", Json::from(self.transferred_bytes)),
+            ("kernel_launches", Json::from(self.kernel_launches)),
+            ("events", Json::from(self.events)),
+        ])
+    }
+}
+
+impl Sweep {
+    /// Run the full 12-benchmark × 3-variant matrix, journaling every run
+    /// into a per-cell buffer. Returns the 36 rows plus the merged event
+    /// stream; both are in (benchmark, variant) order — deterministic and
+    /// bit-identical for any `jobs` value.
+    pub fn matrix(&self) -> Result<(Vec<MatrixRow>, Vec<TraceEvent>), String> {
+        let per_bench = self.map_benchmarks(|b| {
+            let mut cells = Vec::with_capacity(Variant::ALL.len());
+            for v in Variant::ALL {
+                // A private journal per cell: workers never contend on one
+                // buffer, and the merge below fixes the global order.
+                let journal = Journal::enabled();
+                let eopts = ExecOptions {
+                    race_detect: false,
+                    journal: journal.clone(),
+                    ..Default::default()
+                };
+                let (_, r) =
+                    run_variant_cached(&self.session, b, v, &TranslateOptions::default(), &eopts)?;
+                let events = journal.snapshot();
+                cells.push((
+                    MatrixRow {
+                        bench: b.name.to_string(),
+                        variant: v.name(),
+                        sim_us: r.sim_time_us(),
+                        transferred_bytes: r.machine.stats.total_bytes(),
+                        kernel_launches: r.kernel_launches,
+                        events: events.len(),
+                    },
+                    events,
+                ));
+            }
+            Ok(cells)
+        })?;
+        let mut rows = Vec::new();
+        let mut parts = Vec::new();
+        for cells in per_bench {
+            for (row, evs) in cells {
+                rows.push(row);
+                parts.push(evs);
+            }
+        }
+        Ok((rows, merge_parts(parts)))
+    }
+
+    /// Measure the wall-clock cost of [`Sweep::matrix`] at this sweep's
+    /// worker count over `samples` runs. Each sample uses a fresh session
+    /// so compilation cost is included (otherwise every sample after the
+    /// first would measure only execution).
+    pub fn time_matrix(&self, samples: usize) -> timing::Stats {
+        timing::measure(samples, || {
+            Sweep::new(self.scale, self.jobs).matrix().unwrap()
+        })
+    }
+}
+
+/// Parse the common bin arguments: `--scale small|bench`, `--jobs N|auto`,
+/// `--n <size>`, `--iters <count>`. Returns `(scale, jobs)`; the error
+/// string is ready to print to stderr before a nonzero exit.
+pub fn parse_bin_args(args: &[String]) -> Result<(Scale, usize), String> {
+    let mut scale = Scale::bench();
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match a.as_str() {
+            "--scale" => {
+                scale = match value("--scale")?.as_str() {
+                    "small" => Scale::default(),
+                    "bench" => Scale::bench(),
+                    other => {
+                        return Err(format!(
+                            "--scale expects 'small' or 'bench' (got '{other}')"
+                        ))
+                    }
+                }
+            }
+            "--jobs" => jobs = openarc_core::sched::parse_jobs(&value("--jobs")?)?,
+            "--n" => {
+                scale.n = value("--n")?
+                    .parse()
+                    .map_err(|_| "--n expects a positive integer".to_string())?
+            }
+            "--iters" => {
+                scale.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| "--iters expects a positive integer".to_string())?
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}' (expected --scale small|bench, --jobs N|auto, --n SIZE, --iters COUNT)"
+                ))
+            }
+        }
+    }
+    if scale.n == 0 || scale.iters == 0 {
+        return Err("--n and --iters must be positive".to_string());
+    }
+    Ok((scale, jobs))
+}
+
+/// Build a sweep from a bin's command-line arguments, printing a usage
+/// message to stderr and exiting with status `2` when they don't parse.
+pub fn sweep_from_env(bin: &str) -> Sweep {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_bin_args(&args) {
+        Ok((scale, jobs)) => Sweep::new(scale, jobs),
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            eprintln!(
+                "usage: {bin} [--scale small|bench] [--jobs N|auto] [--n SIZE] [--iters COUNT]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Unwrap an experiment result in a bin, printing the error to stderr and
+/// exiting with status `1` on failure.
+pub fn exit_on_error<T>(bin: &str, r: Result<T, String>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bin_args_defaults_and_flags() {
+        let (s, j) = parse_bin_args(&[]).unwrap();
+        assert_eq!(
+            (s.n, s.iters, j),
+            (Scale::bench().n, Scale::bench().iters, 1)
+        );
+        let args: Vec<String> = ["--scale", "small", "--jobs", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (s, j) = parse_bin_args(&args).unwrap();
+        assert_eq!((s.n, j), (Scale::default().n, 4));
+        let bad: Vec<String> = ["--jobs", "zero"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_bin_args(&bad).is_err());
+        let unknown: Vec<String> = ["--frobnicate"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_bin_args(&unknown).is_err());
+    }
+
+    #[test]
+    fn matrix_has_36_cells_and_journals() {
+        let sw = Sweep::sequential(Scale::default());
+        let (rows, events) = sw.matrix().unwrap();
+        assert_eq!(rows.len(), 36);
+        assert!(!events.is_empty());
+        assert_eq!(rows.iter().map(|r| r.events).sum::<usize>(), events.len());
+        // Task order: benchmarks alphabetical (suite order), variants in
+        // Variant::ALL order within each.
+        assert_eq!(rows[0].bench, "BACKPROP");
+        assert_eq!(rows[0].variant, "naive");
+        assert_eq!(rows[2].variant, "optimized");
+    }
+}

@@ -1,22 +1,56 @@
-//! Minimal wall-clock measurement for the `benches/` targets.
+//! Minimal wall-clock measurement for the `benches/` targets and the
+//! `pipeline` batch-mode bin.
 //!
 //! The workspace builds offline with no external crates, so the benches
-//! use this helper instead of Criterion: fixed sample count, median /
-//! min / max over `std::time::Instant`.
+//! use this helper instead of Criterion: fixed sample count, p50 / p95 /
+//! min / max over `std::time::Instant`, with a JSON rendering for
+//! machine-readable reports (`BENCH_pipeline.json`).
 
+use openarc_trace::json::Json;
 use std::time::Instant;
 
 /// Wall-clock stats over repeated runs of a closure, in nanoseconds.
 #[derive(Debug, Clone, Copy)]
 pub struct Stats {
-    /// Median sample.
+    /// Median (p50) sample.
     pub median_ns: u128,
+    /// 95th-percentile sample (nearest-rank; equals the max for small
+    /// sample counts).
+    pub p95_ns: u128,
     /// Fastest sample.
     pub min_ns: u128,
     /// Slowest sample.
     pub max_ns: u128,
     /// Number of samples.
     pub samples: usize,
+}
+
+impl Stats {
+    /// p50 in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.median_ns as f64 / 1e6
+    }
+
+    /// p95 in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.p95_ns as f64 / 1e6
+    }
+
+    /// Minimum in milliseconds.
+    pub fn min_ms(&self) -> f64 {
+        self.min_ns as f64 / 1e6
+    }
+
+    /// JSON object (`p50_ms` / `p95_ms` / `min_ms` / `max_ms` / `samples`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("p50_ms", Json::from(self.p50_ms())),
+            ("p95_ms", Json::from(self.p95_ms())),
+            ("min_ms", Json::from(self.min_ms())),
+            ("max_ms", Json::from(self.max_ns as f64 / 1e6)),
+            ("samples", Json::from(self.samples)),
+        ])
+    }
 }
 
 /// Run `f` once as warmup, then `samples` timed times; returns the stats.
@@ -29,22 +63,26 @@ pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> Stats {
         times.push(t0.elapsed().as_nanos());
     }
     times.sort_unstable();
+    // Nearest-rank percentile on the sorted samples.
+    let rank = |p: usize| times[(p * (times.len() - 1) + 50) / 100];
     Stats {
-        median_ns: times[times.len() / 2],
+        median_ns: rank(50),
+        p95_ns: rank(95),
         min_ns: times[0],
         max_ns: *times.last().unwrap(),
         samples,
     }
 }
 
-/// Measure and print one labelled row (`label  median  min  max`).
+/// Measure and print one labelled row (`label  p50  p95  min  max`).
 pub fn report<T>(label: &str, samples: usize, f: impl FnMut() -> T) -> Stats {
     let s = measure(samples, f);
     println!(
-        "{:<28} median {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms   ({} samples)",
+        "{:<28} p50 {:>10.3} ms   p95 {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms   ({} samples)",
         label,
-        s.median_ns as f64 / 1e6,
-        s.min_ns as f64 / 1e6,
+        s.p50_ms(),
+        s.p95_ms(),
+        s.min_ms(),
         s.max_ns as f64 / 1e6,
         s.samples
     );
@@ -59,6 +97,16 @@ mod tests {
     fn measure_orders_stats() {
         let s = measure(5, || (0..1000u64).sum::<u64>());
         assert_eq!(s.samples, 5);
-        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn stats_render_to_json() {
+        let s = measure(3, || 1 + 1);
+        let j = s.to_json().pretty();
+        assert!(j.contains("\"p50_ms\""));
+        assert!(j.contains("\"p95_ms\""));
+        assert!(j.contains("\"samples\": 3"));
     }
 }

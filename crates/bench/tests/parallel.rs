@@ -1,0 +1,70 @@
+//! Parallel-determinism contract: a `--jobs 4` sweep must be
+//! bit-identical to a sequential one — same rows, same merged journal,
+//! same per-category time totals, same figure/table outputs.
+
+use openarc_bench::experiments;
+use openarc_bench::sweep::Sweep;
+use openarc_suite::Scale;
+
+#[test]
+fn parallel_matrix_is_bit_identical_to_sequential() {
+    let (rows_seq, events_seq) = Sweep::sequential(Scale::default()).matrix().unwrap();
+    let (rows_par, events_par) = Sweep::new(Scale::default(), 4).matrix().unwrap();
+
+    assert_eq!(rows_seq.len(), rows_par.len());
+    for (a, b) in rows_seq.iter().zip(&rows_par) {
+        assert_eq!(a.bench, b.bench);
+        assert_eq!(a.variant, b.variant);
+        // f64s compared bit-for-bit, not approximately.
+        assert_eq!(
+            a.sim_us.to_bits(),
+            b.sim_us.to_bits(),
+            "{} [{}] simulated time differs across jobs",
+            a.bench,
+            a.variant
+        );
+        assert_eq!(a.transferred_bytes, b.transferred_bytes);
+        assert_eq!(a.kernel_launches, b.kernel_launches);
+        assert_eq!(a.events, b.events);
+    }
+
+    // The merged journals reconcile event-for-event…
+    assert_eq!(events_seq, events_par);
+    // …and so do the clock-category totals derived from them.
+    let totals_seq = openarc_trace::category_totals(&events_seq);
+    let totals_par = openarc_trace::category_totals(&events_par);
+    for ((cat, a), (_, b)) in totals_seq.iter().zip(&totals_par) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "category {cat:?} total differs across jobs"
+        );
+    }
+}
+
+#[test]
+fn parallel_experiments_match_sequential() {
+    let seq = Sweep::sequential(Scale::default());
+    let par = Sweep::new(Scale::default(), 4);
+
+    let f1_seq = experiments::figure1(&seq).unwrap();
+    let f1_par = experiments::figure1(&par).unwrap();
+    assert_eq!(f1_seq.len(), f1_par.len());
+    for (a, b) in f1_seq.iter().zip(&f1_par) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.time_ratio.to_bits(), b.time_ratio.to_bits(), "{}", a.name);
+        assert_eq!(a.naive_bytes, b.naive_bytes);
+        assert_eq!(a.opt_bytes, b.opt_bytes);
+    }
+
+    let t2_seq = experiments::table2(&seq).unwrap();
+    let t2_par = experiments::table2(&par).unwrap();
+    assert_eq!(t2_seq.kernels_tested, t2_par.kernels_tested);
+    assert_eq!(t2_seq.active_errors, t2_par.active_errors);
+    assert_eq!(t2_seq.latent_errors, t2_par.latent_errors);
+    for (a, b) in t2_seq.rows.iter().zip(&t2_par.rows) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.active_detected, b.active_detected, "{}", a.name);
+        assert_eq!(a.latent, b.latent, "{}", a.name);
+    }
+}

@@ -1,0 +1,371 @@
+//! The execution environment: host bytecode runs against this, and every
+//! lowered runtime op ([`RtOp`]) dispatches here.
+
+use super::{ExecMode, ExecOptions, KernelVerification, TransferKey};
+use crate::ir::RtOp;
+use crate::translate::Translated;
+use openarc_gpusim::{RaceReport, TimeCategory};
+use openarc_minic::ScalarTy;
+use openarc_runtime::Machine;
+use openarc_vm::{Env, Handle, Value, VmError};
+use std::collections::HashMap;
+
+/// A deferred transfer: (var, site, to_device, async queue).
+pub(super) type DeferredCopy = (String, String, bool, Option<i64>);
+
+pub(super) struct ExecEnv<'a> {
+    pub(super) tr: &'a Translated,
+    pub(super) opts: &'a ExecOptions,
+    pub(super) machine: Machine,
+    pub(super) verify: Vec<KernelVerification>,
+    pub(super) races: Vec<(String, RaceReport)>,
+    pub(super) pending_cpu: u64,
+    /// Persistent device cells for falsely-shared scalars (like CUDA
+    /// `__device__` temporaries).
+    pub(super) device_cells: HashMap<String, Handle>,
+    /// Host-side cells for sequential fallbacks.
+    pub(super) host_cells: HashMap<String, Handle>,
+    pub(super) kernel_launches: u64,
+    /// Pending deferred transfers per active loop (innermost last).
+    pub(super) deferred: Vec<Vec<DeferredCopy>>,
+    /// Data regions currently active (if-clause decisions at enter time).
+    pub(super) region_active: HashMap<usize, bool>,
+}
+
+impl ExecEnv<'_> {
+    pub(super) fn flush_cpu(&mut self) {
+        if self.pending_cpu > 0 {
+            self.machine.charge_cpu(self.pending_cpu);
+            self.pending_cpu = 0;
+        }
+    }
+
+    /// Host buffer handle of a global aggregate.
+    pub(super) fn resolve(&mut self, var: &str) -> Result<Handle, VmError> {
+        let slot = self
+            .tr
+            .host_module
+            .global_slot(var)
+            .ok_or_else(|| VmError::Internal(format!("unknown global `{var}`")))?;
+        match self.machine.host.globals[slot as usize] {
+            Value::Ptr(h) if !h.is_null() => Ok(h),
+            Value::Ptr(h) => Err(VmError::BadHandle(h)),
+            other => Err(VmError::TypeError(format!(
+                "`{var}` is not a buffer: {other}"
+            ))),
+        }
+    }
+
+    pub(super) fn scalar_value(&self, var: &str) -> Result<Value, VmError> {
+        let slot = self
+            .tr
+            .host_module
+            .global_slot(var)
+            .ok_or_else(|| VmError::Internal(format!("unknown global `{var}`")))?;
+        Ok(self.machine.host.globals[slot as usize])
+    }
+
+    pub(super) fn store_scalar(&mut self, var: &str, v: Value) -> Result<(), VmError> {
+        let slot = self
+            .tr
+            .host_module
+            .global_slot(var)
+            .ok_or_else(|| VmError::Internal(format!("unknown global `{var}`")))?;
+        self.machine.host.globals[slot as usize] = v;
+        Ok(())
+    }
+
+    pub(super) fn scalar_elem_of(&self, var: &str) -> ScalarTy {
+        self.tr
+            .host_module
+            .global_slot(var)
+            .and_then(|s| self.tr.host_module.globals.get(s as usize))
+            .and_then(|g| g.ty.elem())
+            .unwrap_or(ScalarTy::Double)
+    }
+
+    /// Perform (or skip/defer, per the interactive overlay) one transfer.
+    pub(super) fn do_copy(
+        &mut self,
+        var: &str,
+        site: &str,
+        to_device: bool,
+        queue: Option<i64>,
+    ) -> Result<(), VmError> {
+        let key = TransferKey {
+            site: site.to_string(),
+            var: var.to_string(),
+            to_device,
+        };
+        if self.opts.overlay.disable.contains(&key) {
+            return Ok(());
+        }
+        if self.opts.overlay.defer.contains(&key) {
+            if let Some(frame) = self.deferred.last_mut() {
+                // Replace any earlier pending copy of the same var/direction
+                // (only the final value matters).
+                frame.retain(|(v, _, d, _)| !(v == var && *d == to_device));
+                frame.push((
+                    var.to_string(),
+                    format!("{site}_deferred"),
+                    to_device,
+                    queue,
+                ));
+                return Ok(());
+            }
+            // No enclosing loop: execute in place.
+        }
+        let h = self.resolve(var)?;
+        if to_device {
+            self.machine.copy_to_device_named(h, site, queue, Some(var))
+        } else {
+            self.machine.copy_to_host_named(h, site, queue, Some(var))
+        }
+    }
+
+    pub(super) fn flush_deferred(&mut self) -> Result<(), VmError> {
+        if let Some(frame) = self.deferred.pop() {
+            for (var, site, to_device, queue) in frame {
+                let h = self.resolve(&var)?;
+                if to_device {
+                    self.machine
+                        .copy_to_device_named(h, &site, queue, Some(&var))?;
+                } else {
+                    self.machine
+                        .copy_to_host_named(h, &site, queue, Some(&var))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, id: u16) -> Result<(), VmError> {
+        self.flush_cpu();
+        let op = self
+            .tr
+            .ops
+            .get(id as usize)
+            .cloned()
+            .ok_or_else(|| VmError::Internal(format!("bad host op id {id}")))?;
+        let verify_mode = matches!(self.opts.mode, ExecMode::Verify(_));
+        let cpu_only = matches!(self.opts.mode, ExecMode::CpuOnly);
+        match op {
+            RtOp::LoopEnter { label } => {
+                self.machine.loop_context.push((label, 0));
+                self.deferred.push(Vec::new());
+            }
+            RtOp::LoopTick => {
+                if let Some(last) = self.machine.loop_context.last_mut() {
+                    last.1 += 1;
+                }
+            }
+            RtOp::LoopExit => {
+                self.machine.loop_context.pop();
+                if !verify_mode && !cpu_only {
+                    self.flush_deferred()?;
+                } else {
+                    self.deferred.pop();
+                }
+            }
+            RtOp::Wait(q) => {
+                if !verify_mode && !cpu_only {
+                    match q {
+                        Some(q) => self.machine.clock.wait(q),
+                        None => self.machine.clock.wait_all(),
+                    }
+                }
+            }
+            RtOp::DataEnter(r) => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let active = self.region_condition(r)?;
+                self.region_active.insert(r, active);
+                if !active {
+                    return Ok(());
+                }
+                let actions = self.tr.data_regions[r].actions.clone();
+                for a in &actions {
+                    if a.map {
+                        let h = self.resolve(&a.var)?;
+                        self.machine.map_to_device(h)?;
+                        if a.copyin {
+                            self.do_copy(&a.var, &format!("data_enter{r}"), true, None)?;
+                        }
+                    }
+                }
+            }
+            RtOp::DataExit(r) => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                // An exit mirrors its matching enter's decision, even if
+                // the condition's inputs changed in between.
+                if !self.region_active.remove(&r).unwrap_or(true) {
+                    return Ok(());
+                }
+                let actions = self.tr.data_regions[r].actions.clone();
+                for a in &actions {
+                    if a.map {
+                        if a.copyout {
+                            self.do_copy(&a.var, &format!("data_exit{r}"), false, None)?;
+                        }
+                        let h = self.resolve(&a.var)?;
+                        self.machine.unmap_from_device(h)?;
+                    }
+                }
+            }
+            RtOp::Update {
+                to_host,
+                to_device,
+                queue,
+                site,
+                if_global,
+            } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                if let Some(g) = &if_global {
+                    if !self.scalar_value(g)?.truthy() {
+                        return Ok(());
+                    }
+                }
+                for v in &to_host {
+                    self.do_copy(v, &site, false, queue)?;
+                }
+                for v in &to_device {
+                    self.do_copy(v, &site, true, queue)?;
+                }
+            }
+            RtOp::CheckRead { var, side, site } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let dt = self.machine.cost.check_us;
+                self.machine.clock.advance(TimeCategory::CpuTime, dt);
+                if let Ok(h) = self.resolve(&var) {
+                    self.machine.check_read(h, side, &site);
+                }
+            }
+            RtOp::CheckWrite {
+                var,
+                side,
+                total,
+                site,
+            } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let dt = self.machine.cost.check_us;
+                self.machine.clock.advance(TimeCategory::CpuTime, dt);
+                if let Ok(h) = self.resolve(&var) {
+                    self.machine.check_write(h, side, total, &site);
+                }
+            }
+            RtOp::ResetStatus { var, side, st } => {
+                if verify_mode || cpu_only {
+                    return Ok(());
+                }
+                let dt = self.machine.cost.check_us;
+                self.machine.clock.advance(TimeCategory::CpuTime, dt);
+                if let Ok(h) = self.resolve(&var) {
+                    self.machine.coherence.reset_status(h, side, st);
+                }
+            }
+            RtOp::Launch(k) => {
+                self.kernel_launches += 1;
+                // `if(cond)` false → host execution (OpenACC semantics).
+                let offload = match &self.tr.kernels[k].if_global {
+                    Some(g) => self.scalar_value(g)?.truthy(),
+                    None => true,
+                };
+                match self.opts.mode.clone() {
+                    ExecMode::Normal if !offload => self.launch_seq(k)?,
+                    ExecMode::Normal => self.launch_normal(k)?,
+                    ExecMode::CpuOnly => self.launch_seq(k)?,
+                    ExecMode::Verify(v) => {
+                        let name = &self.tr.kernels[k].name;
+                        let in_set = v.targets.as_ref().map(|t| t.contains(name)).unwrap_or(true);
+                        let selected = in_set != v.complement;
+                        if selected {
+                            self.launch_verified(k, &v)?;
+                        } else {
+                            self.launch_seq(k)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a data region's `if(...)` value (true when absent).
+    fn region_condition(&self, r: usize) -> Result<bool, VmError> {
+        match &self.tr.data_regions[r].if_global {
+            Some(g) => Ok(self.scalar_value(g)?.truthy()),
+            None => Ok(true),
+        }
+    }
+
+    /// Launch configuration for kernel `k`: `num_workers`/`vector_length`
+    /// clauses override the default lockstep wave width.
+    pub(super) fn launch_cfg(&self, k: usize) -> openarc_gpusim::LaunchConfig {
+        let mut cfg = self.opts.launch.clone();
+        if let Some(w) = self.tr.kernels[k].wave_override {
+            cfg.wave = w;
+        }
+        cfg
+    }
+
+    pub(super) fn n_threads(&self, k: usize) -> Result<u64, VmError> {
+        let v = self.scalar_value(&self.tr.kernels[k].n_threads_global)?;
+        Ok(v.as_i64().max(0) as u64)
+    }
+
+    /// Run a host-module function to completion against host memory only.
+    pub(super) fn run_host_fn(&mut self, name: &str, args: &[Value]) -> Result<u64, VmError> {
+        let mut t = openarc_vm::ThreadState::new(&self.tr.host_module, name, args)?;
+        // The fallback touches only parameters, so a plain host env view is
+        // enough; reuse self as the env (globals resolve fine).
+        while !t.is_done() {
+            t.step(&self.tr.host_module, self)?;
+        }
+        Ok(t.steps)
+    }
+}
+
+impl Env for ExecEnv<'_> {
+    fn load_global(&mut self, slot: u16) -> Result<Value, VmError> {
+        self.machine.host.load_global(slot)
+    }
+
+    fn store_global(&mut self, slot: u16, v: Value) -> Result<(), VmError> {
+        self.machine.host.store_global(slot, v)
+    }
+
+    fn load_elem(&mut self, h: Handle, idx: u64) -> Result<Value, VmError> {
+        self.machine.host.load_elem(h, idx)
+    }
+
+    fn store_elem(&mut self, h: Handle, idx: u64, v: Value) -> Result<(), VmError> {
+        self.machine.host.store_elem(h, idx, v)
+    }
+
+    fn malloc(&mut self, elem: ScalarTy, len: u64, label: &str) -> Result<Handle, VmError> {
+        self.machine.host.malloc(elem, len, label)
+    }
+
+    fn free(&mut self, h: Handle) -> Result<(), VmError> {
+        // Freeing a host allocation invalidates any device mapping and its
+        // coherence record.
+        while self.machine.present.contains(h) {
+            self.machine.unmap_from_device(h)?;
+        }
+        self.machine.coherence.untrack(h);
+        self.machine.host.free(h)
+    }
+
+    fn host_op(&mut self, id: u16) -> Result<(), VmError> {
+        self.dispatch(id)
+    }
+}

@@ -1,0 +1,255 @@
+//! Argument marshalling plus the Normal-mode and sequential-fallback
+//! kernel launch paths.
+
+use super::env::ExecEnv;
+use super::reduce::red_eval;
+use crate::ir::KernelParam;
+use openarc_gpusim::{launch, TimeCategory};
+use openarc_minic::ScalarTy;
+use openarc_openacc::ReductionOp;
+use openarc_runtime::DevSide;
+use openarc_vm::{Handle, Value, VmError};
+use std::collections::HashMap;
+
+impl ExecEnv<'_> {
+    /// Build kernel args. `on_device` selects device or host buffers; the
+    /// returned vec lists `(reduction var, op, partial buffer)` to finalize
+    /// and the set of handles to free afterwards (reduction buffers).
+    #[allow(clippy::type_complexity)]
+    pub(super) fn build_args(
+        &mut self,
+        k: usize,
+        n: u64,
+        on_device: bool,
+    ) -> Result<
+        (
+            Vec<Value>,
+            Vec<(String, ReductionOp, Handle)>,
+            Vec<Handle>,
+            Vec<(String, Handle)>,
+        ),
+        VmError,
+    > {
+        let params = self.tr.kernels[k].params.clone();
+        let mut args = Vec::with_capacity(params.len());
+        let mut reds = Vec::new();
+        let mut temps = Vec::new();
+        let mut cell_writebacks = Vec::new();
+        for p in &params {
+            match p {
+                KernelParam::Aggregate { var } => {
+                    let host_h = self.resolve(var)?;
+                    let h = if on_device {
+                        self.machine.device_of(host_h)?
+                    } else {
+                        host_h
+                    };
+                    args.push(Value::Ptr(h));
+                }
+                KernelParam::Scalar { var } => args.push(self.scalar_value(var)?),
+                KernelParam::SharedCell { var, init_global } => {
+                    let elem = init_global
+                        .as_deref()
+                        .map(|g| self.scalar_elem_of(g))
+                        .unwrap_or(ScalarTy::Double);
+                    let key = format!("{}::{}", var, on_device);
+                    let cells: &mut HashMap<String, Handle> = if on_device {
+                        &mut self.device_cells
+                    } else {
+                        &mut self.host_cells
+                    };
+                    let h = match cells.get(&key) {
+                        Some(h) => *h,
+                        None => {
+                            let mem = if on_device {
+                                &mut self.machine.device.mem
+                            } else {
+                                &mut self.machine.host.mem
+                            };
+                            let h = mem.alloc(elem, 1, format!("__cell_{var}"));
+                            if on_device {
+                                self.device_cells.insert(key, h);
+                            } else {
+                                self.host_cells.insert(key, h);
+                            }
+                            if let Some(g) = init_global {
+                                let init = self.scalar_value(g)?;
+                                let mem = if on_device {
+                                    &mut self.machine.device.mem
+                                } else {
+                                    &mut self.machine.host.mem
+                                };
+                                mem.store(h, 0, init)?;
+                            }
+                            h
+                        }
+                    };
+                    args.push(Value::Ptr(h));
+                    // A falsely-shared GLOBAL scalar behaves like a CUDA
+                    // __device__ global: its final value flows back to the
+                    // host variable after the kernel.
+                    if init_global.as_deref() == Some(var.as_str()) {
+                        cell_writebacks.push((var.clone(), h));
+                    }
+                }
+                KernelParam::ReductionSlot { var, op } => {
+                    let elem = self.scalar_elem_of(var);
+                    let mem = if on_device {
+                        &mut self.machine.device.mem
+                    } else {
+                        &mut self.machine.host.mem
+                    };
+                    let h = mem.alloc(elem, n.max(1) as usize, format!("__red_{var}"));
+                    args.push(Value::Ptr(h));
+                    reds.push((var.clone(), *op, h));
+                    temps.push(h);
+                }
+            }
+        }
+        Ok((args, reds, temps, cell_writebacks))
+    }
+
+    /// Copy falsely-shared global scalars back to their host variables.
+    pub(super) fn writeback_cells(
+        &mut self,
+        cells: &[(String, Handle)],
+        on_device: bool,
+    ) -> Result<(), VmError> {
+        for (var, h) in cells {
+            let v = if on_device {
+                self.machine.device.mem.load(*h, 0)?
+            } else {
+                self.machine.host.mem.load(*h, 0)?
+            };
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, v.cast(elem))?;
+        }
+        Ok(())
+    }
+
+    /// Production launch (Normal mode).
+    pub(super) fn launch_normal(&mut self, k: usize) -> Result<(), VmError> {
+        let info = self.tr.kernels[k].clone();
+        let n = self.n_threads(k)?;
+        let queue = info.queue;
+        // Data-region-at-kernel semantics: map + copyin. OpenACC `copy`
+        // semantics are present_or_copy: data already mapped by an
+        // enclosing region (possibly under an aliasing name) moves nothing.
+        let mut fresh: std::collections::BTreeSet<String> = Default::default();
+        // A region-managed variable whose region's if(...) evaluated false
+        // falls back to the default per-kernel copy policy.
+        let effective = |env: &Self, a: &crate::ir::DataAction| -> (bool, bool) {
+            match a.covering_region {
+                Some(r) if !env.region_active.get(&r).copied().unwrap_or(false) => {
+                    (true, a.written)
+                }
+                _ => (a.copyin, a.copyout),
+            }
+        };
+        let mut plans: Vec<(crate::ir::DataAction, bool, bool)> = Vec::new();
+        for a in &info.actions {
+            let (ci, co) = effective(self, a);
+            plans.push((a.clone(), ci, co));
+        }
+        for (a, copyin, _) in &plans {
+            if a.map {
+                let h = self.resolve(&a.var)?;
+                let (_, newly) = self.machine.map_to_device(h)?;
+                if newly {
+                    fresh.insert(a.var.clone());
+                }
+                if *copyin && newly {
+                    self.do_copy(&a.var, &info.name, true, queue)?;
+                }
+            }
+        }
+        // GPU-side coherence checks at the kernel boundary.
+        for v in &info.gpu_reads {
+            if let Ok(h) = self.resolve(v) {
+                self.machine.check_read(h, DevSide::Gpu, &info.name);
+            }
+        }
+        for v in &info.gpu_writes {
+            if info.hoisted_writes.contains(v) {
+                continue;
+            }
+            if let Ok(h) = self.resolve(v) {
+                self.machine.check_write(h, DevSide::Gpu, false, &info.name);
+            }
+        }
+        let (args, reds, temps, cells) = self.build_args(k, n, true)?;
+        let cfg = self.launch_cfg(k);
+        let outcome = launch(
+            &mut self.machine.device,
+            &self.tr.kernel_module,
+            &info.name,
+            &args,
+            n,
+            &cfg,
+        )?;
+        for r in outcome.races.clone() {
+            self.races.push((info.name.clone(), r));
+        }
+        self.machine
+            .charge_kernel_named(&info.name, &outcome, queue);
+        self.writeback_cells(&cells, true)?;
+        // Reductions finalize on the CPU (device partials → host scalar).
+        for (var, op, buf) in &reds {
+            if let Some(q) = queue {
+                self.machine.clock.wait(q);
+            }
+            let gpu_val = self.fold_device(*buf, *op, n)?;
+            let init = self.scalar_value(var)?;
+            let final_v = red_eval(*op, init, gpu_val)?;
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, final_v.cast(elem))?;
+            // One scalar-sized transfer for the result.
+            let dt = self.machine.cost.transfer_time(elem.size_bytes());
+            self.machine.clock.advance(TimeCategory::MemTransfer, dt);
+        }
+        for t in temps {
+            self.machine.device.mem.free(t)?;
+        }
+        // Copyout + unmap (copyout only for mappings this launch created —
+        // region-managed data stays resident).
+        for (a, _, copyout) in &plans {
+            if *copyout && fresh.contains(&a.var) {
+                self.do_copy(&a.var, &info.name, false, queue)?;
+            }
+        }
+        for a in &info.actions {
+            if a.map {
+                let h = self.resolve(&a.var)?;
+                if let Some(q) = queue {
+                    // Don't free under in-flight async work.
+                    self.machine.clock.wait(q);
+                }
+                self.machine.unmap_from_device(h)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequential fallback execution (CpuOnly mode / unselected kernels in
+    /// Verify mode).
+    pub(super) fn launch_seq(&mut self, k: usize) -> Result<(), VmError> {
+        let info = self.tr.kernels[k].clone();
+        let n = self.n_threads(k)?;
+        let (mut args, reds, temps, cells) = self.build_args(k, n, false)?;
+        args.insert(0, Value::Int(n as i64));
+        let steps = self.run_host_fn(&info.seq_name, &args)?;
+        self.machine.charge_cpu(steps);
+        self.writeback_cells(&cells, false)?;
+        for (var, op, buf) in &reds {
+            let cpu_val = self.fold_host(*buf, *op, n)?;
+            let init = self.scalar_value(var)?;
+            let final_v = red_eval(*op, init, cpu_val)?;
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, final_v.cast(elem))?;
+        }
+        for t in temps {
+            self.machine.host.mem.free(t)?;
+        }
+        Ok(())
+    }
+}

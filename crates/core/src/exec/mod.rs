@@ -1,0 +1,341 @@
+//! Executor: runs a [`Translated`] program on the simulated machine.
+//!
+//! Three modes:
+//!
+//! * **Normal** — the production run: data regions, transfers, device
+//!   kernels, coherence checks (when instrumented).
+//! * **CpuOnly** — the reference run: every compute region executes its
+//!   sequential fallback on the host; no device traffic (the normalization
+//!   baseline of Figures 1 and 3).
+//! * **Verify** — the paper's §III-A kernel verification: target kernels
+//!   run on the device *and* sequentially on the host (asynchronously
+//!   overlapped, post-demotion semantics), outputs are compared with a
+//!   configurable error margin, and the host's sequential results remain
+//!   canonical so errors never propagate.
+//!
+//! The module is split by concern:
+//!
+//! * [`mod@self`] — configuration types, the [`execute`] entry point, and
+//!   the [`RunResult`].
+//! * `env` — the `Env`-implementing execution environment that
+//!   dispatches lowered runtime ops (data regions, updates, checks).
+//! * `launch` — argument marshalling plus the Normal and CpuOnly kernel
+//!   launch paths.
+//! * `verified` — the §III-A verified launch, with the CPU reference
+//!   interpreter running on a real worker thread overlapped with the
+//!   simulated device execution.
+//! * `reduce` — reduction operator evaluation and partial-buffer folds.
+
+mod env;
+mod launch;
+mod reduce;
+#[cfg(test)]
+mod tests;
+mod verified;
+
+use crate::translate::Translated;
+use env::ExecEnv;
+pub use reduce::red_eval;
+
+use openarc_gpusim::{LaunchConfig, RaceReport};
+use openarc_runtime::Machine;
+use openarc_trace::Journal;
+use openarc_vm::interp::BasicEnv;
+use openarc_vm::{ThreadState, Value, VmError, GLOBALS_INIT};
+use std::collections::{BTreeSet, HashMap};
+
+/// §III-C application-knowledge assertion kinds.
+#[derive(Debug, Clone)]
+pub enum AssertKind {
+    /// Sum of all elements must be within `tol` of `expected`.
+    ChecksumWithin {
+        /// Expected checksum.
+        expected: f64,
+        /// Allowed absolute deviation.
+        tol: f64,
+    },
+    /// Every element must be finite.
+    AllFinite,
+    /// Every element must be `>= 0`.
+    NonNegative,
+}
+
+/// A user-provided kernel assertion (§III-C debug-assertion API).
+#[derive(Debug, Clone)]
+pub struct KernelAssertion {
+    /// Kernel name it applies to.
+    pub kernel: String,
+    /// Variable whose device result is checked.
+    pub var: String,
+    /// The predicate.
+    pub kind: AssertKind,
+}
+
+/// Kernel-verification configuration (§III-A).
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Kernels to verify (names). `None` = all.
+    pub targets: Option<BTreeSet<String>>,
+    /// Invert the target set (the paper's `complement=1`).
+    pub complement: bool,
+    /// Relative error tolerance.
+    pub rel_tol: f64,
+    /// Absolute error tolerance.
+    pub abs_tol: f64,
+    /// `minValueToCheck`: compare only when `|cpu| >=` this threshold.
+    pub min_value_to_check: f64,
+    /// §III-C user value bounds per variable: differences where both values
+    /// fall inside the bound are accepted.
+    pub bounds: HashMap<String, (f64, f64)>,
+    /// §III-C assertions evaluated on device results.
+    pub assertions: Vec<KernelAssertion>,
+    /// Async queue used for the demoted transfers/kernels.
+    pub queue: i64,
+    /// Run the CPU reference interpreter on a worker thread overlapped
+    /// with the simulated device execution (§III-A's async overlap as
+    /// actual host parallelism). Clock and journal reconciliation stay
+    /// deterministic either way; disable to force the single-threaded path.
+    pub overlap_reference: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            targets: None,
+            complement: false,
+            rel_tol: 1e-6,
+            abs_tol: 1e-9,
+            min_value_to_check: 0.0,
+            bounds: HashMap::new(),
+            assertions: Vec::new(),
+            queue: 1,
+            overlap_reference: true,
+        }
+    }
+}
+
+/// Identity of one transfer site for interactive edits: the report site
+/// label, the variable, and the direction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TransferKey {
+    /// Report site label (e.g. `update0`, `data_enter0`, `main_kernel2`).
+    pub site: String,
+    /// Variable name.
+    pub var: String,
+    /// True for host→device.
+    pub to_device: bool,
+}
+
+/// Programmer edits applied on top of the translated transfer plan — the
+/// concrete form of "modify data clauses in the input program according to
+/// the suggestions" (§IV-C).
+#[derive(Debug, Clone, Default)]
+pub struct TransferOverlay {
+    /// Transfers removed entirely (e.g. `copy` → `create`).
+    pub disable: std::collections::BTreeSet<TransferKey>,
+    /// Transfers moved after their enclosing loop (the Listing 4 deferral:
+    /// "the memory transfer can be deferred until the k-loop finishes").
+    pub defer: std::collections::BTreeSet<TransferKey>,
+}
+
+impl TransferOverlay {
+    /// Number of edits applied.
+    pub fn len(&self) -> usize {
+        self.disable.len() + self.defer.len()
+    }
+
+    /// True when no edits are applied.
+    pub fn is_empty(&self) -> bool {
+        self.disable.is_empty() && self.defer.is_empty()
+    }
+}
+
+/// Execution mode.
+#[derive(Debug, Clone, Default)]
+pub enum ExecMode {
+    /// Production run.
+    #[default]
+    Normal,
+    /// Sequential reference run.
+    CpuOnly,
+    /// Kernel verification run.
+    Verify(VerifyOptions),
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Mode.
+    pub mode: ExecMode,
+    /// Enable the coherence tracker (memory-transfer verification).
+    pub check_transfers: bool,
+    /// Device race oracle on/off.
+    pub race_detect: bool,
+    /// Device launch knobs.
+    pub launch: LaunchConfig,
+    /// Host instruction budget.
+    pub step_budget: u64,
+    /// Interactive transfer edits.
+    pub overlay: TransferOverlay,
+    /// Event journal threaded through the machine; disabled by default.
+    pub journal: Journal,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            mode: ExecMode::Normal,
+            check_transfers: false,
+            race_detect: true,
+            launch: LaunchConfig::default(),
+            step_budget: 5_000_000_000,
+            overlay: TransferOverlay::default(),
+            journal: Journal::disabled(),
+        }
+    }
+}
+
+/// Verification verdict for one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct KernelVerification {
+    /// Kernel name.
+    pub kernel: String,
+    /// Times the kernel was verified.
+    pub launches: u64,
+    /// Launches whose outputs diverged beyond the margin.
+    pub failed_launches: u64,
+    /// Elements compared in total.
+    pub compared_elems: u64,
+    /// Elements that diverged.
+    pub mismatched_elems: u64,
+    /// Largest absolute divergence seen.
+    pub max_abs_err: f64,
+    /// Assertion failures (§III-C).
+    pub assertion_failures: u64,
+}
+
+impl KernelVerification {
+    /// Did verification flag this kernel?
+    pub fn flagged(&self) -> bool {
+        self.failed_launches > 0 || self.assertion_failures > 0
+    }
+}
+
+/// Result of one execution.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The machine after the run (clock, stats, coherence report, memory).
+    pub machine: Machine,
+    /// Per-kernel verification outcomes (verify mode).
+    pub verify: Vec<KernelVerification>,
+    /// Races observed by the device oracle, per kernel name.
+    pub races: Vec<(String, RaceReport)>,
+    /// Total kernel launches.
+    pub kernel_launches: u64,
+    /// Host instructions interpreted.
+    pub host_instrs: u64,
+}
+
+impl RunResult {
+    /// Simulated wall-clock time, µs.
+    pub fn sim_time_us(&self) -> f64 {
+        self.machine.clock.now()
+    }
+
+    /// Read a named global scalar from the final host state.
+    pub fn global_scalar(&self, tr: &Translated, name: &str) -> Option<Value> {
+        let slot = tr.host_module.global_slot(name)?;
+        self.machine.host.globals.get(slot as usize).copied()
+    }
+
+    /// Snapshot a named global aggregate as f64s from the final host state.
+    pub fn global_array(&self, tr: &Translated, name: &str) -> Option<Vec<f64>> {
+        let slot = tr.host_module.global_slot(name)?;
+        match self.machine.host.globals.get(slot as usize)? {
+            Value::Ptr(h) if !h.is_null() => {
+                let buf = self.machine.host.mem.get(*h).ok()?;
+                Some(
+                    (0..buf.len())
+                        .map(|i| buf.get(i as u64).unwrap().as_f64())
+                        .collect(),
+                )
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Execute a translated program.
+pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError> {
+    let host = BasicEnv::for_module(&tr.host_module);
+    let mut machine = Machine::new(host, opts.check_transfers);
+    machine.device.race_detect = opts.race_detect;
+    machine.set_journal(opts.journal.clone());
+    let mut env = ExecEnv {
+        tr,
+        opts,
+        machine,
+        verify: tr
+            .kernels
+            .iter()
+            .map(|k| KernelVerification {
+                kernel: k.name.clone(),
+                ..Default::default()
+            })
+            .collect(),
+        races: Vec::new(),
+        pending_cpu: 0,
+        device_cells: HashMap::new(),
+        host_cells: HashMap::new(),
+        kernel_launches: 0,
+        deferred: Vec::new(),
+        region_active: HashMap::new(),
+    };
+
+    let mut t = ThreadState::new(&tr.host_module, GLOBALS_INIT, &[])?;
+    while !t.is_done() {
+        t.step(&tr.host_module, &mut env)?;
+    }
+    // `declare` clauses: program-lifetime device residency.
+    if !matches!(opts.mode, ExecMode::CpuOnly | ExecMode::Verify(_)) {
+        for a in &tr.declares {
+            if a.map {
+                let h = env.resolve(&a.var)?;
+                env.machine.map_to_device(h)?;
+                if a.copyin {
+                    env.do_copy(&a.var, "declare", true, None)?;
+                }
+            }
+        }
+    }
+    let mut t = ThreadState::new(&tr.host_module, "main", &[])?;
+    let mut steps: u64 = 0;
+    while !t.is_done() {
+        t.step(&tr.host_module, &mut env)?;
+        env.pending_cpu += 1;
+        steps += 1;
+        if steps > opts.step_budget {
+            return Err(VmError::StepLimit(opts.step_budget));
+        }
+    }
+    env.flush_cpu();
+    if !matches!(opts.mode, ExecMode::CpuOnly | ExecMode::Verify(_)) {
+        for a in &tr.declares {
+            if a.map {
+                if a.copyout {
+                    env.do_copy(&a.var, "declare", false, None)?;
+                }
+                let h = env.resolve(&a.var)?;
+                env.machine.unmap_from_device(h)?;
+            }
+        }
+    }
+    env.machine.clock.wait_all();
+    Ok(RunResult {
+        machine: env.machine,
+        verify: env.verify,
+        races: env.races,
+        kernel_launches: env.kernel_launches,
+        host_instrs: steps,
+    })
+}

@@ -1,0 +1,266 @@
+//! Verified launch (§III-A): demoted transfers, GPU execution overlapped
+//! with the sequential CPU reference, comparison, CPU results canonical.
+//!
+//! The paper overlaps the asynchronous device kernel with the host's
+//! sequential re-execution. Here that overlap is *actual host parallelism*:
+//! the simulated device launch runs on a `std::thread::scope` worker while
+//! the CPU reference interpreter runs on the calling thread. The two touch
+//! disjoint machine state (device memory vs. host memory), and every clock
+//! charge and journal emission happens after the join in a fixed order, so
+//! simulated time, the Figure-3 breakdown, and the event journal are
+//! bit-identical to the single-threaded path
+//! ([`VerifyOptions::overlap_reference`]` = false`).
+
+use super::env::ExecEnv;
+use super::reduce::red_eval;
+use super::{AssertKind, VerifyOptions};
+use openarc_gpusim::{launch, KernelOutcome, TimeCategory};
+use openarc_vm::interp::BasicEnv;
+use openarc_vm::{Module, ThreadState, Value, VmError};
+
+/// Run the sequential reference function against host memory only. The
+/// `__seq_*` fallbacks touch nothing but their parameters and globals, so
+/// the bare [`BasicEnv`] is a sufficient (and thread-confined) environment.
+fn run_reference(
+    host: &mut BasicEnv,
+    module: &Module,
+    name: &str,
+    args: &[Value],
+) -> Result<u64, VmError> {
+    let mut t = ThreadState::new(module, name, args)?;
+    while !t.is_done() {
+        t.step(module, host)?;
+    }
+    Ok(t.steps)
+}
+
+impl ExecEnv<'_> {
+    /// Verified launch (§III-A): demoted transfers, async GPU + sequential
+    /// CPU reference, comparison, CPU results stay canonical.
+    pub(super) fn launch_verified(&mut self, k: usize, v: &VerifyOptions) -> Result<(), VmError> {
+        let info = self.tr.kernels[k].clone();
+        let n = self.n_threads(k)?;
+        let q = v.queue;
+        // Demotion: copy in *everything* the kernel touches.
+        let mut touched: Vec<String> = info.gpu_reads.clone();
+        for w in &info.gpu_writes {
+            if !touched.contains(w) {
+                touched.push(w.clone());
+            }
+        }
+        for var in &touched {
+            let h = self.resolve(var)?;
+            self.machine.map_to_device(h)?;
+            // Staging transfers are charged synchronously (they appear as
+            // the Mem Transfer component of Figure 3); the kernel itself
+            // runs asynchronously and overlaps the CPU reference.
+            self.machine
+                .copy_to_device(h, &format!("{}_verify", info.name), None)?;
+        }
+        // Marshal both sides up front — argument building mutates host and
+        // device memory, so it stays on this thread.
+        let (args, dreds, dtemps, dcells) = self.build_args(k, n, true)?;
+        let cfg = self.launch_cfg(k);
+        let (mut hargs, hreds, htemps, hcells) = self.build_args(k, n, false)?;
+        hargs.insert(0, Value::Int(n as i64));
+
+        // Device run and CPU reference, overlapped. The worker gets the
+        // device half of the machine; the reference interpreter gets the
+        // host half. Clock charges land after the join, in the same order
+        // as the sequential path.
+        let (outcome, steps): (KernelOutcome, u64) = if v.overlap_reference {
+            let device = &mut self.machine.device;
+            let host = &mut self.machine.host;
+            let kernel_module = &self.tr.kernel_module;
+            let host_module = &self.tr.host_module;
+            let (dev_res, host_res) = std::thread::scope(|scope| {
+                let dev = scope.spawn(|| launch(device, kernel_module, &info.name, &args, n, &cfg));
+                let host_res = run_reference(host, host_module, &info.seq_name, &hargs);
+                (dev.join().expect("device worker panicked"), host_res)
+            });
+            (dev_res?, host_res?)
+        } else {
+            let outcome = launch(
+                &mut self.machine.device,
+                &self.tr.kernel_module,
+                &info.name,
+                &args,
+                n,
+                &cfg,
+            )?;
+            let steps = self.run_host_fn(&info.seq_name, &hargs)?;
+            (outcome, steps)
+        };
+        for r in outcome.races.clone() {
+            self.races.push((info.name.clone(), r));
+        }
+        self.machine
+            .charge_kernel_named(&info.name, &outcome, Some(q));
+        self.machine.charge_cpu(steps);
+        // Synchronize before comparing.
+        self.machine.clock.wait(q);
+
+        // Compare written aggregates element-wise.
+        let rec = &mut self.verify[k];
+        rec.launches += 1;
+        let mut mismatches = 0u64;
+        let mut compared = 0u64;
+        let mut max_err = 0f64;
+        for var in &info.gpu_writes {
+            let host_h =
+                self.machine.host.globals[self.tr.host_module.global_slot(var).unwrap() as usize];
+            let Value::Ptr(host_h) = host_h else { continue };
+            let dev_h = self.machine.device_of(host_h)?;
+            let hbuf = self.machine.host.mem.get(host_h)?.clone();
+            let dbuf = self.machine.device.mem.get(dev_h)?.clone();
+            let bound = v.bounds.get(var).copied().or_else(|| {
+                info.knowledge
+                    .bounds
+                    .iter()
+                    .find(|b| b.var == *var)
+                    .map(|b| (b.lo, b.hi))
+            });
+            for i in 0..hbuf.len() as u64 {
+                let c = hbuf.get(i)?.as_f64();
+                let g = dbuf.get(i)?.as_f64();
+                if c.abs() < v.min_value_to_check {
+                    continue;
+                }
+                compared += 1;
+                let err = (c - g).abs();
+                if err > v.abs_tol + v.rel_tol * c.abs() {
+                    // User-specified value bounds can absolve the diff.
+                    if let Some((lo, hi)) = bound {
+                        if c >= lo && c <= hi && g >= lo && g <= hi {
+                            continue;
+                        }
+                    }
+                    mismatches += 1;
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+            }
+        }
+        // Reductions: compare scalar results; CPU value stays canonical.
+        for ((var, op, dbuf), (_, _, hbuf)) in dreds.iter().zip(&hreds) {
+            let gpu_val = self.fold_device(*dbuf, *op, n)?;
+            let cpu_val = self.fold_host(*hbuf, *op, n)?;
+            let init = self.scalar_value(var)?;
+            let cpu_final = red_eval(*op, init, cpu_val)?;
+            let gpu_final = red_eval(*op, init, gpu_val)?;
+            let (c, g) = (cpu_final.as_f64(), gpu_final.as_f64());
+            if c.abs() >= v.min_value_to_check {
+                compared += 1;
+                let err = (c - g).abs();
+                if err > v.abs_tol + v.rel_tol * c.abs() {
+                    mismatches += 1;
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+            }
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, cpu_final.cast(elem))?;
+        }
+        // Falsely-shared global scalars: compare the device cell against
+        // the sequential cell; the CPU value stays canonical.
+        for ((var, dh), (_, hh)) in dcells.iter().zip(&hcells) {
+            let g = self.machine.device.mem.load(*dh, 0)?.as_f64();
+            let c = self.machine.host.mem.load(*hh, 0)?.as_f64();
+            if c.abs() >= v.min_value_to_check {
+                compared += 1;
+                let err = (c - g).abs();
+                if err > v.abs_tol + v.rel_tol * c.abs() {
+                    mismatches += 1;
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+            }
+            let elem = self.scalar_elem_of(var);
+            self.store_scalar(var, Value::F64(c).cast(elem))?;
+        }
+        // §III-C assertions on the device results: API-supplied ones plus
+        // any `openarc verify assert_*` pragmas attached to the kernel.
+        let mut checks: Vec<(String, AssertKind)> = v
+            .assertions
+            .iter()
+            .filter(|a| a.kernel == info.name)
+            .map(|a| (a.var.clone(), a.kind.clone()))
+            .collect();
+        for ka in &info.knowledge.asserts {
+            let kind = match ka {
+                crate::knowledge::KernelAssert::ChecksumWithin { expected, tol, .. } => {
+                    AssertKind::ChecksumWithin {
+                        expected: *expected,
+                        tol: *tol,
+                    }
+                }
+                crate::knowledge::KernelAssert::AllFinite { .. } => AssertKind::AllFinite,
+                crate::knowledge::KernelAssert::NonNegative { .. } => AssertKind::NonNegative,
+            };
+            checks.push((ka.var().to_string(), kind));
+        }
+        let mut assertion_failures = 0u64;
+        for (var, kind) in &checks {
+            if let Ok(host_h) = self.resolve(var) {
+                if let Ok(dev_h) = self.machine.device_of(host_h) {
+                    let dbuf = self.machine.device.mem.get(dev_h)?.clone();
+                    let vals: Vec<f64> = (0..dbuf.len() as u64)
+                        .map(|i| dbuf.get(i).unwrap().as_f64())
+                        .collect();
+                    let ok = match kind {
+                        AssertKind::ChecksumWithin { expected, tol } => {
+                            (vals.iter().sum::<f64>() - expected).abs() <= *tol
+                        }
+                        AssertKind::AllFinite => vals.iter().all(|x| x.is_finite()),
+                        AssertKind::NonNegative => vals.iter().all(|x| *x >= 0.0),
+                    };
+                    if !ok {
+                        assertion_failures += 1;
+                    }
+                }
+            }
+        }
+        // Charge the result comparison (~2 interpreted instrs per element).
+        let dt = self.machine.cost.cpu_time(compared * 2);
+        self.machine.clock.advance(TimeCategory::ResultComp, dt);
+
+        let rec = &mut self.verify[k];
+        rec.compared_elems += compared;
+        rec.mismatched_elems += mismatches;
+        rec.max_abs_err = rec.max_abs_err.max(max_err);
+        rec.assertion_failures += assertion_failures;
+        if mismatches > 0 {
+            rec.failed_launches += 1;
+        }
+        if self.machine.journal().is_enabled() {
+            self.machine.clock.journal.emit(openarc_trace::TraceEvent {
+                ts_us: self.machine.clock.now(),
+                dur_us: 0.0,
+                track: openarc_trace::Track::Host,
+                kind: openarc_trace::EventKind::Verification {
+                    kernel: info.name.clone(),
+                    passed: mismatches == 0 && assertion_failures == 0,
+                    compared_elems: compared,
+                    mismatched_elems: mismatches,
+                    max_abs_err: max_err,
+                },
+            });
+        }
+
+        // Discard device results: free temporaries, unmap everything.
+        for t in dtemps {
+            self.machine.device.mem.free(t)?;
+        }
+        for t in htemps {
+            self.machine.host.mem.free(t)?;
+        }
+        for var in &touched {
+            let h = self.resolve(var)?;
+            self.machine.unmap_from_device(h)?;
+        }
+        Ok(())
+    }
+}

@@ -26,6 +26,8 @@ pub mod interactive;
 pub mod ir;
 pub mod knowledge;
 pub mod options;
+pub mod pipeline;
+pub mod sched;
 pub mod translate;
 pub mod verify;
 
@@ -38,5 +40,7 @@ pub use interactive::{optimize_transfers, InteractiveOutcome, OutputSpec};
 pub use ir::{DataAction, KernelInfo, KernelParam, RtOp};
 pub use knowledge::{KernelAssert, KernelBound, KernelKnowledge};
 pub use options::{parse_verification_options, verification_options_from_env};
+pub use pipeline::{PipelineRun, PipelineStats, Session, Stage};
+pub use sched::{parse_jobs, run_tasks};
 pub use translate::{translate, TranslateOptions, Translated};
 pub use verify::{demote_source, verify_kernels, VerificationReport};

@@ -1,0 +1,879 @@
+//! Staged execution pipeline with content-addressed artifact reuse.
+//!
+//! The paper's workflow is interactive: the user runs the same program over
+//! and over while toggling verification targets, error margins, transfer
+//! overlays, and optimization variants. Re-running `frontend → translate →
+//! execute` from scratch each round repeats work whose inputs did not
+//! change. This module decomposes the run flow into explicit stages
+//!
+//! ```text
+//! Frontend → Directives → Analysis → Instrument → Plan → Execute → Verify
+//! ```
+//!
+//! where each stage produces a typed **artifact** carrying a content hash
+//! ([`ArtifactId`], FNV-1a over the stage inputs). A [`Session`] memoizes
+//! artifacts by id: the same source re-entered with different
+//! [`ExecOptions`] reuses the parse and the translation; the same options
+//! reuse the run itself. Per-stage hit/miss counters ([`Session::stats`])
+//! make the reuse observable and testable.
+//!
+//! Stage meanings:
+//!
+//! * **Frontend** — parse + semantic check ([`openarc_minic::frontend`]).
+//! * **Directives** — OpenACC pragma collection/census over the AST.
+//! * **Analysis** — translation *without* instrumentation: dataflow,
+//!   privatization/reduction recognition, kernel extraction.
+//! * **Instrument** — translation *with* §III-B instrumentation; consulted
+//!   only when [`TranslateOptions::instrument`] is set (otherwise the
+//!   Analysis artifact is the translation).
+//! * **Plan** — binding of a translation to one [`ExecOptions`]
+//!   fingerprint; decides run-cache eligibility.
+//! * **Execute** — the simulated run ([`RunResult`]), cached only when the
+//!   event journal is disabled (a journaling run's observable output is the
+//!   journal side effect, which a cache hit would skip).
+//! * **Verify** — the §III-A report: CPU baseline + verification run, both
+//!   routed through the Execute stage so they cache independently.
+//!
+//! All caches sit behind [`Mutex`]es and artifacts are shared via [`Arc`],
+//! so one `Session` can be driven from many scheduler workers
+//! ([`crate::sched`]) at once; locks are never held across stage work, so
+//! concurrent misses compute in parallel (last insert wins).
+
+use crate::exec::{execute, ExecMode, ExecOptions, RunResult, VerifyOptions};
+use crate::translate::{translate, TranslateOptions, Translated};
+use crate::verify::{VerificationReport, VerifyError};
+use openarc_minic::ast::{walk_stmts, Item};
+use openarc_minic::span::Diagnostic;
+use openarc_minic::{frontend, print_program, Program, Sema};
+use openarc_openacc::{directives_of, Directive};
+use openarc_vm::VmError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------------
+
+/// Content hash identifying one stage artifact (FNV-1a, 64-bit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactId(pub u64);
+
+impl std::fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a hasher (std-only; `DefaultHasher` is not stable
+/// across releases, and artifact ids appear in reports).
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64`.
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorb an `f64` by bit pattern (exact, `-0.0 != 0.0`).
+    pub fn write_f64(&mut self, v: f64) -> &mut Fnv {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorb a bool.
+    pub fn write_bool(&mut self, v: bool) -> &mut Fnv {
+        self.write(&[v as u8])
+    }
+
+    /// Absorb a length-prefixed string (prefix prevents concatenation
+    /// collisions between adjacent fields).
+    pub fn write_str(&mut self, s: &str) -> &mut Fnv {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+fn combine(a: u64, b: u64) -> u64 {
+    Fnv::new().write_u64(a).write_u64(b).finish()
+}
+
+fn fp_translate_options(o: &TranslateOptions) -> u64 {
+    let mut h = Fnv::new();
+    h.write_bool(o.instrument)
+        .write_bool(o.optimize_checks)
+        .write_bool(o.hoist_gpu_checks)
+        .write_bool(o.auto_privatize)
+        .write_bool(o.auto_reduction)
+        .write_bool(o.validate);
+    h.write_u64(o.ignored_update_stmts.len() as u64);
+    for id in &o.ignored_update_stmts {
+        h.write_u64(*id as u64);
+    }
+    h.finish()
+}
+
+fn fp_verify_options(h: &mut Fnv, v: &VerifyOptions) {
+    match &v.targets {
+        None => {
+            h.write_bool(false);
+        }
+        Some(set) => {
+            h.write_bool(true).write_u64(set.len() as u64);
+            for t in set {
+                h.write_str(t);
+            }
+        }
+    }
+    h.write_bool(v.complement)
+        .write_f64(v.rel_tol)
+        .write_f64(v.abs_tol)
+        .write_f64(v.min_value_to_check);
+    let bounds: std::collections::BTreeMap<_, _> = v.bounds.iter().collect();
+    h.write_u64(bounds.len() as u64);
+    for (var, (lo, hi)) in bounds {
+        h.write_str(var).write_f64(*lo).write_f64(*hi);
+    }
+    h.write_u64(v.assertions.len() as u64);
+    for a in &v.assertions {
+        h.write_str(&a.kernel).write_str(&a.var);
+        match &a.kind {
+            crate::exec::AssertKind::ChecksumWithin { expected, tol } => {
+                h.write_u64(0).write_f64(*expected).write_f64(*tol);
+            }
+            crate::exec::AssertKind::AllFinite => {
+                h.write_u64(1);
+            }
+            crate::exec::AssertKind::NonNegative => {
+                h.write_u64(2);
+            }
+        }
+    }
+    h.write_u64(v.queue as u64).write_bool(v.overlap_reference);
+}
+
+fn fp_exec_options(o: &ExecOptions) -> u64 {
+    let mut h = Fnv::new();
+    match &o.mode {
+        ExecMode::Normal => {
+            h.write_u64(0);
+        }
+        ExecMode::CpuOnly => {
+            h.write_u64(1);
+        }
+        ExecMode::Verify(v) => {
+            h.write_u64(2);
+            fp_verify_options(&mut h, v);
+        }
+    }
+    h.write_bool(o.check_transfers)
+        .write_bool(o.race_detect)
+        .write_u64(o.launch.wave as u64)
+        .write_u64(o.launch.step_budget)
+        .write_u64(o.step_budget);
+    h.write_u64(o.overlay.disable.len() as u64);
+    for k in &o.overlay.disable {
+        h.write_str(&k.site)
+            .write_str(&k.var)
+            .write_bool(k.to_device);
+    }
+    h.write_u64(o.overlay.defer.len() as u64);
+    for k in &o.overlay.defer {
+        h.write_str(&k.site)
+            .write_str(&k.var)
+            .write_bool(k.to_device);
+    }
+    h.write_bool(o.journal.is_enabled());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Stage artifacts
+// ---------------------------------------------------------------------------
+
+/// Frontend artifact: checked AST + semantic tables, keyed by source hash.
+#[derive(Debug)]
+pub struct FrontendArtifact {
+    /// Content hash of the source text (or of the printed program when
+    /// built from a pre-parsed AST).
+    pub id: ArtifactId,
+    /// Parsed program.
+    pub program: Program,
+    /// Semantic tables.
+    pub sema: Sema,
+}
+
+/// Directive census over one program (the Directives stage artifact).
+#[derive(Debug, Clone, Default)]
+pub struct DirectiveSummary {
+    /// Artifact id (derived from the frontend artifact).
+    pub id: ArtifactId,
+    /// Compute constructs (`kernels` / `parallel`).
+    pub compute: usize,
+    /// Structured `data` regions.
+    pub data: usize,
+    /// Orphaned `loop` directives.
+    pub loops: usize,
+    /// `host_data` constructs.
+    pub host_data: usize,
+    /// Executable `update` directives.
+    pub updates: usize,
+    /// `wait` directives.
+    pub waits: usize,
+    /// `declare` directives.
+    pub declares: usize,
+    /// `cache` hints.
+    pub caches: usize,
+}
+
+impl DirectiveSummary {
+    /// Total directives counted.
+    pub fn total(&self) -> usize {
+        self.compute
+            + self.data
+            + self.loops
+            + self.host_data
+            + self.updates
+            + self.waits
+            + self.declares
+            + self.caches
+    }
+}
+
+/// Translation artifact (Analysis or Instrument stage).
+#[derive(Debug)]
+pub struct TranslatedArtifact {
+    /// Content hash: frontend id × translate-options fingerprint.
+    pub id: ArtifactId,
+    /// Whether this is the instrumented (§III-B) translation.
+    pub instrumented: bool,
+    /// The translation output.
+    pub tr: Translated,
+}
+
+/// Plan artifact: one translation bound to one [`ExecOptions`] fingerprint.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    /// Content hash: translation id × exec-options fingerprint.
+    pub id: ArtifactId,
+    /// Translation this plan executes.
+    pub translated: ArtifactId,
+    /// Human-readable mode label (`normal` / `cpu` / `verify`).
+    pub mode: &'static str,
+    /// Whether the Execute stage may serve this plan from cache (false when
+    /// the run would journal events — the journal is a side effect a cache
+    /// hit would silently skip).
+    pub cacheable: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Stage bookkeeping
+// ---------------------------------------------------------------------------
+
+/// Pipeline stages, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Parse + semantic check.
+    Frontend,
+    /// OpenACC directive census.
+    Directives,
+    /// Uninstrumented translation (dataflow, kernel extraction).
+    Analysis,
+    /// Instrumented translation (§III-B checks inserted).
+    Instrument,
+    /// Translation × options binding.
+    Plan,
+    /// Simulated run.
+    Execute,
+    /// §III-A verification report.
+    Verify,
+}
+
+impl Stage {
+    /// All stages, pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Frontend,
+        Stage::Directives,
+        Stage::Analysis,
+        Stage::Instrument,
+        Stage::Plan,
+        Stage::Execute,
+        Stage::Verify,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Frontend => "frontend",
+            Stage::Directives => "directives",
+            Stage::Analysis => "analysis",
+            Stage::Instrument => "instrument",
+            Stage::Plan => "plan",
+            Stage::Execute => "execute",
+            Stage::Verify => "verify",
+        }
+    }
+}
+
+/// Hit/miss counters for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that ran the stage.
+    pub misses: u64,
+}
+
+/// Snapshot of a session's per-stage cache behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Counters indexed like [`Stage::ALL`].
+    pub stages: [StageCounts; 7],
+}
+
+impl PipelineStats {
+    /// Counters for one stage.
+    pub fn get(&self, s: Stage) -> StageCounts {
+        self.stages[Stage::ALL.iter().position(|x| *x == s).unwrap()]
+    }
+}
+
+impl std::fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<12} {:>6} {:>6}", "stage", "hits", "misses")?;
+        for s in Stage::ALL {
+            let c = self.get(s);
+            writeln!(f, "{:<12} {:>6} {:>6}", s.label(), c.hits, c.misses)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct StageMeters {
+    hits: [AtomicU64; 7],
+    misses: [AtomicU64; 7],
+}
+
+impl StageMeters {
+    fn idx(s: Stage) -> usize {
+        Stage::ALL.iter().position(|x| *x == s).unwrap()
+    }
+
+    fn hit(&self, s: Stage) {
+        self.hits[Self::idx(s)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self, s: Stage) {
+        self.misses[Self::idx(s)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> PipelineStats {
+        let mut out = PipelineStats::default();
+        for i in 0..7 {
+            out.stages[i] = StageCounts {
+                hits: self.hits[i].load(Ordering::Relaxed),
+                misses: self.misses[i].load(Ordering::Relaxed),
+            };
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors from end-to-end pipeline runs.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Parse or semantic-check failure.
+    Frontend(Vec<Diagnostic>),
+    /// Translation failure.
+    Translate(Vec<Diagnostic>),
+    /// Execution failure.
+    Run(VmError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Frontend(ds) => {
+                write!(f, "frontend failed:")?;
+                for d in ds {
+                    write!(f, " {d}")?;
+                }
+                Ok(())
+            }
+            PipelineError::Translate(ds) => {
+                write!(f, "translation failed:")?;
+                for d in ds {
+                    write!(f, " {d}")?;
+                }
+                Ok(())
+            }
+            PipelineError::Run(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A pipeline session: stage caches + counters, shareable across threads.
+///
+/// ```
+/// use openarc_core::pipeline::{Session, Stage};
+/// use openarc_core::exec::{ExecMode, ExecOptions};
+/// use openarc_core::translate::TranslateOptions;
+/// let src = "double a[8];\nvoid main() {\n int j;\n #pragma acc kernels loop gang\n for (j = 0; j < 8; j++) { a[j] = 1.0; }\n}";
+/// let session = Session::new();
+/// let run1 = session.run_source(src, &TranslateOptions::default(), &ExecOptions::default()).unwrap();
+/// // Same source, different options: frontend + translation are reused.
+/// let cpu = ExecOptions { mode: ExecMode::CpuOnly, ..Default::default() };
+/// let run2 = session.run_source(src, &TranslateOptions::default(), &cpu).unwrap();
+/// let stats = session.stats();
+/// assert_eq!(stats.get(Stage::Frontend).hits, 1);
+/// assert_eq!(stats.get(Stage::Analysis).hits, 1);
+/// assert_eq!(stats.get(Stage::Execute).misses, 2);
+/// assert!(run1.result.sim_time_us() > run2.result.sim_time_us());
+/// ```
+#[derive(Default)]
+pub struct Session {
+    meters: StageMeters,
+    frontends: Mutex<HashMap<u64, Arc<FrontendArtifact>>>,
+    directives: Mutex<HashMap<u64, Arc<DirectiveSummary>>>,
+    translations: Mutex<HashMap<u64, Arc<TranslatedArtifact>>>,
+    plans: Mutex<HashMap<u64, ExecPlan>>,
+    runs: Mutex<HashMap<u64, Arc<RunResult>>>,
+    verifications: Mutex<HashMap<u64, Arc<VerificationReport>>>,
+}
+
+/// One end-to-end pipeline run: the translation used plus the run result.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Frontend artifact (parse reused across runs).
+    pub frontend: Arc<FrontendArtifact>,
+    /// Translation artifact (Analysis or Instrument stage output).
+    pub translated: Arc<TranslatedArtifact>,
+    /// Plan the Execute stage ran (or served from cache).
+    pub plan: ExecPlan,
+    /// The run.
+    pub result: Arc<RunResult>,
+}
+
+impl Session {
+    /// Fresh session with empty caches.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Frontend stage: parse + check `src`, cached by source hash.
+    pub fn frontend(&self, src: &str) -> Result<Arc<FrontendArtifact>, Vec<Diagnostic>> {
+        let key = Fnv::new().write_str(src).finish();
+        if let Some(fe) = self.frontends.lock().unwrap().get(&key) {
+            self.meters.hit(Stage::Frontend);
+            return Ok(fe.clone());
+        }
+        self.meters.miss(Stage::Frontend);
+        let (program, sema) = frontend(src)?;
+        let fe = Arc::new(FrontendArtifact {
+            id: ArtifactId(key),
+            program,
+            sema,
+        });
+        self.frontends.lock().unwrap().insert(key, fe.clone());
+        Ok(fe)
+    }
+
+    /// Frontend stage for a pre-parsed program (e.g. one produced by a
+    /// source-to-source transform such as [`crate::strip_privatization`]),
+    /// keyed by the printed program text.
+    pub fn frontend_program(&self, program: Program, sema: Sema) -> Arc<FrontendArtifact> {
+        let key = Fnv::new().write_str(&print_program(&program)).finish();
+        if let Some(fe) = self.frontends.lock().unwrap().get(&key) {
+            self.meters.hit(Stage::Frontend);
+            return fe.clone();
+        }
+        self.meters.miss(Stage::Frontend);
+        let fe = Arc::new(FrontendArtifact {
+            id: ArtifactId(key),
+            program,
+            sema,
+        });
+        self.frontends.lock().unwrap().insert(key, fe.clone());
+        fe
+    }
+
+    /// Directives stage: census of the OpenACC pragmas in the program.
+    pub fn directives(&self, fe: &FrontendArtifact) -> Result<Arc<DirectiveSummary>, Diagnostic> {
+        let key = combine(fe.id.0, 0xd1ec);
+        if let Some(d) = self.directives.lock().unwrap().get(&key) {
+            self.meters.hit(Stage::Directives);
+            return Ok(d.clone());
+        }
+        self.meters.miss(Stage::Directives);
+        let mut sum = DirectiveSummary {
+            id: ArtifactId(key),
+            ..Default::default()
+        };
+        let mut err = None;
+        for item in &fe.program.items {
+            if let Item::Func(f) = item {
+                walk_stmts(&f.body, &mut |s| match directives_of(s) {
+                    Ok(ds) => {
+                        for (d, _) in ds {
+                            match d {
+                                Directive::Compute(_) => sum.compute += 1,
+                                Directive::Data(_) => sum.data += 1,
+                                Directive::Loop(_) => sum.loops += 1,
+                                Directive::HostData { .. } => sum.host_data += 1,
+                                Directive::Update(_) => sum.updates += 1,
+                                Directive::Wait(_) => sum.waits += 1,
+                                Directive::Declare(_) => sum.declares += 1,
+                                Directive::Cache(_) => sum.caches += 1,
+                            }
+                        }
+                    }
+                    Err(d) => {
+                        if err.is_none() {
+                            err = Some(d);
+                        }
+                    }
+                });
+            }
+        }
+        if let Some(d) = err {
+            return Err(d);
+        }
+        let sum = Arc::new(sum);
+        self.directives.lock().unwrap().insert(key, sum.clone());
+        Ok(sum)
+    }
+
+    /// Analysis/Instrument stage: translate under `topts`, cached by
+    /// frontend id × options fingerprint. Instrumented translations are
+    /// metered as the Instrument stage, plain ones as Analysis.
+    pub fn translate(
+        &self,
+        fe: &FrontendArtifact,
+        topts: &TranslateOptions,
+    ) -> Result<Arc<TranslatedArtifact>, Vec<Diagnostic>> {
+        let stage = if topts.instrument {
+            Stage::Instrument
+        } else {
+            Stage::Analysis
+        };
+        let key = combine(fe.id.0, fp_translate_options(topts));
+        if let Some(tr) = self.translations.lock().unwrap().get(&key) {
+            self.meters.hit(stage);
+            return Ok(tr.clone());
+        }
+        self.meters.miss(stage);
+        let tr = translate(&fe.program, &fe.sema, topts)?;
+        let art = Arc::new(TranslatedArtifact {
+            id: ArtifactId(key),
+            instrumented: topts.instrument,
+            tr,
+        });
+        self.translations.lock().unwrap().insert(key, art.clone());
+        Ok(art)
+    }
+
+    /// Plan stage: bind a translation to one options fingerprint.
+    pub fn plan(&self, tr: &TranslatedArtifact, eopts: &ExecOptions) -> ExecPlan {
+        let key = combine(tr.id.0, fp_exec_options(eopts));
+        if let Some(p) = self.plans.lock().unwrap().get(&key) {
+            self.meters.hit(Stage::Plan);
+            return p.clone();
+        }
+        self.meters.miss(Stage::Plan);
+        let plan = ExecPlan {
+            id: ArtifactId(key),
+            translated: tr.id,
+            mode: match eopts.mode {
+                ExecMode::Normal => "normal",
+                ExecMode::CpuOnly => "cpu",
+                ExecMode::Verify(_) => "verify",
+            },
+            cacheable: !eopts.journal.is_enabled(),
+        };
+        self.plans.lock().unwrap().insert(key, plan.clone());
+        plan
+    }
+
+    /// Execute stage: run the plan, serving repeats from cache when the
+    /// plan is cacheable (journal disabled).
+    pub fn execute(
+        &self,
+        tr: &TranslatedArtifact,
+        eopts: &ExecOptions,
+    ) -> Result<Arc<RunResult>, VmError> {
+        let plan = self.plan(tr, eopts);
+        self.execute_plan(tr, eopts, &plan)
+    }
+
+    /// Execute stage against an already-materialized plan (avoids metering
+    /// the Plan stage twice when the caller holds the plan).
+    fn execute_plan(
+        &self,
+        tr: &TranslatedArtifact,
+        eopts: &ExecOptions,
+        plan: &ExecPlan,
+    ) -> Result<Arc<RunResult>, VmError> {
+        if plan.cacheable {
+            if let Some(r) = self.runs.lock().unwrap().get(&plan.id.0) {
+                self.meters.hit(Stage::Execute);
+                return Ok(r.clone());
+            }
+        }
+        self.meters.miss(Stage::Execute);
+        let r = Arc::new(execute(&tr.tr, eopts)?);
+        if plan.cacheable {
+            self.runs.lock().unwrap().insert(plan.id.0, r.clone());
+        }
+        Ok(r)
+    }
+
+    /// Verify stage: §III-A report (CPU baseline + verification run), both
+    /// legs routed through the Execute stage so they cache independently.
+    /// Mirrors [`crate::verify::verify_kernels`].
+    pub fn verify(
+        &self,
+        fe: &FrontendArtifact,
+        topts: &TranslateOptions,
+        vopts: VerifyOptions,
+    ) -> Result<(Arc<TranslatedArtifact>, Arc<VerificationReport>), VerifyError> {
+        let tr = self.translate(fe, topts).map_err(VerifyError::Translate)?;
+        let vrun_opts = ExecOptions {
+            mode: ExecMode::Verify(vopts),
+            ..Default::default()
+        };
+        let key = combine(tr.id.0, fp_exec_options(&vrun_opts));
+        if let Some(rep) = self.verifications.lock().unwrap().get(&key) {
+            self.meters.hit(Stage::Verify);
+            return Ok((tr, rep.clone()));
+        }
+        self.meters.miss(Stage::Verify);
+        let base = self
+            .execute(
+                &tr,
+                &ExecOptions {
+                    mode: ExecMode::CpuOnly,
+                    race_detect: false,
+                    ..Default::default()
+                },
+            )
+            .map_err(VerifyError::Run)?;
+        let run = self.execute(&tr, &vrun_opts).map_err(VerifyError::Run)?;
+        let rep = Arc::new(VerificationReport {
+            kernels: run.verify.clone(),
+            breakdown: run.machine.clock.breakdown.clone(),
+            cpu_baseline_us: base.sim_time_us(),
+            races: run.races.clone(),
+        });
+        self.verifications.lock().unwrap().insert(key, rep.clone());
+        Ok((tr, rep))
+    }
+
+    /// End-to-end convenience: frontend → translate → execute.
+    pub fn run_source(
+        &self,
+        src: &str,
+        topts: &TranslateOptions,
+        eopts: &ExecOptions,
+    ) -> Result<PipelineRun, PipelineError> {
+        let fe = self.frontend(src).map_err(PipelineError::Frontend)?;
+        let tr = self
+            .translate(&fe, topts)
+            .map_err(PipelineError::Translate)?;
+        let plan = self.plan(&tr, eopts);
+        let result = self
+            .execute_plan(&tr, eopts, &plan)
+            .map_err(PipelineError::Run)?;
+        Ok(PipelineRun {
+            frontend: fe,
+            translated: tr,
+            plan,
+            result,
+        })
+    }
+
+    /// Per-stage hit/miss counters accumulated so far.
+    pub fn stats(&self) -> PipelineStats {
+        self.meters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::TransferOverlay;
+
+    const SRC: &str = "double q[32];\ndouble w[32];\nvoid main() {\n int j;\n for (j = 0; j < 32; j++) { w[j] = (double) j; }\n #pragma acc data copyin(w) copyout(q)\n {\n  #pragma acc kernels loop gang\n  for (j = 0; j < 32; j++) { q[j] = w[j] * 3.0; }\n }\n}";
+
+    #[test]
+    fn same_source_different_options_reuses_translation() {
+        let s = Session::new();
+        let topts = TranslateOptions::default();
+        s.run_source(SRC, &topts, &ExecOptions::default()).unwrap();
+        let cpu = ExecOptions {
+            mode: ExecMode::CpuOnly,
+            ..Default::default()
+        };
+        s.run_source(SRC, &topts, &cpu).unwrap();
+        let st = s.stats();
+        assert_eq!(st.get(Stage::Frontend), StageCounts { hits: 1, misses: 1 });
+        assert_eq!(st.get(Stage::Analysis), StageCounts { hits: 1, misses: 1 });
+        // Different exec fingerprints: two plans, two real runs.
+        assert_eq!(st.get(Stage::Plan).misses, 2);
+        assert_eq!(st.get(Stage::Execute), StageCounts { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn identical_request_hits_the_run_cache() {
+        let s = Session::new();
+        let topts = TranslateOptions::default();
+        let a = s.run_source(SRC, &topts, &ExecOptions::default()).unwrap();
+        let b = s.run_source(SRC, &topts, &ExecOptions::default()).unwrap();
+        assert!(
+            Arc::ptr_eq(&a.result, &b.result),
+            "second run served from cache"
+        );
+        let st = s.stats();
+        assert_eq!(st.get(Stage::Execute), StageCounts { hits: 1, misses: 1 });
+        assert_eq!(st.get(Stage::Plan), StageCounts { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn journaling_runs_are_never_cached() {
+        let s = Session::new();
+        let topts = TranslateOptions::default();
+        let eopts = ExecOptions {
+            journal: openarc_trace::Journal::enabled(),
+            ..Default::default()
+        };
+        let a = s.run_source(SRC, &topts, &eopts).unwrap();
+        assert!(!a.plan.cacheable);
+        let b = s.run_source(SRC, &topts, &eopts).unwrap();
+        assert!(!Arc::ptr_eq(&a.result, &b.result));
+        assert_eq!(s.stats().get(Stage::Execute).misses, 2);
+        // Both journals actually observed events.
+        assert!(!eopts.journal.snapshot().is_empty());
+    }
+
+    #[test]
+    fn instrumented_translation_meters_separately() {
+        let s = Session::new();
+        let fe = s.frontend(SRC).unwrap();
+        let plain = TranslateOptions::default();
+        let inst = TranslateOptions {
+            instrument: true,
+            ..Default::default()
+        };
+        let a = s.translate(&fe, &plain).unwrap();
+        let b = s.translate(&fe, &inst).unwrap();
+        let c = s.translate(&fe, &inst).unwrap();
+        assert_ne!(a.id, b.id);
+        assert!(Arc::ptr_eq(&b, &c));
+        let st = s.stats();
+        assert_eq!(st.get(Stage::Analysis), StageCounts { hits: 0, misses: 1 });
+        assert_eq!(
+            st.get(Stage::Instrument),
+            StageCounts { hits: 1, misses: 1 }
+        );
+    }
+
+    #[test]
+    fn directive_census_counts_pragmas() {
+        let s = Session::new();
+        let fe = s.frontend(SRC).unwrap();
+        let d = s.directives(&fe).unwrap();
+        assert_eq!(d.compute, 1);
+        assert_eq!(d.data, 1);
+        assert_eq!(d.total(), 2);
+        s.directives(&fe).unwrap();
+        assert_eq!(s.stats().get(Stage::Directives).hits, 1);
+    }
+
+    #[test]
+    fn overlay_edits_change_the_plan_fingerprint() {
+        let s = Session::new();
+        let fe = s.frontend(SRC).unwrap();
+        let tr = s.translate(&fe, &TranslateOptions::default()).unwrap();
+        let base = s.plan(&tr, &ExecOptions::default());
+        let mut overlay = TransferOverlay::default();
+        overlay.disable.insert(crate::exec::TransferKey {
+            site: "data_enter0".into(),
+            var: "w".into(),
+            to_device: true,
+        });
+        let edited = s.plan(
+            &tr,
+            &ExecOptions {
+                overlay,
+                ..Default::default()
+            },
+        );
+        assert_ne!(base.id, edited.id);
+        assert_eq!(base.translated, edited.translated);
+    }
+
+    #[test]
+    fn sessions_are_shareable_across_scheduler_workers() {
+        let s = Session::new();
+        let topts = TranslateOptions::default();
+        let tasks: Vec<_> = (0..8)
+            .map(|_| {
+                let s = &s;
+                let topts = topts.clone();
+                move || {
+                    s.run_source(SRC, &topts, &ExecOptions::default())
+                        .unwrap()
+                        .result
+                        .sim_time_us()
+                }
+            })
+            .collect();
+        let times = crate::sched::run_tasks(4, tasks);
+        assert!(times.windows(2).all(|w| w[0] == w[1]));
+        let st = s.stats();
+        assert_eq!(
+            st.get(Stage::Frontend).hits + st.get(Stage::Frontend).misses,
+            8
+        );
+        // At least one of the eight requests computed each stage; the rest
+        // hit (or raced the first miss, which is also a miss).
+        assert!(st.get(Stage::Execute).hits >= 1);
+    }
+}

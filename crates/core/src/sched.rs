@@ -1,0 +1,154 @@
+//! Std-only parallel task scheduler for batch drivers.
+//!
+//! The simulator is deterministic and single-threaded per run, so batch
+//! workloads — the 12-benchmark × variant matrix behind every figure and
+//! table, CI smoke sweeps, parameter studies — parallelize perfectly at the
+//! granularity of whole runs. [`run_tasks`] fans a vector of closures over a
+//! fixed worker pool built on [`std::thread::scope`] (no dependencies, no
+//! unsafe) and returns results **in task order**, so callers observe output
+//! identical to a sequential loop regardless of worker interleaving.
+//!
+//! Used by `openarc-suite`'s cached variant runners and `openarc-bench`'s
+//! figure/table drivers (`--jobs N`), and mirrored in miniature inside the
+//! verified launch path where the CPU reference overlaps the device run.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers the host can usefully run (`available_parallelism`,
+/// falling back to 1 when the platform cannot say).
+pub fn auto_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Upper bound accepted for `--jobs` (beyond this the fixed-size matrix
+/// gains nothing and thread overhead dominates).
+pub const MAX_JOBS: usize = 512;
+
+/// Parse a `--jobs` argument: a positive integer, `0`, or `auto` (both
+/// meaning [`auto_jobs`]). Returns a user-facing message on bad input.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    if s == "auto" {
+        return Ok(auto_jobs());
+    }
+    match s.parse::<usize>() {
+        Ok(0) => Ok(auto_jobs()),
+        Ok(n) if n <= MAX_JOBS => Ok(n),
+        Ok(n) => Err(format!("--jobs must be between 1 and {MAX_JOBS} (got {n})")),
+        Err(_) => Err(format!(
+            "--jobs expects a positive integer or 'auto' (got '{s}')"
+        )),
+    }
+}
+
+/// Run `tasks` across up to `jobs` worker threads and return their results
+/// in task order.
+///
+/// `jobs <= 1` (or a single task) degenerates to an inline sequential loop
+/// on the calling thread — byte-identical behaviour, zero thread overhead.
+/// Workers pull the next unclaimed task index from a shared counter, so an
+/// expensive task never blocks cheap ones behind it. A panicking task does
+/// not poison the pool: remaining tasks still run, and the first panic (in
+/// task order) is re-raised on the caller after all workers join.
+///
+/// ```
+/// use openarc_core::sched::run_tasks;
+/// let tasks: Vec<_> = (0..8).map(|i| move || i * i).collect();
+/// assert_eq!(run_tasks(4, tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = queue[i].lock().unwrap().take().unwrap();
+                let r = catch_unwind(AssertUnwindSafe(task));
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| match m.into_inner().unwrap().unwrap() {
+            Ok(v) => v,
+            Err(panic) => resume_unwind(panic),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        // Tasks deliberately uneven: late indices finish first under
+        // parallelism, yet output order must match input order.
+        let tasks: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let got = run_tasks(8, tasks);
+        assert_eq!(got, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let make = || (0..20usize).map(|i| move || i * i + 1).collect::<Vec<_>>();
+        assert_eq!(run_tasks(1, make()), run_tasks(7, make()));
+    }
+
+    #[test]
+    fn panic_propagates_after_all_tasks_run() {
+        use std::sync::atomic::AtomicUsize;
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("task 3 exploded");
+                    }
+                    DONE.fetch_add(1, Ordering::SeqCst);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let r = catch_unwind(AssertUnwindSafe(|| run_tasks(4, tasks)));
+        assert!(r.is_err());
+        assert_eq!(DONE.load(Ordering::SeqCst), 7, "other tasks still ran");
+    }
+
+    #[test]
+    fn parse_jobs_accepts_auto_and_rejects_garbage() {
+        assert!(parse_jobs("auto").unwrap() >= 1);
+        assert!(parse_jobs("0").unwrap() >= 1);
+        assert_eq!(parse_jobs("4").unwrap(), 4);
+        assert!(parse_jobs("banana").is_err());
+        assert!(parse_jobs("-2").is_err());
+        assert!(parse_jobs("100000").is_err());
+    }
+}

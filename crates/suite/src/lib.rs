@@ -36,7 +36,9 @@ pub mod srad;
 
 use openarc_core::exec::{execute, ExecMode, ExecOptions, RunResult};
 use openarc_core::interactive::OutputSpec;
+use openarc_core::pipeline::{Session, TranslatedArtifact};
 use openarc_core::translate::{translate, TranslateOptions, Translated};
+use std::sync::Arc;
 
 /// Which directive variant of a benchmark to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +160,41 @@ pub fn run_variant(
     Ok((tr, r))
 }
 
+/// Translate a benchmark variant through a pipeline [`Session`]: repeats
+/// of the same variant (same source, same options) are served from the
+/// session's artifact cache, so batch drivers that touch a variant more
+/// than once (figure sweeps, validation passes) compile it exactly once.
+pub fn translate_variant_cached(
+    session: &Session,
+    b: &Benchmark,
+    v: Variant,
+    topts: &TranslateOptions,
+) -> Result<Arc<TranslatedArtifact>, String> {
+    let fe = session
+        .frontend(b.source(v))
+        .map_err(|e| format!("{} [{}] frontend: {e:?}", b.name, v.name()))?;
+    session
+        .translate(&fe, topts)
+        .map_err(|e| format!("{} [{}] translate: {e:?}", b.name, v.name()))
+}
+
+/// Translate and execute a benchmark variant through a pipeline
+/// [`Session`]. The translation is always cached; the run itself is cached
+/// only when the exec options allow it (journal disabled).
+pub fn run_variant_cached(
+    session: &Session,
+    b: &Benchmark,
+    v: Variant,
+    topts: &TranslateOptions,
+    eopts: &ExecOptions,
+) -> Result<(Arc<TranslatedArtifact>, Arc<RunResult>), String> {
+    let tr = translate_variant_cached(session, b, v, topts)?;
+    let r = session
+        .execute(&tr, eopts)
+        .map_err(|e| format!("{} [{}] execute: {e}", b.name, v.name()))?;
+    Ok((tr, r))
+}
+
 /// Verify a variant produces outputs matching its own sequential reference
 /// (used by every benchmark's tests).
 pub fn check_variant(b: &Benchmark, v: Variant) -> Result<(), String> {
@@ -206,6 +243,23 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
+    }
+
+    #[test]
+    fn cached_variant_compiles_once() {
+        use openarc_core::pipeline::Stage;
+        let session = Session::new();
+        let b = jacobi::benchmark(Scale::default());
+        let topts = TranslateOptions::default();
+        let a = translate_variant_cached(&session, &b, Variant::Optimized, &topts).unwrap();
+        let c = translate_variant_cached(&session, &b, Variant::Optimized, &topts).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        let st = session.stats();
+        assert_eq!(st.get(Stage::Analysis).misses, 1);
+        assert_eq!(st.get(Stage::Analysis).hits, 1);
+        // A different variant is a different artifact, not a cache hit.
+        translate_variant_cached(&session, &b, Variant::Naive, &topts).unwrap();
+        assert_eq!(session.stats().get(Stage::Analysis).misses, 2);
     }
 
     #[test]

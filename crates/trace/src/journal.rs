@@ -95,6 +95,35 @@ impl Journal {
             None => Vec::new(),
         }
     }
+
+    /// Append a batch of events preserving their order, respecting the
+    /// capacity bound. Used by parallel drivers folding per-worker journals
+    /// into one stream. No-op when disabled.
+    pub fn extend(&self, evs: Vec<TraceEvent>) {
+        let Some(inner) = &self.inner else { return };
+        let mut events = inner.events.lock().expect("journal poisoned");
+        for ev in evs {
+            if inner.cap != 0 && events.len() >= inner.cap {
+                inner.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            events.push(ev);
+        }
+    }
+}
+
+/// Merge per-task event buffers deterministically: parts are concatenated
+/// in **task order** (the order of `parts`), never in completion order, so
+/// the merged stream is byte-identical no matter how scheduler workers
+/// interleaved. Each part is already internally ordered (each task owns a
+/// private journal), which makes concatenation the correct merge.
+pub fn merge_parts(parts: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -144,5 +173,33 @@ mod tests {
     #[test]
     fn default_is_disabled() {
         assert!(!Journal::default().is_enabled());
+    }
+
+    #[test]
+    fn extend_respects_capacity() {
+        let j = Journal::with_capacity(3);
+        j.emit(slice(0.0, 1.0, Category::CpuTime));
+        j.extend(vec![
+            slice(1.0, 1.0, Category::MemTransfer),
+            slice(2.0, 1.0, Category::MemTransfer),
+            slice(3.0, 1.0, Category::MemTransfer),
+        ]);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 1);
+    }
+
+    #[test]
+    fn merge_parts_preserves_part_order() {
+        let a = vec![slice(5.0, 1.0, Category::CpuTime)];
+        let b = vec![
+            slice(0.0, 1.0, Category::MemTransfer),
+            slice(1.0, 1.0, Category::CpuTime),
+        ];
+        // Part order wins, even though b's timestamps precede a's.
+        let merged = merge_parts(vec![a.clone(), b.clone()]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0], a[0]);
+        assert_eq!(merged[1], b[0]);
+        assert_eq!(merged[2], b[1]);
     }
 }

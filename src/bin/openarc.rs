@@ -11,6 +11,9 @@
 //! openarc demote <file.c> <kernel#>    print the Listing-2 demotion
 //! openarc profile <file.c> [flags]     event-journal profiling: Chrome
 //!                                      trace export + per-kernel summary
+//! openarc bench [--jobs N] [flags]     batch mode: run the 12-benchmark ×
+//!                                      3-variant matrix, optionally fanned
+//!                                      across worker threads
 //! ```
 
 use openarc::core::options::parse_verification_options;
@@ -29,7 +32,7 @@ fn main() {
 }
 
 fn usage() -> String {
-    "usage: openarc <run|cpu|verify|check|demote|profile> <file.c> [args]\n\
+    "usage: openarc <run|cpu|verify|check|demote|profile|bench> [args]\n\
      \n\
      run    <file.c>            translate and execute on the simulated device\n\
      cpu    <file.c>            execute the sequential reference\n\
@@ -42,7 +45,11 @@ fn usage() -> String {
        --summary                print per-category and per-kernel totals\n\
        --filter-kernel <name>   restrict the trace/kernel table to one kernel\n\
        --explain <var>          print the event timeline for one variable\n\
-       --verify                 profile a kernel-verification run instead"
+       --verify                 profile a kernel-verification run instead\n\
+     bench [flags]              run the benchmark suite's 12×3 matrix\n\
+       --jobs <N|auto>          fan the matrix across N worker threads\n\
+       --scale <small|bench>    problem scale (default: bench)\n\
+       --n <SIZE> --iters <N>   override the scale's size/iterations"
         .to_string()
 }
 
@@ -212,12 +219,44 @@ fn run(args: &[String]) -> Result<i32, String> {
             Ok(0)
         }
         "profile" => profile(rest),
+        "bench" => bench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(0)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+/// `openarc bench`: batch mode. Runs the full 12-benchmark × 3-variant
+/// matrix through one pipeline session, fanned across `--jobs` worker
+/// threads; output is byte-identical for any worker count.
+fn bench(rest: &[String]) -> Result<i32, String> {
+    let (scale, jobs) =
+        openarc::bench::sweep::parse_bin_args(rest).map_err(|e| format!("{e}\n{}", usage()))?;
+    let sw = openarc::bench::sweep::Sweep::new(scale, jobs);
+    let (rows, events) = sw.matrix()?;
+    println!(
+        "{:<10} {:<12} {:>14} {:>12} {:>9} {:>8}",
+        "benchmark", "variant", "sim_time_us", "bytes", "launches", "events"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<12} {:>14.1} {:>12} {:>9} {:>8}",
+            r.bench, r.variant, r.sim_us, r.transferred_bytes, r.kernel_launches, r.events
+        );
+    }
+    println!("--");
+    println!(
+        "{} cells (n={}, iters={}, jobs={}), {} journal events",
+        rows.len(),
+        sw.scale.n,
+        sw.scale.iters,
+        sw.jobs,
+        events.len()
+    );
+    println!("pipeline cache:\n{}", sw.session.stats());
+    Ok(0)
 }
 
 /// `openarc profile`: run the program with the event journal enabled, then

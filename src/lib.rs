@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub use openarc_bench as bench;
 pub use openarc_core as core;
 pub use openarc_dataflow as dataflow;
 pub use openarc_gpusim as gpusim;
