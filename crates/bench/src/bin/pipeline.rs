@@ -63,6 +63,16 @@ fn main() {
         events_seq.len()
     );
 
+    // Where the parallel matrix spent its wall-clock time, per pipeline
+    // stage (summed across workers; cache hits included).
+    let stages = parallel.session.stage_times();
+    println!("parallel stage breakdown (wall clock, summed across workers):");
+    for (stage, us) in stages {
+        if us > 0.0 {
+            println!("  {:<12} {:>12.1} µs", stage.label(), us);
+        }
+    }
+
     let samples = 5;
     let t_seq = timing::report("matrix sequential", samples, || {
         Sweep::sequential(scale).matrix().unwrap()
@@ -83,6 +93,15 @@ fn main() {
         ("sequential", t_seq.to_json()),
         ("parallel", t_par.to_json()),
         ("speedup_p50", Json::from(speedup)),
+        (
+            "parallel_stage_us",
+            Json::obj(
+                stages
+                    .iter()
+                    .map(|(s, us)| (s.label(), Json::from(*us)))
+                    .collect(),
+            ),
+        ),
     ])
     .pretty();
     std::fs::write("BENCH_pipeline.json", report).ok();

@@ -58,6 +58,27 @@ impl Sweep {
         let tasks: Vec<_> = benches.iter().map(|b| move || f(b)).collect();
         run_tasks(self.jobs, tasks).into_iter().collect()
     }
+
+    /// Run `f` over every (benchmark, variant) cell of the matrix — 36
+    /// fine-grained tasks instead of 12 benchmark-sized ones, so one
+    /// expensive benchmark's variants spread across workers instead of
+    /// serializing on whichever worker drew it. Results return in
+    /// (benchmark, variant) order. The first error wins.
+    pub fn map_cells<T, F>(&self, f: F) -> Result<Vec<T>, String>
+    where
+        T: Send,
+        F: Fn(&Benchmark, Variant) -> Result<T, String> + Sync,
+    {
+        let benches = all(self.scale);
+        let f = &f;
+        let mut tasks = Vec::with_capacity(benches.len() * Variant::ALL.len());
+        for b in &benches {
+            for v in Variant::ALL {
+                tasks.push(move || f(b, v));
+            }
+        }
+        run_tasks(self.jobs, tasks).into_iter().collect()
+    }
 }
 
 /// One cell of the full benchmark × variant matrix.
@@ -92,46 +113,43 @@ impl MatrixRow {
 }
 
 impl Sweep {
-    /// Run the full 12-benchmark × 3-variant matrix, journaling every run
-    /// into a per-cell buffer. Returns the 36 rows plus the merged event
-    /// stream; both are in (benchmark, variant) order — deterministic and
-    /// bit-identical for any `jobs` value.
+    /// Run the full 12-benchmark × 3-variant matrix as 36 independent
+    /// cell tasks, journaling every run into a per-cell buffer. Returns
+    /// the 36 rows plus the merged event stream; both are in
+    /// (benchmark, variant) order — deterministic and bit-identical for
+    /// any `jobs` value.
     pub fn matrix(&self) -> Result<(Vec<MatrixRow>, Vec<TraceEvent>), String> {
-        let per_bench = self.map_benchmarks(|b| {
-            let mut cells = Vec::with_capacity(Variant::ALL.len());
-            for v in Variant::ALL {
-                // A private journal per cell: workers never contend on one
-                // buffer, and the merge below fixes the global order.
-                let journal = Journal::enabled();
-                let eopts = ExecOptions {
-                    race_detect: false,
-                    journal: journal.clone(),
-                    ..Default::default()
-                };
-                let (_, r) =
-                    run_variant_cached(&self.session, b, v, &TranslateOptions::default(), &eopts)?;
-                let events = journal.snapshot();
-                cells.push((
-                    MatrixRow {
-                        bench: b.name.to_string(),
-                        variant: v.name(),
-                        sim_us: r.sim_time_us(),
-                        transferred_bytes: r.machine.stats.total_bytes(),
-                        kernel_launches: r.kernel_launches,
-                        events: events.len(),
-                    },
-                    events,
-                ));
-            }
-            Ok(cells)
+        let cells = self.map_cells(|b, v| {
+            // A private journal per cell: workers never contend on one
+            // buffer, and the merge below fixes the global order.
+            let journal = Journal::enabled();
+            let eopts = ExecOptions {
+                race_detect: false,
+                journal: journal.clone(),
+                ..Default::default()
+            };
+            let (_, r) =
+                run_variant_cached(&self.session, b, v, &TranslateOptions::default(), &eopts)?;
+            // `drain` (not `snapshot`): the cell owns its buffer, so the
+            // merge below moves events instead of copying them.
+            let events = journal.drain();
+            Ok((
+                MatrixRow {
+                    bench: b.name.to_string(),
+                    variant: v.name(),
+                    sim_us: r.sim_time_us(),
+                    transferred_bytes: r.machine.stats.total_bytes(),
+                    kernel_launches: r.kernel_launches,
+                    events: events.len(),
+                },
+                events,
+            ))
         })?;
-        let mut rows = Vec::new();
-        let mut parts = Vec::new();
-        for cells in per_bench {
-            for (row, evs) in cells {
-                rows.push(row);
-                parts.push(evs);
-            }
+        let mut rows = Vec::with_capacity(cells.len());
+        let mut parts = Vec::with_capacity(cells.len());
+        for (row, evs) in cells {
+            rows.push(row);
+            parts.push(evs);
         }
         Ok((rows, merge_parts(parts)))
     }

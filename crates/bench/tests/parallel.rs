@@ -1,10 +1,15 @@
-//! Parallel-determinism contract: a `--jobs 4` sweep must be
-//! bit-identical to a sequential one — same rows, same merged journal,
-//! same per-category time totals, same figure/table outputs.
+//! Parallel-determinism contract: a `--jobs N` sweep must be
+//! bit-identical to a sequential one for every worker count — same rows,
+//! same merged journal, same per-category time totals, same figure/table
+//! outputs — and one failing cell must not strand the others.
 
 use openarc_bench::experiments;
 use openarc_bench::sweep::Sweep;
-use openarc_suite::Scale;
+use openarc_core::sched::run_tasks;
+use openarc_suite::{Scale, Variant};
+use openarc_trace::{merge_parts, Category, EventKind, TraceEvent, Track};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
 fn parallel_matrix_is_bit_identical_to_sequential() {
@@ -40,6 +45,79 @@ fn parallel_matrix_is_bit_identical_to_sequential() {
             "category {cat:?} total differs across jobs"
         );
     }
+}
+
+/// Worker counts that don't divide the 36-cell matrix (3, 7) and one that
+/// oversubscribes any reasonable host (16) all reproduce the sequential
+/// output exactly — the chunked self-scheduler may interleave cells
+/// arbitrarily, but rows and journals come back in task order.
+#[test]
+fn matrix_is_identical_for_odd_and_oversubscribed_worker_counts() {
+    let (rows_seq, events_seq) = Sweep::sequential(Scale::default()).matrix().unwrap();
+    for jobs in [3usize, 7, 16] {
+        let (rows, events) = Sweep::new(Scale::default(), jobs).matrix().unwrap();
+        assert_eq!(rows_seq.len(), rows.len(), "jobs={jobs}");
+        for (a, b) in rows_seq.iter().zip(&rows) {
+            assert_eq!(a, b, "jobs={jobs}: cell diverged");
+        }
+        assert_eq!(events_seq, events, "jobs={jobs}: merged journal diverged");
+    }
+}
+
+/// A panic in one cell propagates to the caller, but only after every
+/// other cell has run — a poisoned benchmark cannot strand the rest of
+/// the matrix.
+#[test]
+fn one_panicking_cell_does_not_strand_the_rest() {
+    static COMPLETED: AtomicUsize = AtomicUsize::new(0);
+    COMPLETED.store(0, Ordering::SeqCst);
+    let sw = Sweep::new(Scale::default(), 4);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        sw.map_cells(|b, v| {
+            if b.name == "JACOBI" && v == Variant::Naive {
+                panic!("injected cell failure");
+            }
+            COMPLETED.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })
+    }));
+    assert!(r.is_err(), "the injected panic must reach the caller");
+    assert_eq!(
+        COMPLETED.load(Ordering::SeqCst),
+        35,
+        "every other cell must still run"
+    );
+}
+
+/// Regression: workers finish out of task order under parallelism, yet
+/// `merge_parts` over `run_tasks` output must concatenate the per-task
+/// journal buffers in task order, not completion order.
+#[test]
+fn journal_parts_merge_in_task_order_despite_out_of_order_completion() {
+    let ev = |i: usize| TraceEvent {
+        ts_us: i as f64,
+        dur_us: 1.0,
+        track: Track::Host,
+        kind: EventKind::Slice {
+            cat: Category::CpuTime,
+        },
+    };
+    let tasks: Vec<_> = (0..24usize)
+        .map(|i| {
+            move || {
+                // Early tasks sleep so completion order roughly reverses
+                // task order across the worker pool.
+                if i < 12 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                vec![ev(2 * i), ev(2 * i + 1)]
+            }
+        })
+        .collect();
+    let parts = run_tasks(6, tasks);
+    let merged = merge_parts(parts);
+    let expect: Vec<TraceEvent> = (0..48).map(ev).collect();
+    assert_eq!(merged, expect);
 }
 
 #[test]

@@ -92,28 +92,32 @@ impl ExecEnv<'_> {
         to_device: bool,
         queue: Option<i64>,
     ) -> Result<(), VmError> {
-        let key = TransferKey {
-            site: site.to_string(),
-            var: var.to_string(),
-            to_device,
-        };
-        if self.opts.overlay.disable.contains(&key) {
-            return Ok(());
-        }
-        if self.opts.overlay.defer.contains(&key) {
-            if let Some(frame) = self.deferred.last_mut() {
-                // Replace any earlier pending copy of the same var/direction
-                // (only the final value matters).
-                frame.retain(|(v, _, d, _)| !(v == var && *d == to_device));
-                frame.push((
-                    var.to_string(),
-                    format!("{site}_deferred"),
-                    to_device,
-                    queue,
-                ));
+        // The overlay lookup needs an owned key; skip building it on the
+        // (overwhelmingly common) runs with no interactive edits.
+        if !self.opts.overlay.is_empty() {
+            let key = TransferKey {
+                site: site.to_string(),
+                var: var.to_string(),
+                to_device,
+            };
+            if self.opts.overlay.disable.contains(&key) {
                 return Ok(());
             }
-            // No enclosing loop: execute in place.
+            if self.opts.overlay.defer.contains(&key) {
+                if let Some(frame) = self.deferred.last_mut() {
+                    // Replace any earlier pending copy of the same
+                    // var/direction (only the final value matters).
+                    frame.retain(|(v, _, d, _)| !(v == var && *d == to_device));
+                    frame.push((
+                        var.to_string(),
+                        format!("{site}_deferred"),
+                        to_device,
+                        queue,
+                    ));
+                    return Ok(());
+                }
+                // No enclosing loop: execute in place.
+            }
         }
         let h = self.resolve(var)?;
         if to_device {
@@ -141,17 +145,21 @@ impl ExecEnv<'_> {
 
     fn dispatch(&mut self, id: u16) -> Result<(), VmError> {
         self.flush_cpu();
-        let op = self
-            .tr
+        // `tr` and `opts` are shared references that outlive `self`, so
+        // copying them out lets the op (and the verify config below) be
+        // borrowed for the whole dispatch with `self` still mutable — no
+        // per-op `RtOp` clone on the interpreter hot path.
+        let tr = self.tr;
+        let opts = self.opts;
+        let op = tr
             .ops
             .get(id as usize)
-            .cloned()
             .ok_or_else(|| VmError::Internal(format!("bad host op id {id}")))?;
-        let verify_mode = matches!(self.opts.mode, ExecMode::Verify(_));
-        let cpu_only = matches!(self.opts.mode, ExecMode::CpuOnly);
+        let verify_mode = matches!(opts.mode, ExecMode::Verify(_));
+        let cpu_only = matches!(opts.mode, ExecMode::CpuOnly);
         match op {
             RtOp::LoopEnter { label } => {
-                self.machine.loop_context.push((label, 0));
+                self.machine.loop_context.push((label.clone(), 0));
                 self.deferred.push(Vec::new());
             }
             RtOp::LoopTick => {
@@ -170,12 +178,13 @@ impl ExecEnv<'_> {
             RtOp::Wait(q) => {
                 if !verify_mode && !cpu_only {
                     match q {
-                        Some(q) => self.machine.clock.wait(q),
+                        Some(q) => self.machine.clock.wait(*q),
                         None => self.machine.clock.wait_all(),
                     }
                 }
             }
             RtOp::DataEnter(r) => {
+                let r = *r;
                 if verify_mode || cpu_only {
                     return Ok(());
                 }
@@ -184,18 +193,20 @@ impl ExecEnv<'_> {
                 if !active {
                     return Ok(());
                 }
-                let actions = self.tr.data_regions[r].actions.clone();
-                for a in &actions {
+                // One site string per region event, shared by every action.
+                let site = format!("data_enter{r}");
+                for a in &tr.data_regions[r].actions {
                     if a.map {
                         let h = self.resolve(&a.var)?;
                         self.machine.map_to_device(h)?;
                         if a.copyin {
-                            self.do_copy(&a.var, &format!("data_enter{r}"), true, None)?;
+                            self.do_copy(&a.var, &site, true, None)?;
                         }
                     }
                 }
             }
             RtOp::DataExit(r) => {
+                let r = *r;
                 if verify_mode || cpu_only {
                     return Ok(());
                 }
@@ -204,11 +215,11 @@ impl ExecEnv<'_> {
                 if !self.region_active.remove(&r).unwrap_or(true) {
                     return Ok(());
                 }
-                let actions = self.tr.data_regions[r].actions.clone();
-                for a in &actions {
+                let site = format!("data_exit{r}");
+                for a in &tr.data_regions[r].actions {
                     if a.map {
                         if a.copyout {
-                            self.do_copy(&a.var, &format!("data_exit{r}"), false, None)?;
+                            self.do_copy(&a.var, &site, false, None)?;
                         }
                         let h = self.resolve(&a.var)?;
                         self.machine.unmap_from_device(h)?;
@@ -225,16 +236,16 @@ impl ExecEnv<'_> {
                 if verify_mode || cpu_only {
                     return Ok(());
                 }
-                if let Some(g) = &if_global {
+                if let Some(g) = if_global {
                     if !self.scalar_value(g)?.truthy() {
                         return Ok(());
                     }
                 }
-                for v in &to_host {
-                    self.do_copy(v, &site, false, queue)?;
+                for v in to_host {
+                    self.do_copy(v, site, false, *queue)?;
                 }
-                for v in &to_device {
-                    self.do_copy(v, &site, true, queue)?;
+                for v in to_device {
+                    self.do_copy(v, site, true, *queue)?;
                 }
             }
             RtOp::CheckRead { var, side, site } => {
@@ -243,8 +254,8 @@ impl ExecEnv<'_> {
                 }
                 let dt = self.machine.cost.check_us;
                 self.machine.clock.advance(TimeCategory::CpuTime, dt);
-                if let Ok(h) = self.resolve(&var) {
-                    self.machine.check_read(h, side, &site);
+                if let Ok(h) = self.resolve(var) {
+                    self.machine.check_read(h, *side, site);
                 }
             }
             RtOp::CheckWrite {
@@ -258,8 +269,8 @@ impl ExecEnv<'_> {
                 }
                 let dt = self.machine.cost.check_us;
                 self.machine.clock.advance(TimeCategory::CpuTime, dt);
-                if let Ok(h) = self.resolve(&var) {
-                    self.machine.check_write(h, side, total, &site);
+                if let Ok(h) = self.resolve(var) {
+                    self.machine.check_write(h, *side, *total, site);
                 }
             }
             RtOp::ResetStatus { var, side, st } => {
@@ -268,27 +279,28 @@ impl ExecEnv<'_> {
                 }
                 let dt = self.machine.cost.check_us;
                 self.machine.clock.advance(TimeCategory::CpuTime, dt);
-                if let Ok(h) = self.resolve(&var) {
-                    self.machine.coherence.reset_status(h, side, st);
+                if let Ok(h) = self.resolve(var) {
+                    self.machine.coherence.reset_status(h, *side, *st);
                 }
             }
             RtOp::Launch(k) => {
+                let k = *k;
                 self.kernel_launches += 1;
                 // `if(cond)` false → host execution (OpenACC semantics).
-                let offload = match &self.tr.kernels[k].if_global {
+                let offload = match &tr.kernels[k].if_global {
                     Some(g) => self.scalar_value(g)?.truthy(),
                     None => true,
                 };
-                match self.opts.mode.clone() {
+                match &opts.mode {
                     ExecMode::Normal if !offload => self.launch_seq(k)?,
                     ExecMode::Normal => self.launch_normal(k)?,
                     ExecMode::CpuOnly => self.launch_seq(k)?,
                     ExecMode::Verify(v) => {
-                        let name = &self.tr.kernels[k].name;
+                        let name = &tr.kernels[k].name;
                         let in_set = v.targets.as_ref().map(|t| t.contains(name)).unwrap_or(true);
                         let selected = in_set != v.complement;
                         if selected {
-                            self.launch_verified(k, &v)?;
+                            self.launch_verified(k, v)?;
                         } else {
                             self.launch_seq(k)?;
                         }

@@ -30,12 +30,13 @@ impl ExecEnv<'_> {
         ),
         VmError,
     > {
-        let params = self.tr.kernels[k].params.clone();
+        let tr = self.tr;
+        let params = &tr.kernels[k].params;
         let mut args = Vec::with_capacity(params.len());
         let mut reds = Vec::new();
         let mut temps = Vec::new();
         let mut cell_writebacks = Vec::new();
-        for p in &params {
+        for p in params {
             match p {
                 KernelParam::Aggregate { var } => {
                     let host_h = self.resolve(var)?;
@@ -129,7 +130,10 @@ impl ExecEnv<'_> {
 
     /// Production launch (Normal mode).
     pub(super) fn launch_normal(&mut self, k: usize) -> Result<(), VmError> {
-        let info = self.tr.kernels[k].clone();
+        // `self.tr` outlives `self`, so the kernel record is borrowed for
+        // the whole launch instead of deep-cloned per launch.
+        let tr = self.tr;
+        let info = &tr.kernels[k];
         let n = self.n_threads(k)?;
         let queue = info.queue;
         // Data-region-at-kernel semantics: map + copyin. OpenACC `copy`
@@ -146,10 +150,11 @@ impl ExecEnv<'_> {
                 _ => (a.copyin, a.copyout),
             }
         };
-        let mut plans: Vec<(crate::ir::DataAction, bool, bool)> = Vec::new();
+        let mut plans: Vec<(&crate::ir::DataAction, bool, bool)> =
+            Vec::with_capacity(info.actions.len());
         for a in &info.actions {
             let (ci, co) = effective(self, a);
-            plans.push((a.clone(), ci, co));
+            plans.push((a, ci, co));
         }
         for (a, copyin, _) in &plans {
             if a.map {
@@ -181,14 +186,14 @@ impl ExecEnv<'_> {
         let cfg = self.launch_cfg(k);
         let outcome = launch(
             &mut self.machine.device,
-            &self.tr.kernel_module,
+            &tr.kernel_module,
             &info.name,
             &args,
             n,
             &cfg,
         )?;
-        for r in outcome.races.clone() {
-            self.races.push((info.name.clone(), r));
+        for r in &outcome.races {
+            self.races.push((info.name.clone(), r.clone()));
         }
         self.machine
             .charge_kernel_named(&info.name, &outcome, queue);
@@ -233,7 +238,7 @@ impl ExecEnv<'_> {
     /// Sequential fallback execution (CpuOnly mode / unselected kernels in
     /// Verify mode).
     pub(super) fn launch_seq(&mut self, k: usize) -> Result<(), VmError> {
-        let info = self.tr.kernels[k].clone();
+        let info = &self.tr.kernels[k];
         let n = self.n_threads(k)?;
         let (mut args, reds, temps, cells) = self.build_args(k, n, false)?;
         args.insert(0, Value::Int(n as i64));

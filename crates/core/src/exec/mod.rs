@@ -331,6 +331,9 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
         }
     }
     env.machine.clock.wait_all();
+    // Publish the run's buffered events in one batch — the only journal
+    // lock acquisition of the whole run.
+    env.machine.flush_journal();
     Ok(RunResult {
         machine: env.machine,
         verify: env.verify,

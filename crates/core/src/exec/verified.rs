@@ -38,24 +38,28 @@ impl ExecEnv<'_> {
     /// Verified launch (§III-A): demoted transfers, async GPU + sequential
     /// CPU reference, comparison, CPU results stay canonical.
     pub(super) fn launch_verified(&mut self, k: usize, v: &VerifyOptions) -> Result<(), VmError> {
-        let info = self.tr.kernels[k].clone();
+        // `self.tr` outlives `self`: borrow the kernel record (and its
+        // variable names) for the whole launch instead of deep-cloning it.
+        let tr = self.tr;
+        let info = &tr.kernels[k];
         let n = self.n_threads(k)?;
         let q = v.queue;
         // Demotion: copy in *everything* the kernel touches.
-        let mut touched: Vec<String> = info.gpu_reads.clone();
+        let mut touched: Vec<&str> = info.gpu_reads.iter().map(String::as_str).collect();
         for w in &info.gpu_writes {
-            if !touched.contains(w) {
-                touched.push(w.clone());
+            if !touched.contains(&w.as_str()) {
+                touched.push(w);
             }
         }
+        // One site string for every staging transfer of this launch.
+        let verify_site = format!("{}_verify", info.name);
         for var in &touched {
             let h = self.resolve(var)?;
             self.machine.map_to_device(h)?;
             // Staging transfers are charged synchronously (they appear as
             // the Mem Transfer component of Figure 3); the kernel itself
             // runs asynchronously and overlaps the CPU reference.
-            self.machine
-                .copy_to_device(h, &format!("{}_verify", info.name), None)?;
+            self.machine.copy_to_device(h, &verify_site, None)?;
         }
         // Marshal both sides up front — argument building mutates host and
         // device memory, so it stays on this thread.
@@ -91,8 +95,8 @@ impl ExecEnv<'_> {
             let steps = self.run_host_fn(&info.seq_name, &hargs)?;
             (outcome, steps)
         };
-        for r in outcome.races.clone() {
-            self.races.push((info.name.clone(), r));
+        for r in &outcome.races {
+            self.races.push((info.name.clone(), r.clone()));
         }
         self.machine
             .charge_kernel_named(&info.name, &outcome, Some(q));

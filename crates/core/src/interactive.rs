@@ -16,7 +16,8 @@
 //!    **incorrect iteration**;
 //! 5. repeat until no further suggestion survives.
 
-use crate::exec::{execute, ExecOptions, RunResult, TransferKey, TransferOverlay};
+use crate::exec::{ExecOptions, RunResult, TransferKey, TransferOverlay};
+use crate::pipeline::Session;
 use crate::translate::Translated;
 use openarc_runtime::{Direction, IssueKind};
 use std::collections::BTreeSet;
@@ -164,21 +165,53 @@ pub fn optimize_transfers(
     base_opts: &ExecOptions,
     max_iterations: usize,
 ) -> Result<InteractiveOutcome, String> {
+    optimize_transfers_in_session(
+        &Session::new(),
+        program,
+        sema,
+        topts,
+        spec,
+        base_opts,
+        max_iterations,
+    )
+}
+
+/// [`optimize_transfers`] against a shared pipeline [`Session`]: every
+/// round's recompilation and run goes through the session's staged caches,
+/// so rounds that revisit an earlier edit set (reverts) — and repeats of
+/// the whole loop inside a batch driver — are served from the cache. Both
+/// the translate-options fingerprint (which covers `ignored_update_stmts`)
+/// and the exec-options fingerprint (which covers the overlay) distinguish
+/// rounds, so a hit is always semantically identical to a fresh
+/// compile-and-run.
+pub fn optimize_transfers_in_session(
+    session: &Session,
+    program: &openarc_minic::Program,
+    sema: &openarc_minic::Sema,
+    topts: &crate::translate::TranslateOptions,
+    spec: &OutputSpec,
+    base_opts: &ExecOptions,
+    max_iterations: usize,
+) -> Result<InteractiveOutcome, String> {
     let mut topts = topts.clone();
     topts.instrument = true;
-    let tr0 = crate::translate::translate(program, sema, &topts)
+    let fe = session.frontend_program(program.clone(), sema.clone());
+    let tr0a = session
+        .translate(&fe, &topts)
         .map_err(|e| format!("translate: {e:?}"))?;
+    let tr0 = &tr0a.tr;
     // Reference outputs from a sequential run.
-    let seq = execute(
-        &tr0,
-        &ExecOptions {
-            mode: crate::exec::ExecMode::CpuOnly,
-            race_detect: false,
-            ..base_opts.clone()
-        },
-    )
-    .map_err(|e| e.to_string())?;
-    let reference = capture_outputs(&tr0, &seq, spec);
+    let seq = session
+        .execute(
+            &tr0a,
+            &ExecOptions {
+                mode: crate::exec::ExecMode::CpuOnly,
+                race_detect: false,
+                ..base_opts.clone()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let reference = capture_outputs(tr0, &seq, spec);
 
     let mut overlay = base_opts.overlay.clone();
     let mut pinned: BTreeSet<TransferKey> = BTreeSet::new();
@@ -189,19 +222,21 @@ pub fn optimize_transfers(
     let mut final_stats = openarc_runtime::TransferStats::default();
 
     for index in 1..=max_iterations {
-        // Recompile with the user's removals visible to instrumentation.
+        // Recompile with the user's removals visible to instrumentation —
+        // through the session, so a revisited edit set is a cache hit.
         let mut round_topts = topts.clone();
-        round_topts.ignored_update_stmts = fully_removed_updates(&tr0, &overlay);
-        let tr = crate::translate::translate(program, sema, &round_topts)
+        round_topts.ignored_update_stmts = fully_removed_updates(tr0, &overlay);
+        let tra = session
+            .translate(&fe, &round_topts)
             .map_err(|e| format!("translate: {e:?}"))?;
-        let tr = &tr;
+        let tr = &tra.tr;
         let opts = ExecOptions {
             mode: crate::exec::ExecMode::Normal,
             check_transfers: true,
             overlay: overlay.clone(),
             ..base_opts.clone()
         };
-        let run = execute(tr, &opts);
+        let run = session.execute(&tra, &opts);
         let mut entry = IterationLog {
             index,
             applied: Vec::new(),

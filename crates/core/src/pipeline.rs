@@ -27,10 +27,11 @@
 //!   only when [`TranslateOptions::instrument`] is set (otherwise the
 //!   Analysis artifact is the translation).
 //! * **Plan** — binding of a translation to one [`ExecOptions`]
-//!   fingerprint; decides run-cache eligibility.
-//! * **Execute** — the simulated run ([`RunResult`]), cached only when the
-//!   event journal is disabled (a journaling run's observable output is the
-//!   journal side effect, which a cache hit would skip).
+//!   fingerprint.
+//! * **Execute** — the simulated run ([`RunResult`]). Journaled runs are
+//!   cached too: the miss records the exact event stream the run emitted,
+//!   and a hit **replays** it into the caller's journal, so the journal
+//!   side effect of a cache hit is byte-identical to a real run.
 //! * **Verify** — the §III-A report: CPU baseline + verification run, both
 //!   routed through the Execute stage so they cache independently.
 //!
@@ -38,6 +39,14 @@
 //! so one `Session` can be driven from many scheduler workers
 //! ([`crate::sched`]) at once; locks are never held across stage work, so
 //! concurrent misses compute in parallel (last insert wins).
+//!
+//! Every stage records its **wall-clock** cost (cache hits included, so
+//! reuse is visible as near-zero time): [`Session::stage_times`] returns
+//! the accumulated per-stage breakdown, and a session built with
+//! [`Session::with_stage_journal`] additionally emits one
+//! [`EventKind::Stage`] span per stage request into the given journal.
+//! Stage spans measure real time, not simulated time — they never enter
+//! the deterministic per-run journals compared across worker counts.
 
 use crate::exec::{execute, ExecMode, ExecOptions, RunResult, VerifyOptions};
 use crate::translate::{translate, TranslateOptions, Translated};
@@ -46,10 +55,12 @@ use openarc_minic::ast::{walk_stmts, Item};
 use openarc_minic::span::Diagnostic;
 use openarc_minic::{frontend, print_program, Program, Sema};
 use openarc_openacc::{directives_of, Directive};
+use openarc_trace::{EventKind, Journal, TraceEvent, Track};
 use openarc_vm::VmError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Content hashing
@@ -287,10 +298,11 @@ pub struct ExecPlan {
     pub translated: ArtifactId,
     /// Human-readable mode label (`normal` / `cpu` / `verify`).
     pub mode: &'static str,
-    /// Whether the Execute stage may serve this plan from cache (false when
-    /// the run would journal events — the journal is a side effect a cache
-    /// hit would silently skip).
-    pub cacheable: bool,
+    /// Whether this plan journals events. Journaled plans are still
+    /// cacheable: the Execute stage records the event stream on a miss and
+    /// replays it into the caller's journal on a hit, so the side effect
+    /// survives caching byte-for-byte.
+    pub journaled: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -468,15 +480,45 @@ impl std::error::Error for PipelineError {}
 /// assert_eq!(stats.get(Stage::Execute).misses, 2);
 /// assert!(run1.result.sim_time_us() > run2.result.sim_time_us());
 /// ```
-#[derive(Default)]
 pub struct Session {
     meters: StageMeters,
     frontends: Mutex<HashMap<u64, Arc<FrontendArtifact>>>,
     directives: Mutex<HashMap<u64, Arc<DirectiveSummary>>>,
     translations: Mutex<HashMap<u64, Arc<TranslatedArtifact>>>,
     plans: Mutex<HashMap<u64, ExecPlan>>,
-    runs: Mutex<HashMap<u64, Arc<RunResult>>>,
+    runs: Mutex<HashMap<u64, CachedRun>>,
     verifications: Mutex<HashMap<u64, Arc<VerificationReport>>>,
+    /// Accumulated wall-clock nanoseconds per stage ([`Stage::ALL`] order).
+    stage_wall: [AtomicU64; 7],
+    /// Optional session-level stream of [`EventKind::Stage`] spans.
+    stage_journal: Journal,
+    /// Session epoch: stage-span timestamps are offsets from here.
+    t0: Instant,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session {
+            meters: StageMeters::default(),
+            frontends: Mutex::default(),
+            directives: Mutex::default(),
+            translations: Mutex::default(),
+            plans: Mutex::default(),
+            runs: Mutex::default(),
+            verifications: Mutex::default(),
+            stage_wall: Default::default(),
+            stage_journal: Journal::disabled(),
+            t0: Instant::now(),
+        }
+    }
+}
+
+/// A memoized Execute-stage entry: the run plus the exact event stream it
+/// journaled (empty for unjournaled runs), so a cache hit can replay the
+/// journal side effect byte-for-byte.
+struct CachedRun {
+    result: Arc<RunResult>,
+    events: Arc<Vec<TraceEvent>>,
 }
 
 /// One end-to-end pipeline run: the translation used plus the run result.
@@ -498,12 +540,56 @@ impl Session {
         Session::default()
     }
 
+    /// Fresh session that additionally emits one [`EventKind::Stage`] span
+    /// per stage request into `journal` (wall-clock µs; timestamps are
+    /// offsets from session creation).
+    pub fn with_stage_journal(journal: Journal) -> Session {
+        Session {
+            stage_journal: journal,
+            ..Session::default()
+        }
+    }
+
+    /// Record one stage request's wall-clock cost; `cached` marks hits.
+    fn note_stage(&self, stage: Stage, started: Instant, cached: bool) {
+        let dur = started.elapsed();
+        self.stage_wall[StageMeters::idx(stage)]
+            .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+        if self.stage_journal.is_enabled() {
+            let dur_us = dur.as_secs_f64() * 1e6;
+            let end_us = started.duration_since(self.t0).as_secs_f64() * 1e6 + dur_us;
+            self.stage_journal.emit(TraceEvent {
+                ts_us: end_us - dur_us,
+                dur_us,
+                track: Track::Host,
+                kind: EventKind::Stage {
+                    stage: stage.label(),
+                    cached,
+                },
+            });
+        }
+    }
+
+    /// Accumulated wall-clock µs spent in each stage (cache hits included,
+    /// so artifact reuse shows up as near-zero stage time), in
+    /// [`Stage::ALL`] order.
+    pub fn stage_times(&self) -> [(Stage, f64); 7] {
+        let mut out = [(Stage::Frontend, 0.0); 7];
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            out[i] = (*s, self.stage_wall[i].load(Ordering::Relaxed) as f64 / 1e3);
+        }
+        out
+    }
+
     /// Frontend stage: parse + check `src`, cached by source hash.
     pub fn frontend(&self, src: &str) -> Result<Arc<FrontendArtifact>, Vec<Diagnostic>> {
+        let t = Instant::now();
         let key = Fnv::new().write_str(src).finish();
         if let Some(fe) = self.frontends.lock().unwrap().get(&key) {
             self.meters.hit(Stage::Frontend);
-            return Ok(fe.clone());
+            let fe = fe.clone();
+            self.note_stage(Stage::Frontend, t, true);
+            return Ok(fe);
         }
         self.meters.miss(Stage::Frontend);
         let (program, sema) = frontend(src)?;
@@ -513,6 +599,7 @@ impl Session {
             sema,
         });
         self.frontends.lock().unwrap().insert(key, fe.clone());
+        self.note_stage(Stage::Frontend, t, false);
         Ok(fe)
     }
 
@@ -520,10 +607,13 @@ impl Session {
     /// source-to-source transform such as [`crate::strip_privatization`]),
     /// keyed by the printed program text.
     pub fn frontend_program(&self, program: Program, sema: Sema) -> Arc<FrontendArtifact> {
+        let t = Instant::now();
         let key = Fnv::new().write_str(&print_program(&program)).finish();
         if let Some(fe) = self.frontends.lock().unwrap().get(&key) {
             self.meters.hit(Stage::Frontend);
-            return fe.clone();
+            let fe = fe.clone();
+            self.note_stage(Stage::Frontend, t, true);
+            return fe;
         }
         self.meters.miss(Stage::Frontend);
         let fe = Arc::new(FrontendArtifact {
@@ -532,15 +622,19 @@ impl Session {
             sema,
         });
         self.frontends.lock().unwrap().insert(key, fe.clone());
+        self.note_stage(Stage::Frontend, t, false);
         fe
     }
 
     /// Directives stage: census of the OpenACC pragmas in the program.
     pub fn directives(&self, fe: &FrontendArtifact) -> Result<Arc<DirectiveSummary>, Diagnostic> {
+        let t = Instant::now();
         let key = combine(fe.id.0, 0xd1ec);
         if let Some(d) = self.directives.lock().unwrap().get(&key) {
             self.meters.hit(Stage::Directives);
-            return Ok(d.clone());
+            let d = d.clone();
+            self.note_stage(Stage::Directives, t, true);
+            return Ok(d);
         }
         self.meters.miss(Stage::Directives);
         let mut sum = DirectiveSummary {
@@ -578,6 +672,7 @@ impl Session {
         }
         let sum = Arc::new(sum);
         self.directives.lock().unwrap().insert(key, sum.clone());
+        self.note_stage(Stage::Directives, t, false);
         Ok(sum)
     }
 
@@ -589,6 +684,7 @@ impl Session {
         fe: &FrontendArtifact,
         topts: &TranslateOptions,
     ) -> Result<Arc<TranslatedArtifact>, Vec<Diagnostic>> {
+        let t = Instant::now();
         let stage = if topts.instrument {
             Stage::Instrument
         } else {
@@ -597,7 +693,9 @@ impl Session {
         let key = combine(fe.id.0, fp_translate_options(topts));
         if let Some(tr) = self.translations.lock().unwrap().get(&key) {
             self.meters.hit(stage);
-            return Ok(tr.clone());
+            let tr = tr.clone();
+            self.note_stage(stage, t, true);
+            return Ok(tr);
         }
         self.meters.miss(stage);
         let tr = translate(&fe.program, &fe.sema, topts)?;
@@ -607,15 +705,19 @@ impl Session {
             tr,
         });
         self.translations.lock().unwrap().insert(key, art.clone());
+        self.note_stage(stage, t, false);
         Ok(art)
     }
 
     /// Plan stage: bind a translation to one options fingerprint.
     pub fn plan(&self, tr: &TranslatedArtifact, eopts: &ExecOptions) -> ExecPlan {
+        let t = Instant::now();
         let key = combine(tr.id.0, fp_exec_options(eopts));
         if let Some(p) = self.plans.lock().unwrap().get(&key) {
             self.meters.hit(Stage::Plan);
-            return p.clone();
+            let p = p.clone();
+            self.note_stage(Stage::Plan, t, true);
+            return p;
         }
         self.meters.miss(Stage::Plan);
         let plan = ExecPlan {
@@ -626,14 +728,16 @@ impl Session {
                 ExecMode::CpuOnly => "cpu",
                 ExecMode::Verify(_) => "verify",
             },
-            cacheable: !eopts.journal.is_enabled(),
+            journaled: eopts.journal.is_enabled(),
         };
         self.plans.lock().unwrap().insert(key, plan.clone());
+        self.note_stage(Stage::Plan, t, false);
         plan
     }
 
-    /// Execute stage: run the plan, serving repeats from cache when the
-    /// plan is cacheable (journal disabled).
+    /// Execute stage: run the plan, serving repeats from cache. Journaled
+    /// plans replay their recorded event stream into the caller's journal
+    /// on a hit, so the side effect is byte-identical to a real run.
     pub fn execute(
         &self,
         tr: &TranslatedArtifact,
@@ -651,18 +755,49 @@ impl Session {
         eopts: &ExecOptions,
         plan: &ExecPlan,
     ) -> Result<Arc<RunResult>, VmError> {
-        if plan.cacheable {
-            if let Some(r) = self.runs.lock().unwrap().get(&plan.id.0) {
-                self.meters.hit(Stage::Execute);
-                return Ok(r.clone());
+        let t = Instant::now();
+        let hit = self
+            .runs
+            .lock()
+            .unwrap()
+            .get(&plan.id.0)
+            .map(|c| (c.result.clone(), c.events.clone()));
+        if let Some((result, events)) = hit {
+            self.meters.hit(Stage::Execute);
+            if !events.is_empty() {
+                // Replay the recorded journal side effect (outside the
+                // cache lock; the extend is one batched acquisition).
+                eopts.journal.extend((*events).clone());
             }
+            self.note_stage(Stage::Execute, t, true);
+            return Ok(result);
         }
         self.meters.miss(Stage::Execute);
-        let r = Arc::new(execute(&tr.tr, eopts)?);
-        if plan.cacheable {
-            self.runs.lock().unwrap().insert(plan.id.0, r.clone());
-        }
-        Ok(r)
+        let (result, events) = if plan.journaled {
+            // Run against a private capture journal so exactly this run's
+            // events are recorded for replay, then forward them to the
+            // caller's journal.
+            let capture = Journal::enabled();
+            let run_opts = ExecOptions {
+                journal: capture.clone(),
+                ..eopts.clone()
+            };
+            let result = Arc::new(execute(&tr.tr, &run_opts)?);
+            let events = capture.drain();
+            eopts.journal.extend(events.clone());
+            (result, Arc::new(events))
+        } else {
+            (Arc::new(execute(&tr.tr, eopts)?), Arc::new(Vec::new()))
+        };
+        self.runs.lock().unwrap().insert(
+            plan.id.0,
+            CachedRun {
+                result: result.clone(),
+                events,
+            },
+        );
+        self.note_stage(Stage::Execute, t, false);
+        Ok(result)
     }
 
     /// Verify stage: §III-A report (CPU baseline + verification run), both
@@ -675,6 +810,7 @@ impl Session {
         vopts: VerifyOptions,
     ) -> Result<(Arc<TranslatedArtifact>, Arc<VerificationReport>), VerifyError> {
         let tr = self.translate(fe, topts).map_err(VerifyError::Translate)?;
+        let t = Instant::now();
         let vrun_opts = ExecOptions {
             mode: ExecMode::Verify(vopts),
             ..Default::default()
@@ -682,7 +818,9 @@ impl Session {
         let key = combine(tr.id.0, fp_exec_options(&vrun_opts));
         if let Some(rep) = self.verifications.lock().unwrap().get(&key) {
             self.meters.hit(Stage::Verify);
-            return Ok((tr, rep.clone()));
+            let rep = rep.clone();
+            self.note_stage(Stage::Verify, t, true);
+            return Ok((tr, rep));
         }
         self.meters.miss(Stage::Verify);
         let base = self
@@ -703,6 +841,7 @@ impl Session {
             races: run.races.clone(),
         });
         self.verifications.lock().unwrap().insert(key, rep.clone());
+        self.note_stage(Stage::Verify, t, false);
         Ok((tr, rep))
     }
 
@@ -776,20 +915,70 @@ mod tests {
     }
 
     #[test]
-    fn journaling_runs_are_never_cached() {
+    fn journaled_runs_cache_and_replay_events() {
         let s = Session::new();
         let topts = TranslateOptions::default();
-        let eopts = ExecOptions {
-            journal: openarc_trace::Journal::enabled(),
-            ..Default::default()
-        };
-        let a = s.run_source(SRC, &topts, &eopts).unwrap();
-        assert!(!a.plan.cacheable);
-        let b = s.run_source(SRC, &topts, &eopts).unwrap();
-        assert!(!Arc::ptr_eq(&a.result, &b.result));
-        assert_eq!(s.stats().get(Stage::Execute).misses, 2);
-        // Both journals actually observed events.
-        assert!(!eopts.journal.snapshot().is_empty());
+        let first = openarc_trace::Journal::enabled();
+        let a = s
+            .run_source(
+                SRC,
+                &topts,
+                &ExecOptions {
+                    journal: first.clone(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(a.plan.journaled);
+        let recorded = first.snapshot();
+        assert!(!recorded.is_empty(), "miss journaled real events");
+        // Identical request with a fresh journal: served from cache, with
+        // the recorded event stream replayed byte-for-byte.
+        let second = openarc_trace::Journal::enabled();
+        let b = s
+            .run_source(
+                SRC,
+                &topts,
+                &ExecOptions {
+                    journal: second.clone(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&a.result, &b.result), "hit reuses the run");
+        assert_eq!(s.stats().get(Stage::Execute).hits, 1);
+        assert_eq!(second.snapshot(), recorded, "replay is byte-identical");
+        // Journaled and unjournaled requests stay separate plans.
+        let c = s.run_source(SRC, &topts, &ExecOptions::default()).unwrap();
+        assert!(!c.plan.journaled);
+        assert!(!Arc::ptr_eq(&a.result, &c.result));
+    }
+
+    #[test]
+    fn stage_times_and_stage_journal_observe_requests() {
+        let j = openarc_trace::Journal::enabled();
+        let s = Session::with_stage_journal(j.clone());
+        s.run_source(SRC, &TranslateOptions::default(), &ExecOptions::default())
+            .unwrap();
+        s.run_source(SRC, &TranslateOptions::default(), &ExecOptions::default())
+            .unwrap();
+        let times = s.stage_times();
+        let get = |st: Stage| times.iter().find(|(x, _)| *x == st).unwrap().1;
+        assert!(get(Stage::Execute) > 0.0, "execute stage accumulated time");
+        let events = j.snapshot();
+        let stages: Vec<(&str, bool)> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                openarc_trace::EventKind::Stage { stage, cached } => Some((stage, cached)),
+                _ => None,
+            })
+            .collect();
+        // Both requests emitted Frontend and Execute spans; the second
+        // request's are cache hits.
+        assert!(stages.contains(&("frontend", false)));
+        assert!(stages.contains(&("frontend", true)));
+        assert!(stages.contains(&("execute", false)));
+        assert!(stages.contains(&("execute", true)));
     }
 
     #[test]

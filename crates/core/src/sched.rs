@@ -13,7 +13,6 @@
 //! verified launch path where the CPU reference overlaps the device run.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of workers the host can usefully run (`available_parallelism`,
@@ -49,10 +48,18 @@ pub fn parse_jobs(s: &str) -> Result<usize, String> {
 ///
 /// `jobs <= 1` (or a single task) degenerates to an inline sequential loop
 /// on the calling thread — byte-identical behaviour, zero thread overhead.
-/// Workers pull the next unclaimed task index from a shared counter, so an
-/// expensive task never blocks cheap ones behind it. A panicking task does
-/// not poison the pool: remaining tasks still run, and the first panic (in
-/// task order) is re-raised on the caller after all workers join.
+///
+/// Workers self-schedule in **guided chunks**: each claims
+/// `max(1, remaining / (2 × workers))` consecutive task indices under one
+/// lock acquisition, so a matrix of fine-grained cells does not pay one
+/// mutex round-trip per task — early chunks are large (low overhead), the
+/// final chunks shrink to single tasks (good load balance, so an expensive
+/// task never strands cheap ones behind it). Each worker buffers its
+/// `(index, result)` pairs locally and publishes them with one lock at
+/// exit, so result collection adds one acquisition per worker, not per
+/// task. A panicking task does not poison the pool: remaining tasks still
+/// run, and the first panic (in task order) is re-raised on the caller
+/// after all workers join.
 ///
 /// ```
 /// use openarc_core::sched::run_tasks;
@@ -68,26 +75,52 @@ where
     if jobs <= 1 || n <= 1 {
         return tasks.into_iter().map(|f| f()).collect();
     }
-    let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(n);
+    struct Queue<F> {
+        tasks: Vec<Option<F>>,
+        next: usize,
+    }
+    let queue = Mutex::new(Queue {
+        tasks: tasks.into_iter().map(Some).collect(),
+        next: 0,
+    });
+    let results: Mutex<Vec<Option<std::thread::Result<T>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut chunk: Vec<(usize, F)> = Vec::new();
+                let mut done: Vec<(usize, std::thread::Result<T>)> = Vec::new();
+                loop {
+                    {
+                        let mut q = queue.lock().expect("sched queue poisoned");
+                        let remaining = n - q.next;
+                        if remaining == 0 {
+                            break;
+                        }
+                        let take = (remaining / (2 * workers)).max(1);
+                        let start = q.next;
+                        q.next += take;
+                        for i in start..start + take {
+                            chunk.push((i, q.tasks[i].take().expect("task claimed twice")));
+                        }
+                    }
+                    for (i, task) in chunk.drain(..) {
+                        done.push((i, catch_unwind(AssertUnwindSafe(task))));
+                    }
                 }
-                let task = queue[i].lock().unwrap().take().unwrap();
-                let r = catch_unwind(AssertUnwindSafe(task));
-                *slots[i].lock().unwrap() = Some(r);
+                let mut slots = results.lock().expect("sched results poisoned");
+                for (i, r) in done {
+                    slots[i] = Some(r);
+                }
             });
         }
     });
-    slots
+    results
+        .into_inner()
+        .expect("sched results poisoned")
         .into_iter()
-        .map(|m| match m.into_inner().unwrap().unwrap() {
+        .map(|slot| match slot.expect("task never ran") {
             Ok(v) => v,
             Err(panic) => resume_unwind(panic),
         })
@@ -97,6 +130,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn results_come_back_in_task_order() {

@@ -1,12 +1,12 @@
 //! Simulated wall clock with async-queue timelines and a per-category
 //! time breakdown (the accounting behind the paper's Figure 3).
 //!
-//! When a [`Journal`] is attached, the clock emits a
+//! When a [`JournalPart`] is attached, the clock emits a
 //! [`openarc_trace::EventKind::Slice`] at the instant each charge lands, so
 //! per-category sums over the journal reproduce [`TimeBreakdown`] exactly
 //! (same `f64` additions, same order).
 
-use openarc_trace::{Category, EventKind, Journal, TraceEvent, Track};
+use openarc_trace::{Category, EventKind, JournalPart, TraceEvent, Track};
 use std::collections::HashMap;
 
 /// Where simulated time was spent. Matches Figure 3's legend plus kernel
@@ -103,9 +103,11 @@ pub struct SimClock {
     queues: HashMap<i64, f64>,
     /// Per-category accounting of host-visible time.
     pub breakdown: TimeBreakdown,
-    /// Event journal; the default (disabled) journal makes every emission
-    /// a single branch.
-    pub journal: Journal,
+    /// Event journal writer: a buffered [`JournalPart`] so the per-charge
+    /// emission path is a branch plus a push — no lock. The default
+    /// (disabled) part makes every emission a single branch. Flush it (or
+    /// drop the clock) to publish into the shared journal.
+    pub journal: JournalPart,
 }
 
 impl SimClock {
@@ -250,14 +252,16 @@ mod tests {
 
     #[test]
     fn journal_slices_reconcile_with_breakdown() {
+        let shared = openarc_trace::Journal::enabled();
         let mut c = SimClock::new();
-        c.journal = Journal::enabled();
+        c.journal = JournalPart::new(shared.clone());
         c.advance(TimeCategory::CpuTime, 1.25);
         c.advance(TimeCategory::MemTransfer, 0.5);
         c.enqueue_async(1, 10.0);
         c.advance(TimeCategory::CpuTime, 3.0);
         c.wait_all();
-        let events = c.journal.snapshot();
+        c.journal.flush();
+        let events = shared.snapshot();
         for (cat, total) in openarc_trace::category_totals(&events) {
             let clock_cat = TimeCategory::ALL
                 .iter()

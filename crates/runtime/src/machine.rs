@@ -8,7 +8,7 @@ use crate::coherence::{Coherence, DevSide, ReadDiag, St};
 use crate::present::PresentTable;
 use crate::report::{Direction, Issue, IssueKind, Report};
 use openarc_gpusim::{CostModel, Device, KernelOutcome, SimClock, TimeCategory};
-use openarc_trace::{EventKind, Journal, TraceEvent, Track};
+use openarc_trace::{EventKind, Journal, JournalPart, TraceEvent, Track};
 use openarc_vm::interp::BasicEnv;
 use openarc_vm::{Handle, VmError};
 
@@ -82,19 +82,29 @@ impl Machine {
         }
     }
 
-    /// Attach an event journal. The journal lives on the clock, so clock
-    /// slices and the machine's semantic events interleave on one timeline.
+    /// Attach an event journal. The machine writes through a buffered
+    /// [`JournalPart`] living on the clock, so clock slices and the
+    /// machine's semantic events interleave on one timeline without taking
+    /// the shared journal's lock per event. Call
+    /// [`Machine::flush_journal`] (or drop the machine) to publish.
     pub fn set_journal(&mut self, journal: Journal) {
-        self.clock.journal = journal;
+        self.clock.journal = JournalPart::new(journal);
     }
 
-    /// The attached journal (disabled by default).
+    /// The shared journal behind the machine's buffered writer (disabled
+    /// by default). Flush first if buffered events must be visible.
     pub fn journal(&self) -> &Journal {
-        &self.clock.journal
+        self.clock.journal.shared()
+    }
+
+    /// Publish buffered events into the shared journal (one lock
+    /// acquisition for the whole batch).
+    pub fn flush_journal(&mut self) {
+        self.clock.journal.flush();
     }
 
     /// Emit an instant event at the current host time.
-    fn emit(&self, kind: EventKind) {
+    fn emit(&mut self, kind: EventKind) {
         self.clock.journal.emit(TraceEvent {
             ts_us: self.clock.now(),
             dur_us: 0.0,
@@ -125,7 +135,7 @@ impl Machine {
 
     /// Journal the coherence transitions between `before` (a
     /// [`Machine::coh_snapshot`] taken before the state change) and now.
-    fn emit_coherence_diff(&self, h: Handle, before: Option<(St, St)>, cause: &'static str) {
+    fn emit_coherence_diff(&mut self, h: Handle, before: Option<(St, St)>, cause: &'static str) {
         if !self.clock.journal.is_enabled() {
             return;
         }
@@ -332,7 +342,7 @@ impl Machine {
 
     #[allow(clippy::too_many_arguments)]
     fn emit_transfer(
-        &self,
+        &mut self,
         host_h: Handle,
         name: Option<&str>,
         site: &str,
@@ -586,6 +596,7 @@ mod tests {
         m.copy_to_host(h, "exit0", None).unwrap();
         m.unmap_from_device(h).unwrap();
         m.unmap_from_device(h).unwrap(); // refcount 0 → free
+        m.flush_journal();
         let events = m.journal().snapshot();
         let has = |pred: &dyn Fn(&Ev) -> bool| events.iter().any(|e| pred(&e.kind));
         assert!(has(&|k| matches!(k, Ev::PresentMiss { var } if var == "a")));

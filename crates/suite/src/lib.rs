@@ -179,8 +179,9 @@ pub fn translate_variant_cached(
 }
 
 /// Translate and execute a benchmark variant through a pipeline
-/// [`Session`]. The translation is always cached; the run itself is cached
-/// only when the exec options allow it (journal disabled).
+/// [`Session`]. Both the translation and the run are cached; a repeat of a
+/// journaled run replays the recorded event stream into the caller's
+/// journal, so cached and fresh runs are observationally identical.
 pub fn run_variant_cached(
     session: &Session,
     b: &Benchmark,

@@ -106,6 +106,10 @@ fn args_of(ev: &TraceEvent) -> Json {
             ("mismatched_elems", Json::from(*mismatched_elems)),
             ("max_abs_err", Json::from(*max_abs_err)),
         ]),
+        EventKind::Stage { stage, cached } => Json::obj(vec![
+            ("stage", Json::from(*stage)),
+            ("cached", Json::from(*cached)),
+        ]),
     }
 }
 

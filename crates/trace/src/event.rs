@@ -200,6 +200,19 @@ pub enum EventKind {
         /// Largest absolute divergence.
         max_abs_err: f64,
     },
+    /// A pipeline-stage timing span emitted by the staged compilation
+    /// pipeline (`Session`). Unlike [`EventKind::Slice`], the duration is
+    /// **real wall-clock** µs spent compiling/executing, not simulated
+    /// time, and the timestamp is the offset since the session started.
+    /// Stage events therefore never enter the deterministic per-run
+    /// journals compared byte-for-byte across worker counts — they live in
+    /// a separate session-level stream.
+    Stage {
+        /// Stage label, e.g. `"Frontend"`, `"Translate"`, `"Execute"`.
+        stage: &'static str,
+        /// Whether the stage result came from the artifact cache.
+        cached: bool,
+    },
 }
 
 impl TraceEvent {
@@ -225,6 +238,9 @@ impl TraceEvent {
             EventKind::Verification { kernel, passed, .. } => {
                 format!("verify {kernel}: {}", if *passed { "ok" } else { "FAIL" })
             }
+            EventKind::Stage { stage, cached } => {
+                format!("stage {stage}{}", if *cached { " (cached)" } else { "" })
+            }
         }
     }
 
@@ -241,6 +257,7 @@ impl TraceEvent {
             EventKind::Coherence { .. } => "coherence",
             EventKind::Finding { .. } => "finding",
             EventKind::Verification { .. } => "verify",
+            EventKind::Stage { .. } => "stage",
         }
     }
 

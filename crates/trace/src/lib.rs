@@ -48,5 +48,5 @@ pub mod summary;
 pub use chrome::chrome_trace;
 pub use event::{Category, EventKind, TraceEvent, Track};
 pub use explain::explain_var;
-pub use journal::{merge_parts, Journal};
+pub use journal::{merge_parts, Journal, JournalPart};
 pub use summary::{category_totals, summarize, KernelRow, Summary};

@@ -64,6 +64,12 @@ pub struct Summary {
     pub total_us: f64,
     /// Per-kernel rows, in first-launch order.
     pub kernels: Vec<KernelRow>,
+    /// Pipeline-stage wall-clock totals (label, µs, cache hits), in
+    /// first-seen order. Empty unless the journal carries
+    /// [`EventKind::Stage`] events from a staged pipeline session. These
+    /// are *real* µs, so they are reported separately and never summed
+    /// into [`Summary::total_us`] (which is simulated time).
+    pub stages: Vec<(&'static str, f64, u64)>,
     /// Events summarized.
     pub n_events: usize,
 }
@@ -74,6 +80,7 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
     let total_us = categories.iter().map(|(_, t)| t).sum();
 
     let mut kernels: Vec<KernelRow> = Vec::new();
+    let mut stages: Vec<(&'static str, f64, u64)> = Vec::new();
     let row = |kernels: &mut Vec<KernelRow>, name: &str| -> usize {
         if let Some(i) = kernels.iter().position(|r| r.name == name) {
             return i;
@@ -120,6 +127,19 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
                     kernels[i].max_abs_err = *max_abs_err;
                 }
             }
+            EventKind::Stage { stage, cached } => {
+                let i = match stages.iter().position(|(s, _, _)| s == stage) {
+                    Some(i) => i,
+                    None => {
+                        stages.push((*stage, 0.0, 0));
+                        stages.len() - 1
+                    }
+                };
+                stages[i].1 += ev.dur_us;
+                if *cached {
+                    stages[i].2 += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -153,6 +173,7 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
         categories,
         total_us,
         kernels,
+        stages,
         n_events: events.len(),
     }
 }
@@ -164,6 +185,18 @@ impl fmt::Display for Summary {
             writeln!(f, "  {:<14} {:>14.3} us", cat.label(), us)?;
         }
         writeln!(f, "  {:<14} {:>14.3} us", "TOTAL", self.total_us)?;
+        if !self.stages.is_empty() {
+            writeln!(f)?;
+            writeln!(f, "pipeline stages (wall clock)")?;
+            for (stage, us, hits) in &self.stages {
+                let hits = if *hits > 0 {
+                    format!("  ({hits} cache hits)")
+                } else {
+                    String::new()
+                };
+                writeln!(f, "  {:<20} {:>14.3} us{}", stage, us, hits)?;
+            }
+        }
         if self.kernels.is_empty() {
             return Ok(());
         }

@@ -301,7 +301,13 @@ fn profile(rest: &[String]) -> Result<i32, String> {
         instrument: true,
         ..Default::default()
     };
-    let tr = translate(&p, &s, &topts).map_err(|ds| {
+    // Route the run through a pipeline session with a stage journal so the
+    // summary can show where wall-clock time went per pipeline stage
+    // (frontend/translate/execute), alongside the simulated-time tables.
+    let stage_journal = Journal::enabled();
+    let session = openarc::core::pipeline::Session::with_stage_journal(stage_journal.clone());
+    let fe = session.frontend_program(p, s);
+    let tra = session.translate(&fe, &topts).map_err(|ds| {
         ds.iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
@@ -312,14 +318,17 @@ fn profile(rest: &[String]) -> Result<i32, String> {
     } else {
         ExecMode::Normal
     };
+    // Keep our own journal handle: a cached journaled run replays into it,
+    // while `r.machine.journal()` would point at the recording capture.
+    let journal = Journal::enabled();
     let opts = ExecOptions {
         mode,
         check_transfers: true,
-        journal: Journal::enabled(),
+        journal: journal.clone(),
         ..Default::default()
     };
-    let r = execute(&tr, &opts).map_err(|e| e.to_string())?;
-    let events = r.machine.journal().snapshot();
+    let r = session.execute(&tra, &opts).map_err(|e| e.to_string())?;
+    let events = journal.drain();
 
     if let Some(out) = trace_out {
         let filtered: Vec<openarc::trace::TraceEvent> = match filter_kernel {
@@ -345,7 +354,15 @@ fn profile(rest: &[String]) -> Result<i32, String> {
     }
 
     if summary {
-        let mut sum = summarize(&events);
+        // Stage events are wall-clock and live in the session-level
+        // journal, never in the deterministic run journal; merge them in
+        // only for the summary's stage table.
+        let with_stages: Vec<openarc::trace::TraceEvent> = events
+            .iter()
+            .cloned()
+            .chain(stage_journal.drain())
+            .collect();
+        let mut sum = summarize(&with_stages);
         if let Some(k) = filter_kernel {
             sum.kernels.retain(|row| row.name == k);
         }
