@@ -1,8 +1,8 @@
 //! Regenerate Figure 4.
-use openarc_bench::{experiments, render, sweep};
+use openarc_bench::{args, experiments, render, sweep};
 
 fn main() {
-    let sw = sweep::sweep_from_env("figure4");
+    let sw = args::sweep_from_env("figure4");
     let rows = sweep::exit_on_error("figure4", experiments::figure4(&sw));
     println!("{}", render::figure4_text(&rows));
     let json = experiments::rows_json(&rows, |r| r.to_json()).pretty();

@@ -4,10 +4,10 @@
 //! many figures touch it; `--jobs N` fans the benchmark matrix across
 //! worker threads with byte-identical output.
 use openarc_bench::sweep::exit_on_error;
-use openarc_bench::{experiments, render, sweep};
+use openarc_bench::{args, experiments, render};
 
 fn main() {
-    let sw = sweep::sweep_from_env("paper");
+    let sw = args::sweep_from_env("paper");
     let problems = exit_on_error("paper", experiments::validate_suite(&sw));
     if !problems.is_empty() {
         eprintln!("paper: suite validation failed:");

@@ -1,8 +1,8 @@
 //! Regenerate Table 2.
-use openarc_bench::{experiments, render, sweep};
+use openarc_bench::{args, experiments, render, sweep};
 
 fn main() {
-    let sw = sweep::sweep_from_env("table2");
+    let sw = args::sweep_from_env("table2");
     let t = sweep::exit_on_error("table2", experiments::table2(&sw));
     println!("{}", render::table2_text(&t));
     let json = t.to_json().pretty();

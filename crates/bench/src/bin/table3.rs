@@ -1,8 +1,8 @@
 //! Regenerate Table 3.
-use openarc_bench::{experiments, render, sweep};
+use openarc_bench::{args, experiments, render, sweep};
 
 fn main() {
-    let sw = sweep::sweep_from_env("table3");
+    let sw = args::sweep_from_env("table3");
     let rows = sweep::exit_on_error("table3", experiments::table3(&sw));
     println!("{}", render::table3_text(&rows));
     let json = experiments::rows_json(&rows, |r| r.to_json()).pretty();

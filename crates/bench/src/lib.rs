@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod experiments;
 pub mod render;
 pub mod sweep;

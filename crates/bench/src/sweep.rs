@@ -32,12 +32,18 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Sweep with a fresh session.
+    /// Sweep with a fresh in-memory session.
     pub fn new(scale: Scale, jobs: usize) -> Sweep {
+        Sweep::with_session(scale, jobs, Session::builder().build())
+    }
+
+    /// Sweep over a caller-configured session (e.g. one carrying a disk
+    /// cache from [`crate::args::BenchArgs::session`]).
+    pub fn with_session(scale: Scale, jobs: usize, session: Session) -> Sweep {
         Sweep {
             scale,
             jobs,
-            session: Session::new(),
+            session,
         }
     }
 
@@ -165,71 +171,6 @@ impl Sweep {
     }
 }
 
-/// Parse the common bin arguments: `--scale small|bench`, `--jobs N|auto`,
-/// `--n <size>`, `--iters <count>`. Returns `(scale, jobs)`; the error
-/// string is ready to print to stderr before a nonzero exit.
-pub fn parse_bin_args(args: &[String]) -> Result<(Scale, usize), String> {
-    let mut scale = Scale::bench();
-    let mut jobs = 1usize;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} expects a value"))
-        };
-        match a.as_str() {
-            "--scale" => {
-                scale = match value("--scale")?.as_str() {
-                    "small" => Scale::default(),
-                    "bench" => Scale::bench(),
-                    other => {
-                        return Err(format!(
-                            "--scale expects 'small' or 'bench' (got '{other}')"
-                        ))
-                    }
-                }
-            }
-            "--jobs" => jobs = openarc_core::sched::parse_jobs(&value("--jobs")?)?,
-            "--n" => {
-                scale.n = value("--n")?
-                    .parse()
-                    .map_err(|_| "--n expects a positive integer".to_string())?
-            }
-            "--iters" => {
-                scale.iters = value("--iters")?
-                    .parse()
-                    .map_err(|_| "--iters expects a positive integer".to_string())?
-            }
-            other => {
-                return Err(format!(
-                    "unknown argument '{other}' (expected --scale small|bench, --jobs N|auto, --n SIZE, --iters COUNT)"
-                ))
-            }
-        }
-    }
-    if scale.n == 0 || scale.iters == 0 {
-        return Err("--n and --iters must be positive".to_string());
-    }
-    Ok((scale, jobs))
-}
-
-/// Build a sweep from a bin's command-line arguments, printing a usage
-/// message to stderr and exiting with status `2` when they don't parse.
-pub fn sweep_from_env(bin: &str) -> Sweep {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_bin_args(&args) {
-        Ok((scale, jobs)) => Sweep::new(scale, jobs),
-        Err(e) => {
-            eprintln!("{bin}: {e}");
-            eprintln!(
-                "usage: {bin} [--scale small|bench] [--jobs N|auto] [--n SIZE] [--iters COUNT]"
-            );
-            std::process::exit(2);
-        }
-    }
-}
-
 /// Unwrap an experiment result in a bin, printing the error to stderr and
 /// exiting with status `1` on failure.
 pub fn exit_on_error<T>(bin: &str, r: Result<T, String>) -> T {
@@ -245,25 +186,6 @@ pub fn exit_on_error<T>(bin: &str, r: Result<T, String>) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parse_bin_args_defaults_and_flags() {
-        let (s, j) = parse_bin_args(&[]).unwrap();
-        assert_eq!(
-            (s.n, s.iters, j),
-            (Scale::bench().n, Scale::bench().iters, 1)
-        );
-        let args: Vec<String> = ["--scale", "small", "--jobs", "4"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let (s, j) = parse_bin_args(&args).unwrap();
-        assert_eq!((s.n, j), (Scale::default().n, 4));
-        let bad: Vec<String> = ["--jobs", "zero"].iter().map(|s| s.to_string()).collect();
-        assert!(parse_bin_args(&bad).is_err());
-        let unknown: Vec<String> = ["--frobnicate"].iter().map(|s| s.to_string()).collect();
-        assert!(parse_bin_args(&unknown).is_err());
-    }
 
     #[test]
     fn matrix_has_36_cells_and_journals() {

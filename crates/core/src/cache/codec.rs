@@ -1,0 +1,1067 @@
+//! JSON codecs for the disk-cached pipeline artifacts.
+//!
+//! Three artifact families go to disk (see [`super::DISK_STAGES`]):
+//!
+//! * **Frontend** — the parsed [`Program`] and its [`Sema`] tables
+//!   (NodeIds are stored, so downstream id-keyed tables stay valid).
+//! * **Translated** — the full translator output: both programs, both
+//!   compiled modules, and the runtime-op/kernel/region tables.
+//! * **Run** — the *observable surface* of a finished execution: final
+//!   host memory image (slot table, so [`openarc_vm::Handle`]s stay
+//!   valid), simulated clock and per-category breakdown, transfer stats,
+//!   coherence findings, verification verdicts, races, and the exact
+//!   journal event stream for byte-identical replay. The simulated
+//!   device/coherence internals are *not* stored: a cached run is
+//!   read-only and consumers only touch the serialized surface.
+//!
+//! Every `f64` is encoded as its exact bit pattern (`u64`), so `NaN`,
+//! infinities, and `-0.0` survive and a decode→encode round trip is
+//! byte-identical. Closed label sets (sides, states, issue kinds, …)
+//! decode by interning against the known constants; an unknown label is a
+//! decode error, which the disk layer treats as corruption and recomputes.
+
+use crate::exec::{KernelVerification, RunResult};
+use crate::ir::{DataAction, DataRegionInfo, KernelInfo, KernelParam, RtOp};
+use crate::knowledge::{KernelAssert, KernelBound, KernelKnowledge};
+use crate::pipeline::{ArtifactId, FrontendArtifact, TranslatedArtifact};
+use crate::translate::Translated;
+use openarc_gpusim::{RaceReport, SimClock, TimeBreakdown, TimeCategory};
+use openarc_minic::jsonio as mj;
+use openarc_minic::{NodeId, Program, Sema};
+use openarc_openacc::{DataClauseKind, ReductionOp};
+use openarc_runtime::coherence::DevSide;
+use openarc_runtime::{Direction, Issue, IssueKind, Machine, Report, St, TransferStats};
+use openarc_trace::codec::{events_from_json, events_to_json, f64_to_json};
+use openarc_trace::json::Json;
+use openarc_trace::TraceEvent;
+use openarc_vm::jsonio as vj;
+use openarc_vm::{BasicEnv, Handle};
+
+type R<T> = Result<T, String>;
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn field<'a>(v: &'a Json, key: &str) -> R<&'a Json> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn arr<'a>(v: &'a Json, what: &str) -> R<&'a [Json]> {
+    v.as_arr().ok_or_else(|| format!("{what}: expected array"))
+}
+
+fn str_of<'a>(v: &'a Json, what: &str) -> R<&'a str> {
+    v.as_str().ok_or_else(|| format!("{what}: expected string"))
+}
+
+fn u64_of(v: &Json, what: &str) -> R<u64> {
+    v.as_u64().ok_or_else(|| format!("{what}: expected u64"))
+}
+
+fn i64_of(v: &Json, what: &str) -> R<i64> {
+    v.as_i64().ok_or_else(|| format!("{what}: expected i64"))
+}
+
+fn bool_of(v: &Json, what: &str) -> R<bool> {
+    v.as_bool().ok_or_else(|| format!("{what}: expected bool"))
+}
+
+fn u64f(v: &Json, key: &str) -> R<u64> {
+    u64_of(field(v, key)?, key)
+}
+
+fn f64f(v: &Json, key: &str) -> R<f64> {
+    Ok(f64::from_bits(u64f(v, key)?))
+}
+
+fn strf(v: &Json, key: &str) -> R<String> {
+    Ok(str_of(field(v, key)?, key)?.to_string())
+}
+
+fn boolf(v: &Json, key: &str) -> R<bool> {
+    bool_of(field(v, key)?, key)
+}
+
+/// `key` present and non-null → `Some(value)`.
+fn optf<'a>(v: &'a Json, key: &str) -> R<Option<&'a Json>> {
+    match field(v, key)? {
+        Json::Null => Ok(None),
+        other => Ok(Some(other)),
+    }
+}
+
+fn opt_string(s: &Option<String>) -> Json {
+    match s {
+        Some(s) => Json::from(s.as_str()),
+        None => Json::Null,
+    }
+}
+
+fn strings_to_json(xs: &[String]) -> Json {
+    Json::Arr(xs.iter().map(|s| Json::from(s.as_str())).collect())
+}
+
+fn strings_from_json(v: &Json, what: &str) -> R<Vec<String>> {
+    arr(v, what)?
+        .iter()
+        .map(|s| Ok(str_of(s, what)?.to_string()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Closed label sets
+// ---------------------------------------------------------------------------
+
+fn clause_label(c: DataClauseKind) -> &'static str {
+    match c {
+        DataClauseKind::Copy => "copy",
+        DataClauseKind::CopyIn => "copyin",
+        DataClauseKind::CopyOut => "copyout",
+        DataClauseKind::Create => "create",
+        DataClauseKind::Present => "present",
+        DataClauseKind::PresentOrCopy => "pcopy",
+        DataClauseKind::PresentOrCopyIn => "pcopyin",
+        DataClauseKind::PresentOrCopyOut => "pcopyout",
+        DataClauseKind::PresentOrCreate => "pcreate",
+        DataClauseKind::DevicePtr => "deviceptr",
+    }
+}
+
+fn clause_from(s: &str) -> R<DataClauseKind> {
+    Ok(match s {
+        "copy" => DataClauseKind::Copy,
+        "copyin" => DataClauseKind::CopyIn,
+        "copyout" => DataClauseKind::CopyOut,
+        "create" => DataClauseKind::Create,
+        "present" => DataClauseKind::Present,
+        "pcopy" => DataClauseKind::PresentOrCopy,
+        "pcopyin" => DataClauseKind::PresentOrCopyIn,
+        "pcopyout" => DataClauseKind::PresentOrCopyOut,
+        "pcreate" => DataClauseKind::PresentOrCreate,
+        "deviceptr" => DataClauseKind::DevicePtr,
+        other => return Err(format!("unknown data clause {other:?}")),
+    })
+}
+
+fn red_from(s: &str) -> R<ReductionOp> {
+    for op in [
+        ReductionOp::Add,
+        ReductionOp::Mul,
+        ReductionOp::Max,
+        ReductionOp::Min,
+        ReductionOp::BitAnd,
+        ReductionOp::BitOr,
+        ReductionOp::BitXor,
+        ReductionOp::LogAnd,
+        ReductionOp::LogOr,
+    ] {
+        if op.symbol() == s {
+            return Ok(op);
+        }
+    }
+    Err(format!("unknown reduction op {s:?}"))
+}
+
+fn side_label(s: DevSide) -> &'static str {
+    match s {
+        DevSide::Cpu => "cpu",
+        DevSide::Gpu => "gpu",
+    }
+}
+
+fn side_from(s: &str) -> R<DevSide> {
+    match s {
+        "cpu" => Ok(DevSide::Cpu),
+        "gpu" => Ok(DevSide::Gpu),
+        other => Err(format!("unknown side {other:?}")),
+    }
+}
+
+fn st_label(s: St) -> &'static str {
+    match s {
+        St::NotStale => "notstale",
+        St::MayStale => "maystale",
+        St::Stale => "stale",
+    }
+}
+
+fn st_from(s: &str) -> R<St> {
+    match s {
+        "notstale" => Ok(St::NotStale),
+        "maystale" => Ok(St::MayStale),
+        "stale" => Ok(St::Stale),
+        other => Err(format!("unknown coherence state {other:?}")),
+    }
+}
+
+fn kind_label(k: IssueKind) -> &'static str {
+    match k {
+        IssueKind::Redundant => "redundant",
+        IssueKind::MayRedundant => "may_redundant",
+        IssueKind::Incorrect => "incorrect",
+        IssueKind::MayIncorrect => "may_incorrect",
+        IssueKind::Missing => "missing",
+        IssueKind::MayMissing => "may_missing",
+    }
+}
+
+fn kind_from(s: &str) -> R<IssueKind> {
+    Ok(match s {
+        "redundant" => IssueKind::Redundant,
+        "may_redundant" => IssueKind::MayRedundant,
+        "incorrect" => IssueKind::Incorrect,
+        "may_incorrect" => IssueKind::MayIncorrect,
+        "missing" => IssueKind::Missing,
+        "may_missing" => IssueKind::MayMissing,
+        other => return Err(format!("unknown issue kind {other:?}")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// IR tables
+// ---------------------------------------------------------------------------
+
+fn action_to_json(a: &DataAction) -> Json {
+    Json::obj(vec![
+        ("var", Json::from(a.var.as_str())),
+        ("map", Json::from(a.map)),
+        ("in", Json::from(a.copyin)),
+        ("out", Json::from(a.copyout)),
+        (
+            "clause",
+            match a.from_clause {
+                Some(c) => Json::from(clause_label(c)),
+                None => Json::Null,
+            },
+        ),
+        (
+            "region",
+            match a.covering_region {
+                Some(r) => Json::from(r as u64),
+                None => Json::Null,
+            },
+        ),
+        ("written", Json::from(a.written)),
+    ])
+}
+
+fn action_from_json(v: &Json) -> R<DataAction> {
+    Ok(DataAction {
+        var: strf(v, "var")?,
+        map: boolf(v, "map")?,
+        copyin: boolf(v, "in")?,
+        copyout: boolf(v, "out")?,
+        from_clause: optf(v, "clause")?
+            .map(|c| clause_from(str_of(c, "clause")?))
+            .transpose()?,
+        covering_region: optf(v, "region")?
+            .map(|r| Ok::<usize, String>(u64_of(r, "region")? as usize))
+            .transpose()?,
+        written: boolf(v, "written")?,
+    })
+}
+
+fn actions_to_json(actions: &[DataAction]) -> Json {
+    Json::Arr(actions.iter().map(action_to_json).collect())
+}
+
+fn actions_from_json(v: &Json) -> R<Vec<DataAction>> {
+    arr(v, "actions")?.iter().map(action_from_json).collect()
+}
+
+fn param_to_json(p: &KernelParam) -> Json {
+    Json::Arr(match p {
+        KernelParam::Aggregate { var } => vec![Json::from("agg"), Json::from(var.as_str())],
+        KernelParam::Scalar { var } => vec![Json::from("scalar"), Json::from(var.as_str())],
+        KernelParam::SharedCell { var, init_global } => vec![
+            Json::from("cell"),
+            Json::from(var.as_str()),
+            opt_string(init_global),
+        ],
+        KernelParam::ReductionSlot { var, op } => vec![
+            Json::from("red"),
+            Json::from(var.as_str()),
+            Json::from(op.symbol()),
+        ],
+    })
+}
+
+fn param_from_json(v: &Json) -> R<KernelParam> {
+    let a = arr(v, "param")?;
+    let tag = str_of(a.first().ok_or("param: empty")?, "param tag")?;
+    let var = || {
+        Ok::<String, String>(
+            str_of(a.get(1).ok_or("param: missing var")?, "param var")?.to_string(),
+        )
+    };
+    Ok(match tag {
+        "agg" => KernelParam::Aggregate { var: var()? },
+        "scalar" => KernelParam::Scalar { var: var()? },
+        "cell" => KernelParam::SharedCell {
+            var: var()?,
+            init_global: match a.get(2).ok_or("cell: missing init")? {
+                Json::Null => None,
+                other => Some(str_of(other, "cell init")?.to_string()),
+            },
+        },
+        "red" => KernelParam::ReductionSlot {
+            var: var()?,
+            op: red_from(str_of(a.get(2).ok_or("red: missing op")?, "red op")?)?,
+        },
+        other => return Err(format!("unknown param tag {other:?}")),
+    })
+}
+
+fn knowledge_to_json(k: &KernelKnowledge) -> Json {
+    Json::obj(vec![
+        (
+            "bounds",
+            Json::Arr(
+                k.bounds
+                    .iter()
+                    .map(|b| {
+                        Json::Arr(vec![
+                            Json::from(b.var.as_str()),
+                            f64_to_json(b.lo),
+                            f64_to_json(b.hi),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "asserts",
+            Json::Arr(
+                k.asserts
+                    .iter()
+                    .map(|a| {
+                        Json::Arr(match a {
+                            KernelAssert::ChecksumWithin { var, expected, tol } => vec![
+                                Json::from("checksum"),
+                                Json::from(var.as_str()),
+                                f64_to_json(*expected),
+                                f64_to_json(*tol),
+                            ],
+                            KernelAssert::AllFinite { var } => {
+                                vec![Json::from("finite"), Json::from(var.as_str())]
+                            }
+                            KernelAssert::NonNegative { var } => {
+                                vec![Json::from("nonneg"), Json::from(var.as_str())]
+                            }
+                        })
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn knowledge_from_json(v: &Json) -> R<KernelKnowledge> {
+    let mut out = KernelKnowledge::default();
+    for b in arr(field(v, "bounds")?, "bounds")? {
+        let b = arr(b, "bound")?;
+        if b.len() != 3 {
+            return Err("bound: expected [var, lo, hi]".into());
+        }
+        out.bounds.push(KernelBound {
+            var: str_of(&b[0], "bound var")?.to_string(),
+            lo: f64::from_bits(u64_of(&b[1], "bound lo")?),
+            hi: f64::from_bits(u64_of(&b[2], "bound hi")?),
+        });
+    }
+    for a in arr(field(v, "asserts")?, "asserts")? {
+        let a = arr(a, "assert")?;
+        let tag = str_of(a.first().ok_or("assert: empty")?, "assert tag")?;
+        let var = str_of(a.get(1).ok_or("assert: missing var")?, "assert var")?.to_string();
+        out.asserts.push(match tag {
+            "checksum" => KernelAssert::ChecksumWithin {
+                var,
+                expected: f64::from_bits(u64_of(
+                    a.get(2).ok_or("checksum: missing expected")?,
+                    "expected",
+                )?),
+                tol: f64::from_bits(u64_of(a.get(3).ok_or("checksum: missing tol")?, "tol")?),
+            },
+            "finite" => KernelAssert::AllFinite { var },
+            "nonneg" => KernelAssert::NonNegative { var },
+            other => return Err(format!("unknown assert tag {other:?}")),
+        });
+    }
+    Ok(out)
+}
+
+fn kernel_to_json(k: &KernelInfo) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(k.name.as_str())),
+        ("seq", Json::from(k.seq_name.as_str())),
+        ("nthreads", Json::from(k.n_threads_global.as_str())),
+        (
+            "params",
+            Json::Arr(k.params.iter().map(param_to_json).collect()),
+        ),
+        ("actions", actions_to_json(&k.actions)),
+        ("gpu_reads", strings_to_json(&k.gpu_reads)),
+        ("gpu_writes", strings_to_json(&k.gpu_writes)),
+        ("hoisted", strings_to_json(&k.hoisted_writes)),
+        (
+            "reductions",
+            Json::Arr(
+                k.reductions
+                    .iter()
+                    .map(|(var, op)| {
+                        Json::Arr(vec![Json::from(var.as_str()), Json::from(op.symbol())])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("knowledge", knowledge_to_json(&k.knowledge)),
+        (
+            "wave",
+            match k.wave_override {
+                Some(w) => Json::from(u64::from(w)),
+                None => Json::Null,
+            },
+        ),
+        (
+            "queue",
+            match k.queue {
+                Some(q) => Json::from(q),
+                None => Json::Null,
+            },
+        ),
+        ("if", opt_string(&k.if_global)),
+        ("stmt", Json::from(u64::from(k.stmt))),
+        ("line", Json::from(u64::from(k.line))),
+    ])
+}
+
+fn kernel_from_json(v: &Json) -> R<KernelInfo> {
+    Ok(KernelInfo {
+        name: strf(v, "name")?,
+        seq_name: strf(v, "seq")?,
+        n_threads_global: strf(v, "nthreads")?,
+        params: arr(field(v, "params")?, "params")?
+            .iter()
+            .map(param_from_json)
+            .collect::<R<_>>()?,
+        actions: actions_from_json(field(v, "actions")?)?,
+        gpu_reads: strings_from_json(field(v, "gpu_reads")?, "gpu_reads")?,
+        gpu_writes: strings_from_json(field(v, "gpu_writes")?, "gpu_writes")?,
+        hoisted_writes: strings_from_json(field(v, "hoisted")?, "hoisted")?,
+        reductions: arr(field(v, "reductions")?, "reductions")?
+            .iter()
+            .map(|r| {
+                let r = arr(r, "reduction")?;
+                if r.len() != 2 {
+                    return Err("reduction: expected [var, op]".into());
+                }
+                Ok((
+                    str_of(&r[0], "reduction var")?.to_string(),
+                    red_from(str_of(&r[1], "reduction op")?)?,
+                ))
+            })
+            .collect::<R<_>>()?,
+        knowledge: knowledge_from_json(field(v, "knowledge")?)?,
+        wave_override: optf(v, "wave")?
+            .map(|w| Ok::<u32, String>(u64_of(w, "wave")? as u32))
+            .transpose()?,
+        queue: optf(v, "queue")?.map(|q| i64_of(q, "queue")).transpose()?,
+        if_global: optf(v, "if")?
+            .map(|s| Ok::<String, String>(str_of(s, "if")?.to_string()))
+            .transpose()?,
+        stmt: u64f(v, "stmt")? as NodeId,
+        line: u64f(v, "line")? as u32,
+    })
+}
+
+fn region_to_json(r: &DataRegionInfo) -> Json {
+    Json::obj(vec![
+        ("actions", actions_to_json(&r.actions)),
+        ("if", opt_string(&r.if_global)),
+        ("stmt", Json::from(u64::from(r.stmt))),
+    ])
+}
+
+fn region_from_json(v: &Json) -> R<DataRegionInfo> {
+    Ok(DataRegionInfo {
+        actions: actions_from_json(field(v, "actions")?)?,
+        if_global: optf(v, "if")?
+            .map(|s| Ok::<String, String>(str_of(s, "if")?.to_string()))
+            .transpose()?,
+        stmt: u64f(v, "stmt")? as NodeId,
+    })
+}
+
+fn op_to_json(op: &RtOp) -> Json {
+    Json::Arr(match op {
+        RtOp::DataEnter(i) => vec![Json::from("data_enter"), Json::from(*i as u64)],
+        RtOp::DataExit(i) => vec![Json::from("data_exit"), Json::from(*i as u64)],
+        RtOp::Launch(i) => vec![Json::from("launch"), Json::from(*i as u64)],
+        RtOp::Update {
+            to_host,
+            to_device,
+            queue,
+            site,
+            if_global,
+        } => vec![
+            Json::from("update"),
+            strings_to_json(to_host),
+            strings_to_json(to_device),
+            match queue {
+                Some(q) => Json::from(*q),
+                None => Json::Null,
+            },
+            Json::from(site.as_str()),
+            opt_string(if_global),
+        ],
+        RtOp::Wait(q) => vec![
+            Json::from("wait"),
+            match q {
+                Some(q) => Json::from(*q),
+                None => Json::Null,
+            },
+        ],
+        RtOp::CheckRead { var, side, site } => vec![
+            Json::from("check_read"),
+            Json::from(var.as_str()),
+            Json::from(side_label(*side)),
+            Json::from(site.as_str()),
+        ],
+        RtOp::CheckWrite {
+            var,
+            side,
+            total,
+            site,
+        } => vec![
+            Json::from("check_write"),
+            Json::from(var.as_str()),
+            Json::from(side_label(*side)),
+            Json::from(*total),
+            Json::from(site.as_str()),
+        ],
+        RtOp::ResetStatus { var, side, st } => vec![
+            Json::from("reset"),
+            Json::from(var.as_str()),
+            Json::from(side_label(*side)),
+            Json::from(st_label(*st)),
+        ],
+        RtOp::LoopEnter { label } => vec![Json::from("loop_enter"), Json::from(label.as_str())],
+        RtOp::LoopTick => vec![Json::from("loop_tick")],
+        RtOp::LoopExit => vec![Json::from("loop_exit")],
+    })
+}
+
+fn op_from_json(v: &Json) -> R<RtOp> {
+    let a = arr(v, "op")?;
+    let tag = str_of(a.first().ok_or("op: empty")?, "op tag")?;
+    let at = |i: usize| a.get(i).ok_or_else(|| format!("op {tag}: missing arg {i}"));
+    Ok(match tag {
+        "data_enter" => RtOp::DataEnter(u64_of(at(1)?, "index")? as usize),
+        "data_exit" => RtOp::DataExit(u64_of(at(1)?, "index")? as usize),
+        "launch" => RtOp::Launch(u64_of(at(1)?, "index")? as usize),
+        "update" => RtOp::Update {
+            to_host: strings_from_json(at(1)?, "to_host")?,
+            to_device: strings_from_json(at(2)?, "to_device")?,
+            queue: match at(3)? {
+                Json::Null => None,
+                q => Some(i64_of(q, "queue")?),
+            },
+            site: str_of(at(4)?, "site")?.to_string(),
+            if_global: match at(5)? {
+                Json::Null => None,
+                s => Some(str_of(s, "if")?.to_string()),
+            },
+        },
+        "wait" => RtOp::Wait(match at(1)? {
+            Json::Null => None,
+            q => Some(i64_of(q, "queue")?),
+        }),
+        "check_read" => RtOp::CheckRead {
+            var: str_of(at(1)?, "var")?.to_string(),
+            side: side_from(str_of(at(2)?, "side")?)?,
+            site: str_of(at(3)?, "site")?.to_string(),
+        },
+        "check_write" => RtOp::CheckWrite {
+            var: str_of(at(1)?, "var")?.to_string(),
+            side: side_from(str_of(at(2)?, "side")?)?,
+            total: bool_of(at(3)?, "total")?,
+            site: str_of(at(4)?, "site")?.to_string(),
+        },
+        "reset" => RtOp::ResetStatus {
+            var: str_of(at(1)?, "var")?.to_string(),
+            side: side_from(str_of(at(2)?, "side")?)?,
+            st: st_from(str_of(at(3)?, "st")?)?,
+        },
+        "loop_enter" => RtOp::LoopEnter {
+            label: str_of(at(1)?, "label")?.to_string(),
+        },
+        "loop_tick" => RtOp::LoopTick,
+        "loop_exit" => RtOp::LoopExit,
+        other => return Err(format!("unknown op tag {other:?}")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frontend artifact
+// ---------------------------------------------------------------------------
+
+/// Encode a frontend artifact's payload (program + semantic tables).
+pub fn frontend_payload(program: &Program, sema: &Sema) -> Json {
+    Json::obj(vec![
+        ("program", mj::program_to_json(program)),
+        ("sema", mj::sema_to_json(sema)),
+    ])
+}
+
+/// Decode a frontend artifact stored via [`frontend_payload`].
+pub fn frontend_from_payload(id: ArtifactId, v: &Json) -> R<FrontendArtifact> {
+    Ok(FrontendArtifact {
+        id,
+        program: mj::program_from_json(field(v, "program")?)?,
+        sema: mj::sema_from_json(field(v, "sema")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Translated artifact
+// ---------------------------------------------------------------------------
+
+/// Encode a translation artifact's payload.
+pub fn translated_payload(art: &TranslatedArtifact) -> Json {
+    let tr = &art.tr;
+    Json::obj(vec![
+        ("instrumented", Json::from(art.instrumented)),
+        ("host_program", mj::program_to_json(&tr.host_program)),
+        ("host_sema", mj::sema_to_json(&tr.host_sema)),
+        ("host_module", vj::module_to_json(&tr.host_module)),
+        ("kernel_program", mj::program_to_json(&tr.kernel_program)),
+        ("kernel_module", vj::module_to_json(&tr.kernel_module)),
+        ("ops", Json::Arr(tr.ops.iter().map(op_to_json).collect())),
+        (
+            "kernels",
+            Json::Arr(tr.kernels.iter().map(kernel_to_json).collect()),
+        ),
+        (
+            "data_regions",
+            Json::Arr(tr.data_regions.iter().map(region_to_json).collect()),
+        ),
+        (
+            "update_sites",
+            Json::Arr(
+                tr.update_sites
+                    .iter()
+                    .map(|(site, id)| {
+                        Json::Arr(vec![Json::from(site.as_str()), Json::from(u64::from(*id))])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("declares", actions_to_json(&tr.declares)),
+    ])
+}
+
+/// Decode a translation artifact stored via [`translated_payload`].
+pub fn translated_from_payload(id: ArtifactId, v: &Json) -> R<TranslatedArtifact> {
+    Ok(TranslatedArtifact {
+        id,
+        instrumented: boolf(v, "instrumented")?,
+        tr: Translated {
+            host_program: mj::program_from_json(field(v, "host_program")?)?,
+            host_sema: mj::sema_from_json(field(v, "host_sema")?)?,
+            host_module: vj::module_from_json(field(v, "host_module")?)?,
+            kernel_program: mj::program_from_json(field(v, "kernel_program")?)?,
+            kernel_module: vj::module_from_json(field(v, "kernel_module")?)?,
+            ops: arr(field(v, "ops")?, "ops")?
+                .iter()
+                .map(op_from_json)
+                .collect::<R<_>>()?,
+            kernels: arr(field(v, "kernels")?, "kernels")?
+                .iter()
+                .map(kernel_from_json)
+                .collect::<R<_>>()?,
+            data_regions: arr(field(v, "data_regions")?, "data_regions")?
+                .iter()
+                .map(region_from_json)
+                .collect::<R<_>>()?,
+            update_sites: arr(field(v, "update_sites")?, "update_sites")?
+                .iter()
+                .map(|s| {
+                    let s = arr(s, "update_site")?;
+                    if s.len() != 2 {
+                        return Err("update_site: expected [site, stmt]".into());
+                    }
+                    Ok((
+                        str_of(&s[0], "site")?.to_string(),
+                        u64_of(&s[1], "stmt")? as NodeId,
+                    ))
+                })
+                .collect::<R<_>>()?,
+            declares: actions_from_json(field(v, "declares")?)?,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Run artifact
+// ---------------------------------------------------------------------------
+
+fn issue_to_json(i: &Issue) -> Json {
+    Json::obj(vec![
+        ("kind", Json::from(kind_label(i.kind))),
+        ("var", Json::from(i.var.as_str())),
+        ("site", Json::from(i.site.as_str())),
+        (
+            "dir",
+            match i.direction {
+                Some(Direction::ToDevice) => Json::from("to_device"),
+                Some(Direction::ToHost) => Json::from("to_host"),
+                None => Json::Null,
+            },
+        ),
+        ("loops", loops_to_json(&i.loop_context)),
+    ])
+}
+
+fn issue_from_json(v: &Json) -> R<Issue> {
+    Ok(Issue {
+        kind: kind_from(str_of(field(v, "kind")?, "kind")?)?,
+        var: strf(v, "var")?,
+        site: strf(v, "site")?,
+        direction: match optf(v, "dir")? {
+            None => None,
+            Some(d) => Some(match str_of(d, "dir")? {
+                "to_device" => Direction::ToDevice,
+                "to_host" => Direction::ToHost,
+                other => return Err(format!("unknown direction {other:?}")),
+            }),
+        },
+        loop_context: loops_from_json(field(v, "loops")?)?,
+    })
+}
+
+fn loops_to_json(loops: &[(String, i64)]) -> Json {
+    Json::Arr(
+        loops
+            .iter()
+            .map(|(label, i)| Json::Arr(vec![Json::from(label.as_str()), Json::from(*i)]))
+            .collect(),
+    )
+}
+
+fn loops_from_json(v: &Json) -> R<Vec<(String, i64)>> {
+    arr(v, "loops")?
+        .iter()
+        .map(|l| {
+            let l = arr(l, "loop")?;
+            if l.len() != 2 {
+                return Err("loop: expected [label, index]".into());
+            }
+            Ok((
+                str_of(&l[0], "loop label")?.to_string(),
+                i64_of(&l[1], "loop index")?,
+            ))
+        })
+        .collect()
+}
+
+fn kv_to_json(k: &KernelVerification) -> Json {
+    Json::obj(vec![
+        ("kernel", Json::from(k.kernel.as_str())),
+        ("launches", Json::from(k.launches)),
+        ("failed", Json::from(k.failed_launches)),
+        ("compared", Json::from(k.compared_elems)),
+        ("mismatched", Json::from(k.mismatched_elems)),
+        ("max_abs_err", f64_to_json(k.max_abs_err)),
+        ("asserts_failed", Json::from(k.assertion_failures)),
+    ])
+}
+
+fn kv_from_json(v: &Json) -> R<KernelVerification> {
+    Ok(KernelVerification {
+        kernel: strf(v, "kernel")?,
+        launches: u64f(v, "launches")?,
+        failed_launches: u64f(v, "failed")?,
+        compared_elems: u64f(v, "compared")?,
+        mismatched_elems: u64f(v, "mismatched")?,
+        max_abs_err: f64f(v, "max_abs_err")?,
+        assertion_failures: u64f(v, "asserts_failed")?,
+    })
+}
+
+fn race_to_json(r: &RaceReport) -> Json {
+    Json::obj(vec![
+        ("handle", Json::from(u64::from(r.handle.0))),
+        ("label", Json::from(r.label.as_str())),
+        ("conflicts", Json::from(r.conflicts)),
+        ("idx", Json::from(r.example_idx)),
+        (
+            "threads",
+            Json::Arr(vec![
+                Json::from(r.example_threads.0),
+                Json::from(r.example_threads.1),
+            ]),
+        ),
+    ])
+}
+
+fn race_from_json(v: &Json) -> R<RaceReport> {
+    let threads = arr(field(v, "threads")?, "threads")?;
+    if threads.len() != 2 {
+        return Err("threads: expected [a, b]".into());
+    }
+    Ok(RaceReport {
+        handle: Handle(u64f(v, "handle")? as u32),
+        label: strf(v, "label")?,
+        conflicts: u64f(v, "conflicts")?,
+        example_idx: u64f(v, "idx")?,
+        example_threads: (
+            u64_of(&threads[0], "thread")?,
+            u64_of(&threads[1], "thread")?,
+        ),
+    })
+}
+
+/// Encode a finished run's observable surface plus its recorded journal
+/// event stream (empty for unjournaled plans).
+pub fn run_payload(r: &RunResult, events: &[TraceEvent]) -> Json {
+    let m = &r.machine;
+    Json::obj(vec![
+        ("now", f64_to_json(m.clock.now())),
+        (
+            "breakdown",
+            Json::Arr(
+                TimeCategory::ALL
+                    .iter()
+                    .map(|c| f64_to_json(m.clock.breakdown.get(*c)))
+                    .collect(),
+            ),
+        ),
+        (
+            "globals",
+            Json::Arr(m.host.globals.iter().map(vj::value_to_json).collect()),
+        ),
+        ("mem", vj::memspace_to_json(&m.host.mem)),
+        (
+            "stats",
+            Json::obj(vec![
+                ("h2d_bytes", Json::from(m.stats.h2d_bytes)),
+                ("d2h_bytes", Json::from(m.stats.d2h_bytes)),
+                ("h2d_count", Json::from(m.stats.h2d_count)),
+                ("d2h_count", Json::from(m.stats.d2h_count)),
+                ("dev_allocs", Json::from(m.stats.dev_allocs)),
+                ("dev_frees", Json::from(m.stats.dev_frees)),
+            ]),
+        ),
+        (
+            "issues",
+            Json::Arr(m.report.issues.iter().map(issue_to_json).collect()),
+        ),
+        ("loops", loops_to_json(&m.loop_context)),
+        (
+            "verify",
+            Json::Arr(r.verify.iter().map(kv_to_json).collect()),
+        ),
+        (
+            "races",
+            Json::Arr(
+                r.races
+                    .iter()
+                    .map(|(name, race)| {
+                        Json::Arr(vec![Json::from(name.as_str()), race_to_json(race)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("kernel_launches", Json::from(r.kernel_launches)),
+        ("host_instrs", Json::from(r.host_instrs)),
+        ("events", events_to_json(events)),
+    ])
+}
+
+/// Decode a run stored via [`run_payload`]. The machine is rebuilt around
+/// the restored host memory image; simulated-device internals (device
+/// memory, present table, coherence tracker) restart empty — a cached run
+/// is read-only and only its serialized surface is observable.
+pub fn run_from_payload(v: &Json) -> R<(RunResult, Vec<TraceEvent>)> {
+    let globals = arr(field(v, "globals")?, "globals")?
+        .iter()
+        .map(vj::value_from_json)
+        .collect::<R<Vec<_>>>()?;
+    let mem = vj::memspace_from_json(field(v, "mem")?)?;
+    let mut machine = Machine::new(BasicEnv { globals, mem }, false);
+
+    let bits = arr(field(v, "breakdown")?, "breakdown")?;
+    if bits.len() != TimeCategory::ALL.len() {
+        return Err(format!(
+            "breakdown: expected {} categories, got {}",
+            TimeCategory::ALL.len(),
+            bits.len()
+        ));
+    }
+    let mut breakdown = TimeBreakdown::default();
+    for (cat, b) in TimeCategory::ALL.iter().zip(bits) {
+        breakdown.add(*cat, f64::from_bits(u64_of(b, "breakdown")?));
+    }
+    machine.clock = SimClock::restore(f64f(v, "now")?, breakdown);
+
+    let st = field(v, "stats")?;
+    machine.stats = TransferStats {
+        h2d_bytes: u64f(st, "h2d_bytes")?,
+        d2h_bytes: u64f(st, "d2h_bytes")?,
+        h2d_count: u64f(st, "h2d_count")?,
+        d2h_count: u64f(st, "d2h_count")?,
+        dev_allocs: u64f(st, "dev_allocs")?,
+        dev_frees: u64f(st, "dev_frees")?,
+    };
+
+    machine.report = Report {
+        issues: arr(field(v, "issues")?, "issues")?
+            .iter()
+            .map(issue_from_json)
+            .collect::<R<_>>()?,
+    };
+    machine.loop_context = loops_from_json(field(v, "loops")?)?;
+
+    let result = RunResult {
+        machine,
+        verify: arr(field(v, "verify")?, "verify")?
+            .iter()
+            .map(kv_from_json)
+            .collect::<R<_>>()?,
+        races: arr(field(v, "races")?, "races")?
+            .iter()
+            .map(|race| {
+                let race = arr(race, "race")?;
+                if race.len() != 2 {
+                    return Err("race: expected [kernel, report]".into());
+                }
+                Ok((
+                    str_of(&race[0], "race kernel")?.to_string(),
+                    race_from_json(&race[1])?,
+                ))
+            })
+            .collect::<R<_>>()?,
+        kernel_launches: u64f(v, "kernel_launches")?,
+        host_instrs: u64f(v, "host_instrs")?,
+    };
+    let events = events_from_json(field(v, "events")?)?;
+    Ok((result, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecOptions};
+    use crate::translate::{translate, TranslateOptions};
+    use openarc_minic::frontend;
+    use openarc_trace::Journal;
+
+    const SRC: &str = "double q[16];\ndouble w[16];\ndouble acc;\nvoid main() {\n int j;\n for (j = 0; j < 16; j++) { w[j] = (double) j; }\n #pragma acc data copyin(w) copyout(q)\n {\n  #pragma openarc verify bounds(q, 0.0, 100.0)\n  #pragma acc kernels loop gang reduction(+:acc)\n  for (j = 0; j < 16; j++) { q[j] = w[j] * 2.0; acc = acc + w[j]; }\n  #pragma acc update host(q) if(1)\n }\n}";
+
+    fn translated(instrument: bool) -> TranslatedArtifact {
+        let (p, s) = frontend(SRC).unwrap();
+        let tr = translate(
+            &p,
+            &s,
+            &TranslateOptions {
+                instrument,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        TranslatedArtifact {
+            id: ArtifactId(42),
+            instrumented: instrument,
+            tr,
+        }
+    }
+
+    #[test]
+    fn frontend_round_trips_byte_identically() {
+        let (p, s) = frontend(SRC).unwrap();
+        let payload = frontend_payload(&p, &s);
+        let fe = frontend_from_payload(ArtifactId(7), &payload).unwrap();
+        assert_eq!(fe.id, ArtifactId(7));
+        assert_eq!(fe.program, p);
+        // Re-encoding the decoded artifact reproduces the exact bytes.
+        assert_eq!(
+            frontend_payload(&fe.program, &fe.sema).pretty(),
+            payload.pretty()
+        );
+    }
+
+    #[test]
+    fn translated_round_trips_byte_identically() {
+        for instrument in [false, true] {
+            let art = translated(instrument);
+            let payload = translated_payload(&art);
+            let back = translated_from_payload(art.id, &payload).unwrap();
+            assert_eq!(back.instrumented, instrument);
+            assert_eq!(back.tr.ops, art.tr.ops);
+            assert_eq!(back.tr.kernels.len(), art.tr.kernels.len());
+            assert_eq!(translated_payload(&back).pretty(), payload.pretty());
+        }
+    }
+
+    #[test]
+    fn restored_translation_still_executes() {
+        let art = translated(true);
+        let payload = translated_payload(&art);
+        let back = translated_from_payload(art.id, &payload).unwrap();
+        let a = execute(&art.tr, &ExecOptions::default()).unwrap();
+        let b = execute(&back.tr, &ExecOptions::default()).unwrap();
+        assert_eq!(a.sim_time_us(), b.sim_time_us());
+        assert_eq!(a.kernel_launches, b.kernel_launches);
+        assert_eq!(a.machine.stats, b.machine.stats);
+    }
+
+    #[test]
+    fn run_round_trips_byte_identically() {
+        let art = translated(true);
+        let journal = Journal::enabled();
+        let opts = ExecOptions {
+            check_transfers: true,
+            journal: journal.clone(),
+            ..Default::default()
+        };
+        let r = execute(&art.tr, &opts).unwrap();
+        let events = journal.drain();
+        assert!(!events.is_empty());
+
+        let payload = run_payload(&r, &events);
+        let (back, back_events) = run_from_payload(&payload).unwrap();
+        assert_eq!(back_events, events, "journal replay stream is exact");
+        assert_eq!(back.sim_time_us().to_bits(), r.sim_time_us().to_bits());
+        assert_eq!(back.kernel_launches, r.kernel_launches);
+        assert_eq!(back.host_instrs, r.host_instrs);
+        assert_eq!(back.machine.stats, r.machine.stats);
+        assert_eq!(back.machine.report.issues, r.machine.report.issues);
+        // Final host state survives: globals (including buffer handles) and
+        // the memory image they point into.
+        assert_eq!(
+            back.global_array(&art.tr, "q"),
+            r.global_array(&art.tr, "q")
+        );
+        assert_eq!(
+            back.global_scalar(&art.tr, "acc"),
+            r.global_scalar(&art.tr, "acc")
+        );
+        // Re-encode: byte-identical, so a disk round trip is stable.
+        assert_eq!(run_payload(&back, &back_events).pretty(), payload.pretty());
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors_not_panics() {
+        for bad in [
+            Json::Null,
+            Json::obj(vec![("instrumented", Json::from(true))]),
+            Json::obj(vec![("now", Json::from(0u64))]),
+            Json::Arr(vec![]),
+        ] {
+            assert!(frontend_from_payload(ArtifactId(0), &bad).is_err());
+            assert!(translated_from_payload(ArtifactId(0), &bad).is_err());
+            assert!(run_from_payload(&bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! Persistent content-addressed artifact store under [`crate::pipeline::Session`].
+//!
+//! The in-memory stage caches die with the process, so every new CLI
+//! invocation re-parses and re-translates sources that have not changed
+//! since the last run. This module adds the disk layer: a
+//! content-addressed store at `<root>/<stage>/<key>.json` holding
+//! serialized Frontend, Translated, and journal-replay Run artifacts
+//! (see [`codec`]).
+//!
+//! Design rules, all load-bearing:
+//!
+//! * **Keys** fold the artifact's content hash together with
+//!   [`SCHEMA_VERSION`] and the tool fingerprint (crate version), so a
+//!   schema bump or a new binary never reads stale layouts — old entries
+//!   simply stop being addressed and age out via [`DiskCache::gc`].
+//! * **Publishing is atomic**: entries are written to a private temp file
+//!   and `rename`d into place, so readers never observe partial writes.
+//! * **Writers hold an advisory lock** (`create_new` lock file) per entry;
+//!   a second concurrent writer of the same content skips the store (the
+//!   bytes would be identical). Stale locks are taken over.
+//! * **Corruption never panics**: a truncated, garbage, or
+//!   wrong-versioned entry is detected on load, deleted, counted, and the
+//!   stage recomputes as if the entry never existed.
+//! * **Eviction is LRU by modification time**: every hit re-touches the
+//!   entry, and [`DiskCache::gc`] drops the oldest entries until the
+//!   store fits a byte budget.
+
+pub mod codec;
+
+use crate::pipeline::{ArtifactId, Fnv, Stage};
+use openarc_trace::json::Json;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+/// On-disk layout version; folded into every entry key. Bump when any
+/// [`codec`] encoding changes shape.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default cache directory used by the CLI and bench drivers.
+pub const DEFAULT_DIR: &str = "target/openarc-cache";
+
+/// Fingerprint of the producing tool, folded into every entry key so
+/// artifacts written by one build are never read by another.
+pub fn tool_fingerprint() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// Age after which an abandoned writer lock or temp file is taken over.
+const STALE_LOCK: Duration = Duration::from_secs(60);
+
+/// Counters of one cache's disk traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Entries loaded, decoded, and served.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries published.
+    pub stores: u64,
+    /// Entries evicted by [`DiskCache::gc`].
+    pub evictions: u64,
+    /// Entries found corrupt (bad bytes, bad header, bad payload) and
+    /// deleted.
+    pub corrupt: u64,
+}
+
+impl DiskStats {
+    /// True when no counter has moved (e.g. a session without a disk layer).
+    pub fn is_empty(&self) -> bool {
+        *self == DiskStats::default()
+    }
+}
+
+/// Outcome of one typed lookup.
+pub enum Lookup<T> {
+    /// Entry existed, validated, and decoded.
+    Hit(T),
+    /// No entry on disk.
+    Miss,
+    /// Entry existed but was unreadable/invalid; it has been deleted and
+    /// counted, and the caller should recompute.
+    Corrupt,
+}
+
+/// Result of one [`DiskCache::gc`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcResult {
+    /// Entries examined.
+    pub examined: u64,
+    /// Entries removed.
+    pub evicted: u64,
+    /// Store size before the pass, bytes.
+    pub bytes_before: u64,
+    /// Store size after the pass, bytes.
+    pub bytes_after: u64,
+}
+
+/// Per-stage usage row reported by [`DiskCache::usage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UsageRow {
+    /// Stage directory label.
+    pub stage: &'static str,
+    /// Number of entries.
+    pub entries: u64,
+    /// Total bytes.
+    pub bytes: u64,
+}
+
+/// The content-addressed on-disk artifact store.
+///
+/// All operations are best-effort: I/O failures degrade to cache misses
+/// or skipped stores, never to pipeline errors — the pipeline can always
+/// recompute.
+pub struct DiskCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl std::fmt::Debug for DiskCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskCache")
+            .field("root", &self.root)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Stages whose artifacts are persisted to disk. Directives, Plan, and
+/// Verify artifacts are cheap derivations of these and stay memory-only.
+pub const DISK_STAGES: [Stage; 4] = [
+    Stage::Frontend,
+    Stage::Analysis,
+    Stage::Instrument,
+    Stage::Execute,
+];
+
+impl DiskCache {
+    /// Open (lazily — directories are created on first store) a cache
+    /// rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> DiskCache {
+        DiskCache {
+            root: root.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Snapshot of this process's traffic counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entry key: the artifact's content hash folded with the schema
+    /// version and tool fingerprint, so incompatible layouts are simply
+    /// never addressed.
+    fn entry_key(stage: Stage, id: ArtifactId) -> u64 {
+        Fnv::new()
+            .write_u64(SCHEMA_VERSION)
+            .write_str(tool_fingerprint())
+            .write_str(stage.label())
+            .write_u64(id.0)
+            .finish()
+    }
+
+    fn entry_path(&self, stage: Stage, key: u64) -> PathBuf {
+        self.root
+            .join(stage.label())
+            .join(format!("{key:016x}.json"))
+    }
+
+    /// Look up `(stage, id)`, validating the versioned header and decoding
+    /// the payload with `decode`. Any failure past "file exists" deletes
+    /// the entry and reports [`Lookup::Corrupt`]; the caller recomputes.
+    pub fn load_with<T>(
+        &self,
+        stage: Stage,
+        id: ArtifactId,
+        decode: impl FnOnce(&Json) -> Result<T, String>,
+    ) -> Lookup<T> {
+        let key = Self::entry_key(stage, id);
+        let path = self.entry_path(stage, key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Miss;
+            }
+        };
+        let decoded = Json::parse(&text)
+            .and_then(|entry| Self::check_header(&entry, stage, id).and_then(decode));
+        match decoded {
+            Ok(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Re-touch for LRU: gc evicts oldest-mtime entries first.
+                if let Ok(f) = fs::File::open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Lookup::Hit(v)
+            }
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                Lookup::Corrupt
+            }
+        }
+    }
+
+    /// Validate a parsed entry's versioned header, returning the payload.
+    /// The schema/tool fields are folded into the key, so a mismatch here
+    /// means the entry bytes were tampered with or damaged — corruption.
+    fn check_header(entry: &Json, stage: Stage, id: ArtifactId) -> Result<&Json, String> {
+        let field = |k: &str| entry.get(k).ok_or_else(|| format!("missing header `{k}`"));
+        if field("schema")?.as_u64() != Some(SCHEMA_VERSION) {
+            return Err("schema version mismatch".into());
+        }
+        if field("tool")?.as_str() != Some(tool_fingerprint()) {
+            return Err("tool fingerprint mismatch".into());
+        }
+        if field("stage")?.as_str() != Some(stage.label()) {
+            return Err("stage mismatch".into());
+        }
+        if field("id")?.as_u64() != Some(id.0) {
+            return Err("artifact id mismatch".into());
+        }
+        field("payload")
+    }
+
+    /// Publish `payload` for `(stage, id)` under a versioned header.
+    /// Returns true when this call wrote the entry (false: lock held by a
+    /// live concurrent writer, or I/O failure — both benign).
+    pub fn store(&self, stage: Stage, id: ArtifactId, payload: Json) -> bool {
+        let key = Self::entry_key(stage, id);
+        let path = self.entry_path(stage, key);
+        let Some(dir) = path.parent() else {
+            return false;
+        };
+        if fs::create_dir_all(dir).is_err() {
+            return false;
+        }
+        let lock = path.with_extension("lock");
+        if !Self::acquire_lock(&lock) {
+            return false;
+        }
+        let entry = Json::obj(vec![
+            ("schema", Json::from(SCHEMA_VERSION)),
+            ("tool", Json::from(tool_fingerprint())),
+            ("stage", Json::from(stage.label())),
+            ("id", Json::from(id.0)),
+            ("payload", payload),
+        ]);
+        let tmp = dir.join(format!(".tmp-{key:016x}-{}", std::process::id()));
+        let ok = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(entry.pretty().as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)
+        })()
+        .is_ok();
+        if !ok {
+            let _ = fs::remove_file(&tmp);
+        }
+        let _ = fs::remove_file(&lock);
+        if ok {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Take the advisory per-entry writer lock. A held lock younger than
+    /// [`STALE_LOCK`] means a live writer is publishing the same content —
+    /// skip. An older one is an abandoned writer: take it over.
+    fn acquire_lock(lock: &Path) -> bool {
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(lock)
+            {
+                Ok(_) => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if Self::is_stale(lock) {
+                        let _ = fs::remove_file(lock);
+                        continue;
+                    }
+                    return false;
+                }
+                Err(_) => return false,
+            }
+        }
+        false
+    }
+
+    fn is_stale(path: &Path) -> bool {
+        match fs::metadata(path).and_then(|m| m.modified()) {
+            Ok(mtime) => SystemTime::now()
+                .duration_since(mtime)
+                .map(|age| age > STALE_LOCK)
+                .unwrap_or(false),
+            // Metadata unreadable: the file likely vanished between the
+            // existence check and here — retrying create_new is safe.
+            Err(_) => true,
+        }
+    }
+
+    /// Every entry in the store: `(path, bytes, mtime)`, unsorted. Also
+    /// sweeps abandoned temp files and stale locks as a side effect.
+    fn entries(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let mut out = Vec::new();
+        for stage in DISK_STAGES {
+            let dir = self.root.join(stage.label());
+            let Ok(rd) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in rd.flatten() {
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with(".tmp-") || name.ends_with(".lock") {
+                    if Self::is_stale(&path) {
+                        let _ = fs::remove_file(&path);
+                    }
+                    continue;
+                }
+                if !name.ends_with(".json") {
+                    continue;
+                }
+                if let Ok(meta) = entry.metadata() {
+                    let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                    out.push((path, meta.len(), mtime));
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-stage entry counts and sizes.
+    pub fn usage(&self) -> Vec<UsageRow> {
+        DISK_STAGES
+            .iter()
+            .map(|stage| {
+                let dir = self.root.join(stage.label());
+                let mut row = UsageRow {
+                    stage: stage.label(),
+                    ..Default::default()
+                };
+                if let Ok(rd) = fs::read_dir(&dir) {
+                    for entry in rd.flatten() {
+                        let name = entry.file_name();
+                        if !name.to_string_lossy().ends_with(".json") {
+                            continue;
+                        }
+                        if let Ok(meta) = entry.metadata() {
+                            row.entries += 1;
+                            row.bytes += meta.len();
+                        }
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// LRU eviction pass: delete oldest-touched entries until the store
+    /// holds at most `max_bytes`.
+    pub fn gc(&self, max_bytes: u64) -> GcResult {
+        let mut entries = self.entries();
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        let bytes_before: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        let mut result = GcResult {
+            examined: entries.len() as u64,
+            evicted: 0,
+            bytes_before,
+            bytes_after: bytes_before,
+        };
+        for (path, len, _) in entries {
+            if result.bytes_after <= max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                result.evicted += 1;
+                result.bytes_after -= len;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Delete every entry (and abandoned temp/lock file). Returns the
+    /// number of entries removed.
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0;
+        for stage in DISK_STAGES {
+            let dir = self.root.join(stage.label());
+            let Ok(rd) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in rd.flatten() {
+                let name = entry.file_name();
+                let is_entry = name.to_string_lossy().ends_with(".json");
+                if fs::remove_file(entry.path()).is_ok() && is_entry {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// A fresh per-test cache root under the system temp dir.
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "openarc-cache-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn payload(n: u64) -> Json {
+        Json::obj(vec![("n", Json::from(n))])
+    }
+
+    fn decode_n(v: &Json) -> Result<u64, String> {
+        v.get("n")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing n".to_string())
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_counts() {
+        let cache = DiskCache::new(scratch("roundtrip"));
+        let id = ArtifactId(7);
+        assert!(matches!(
+            cache.load_with(Stage::Frontend, id, decode_n),
+            Lookup::Miss
+        ));
+        assert!(cache.store(Stage::Frontend, id, payload(7)));
+        match cache.load_with(Stage::Frontend, id, decode_n) {
+            Lookup::Hit(n) => assert_eq!(n, 7),
+            _ => panic!("expected hit"),
+        }
+        // Same id under a different stage is a different entry.
+        assert!(matches!(
+            cache.load_with(Stage::Execute, id, decode_n),
+            Lookup::Miss
+        ));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 2, 1));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_entries_are_deleted_and_recomputable() {
+        // Truncated bytes, garbage bytes, wrong schema version, and a
+        // decodable header with an undecodable payload: all Corrupt, all
+        // deleted, none panic.
+        let cache = DiskCache::new(scratch("corrupt"));
+        let id = ArtifactId(9);
+        let key = DiskCache::entry_key(Stage::Frontend, id);
+        let path = cache.entry_path(Stage::Frontend, key);
+        let wrong_schema = Json::obj(vec![
+            ("schema", Json::from(SCHEMA_VERSION + 1)),
+            ("tool", Json::from(tool_fingerprint())),
+            ("stage", Json::from(Stage::Frontend.label())),
+            ("id", Json::from(id.0)),
+            ("payload", payload(9)),
+        ])
+        .pretty();
+        let bad_payload = Json::obj(vec![
+            ("schema", Json::from(SCHEMA_VERSION)),
+            ("tool", Json::from(tool_fingerprint())),
+            ("stage", Json::from(Stage::Frontend.label())),
+            ("id", Json::from(id.0)),
+            ("payload", Json::obj(vec![("wrong", Json::Null)])),
+        ])
+        .pretty();
+        for bytes in [
+            "{\"schema\": 1, \"tool\"",
+            "not json at all",
+            &wrong_schema,
+            &bad_payload,
+        ] {
+            assert!(cache.store(Stage::Frontend, id, payload(9)));
+            fs::write(&path, bytes).unwrap();
+            assert!(matches!(
+                cache.load_with(Stage::Frontend, id, decode_n),
+                Lookup::Corrupt
+            ));
+            assert!(!path.exists(), "corrupt entry must be deleted");
+            // The stage recomputes and re-stores cleanly.
+            assert!(cache.store(Stage::Frontend, id, payload(9)));
+            assert!(matches!(
+                cache.load_with(Stage::Frontend, id, decode_n),
+                Lookup::Hit(9)
+            ));
+        }
+        assert_eq!(cache.stats().corrupt, 4);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let cache = DiskCache::new(scratch("gc"));
+        for n in 0..4u64 {
+            assert!(cache.store(Stage::Frontend, ArtifactId(n), payload(n)));
+        }
+        // Backdate entries 0..3 in order; then touch entry 0 via a hit so
+        // it becomes the newest and survives eviction.
+        let now = SystemTime::now();
+        for n in 0..4u64 {
+            let key = DiskCache::entry_key(Stage::Frontend, ArtifactId(n));
+            let f = fs::File::open(cache.entry_path(Stage::Frontend, key)).unwrap();
+            f.set_modified(now - Duration::from_secs(100 - n)).unwrap();
+        }
+        assert!(matches!(
+            cache.load_with(Stage::Frontend, ArtifactId(0), decode_n),
+            Lookup::Hit(0)
+        ));
+        let one_entry = cache.usage().iter().map(|r| r.bytes).sum::<u64>() / 4;
+        let gc = cache.gc(2 * one_entry);
+        assert_eq!(gc.examined, 4);
+        assert_eq!(gc.evicted, 2);
+        assert!(gc.bytes_after <= 2 * one_entry && gc.bytes_before > gc.bytes_after);
+        // Oldest-touched (1, 2) went; recently-hit 0 and newest 3 remain.
+        for (n, hit) in [(0u64, true), (1, false), (2, false), (3, true)] {
+            let got = cache.load_with(Stage::Frontend, ArtifactId(n), decode_n);
+            assert_eq!(matches!(got, Lookup::Hit(_)), hit, "entry {n}");
+        }
+        assert_eq!(cache.stats().evictions, 2);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let cache = DiskCache::new(scratch("clear"));
+        for n in 0..3u64 {
+            assert!(cache.store(Stage::Analysis, ArtifactId(n), payload(n)));
+        }
+        assert_eq!(cache.clear(), 3);
+        assert!(cache.usage().iter().all(|r| r.entries == 0));
+        assert!(matches!(
+            cache.load_with(Stage::Analysis, ArtifactId(0), decode_n),
+            Lookup::Miss
+        ));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn concurrent_writers_of_the_same_entry_are_safe() {
+        // Two threads race to publish the same content-addressed entry;
+        // at least one wins, and the result decodes cleanly either way.
+        let cache = std::sync::Arc::new(DiskCache::new(scratch("race")));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                cache.store(Stage::Execute, ArtifactId(1), payload(1))
+            }));
+        }
+        let wins: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(wins.iter().any(|w| *w), "at least one writer publishes");
+        assert!(matches!(
+            cache.load_with(Stage::Execute, ArtifactId(1), decode_n),
+            Lookup::Hit(1)
+        ));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn usage_reports_per_stage_rows() {
+        let cache = DiskCache::new(scratch("usage"));
+        assert!(cache.store(Stage::Frontend, ArtifactId(1), payload(1)));
+        assert!(cache.store(Stage::Execute, ArtifactId(2), payload(2)));
+        let usage = cache.usage();
+        assert_eq!(usage.len(), DISK_STAGES.len());
+        for row in &usage {
+            let expect = u64::from(row.stage == "frontend" || row.stage == "execute");
+            assert_eq!(row.entries, expect, "{}", row.stage);
+            assert_eq!(row.bytes > 0, expect == 1);
+        }
+        let _ = fs::remove_dir_all(cache.root());
+    }
+}

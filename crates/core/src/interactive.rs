@@ -166,7 +166,7 @@ pub fn optimize_transfers(
     max_iterations: usize,
 ) -> Result<InteractiveOutcome, String> {
     optimize_transfers_in_session(
-        &Session::new(),
+        &Session::builder().build(),
         program,
         sema,
         topts,

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exec;
 pub mod faults;
 pub mod instrument;
@@ -31,6 +32,7 @@ pub mod sched;
 pub mod translate;
 pub mod verify;
 
+pub use cache::{DiskCache, DiskStats};
 pub use exec::{
     execute, ExecMode, ExecOptions, KernelVerification, RunResult, TransferKey, TransferOverlay,
     VerifyOptions,

@@ -40,6 +40,15 @@
 //! ([`crate::sched`]) at once; locks are never held across stage work, so
 //! concurrent misses compute in parallel (last insert wins).
 //!
+//! Sessions are constructed with [`Session::builder`]. A builder given a
+//! [`SessionBuilder::disk_cache`] directory adds the persistent layer
+//! ([`crate::cache::DiskCache`]): Frontend, Analysis/Instrument, and
+//! Execute artifacts that miss in memory are loaded from disk (counted as
+//! stage *hits* — the stage work was skipped), and recomputed artifacts
+//! are published back, so a second process over the same sources reruns
+//! nothing. Disk traffic shows up in [`PipelineStats::disk`] and, for
+//! journaled sessions, as [`EventKind::Cache`] events.
+//!
 //! Every stage records its **wall-clock** cost (cache hits included, so
 //! reuse is visible as near-zero time): [`Session::stage_times`] returns
 //! the accumulated per-stage breakdown, and a session built with
@@ -48,6 +57,7 @@
 //! Stage spans measure real time, not simulated time — they never enter
 //! the deterministic per-run journals compared across worker counts.
 
+use crate::cache::{codec, DiskCache, DiskStats, Lookup};
 use crate::exec::{execute, ExecMode, ExecOptions, RunResult, VerifyOptions};
 use crate::translate::{translate, TranslateOptions, Translated};
 use crate::verify::{VerificationReport, VerifyError};
@@ -58,6 +68,7 @@ use openarc_openacc::{directives_of, Directive};
 use openarc_trace::{EventKind, Journal, TraceEvent, Track};
 use openarc_vm::VmError;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -368,6 +379,9 @@ pub struct StageCounts {
 pub struct PipelineStats {
     /// Counters indexed like [`Stage::ALL`].
     pub stages: [StageCounts; 7],
+    /// Disk-layer traffic (all zero when the session has no disk cache).
+    /// A disk hit is *also* a stage hit — the stage work was skipped.
+    pub disk: DiskStats,
 }
 
 impl PipelineStats {
@@ -383,6 +397,18 @@ impl std::fmt::Display for PipelineStats {
         for s in Stage::ALL {
             let c = self.get(s);
             writeln!(f, "{:<12} {:>6} {:>6}", s.label(), c.hits, c.misses)?;
+        }
+        if !self.disk.is_empty() {
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>6}   stores {}, evicted {}, corrupt {}",
+                "disk",
+                self.disk.hits,
+                self.disk.misses,
+                self.disk.stores,
+                self.disk.evictions,
+                self.disk.corrupt
+            )?;
         }
         Ok(())
     }
@@ -423,15 +449,33 @@ impl StageMeters {
 // Errors
 // ---------------------------------------------------------------------------
 
-/// Errors from end-to-end pipeline runs.
+/// The one error type every pipeline stage returns, so drivers match a
+/// single enum instead of juggling `Vec<Diagnostic>` / `Diagnostic` /
+/// [`VmError`] per call site.
 #[derive(Debug)]
 pub enum PipelineError {
     /// Parse or semantic-check failure.
     Frontend(Vec<Diagnostic>),
+    /// Directive parse failure in the census stage.
+    Directives(Diagnostic),
     /// Translation failure.
     Translate(Vec<Diagnostic>),
     /// Execution failure.
     Run(VmError),
+}
+
+impl PipelineError {
+    /// Process exit code a CLI driver should use for this error:
+    /// 2 for anything wrong with the *input program* (parse, directives,
+    /// translation), 3 for a failure while *running* it.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            PipelineError::Frontend(_)
+            | PipelineError::Directives(_)
+            | PipelineError::Translate(_) => 2,
+            PipelineError::Run(_) => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -444,6 +488,7 @@ impl std::fmt::Display for PipelineError {
                 }
                 Ok(())
             }
+            PipelineError::Directives(d) => write!(f, "directive error: {d}"),
             PipelineError::Translate(ds) => {
                 write!(f, "translation failed:")?;
                 for d in ds {
@@ -458,6 +503,15 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+impl From<VerifyError> for PipelineError {
+    fn from(e: VerifyError) -> PipelineError {
+        match e {
+            VerifyError::Translate(ds) => PipelineError::Translate(ds),
+            VerifyError::Run(e) => PipelineError::Run(e),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Session
 // ---------------------------------------------------------------------------
@@ -469,7 +523,7 @@ impl std::error::Error for PipelineError {}
 /// use openarc_core::exec::{ExecMode, ExecOptions};
 /// use openarc_core::translate::TranslateOptions;
 /// let src = "double a[8];\nvoid main() {\n int j;\n #pragma acc kernels loop gang\n for (j = 0; j < 8; j++) { a[j] = 1.0; }\n}";
-/// let session = Session::new();
+/// let session = Session::builder().build();
 /// let run1 = session.run_source(src, &TranslateOptions::default(), &ExecOptions::default()).unwrap();
 /// // Same source, different options: frontend + translation are reused.
 /// let cpu = ExecOptions { mode: ExecMode::CpuOnly, ..Default::default() };
@@ -494,6 +548,8 @@ pub struct Session {
     stage_journal: Journal,
     /// Session epoch: stage-span timestamps are offsets from here.
     t0: Instant,
+    /// Optional persistent layer under the in-memory stage caches.
+    disk: Option<Arc<DiskCache>>,
 }
 
 impl Default for Session {
@@ -509,6 +565,60 @@ impl Default for Session {
             stage_wall: Default::default(),
             stage_journal: Journal::disabled(),
             t0: Instant::now(),
+            disk: None,
+        }
+    }
+}
+
+/// Builder for [`Session`] — the one way to configure a session.
+///
+/// ```
+/// use openarc_core::pipeline::Session;
+/// // Plain in-memory session:
+/// let s = Session::builder().build();
+/// // Journaled session with a persistent artifact cache:
+/// let j = openarc_trace::Journal::enabled();
+/// let dir = std::env::temp_dir().join("openarc-doc-cache");
+/// let s = Session::builder().journal(j).disk_cache(&dir).build();
+/// assert!(s.disk_cache().is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    journal: Option<Journal>,
+    disk: Option<PathBuf>,
+}
+
+impl SessionBuilder {
+    /// Emit one [`EventKind::Stage`] span per stage request (and one
+    /// [`EventKind::Cache`] event per disk-cache operation) into
+    /// `journal`. Wall-clock µs; timestamps are offsets from session
+    /// creation.
+    pub fn journal(mut self, journal: Journal) -> SessionBuilder {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Add the persistent content-addressed artifact store rooted at
+    /// `dir` (created lazily on first store). See [`crate::cache`].
+    pub fn disk_cache(mut self, dir: impl Into<PathBuf>) -> SessionBuilder {
+        self.disk = Some(dir.into());
+        self
+    }
+
+    /// Drop any configured disk layer: the session caches in memory only.
+    /// Lets a driver thread `--no-cache` through unconditionally after a
+    /// defaulted [`SessionBuilder::disk_cache`].
+    pub fn no_cache(mut self) -> SessionBuilder {
+        self.disk = None;
+        self
+    }
+
+    /// Construct the session.
+    pub fn build(self) -> Session {
+        Session {
+            stage_journal: self.journal.unwrap_or_else(Journal::disabled),
+            disk: self.disk.map(|dir| Arc::new(DiskCache::new(dir))),
+            ..Session::default()
         }
     }
 }
@@ -535,18 +645,75 @@ pub struct PipelineRun {
 }
 
 impl Session {
+    /// Start configuring a session. See [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
     /// Fresh session with empty caches.
+    #[deprecated(note = "use `Session::builder().build()`")]
     pub fn new() -> Session {
         Session::default()
     }
 
     /// Fresh session that additionally emits one [`EventKind::Stage`] span
-    /// per stage request into `journal` (wall-clock µs; timestamps are
-    /// offsets from session creation).
+    /// per stage request into `journal`.
+    #[deprecated(note = "use `Session::builder().journal(journal).build()`")]
     pub fn with_stage_journal(journal: Journal) -> Session {
-        Session {
-            stage_journal: journal,
-            ..Session::default()
+        Session::builder().journal(journal).build()
+    }
+
+    /// The persistent artifact store, when the session was built with
+    /// [`SessionBuilder::disk_cache`].
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_deref()
+    }
+
+    /// Journal one disk-cache operation (zero-duration marker event).
+    fn disk_event(&self, stage: Stage, op: &'static str) {
+        if self.stage_journal.is_enabled() {
+            self.stage_journal.emit(TraceEvent {
+                ts_us: self.t0.elapsed().as_secs_f64() * 1e6,
+                dur_us: 0.0,
+                track: Track::Host,
+                kind: EventKind::Cache {
+                    stage: stage.label(),
+                    op,
+                },
+            });
+        }
+    }
+
+    /// Try the disk layer for `(stage, id)`; journals the outcome.
+    fn disk_load<T>(
+        &self,
+        stage: Stage,
+        id: ArtifactId,
+        decode: impl FnOnce(&openarc_trace::json::Json) -> Result<T, String>,
+    ) -> Option<T> {
+        let disk = self.disk.as_ref()?;
+        match disk.load_with(stage, id, decode) {
+            Lookup::Hit(v) => {
+                self.disk_event(stage, "hit");
+                Some(v)
+            }
+            Lookup::Miss => {
+                self.disk_event(stage, "miss");
+                None
+            }
+            Lookup::Corrupt => {
+                self.disk_event(stage, "corrupt");
+                None
+            }
+        }
+    }
+
+    /// Publish a recomputed artifact to the disk layer; journals stores.
+    fn disk_store(&self, stage: Stage, id: ArtifactId, payload: openarc_trace::json::Json) {
+        if let Some(disk) = &self.disk {
+            if disk.store(stage, id, payload) {
+                self.disk_event(stage, "store");
+            }
         }
     }
 
@@ -581,8 +748,10 @@ impl Session {
         out
     }
 
-    /// Frontend stage: parse + check `src`, cached by source hash.
-    pub fn frontend(&self, src: &str) -> Result<Arc<FrontendArtifact>, Vec<Diagnostic>> {
+    /// Frontend stage: parse + check `src`, cached by source hash (memory
+    /// first, then the disk layer — a disk load skips the parse and counts
+    /// as a hit).
+    pub fn frontend(&self, src: &str) -> Result<Arc<FrontendArtifact>, PipelineError> {
         let t = Instant::now();
         let key = Fnv::new().write_str(src).finish();
         if let Some(fe) = self.frontends.lock().unwrap().get(&key) {
@@ -591,14 +760,25 @@ impl Session {
             self.note_stage(Stage::Frontend, t, true);
             return Ok(fe);
         }
+        let id = ArtifactId(key);
+        if let Some(fe) =
+            self.disk_load(Stage::Frontend, id, |p| codec::frontend_from_payload(id, p))
+        {
+            self.meters.hit(Stage::Frontend);
+            let fe = Arc::new(fe);
+            self.frontends.lock().unwrap().insert(key, fe.clone());
+            self.note_stage(Stage::Frontend, t, true);
+            return Ok(fe);
+        }
         self.meters.miss(Stage::Frontend);
-        let (program, sema) = frontend(src)?;
-        let fe = Arc::new(FrontendArtifact {
-            id: ArtifactId(key),
-            program,
-            sema,
-        });
+        let (program, sema) = frontend(src).map_err(PipelineError::Frontend)?;
+        let fe = Arc::new(FrontendArtifact { id, program, sema });
         self.frontends.lock().unwrap().insert(key, fe.clone());
+        self.disk_store(
+            Stage::Frontend,
+            id,
+            codec::frontend_payload(&fe.program, &fe.sema),
+        );
         self.note_stage(Stage::Frontend, t, false);
         Ok(fe)
     }
@@ -627,7 +807,10 @@ impl Session {
     }
 
     /// Directives stage: census of the OpenACC pragmas in the program.
-    pub fn directives(&self, fe: &FrontendArtifact) -> Result<Arc<DirectiveSummary>, Diagnostic> {
+    pub fn directives(
+        &self,
+        fe: &FrontendArtifact,
+    ) -> Result<Arc<DirectiveSummary>, PipelineError> {
         let t = Instant::now();
         let key = combine(fe.id.0, 0xd1ec);
         if let Some(d) = self.directives.lock().unwrap().get(&key) {
@@ -668,7 +851,7 @@ impl Session {
             }
         }
         if let Some(d) = err {
-            return Err(d);
+            return Err(PipelineError::Directives(d));
         }
         let sum = Arc::new(sum);
         self.directives.lock().unwrap().insert(key, sum.clone());
@@ -677,13 +860,14 @@ impl Session {
     }
 
     /// Analysis/Instrument stage: translate under `topts`, cached by
-    /// frontend id × options fingerprint. Instrumented translations are
-    /// metered as the Instrument stage, plain ones as Analysis.
+    /// frontend id × options fingerprint (memory first, then the disk
+    /// layer). Instrumented translations are metered as the Instrument
+    /// stage, plain ones as Analysis.
     pub fn translate(
         &self,
         fe: &FrontendArtifact,
         topts: &TranslateOptions,
-    ) -> Result<Arc<TranslatedArtifact>, Vec<Diagnostic>> {
+    ) -> Result<Arc<TranslatedArtifact>, PipelineError> {
         let t = Instant::now();
         let stage = if topts.instrument {
             Stage::Instrument
@@ -697,14 +881,23 @@ impl Session {
             self.note_stage(stage, t, true);
             return Ok(tr);
         }
+        let id = ArtifactId(key);
+        if let Some(art) = self.disk_load(stage, id, |p| codec::translated_from_payload(id, p)) {
+            self.meters.hit(stage);
+            let art = Arc::new(art);
+            self.translations.lock().unwrap().insert(key, art.clone());
+            self.note_stage(stage, t, true);
+            return Ok(art);
+        }
         self.meters.miss(stage);
-        let tr = translate(&fe.program, &fe.sema, topts)?;
+        let tr = translate(&fe.program, &fe.sema, topts).map_err(PipelineError::Translate)?;
         let art = Arc::new(TranslatedArtifact {
-            id: ArtifactId(key),
+            id,
             instrumented: topts.instrument,
             tr,
         });
         self.translations.lock().unwrap().insert(key, art.clone());
+        self.disk_store(stage, id, codec::translated_payload(&art));
         self.note_stage(stage, t, false);
         Ok(art)
     }
@@ -742,7 +935,7 @@ impl Session {
         &self,
         tr: &TranslatedArtifact,
         eopts: &ExecOptions,
-    ) -> Result<Arc<RunResult>, VmError> {
+    ) -> Result<Arc<RunResult>, PipelineError> {
         let plan = self.plan(tr, eopts);
         self.execute_plan(tr, eopts, &plan)
     }
@@ -754,7 +947,7 @@ impl Session {
         tr: &TranslatedArtifact,
         eopts: &ExecOptions,
         plan: &ExecPlan,
-    ) -> Result<Arc<RunResult>, VmError> {
+    ) -> Result<Arc<RunResult>, PipelineError> {
         let t = Instant::now();
         let hit = self
             .runs
@@ -772,6 +965,24 @@ impl Session {
             self.note_stage(Stage::Execute, t, true);
             return Ok(result);
         }
+        if let Some((result, events)) =
+            self.disk_load(Stage::Execute, plan.id, codec::run_from_payload)
+        {
+            self.meters.hit(Stage::Execute);
+            let result = Arc::new(result);
+            if !events.is_empty() {
+                eopts.journal.extend(events.clone());
+            }
+            self.runs.lock().unwrap().insert(
+                plan.id.0,
+                CachedRun {
+                    result: result.clone(),
+                    events: Arc::new(events),
+                },
+            );
+            self.note_stage(Stage::Execute, t, true);
+            return Ok(result);
+        }
         self.meters.miss(Stage::Execute);
         let (result, events) = if plan.journaled {
             // Run against a private capture journal so exactly this run's
@@ -782,13 +993,19 @@ impl Session {
                 journal: capture.clone(),
                 ..eopts.clone()
             };
-            let result = Arc::new(execute(&tr.tr, &run_opts)?);
+            let result = Arc::new(execute(&tr.tr, &run_opts).map_err(PipelineError::Run)?);
             let events = capture.drain();
             eopts.journal.extend(events.clone());
             (result, Arc::new(events))
         } else {
-            (Arc::new(execute(&tr.tr, eopts)?), Arc::new(Vec::new()))
+            let result = Arc::new(execute(&tr.tr, eopts).map_err(PipelineError::Run)?);
+            (result, Arc::new(Vec::new()))
         };
+        self.disk_store(
+            Stage::Execute,
+            plan.id,
+            codec::run_payload(&result, &events),
+        );
         self.runs.lock().unwrap().insert(
             plan.id.0,
             CachedRun {
@@ -808,8 +1025,8 @@ impl Session {
         fe: &FrontendArtifact,
         topts: &TranslateOptions,
         vopts: VerifyOptions,
-    ) -> Result<(Arc<TranslatedArtifact>, Arc<VerificationReport>), VerifyError> {
-        let tr = self.translate(fe, topts).map_err(VerifyError::Translate)?;
+    ) -> Result<(Arc<TranslatedArtifact>, Arc<VerificationReport>), PipelineError> {
+        let tr = self.translate(fe, topts)?;
         let t = Instant::now();
         let vrun_opts = ExecOptions {
             mode: ExecMode::Verify(vopts),
@@ -823,17 +1040,15 @@ impl Session {
             return Ok((tr, rep));
         }
         self.meters.miss(Stage::Verify);
-        let base = self
-            .execute(
-                &tr,
-                &ExecOptions {
-                    mode: ExecMode::CpuOnly,
-                    race_detect: false,
-                    ..Default::default()
-                },
-            )
-            .map_err(VerifyError::Run)?;
-        let run = self.execute(&tr, &vrun_opts).map_err(VerifyError::Run)?;
+        let base = self.execute(
+            &tr,
+            &ExecOptions {
+                mode: ExecMode::CpuOnly,
+                race_detect: false,
+                ..Default::default()
+            },
+        )?;
+        let run = self.execute(&tr, &vrun_opts)?;
         let rep = Arc::new(VerificationReport {
             kernels: run.verify.clone(),
             breakdown: run.machine.clock.breakdown.clone(),
@@ -852,14 +1067,10 @@ impl Session {
         topts: &TranslateOptions,
         eopts: &ExecOptions,
     ) -> Result<PipelineRun, PipelineError> {
-        let fe = self.frontend(src).map_err(PipelineError::Frontend)?;
-        let tr = self
-            .translate(&fe, topts)
-            .map_err(PipelineError::Translate)?;
+        let fe = self.frontend(src)?;
+        let tr = self.translate(&fe, topts)?;
         let plan = self.plan(&tr, eopts);
-        let result = self
-            .execute_plan(&tr, eopts, &plan)
-            .map_err(PipelineError::Run)?;
+        let result = self.execute_plan(&tr, eopts, &plan)?;
         Ok(PipelineRun {
             frontend: fe,
             translated: tr,
@@ -868,9 +1079,14 @@ impl Session {
         })
     }
 
-    /// Per-stage hit/miss counters accumulated so far.
+    /// Per-stage hit/miss counters accumulated so far, plus disk-layer
+    /// traffic when a disk cache is attached.
     pub fn stats(&self) -> PipelineStats {
-        self.meters.snapshot()
+        let mut out = self.meters.snapshot();
+        if let Some(disk) = &self.disk {
+            out.disk = disk.stats();
+        }
+        out
     }
 }
 
@@ -883,7 +1099,7 @@ mod tests {
 
     #[test]
     fn same_source_different_options_reuses_translation() {
-        let s = Session::new();
+        let s = Session::builder().build();
         let topts = TranslateOptions::default();
         s.run_source(SRC, &topts, &ExecOptions::default()).unwrap();
         let cpu = ExecOptions {
@@ -901,7 +1117,7 @@ mod tests {
 
     #[test]
     fn identical_request_hits_the_run_cache() {
-        let s = Session::new();
+        let s = Session::builder().build();
         let topts = TranslateOptions::default();
         let a = s.run_source(SRC, &topts, &ExecOptions::default()).unwrap();
         let b = s.run_source(SRC, &topts, &ExecOptions::default()).unwrap();
@@ -916,7 +1132,7 @@ mod tests {
 
     #[test]
     fn journaled_runs_cache_and_replay_events() {
-        let s = Session::new();
+        let s = Session::builder().build();
         let topts = TranslateOptions::default();
         let first = openarc_trace::Journal::enabled();
         let a = s
@@ -957,7 +1173,7 @@ mod tests {
     #[test]
     fn stage_times_and_stage_journal_observe_requests() {
         let j = openarc_trace::Journal::enabled();
-        let s = Session::with_stage_journal(j.clone());
+        let s = Session::builder().journal(j.clone()).build();
         s.run_source(SRC, &TranslateOptions::default(), &ExecOptions::default())
             .unwrap();
         s.run_source(SRC, &TranslateOptions::default(), &ExecOptions::default())
@@ -983,7 +1199,7 @@ mod tests {
 
     #[test]
     fn instrumented_translation_meters_separately() {
-        let s = Session::new();
+        let s = Session::builder().build();
         let fe = s.frontend(SRC).unwrap();
         let plain = TranslateOptions::default();
         let inst = TranslateOptions {
@@ -1005,7 +1221,7 @@ mod tests {
 
     #[test]
     fn directive_census_counts_pragmas() {
-        let s = Session::new();
+        let s = Session::builder().build();
         let fe = s.frontend(SRC).unwrap();
         let d = s.directives(&fe).unwrap();
         assert_eq!(d.compute, 1);
@@ -1017,7 +1233,7 @@ mod tests {
 
     #[test]
     fn overlay_edits_change_the_plan_fingerprint() {
-        let s = Session::new();
+        let s = Session::builder().build();
         let fe = s.frontend(SRC).unwrap();
         let tr = s.translate(&fe, &TranslateOptions::default()).unwrap();
         let base = s.plan(&tr, &ExecOptions::default());
@@ -1040,7 +1256,7 @@ mod tests {
 
     #[test]
     fn sessions_are_shareable_across_scheduler_workers() {
-        let s = Session::new();
+        let s = Session::builder().build();
         let topts = TranslateOptions::default();
         let tasks: Vec<_> = (0..8)
             .map(|_| {
@@ -1064,5 +1280,110 @@ mod tests {
         // At least one of the eight requests computed each stage; the rest
         // hit (or raced the first miss, which is also a miss).
         assert!(st.get(Stage::Execute).hits >= 1);
+    }
+
+    fn disk_scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "openarc-pipe-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_cache_survives_into_a_new_session() {
+        let dir = disk_scratch("warm");
+        let topts = TranslateOptions::default();
+        let journal = openarc_trace::Journal::enabled();
+        let eopts = ExecOptions {
+            journal: journal.clone(),
+            ..Default::default()
+        };
+        let cold = Session::builder().disk_cache(&dir).build();
+        let a = cold.run_source(SRC, &topts, &eopts).unwrap();
+        let recorded = journal.drain();
+        let st = cold.stats();
+        assert_eq!(st.disk.hits, 0);
+        assert!(st.disk.stores >= 3, "frontend + analysis + run persisted");
+
+        // A brand-new session over the same directory models a second
+        // process: every persisted stage loads from disk — zero misses.
+        let replay = openarc_trace::Journal::enabled();
+        let warm = Session::builder().disk_cache(&dir).build();
+        let b = warm
+            .run_source(
+                SRC,
+                &topts,
+                &ExecOptions {
+                    journal: replay.clone(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let st = warm.stats();
+        assert_eq!(st.get(Stage::Frontend), StageCounts { hits: 1, misses: 0 });
+        assert_eq!(st.get(Stage::Analysis), StageCounts { hits: 1, misses: 0 });
+        assert_eq!(st.get(Stage::Execute), StageCounts { hits: 1, misses: 0 });
+        assert_eq!(st.disk.misses, 0);
+        assert!(st.disk.hits >= 3);
+        assert_eq!(a.result.sim_time_us(), b.result.sim_time_us());
+        assert_eq!(a.result.kernel_launches, b.result.kernel_launches);
+        assert_eq!(replay.drain(), recorded, "disk replay is byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_recompute_cleanly() {
+        let dir = disk_scratch("corrupt");
+        let topts = TranslateOptions::default();
+        let cold = Session::builder().disk_cache(&dir).build();
+        let a = cold
+            .run_source(SRC, &topts, &ExecOptions::default())
+            .unwrap();
+        // Trash every persisted entry: truncation, garbage, and a valid
+        // JSON document with the wrong shape.
+        let mut i = 0;
+        for stage in crate::cache::DISK_STAGES {
+            let Ok(rd) = std::fs::read_dir(dir.join(stage.label())) else {
+                continue;
+            };
+            for entry in rd.flatten() {
+                let junk = ["", "{not json", "{\"schema\": 999}"][i % 3];
+                std::fs::write(entry.path(), junk).unwrap();
+                i += 1;
+            }
+        }
+        assert!(i >= 3, "expected persisted entries to corrupt");
+        let warm = Session::builder().disk_cache(&dir).build();
+        let b = warm
+            .run_source(SRC, &topts, &ExecOptions::default())
+            .unwrap();
+        assert_eq!(a.result.sim_time_us(), b.result.sim_time_us());
+        let st = warm.stats();
+        assert_eq!(st.disk.hits, 0);
+        assert!(
+            st.disk.corrupt + st.disk.misses >= 3,
+            "every load either missed or detected corruption: {:?}",
+            st.disk
+        );
+        assert!(st.disk.corrupt >= 1, "at least one corruption detected");
+        // The recompute re-published fresh entries over the carnage.
+        assert!(st.disk.stores >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_clears_a_configured_disk_layer() {
+        let dir = disk_scratch("nocache");
+        let s = Session::builder().disk_cache(&dir).no_cache().build();
+        assert!(s.disk_cache().is_none());
+        s.run_source(SRC, &TranslateOptions::default(), &ExecOptions::default())
+            .unwrap();
+        assert!(s.stats().disk.is_empty());
+        assert!(!dir.exists(), "no directory created when the cache is off");
     }
 }

@@ -116,6 +116,20 @@ impl SimClock {
         SimClock::default()
     }
 
+    /// Rebuild a clock from a recorded final state: host time and
+    /// per-category breakdown. Queue timelines are not restored (a
+    /// finished run has drained them) and the journal starts disabled.
+    /// Used by the on-disk artifact cache to reconstruct the observable
+    /// clock of a cached run.
+    pub fn restore(host_now: f64, breakdown: TimeBreakdown) -> SimClock {
+        SimClock {
+            host_now,
+            queues: HashMap::new(),
+            breakdown,
+            journal: JournalPart::default(),
+        }
+    }
+
     /// Current host time, µs.
     pub fn now(&self) -> f64 {
         self.host_now

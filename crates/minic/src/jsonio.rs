@@ -1,0 +1,801 @@
+//! Structural JSON codec for [`Program`] and [`Sema`] — the frontend half
+//! of the on-disk artifact cache.
+//!
+//! The encoding is *faithful*, not pretty: every [`NodeId`], span and
+//! pragma survives the round-trip bit-for-bit, because downstream tables
+//! (dataflow results, kernel descriptors, instrumentation sites) key on
+//! node ids and would silently detach if a reparse renumbered them. Float
+//! literals are stored as IEEE-754 bit patterns for the same reason.
+//!
+//! Decoding never panics — any malformed shape is an `Err(String)`, which
+//! the cache layer treats as a corrupt entry and recomputes.
+
+use crate::ast::*;
+use crate::sema::{FuncInfo, Sema};
+use crate::span::Span;
+use openarc_trace::json::Json;
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+fn span_to_json(sp: &Span) -> Json {
+    Json::Arr(vec![
+        Json::U64(sp.start as u64),
+        Json::U64(sp.end as u64),
+        Json::U64(sp.line as u64),
+    ])
+}
+
+/// Encode a scalar type (its C spelling).
+pub fn scalar_to_json(s: ScalarTy) -> Json {
+    Json::from(s.to_string())
+}
+
+/// Encode a MiniC type.
+pub fn ty_to_json(ty: &Ty) -> Json {
+    match ty {
+        Ty::Void => Json::Arr(vec![Json::from("void")]),
+        Ty::Scalar(s) => Json::Arr(vec![Json::from("scalar"), scalar_to_json(*s)]),
+        Ty::Ptr(s) => Json::Arr(vec![Json::from("ptr"), scalar_to_json(*s)]),
+        Ty::Array(s, dims) => Json::Arr(vec![
+            Json::from("array"),
+            scalar_to_json(*s),
+            Json::Arr(dims.iter().map(|d| Json::U64(*d)).collect()),
+        ]),
+    }
+}
+
+fn expr_to_json(e: &Expr) -> Json {
+    let mut a = vec![Json::U64(e.id as u64), span_to_json(&e.span)];
+    match &e.kind {
+        ExprKind::IntLit(v) => {
+            a.push(Json::from("int"));
+            a.push(Json::I64(*v));
+        }
+        ExprKind::FloatLit(v, f_suffix) => {
+            a.push(Json::from("float"));
+            a.push(Json::U64(v.to_bits()));
+            a.push(Json::from(*f_suffix));
+        }
+        ExprKind::Var(n) => {
+            a.push(Json::from("var"));
+            a.push(Json::from(n.as_str()));
+        }
+        ExprKind::Index { base, indices } => {
+            a.push(Json::from("idx"));
+            a.push(Json::from(base.as_str()));
+            a.push(Json::Arr(indices.iter().map(expr_to_json).collect()));
+        }
+        ExprKind::Unary { op, expr } => {
+            a.push(Json::from("un"));
+            a.push(Json::from(op.to_string()));
+            a.push(expr_to_json(expr));
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            a.push(Json::from("bin"));
+            a.push(Json::from(op.to_string()));
+            a.push(expr_to_json(lhs));
+            a.push(expr_to_json(rhs));
+        }
+        ExprKind::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            a.push(Json::from("tern"));
+            a.push(expr_to_json(cond));
+            a.push(expr_to_json(then_e));
+            a.push(expr_to_json(else_e));
+        }
+        ExprKind::Call { name, args } => {
+            a.push(Json::from("call"));
+            a.push(Json::from(name.as_str()));
+            a.push(Json::Arr(args.iter().map(expr_to_json).collect()));
+        }
+        ExprKind::Cast { ty, expr } => {
+            a.push(Json::from("cast"));
+            a.push(ty_to_json(ty));
+            a.push(expr_to_json(expr));
+        }
+        ExprKind::SizeOf(s) => {
+            a.push(Json::from("sizeof"));
+            a.push(scalar_to_json(*s));
+        }
+    }
+    Json::Arr(a)
+}
+
+fn opt_expr_to_json(e: &Option<Expr>) -> Json {
+    match e {
+        Some(e) => expr_to_json(e),
+        None => Json::Null,
+    }
+}
+
+fn lvalue_to_json(lv: &LValue) -> Json {
+    match lv {
+        LValue::Var(n) => Json::Arr(vec![Json::from("var"), Json::from(n.as_str())]),
+        LValue::Index { base, indices } => Json::Arr(vec![
+            Json::from("idx"),
+            Json::from(base.as_str()),
+            Json::Arr(indices.iter().map(expr_to_json).collect()),
+        ]),
+    }
+}
+
+fn vardecl_to_json(vd: &VarDecl) -> Json {
+    Json::obj(vec![
+        ("id", Json::U64(vd.id as u64)),
+        ("name", Json::from(vd.name.as_str())),
+        ("ty", ty_to_json(&vd.ty)),
+        ("init", opt_expr_to_json(&vd.init)),
+        ("span", span_to_json(&vd.span)),
+    ])
+}
+
+fn block_to_json(b: &Block) -> Json {
+    Json::Arr(b.stmts.iter().map(stmt_to_json).collect())
+}
+
+fn stmt_to_json(s: &Stmt) -> Json {
+    let kind = match &s.kind {
+        StmtKind::Decl(vd) => Json::Arr(vec![Json::from("decl"), vardecl_to_json(vd)]),
+        StmtKind::Expr(e) => Json::Arr(vec![Json::from("expr"), expr_to_json(e)]),
+        StmtKind::Assign { target, op, value } => Json::Arr(vec![
+            Json::from("assign"),
+            lvalue_to_json(target),
+            Json::from(op.to_string()),
+            expr_to_json(value),
+        ]),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => Json::Arr(vec![
+            Json::from("if"),
+            expr_to_json(cond),
+            block_to_json(then_blk),
+            match else_blk {
+                Some(b) => block_to_json(b),
+                None => Json::Null,
+            },
+        ]),
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => Json::Arr(vec![
+            Json::from("for"),
+            match init {
+                Some(s) => stmt_to_json(s),
+                None => Json::Null,
+            },
+            opt_expr_to_json(cond),
+            match step {
+                Some(s) => stmt_to_json(s),
+                None => Json::Null,
+            },
+            block_to_json(body),
+        ]),
+        StmtKind::While { cond, body } => Json::Arr(vec![
+            Json::from("while"),
+            expr_to_json(cond),
+            block_to_json(body),
+        ]),
+        StmtKind::Block(b) => Json::Arr(vec![Json::from("block"), block_to_json(b)]),
+        StmtKind::Return(e) => Json::Arr(vec![Json::from("return"), opt_expr_to_json(e)]),
+        StmtKind::Break => Json::Arr(vec![Json::from("break")]),
+        StmtKind::Continue => Json::Arr(vec![Json::from("continue")]),
+    };
+    Json::obj(vec![
+        ("id", Json::U64(s.id as u64)),
+        ("span", span_to_json(&s.span)),
+        (
+            "pragmas",
+            Json::Arr(
+                s.pragmas
+                    .iter()
+                    .map(|p| Json::Arr(vec![Json::from(p.text.as_str()), span_to_json(&p.span)]))
+                    .collect(),
+            ),
+        ),
+        ("k", kind),
+    ])
+}
+
+/// Encode a whole program, ids and spans included.
+pub fn program_to_json(p: &Program) -> Json {
+    let items = p
+        .items
+        .iter()
+        .map(|it| match it {
+            Item::Global(vd) => Json::Arr(vec![Json::from("global"), vardecl_to_json(vd)]),
+            Item::Func(f) => Json::Arr(vec![
+                Json::from("func"),
+                Json::obj(vec![
+                    ("id", Json::U64(f.id as u64)),
+                    ("name", Json::from(f.name.as_str())),
+                    ("ret", ty_to_json(&f.ret)),
+                    (
+                        "params",
+                        Json::Arr(
+                            f.params
+                                .iter()
+                                .map(|p| {
+                                    Json::Arr(vec![Json::from(p.name.as_str()), ty_to_json(&p.ty)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("body", block_to_json(&f.body)),
+                    ("span", span_to_json(&f.span)),
+                ]),
+            ]),
+        })
+        .collect();
+    Json::obj(vec![
+        ("next_id", Json::U64(p.next_id as u64)),
+        ("items", Json::Arr(items)),
+    ])
+}
+
+/// Encode a semantic-analysis table. Map entries are emitted in sorted
+/// order so identical tables serialize to identical bytes.
+pub fn sema_to_json(s: &Sema) -> Json {
+    let mut globals: Vec<(&String, &Ty)> = s.globals.iter().collect();
+    globals.sort_by_key(|(k, _)| k.as_str());
+    let mut funcs: Vec<(&String, &FuncInfo)> = s.funcs.iter().collect();
+    funcs.sort_by_key(|(k, _)| k.as_str());
+    let mut expr_ty: Vec<(&NodeId, &Ty)> = s.expr_ty.iter().collect();
+    expr_ty.sort_by_key(|(id, _)| **id);
+    Json::obj(vec![
+        (
+            "globals",
+            Json::Arr(
+                globals
+                    .iter()
+                    .map(|(k, ty)| Json::Arr(vec![Json::from(k.as_str()), ty_to_json(ty)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "funcs",
+            Json::Arr(
+                funcs
+                    .iter()
+                    .map(|(k, fi)| {
+                        let mut locals: Vec<(&String, &Ty)> = fi.locals.iter().collect();
+                        locals.sort_by_key(|(k, _)| k.as_str());
+                        Json::Arr(vec![
+                            Json::from(k.as_str()),
+                            Json::obj(vec![
+                                ("ret", ty_to_json(&fi.ret)),
+                                (
+                                    "params",
+                                    Json::Arr(
+                                        fi.params
+                                            .iter()
+                                            .map(|p| {
+                                                Json::Arr(vec![
+                                                    Json::from(p.name.as_str()),
+                                                    ty_to_json(&p.ty),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "locals",
+                                    Json::Arr(
+                                        locals
+                                            .iter()
+                                            .map(|(k, ty)| {
+                                                Json::Arr(vec![
+                                                    Json::from(k.as_str()),
+                                                    ty_to_json(ty),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "expr_ty",
+            Json::Arr(
+                expr_ty
+                    .iter()
+                    .map(|(id, ty)| Json::Arr(vec![Json::U64(**id as u64), ty_to_json(ty)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+type R<T> = Result<T, String>;
+
+fn arr<'a>(v: &'a Json, what: &str) -> R<&'a [Json]> {
+    v.as_arr().ok_or_else(|| format!("{what}: expected array"))
+}
+
+fn str_of<'a>(v: &'a Json, what: &str) -> R<&'a str> {
+    v.as_str().ok_or_else(|| format!("{what}: expected string"))
+}
+
+fn u32_of(v: &Json, what: &str) -> R<u32> {
+    v.as_u64()
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| format!("{what}: expected u32"))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> R<&'a Json> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn span_from_json(v: &Json) -> R<Span> {
+    let a = arr(v, "span")?;
+    if a.len() != 3 {
+        return Err("span: expected 3 elements".into());
+    }
+    Ok(Span {
+        start: u32_of(&a[0], "span.start")?,
+        end: u32_of(&a[1], "span.end")?,
+        line: u32_of(&a[2], "span.line")?,
+    })
+}
+
+/// Decode a scalar type encoded by [`scalar_to_json`].
+pub fn scalar_from_json(v: &Json) -> R<ScalarTy> {
+    match str_of(v, "scalar type")? {
+        "int" => Ok(ScalarTy::Int),
+        "long" => Ok(ScalarTy::Long),
+        "float" => Ok(ScalarTy::Float),
+        "double" => Ok(ScalarTy::Double),
+        other => Err(format!("unknown scalar type {other:?}")),
+    }
+}
+
+/// Decode a type encoded by [`ty_to_json`].
+pub fn ty_from_json(v: &Json) -> R<Ty> {
+    let a = arr(v, "type")?;
+    let tag = str_of(a.first().ok_or("type: empty")?, "type tag")?;
+    match tag {
+        "void" => Ok(Ty::Void),
+        "scalar" => Ok(Ty::Scalar(scalar_from_json(
+            a.get(1).ok_or("scalar: missing payload")?,
+        )?)),
+        "ptr" => Ok(Ty::Ptr(scalar_from_json(
+            a.get(1).ok_or("ptr: missing payload")?,
+        )?)),
+        "array" => {
+            let s = scalar_from_json(a.get(1).ok_or("array: missing scalar")?)?;
+            let dims = arr(a.get(2).ok_or("array: missing dims")?, "array dims")?
+                .iter()
+                .map(|d| {
+                    d.as_u64()
+                        .ok_or_else(|| "array dim: expected u64".to_string())
+                })
+                .collect::<R<Vec<u64>>>()?;
+            Ok(Ty::Array(s, dims))
+        }
+        other => Err(format!("unknown type tag {other:?}")),
+    }
+}
+
+/// Decode a unary operator from its C spelling (the `Display` form).
+pub fn unop_from_json(v: &Json) -> R<UnOp> {
+    match str_of(v, "unary op")? {
+        "-" => Ok(UnOp::Neg),
+        "!" => Ok(UnOp::Not),
+        "~" => Ok(UnOp::BitNot),
+        other => Err(format!("unknown unary op {other:?}")),
+    }
+}
+
+/// Decode a binary operator from its C spelling (the `Display` form).
+pub fn binop_from_json(v: &Json) -> R<BinOp> {
+    let ops = [
+        ("+", BinOp::Add),
+        ("-", BinOp::Sub),
+        ("*", BinOp::Mul),
+        ("/", BinOp::Div),
+        ("%", BinOp::Rem),
+        ("<", BinOp::Lt),
+        (">", BinOp::Gt),
+        ("<=", BinOp::Le),
+        (">=", BinOp::Ge),
+        ("==", BinOp::Eq),
+        ("!=", BinOp::Ne),
+        ("&&", BinOp::And),
+        ("||", BinOp::Or),
+        ("&", BinOp::BitAnd),
+        ("|", BinOp::BitOr),
+        ("^", BinOp::BitXor),
+        ("<<", BinOp::Shl),
+        (">>", BinOp::Shr),
+    ];
+    let s = str_of(v, "binary op")?;
+    ops.iter()
+        .find(|(sym, _)| *sym == s)
+        .map(|(_, op)| *op)
+        .ok_or_else(|| format!("unknown binary op {s:?}"))
+}
+
+fn assignop_from_json(v: &Json) -> R<AssignOp> {
+    match str_of(v, "assign op")? {
+        "=" => Ok(AssignOp::Set),
+        "+=" => Ok(AssignOp::Add),
+        "-=" => Ok(AssignOp::Sub),
+        "*=" => Ok(AssignOp::Mul),
+        "/=" => Ok(AssignOp::Div),
+        other => Err(format!("unknown assign op {other:?}")),
+    }
+}
+
+fn exprs_from_json(v: &Json, what: &str) -> R<Vec<Expr>> {
+    arr(v, what)?.iter().map(expr_from_json).collect()
+}
+
+fn expr_from_json(v: &Json) -> R<Expr> {
+    let a = arr(v, "expr")?;
+    if a.len() < 3 {
+        return Err("expr: too short".into());
+    }
+    let id = u32_of(&a[0], "expr id")?;
+    let span = span_from_json(&a[1])?;
+    let tag = str_of(&a[2], "expr tag")?;
+    let get = |i: usize| a.get(i).ok_or_else(|| format!("expr {tag}: missing [{i}]"));
+    let kind = match tag {
+        "int" => ExprKind::IntLit(
+            get(3)?
+                .as_i64()
+                .ok_or_else(|| "int literal: expected i64".to_string())?,
+        ),
+        "float" => ExprKind::FloatLit(
+            f64::from_bits(
+                get(3)?
+                    .as_u64()
+                    .ok_or_else(|| "float literal: expected bits".to_string())?,
+            ),
+            get(4)?
+                .as_bool()
+                .ok_or_else(|| "float literal: expected suffix flag".to_string())?,
+        ),
+        "var" => ExprKind::Var(str_of(get(3)?, "var name")?.to_string()),
+        "idx" => ExprKind::Index {
+            base: str_of(get(3)?, "index base")?.to_string(),
+            indices: exprs_from_json(get(4)?, "indices")?,
+        },
+        "un" => ExprKind::Unary {
+            op: unop_from_json(get(3)?)?,
+            expr: Box::new(expr_from_json(get(4)?)?),
+        },
+        "bin" => ExprKind::Binary {
+            op: binop_from_json(get(3)?)?,
+            lhs: Box::new(expr_from_json(get(4)?)?),
+            rhs: Box::new(expr_from_json(get(5)?)?),
+        },
+        "tern" => ExprKind::Ternary {
+            cond: Box::new(expr_from_json(get(3)?)?),
+            then_e: Box::new(expr_from_json(get(4)?)?),
+            else_e: Box::new(expr_from_json(get(5)?)?),
+        },
+        "call" => ExprKind::Call {
+            name: str_of(get(3)?, "call name")?.to_string(),
+            args: exprs_from_json(get(4)?, "call args")?,
+        },
+        "cast" => ExprKind::Cast {
+            ty: ty_from_json(get(3)?)?,
+            expr: Box::new(expr_from_json(get(4)?)?),
+        },
+        "sizeof" => ExprKind::SizeOf(scalar_from_json(get(3)?)?),
+        other => return Err(format!("unknown expr tag {other:?}")),
+    };
+    Ok(Expr { id, span, kind })
+}
+
+fn opt_expr_from_json(v: &Json) -> R<Option<Expr>> {
+    match v {
+        Json::Null => Ok(None),
+        other => Ok(Some(expr_from_json(other)?)),
+    }
+}
+
+fn lvalue_from_json(v: &Json) -> R<LValue> {
+    let a = arr(v, "lvalue")?;
+    match str_of(a.first().ok_or("lvalue: empty")?, "lvalue tag")? {
+        "var" => Ok(LValue::Var(
+            str_of(a.get(1).ok_or("lvalue var: missing name")?, "lvalue name")?.to_string(),
+        )),
+        "idx" => Ok(LValue::Index {
+            base: str_of(a.get(1).ok_or("lvalue idx: missing base")?, "lvalue base")?.to_string(),
+            indices: exprs_from_json(
+                a.get(2).ok_or("lvalue idx: missing indices")?,
+                "lvalue indices",
+            )?,
+        }),
+        other => Err(format!("unknown lvalue tag {other:?}")),
+    }
+}
+
+fn vardecl_from_json(v: &Json) -> R<VarDecl> {
+    Ok(VarDecl {
+        id: u32_of(field(v, "id")?, "decl id")?,
+        name: str_of(field(v, "name")?, "decl name")?.to_string(),
+        ty: ty_from_json(field(v, "ty")?)?,
+        init: opt_expr_from_json(field(v, "init")?)?,
+        span: span_from_json(field(v, "span")?)?,
+    })
+}
+
+fn block_from_json(v: &Json) -> R<Block> {
+    Ok(Block {
+        stmts: arr(v, "block")?
+            .iter()
+            .map(stmt_from_json)
+            .collect::<R<_>>()?,
+    })
+}
+
+fn stmt_from_json(v: &Json) -> R<Stmt> {
+    let id = u32_of(field(v, "id")?, "stmt id")?;
+    let span = span_from_json(field(v, "span")?)?;
+    let pragmas = arr(field(v, "pragmas")?, "pragmas")?
+        .iter()
+        .map(|p| {
+            let a = arr(p, "pragma")?;
+            if a.len() != 2 {
+                return Err("pragma: expected [text, span]".into());
+            }
+            Ok(Pragma {
+                text: str_of(&a[0], "pragma text")?.to_string(),
+                span: span_from_json(&a[1])?,
+            })
+        })
+        .collect::<R<Vec<Pragma>>>()?;
+    let k = arr(field(v, "k")?, "stmt kind")?;
+    let tag = str_of(k.first().ok_or("stmt kind: empty")?, "stmt tag")?;
+    let get = |i: usize| k.get(i).ok_or_else(|| format!("stmt {tag}: missing [{i}]"));
+    let kind = match tag {
+        "decl" => StmtKind::Decl(vardecl_from_json(get(1)?)?),
+        "expr" => StmtKind::Expr(expr_from_json(get(1)?)?),
+        "assign" => StmtKind::Assign {
+            target: lvalue_from_json(get(1)?)?,
+            op: assignop_from_json(get(2)?)?,
+            value: expr_from_json(get(3)?)?,
+        },
+        "if" => StmtKind::If {
+            cond: expr_from_json(get(1)?)?,
+            then_blk: block_from_json(get(2)?)?,
+            else_blk: match get(3)? {
+                Json::Null => None,
+                other => Some(block_from_json(other)?),
+            },
+        },
+        "for" => StmtKind::For {
+            init: match get(1)? {
+                Json::Null => None,
+                other => Some(Box::new(stmt_from_json(other)?)),
+            },
+            cond: opt_expr_from_json(get(2)?)?,
+            step: match get(3)? {
+                Json::Null => None,
+                other => Some(Box::new(stmt_from_json(other)?)),
+            },
+            body: block_from_json(get(4)?)?,
+        },
+        "while" => StmtKind::While {
+            cond: expr_from_json(get(1)?)?,
+            body: block_from_json(get(2)?)?,
+        },
+        "block" => StmtKind::Block(block_from_json(get(1)?)?),
+        "return" => StmtKind::Return(opt_expr_from_json(get(1)?)?),
+        "break" => StmtKind::Break,
+        "continue" => StmtKind::Continue,
+        other => return Err(format!("unknown stmt tag {other:?}")),
+    };
+    Ok(Stmt {
+        id,
+        span,
+        pragmas,
+        kind,
+    })
+}
+
+/// Decode a program encoded by [`program_to_json`].
+pub fn program_from_json(v: &Json) -> R<Program> {
+    let next_id = u32_of(field(v, "next_id")?, "next_id")?;
+    let items = arr(field(v, "items")?, "items")?
+        .iter()
+        .map(|it| {
+            let a = arr(it, "item")?;
+            match str_of(a.first().ok_or("item: empty")?, "item tag")? {
+                "global" => Ok(Item::Global(vardecl_from_json(
+                    a.get(1).ok_or("global: missing decl")?,
+                )?)),
+                "func" => {
+                    let f = a.get(1).ok_or("func: missing body")?;
+                    Ok(Item::Func(Func {
+                        id: u32_of(field(f, "id")?, "func id")?,
+                        name: str_of(field(f, "name")?, "func name")?.to_string(),
+                        ret: ty_from_json(field(f, "ret")?)?,
+                        params: arr(field(f, "params")?, "params")?
+                            .iter()
+                            .map(param_from_json)
+                            .collect::<R<_>>()?,
+                        body: block_from_json(field(f, "body")?)?,
+                        span: span_from_json(field(f, "span")?)?,
+                    }))
+                }
+                other => Err(format!("unknown item tag {other:?}")),
+            }
+        })
+        .collect::<R<Vec<Item>>>()?;
+    Ok(Program { items, next_id })
+}
+
+fn param_from_json(v: &Json) -> R<Param> {
+    let a = arr(v, "param")?;
+    if a.len() != 2 {
+        return Err("param: expected [name, ty]".into());
+    }
+    Ok(Param {
+        name: str_of(&a[0], "param name")?.to_string(),
+        ty: ty_from_json(&a[1])?,
+    })
+}
+
+/// Decode a semantic table encoded by [`sema_to_json`].
+pub fn sema_from_json(v: &Json) -> R<Sema> {
+    let mut sema = Sema::default();
+    for entry in arr(field(v, "globals")?, "globals")? {
+        let a = arr(entry, "global entry")?;
+        if a.len() != 2 {
+            return Err("global entry: expected [name, ty]".into());
+        }
+        sema.globals.insert(
+            str_of(&a[0], "global name")?.to_string(),
+            ty_from_json(&a[1])?,
+        );
+    }
+    for entry in arr(field(v, "funcs")?, "funcs")? {
+        let a = arr(entry, "func entry")?;
+        if a.len() != 2 {
+            return Err("func entry: expected [name, info]".into());
+        }
+        let name = str_of(&a[0], "func name")?.to_string();
+        let info = &a[1];
+        let mut locals = std::collections::HashMap::new();
+        for l in arr(field(info, "locals")?, "locals")? {
+            let la = arr(l, "local entry")?;
+            if la.len() != 2 {
+                return Err("local entry: expected [name, ty]".into());
+            }
+            locals.insert(
+                str_of(&la[0], "local name")?.to_string(),
+                ty_from_json(&la[1])?,
+            );
+        }
+        sema.funcs.insert(
+            name,
+            FuncInfo {
+                ret: ty_from_json(field(info, "ret")?)?,
+                params: arr(field(info, "params")?, "params")?
+                    .iter()
+                    .map(param_from_json)
+                    .collect::<R<_>>()?,
+                locals,
+            },
+        );
+    }
+    for entry in arr(field(v, "expr_ty")?, "expr_ty")? {
+        let a = arr(entry, "expr_ty entry")?;
+        if a.len() != 2 {
+            return Err("expr_ty entry: expected [id, ty]".into());
+        }
+        sema.expr_ty
+            .insert(u32_of(&a[0], "expr id")?, ty_from_json(&a[1])?);
+    }
+    Ok(sema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{frontend, print_program};
+
+    const SRC: &str = r#"
+double a[16][4];
+double *p;
+int n;
+void scale(double s) {
+    int i;
+    int j;
+    #pragma acc data copy(a)
+    {
+        #pragma acc kernels loop gang worker
+        for (i = 0; i < 16; i++) {
+            for (j = 0; j < 4; j = j + 1) {
+                a[i][j] = a[i][j] * s + (double) i - 0.5f;
+            }
+        }
+    }
+    while (n > 0) {
+        if (n % 2 == 0) { n = n / 2; } else { break; }
+    }
+    p = (double *) malloc(8 * sizeof(double));
+    p[0] = sqrt(fabs(-2.0));
+    free(p);
+    return;
+}
+void main() {
+    scale(3.0);
+}
+"#;
+
+    #[test]
+    fn program_round_trips_exactly() {
+        let (p, _sema) = frontend(SRC).unwrap();
+        let text = program_to_json(&p).pretty();
+        let back = program_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        // Pretty-printed output (the cache key basis) matches too.
+        assert_eq!(print_program(&back), print_program(&p));
+    }
+
+    #[test]
+    fn sema_round_trips() {
+        let (p, sema) = frontend(SRC).unwrap();
+        let text = sema_to_json(&sema).pretty();
+        let back = sema_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.globals, sema.globals);
+        assert_eq!(back.expr_ty, sema.expr_ty);
+        assert_eq!(back.funcs.len(), sema.funcs.len());
+        for (name, fi) in &sema.funcs {
+            let bfi = back.funcs.get(name).expect("missing func");
+            assert_eq!(bfi.ret, fi.ret);
+            assert_eq!(bfi.params, fi.params);
+            assert_eq!(bfi.locals, fi.locals);
+        }
+        // Re-encoding the decoded table is byte-identical (sorted maps).
+        assert_eq!(sema_to_json(&back).pretty(), text);
+        // Sanity: the table still resolves names.
+        assert!(back.is_global("scale", "a"));
+        assert!(!back.is_global("scale", "i"));
+        let _ = p;
+    }
+
+    #[test]
+    fn float_literal_bits_survive() {
+        let (p, _) = frontend("double x;\nvoid main() { x = 0.30000000000000004; }").unwrap();
+        let back =
+            program_from_json(&Json::parse(&program_to_json(&p).to_string()).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn malformed_shapes_are_errors() {
+        for bad in [
+            Json::Null,
+            Json::obj(vec![("next_id", Json::from(0u64))]),
+            Json::obj(vec![
+                ("next_id", Json::from(0u64)),
+                (
+                    "items",
+                    Json::Arr(vec![Json::Arr(vec![Json::from("nope")])]),
+                ),
+            ]),
+        ] {
+            assert!(program_from_json(&bad).is_err());
+        }
+        assert!(sema_from_json(&Json::Null).is_err());
+    }
+}

@@ -164,6 +164,8 @@ pub fn run_variant(
 /// of the same variant (same source, same options) are served from the
 /// session's artifact cache, so batch drivers that touch a variant more
 /// than once (figure sweeps, validation passes) compile it exactly once.
+/// A session built with a disk cache extends the reuse across processes —
+/// these helpers need no changes to pick the persistent layer up.
 pub fn translate_variant_cached(
     session: &Session,
     b: &Benchmark,
@@ -172,10 +174,10 @@ pub fn translate_variant_cached(
 ) -> Result<Arc<TranslatedArtifact>, String> {
     let fe = session
         .frontend(b.source(v))
-        .map_err(|e| format!("{} [{}] frontend: {e:?}", b.name, v.name()))?;
+        .map_err(|e| format!("{} [{}] {e}", b.name, v.name()))?;
     session
         .translate(&fe, topts)
-        .map_err(|e| format!("{} [{}] translate: {e:?}", b.name, v.name()))
+        .map_err(|e| format!("{} [{}] {e}", b.name, v.name()))
 }
 
 /// Translate and execute a benchmark variant through a pipeline
@@ -192,7 +194,7 @@ pub fn run_variant_cached(
     let tr = translate_variant_cached(session, b, v, topts)?;
     let r = session
         .execute(&tr, eopts)
-        .map_err(|e| format!("{} [{}] execute: {e}", b.name, v.name()))?;
+        .map_err(|e| format!("{} [{}] {e}", b.name, v.name()))?;
     Ok((tr, r))
 }
 
@@ -249,7 +251,7 @@ mod tests {
     #[test]
     fn cached_variant_compiles_once() {
         use openarc_core::pipeline::Stage;
-        let session = Session::new();
+        let session = Session::builder().build();
         let b = jacobi::benchmark(Scale::default());
         let topts = TranslateOptions::default();
         let a = translate_variant_cached(&session, &b, Variant::Optimized, &topts).unwrap();

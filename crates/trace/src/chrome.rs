@@ -110,6 +110,9 @@ fn args_of(ev: &TraceEvent) -> Json {
             ("stage", Json::from(*stage)),
             ("cached", Json::from(*cached)),
         ]),
+        EventKind::Cache { stage, op } => {
+            Json::obj(vec![("stage", Json::from(*stage)), ("op", Json::from(*op))])
+        }
     }
 }
 

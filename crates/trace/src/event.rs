@@ -213,6 +213,17 @@ pub enum EventKind {
         /// Whether the stage result came from the artifact cache.
         cached: bool,
     },
+    /// A disk-cache operation performed by the staged pipeline's
+    /// content-addressed artifact store (instant, session-level stream —
+    /// same rules as [`EventKind::Stage`]: real wall-clock offsets, never
+    /// part of the deterministic per-run journals).
+    Cache {
+        /// Stage label of the artifact involved, e.g. `"Frontend"`.
+        stage: &'static str,
+        /// Operation: `"hit"`, `"miss"`, `"store"`, `"evict"` or
+        /// `"corrupt"`.
+        op: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -241,6 +252,7 @@ impl TraceEvent {
             EventKind::Stage { stage, cached } => {
                 format!("stage {stage}{}", if *cached { " (cached)" } else { "" })
             }
+            EventKind::Cache { stage, op } => format!("cache {op} {stage}"),
         }
     }
 
@@ -258,6 +270,7 @@ impl TraceEvent {
             EventKind::Finding { .. } => "finding",
             EventKind::Verification { .. } => "verify",
             EventKind::Stage { .. } => "stage",
+            EventKind::Cache { .. } => "cache",
         }
     }
 

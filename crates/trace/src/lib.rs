@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod codec;
 pub mod event;
 pub mod explain;
 pub mod journal;

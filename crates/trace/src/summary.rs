@@ -70,6 +70,10 @@ pub struct Summary {
     /// are *real* µs, so they are reported separately and never summed
     /// into [`Summary::total_us`] (which is simulated time).
     pub stages: Vec<(&'static str, f64, u64)>,
+    /// Disk-cache operation counts `(stage, op, count)` in first-seen
+    /// order. Empty unless the journal carries [`EventKind::Cache`] events
+    /// from a session with a disk-backed artifact store.
+    pub cache: Vec<(&'static str, &'static str, u64)>,
     /// Events summarized.
     pub n_events: usize,
 }
@@ -81,6 +85,7 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
 
     let mut kernels: Vec<KernelRow> = Vec::new();
     let mut stages: Vec<(&'static str, f64, u64)> = Vec::new();
+    let mut cache: Vec<(&'static str, &'static str, u64)> = Vec::new();
     let row = |kernels: &mut Vec<KernelRow>, name: &str| -> usize {
         if let Some(i) = kernels.iter().position(|r| r.name == name) {
             return i;
@@ -140,6 +145,16 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
                     stages[i].2 += 1;
                 }
             }
+            EventKind::Cache { stage, op } => {
+                let i = match cache.iter().position(|(s, o, _)| s == stage && o == op) {
+                    Some(i) => i,
+                    None => {
+                        cache.push((*stage, *op, 0));
+                        cache.len() - 1
+                    }
+                };
+                cache[i].2 += 1;
+            }
             _ => {}
         }
     }
@@ -174,6 +189,7 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
         total_us,
         kernels,
         stages,
+        cache,
         n_events: events.len(),
     }
 }
@@ -195,6 +211,13 @@ impl fmt::Display for Summary {
                     String::new()
                 };
                 writeln!(f, "  {:<20} {:>14.3} us{}", stage, us, hits)?;
+            }
+        }
+        if !self.cache.is_empty() {
+            writeln!(f)?;
+            writeln!(f, "disk cache")?;
+            for (stage, op, count) in &self.cache {
+                writeln!(f, "  {:<20} {:<8} {:>6}", stage, op, count)?;
             }
         }
         if self.kernels.is_empty() {

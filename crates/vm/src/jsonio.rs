@@ -1,0 +1,525 @@
+//! Structural JSON codec for compiled [`Module`]s, runtime [`Value`]s and
+//! [`MemSpace`] snapshots — the bytecode half of the on-disk artifact
+//! cache.
+//!
+//! Floats (constants, buffer contents) are stored as IEEE-754 bit patterns
+//! so `NaN`, infinities and `-0.0` survive exactly; buffer slot indices are
+//! preserved so outstanding [`Handle`]s in restored globals stay valid.
+//! Decoding never panics — malformed shapes come back as `Err(String)`.
+
+use crate::bytecode::{Chunk, GlobalInfo, Instr, Intrinsic, Module};
+use crate::mem::{BufData, Buffer, MemSpace};
+use crate::value::{Handle, Value};
+use openarc_minic::jsonio::{
+    binop_from_json, scalar_from_json, scalar_to_json, ty_from_json, ty_to_json, unop_from_json,
+};
+use openarc_trace::json::Json;
+
+type R<T> = Result<T, String>;
+
+fn arr<'a>(v: &'a Json, what: &str) -> R<&'a [Json]> {
+    v.as_arr().ok_or_else(|| format!("{what}: expected array"))
+}
+
+fn str_of<'a>(v: &'a Json, what: &str) -> R<&'a str> {
+    v.as_str().ok_or_else(|| format!("{what}: expected string"))
+}
+
+fn u64_of(v: &Json, what: &str) -> R<u64> {
+    v.as_u64().ok_or_else(|| format!("{what}: expected u64"))
+}
+
+fn u16_of(v: &Json, what: &str) -> R<u16> {
+    u64_of(v, what).and_then(|x| u16::try_from(x).map_err(|_| format!("{what}: out of u16 range")))
+}
+
+fn u32_of(v: &Json, what: &str) -> R<u32> {
+    u64_of(v, what).and_then(|x| u32::try_from(x).map_err(|_| format!("{what}: out of u32 range")))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> R<&'a Json> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Values
+
+/// Encode a runtime value. Floats are stored as bit patterns.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(x) => Json::Arr(vec![Json::from("i"), Json::I64(*x)]),
+        Value::F32(x) => Json::Arr(vec![Json::from("f32"), Json::U64(x.to_bits() as u64)]),
+        Value::F64(x) => Json::Arr(vec![Json::from("f64"), Json::U64(x.to_bits())]),
+        Value::Ptr(h) => Json::Arr(vec![Json::from("p"), Json::U64(h.0 as u64)]),
+    }
+}
+
+/// Decode a value encoded by [`value_to_json`].
+pub fn value_from_json(v: &Json) -> R<Value> {
+    let a = arr(v, "value")?;
+    let tag = str_of(a.first().ok_or("value: empty")?, "value tag")?;
+    let payload = a
+        .get(1)
+        .ok_or_else(|| format!("value {tag}: missing payload"))?;
+    match tag {
+        "i" => Ok(Value::Int(
+            payload
+                .as_i64()
+                .ok_or_else(|| "int value: expected i64".to_string())?,
+        )),
+        "f32" => {
+            let bits = u64_of(payload, "f32 bits")?;
+            let bits = u32::try_from(bits).map_err(|_| "f32 bits: out of range".to_string())?;
+            Ok(Value::F32(f32::from_bits(bits)))
+        }
+        "f64" => Ok(Value::F64(f64::from_bits(u64_of(payload, "f64 bits")?))),
+        "p" => Ok(Value::Ptr(Handle(u32_of(payload, "handle")?))),
+        other => Err(format!("unknown value tag {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+fn buffer_to_json(b: &Buffer) -> Json {
+    let (tag, data) = match &b.data {
+        BufData::I64(v) => ("i64", Json::Arr(v.iter().map(|x| Json::I64(*x)).collect())),
+        BufData::F32(v) => (
+            "f32",
+            Json::Arr(v.iter().map(|x| Json::U64(x.to_bits() as u64)).collect()),
+        ),
+        BufData::F64(v) => (
+            "f64",
+            Json::Arr(v.iter().map(|x| Json::U64(x.to_bits())).collect()),
+        ),
+    };
+    Json::obj(vec![
+        ("elem", scalar_to_json(b.elem)),
+        ("label", Json::from(b.label.as_str())),
+        ("d", Json::from(tag)),
+        ("data", data),
+    ])
+}
+
+fn buffer_from_json(v: &Json) -> R<Buffer> {
+    let elem = scalar_from_json(field(v, "elem")?)?;
+    let label = str_of(field(v, "label")?, "buffer label")?.to_string();
+    let items = arr(field(v, "data")?, "buffer data")?;
+    let data = match str_of(field(v, "d")?, "buffer data tag")? {
+        "i64" => BufData::I64(
+            items
+                .iter()
+                .map(|x| x.as_i64().ok_or_else(|| "i64 elem".to_string()))
+                .collect::<R<_>>()?,
+        ),
+        "f32" => BufData::F32(
+            items
+                .iter()
+                .map(|x| {
+                    u64_of(x, "f32 elem")
+                        .and_then(|b| u32::try_from(b).map_err(|_| "f32 bits".to_string()))
+                        .map(f32::from_bits)
+                })
+                .collect::<R<_>>()?,
+        ),
+        "f64" => BufData::F64(
+            items
+                .iter()
+                .map(|x| u64_of(x, "f64 elem").map(f64::from_bits))
+                .collect::<R<_>>()?,
+        ),
+        other => return Err(format!("unknown buffer data tag {other:?}")),
+    };
+    Ok(Buffer { elem, data, label })
+}
+
+/// Encode a memory-space snapshot, preserving slot numbering (freed slots
+/// serialize as `null`).
+pub fn memspace_to_json(m: &MemSpace) -> Json {
+    Json::obj(vec![
+        ("peak_bytes", Json::U64(m.peak_bytes())),
+        (
+            "slots",
+            Json::Arr(
+                m.slots()
+                    .iter()
+                    .map(|s| match s {
+                        Some(b) => buffer_to_json(b),
+                        None => Json::Null,
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a memory space encoded by [`memspace_to_json`].
+pub fn memspace_from_json(v: &Json) -> R<MemSpace> {
+    let peak = u64_of(field(v, "peak_bytes")?, "peak_bytes")?;
+    let slots = arr(field(v, "slots")?, "slots")?
+        .iter()
+        .map(|s| match s {
+            Json::Null => Ok(None),
+            other => buffer_from_json(other).map(Some),
+        })
+        .collect::<R<Vec<Option<Buffer>>>>()?;
+    Ok(MemSpace::restore(slots, peak))
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode
+
+fn intrinsic_name(i: Intrinsic) -> &'static str {
+    match i {
+        Intrinsic::Sqrt => "sqrt",
+        Intrinsic::Fabs => "fabs",
+        Intrinsic::Exp => "exp",
+        Intrinsic::Log => "log",
+        Intrinsic::Pow => "pow",
+        Intrinsic::Sin => "sin",
+        Intrinsic::Cos => "cos",
+        Intrinsic::Floor => "floor",
+        Intrinsic::Ceil => "ceil",
+        Intrinsic::Fmin => "fmin",
+        Intrinsic::Fmax => "fmax",
+        Intrinsic::Abs => "abs",
+        Intrinsic::Min => "min",
+        Intrinsic::Max => "max",
+        Intrinsic::SqrtF => "sqrtf",
+        Intrinsic::ExpF => "expf",
+        Intrinsic::FabsF => "fabsf",
+        Intrinsic::LogF => "logf",
+        Intrinsic::PowF => "powf",
+    }
+}
+
+fn instr_to_json(i: &Instr) -> Json {
+    let t = |s: &str| Json::from(s);
+    match i {
+        Instr::Const(x) => Json::Arr(vec![t("const"), Json::U64(*x as u64)]),
+        Instr::LoadLocal(x) => Json::Arr(vec![t("ldl"), Json::U64(*x as u64)]),
+        Instr::StoreLocal(x) => Json::Arr(vec![t("stl"), Json::U64(*x as u64)]),
+        Instr::LoadGlobal(x) => Json::Arr(vec![t("ldg"), Json::U64(*x as u64)]),
+        Instr::StoreGlobal(x) => Json::Arr(vec![t("stg"), Json::U64(*x as u64)]),
+        Instr::LoadElem => Json::Arr(vec![t("lde")]),
+        Instr::StoreElem => Json::Arr(vec![t("ste")]),
+        Instr::Bin(op) => Json::Arr(vec![t("bin"), Json::from(op.to_string())]),
+        Instr::Un(op) => Json::Arr(vec![t("un"), Json::from(op.to_string())]),
+        Instr::Cast(s) => Json::Arr(vec![t("cast"), scalar_to_json(*s)]),
+        Instr::Jump(x) => Json::Arr(vec![t("jmp"), Json::U64(*x as u64)]),
+        Instr::JumpIfFalse(x) => Json::Arr(vec![t("jf"), Json::U64(*x as u64)]),
+        Instr::JumpIfTrue(x) => Json::Arr(vec![t("jt"), Json::U64(*x as u64)]),
+        Instr::Call(x) => Json::Arr(vec![t("call"), Json::U64(*x as u64)]),
+        Instr::CallIntrinsic(i) => Json::Arr(vec![t("intr"), Json::from(intrinsic_name(*i))]),
+        Instr::Malloc(s, l) => {
+            Json::Arr(vec![t("malloc"), scalar_to_json(*s), Json::U64(*l as u64)])
+        }
+        Instr::Free => Json::Arr(vec![t("free")]),
+        Instr::Return => Json::Arr(vec![t("ret")]),
+        Instr::ReturnVoid => Json::Arr(vec![t("retv")]),
+        Instr::HostOp(x) => Json::Arr(vec![t("host"), Json::U64(*x as u64)]),
+        Instr::Pop => Json::Arr(vec![t("pop")]),
+        Instr::Dup => Json::Arr(vec![t("dup")]),
+    }
+}
+
+fn instr_from_json(v: &Json) -> R<Instr> {
+    let a = arr(v, "instr")?;
+    let tag = str_of(a.first().ok_or("instr: empty")?, "instr tag")?;
+    let get = |i: usize| {
+        a.get(i)
+            .ok_or_else(|| format!("instr {tag}: missing [{i}]"))
+    };
+    Ok(match tag {
+        "const" => Instr::Const(u16_of(get(1)?, "const idx")?),
+        "ldl" => Instr::LoadLocal(u16_of(get(1)?, "local slot")?),
+        "stl" => Instr::StoreLocal(u16_of(get(1)?, "local slot")?),
+        "ldg" => Instr::LoadGlobal(u16_of(get(1)?, "global slot")?),
+        "stg" => Instr::StoreGlobal(u16_of(get(1)?, "global slot")?),
+        "lde" => Instr::LoadElem,
+        "ste" => Instr::StoreElem,
+        "bin" => Instr::Bin(binop_from_json(get(1)?)?),
+        "un" => Instr::Un(unop_from_json(get(1)?)?),
+        "cast" => Instr::Cast(scalar_from_json(get(1)?)?),
+        "jmp" => Instr::Jump(u32_of(get(1)?, "jump target")?),
+        "jf" => Instr::JumpIfFalse(u32_of(get(1)?, "jump target")?),
+        "jt" => Instr::JumpIfTrue(u32_of(get(1)?, "jump target")?),
+        "call" => Instr::Call(u16_of(get(1)?, "call idx")?),
+        "intr" => {
+            let name = str_of(get(1)?, "intrinsic name")?;
+            Instr::CallIntrinsic(
+                Intrinsic::from_name(name).ok_or_else(|| format!("unknown intrinsic {name:?}"))?,
+            )
+        }
+        "malloc" => Instr::Malloc(scalar_from_json(get(1)?)?, u16_of(get(2)?, "label idx")?),
+        "free" => Instr::Free,
+        "ret" => Instr::Return,
+        "retv" => Instr::ReturnVoid,
+        "host" => Instr::HostOp(u16_of(get(1)?, "host op")?),
+        "pop" => Instr::Pop,
+        "dup" => Instr::Dup,
+        other => return Err(format!("unknown instr tag {other:?}")),
+    })
+}
+
+fn chunk_to_json(c: &Chunk) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(c.name.as_str())),
+        (
+            "code",
+            Json::Arr(c.code.iter().map(instr_to_json).collect()),
+        ),
+        (
+            "consts",
+            Json::Arr(c.consts.iter().map(value_to_json).collect()),
+        ),
+        ("n_params", Json::U64(c.n_params as u64)),
+        ("n_locals", Json::U64(c.n_locals as u64)),
+        (
+            "local_names",
+            Json::Arr(
+                c.local_names
+                    .iter()
+                    .map(|s| Json::from(s.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "local_tys",
+            Json::Arr(c.local_tys.iter().map(ty_to_json).collect()),
+        ),
+        (
+            "labels",
+            Json::Arr(c.labels.iter().map(|s| Json::from(s.as_str())).collect()),
+        ),
+    ])
+}
+
+fn chunk_from_json(v: &Json) -> R<Chunk> {
+    Ok(Chunk {
+        name: str_of(field(v, "name")?, "chunk name")?.to_string(),
+        code: arr(field(v, "code")?, "code")?
+            .iter()
+            .map(instr_from_json)
+            .collect::<R<_>>()?,
+        consts: arr(field(v, "consts")?, "consts")?
+            .iter()
+            .map(value_from_json)
+            .collect::<R<_>>()?,
+        n_params: u16_of(field(v, "n_params")?, "n_params")?,
+        n_locals: u16_of(field(v, "n_locals")?, "n_locals")?,
+        local_names: arr(field(v, "local_names")?, "local_names")?
+            .iter()
+            .map(|s| str_of(s, "local name").map(str::to_string))
+            .collect::<R<_>>()?,
+        local_tys: arr(field(v, "local_tys")?, "local_tys")?
+            .iter()
+            .map(ty_from_json)
+            .collect::<R<_>>()?,
+        labels: arr(field(v, "labels")?, "labels")?
+            .iter()
+            .map(|s| str_of(s, "label").map(str::to_string))
+            .collect::<R<_>>()?,
+    })
+}
+
+/// Encode a compiled module. The name→index maps are rebuilt on decode
+/// from the chunk/global declaration order, so they are not stored.
+pub fn module_to_json(m: &Module) -> Json {
+    Json::obj(vec![
+        (
+            "chunks",
+            Json::Arr(m.chunks.iter().map(chunk_to_json).collect()),
+        ),
+        (
+            "globals",
+            Json::Arr(
+                m.globals
+                    .iter()
+                    .map(|g| Json::Arr(vec![Json::from(g.name.as_str()), ty_to_json(&g.ty)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a module encoded by [`module_to_json`].
+pub fn module_from_json(v: &Json) -> R<Module> {
+    let chunks: Vec<Chunk> = arr(field(v, "chunks")?, "chunks")?
+        .iter()
+        .map(chunk_from_json)
+        .collect::<R<_>>()?;
+    let globals: Vec<GlobalInfo> = arr(field(v, "globals")?, "globals")?
+        .iter()
+        .map(|g| {
+            let a = arr(g, "global")?;
+            if a.len() != 2 {
+                return Err("global: expected [name, ty]".into());
+            }
+            Ok(GlobalInfo {
+                name: str_of(&a[0], "global name")?.to_string(),
+                ty: ty_from_json(&a[1])?,
+            })
+        })
+        .collect::<R<_>>()?;
+    let mut func_index = std::collections::HashMap::new();
+    for (i, c) in chunks.iter().enumerate() {
+        func_index.insert(
+            c.name.clone(),
+            u16::try_from(i).map_err(|_| "too many chunks".to_string())?,
+        );
+    }
+    let mut global_index = std::collections::HashMap::new();
+    for (i, g) in globals.iter().enumerate() {
+        global_index.insert(
+            g.name.clone(),
+            u16::try_from(i).map_err(|_| "too many globals".to_string())?,
+        );
+    }
+    Ok(Module {
+        chunks,
+        func_index,
+        globals,
+        global_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openarc_minic::ast::{BinOp, UnOp};
+    use openarc_minic::{ScalarTy, Ty};
+
+    fn sample_module() -> Module {
+        let mut c = Chunk {
+            name: "main".into(),
+            code: vec![
+                Instr::Const(0),
+                Instr::StoreLocal(0),
+                Instr::LoadLocal(0),
+                Instr::LoadGlobal(1),
+                Instr::Bin(BinOp::Shl),
+                Instr::Un(UnOp::BitNot),
+                Instr::Cast(ScalarTy::Float),
+                Instr::JumpIfFalse(9),
+                Instr::Jump(10),
+                Instr::CallIntrinsic(Intrinsic::PowF),
+                Instr::Malloc(ScalarTy::Double, 0),
+                Instr::Free,
+                Instr::HostOp(3),
+                Instr::LoadElem,
+                Instr::StoreElem,
+                Instr::Dup,
+                Instr::Pop,
+                Instr::Call(0),
+                Instr::JumpIfTrue(2),
+                Instr::ReturnVoid,
+                Instr::Return,
+            ],
+            consts: vec![],
+            n_params: 1,
+            n_locals: 3,
+            local_names: vec!["a".into(), "b".into(), "c".into()],
+            local_tys: vec![
+                Ty::Scalar(ScalarTy::Int),
+                Ty::Ptr(ScalarTy::Double),
+                Ty::Array(ScalarTy::Float, vec![2, 3]),
+            ],
+            labels: vec!["p".into()],
+        };
+        c.add_const(Value::Int(-7));
+        c.add_const(Value::F64(f64::NAN));
+        c.add_const(Value::F32(-0.0f32));
+        c.add_const(Value::Ptr(Handle(4)));
+        let mut m = Module {
+            chunks: vec![c],
+            func_index: Default::default(),
+            globals: vec![
+                GlobalInfo {
+                    name: "g".into(),
+                    ty: Ty::Array(ScalarTy::Double, vec![8]),
+                },
+                GlobalInfo {
+                    name: "n".into(),
+                    ty: Ty::Scalar(ScalarTy::Int),
+                },
+            ],
+            global_index: Default::default(),
+        };
+        m.func_index.insert("main".into(), 0);
+        m.global_index.insert("g".into(), 0);
+        m.global_index.insert("n".into(), 1);
+        m
+    }
+
+    fn assert_chunk_eq(a: &Chunk, b: &Chunk) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.n_params, b.n_params);
+        assert_eq!(a.n_locals, b.n_locals);
+        assert_eq!(a.local_names, b.local_names);
+        assert_eq!(a.local_tys, b.local_tys);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.consts.len(), b.consts.len());
+        for (x, y) in a.consts.iter().zip(&b.consts) {
+            match (x, y) {
+                (Value::F64(x), Value::F64(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                (Value::F32(x), Value::F32(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn module_round_trips_including_nan_consts() {
+        let m = sample_module();
+        let text = module_to_json(&m).pretty();
+        let back = module_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.chunks.len(), m.chunks.len());
+        assert_chunk_eq(&back.chunks[0], &m.chunks[0]);
+        assert_eq!(back.func_index, m.func_index);
+        assert_eq!(back.global_index, m.global_index);
+        assert_eq!(back.globals.len(), m.globals.len());
+        for (a, b) in back.globals.iter().zip(&m.globals) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.ty, b.ty);
+        }
+    }
+
+    #[test]
+    fn memspace_round_trip_preserves_slots_and_bits() {
+        let mut m = MemSpace::new();
+        let h1 = m.alloc(ScalarTy::Double, 3, "a");
+        let h2 = m.alloc(ScalarTy::Float, 2, "b");
+        let h3 = m.alloc(ScalarTy::Int, 2, "c");
+        m.store(h1, 0, Value::F64(-0.0)).unwrap();
+        m.store(h1, 1, Value::F64(f64::INFINITY)).unwrap();
+        m.get_mut(h1).unwrap().set(2, Value::F64(f64::NAN)).unwrap();
+        m.store(h2, 1, Value::F32(1.25)).unwrap();
+        m.store(h3, 0, Value::Int(-9)).unwrap();
+        m.free(h2).unwrap(); // leave a hole so slot numbering matters
+        let text = memspace_to_json(&m).pretty();
+        let back = memspace_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.allocated_bytes(), m.allocated_bytes());
+        assert_eq!(back.peak_bytes(), m.peak_bytes());
+        assert_eq!(back.live_buffers(), m.live_buffers());
+        // Handles survive: same slots resolve to the same data.
+        assert_eq!(
+            back.load(h1, 0).unwrap().as_f64().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert!(back.load(h1, 2).unwrap().as_f64().is_nan());
+        assert!(back.load(h2, 0).is_err()); // freed slot stays freed
+        assert_eq!(back.load(h3, 0).unwrap(), Value::Int(-9));
+        assert_eq!(back.get(h1).unwrap().label, "a");
+    }
+
+    #[test]
+    fn malformed_shapes_are_errors() {
+        assert!(value_from_json(&Json::Null).is_err());
+        assert!(value_from_json(&Json::Arr(vec![Json::from("zzz")])).is_err());
+        assert!(instr_from_json(&Json::Arr(vec![Json::from("const")])).is_err());
+        assert!(module_from_json(&Json::obj(vec![("chunks", Json::Null)])).is_err());
+        assert!(memspace_from_json(&Json::Null).is_err());
+    }
+}

@@ -20,6 +20,7 @@ pub mod bytecode;
 pub mod compile;
 pub mod error;
 pub mod interp;
+pub mod jsonio;
 pub mod mem;
 pub mod value;
 

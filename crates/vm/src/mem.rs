@@ -222,6 +222,29 @@ impl MemSpace {
     pub fn live_buffers(&self) -> usize {
         self.bufs.iter().filter(|b| b.is_some()).count()
     }
+
+    /// The raw slot table, `None` marking the reserved null slot and freed
+    /// slots. Slot indices *are* handle values, so a serialized snapshot of
+    /// this table preserves every outstanding [`Handle`] — which is what
+    /// the on-disk artifact cache relies on when it reconstructs a final
+    /// memory image whose globals still point into it.
+    pub fn slots(&self) -> &[Option<Buffer>] {
+        &self.bufs
+    }
+
+    /// Rebuild a memory space from a slot snapshot taken via
+    /// [`MemSpace::slots`]. Live bytes are recomputed from the snapshot;
+    /// `peak_bytes` restores the high-water mark (it is not derivable from
+    /// the final state).
+    pub fn restore(slots: Vec<Option<Buffer>>, peak_bytes: u64) -> MemSpace {
+        let allocated_bytes = slots.iter().flatten().map(|b| b.size_bytes()).sum();
+        let bufs = if slots.is_empty() { vec![None] } else { slots };
+        MemSpace {
+            bufs,
+            allocated_bytes,
+            peak_bytes,
+        }
+    }
 }
 
 #[cfg(test)]

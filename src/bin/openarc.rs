@@ -14,25 +14,61 @@
 //! openarc bench [--jobs N] [flags]     batch mode: run the 12-benchmark ×
 //!                                      3-variant matrix, optionally fanned
 //!                                      across worker threads
+//! openarc cache <stats|gc|clear>       inspect or prune the persistent
+//!                                      artifact store
 //! ```
+//!
+//! Every pipeline command accepts `--cache-dir DIR` (use the persistent
+//! artifact store at DIR) and `--no-cache`; `bench` defaults the store
+//! **on** at `target/openarc-cache`, the single-program commands default
+//! it off. Exit codes: `0` ok, `1` verification/check findings, `2` bad
+//! input or usage, `3` execution failure.
 
+use openarc::bench::args::BenchArgs;
+use openarc::core::cache::{DiskCache, DEFAULT_DIR};
 use openarc::core::options::parse_verification_options;
+use openarc::core::pipeline::{PipelineError, Session};
 use openarc::prelude::*;
+use openarc::trace::json::Json;
 use openarc::trace::{chrome_trace, explain_var, summarize};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => std::process::exit(code),
         Err(e) => {
-            eprintln!("openarc: {e}");
-            std::process::exit(2);
+            eprintln!("openarc: {}", e.msg);
+            std::process::exit(e.code);
+        }
+    }
+}
+
+/// A CLI failure: the message for stderr plus the process exit code.
+/// Usage/input-file problems exit `2`; pipeline errors carry their own
+/// mapping ([`PipelineError::exit_code`]: bad program `2`, failed run `3`).
+struct CliError {
+    msg: String,
+    code: i32,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError { msg, code: 2 }
+    }
+}
+
+impl From<PipelineError> for CliError {
+    fn from(e: PipelineError) -> CliError {
+        CliError {
+            msg: e.to_string(),
+            code: e.exit_code(),
         }
     }
 }
 
 fn usage() -> String {
-    "usage: openarc <run|cpu|verify|check|demote|profile|bench> [args]\n\
+    "usage: openarc <run|cpu|verify|check|demote|profile|bench|cache> [args]\n\
      \n\
      run    <file.c>            translate and execute on the simulated device\n\
      cpu    <file.c>            execute the sequential reference\n\
@@ -49,12 +85,63 @@ fn usage() -> String {
      bench [flags]              run the benchmark suite's 12×3 matrix\n\
        --jobs <N|auto>          fan the matrix across N worker threads\n\
        --scale <small|bench>    problem scale (default: bench)\n\
-       --n <SIZE> --iters <N>   override the scale's size/iterations"
+       --n <SIZE> --iters <N>   override the scale's size/iterations\n\
+     cache stats [--json]       per-stage entry counts and bytes on disk\n\
+     cache gc --max-bytes <N>   evict least-recently-used entries to <= N bytes\n\
+     cache clear                delete every cached artifact\n\
+     \n\
+     run/cpu/check/profile take --cache-dir <DIR> to persist pipeline\n\
+     artifacts across processes; bench caches at target/openarc-cache by\n\
+     default (--no-cache disables, --cache-dir relocates); cache takes\n\
+     --cache-dir to point at a non-default store"
         .to_string()
 }
 
+/// Split `--cache-dir DIR` / `--no-cache` out of `rest`, returning the
+/// remaining arguments plus the resolved cache root (`default` when
+/// neither flag appears; `--no-cache` wins over both).
+fn cache_flags(
+    rest: &[String],
+    default: Option<&str>,
+) -> Result<(Vec<String>, Option<PathBuf>), String> {
+    let mut out = Vec::with_capacity(rest.len());
+    let mut dir: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--cache-dir needs a value\n{}", usage()))?;
+                dir = Some(PathBuf::from(v));
+            }
+            "--no-cache" => no_cache = true,
+            _ => out.push(a.clone()),
+        }
+    }
+    let dir = if no_cache {
+        None
+    } else {
+        dir.or_else(|| default.map(PathBuf::from))
+    };
+    Ok((out, dir))
+}
+
+/// Fresh pipeline session honouring a resolved `--cache-dir`.
+fn session_with(cache: Option<&PathBuf>) -> Session {
+    match cache {
+        Some(dir) => Session::builder().disk_cache(dir).build(),
+        None => Session::builder().build(),
+    }
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
 fn load(path: &str) -> Result<(openarc::minic::Program, openarc::minic::Sema), String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let src = read_source(path)?;
     frontend(&src).map_err(|ds| {
         ds.iter()
             .map(|d| d.to_string())
@@ -93,32 +180,29 @@ fn print_outputs(tr: &Translated, r: &openarc::core::exec::RunResult) {
     }
 }
 
-fn run(args: &[String]) -> Result<i32, String> {
+fn run(args: &[String]) -> Result<i32, CliError> {
     let (cmd, rest) = args.split_first().ok_or_else(usage)?;
     match cmd.as_str() {
         "run" | "cpu" => {
+            let (rest, cache) = cache_flags(rest, None)?;
             let path = rest.first().ok_or_else(usage)?;
-            let (p, s) = load(path)?;
-            let tr = translate(&p, &s, &TranslateOptions::default()).map_err(|ds| {
-                ds.iter()
-                    .map(|d| d.to_string())
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            })?;
+            let src = read_source(path)?;
+            let session = session_with(cache.as_ref());
+            let fe = session.frontend(&src)?;
+            let tra = session.translate(&fe, &TranslateOptions::default())?;
             let mode = if cmd == "cpu" {
                 ExecMode::CpuOnly
             } else {
                 ExecMode::Normal
             };
-            let r = execute(
-                &tr,
+            let r = session.execute(
+                &tra,
                 &ExecOptions {
                     mode,
                     ..Default::default()
                 },
-            )
-            .map_err(|e| e.to_string())?;
-            print_outputs(&tr, &r);
+            )?;
+            print_outputs(&tra.tr, &r);
             println!("--");
             println!("kernel launches   : {}", r.kernel_launches);
             println!("simulated time    : {:.1} µs", r.sim_time_us());
@@ -144,7 +228,7 @@ fn run(args: &[String]) -> Result<i32, String> {
             };
             let (p, s) = load(path)?;
             let (_, report) = verify_kernels(&p, &s, &TranslateOptions::default(), vopts)
-                .map_err(|e| e.to_string())?;
+                .map_err(PipelineError::from)?;
             for k in &report.kernels {
                 let verdict = if k.flagged() {
                     "FAIL"
@@ -165,26 +249,23 @@ fn run(args: &[String]) -> Result<i32, String> {
             Ok(if report.flagged().is_empty() { 0 } else { 1 })
         }
         "check" => {
+            let (rest, cache) = cache_flags(rest, None)?;
             let path = rest.first().ok_or_else(usage)?;
-            let (p, s) = load(path)?;
+            let src = read_source(path)?;
+            let session = session_with(cache.as_ref());
+            let fe = session.frontend(&src)?;
             let topts = TranslateOptions {
                 instrument: true,
                 ..Default::default()
             };
-            let tr = translate(&p, &s, &topts).map_err(|ds| {
-                ds.iter()
-                    .map(|d| d.to_string())
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            })?;
-            let r = execute(
-                &tr,
+            let tra = session.translate(&fe, &topts)?;
+            let r = session.execute(
+                &tra,
                 &ExecOptions {
                     check_transfers: true,
                     ..Default::default()
                 },
-            )
-            .map_err(|e| e.to_string())?;
+            )?;
             if r.machine.report.issues.is_empty() {
                 println!("no memory-transfer issues found");
                 Ok(0)
@@ -201,17 +282,14 @@ fn run(args: &[String]) -> Result<i32, String> {
                 .parse()
                 .map_err(|_| "kernel index must be an integer".to_string())?;
             let (p, s) = load(path)?;
-            let tr = translate(&p, &s, &TranslateOptions::default()).map_err(|ds| {
-                ds.iter()
-                    .map(|d| d.to_string())
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            })?;
+            let tr = translate(&p, &s, &TranslateOptions::default())
+                .map_err(PipelineError::Translate)?;
             if idx >= tr.kernels.len() {
                 return Err(format!(
                     "kernel index {idx} out of range: the program has {} kernel(s)",
                     tr.kernels.len()
-                ));
+                )
+                .into());
             }
             let demoted =
                 demote_source(&p, &std::iter::once(idx).collect(), 1).map_err(|e| e.to_string())?;
@@ -220,21 +298,24 @@ fn run(args: &[String]) -> Result<i32, String> {
         }
         "profile" => profile(rest),
         "bench" => bench(rest),
+        "cache" => cache_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(0)
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }
 
 /// `openarc bench`: batch mode. Runs the full 12-benchmark × 3-variant
 /// matrix through one pipeline session, fanned across `--jobs` worker
-/// threads; output is byte-identical for any worker count.
-fn bench(rest: &[String]) -> Result<i32, String> {
-    let (scale, jobs) =
-        openarc::bench::sweep::parse_bin_args(rest).map_err(|e| format!("{e}\n{}", usage()))?;
-    let sw = openarc::bench::sweep::Sweep::new(scale, jobs);
+/// threads; output is byte-identical for any worker count. The persistent
+/// artifact store defaults **on** at `target/openarc-cache`, so a second
+/// `openarc bench` invocation reloads every compiled stage from disk.
+fn bench(rest: &[String]) -> Result<i32, CliError> {
+    let args =
+        BenchArgs::parse(rest, Some(DEFAULT_DIR)).map_err(|e| format!("{e}\n{}", usage()))?;
+    let sw = args.sweep();
     let (rows, events) = sw.matrix()?;
     println!(
         "{:<10} {:<12} {:>14} {:>12} {:>9} {:>8}",
@@ -259,10 +340,91 @@ fn bench(rest: &[String]) -> Result<i32, String> {
     Ok(0)
 }
 
+/// `openarc cache`: inspect or prune the persistent artifact store without
+/// running anything. Operates on `target/openarc-cache` unless
+/// `--cache-dir` points elsewhere.
+fn cache_cmd(rest: &[String]) -> Result<i32, CliError> {
+    let (rest, dir) = cache_flags(rest, Some(DEFAULT_DIR))?;
+    let dir = dir.ok_or_else(|| format!("cache: --no-cache makes no sense here\n{}", usage()))?;
+    let cache = DiskCache::new(&dir);
+    let (sub, rest) = rest
+        .split_first()
+        .ok_or_else(|| format!("cache: expected stats, gc, or clear\n{}", usage()))?;
+    match sub.as_str() {
+        "stats" => {
+            let json = match rest {
+                [] => false,
+                [flag] if flag == "--json" => true,
+                _ => return Err(format!("cache stats: unexpected arguments\n{}", usage()).into()),
+            };
+            let rows = cache.usage();
+            if json {
+                let out = Json::obj(vec![
+                    ("dir", Json::from(dir.to_string_lossy().as_ref())),
+                    (
+                        "stages",
+                        Json::Arr(
+                            rows.iter()
+                                .map(|r| {
+                                    Json::obj(vec![
+                                        ("stage", Json::from(r.stage)),
+                                        ("entries", Json::from(r.entries)),
+                                        ("bytes", Json::from(r.bytes)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                println!("{}", out.pretty());
+            } else {
+                println!("cache dir: {}", dir.display());
+                println!("{:<12} {:>8} {:>12}", "stage", "entries", "bytes");
+                for r in &rows {
+                    println!("{:<12} {:>8} {:>12}", r.stage, r.entries, r.bytes);
+                }
+                println!(
+                    "{:<12} {:>8} {:>12}",
+                    "total",
+                    rows.iter().map(|r| r.entries).sum::<u64>(),
+                    rows.iter().map(|r| r.bytes).sum::<u64>()
+                );
+            }
+            Ok(0)
+        }
+        "gc" => {
+            let max_bytes: u64 = match rest {
+                [flag, v] if flag == "--max-bytes" => v
+                    .parse()
+                    .map_err(|_| "cache gc: --max-bytes expects a byte count".to_string())?,
+                _ => return Err(format!("cache gc: expected --max-bytes <N>\n{}", usage()).into()),
+            };
+            let r = cache.gc(max_bytes);
+            println!(
+                "examined {} entries, evicted {}, {} -> {} bytes",
+                r.examined, r.evicted, r.bytes_before, r.bytes_after
+            );
+            Ok(0)
+        }
+        "clear" => {
+            if !rest.is_empty() {
+                return Err(format!("cache clear: unexpected arguments\n{}", usage()).into());
+            }
+            let removed = cache.clear();
+            println!("removed {removed} entries from {}", dir.display());
+            Ok(0)
+        }
+        other => Err(format!("cache: unknown subcommand `{other}`\n{}", usage()).into()),
+    }
+}
+
 /// `openarc profile`: run the program with the event journal enabled, then
 /// render the journal as a Chrome trace, a per-kernel summary, and/or a
-/// per-variable timeline.
-fn profile(rest: &[String]) -> Result<i32, String> {
+/// per-variable timeline. With `--cache-dir` the run goes through the
+/// persistent store; disk hits/misses appear as `cache` rows in the
+/// summary's stage table.
+fn profile(rest: &[String]) -> Result<i32, CliError> {
+    let (rest, cache) = cache_flags(rest, None)?;
     let mut path: Option<&str> = None;
     let mut trace_out: Option<&str> = None;
     let mut summary = false;
@@ -284,10 +446,10 @@ fn profile(rest: &[String]) -> Result<i32, String> {
             "--explain" => explain.push(value("--explain")?),
             "--verify" => verify = true,
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown profile flag `{flag}`\n{}", usage()));
+                return Err(format!("unknown profile flag `{flag}`\n{}", usage()).into());
             }
             p if path.is_none() => path = Some(p),
-            p => return Err(format!("unexpected argument `{p}`\n{}", usage())),
+            p => return Err(format!("unexpected argument `{p}`\n{}", usage()).into()),
         }
     }
     let path = path.ok_or_else(usage)?;
@@ -296,7 +458,7 @@ fn profile(rest: &[String]) -> Result<i32, String> {
         summary = true;
     }
 
-    let (p, s) = load(path)?;
+    let src = read_source(path)?;
     let topts = TranslateOptions {
         instrument: true,
         ..Default::default()
@@ -305,14 +467,15 @@ fn profile(rest: &[String]) -> Result<i32, String> {
     // summary can show where wall-clock time went per pipeline stage
     // (frontend/translate/execute), alongside the simulated-time tables.
     let stage_journal = Journal::enabled();
-    let session = openarc::core::pipeline::Session::with_stage_journal(stage_journal.clone());
-    let fe = session.frontend_program(p, s);
-    let tra = session.translate(&fe, &topts).map_err(|ds| {
-        ds.iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
-    })?;
+    let session = match &cache {
+        Some(dir) => Session::builder()
+            .journal(stage_journal.clone())
+            .disk_cache(dir)
+            .build(),
+        None => Session::builder().journal(stage_journal.clone()).build(),
+    };
+    let fe = session.frontend(&src)?;
+    let tra = session.translate(&fe, &topts)?;
     let mode = if verify {
         ExecMode::Verify(VerifyOptions::default())
     } else {
@@ -327,7 +490,7 @@ fn profile(rest: &[String]) -> Result<i32, String> {
         journal: journal.clone(),
         ..Default::default()
     };
-    let r = session.execute(&tra, &opts).map_err(|e| e.to_string())?;
+    let r = session.execute(&tra, &opts)?;
     let events = journal.drain();
 
     if let Some(out) = trace_out {
