@@ -83,6 +83,95 @@ fn main() {
         }
     }
 
+    // Verified-launch pipeline gate (§III-A): for every benchmark, the
+    // three-stage pipelined verify run (staged demotion copies, overlapped
+    // reference, fanned-out comparison) must be bit-identical to the
+    // sequential oracle. The pipelined run's wall-clock stage spans become
+    // the `verify_pipeline_us` report block.
+    let mut verify_stage_us = [0.0f64; 3]; // staging, overlap, compare
+    let mut verify_identical = true;
+    {
+        use openarc_core::exec::{execute, ExecMode, ExecOptions, VerifyOptions};
+        use openarc_core::translate::TranslateOptions;
+        use openarc_trace::{EventKind, Journal};
+        let run = |tr: &openarc_core::translate::Translated,
+                   overlap: bool,
+                   cjobs: usize,
+                   stage_journal: Journal| {
+            let journal = Journal::enabled();
+            let eopts = ExecOptions {
+                mode: ExecMode::Verify(VerifyOptions {
+                    overlap_reference: overlap,
+                    compare_jobs: cjobs,
+                    ..Default::default()
+                }),
+                journal: journal.clone(),
+                stage_journal,
+                ..Default::default()
+            };
+            let r = execute(tr, &eopts).unwrap_or_else(|e| {
+                eprintln!("pipeline: verify run failed: {e}");
+                std::process::exit(1)
+            });
+            (r, journal.drain())
+        };
+        for b in openarc_suite::all(scale) {
+            let tr = openarc_suite::translate_variant(
+                &b,
+                openarc_suite::Variant::Optimized,
+                &TranslateOptions::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("pipeline: {e}");
+                std::process::exit(1)
+            });
+            let stage_journal = Journal::enabled();
+            let (seq, seq_events) = run(&tr, false, 1, Journal::disabled());
+            let (par, par_events) = run(&tr, true, jobs, stage_journal.clone());
+            let same = par_events == seq_events
+                && par.sim_time_us().to_bits() == seq.sim_time_us().to_bits()
+                && par.verify.len() == seq.verify.len()
+                && par.verify.iter().zip(&seq.verify).all(|(p, s)| {
+                    p.kernel == s.kernel
+                        && p.launches == s.launches
+                        && p.failed_launches == s.failed_launches
+                        && p.compared_elems == s.compared_elems
+                        && p.mismatched_elems == s.mismatched_elems
+                        && p.max_abs_err.to_bits() == s.max_abs_err.to_bits()
+                        && p.assertion_failures == s.assertion_failures
+                });
+            if !same {
+                eprintln!(
+                    "pipeline: {} pipelined verify diverges from the sequential oracle",
+                    b.name
+                );
+                verify_identical = false;
+            }
+            for e in stage_journal.drain() {
+                if let EventKind::Stage { stage, .. } = e.kind {
+                    match stage {
+                        "verify:staging" => verify_stage_us[0] += e.dur_us,
+                        "verify:overlap" => verify_stage_us[1] += e.dur_us,
+                        "verify:compare" => verify_stage_us[2] += e.dur_us,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        println!(
+            "verify pipeline (compare jobs={jobs}): staging {:.1} µs, overlap {:.1} µs, \
+             compare {:.1} µs{}",
+            verify_stage_us[0],
+            verify_stage_us[1],
+            verify_stage_us[2],
+            if verify_identical {
+                ", identical to sequential oracle"
+            } else {
+                " — DIVERGED"
+            }
+        );
+    }
+
     let samples = 5;
     let t_seq = timing::report("matrix sequential", samples, || {
         Sweep::sequential(scale).matrix().unwrap()
@@ -110,7 +199,10 @@ fn main() {
         ("jobs", Json::from(jobs)),
         ("cells", Json::from(rows_seq.len())),
         ("journal_events", Json::from(events_seq.len())),
-        ("identical_output", Json::from(identical)),
+        (
+            "identical_output",
+            Json::from(identical && verify_identical),
+        ),
         ("sequential", t_seq.to_json()),
         ("parallel", t_par.to_json()),
         ("speedup_p50", Json::from(speedup)),
@@ -122,6 +214,16 @@ fn main() {
                     .map(|(s, us)| (s.label(), Json::from(*us)))
                     .collect(),
             ),
+        ),
+        (
+            "verify_pipeline_us",
+            Json::obj(vec![
+                ("jobs", Json::from(jobs)),
+                ("staging", Json::from(verify_stage_us[0])),
+                ("overlap", Json::from(verify_stage_us[1])),
+                ("compare", Json::from(verify_stage_us[2])),
+                ("identical", Json::from(verify_identical)),
+            ]),
         ),
     ];
     if let Some(t_warm) = &t_warm {
@@ -167,4 +269,7 @@ fn main() {
     }
     std::fs::write("BENCH_pipeline.json", Json::obj(report).pretty()).ok();
     println!("wrote BENCH_pipeline.json");
+    if !verify_identical {
+        std::process::exit(1);
+    }
 }

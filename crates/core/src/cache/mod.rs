@@ -381,11 +381,43 @@ impl DiskCache {
             .collect()
     }
 
-    /// LRU eviction pass: delete oldest-touched entries until the store
-    /// holds at most `max_bytes`.
+    /// Recompute-cost rank of an entry, derived from the stage directory
+    /// it lives in: [`DISK_STAGES`] is ordered cheapest-first (a Frontend
+    /// parse re-runs in microseconds; an Execute artifact replays a whole
+    /// simulated run), so the array position *is* the rank. Unknown
+    /// directories rank cheapest.
+    fn stage_cost(path: &Path) -> usize {
+        path.parent()
+            .and_then(|p| p.file_name())
+            .and_then(|dir| {
+                DISK_STAGES
+                    .iter()
+                    .position(|s| dir.to_string_lossy() == s.label())
+            })
+            .unwrap_or(0)
+    }
+
+    /// Cost-aware LRU eviction pass: delete least-valuable entries until
+    /// the store holds at most `max_bytes`.
+    ///
+    /// Eviction order is least-recently-touched first, with recency
+    /// compared at whole-second granularity; inside one second the
+    /// cheaper-to-recompute stage goes first (its position in
+    /// [`DISK_STAGES`], cheapest-first), then
+    /// exact mtime. The coarse bucket is deliberate: hits re-touch
+    /// entries, so sub-second mtime deltas mostly record directory-walk
+    /// and publish order — at that resolution "which artifact costs more
+    /// to rebuild" is the better signal, and a pipeline that stored a
+    /// Frontend parse and an Execute run in the same second keeps the
+    /// run.
     pub fn gc(&self, max_bytes: u64) -> GcResult {
+        let whole_secs = |t: &SystemTime| {
+            t.duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0)
+        };
         let mut entries = self.entries();
-        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        entries.sort_by_key(|(path, _, mtime)| (whole_secs(mtime), Self::stage_cost(path), *mtime));
         let bytes_before: u64 = entries.iter().map(|(_, len, _)| len).sum();
         let mut result = GcResult {
             examined: entries.len() as u64,
@@ -555,6 +587,46 @@ mod tests {
             assert_eq!(matches!(got, Lookup::Hit(_)), hit, "entry {n}");
         }
         assert_eq!(cache.stats().evictions, 2);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_prefers_evicting_cheap_stages_at_equal_recency() {
+        // ROADMAP cost-aware-gc item: a Frontend parse and an Execute run
+        // land in the same one-second recency bucket, the Execute entry
+        // strictly older by exact mtime. A plain LRU-by-mtime policy
+        // (what `gc` used to be) would evict the expensive Execute
+        // artifact first; the cost-aware order must keep it and evict the
+        // Frontend parse instead.
+        let cache = DiskCache::new(scratch("gc-cost"));
+        assert!(cache.store(Stage::Frontend, ArtifactId(1), payload(1)));
+        assert!(cache.store(Stage::Execute, ArtifactId(2), payload(2)));
+        // Pin both mtimes inside one second, Execute older than Frontend.
+        let secs = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .unwrap()
+            .as_secs();
+        let bucket = SystemTime::UNIX_EPOCH + Duration::from_secs(secs);
+        let touch = |stage: Stage, id: ArtifactId, offset_ms: u64| {
+            let key = DiskCache::entry_key(stage, id);
+            let f = fs::File::open(cache.entry_path(stage, key)).unwrap();
+            f.set_modified(bucket + Duration::from_millis(offset_ms))
+                .unwrap();
+        };
+        touch(Stage::Execute, ArtifactId(2), 100);
+        touch(Stage::Frontend, ArtifactId(1), 800);
+        let total = cache.usage().iter().map(|r| r.bytes).sum::<u64>();
+        let gc = cache.gc(total - 1);
+        assert_eq!(gc.examined, 2);
+        assert_eq!(gc.evicted, 1);
+        assert!(matches!(
+            cache.load_with(Stage::Frontend, ArtifactId(1), decode_n),
+            Lookup::Miss
+        ));
+        assert!(matches!(
+            cache.load_with(Stage::Execute, ArtifactId(2), decode_n),
+            Lookup::Hit(2)
+        ));
         let _ = fs::remove_dir_all(cache.root());
     }
 

@@ -30,6 +30,9 @@ pub(super) struct ExecEnv<'a> {
     pub(super) deferred: Vec<Vec<DeferredCopy>>,
     /// Data regions currently active (if-clause decisions at enter time).
     pub(super) region_active: HashMap<usize, bool>,
+    /// Wall-clock origin of the run; verified-launch stage spans are
+    /// journaled relative to this instant.
+    pub(super) t0: std::time::Instant,
 }
 
 impl ExecEnv<'_> {

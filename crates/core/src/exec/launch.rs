@@ -8,8 +8,8 @@ use openarc_gpusim::{launch, TimeCategory};
 use openarc_minic::ScalarTy;
 use openarc_openacc::ReductionOp;
 use openarc_runtime::DevSide;
-use openarc_vm::{Handle, Value, VmError};
-use std::collections::HashMap;
+use openarc_vm::{Buffer, Handle, Value, VmError};
+use std::collections::{HashMap, VecDeque};
 
 impl ExecEnv<'_> {
     /// Build kernel args. `on_device` selects device or host buffers; the
@@ -21,6 +21,31 @@ impl ExecEnv<'_> {
         k: usize,
         n: u64,
         on_device: bool,
+    ) -> Result<
+        (
+            Vec<Value>,
+            Vec<(String, ReductionOp, Handle)>,
+            Vec<Handle>,
+            Vec<(String, Handle)>,
+        ),
+        VmError,
+    > {
+        self.build_args_prepared(k, n, on_device, &mut VecDeque::new())
+    }
+
+    /// [`ExecEnv::build_args`] with pre-built reduction partial buffers:
+    /// the verified-launch pipeline constructs them (zero-fill is O(n))
+    /// off the arena while staging copies run, then publishes each here
+    /// with a pointer move. `prepared` is consumed front-to-back in kernel
+    /// parameter order; when it runs dry the slot allocates as usual, so
+    /// handle assignment and accounting are identical either way.
+    #[allow(clippy::type_complexity)]
+    pub(super) fn build_args_prepared(
+        &mut self,
+        k: usize,
+        n: u64,
+        on_device: bool,
+        prepared: &mut VecDeque<Buffer>,
     ) -> Result<
         (
             Vec<Value>,
@@ -100,7 +125,13 @@ impl ExecEnv<'_> {
                     } else {
                         &mut self.machine.host.mem
                     };
-                    let h = mem.alloc(elem, n.max(1) as usize, format!("__red_{var}"));
+                    let h = match prepared.pop_front() {
+                        Some(buf) => {
+                            debug_assert_eq!(buf.elem, elem, "prepared buffer type mismatch");
+                            mem.insert(buf)
+                        }
+                        None => mem.alloc(elem, n.max(1) as usize, format!("__red_{var}")),
+                    };
                     args.push(Value::Ptr(h));
                     reds.push((var.clone(), *op, h));
                     temps.push(h);

@@ -94,8 +94,18 @@ pub struct VerifyOptions {
     /// Run the CPU reference interpreter on a worker thread overlapped
     /// with the simulated device execution (§III-A's async overlap as
     /// actual host parallelism). Clock and journal reconciliation stay
-    /// deterministic either way; disable to force the single-threaded path.
+    /// deterministic either way; disable to force the fully sequential
+    /// oracle path (staging, reference, and comparison all inline on the
+    /// calling thread, `compare_jobs` ignored).
     pub overlap_reference: bool,
+    /// Worker threads for the element-wise comparison stage (stage 3 of
+    /// the verified-launch pipeline). Each written aggregate is chunked
+    /// into at most this many contiguous ranges fanned over
+    /// [`crate::sched::run_tasks`]; chunk results merge in task order, so
+    /// mismatch counts and `max_abs_err` are bit-identical for every
+    /// value. `1` (the default) compares inline; forced to `1` when
+    /// `overlap_reference` is `false`.
+    pub compare_jobs: usize,
 }
 
 impl Default for VerifyOptions {
@@ -110,6 +120,7 @@ impl Default for VerifyOptions {
             assertions: Vec::new(),
             queue: 1,
             overlap_reference: true,
+            compare_jobs: 1,
         }
     }
 }
@@ -179,6 +190,13 @@ pub struct ExecOptions {
     pub overlay: TransferOverlay,
     /// Event journal threaded through the machine; disabled by default.
     pub journal: Journal,
+    /// Wall-clock stage-span journal for the verified-launch pipeline
+    /// phases (`verify:staging` / `verify:overlap` / `verify:compare`,
+    /// emitted as [`openarc_trace::EventKind::Stage`]). Like the
+    /// `Session` stage stream it measures *real* elapsed time, so it is
+    /// kept out of the deterministic run journal above and out of the
+    /// plan fingerprint; disabled by default.
+    pub stage_journal: Journal,
 }
 
 impl Default for ExecOptions {
@@ -191,6 +209,7 @@ impl Default for ExecOptions {
             step_budget: 5_000_000_000,
             overlay: TransferOverlay::default(),
             journal: Journal::disabled(),
+            stage_journal: Journal::disabled(),
         }
     }
 }
@@ -290,6 +309,7 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
         kernel_launches: 0,
         deferred: Vec::new(),
         region_active: HashMap::new(),
+        t0: std::time::Instant::now(),
     };
 
     let mut t = ThreadState::new(&tr.host_module, GLOBALS_INIT, &[])?;

@@ -3,6 +3,7 @@ use crate::translate::{translate, TranslateOptions};
 use openarc_gpusim::TimeCategory;
 use openarc_minic::frontend;
 use openarc_runtime::IssueKind;
+use std::sync::OnceLock;
 
 fn run_src(src: &str, topts: &TranslateOptions, eopts: &ExecOptions) -> (Translated, RunResult) {
     let (p, s) = frontend(src).expect("frontend");
@@ -13,14 +14,27 @@ fn run_src(src: &str, topts: &TranslateOptions, eopts: &ExecOptions) -> (Transla
 
 const COPY_SRC: &str = "double q[64];\ndouble w[64];\nvoid main() {\n int j;\n for (j = 0; j < 64; j++) { w[j] = (double) j; }\n #pragma acc kernels loop gang worker\n for (j = 0; j < 64; j++) { q[j] = w[j] * 2.0; }\n}";
 
+/// Shared fixture: [`COPY_SRC`] translated once with default options.
+/// Most cases differ only in [`ExecOptions`], so they re-execute this one
+/// [`Translated`] instead of re-running the whole frontend + translate
+/// per test.
+fn copy_fixture() -> &'static Translated {
+    static TR: OnceLock<Translated> = OnceLock::new();
+    TR.get_or_init(|| {
+        let (p, s) = frontend(COPY_SRC).expect("frontend");
+        translate(&p, &s, &TranslateOptions::default()).expect("translate")
+    })
+}
+
+fn run_copy(eopts: &ExecOptions) -> RunResult {
+    execute(copy_fixture(), eopts).expect("execute")
+}
+
 #[test]
 fn normal_mode_produces_correct_output() {
-    let (tr, r) = run_src(
-        COPY_SRC,
-        &TranslateOptions::default(),
-        &ExecOptions::default(),
-    );
-    let q = r.global_array(&tr, "q").unwrap();
+    let tr = copy_fixture();
+    let r = run_copy(&ExecOptions::default());
+    let q = r.global_array(tr, "q").unwrap();
     for (i, v) in q.iter().enumerate() {
         assert_eq!(*v, i as f64 * 2.0);
     }
@@ -38,8 +52,9 @@ fn cpu_only_mode_matches_normal_output() {
         mode: ExecMode::CpuOnly,
         ..Default::default()
     };
-    let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
-    let q = r.global_array(&tr, "q").unwrap();
+    let tr = copy_fixture();
+    let r = run_copy(&eopts);
+    let q = r.global_array(tr, "q").unwrap();
     for (i, v) in q.iter().enumerate() {
         assert_eq!(*v, i as f64 * 2.0);
     }
@@ -143,7 +158,7 @@ fn verify_mode_passes_clean_kernel() {
         mode: ExecMode::Verify(vopts),
         ..Default::default()
     };
-    let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+    let r = run_copy(&eopts);
     assert_eq!(r.verify.len(), 1);
     assert_eq!(r.verify[0].launches, 1);
     assert!(!r.verify[0].flagged(), "{:?}", r.verify[0]);
@@ -166,10 +181,10 @@ fn verify_overlap_matches_sequential_reference_path() {
             }),
             ..Default::default()
         };
-        run_src(COPY_SRC, &TranslateOptions::default(), &eopts)
+        run_copy(&eopts)
     };
-    let (_, a) = run(true);
-    let (_, b) = run(false);
+    let a = run(true);
+    let b = run(false);
     assert_eq!(a.verify[0].compared_elems, b.verify[0].compared_elems);
     assert_eq!(a.verify[0].mismatched_elems, b.verify[0].mismatched_elems);
     assert_eq!(a.sim_time_us().to_bits(), b.sim_time_us().to_bits());
@@ -180,6 +195,91 @@ fn verify_overlap_matches_sequential_reference_path() {
             "category {c:?} diverged between overlap and sequential"
         );
     }
+}
+
+#[test]
+fn verify_compare_jobs_bit_identical_to_sequential_oracle() {
+    // The chunked comparison fan-out must reproduce the sequential
+    // oracle's verdicts, journal, and clock bit-for-bit at every job
+    // count — including jobs exceeding the buffer length.
+    let run = |overlap: bool, jobs: usize| {
+        let journal = openarc_trace::Journal::enabled();
+        let eopts = ExecOptions {
+            mode: ExecMode::Verify(VerifyOptions {
+                overlap_reference: overlap,
+                compare_jobs: jobs,
+                ..Default::default()
+            }),
+            journal: journal.clone(),
+            ..Default::default()
+        };
+        let r = run_copy(&eopts);
+        (r, journal.drain())
+    };
+    let (oracle, oracle_events) = run(false, 1);
+    for jobs in [1usize, 3, 8, 100] {
+        let (r, events) = run(true, jobs);
+        assert_eq!(r.verify[0].launches, oracle.verify[0].launches);
+        assert_eq!(
+            r.verify[0].compared_elems, oracle.verify[0].compared_elems,
+            "jobs {jobs}"
+        );
+        assert_eq!(
+            r.verify[0].mismatched_elems,
+            oracle.verify[0].mismatched_elems
+        );
+        assert_eq!(
+            r.verify[0].max_abs_err.to_bits(),
+            oracle.verify[0].max_abs_err.to_bits()
+        );
+        assert_eq!(r.verify[0].flagged(), oracle.verify[0].flagged());
+        assert_eq!(r.sim_time_us().to_bits(), oracle.sim_time_us().to_bits());
+        for c in TimeCategory::ALL {
+            assert_eq!(
+                r.machine.clock.breakdown.get(c).to_bits(),
+                oracle.machine.clock.breakdown.get(c).to_bits(),
+                "category {c:?} diverged at jobs {jobs}"
+            );
+        }
+        assert_eq!(events, oracle_events, "journal diverged at jobs {jobs}");
+    }
+}
+
+#[test]
+fn verify_stage_journal_spans_all_three_phases() {
+    // With a stage journal attached, one verified launch emits exactly
+    // one wall-clock span per pipeline phase; the deterministic run
+    // journal stays untouched.
+    let stage_journal = openarc_trace::Journal::enabled();
+    let eopts = ExecOptions {
+        mode: ExecMode::Verify(VerifyOptions::default()),
+        stage_journal: stage_journal.clone(),
+        ..Default::default()
+    };
+    let r = run_copy(&eopts);
+    assert!(!r.verify[0].flagged());
+    let spans = stage_journal.drain();
+    let labels: Vec<&str> = spans
+        .iter()
+        .map(|e| match &e.kind {
+            openarc_trace::EventKind::Stage { stage, .. } => *stage,
+            other => panic!("unexpected event in stage journal: {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        labels,
+        vec!["verify:staging", "verify:overlap", "verify:compare"]
+    );
+    for e in &spans {
+        assert!(e.dur_us >= 0.0 && e.ts_us >= 0.0);
+    }
+    // Disabled stage journal (the default) emits nothing and changes
+    // nothing: the run above matches a plain verified run.
+    let plain = run_copy(&ExecOptions {
+        mode: ExecMode::Verify(VerifyOptions::default()),
+        ..Default::default()
+    });
+    assert_eq!(r.sim_time_us().to_bits(), plain.sim_time_us().to_bits());
 }
 
 #[test]
@@ -220,10 +320,11 @@ fn verify_untargeted_kernels_run_sequentially() {
         mode: ExecMode::Verify(vopts),
         ..Default::default()
     };
-    let (tr, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+    let tr = copy_fixture();
+    let r = run_copy(&eopts);
     // Kernel not selected: ran on CPU, output still correct.
     assert_eq!(r.verify[0].launches, 0);
-    let q = r.global_array(&tr, "q").unwrap();
+    let q = r.global_array(tr, "q").unwrap();
     assert_eq!(q[10], 20.0);
     assert_eq!(r.machine.stats.total_count(), 0);
 }
@@ -239,7 +340,7 @@ fn verify_complement_selects_inverse() {
         mode: ExecMode::Verify(vopts),
         ..Default::default()
     };
-    let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+    let r = run_copy(&eopts);
     assert_eq!(r.verify[0].launches, 1);
 }
 
@@ -253,7 +354,7 @@ fn min_value_to_check_skips_tiny_values() {
         mode: ExecMode::Verify(vopts),
         ..Default::default()
     };
-    let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+    let r = run_copy(&eopts);
     assert_eq!(r.verify[0].compared_elems, 0);
 }
 
@@ -274,7 +375,7 @@ fn assertion_api_flags_bad_checksum() {
         mode: ExecMode::Verify(vopts),
         ..Default::default()
     };
-    let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+    let r = run_copy(&eopts);
     assert_eq!(r.verify[0].assertion_failures, 1);
     let vopts_ok = VerifyOptions {
         assertions: vec![KernelAssertion {
@@ -288,7 +389,7 @@ fn assertion_api_flags_bad_checksum() {
         mode: ExecMode::Verify(vopts_ok),
         ..Default::default()
     };
-    let (_, r) = run_src(COPY_SRC, &TranslateOptions::default(), &eopts);
+    let r = run_copy(&eopts);
     assert_eq!(r.verify[0].assertion_failures, 0);
 }
 

@@ -1,22 +1,50 @@
 //! Verified launch (§III-A): demoted transfers, GPU execution overlapped
 //! with the sequential CPU reference, comparison, CPU results canonical.
 //!
-//! The paper overlaps the asynchronous device kernel with the host's
-//! sequential re-execution. Here that overlap is *actual host parallelism*:
-//! the simulated device launch runs on a `std::thread::scope` worker while
-//! the CPU reference interpreter runs on the calling thread. The two touch
-//! disjoint machine state (device memory vs. host memory), and every clock
-//! charge and journal emission happens after the join in a fixed order, so
-//! simulated time, the Figure-3 breakdown, and the event journal are
-//! bit-identical to the single-threaded path
-//! ([`VerifyOptions::overlap_reference`]` = false`).
+//! The path is a three-stage pipeline:
+//!
+//! 1. **Staging** — the demotion copies move every touched aggregate to
+//!    the device. The raw byte copies run on a worker thread while the
+//!    calling thread pre-builds the reduction partial buffers (argument
+//!    marshalling for the host reference); the copies' *accounting* —
+//!    clock charges on the verification async queue, transfer stats,
+//!    journal events, coherence transitions — replays after the join in a
+//!    fixed per-variable order via [`Machine::account_to_device`].
+//! 2. **Overlap** — the simulated device launch runs on a
+//!    `std::thread::scope` worker while the CPU reference interpreter runs
+//!    on the calling thread, exactly the paper's async overlap. The two
+//!    touch disjoint machine state (device memory vs. host memory).
+//! 3. **Comparison** — each written aggregate is chunked into contiguous
+//!    ranges fanned across [`run_tasks`] workers
+//!    ([`VerifyOptions::compare_jobs`]); chunk results merge in task
+//!    order, so counts and `max_abs_err` match the one-loop path
+//!    bit-for-bit.
+//!
+//! Every clock charge and journal emission happens between stages on the
+//! calling thread in a fixed order, so simulated time, the Figure-3
+//! breakdown, and the event journal are bit-identical to the fully
+//! sequential oracle ([`VerifyOptions::overlap_reference`]` = false`,
+//! which also forces `compare_jobs = 1`). Real elapsed time per stage is
+//! journaled as wall-clock [`EventKind::Stage`] spans into
+//! [`ExecOptions::stage_journal`](super::ExecOptions::stage_journal) when
+//! enabled — a separate stream that never enters the deterministic run
+//! journal.
+//!
+//! [`Machine::account_to_device`]: openarc_runtime::Machine::account_to_device
+//! [`run_tasks`]: crate::sched::run_tasks
+//! [`EventKind::Stage`]: openarc_trace::EventKind::Stage
 
 use super::env::ExecEnv;
 use super::reduce::red_eval;
 use super::{AssertKind, VerifyOptions};
+use crate::ir::KernelParam;
+use crate::sched::{chunk_ranges, run_tasks};
 use openarc_gpusim::{launch, KernelOutcome, TimeCategory};
+use openarc_minic::ScalarTy;
 use openarc_vm::interp::BasicEnv;
-use openarc_vm::{Module, ThreadState, Value, VmError};
+use openarc_vm::{Buffer, Handle, MemSpace, Module, ThreadState, Value, VmError};
+use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Run the sequential reference function against host memory only. The
 /// `__seq_*` fallbacks touch nothing but their parameters and globals, so
@@ -34,7 +62,83 @@ fn run_reference(
     Ok(t.steps)
 }
 
+/// Raw demotion byte copies, host buffer → device mirror. Pure data
+/// movement between arenas the caller holds exclusively; every observable
+/// effect (clock, stats, journal, coherence) is replayed afterwards on the
+/// calling thread through `Machine::account_to_device`.
+fn stage_copies(
+    dev_mem: &mut MemSpace,
+    host_mem: &MemSpace,
+    pairs: &[(Handle, Handle)],
+) -> Result<(), VmError> {
+    for (src, dst) in pairs {
+        let data = host_mem.get(*src)?;
+        dev_mem.get_mut(*dst)?.copy_from(data)?;
+    }
+    Ok(())
+}
+
+/// Element-wise comparison of one `lo..hi` chunk of a written aggregate.
+/// Exactly the sequential loop body: skip below `min_value`, count a
+/// mismatch when the error exceeds `abs_tol + rel_tol·|cpu|` and the
+/// user's value bound does not absolve it. Returns
+/// `(compared, mismatches, chunk max error)`; because chunks tile the
+/// buffer in order and the caller merges in task order, any chunking
+/// reproduces the one-loop counts bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn compare_range(
+    hbuf: &Buffer,
+    dbuf: &Buffer,
+    lo: u64,
+    hi: u64,
+    min_value: f64,
+    abs_tol: f64,
+    rel_tol: f64,
+    bound: Option<(f64, f64)>,
+) -> Result<(u64, u64, f64), VmError> {
+    let mut compared = 0u64;
+    let mut mismatches = 0u64;
+    let mut max_err = 0f64;
+    for i in lo..hi {
+        let c = hbuf.get(i)?.as_f64();
+        let g = dbuf.get(i)?.as_f64();
+        if c.abs() < min_value {
+            continue;
+        }
+        compared += 1;
+        let err = (c - g).abs();
+        if err > abs_tol + rel_tol * c.abs() {
+            // User-specified value bounds can absolve the diff.
+            if let Some((blo, bhi)) = bound {
+                if c >= blo && c <= bhi && g >= blo && g <= bhi {
+                    continue;
+                }
+            }
+            mismatches += 1;
+            if err > max_err {
+                max_err = err;
+            }
+        }
+    }
+    Ok((compared, mismatches, max_err))
+}
+
 impl ExecEnv<'_> {
+    /// Emit one wall-clock pipeline-phase span into the stage journal
+    /// (no-op when disabled; `started` is `None` exactly then).
+    fn note_stage(&self, label: &'static str, started: Option<Instant>) {
+        let Some(started) = started else { return };
+        self.opts.stage_journal.emit(openarc_trace::TraceEvent {
+            ts_us: started.duration_since(self.t0).as_secs_f64() * 1e6,
+            dur_us: started.elapsed().as_secs_f64() * 1e6,
+            track: openarc_trace::Track::Host,
+            kind: openarc_trace::EventKind::Stage {
+                stage: label,
+                cached: false,
+            },
+        });
+    }
+
     /// Verified launch (§III-A): demoted transfers, async GPU + sequential
     /// CPU reference, comparison, CPU results stay canonical.
     pub(super) fn launch_verified(&mut self, k: usize, v: &VerifyOptions) -> Result<(), VmError> {
@@ -44,6 +148,10 @@ impl ExecEnv<'_> {
         let info = &tr.kernels[k];
         let n = self.n_threads(k)?;
         let q = v.queue;
+        let timed = self.opts.stage_journal.is_enabled();
+        let t_staging = timed.then(Instant::now);
+
+        // ---------------------------------------------- stage 1: staging
         // Demotion: copy in *everything* the kernel touches.
         let mut touched: Vec<&str> = info.gpu_reads.iter().map(String::as_str).collect();
         for w in &info.gpu_writes {
@@ -53,25 +161,83 @@ impl ExecEnv<'_> {
         }
         // One site string for every staging transfer of this launch.
         let verify_site = format!("{}_verify", info.name);
+        // Map every touched aggregate first (allocation charges land here,
+        // in variable order), collecting the raw copy pairs.
+        let mut staged: Vec<(Handle, Handle)> = Vec::with_capacity(touched.len());
         for var in &touched {
             let h = self.resolve(var)?;
-            self.machine.map_to_device(h)?;
-            // Staging transfers are charged synchronously (they appear as
-            // the Mem Transfer component of Figure 3); the kernel itself
-            // runs asynchronously and overlaps the CPU reference.
-            self.machine.copy_to_device(h, &verify_site, None)?;
+            let (dev, _) = self.machine.map_to_device(h)?;
+            staged.push((h, dev));
         }
-        // Marshal both sides up front — argument building mutates host and
-        // device memory, so it stays on this thread.
-        let (args, dreds, dtemps, dcells) = self.build_args(k, n, true)?;
+        // Plan the reduction partial buffers of both sides so their O(n)
+        // zero-fill can run off the arenas.
+        let red_plan: Vec<(ScalarTy, String)> = info
+            .params
+            .iter()
+            .filter_map(|p| match p {
+                KernelParam::ReductionSlot { var, .. } => {
+                    Some((self.scalar_elem_of(var), format!("__red_{var}")))
+                }
+                _ => None,
+            })
+            .collect();
+        let red_len = n.max(1) as usize;
+        let build_bufs = || -> (VecDeque<Buffer>, VecDeque<Buffer>) {
+            let make = || {
+                red_plan
+                    .iter()
+                    .map(|(elem, label)| Buffer::new(*elem, red_len, label.clone()))
+                    .collect()
+            };
+            (make(), make())
+        };
+        // The raw byte copies overlap the partial-buffer construction; the
+        // sequential oracle runs the identical operations inline.
+        let (copied, (mut dprep, mut hprep)) = if v.overlap_reference {
+            let dev_mem = &mut self.machine.device.mem;
+            let host_mem = &self.machine.host.mem;
+            std::thread::scope(|scope| {
+                let worker = scope.spawn(|| stage_copies(dev_mem, host_mem, &staged));
+                let bufs = build_bufs();
+                (worker.join().expect("staging worker panicked"), bufs)
+            })
+        } else {
+            let bufs = build_bufs();
+            (
+                stage_copies(
+                    &mut self.machine.device.mem,
+                    &self.machine.host.mem,
+                    &staged,
+                ),
+                bufs,
+            )
+        };
+        copied?;
+        // Replay the staging accounting in per-variable order. The copies
+        // are charged on the verification async queue: they serialize with
+        // the kernel on queue `q` and overlap the host reference, so their
+        // cost folds into Async-Wait (like the kernel itself) instead of
+        // blocking host time as Mem Transfer.
+        for (host_h, _) in &staged {
+            self.machine
+                .account_to_device(*host_h, &verify_site, Some(q), None)?;
+        }
+        // Marshal both sides — argument building mutates host and device
+        // memory, so it stays on this thread; pre-built partial buffers
+        // publish with a pointer move.
+        let (args, dreds, dtemps, dcells) = self.build_args_prepared(k, n, true, &mut dprep)?;
         let cfg = self.launch_cfg(k);
-        let (mut hargs, hreds, htemps, hcells) = self.build_args(k, n, false)?;
+        let (mut hargs, hreds, htemps, hcells) =
+            self.build_args_prepared(k, n, false, &mut hprep)?;
         hargs.insert(0, Value::Int(n as i64));
+        self.note_stage("verify:staging", t_staging);
 
+        // ---------------------------------------------- stage 2: overlap
         // Device run and CPU reference, overlapped. The worker gets the
         // device half of the machine; the reference interpreter gets the
         // host half. Clock charges land after the join, in the same order
         // as the sequential path.
+        let t_overlap = timed.then(Instant::now);
         let (outcome, steps): (KernelOutcome, u64) = if v.overlap_reference {
             let device = &mut self.machine.device;
             let host = &mut self.machine.host;
@@ -103,46 +269,56 @@ impl ExecEnv<'_> {
         self.machine.charge_cpu(steps);
         // Synchronize before comparing.
         self.machine.clock.wait(q);
+        self.note_stage("verify:overlap", t_overlap);
 
-        // Compare written aggregates element-wise.
+        // ------------------------------------------- stage 3: comparison
+        let t_compare = timed.then(Instant::now);
         let rec = &mut self.verify[k];
         rec.launches += 1;
+        // Compare written aggregates element-wise, chunked per variable
+        // across the comparison workers. The sequential oracle keeps one
+        // inline loop (`run_tasks` with jobs = 1 degenerates to it).
+        let cmp_jobs = if v.overlap_reference {
+            v.compare_jobs.max(1)
+        } else {
+            1
+        };
         let mut mismatches = 0u64;
         let mut compared = 0u64;
         let mut max_err = 0f64;
-        for var in &info.gpu_writes {
-            let host_h =
-                self.machine.host.globals[self.tr.host_module.global_slot(var).unwrap() as usize];
-            let Value::Ptr(host_h) = host_h else { continue };
-            let dev_h = self.machine.device_of(host_h)?;
-            let hbuf = self.machine.host.mem.get(host_h)?.clone();
-            let dbuf = self.machine.device.mem.get(dev_h)?.clone();
-            let bound = v.bounds.get(var).copied().or_else(|| {
-                info.knowledge
-                    .bounds
-                    .iter()
-                    .find(|b| b.var == *var)
-                    .map(|b| (b.lo, b.hi))
-            });
-            for i in 0..hbuf.len() as u64 {
-                let c = hbuf.get(i)?.as_f64();
-                let g = dbuf.get(i)?.as_f64();
-                if c.abs() < v.min_value_to_check {
-                    continue;
+        {
+            type ChunkTask<'t> = Box<dyn FnOnce() -> Result<(u64, u64, f64), VmError> + Send + 't>;
+            let mut tasks: Vec<ChunkTask<'_>> = Vec::new();
+            for var in &info.gpu_writes {
+                let host_h = self.machine.host.globals
+                    [self.tr.host_module.global_slot(var).unwrap() as usize];
+                let Value::Ptr(host_h) = host_h else { continue };
+                let dev_h = self.machine.device_of(host_h)?;
+                let hbuf = self.machine.host.mem.get(host_h)?;
+                let dbuf = self.machine.device.mem.get(dev_h)?;
+                let bound = v.bounds.get(var).copied().or_else(|| {
+                    info.knowledge
+                        .bounds
+                        .iter()
+                        .find(|b| b.var == *var)
+                        .map(|b| (b.lo, b.hi))
+                });
+                let (minv, atol, rtol) = (v.min_value_to_check, v.abs_tol, v.rel_tol);
+                for (lo, hi) in chunk_ranges(hbuf.len() as u64, cmp_jobs) {
+                    tasks.push(Box::new(move || {
+                        compare_range(hbuf, dbuf, lo, hi, minv, atol, rtol, bound)
+                    }));
                 }
-                compared += 1;
-                let err = (c - g).abs();
-                if err > v.abs_tol + v.rel_tol * c.abs() {
-                    // User-specified value bounds can absolve the diff.
-                    if let Some((lo, hi)) = bound {
-                        if c >= lo && c <= hi && g >= lo && g <= hi {
-                            continue;
-                        }
-                    }
-                    mismatches += 1;
-                    if err > max_err {
-                        max_err = err;
-                    }
+            }
+            // Merge chunk results in task order: counts sum, the running
+            // max only moves on strict increase — associative, so every
+            // job count reproduces the sequential fold bit-for-bit.
+            for res in run_tasks(cmp_jobs, tasks) {
+                let (c, m, e) = res?;
+                compared += c;
+                mismatches += m;
+                if e > max_err {
+                    max_err = e;
                 }
             }
         }
@@ -210,16 +386,19 @@ impl ExecEnv<'_> {
         for (var, kind) in &checks {
             if let Ok(host_h) = self.resolve(var) {
                 if let Ok(dev_h) = self.machine.device_of(host_h) {
-                    let dbuf = self.machine.device.mem.get(dev_h)?.clone();
-                    let vals: Vec<f64> = (0..dbuf.len() as u64)
-                        .map(|i| dbuf.get(i).unwrap().as_f64())
-                        .collect();
+                    let dbuf = self.machine.device.mem.get(dev_h)?;
                     let ok = match kind {
                         AssertKind::ChecksumWithin { expected, tol } => {
-                            (vals.iter().sum::<f64>() - expected).abs() <= *tol
+                            let sum: f64 = (0..dbuf.len() as u64)
+                                .map(|i| dbuf.get(i).unwrap().as_f64())
+                                .sum();
+                            (sum - expected).abs() <= *tol
                         }
-                        AssertKind::AllFinite => vals.iter().all(|x| x.is_finite()),
-                        AssertKind::NonNegative => vals.iter().all(|x| *x >= 0.0),
+                        AssertKind::AllFinite => (0..dbuf.len() as u64)
+                            .all(|i| dbuf.get(i).unwrap().as_f64().is_finite()),
+                        AssertKind::NonNegative => {
+                            (0..dbuf.len() as u64).all(|i| dbuf.get(i).unwrap().as_f64() >= 0.0)
+                        }
                     };
                     if !ok {
                         assertion_failures += 1;
@@ -253,6 +432,7 @@ impl ExecEnv<'_> {
                 },
             });
         }
+        self.note_stage("verify:compare", t_compare);
 
         // Discard device results: free temporaries, unmap everything.
         for t in dtemps {

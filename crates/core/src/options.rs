@@ -29,7 +29,9 @@ impl std::error::Error for OptionError {}
 /// * `kernels=<name>[:<name>...]` — target kernel names;
 /// * `minValueToCheck=<float>`;
 /// * `relTol=<float>` / `absTol=<float>` — comparison margins;
-/// * `queue=<int>` — async queue used for demoted transfers.
+/// * `queue=<int>` — async queue used for demoted transfers;
+/// * `compareJobs=<int>` — worker threads for the element-wise comparison
+///   stage (≥ 1; results are bit-identical at any value).
 ///
 /// ```
 /// use openarc_core::options::parse_verification_options;
@@ -93,6 +95,16 @@ pub fn parse_verification_options(spec: &str) -> Result<VerifyOptions, OptionErr
                     .parse()
                     .map_err(|_| OptionError(format!("bad integer `{value}`")))?;
             }
+            "compareJobs" => {
+                let jobs: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| OptionError(format!("bad integer `{value}`")))?;
+                if jobs == 0 {
+                    return Err(OptionError("compareJobs must be >= 1".into()));
+                }
+                opts.compare_jobs = jobs;
+            }
             other => return Err(OptionError(format!("unknown key `{other}`"))),
         }
     }
@@ -154,6 +166,15 @@ mod tests {
         let v = parse_verification_options("").unwrap();
         assert!(v.targets.is_none());
         assert!(!v.complement);
+        assert_eq!(v.compare_jobs, 1);
+    }
+
+    #[test]
+    fn parses_compare_jobs() {
+        let v = parse_verification_options("compareJobs=8").unwrap();
+        assert_eq!(v.compare_jobs, 8);
+        assert!(parse_verification_options("compareJobs=0").is_err());
+        assert!(parse_verification_options("compareJobs=x").is_err());
     }
 
     #[test]

@@ -198,7 +198,9 @@ fn fp_verify_options(h: &mut Fnv, v: &VerifyOptions) {
             }
         }
     }
-    h.write_u64(v.queue as u64).write_bool(v.overlap_reference);
+    h.write_u64(v.queue as u64)
+        .write_bool(v.overlap_reference)
+        .write_u64(v.compare_jobs as u64);
 }
 
 fn fp_exec_options(o: &ExecOptions) -> u64 {
@@ -232,6 +234,10 @@ fn fp_exec_options(o: &ExecOptions) -> u64 {
             .write_str(&k.var)
             .write_bool(k.to_device);
     }
+    // `o.stage_journal` is deliberately NOT hashed: stage spans are
+    // wall-clock observations emitted live during a fresh run, never
+    // recorded into or replayed from cached artifacts, so enabling them
+    // must not fork the plan fingerprint.
     h.write_bool(o.journal.is_enabled());
     h.finish()
 }

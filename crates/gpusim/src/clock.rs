@@ -265,6 +265,48 @@ mod tests {
     }
 
     #[test]
+    fn async_transfer_kernel_chain_reconciles_with_breakdown() {
+        // The verified-launch pipeline's clock shape: staged demotion
+        // copies enqueued async, the kernel queued behind them on the same
+        // queue, CPU reference time overlapping, then one wait. Journal
+        // slices must reconcile with the breakdown bit-for-bit, and the
+        // async work must surface purely as the wait's stall.
+        let shared = openarc_trace::Journal::enabled();
+        let mut c = SimClock::new();
+        c.journal = JournalPart::new(shared.clone());
+        let t0 = c.enqueue_async(3, 4.0); // staged copy 1
+        let t1 = c.enqueue_async(3, 4.0); // staged copy 2, queued behind it
+        let t2 = c.enqueue_async(3, 20.0); // async kernel behind the copies
+        assert_eq!((t0, t1, t2), (0.0, 4.0, 8.0), "queue serializes the chain");
+        c.advance(TimeCategory::CpuTime, 10.0); // CPU reference overlaps
+        c.wait(3);
+        c.journal.flush();
+        // The transfers and kernel never touch their synchronous
+        // categories — everything async folds into the wait's stall.
+        assert_eq!(c.breakdown.get(TimeCategory::MemTransfer), 0.0);
+        assert_eq!(c.breakdown.get(TimeCategory::KernelExec), 0.0);
+        assert_eq!(c.breakdown.get(TimeCategory::AsyncWait), 28.0 - 10.0);
+        assert_eq!(c.now(), 28.0);
+        // Event-for-event reconciliation: per-category slice sums equal
+        // the breakdown, and slices tile the host timeline end to end.
+        let events = shared.snapshot();
+        for (cat, total) in openarc_trace::category_totals(&events) {
+            let clock_cat = TimeCategory::ALL
+                .iter()
+                .copied()
+                .find(|t| t.trace_category() == cat)
+                .unwrap();
+            assert_eq!(total, c.breakdown.get(clock_cat), "{cat}");
+        }
+        let mut cursor = 0.0;
+        for e in &events {
+            assert_eq!(e.ts_us, cursor, "slices tile the host timeline");
+            cursor += e.dur_us;
+        }
+        assert_eq!(cursor, c.now());
+    }
+
+    #[test]
     fn journal_slices_reconcile_with_breakdown() {
         let shared = openarc_trace::Journal::enabled();
         let mut c = SimClock::new();

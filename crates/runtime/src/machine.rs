@@ -268,15 +268,34 @@ impl Machine {
         queue: Option<i64>,
         name: Option<&str>,
     ) -> Result<(), VmError> {
-        self.track_handle(host_h);
         let dev = self
             .present
             .device_of(host_h)
             .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyin")))?;
         let (host_mem, dev_mem) = (&self.host.mem, &mut self.device.mem);
-        let src = host_mem.get(host_h)?;
-        dev_mem.get_mut(dev)?.copy_from(src)?;
-        let bytes = src.size_bytes();
+        dev_mem.get_mut(dev)?.copy_from(host_mem.get(host_h)?)?;
+        self.account_to_device(host_h, site, queue, name)
+    }
+
+    /// The accounting half of [`Machine::copy_to_device_named`] — clock
+    /// charge, transfer stats, journal events, coherence transition — with
+    /// no bytes moved. The verified-launch pipeline performs the raw byte
+    /// copies on a worker thread (they have no observable effect on the
+    /// simulated machine) and then replays the accounting here on the main
+    /// thread in a fixed order, so the pair is indistinguishable from a
+    /// plain [`Machine::copy_to_device`] call.
+    pub fn account_to_device(
+        &mut self,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
+        self.track_handle(host_h);
+        self.present
+            .device_of(host_h)
+            .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyin")))?;
+        let bytes = self.host.mem.get(host_h)?.size_bytes();
         let (ts, dt, track) = self.charge_transfer(bytes, queue);
         self.stats.h2d_bytes += bytes;
         self.stats.h2d_count += 1;

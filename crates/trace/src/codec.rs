@@ -33,6 +33,10 @@ const STAGES: &[&str] = &[
     "plan",
     "execute",
     "verify",
+    // Verified-launch pipeline phases (core::exec stage journal).
+    "verify:staging",
+    "verify:overlap",
+    "verify:compare",
 ];
 /// Disk-cache operations.
 const CACHE_OPS: &[&str] = &["hit", "miss", "store", "evict", "corrupt"];

@@ -282,6 +282,44 @@ mod tests {
     }
 
     #[test]
+    fn verify_stage_spans_aggregate_into_summary() {
+        // The verified-launch pipeline's wall-clock spans surface in
+        // `openarc profile --summary` through `Summary::stages`: one row
+        // per label, durations summed across launches, in first-seen
+        // order, never counted as cache hits.
+        let span = |stage: &'static str, dur: f64| TraceEvent {
+            ts_us: 0.0,
+            dur_us: dur,
+            track: Track::Host,
+            kind: EventKind::Stage {
+                stage,
+                cached: false,
+            },
+        };
+        let events = vec![
+            span("verify:staging", 2.0),
+            span("verify:overlap", 10.0),
+            span("verify:compare", 3.0),
+            span("verify:staging", 1.0),
+            span("verify:overlap", 5.0),
+            span("verify:compare", 4.0),
+        ];
+        let s = summarize(&events);
+        assert_eq!(
+            s.stages,
+            vec![
+                ("verify:staging", 3.0, 0),
+                ("verify:overlap", 15.0, 0),
+                ("verify:compare", 7.0, 0),
+            ]
+        );
+        // Wall-clock spans never leak into the simulated-time totals.
+        assert_eq!(s.total_us, 0.0);
+        let shown = s.to_string();
+        assert!(shown.contains("verify:staging"), "{shown}");
+    }
+
+    #[test]
     fn kernels_aggregate_launches_exec_and_verdicts() {
         let mk = |kind| TraceEvent {
             ts_us: 0.0,

@@ -151,7 +151,15 @@ impl MemSpace {
 
     /// Allocate a zeroed buffer; returns its handle.
     pub fn alloc(&mut self, elem: ScalarTy, len: usize, label: impl Into<String>) -> Handle {
-        let buf = Buffer::new(elem, len, label);
+        self.insert(Buffer::new(elem, len, label))
+    }
+
+    /// Insert a pre-built buffer; returns its handle. Identical to
+    /// [`MemSpace::alloc`] followed by filling, except the (possibly large)
+    /// buffer construction happened outside the arena — callers that build
+    /// buffers on a worker thread while this arena is busy publish them here
+    /// with a pointer move.
+    pub fn insert(&mut self, buf: Buffer) -> Handle {
         self.allocated_bytes += buf.size_bytes();
         self.peak_bytes = self.peak_bytes.max(self.allocated_bytes);
         // Reuse a freed slot if any (handles stay unique per slot lifetime,

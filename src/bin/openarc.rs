@@ -73,7 +73,9 @@ fn usage() -> String {
      run    <file.c>            translate and execute on the simulated device\n\
      cpu    <file.c>            execute the sequential reference\n\
      verify <file.c> [options]  kernel verification; options use the paper's\n\
-                                syntax, e.g. complement=0,kernels=main_kernel0\n\
+                                syntax, e.g. complement=0,kernels=main_kernel0;\n\
+                                compareJobs=<N> fans the comparison stage out\n\
+                                across N workers (bit-identical results)\n\
      check  <file.c>            memory-transfer verification report\n\
      demote <file.c> <kernel#>  print the memory-transfer-demoted program\n\
      profile <file.c> [flags]   run with the event journal enabled\n\
@@ -488,6 +490,10 @@ fn profile(rest: &[String]) -> Result<i32, CliError> {
         mode,
         check_transfers: true,
         journal: journal.clone(),
+        // Verified launches add their wall-clock verify:staging/overlap/
+        // compare spans to the same stage table (fresh runs only — stage
+        // spans are observations, never replayed from cached artifacts).
+        stage_journal: stage_journal.clone(),
         ..Default::default()
     };
     let r = session.execute(&tra, &opts)?;
