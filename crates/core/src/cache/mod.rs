@@ -3,9 +3,16 @@
 //! The in-memory stage caches die with the process, so every new CLI
 //! invocation re-parses and re-translates sources that have not changed
 //! since the last run. This module adds the disk layer: a
-//! content-addressed store at `<root>/<stage>/<key>.json` holding
-//! serialized Frontend, Translated, and journal-replay Run artifacts
-//! (see [`codec`]).
+//! content-addressed store at `<root>/<stage>/<key>.bin` holding
+//! serialized Frontend, Translated, and journal-replay Run artifacts.
+//!
+//! Entries are written in the versioned binary format of [`bin`]
+//! (normative spec: `docs/FORMAT.md`). The JSON codec in [`codec`] is
+//! retained as the human-readable debug/export interchange (`openarc
+//! cache export`), and the store still *reads* legacy `<key>.json`
+//! entries: a hit on one transparently re-encodes it as `<key>.bin` and
+//! retires the JSON file, so a store written by an older build upgrades
+//! in place as it is used.
 //!
 //! Design rules, all load-bearing:
 //!
@@ -25,10 +32,13 @@
 //!   entry, and [`DiskCache::gc`] drops the oldest entries until the
 //!   store fits a byte budget.
 
+pub mod bin;
 pub mod codec;
 
-use crate::pipeline::{ArtifactId, Fnv, Stage};
+use crate::exec::RunResult;
+use crate::pipeline::{ArtifactId, Fnv, FrontendArtifact, Stage, TranslatedArtifact};
 use openarc_trace::json::Json;
+use openarc_trace::TraceEvent;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -36,7 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, SystemTime};
 
 /// On-disk layout version; folded into every entry key. Bump when any
-/// [`codec`] encoding changes shape.
+/// [`bin`] or [`codec`] encoding changes shape.
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Default cache directory used by the CLI and bench drivers.
@@ -103,10 +113,25 @@ pub struct GcResult {
 pub struct UsageRow {
     /// Stage directory label.
     pub stage: &'static str,
-    /// Number of entries.
+    /// Number of entries (all formats).
     pub entries: u64,
-    /// Total bytes.
+    /// Total bytes (all formats).
     pub bytes: u64,
+    /// Entries in the primary binary format (`.bin`).
+    pub bin_entries: u64,
+    /// Entries still in the legacy JSON format (`.json`); these upgrade
+    /// to binary in place on their next hit.
+    pub json_entries: u64,
+}
+
+/// Outcome of [`DiskCache::export_json`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportReport {
+    /// Entries successfully written to the target store.
+    pub exported: u64,
+    /// Entries that failed to decode or publish; left in place, the
+    /// export never mutates the source store.
+    pub skipped: u64,
 }
 
 /// The content-addressed on-disk artifact store.
@@ -183,15 +208,70 @@ impl DiskCache {
             .finish()
     }
 
-    fn entry_path(&self, stage: Stage, key: u64) -> PathBuf {
+    fn entry_path(&self, stage: Stage, key: u64, ext: &str) -> PathBuf {
         self.root
             .join(stage.label())
-            .join(format!("{key:016x}.json"))
+            .join(format!("{key:016x}.{ext}"))
     }
 
-    /// Look up `(stage, id)`, validating the versioned header and decoding
-    /// the payload with `decode`. Any failure past "file exists" deletes
-    /// the entry and reports [`Lookup::Corrupt`]; the caller recomputes.
+    /// Re-touch an entry's mtime for LRU: [`DiskCache::gc`] evicts
+    /// oldest-mtime entries first.
+    fn touch(path: &Path) {
+        if let Ok(f) = fs::File::open(path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+    }
+
+    /// Format-negotiating lookup of `(stage, id)`: the primary `.bin`
+    /// entry is tried first; absent that, a legacy `.json` entry is
+    /// decoded and — on a hit — re-encoded with `reencode` and upgraded to
+    /// `.bin` in place. Any decode failure deletes the offending file and
+    /// reports [`Lookup::Corrupt`]; the caller recomputes.
+    fn load_entry<T>(
+        &self,
+        stage: Stage,
+        id: ArtifactId,
+        decode_bin: impl FnOnce(&[u8]) -> Result<T, String>,
+        decode_json: impl FnOnce(&Json) -> Result<T, String>,
+        reencode: impl FnOnce(&T) -> Vec<u8>,
+    ) -> Lookup<T> {
+        let key = Self::entry_key(stage, id);
+        let bin_path = self.entry_path(stage, key, "bin");
+        if let Ok(bytes) = fs::read(&bin_path) {
+            return match decode_bin(&bytes) {
+                Ok(v) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Self::touch(&bin_path);
+                    Lookup::Hit(v)
+                }
+                Err(_) => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    let _ = fs::remove_file(&bin_path);
+                    Lookup::Corrupt
+                }
+            };
+        }
+        match self.load_with(stage, id, decode_json) {
+            Lookup::Hit(v) => {
+                // Migrate the legacy entry to the primary format so the
+                // next load takes the fast path. Not counted as a store:
+                // no new artifact was published. The JSON file is only
+                // retired once the binary entry is durably in place.
+                if self.publish(stage, key, "bin", &reencode(&v)) {
+                    let _ = fs::remove_file(self.entry_path(stage, key, "json"));
+                }
+                Lookup::Hit(v)
+            }
+            other => other,
+        }
+    }
+
+    /// Look up `(stage, id)` in the legacy JSON interchange only,
+    /// validating the versioned header and decoding the payload with
+    /// `decode`. Any failure past "file exists" deletes the entry and
+    /// reports [`Lookup::Corrupt`]; the caller recomputes. Binary-format
+    /// entries are invisible to this method — the typed loaders
+    /// ([`DiskCache::load_frontend`] &c.) negotiate both formats.
     pub fn load_with<T>(
         &self,
         stage: Stage,
@@ -199,7 +279,7 @@ impl DiskCache {
         decode: impl FnOnce(&Json) -> Result<T, String>,
     ) -> Lookup<T> {
         let key = Self::entry_key(stage, id);
-        let path = self.entry_path(stage, key);
+        let path = self.entry_path(stage, key, "json");
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
@@ -212,10 +292,7 @@ impl DiskCache {
         match decoded {
             Ok(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                // Re-touch for LRU: gc evicts oldest-mtime entries first.
-                if let Ok(f) = fs::File::open(&path) {
-                    let _ = f.set_modified(SystemTime::now());
-                }
+                Self::touch(&path);
                 Lookup::Hit(v)
             }
             Err(_) => {
@@ -224,6 +301,68 @@ impl DiskCache {
                 Lookup::Corrupt
             }
         }
+    }
+
+    /// Look up a frontend artifact, preferring the binary entry and
+    /// upgrading a legacy JSON one in place.
+    pub fn load_frontend(&self, id: ArtifactId) -> Lookup<FrontendArtifact> {
+        self.load_entry(
+            Stage::Frontend,
+            id,
+            |bytes| bin::decode_frontend(id, bytes),
+            |p| codec::frontend_from_payload(id, p),
+            bin::encode_frontend,
+        )
+    }
+
+    /// Look up a translation artifact stored under `stage`
+    /// ([`Stage::Analysis`] or [`Stage::Instrument`]), preferring the
+    /// binary entry and upgrading a legacy JSON one in place.
+    pub fn load_translated(&self, stage: Stage, id: ArtifactId) -> Lookup<TranslatedArtifact> {
+        self.load_entry(
+            stage,
+            id,
+            |bytes| bin::decode_translated(stage, id, bytes),
+            |p| codec::translated_from_payload(id, p),
+            |art| bin::encode_translated(stage, art),
+        )
+    }
+
+    /// Look up a finished run (surface + journal events), preferring the
+    /// binary entry and upgrading a legacy JSON one in place.
+    pub fn load_run(&self, id: ArtifactId) -> Lookup<(RunResult, Vec<TraceEvent>)> {
+        self.load_entry(
+            Stage::Execute,
+            id,
+            |bytes| bin::decode_run(id, bytes),
+            codec::run_from_payload,
+            |(r, events)| bin::encode_run(id, r, events),
+        )
+    }
+
+    /// Publish a frontend artifact in the primary binary format.
+    pub fn store_frontend(&self, art: &FrontendArtifact) -> bool {
+        self.store_bytes(Stage::Frontend, art.id, &bin::encode_frontend(art))
+    }
+
+    /// Publish a translation artifact under `stage` ([`Stage::Analysis`]
+    /// or [`Stage::Instrument`]) in the primary binary format.
+    pub fn store_translated(&self, stage: Stage, art: &TranslatedArtifact) -> bool {
+        self.store_bytes(stage, art.id, &bin::encode_translated(stage, art))
+    }
+
+    /// Publish a finished run (surface + journal events) in the primary
+    /// binary format.
+    pub fn store_run(&self, id: ArtifactId, r: &RunResult, events: &[TraceEvent]) -> bool {
+        self.store_bytes(Stage::Execute, id, &bin::encode_run(id, r, events))
+    }
+
+    fn store_bytes(&self, stage: Stage, id: ArtifactId, bytes: &[u8]) -> bool {
+        let ok = self.publish(stage, Self::entry_key(stage, id), "bin", bytes);
+        if ok {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
     }
 
     /// Validate a parsed entry's versioned header, returning the payload.
@@ -246,12 +385,33 @@ impl DiskCache {
         field("payload")
     }
 
-    /// Publish `payload` for `(stage, id)` under a versioned header.
-    /// Returns true when this call wrote the entry (false: lock held by a
-    /// live concurrent writer, or I/O failure — both benign).
+    /// Publish `payload` for `(stage, id)` as a legacy JSON entry under a
+    /// versioned header. This is the export/debug interchange writer
+    /// (`openarc cache export`); the pipeline itself stores binary
+    /// entries via the typed methods. Returns true when this call wrote
+    /// the entry (false: lock held by a live concurrent writer, or I/O
+    /// failure — both benign).
     pub fn store(&self, stage: Stage, id: ArtifactId, payload: Json) -> bool {
+        let entry = Json::obj(vec![
+            ("schema", Json::from(SCHEMA_VERSION)),
+            ("tool", Json::from(tool_fingerprint())),
+            ("stage", Json::from(stage.label())),
+            ("id", Json::from(id.0)),
+            ("payload", payload),
+        ]);
         let key = Self::entry_key(stage, id);
-        let path = self.entry_path(stage, key);
+        let ok = self.publish(stage, key, "json", entry.pretty().as_bytes());
+        if ok {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Atomically publish raw entry bytes at `<stage>/<key>.<ext>`:
+    /// private temp file, fsync, rename. Both formats of one key share
+    /// one `<key>.lock` writer lock.
+    fn publish(&self, stage: Stage, key: u64, ext: &str, bytes: &[u8]) -> bool {
+        let path = self.entry_path(stage, key, ext);
         let Some(dir) = path.parent() else {
             return false;
         };
@@ -262,17 +422,10 @@ impl DiskCache {
         if !Self::acquire_lock(&lock) {
             return false;
         }
-        let entry = Json::obj(vec![
-            ("schema", Json::from(SCHEMA_VERSION)),
-            ("tool", Json::from(tool_fingerprint())),
-            ("stage", Json::from(stage.label())),
-            ("id", Json::from(id.0)),
-            ("payload", payload),
-        ]);
         let tmp = dir.join(format!(".tmp-{key:016x}-{}", std::process::id()));
         let ok = (|| -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(entry.pretty().as_bytes())?;
+            f.write_all(bytes)?;
             f.sync_all()?;
             fs::rename(&tmp, &path)
         })()
@@ -281,9 +434,6 @@ impl DiskCache {
             let _ = fs::remove_file(&tmp);
         }
         let _ = fs::remove_file(&lock);
-        if ok {
-            self.stores.fetch_add(1, Ordering::Relaxed);
-        }
         ok
     }
 
@@ -342,7 +492,7 @@ impl DiskCache {
                     }
                     continue;
                 }
-                if !name.ends_with(".json") {
+                if !name.ends_with(".bin") && !name.ends_with(".json") {
                     continue;
                 }
                 if let Ok(meta) = entry.metadata() {
@@ -354,7 +504,7 @@ impl DiskCache {
         out
     }
 
-    /// Per-stage entry counts and sizes.
+    /// Per-stage entry counts, sizes, and format mix.
     pub fn usage(&self) -> Vec<UsageRow> {
         DISK_STAGES
             .iter()
@@ -367,18 +517,122 @@ impl DiskCache {
                 if let Ok(rd) = fs::read_dir(&dir) {
                     for entry in rd.flatten() {
                         let name = entry.file_name();
-                        if !name.to_string_lossy().ends_with(".json") {
+                        let name = name.to_string_lossy();
+                        let is_bin = name.ends_with(".bin");
+                        if !is_bin && !name.ends_with(".json") {
                             continue;
                         }
                         if let Ok(meta) = entry.metadata() {
                             row.entries += 1;
                             row.bytes += meta.len();
+                            if is_bin {
+                                row.bin_entries += 1;
+                            } else {
+                                row.json_entries += 1;
+                            }
                         }
                     }
                 }
                 row
             })
             .collect()
+    }
+
+    /// Re-encode every entry into a legacy-JSON store rooted at `dest` —
+    /// the engine behind `openarc cache export`. Binary entries decode
+    /// through [`bin`] and re-encode through [`codec`] under the versioned
+    /// JSON header; entries still in the JSON format copy through
+    /// verbatim. Undecodable or unwritable entries are counted in
+    /// [`ExportReport::skipped`] and otherwise ignored; the source store
+    /// is never modified.
+    pub fn export_json(&self, dest: &DiskCache) -> ExportReport {
+        let mut report = ExportReport::default();
+        for stage in DISK_STAGES {
+            let dir = self.root.join(stage.label());
+            let Ok(rd) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in rd.flatten() {
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let ok = if name.ends_with(".bin") {
+                    fs::read(&path)
+                        .ok()
+                        .and_then(|bytes| bin::decode_entry(stage, &bytes).ok())
+                        .map(|(id, art)| {
+                            let payload = match art {
+                                bin::Artifact::Frontend(fe) => {
+                                    codec::frontend_payload(&fe.program, &fe.sema)
+                                }
+                                bin::Artifact::Translated(tr) => codec::translated_payload(&tr),
+                                bin::Artifact::Run(run) => codec::run_payload(&run.0, &run.1),
+                            };
+                            dest.store(stage, id, payload)
+                        })
+                        .unwrap_or(false)
+                } else if let Some(stem) = name.strip_suffix(".json") {
+                    match (u64::from_str_radix(stem, 16), fs::read(&path)) {
+                        (Ok(key), Ok(bytes)) => dest.publish(stage, key, "json", &bytes),
+                        _ => false,
+                    }
+                } else {
+                    continue;
+                };
+                if ok {
+                    report.exported += 1;
+                } else {
+                    report.skipped += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Sequentially decode every `ext`-format (`"bin"` or `"json"`) entry
+    /// under `stage`, discarding the artifacts; returns the number
+    /// decoded, or the first decode error. This is the measured operation
+    /// behind the pipeline bench's per-codec `warm_load_us` comparison —
+    /// it is counter-neutral (no hit/miss/corrupt accounting) and never
+    /// deletes or upgrades entries. Entries are visited in sorted path
+    /// order so repeated passes do identical work.
+    pub fn decode_stage(&self, stage: Stage, ext: &str) -> Result<u64, String> {
+        let dir = self.root.join(stage.label());
+        let Ok(rd) = fs::read_dir(&dir) else {
+            return Ok(0);
+        };
+        let mut paths: Vec<PathBuf> = rd
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == ext))
+            .collect();
+        paths.sort();
+        let fail = |path: &Path, e: String| format!("{}: {e}", path.display());
+        for path in &paths {
+            if ext == "bin" {
+                let bytes = fs::read(path).map_err(|e| fail(path, e.to_string()))?;
+                bin::decode_entry(stage, &bytes).map_err(|e| fail(path, e))?;
+            } else {
+                let text = fs::read_to_string(path).map_err(|e| fail(path, e.to_string()))?;
+                let entry = Json::parse(&text).map_err(|e| fail(path, e))?;
+                let id = entry
+                    .get("id")
+                    .and_then(|j| j.as_u64())
+                    .map(ArtifactId)
+                    .ok_or_else(|| fail(path, "missing header `id`".into()))?;
+                let payload = Self::check_header(&entry, stage, id).map_err(|e| fail(path, e))?;
+                match stage {
+                    Stage::Frontend => codec::frontend_from_payload(id, payload).map(|_| ()),
+                    Stage::Analysis | Stage::Instrument => {
+                        codec::translated_from_payload(id, payload).map(|_| ())
+                    }
+                    Stage::Execute => codec::run_from_payload(payload).map(|_| ()),
+                    _ => Err(format!("stage {} is not persisted", stage.label())),
+                }
+                .map_err(|e| fail(path, e))?;
+            }
+        }
+        Ok(paths.len() as u64)
     }
 
     /// Recompute-cost rank of an entry, derived from the stage directory
@@ -449,7 +703,8 @@ impl DiskCache {
             };
             for entry in rd.flatten() {
                 let name = entry.file_name();
-                let is_entry = name.to_string_lossy().ends_with(".json");
+                let name = name.to_string_lossy();
+                let is_entry = name.ends_with(".bin") || name.ends_with(".json");
                 if fs::remove_file(entry.path()).is_ok() && is_entry {
                     removed += 1;
                 }
@@ -517,7 +772,7 @@ mod tests {
         let cache = DiskCache::new(scratch("corrupt"));
         let id = ArtifactId(9);
         let key = DiskCache::entry_key(Stage::Frontend, id);
-        let path = cache.entry_path(Stage::Frontend, key);
+        let path = cache.entry_path(Stage::Frontend, key, "json");
         let wrong_schema = Json::obj(vec![
             ("schema", Json::from(SCHEMA_VERSION + 1)),
             ("tool", Json::from(tool_fingerprint())),
@@ -569,7 +824,7 @@ mod tests {
         let now = SystemTime::now();
         for n in 0..4u64 {
             let key = DiskCache::entry_key(Stage::Frontend, ArtifactId(n));
-            let f = fs::File::open(cache.entry_path(Stage::Frontend, key)).unwrap();
+            let f = fs::File::open(cache.entry_path(Stage::Frontend, key, "json")).unwrap();
             f.set_modified(now - Duration::from_secs(100 - n)).unwrap();
         }
         assert!(matches!(
@@ -609,7 +864,7 @@ mod tests {
         let bucket = SystemTime::UNIX_EPOCH + Duration::from_secs(secs);
         let touch = |stage: Stage, id: ArtifactId, offset_ms: u64| {
             let key = DiskCache::entry_key(stage, id);
-            let f = fs::File::open(cache.entry_path(stage, key)).unwrap();
+            let f = fs::File::open(cache.entry_path(stage, key, "json")).unwrap();
             f.set_modified(bucket + Duration::from_millis(offset_ms))
                 .unwrap();
         };
@@ -664,6 +919,125 @@ mod tests {
             Lookup::Hit(1)
         ));
         let _ = fs::remove_dir_all(cache.root());
+    }
+
+    /// A small but real frontend artifact for format-negotiation tests.
+    fn frontend_artifact(id: u64) -> FrontendArtifact {
+        let (program, sema) = openarc_minic::frontend("int x;\nvoid main() { x = 1; }").unwrap();
+        FrontendArtifact {
+            id: ArtifactId(id),
+            program,
+            sema,
+        }
+    }
+
+    #[test]
+    fn typed_store_and_load_use_the_binary_format() {
+        let cache = DiskCache::new(scratch("typed"));
+        let art = frontend_artifact(3);
+        assert!(matches!(cache.load_frontend(art.id), Lookup::Miss));
+        assert!(cache.store_frontend(&art));
+        let key = DiskCache::entry_key(Stage::Frontend, art.id);
+        assert!(cache.entry_path(Stage::Frontend, key, "bin").exists());
+        assert!(!cache.entry_path(Stage::Frontend, key, "json").exists());
+        match cache.load_frontend(art.id) {
+            Lookup::Hit(back) => assert_eq!(back.program, art.program),
+            _ => panic!("expected binary hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn legacy_json_entries_upgrade_to_binary_on_hit() {
+        let cache = DiskCache::new(scratch("upgrade"));
+        let art = frontend_artifact(11);
+        // A store written by an older build: JSON interchange only.
+        assert!(cache.store(
+            Stage::Frontend,
+            art.id,
+            codec::frontend_payload(&art.program, &art.sema),
+        ));
+        let key = DiskCache::entry_key(Stage::Frontend, art.id);
+        assert!(cache.entry_path(Stage::Frontend, key, "json").exists());
+        assert!(!cache.entry_path(Stage::Frontend, key, "bin").exists());
+        // The hit decodes the JSON entry and migrates it in place.
+        match cache.load_frontend(art.id) {
+            Lookup::Hit(back) => assert_eq!(back.program, art.program),
+            _ => panic!("expected legacy hit"),
+        }
+        assert!(cache.entry_path(Stage::Frontend, key, "bin").exists());
+        assert!(
+            !cache.entry_path(Stage::Frontend, key, "json").exists(),
+            "legacy entry is retired after the upgrade"
+        );
+        // The next load is a pure binary hit; migration was not a store.
+        assert!(matches!(cache.load_frontend(art.id), Lookup::Hit(_)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.stores), (2, 1));
+        let usage = cache.usage();
+        let row = usage.iter().find(|r| r.stage == "frontend").unwrap();
+        assert_eq!((row.entries, row.bin_entries, row.json_entries), (1, 1, 0));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_binary_entries_are_deleted_and_recomputable() {
+        let cache = DiskCache::new(scratch("bin-corrupt"));
+        let art = frontend_artifact(5);
+        let key = DiskCache::entry_key(Stage::Frontend, art.id);
+        let path = cache.entry_path(Stage::Frontend, key, "bin");
+        let good = cache.store_frontend(&art);
+        assert!(good);
+        let original = fs::read(&path).unwrap();
+        let truncated = original[..original.len() / 2].to_vec();
+        let mut flipped = original.clone();
+        flipped[0] ^= 0xff;
+        for bytes in [b"junk".to_vec(), truncated, flipped, Vec::new()] {
+            fs::write(&path, &bytes).unwrap();
+            assert!(matches!(cache.load_frontend(art.id), Lookup::Corrupt));
+            assert!(!path.exists(), "corrupt binary entry must be deleted");
+            assert!(cache.store_frontend(&art));
+            assert!(matches!(cache.load_frontend(art.id), Lookup::Hit(_)));
+        }
+        assert_eq!(cache.stats().corrupt, 4);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn export_rebuilds_a_loadable_json_store() {
+        let cache = DiskCache::new(scratch("export-src"));
+        let dest = DiskCache::new(scratch("export-dst"));
+        let art = frontend_artifact(21);
+        assert!(cache.store_frontend(&art));
+        // A legacy JSON straggler rides along verbatim.
+        let json_art = frontend_artifact(22);
+        assert!(cache.store(
+            Stage::Frontend,
+            json_art.id,
+            codec::frontend_payload(&json_art.program, &json_art.sema),
+        ));
+
+        let report = cache.export_json(&dest);
+        assert_eq!((report.exported, report.skipped), (2, 0));
+
+        // The target holds JSON only, and both entries load from it.
+        let row = dest.usage().into_iter().find(|r| r.stage == "frontend");
+        let row = row.unwrap();
+        assert_eq!((row.entries, row.bin_entries, row.json_entries), (2, 0, 2));
+        for wanted in [&art, &json_art] {
+            match dest.load_frontend(wanted.id) {
+                Lookup::Hit(back) => assert_eq!(back.program, wanted.program),
+                _ => panic!("exported entry did not load"),
+            }
+        }
+        // The source store is untouched by the export.
+        let src_row = cache.usage().into_iter().find(|r| r.stage == "frontend");
+        let src_row = src_row.unwrap();
+        assert_eq!((src_row.bin_entries, src_row.json_entries), (1, 1));
+        let _ = fs::remove_dir_all(cache.root());
+        let _ = fs::remove_dir_all(dest.root());
     }
 
     #[test]

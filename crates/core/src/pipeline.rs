@@ -57,7 +57,7 @@
 //! Stage spans measure real time, not simulated time — they never enter
 //! the deterministic per-run journals compared across worker counts.
 
-use crate::cache::{codec, DiskCache, DiskStats, Lookup};
+use crate::cache::{DiskCache, DiskStats, Lookup};
 use crate::exec::{execute, ExecMode, ExecOptions, RunResult, VerifyOptions};
 use crate::translate::{translate, TranslateOptions, Translated};
 use crate::verify::{VerificationReport, VerifyError};
@@ -690,15 +690,11 @@ impl Session {
         }
     }
 
-    /// Try the disk layer for `(stage, id)`; journals the outcome.
-    fn disk_load<T>(
-        &self,
-        stage: Stage,
-        id: ArtifactId,
-        decode: impl FnOnce(&openarc_trace::json::Json) -> Result<T, String>,
-    ) -> Option<T> {
+    /// Try the disk layer with one of its typed, format-negotiating
+    /// loaders; journals the outcome.
+    fn disk_load<T>(&self, stage: Stage, look: impl FnOnce(&DiskCache) -> Lookup<T>) -> Option<T> {
         let disk = self.disk.as_ref()?;
-        match disk.load_with(stage, id, decode) {
+        match look(disk) {
             Lookup::Hit(v) => {
                 self.disk_event(stage, "hit");
                 Some(v)
@@ -714,10 +710,11 @@ impl Session {
         }
     }
 
-    /// Publish a recomputed artifact to the disk layer; journals stores.
-    fn disk_store(&self, stage: Stage, id: ArtifactId, payload: openarc_trace::json::Json) {
+    /// Publish a recomputed artifact to the disk layer with one of its
+    /// typed binary-format stores; journals stores.
+    fn disk_store(&self, stage: Stage, store: impl FnOnce(&DiskCache) -> bool) {
         if let Some(disk) = &self.disk {
-            if disk.store(stage, id, payload) {
+            if store(disk) {
                 self.disk_event(stage, "store");
             }
         }
@@ -767,9 +764,7 @@ impl Session {
             return Ok(fe);
         }
         let id = ArtifactId(key);
-        if let Some(fe) =
-            self.disk_load(Stage::Frontend, id, |p| codec::frontend_from_payload(id, p))
-        {
+        if let Some(fe) = self.disk_load(Stage::Frontend, |d| d.load_frontend(id)) {
             self.meters.hit(Stage::Frontend);
             let fe = Arc::new(fe);
             self.frontends.lock().unwrap().insert(key, fe.clone());
@@ -780,11 +775,7 @@ impl Session {
         let (program, sema) = frontend(src).map_err(PipelineError::Frontend)?;
         let fe = Arc::new(FrontendArtifact { id, program, sema });
         self.frontends.lock().unwrap().insert(key, fe.clone());
-        self.disk_store(
-            Stage::Frontend,
-            id,
-            codec::frontend_payload(&fe.program, &fe.sema),
-        );
+        self.disk_store(Stage::Frontend, |d| d.store_frontend(&fe));
         self.note_stage(Stage::Frontend, t, false);
         Ok(fe)
     }
@@ -888,7 +879,7 @@ impl Session {
             return Ok(tr);
         }
         let id = ArtifactId(key);
-        if let Some(art) = self.disk_load(stage, id, |p| codec::translated_from_payload(id, p)) {
+        if let Some(art) = self.disk_load(stage, |d| d.load_translated(stage, id)) {
             self.meters.hit(stage);
             let art = Arc::new(art);
             self.translations.lock().unwrap().insert(key, art.clone());
@@ -903,7 +894,7 @@ impl Session {
             tr,
         });
         self.translations.lock().unwrap().insert(key, art.clone());
-        self.disk_store(stage, id, codec::translated_payload(&art));
+        self.disk_store(stage, |d| d.store_translated(stage, &art));
         self.note_stage(stage, t, false);
         Ok(art)
     }
@@ -971,9 +962,7 @@ impl Session {
             self.note_stage(Stage::Execute, t, true);
             return Ok(result);
         }
-        if let Some((result, events)) =
-            self.disk_load(Stage::Execute, plan.id, codec::run_from_payload)
-        {
+        if let Some((result, events)) = self.disk_load(Stage::Execute, |d| d.load_run(plan.id)) {
             self.meters.hit(Stage::Execute);
             let result = Arc::new(result);
             if !events.is_empty() {
@@ -1007,11 +996,7 @@ impl Session {
             let result = Arc::new(execute(&tr.tr, eopts).map_err(PipelineError::Run)?);
             (result, Arc::new(Vec::new()))
         };
-        self.disk_store(
-            Stage::Execute,
-            plan.id,
-            codec::run_payload(&result, &events),
-        );
+        self.disk_store(Stage::Execute, |d| d.store_run(plan.id, &result, &events));
         self.runs.lock().unwrap().insert(
             plan.id.0,
             CachedRun {

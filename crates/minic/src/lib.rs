@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod binio;
 pub mod jsonio;
 pub mod lexer;
 pub mod parser;

@@ -16,16 +16,21 @@
 use crate::event::{Category, EventKind, TraceEvent, Track};
 use crate::json::Json;
 
-/// Coherence sides emitted by the runtime.
-const SIDES: &[&str] = &["cpu", "gpu"];
-/// Coherence states (the paper's three-state protocol).
-const STATES: &[&str] = &["notstale", "maystale", "stale"];
-/// Coherence transition causes.
-const CAUSES: &[&str] = &["write", "transfer", "reset", "dealloc"];
-/// Finding severities (`IssueKind::severity`).
-const SEVERITIES: &[&str] = &["info", "warning", "error"];
-/// Pipeline stage labels (`pipeline::Stage::label`).
-const STAGES: &[&str] = &[
+/// Coherence sides emitted by the runtime. Shared with [`crate::bin`],
+/// whose u8 side codes index into this table (normative order — see
+/// `docs/FORMAT.md`).
+pub const SIDES: &[&str] = &["cpu", "gpu"];
+/// Coherence states (the paper's three-state protocol). Binary codes
+/// index into this table.
+pub const STATES: &[&str] = &["notstale", "maystale", "stale"];
+/// Coherence transition causes. Binary codes index into this table.
+pub const CAUSES: &[&str] = &["write", "transfer", "reset", "dealloc"];
+/// Finding severities (`IssueKind::severity`). Binary codes index into
+/// this table.
+pub const SEVERITIES: &[&str] = &["info", "warning", "error"];
+/// Pipeline stage labels (`pipeline::Stage::label`). Binary codes index
+/// into this table.
+pub const STAGES: &[&str] = &[
     "frontend",
     "directives",
     "analysis",
@@ -38,10 +43,13 @@ const STAGES: &[&str] = &[
     "verify:overlap",
     "verify:compare",
 ];
-/// Disk-cache operations.
-const CACHE_OPS: &[&str] = &["hit", "miss", "store", "evict", "corrupt"];
+/// Disk-cache operations. Binary codes index into this table.
+pub const CACHE_OPS: &[&str] = &["hit", "miss", "store", "evict", "corrupt"];
 
-fn intern(s: &str, known: &'static [&'static str], what: &str) -> Result<&'static str, String> {
+/// Intern a decoded label against one of the closed sets above,
+/// recovering the `&'static str` the stack originally emitted. An
+/// unknown label is a decode error (the cache treats it as corruption).
+pub fn intern(s: &str, known: &'static [&'static str], what: &str) -> Result<&'static str, String> {
     known
         .iter()
         .find(|k| **k == s)

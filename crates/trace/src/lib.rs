@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bin;
 pub mod chrome;
 pub mod codec;
 pub mod event;

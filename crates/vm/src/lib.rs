@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binio;
 pub mod bytecode;
 pub mod compile;
 pub mod error;
