@@ -1,0 +1,181 @@
+//! DAG-executor benchmark: for every benchmark in the suite, run kernel
+//! verification under the sequential oracle (`dagJobs=1, devices=1`) and
+//! under the dependency-DAG schedule (`dagJobs=4, devices=2`), gate on
+//! every verification observable being bit-identical, and report
+//! wall-clock p50/p95 for both modes plus per-device utilization of the
+//! DAG run's simulated timeline. Writes `BENCH_dag.json`; exits non-zero
+//! when the identity gate fails.
+//!
+//! Wall-clock numbers compare the host cost of the two schedulers (same
+//! simulated work either way); the *simulated* times show the overlap the
+//! DAG exposes — `sim_us` shrinking under the DAG run is device-level
+//! concurrency, not measurement noise.
+
+use openarc_bench::args::{BenchArgs, FLAGS_HELP};
+use openarc_bench::timing;
+use openarc_core::exec::{execute, ExecMode, ExecOptions, RunResult, VerifyOptions};
+use openarc_core::translate::TranslateOptions;
+use openarc_trace::json::Json;
+use openarc_trace::{EventKind, Journal, TraceEvent, Track};
+
+const DAG_JOBS: usize = 4;
+const DEVICES: usize = 2;
+
+fn verify_run(
+    tr: &openarc_core::translate::Translated,
+    dag_jobs: usize,
+    devices: usize,
+) -> (RunResult, Vec<TraceEvent>) {
+    let journal = Journal::enabled();
+    let eopts = ExecOptions {
+        mode: ExecMode::Verify(VerifyOptions {
+            dag_jobs,
+            devices,
+            ..Default::default()
+        }),
+        journal: journal.clone(),
+        ..Default::default()
+    };
+    let r = execute(tr, &eopts).unwrap_or_else(|e| {
+        eprintln!("dag: verify run failed: {e}");
+        std::process::exit(1)
+    });
+    (r, journal.drain())
+}
+
+/// Every verification observable agrees between the two runs.
+fn observables_identical(a: &RunResult, b: &RunResult) -> bool {
+    a.verify.len() == b.verify.len()
+        && a.verify.iter().zip(&b.verify).all(|(x, y)| {
+            x.kernel == y.kernel
+                && x.launches == y.launches
+                && x.failed_launches == y.failed_launches
+                && x.compared_elems == y.compared_elems
+                && x.mismatched_elems == y.mismatched_elems
+                && x.max_abs_err.to_bits() == y.max_abs_err.to_bits()
+                && x.assertion_failures == y.assertion_failures
+        })
+        && a.machine.report.issues == b.machine.report.issues
+        && a.races == b.races
+        && a.kernel_launches == b.kernel_launches
+        && a.host_instrs == b.host_instrs
+}
+
+/// Per-device busy time on the simulated timeline: the sum of queue-track
+/// span durations per device, as a fraction of the run's simulated
+/// makespan.
+fn device_utilization(events: &[TraceEvent], sim_us: f64, devices: usize) -> Vec<f64> {
+    let mut busy = vec![0.0f64; devices];
+    for e in events {
+        if let Track::Queue { dev, .. } = e.track {
+            if (dev as usize) < devices {
+                busy[dev as usize] += e.dur_us;
+            }
+        }
+    }
+    busy.iter().map(|b| b / sim_us.max(1e-9)).collect()
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match BenchArgs::parse(&raw, None) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("dag: {e}");
+            eprintln!("usage: dag {FLAGS_HELP}");
+            std::process::exit(2);
+        }
+    };
+    let scale = args.scale;
+    let samples = 5;
+
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    let mut any_overlap = false;
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9}  util/device",
+        "benchmark", "seq p50", "dag p50", "seq sim", "dag sim"
+    );
+    for b in openarc_suite::all(scale) {
+        let tr = openarc_suite::translate_variant(
+            &b,
+            openarc_suite::Variant::Naive,
+            &TranslateOptions::default(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("dag: {e}");
+            std::process::exit(1)
+        });
+
+        let (oracle, _) = verify_run(&tr, 1, 1);
+        let (dag, dag_events) = verify_run(&tr, DAG_JOBS, DEVICES);
+        let identical = observables_identical(&oracle, &dag);
+        all_identical &= identical;
+
+        // Cross-device span overlap on the simulated timeline.
+        let spans: Vec<(u32, f64, f64)> = dag_events
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.track) {
+                (EventKind::KernelComplete { .. }, Track::Queue { dev, .. }) => {
+                    Some((*dev, e.ts_us, e.ts_us + e.dur_us))
+                }
+                _ => None,
+            })
+            .collect();
+        let overlap = spans.iter().enumerate().any(|(i, a)| {
+            spans[i + 1..]
+                .iter()
+                .any(|b| a.0 != b.0 && a.1 < b.2 && b.1 < a.2)
+        });
+        any_overlap |= overlap;
+
+        let t_seq = timing::measure(samples, || verify_run(&tr, 1, 1));
+        let t_dag = timing::measure(samples, || verify_run(&tr, DAG_JOBS, DEVICES));
+        let util = device_utilization(&dag_events, dag.sim_time_us(), DEVICES);
+        println!(
+            "{:<10} {:>8.2}ms {:>8.2}ms {:>7.0}µs {:>7.0}µs  {}{}",
+            b.name,
+            t_seq.p50_ms(),
+            t_dag.p50_ms(),
+            oracle.sim_time_us(),
+            dag.sim_time_us(),
+            util.iter()
+                .map(|u| format!("{:.2}", u))
+                .collect::<Vec<_>>()
+                .join(" "),
+            if identical { "" } else { "  DIVERGED" }
+        );
+        rows.push(Json::obj(vec![
+            ("name", Json::from(b.name)),
+            ("identical_output", Json::from(identical)),
+            ("cross_device_overlap", Json::from(overlap)),
+            ("sequential", t_seq.to_json()),
+            ("dag", t_dag.to_json()),
+            ("sim_us_sequential", Json::from(oracle.sim_time_us())),
+            ("sim_us_dag", Json::from(dag.sim_time_us())),
+            (
+                "device_utilization",
+                Json::Arr(util.into_iter().map(Json::from).collect()),
+            ),
+        ]));
+    }
+
+    let report = Json::obj(vec![
+        ("n", Json::from(scale.n)),
+        ("iters", Json::from(scale.iters)),
+        ("dag_jobs", Json::from(DAG_JOBS)),
+        ("devices", Json::from(DEVICES)),
+        ("identical_output", Json::from(all_identical)),
+        ("any_cross_device_overlap", Json::from(any_overlap)),
+        ("benchmarks", Json::Arr(rows)),
+    ]);
+    std::fs::write("BENCH_dag.json", report.pretty()).ok();
+    println!(
+        "wrote BENCH_dag.json (identical_output={all_identical}, \
+         cross-device overlap on ≥1 benchmark: {any_overlap})"
+    );
+    if !all_identical {
+        eprintln!("dag: DAG schedule diverged from the sequential oracle");
+        std::process::exit(1);
+    }
+}

@@ -53,7 +53,7 @@ pub const MAGIC: [u8; 8] = *b"OARCBIN\0";
 /// Version of the container layout and every section schema. Bumped on any
 /// incompatible change; a reader rejects other versions and the disk layer
 /// recomputes the artifact.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Total size of the fixed entry header in bytes.
 pub const HEADER_LEN: usize = 40;
@@ -843,6 +843,13 @@ pub fn encode_run(id: ArtifactId, r: &RunResult, events: &[TraceEvent]) -> Vec<u
         for c in TimeCategory::ALL.iter() {
             w.put_f64(m.clock.breakdown.get(*c));
         }
+        let queues = m.clock.queue_snapshot();
+        w.put_seq_len(queues.len());
+        for (dev, q, end) in queues {
+            w.put_u32(dev.0);
+            w.put_i64(q);
+            w.put_f64(end);
+        }
     });
     put_section(&mut w, section::GLOBALS, |w| {
         w.put_seq_len(m.host.globals.len());
@@ -854,8 +861,10 @@ pub fn encode_run(id: ArtifactId, r: &RunResult, events: &[TraceEvent]) -> Vec<u
     put_section(&mut w, section::STATS, |w| {
         w.put_u64(m.stats.h2d_bytes);
         w.put_u64(m.stats.d2h_bytes);
+        w.put_u64(m.stats.d2d_bytes);
         w.put_u64(m.stats.h2d_count);
         w.put_u64(m.stats.d2h_count);
+        w.put_u64(m.stats.d2d_count);
         w.put_u64(m.stats.dev_allocs);
         w.put_u64(m.stats.dev_frees);
     });
@@ -950,7 +959,7 @@ fn decode_translated_body(stage: Stage, bytes: &[u8]) -> R<(ArtifactId, Translat
 
 fn decode_run_body(bytes: &[u8]) -> R<(ArtifactId, RunResult, Vec<TraceEvent>)> {
     let (id, mut r) = open(bytes, Stage::Execute, RUN_SECTIONS)?;
-    let (now, breakdown) = get_section(&mut r, section::CLOCK, |b| {
+    let (now, breakdown, queues) = get_section(&mut r, section::CLOCK, |b| {
         let now = b.f64()?;
         let n = b.seq_len()?;
         if n != TimeCategory::ALL.len() {
@@ -963,19 +972,26 @@ fn decode_run_body(bytes: &[u8]) -> R<(ArtifactId, RunResult, Vec<TraceEvent>)> 
         for cat in TimeCategory::ALL.iter() {
             breakdown.add(*cat, b.f64()?);
         }
-        Ok((now, breakdown))
+        let nq = b.seq_len()?;
+        let mut queues = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            queues.push((openarc_gpusim::DeviceId(b.u32()?), b.i64()?, b.f64()?));
+        }
+        Ok((now, breakdown, queues))
     })?;
     let globals = get_section(&mut r, section::GLOBALS, |b| read_vec(b, vb::read_value))?;
     let mem = get_section(&mut r, section::MEM, vb::read_memspace)?;
 
     let mut machine = Machine::new(BasicEnv { globals, mem }, false);
-    machine.clock = SimClock::restore(now, breakdown);
+    machine.clock = SimClock::restore(now, breakdown, queues);
     machine.stats = get_section(&mut r, section::STATS, |b| {
         Ok(TransferStats {
             h2d_bytes: b.u64()?,
             d2h_bytes: b.u64()?,
+            d2d_bytes: b.u64()?,
             h2d_count: b.u64()?,
             d2h_count: b.u64()?,
+            d2d_count: b.u64()?,
             dev_allocs: b.u64()?,
             dev_frees: b.u64()?,
         })

@@ -838,6 +838,22 @@ pub fn run_payload(r: &RunResult, events: &[TraceEvent]) -> Json {
             ),
         ),
         (
+            "queues",
+            Json::Arr(
+                m.clock
+                    .queue_snapshot()
+                    .into_iter()
+                    .map(|(dev, q, end)| {
+                        Json::Arr(vec![
+                            Json::from(u64::from(dev.0)),
+                            Json::from(q),
+                            f64_to_json(end),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "globals",
             Json::Arr(m.host.globals.iter().map(vj::value_to_json).collect()),
         ),
@@ -847,8 +863,10 @@ pub fn run_payload(r: &RunResult, events: &[TraceEvent]) -> Json {
             Json::obj(vec![
                 ("h2d_bytes", Json::from(m.stats.h2d_bytes)),
                 ("d2h_bytes", Json::from(m.stats.d2h_bytes)),
+                ("d2d_bytes", Json::from(m.stats.d2d_bytes)),
                 ("h2d_count", Json::from(m.stats.h2d_count)),
                 ("d2h_count", Json::from(m.stats.d2h_count)),
+                ("d2d_count", Json::from(m.stats.d2d_count)),
                 ("dev_allocs", Json::from(m.stats.dev_allocs)),
                 ("dev_frees", Json::from(m.stats.dev_frees)),
             ]),
@@ -903,14 +921,30 @@ pub fn run_from_payload(v: &Json) -> R<(RunResult, Vec<TraceEvent>)> {
     for (cat, b) in TimeCategory::ALL.iter().zip(bits) {
         breakdown.add(*cat, f64::from_bits(u64_of(b, "breakdown")?));
     }
-    machine.clock = SimClock::restore(f64f(v, "now")?, breakdown);
+    let queues = arr(field(v, "queues")?, "queues")?
+        .iter()
+        .map(|q| {
+            let t = arr(q, "queues entry")?;
+            if t.len() != 3 {
+                return Err("queues entry: expected [dev, queue, end]".to_string());
+            }
+            Ok((
+                openarc_gpusim::DeviceId(u64_of(&t[0], "queue dev")? as u32),
+                i64_of(&t[1], "queue id")?,
+                f64::from_bits(u64_of(&t[2], "queue end")?),
+            ))
+        })
+        .collect::<R<Vec<_>>>()?;
+    machine.clock = SimClock::restore(f64f(v, "now")?, breakdown, queues);
 
     let st = field(v, "stats")?;
     machine.stats = TransferStats {
         h2d_bytes: u64f(st, "h2d_bytes")?,
         d2h_bytes: u64f(st, "d2h_bytes")?,
+        d2d_bytes: u64f(st, "d2d_bytes")?,
         h2d_count: u64f(st, "h2d_count")?,
         d2h_count: u64f(st, "d2h_count")?,
+        d2d_count: u64f(st, "d2d_count")?,
         dev_allocs: u64f(st, "dev_allocs")?,
         dev_frees: u64f(st, "dev_frees")?,
     };

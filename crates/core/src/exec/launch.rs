@@ -4,7 +4,7 @@
 use super::env::ExecEnv;
 use super::reduce::red_eval;
 use crate::ir::KernelParam;
-use openarc_gpusim::{launch, TimeCategory};
+use openarc_gpusim::{launch, DeviceId, TimeCategory};
 use openarc_minic::ScalarTy;
 use openarc_openacc::ReductionOp;
 use openarc_runtime::DevSide;
@@ -30,7 +30,7 @@ impl ExecEnv<'_> {
         ),
         VmError,
     > {
-        self.build_args_prepared(k, n, on_device, &mut VecDeque::new())
+        self.build_args_prepared(k, n, on_device, DeviceId::PRIMARY, &mut VecDeque::new())
     }
 
     /// [`ExecEnv::build_args`] with pre-built reduction partial buffers:
@@ -45,6 +45,7 @@ impl ExecEnv<'_> {
         k: usize,
         n: u64,
         on_device: bool,
+        dev: DeviceId,
         prepared: &mut VecDeque<Buffer>,
     ) -> Result<
         (
@@ -66,7 +67,7 @@ impl ExecEnv<'_> {
                 KernelParam::Aggregate { var } => {
                     let host_h = self.resolve(var)?;
                     let h = if on_device {
-                        self.machine.device_of(host_h)?
+                        self.machine.device_of_on(dev, host_h)?
                     } else {
                         host_h
                     };
@@ -78,7 +79,13 @@ impl ExecEnv<'_> {
                         .as_deref()
                         .map(|g| self.scalar_elem_of(g))
                         .unwrap_or(ScalarTy::Double);
-                    let key = format!("{}::{}", var, on_device);
+                    // Cells are per-memory-space: one per device plus the
+                    // host side.
+                    let key = if on_device {
+                        format!("{}::dev{}", var, dev.0)
+                    } else {
+                        format!("{var}::host")
+                    };
                     let cells: &mut HashMap<String, Handle> = if on_device {
                         &mut self.device_cells
                     } else {
@@ -88,7 +95,7 @@ impl ExecEnv<'_> {
                         Some(h) => *h,
                         None => {
                             let mem = if on_device {
-                                &mut self.machine.device.mem
+                                &mut self.machine.devices.get_mut(dev).mem
                             } else {
                                 &mut self.machine.host.mem
                             };
@@ -101,7 +108,7 @@ impl ExecEnv<'_> {
                             if let Some(g) = init_global {
                                 let init = self.scalar_value(g)?;
                                 let mem = if on_device {
-                                    &mut self.machine.device.mem
+                                    &mut self.machine.devices.get_mut(dev).mem
                                 } else {
                                     &mut self.machine.host.mem
                                 };
@@ -121,7 +128,7 @@ impl ExecEnv<'_> {
                 KernelParam::ReductionSlot { var, op } => {
                     let elem = self.scalar_elem_of(var);
                     let mem = if on_device {
-                        &mut self.machine.device.mem
+                        &mut self.machine.devices.get_mut(dev).mem
                     } else {
                         &mut self.machine.host.mem
                     };
@@ -146,10 +153,11 @@ impl ExecEnv<'_> {
         &mut self,
         cells: &[(String, Handle)],
         on_device: bool,
+        dev: DeviceId,
     ) -> Result<(), VmError> {
         for (var, h) in cells {
             let v = if on_device {
-                self.machine.device.mem.load(*h, 0)?
+                self.machine.devices.get(dev).mem.load(*h, 0)?
             } else {
                 self.machine.host.mem.load(*h, 0)?
             };
@@ -216,7 +224,7 @@ impl ExecEnv<'_> {
         let (args, reds, temps, cells) = self.build_args(k, n, true)?;
         let cfg = self.launch_cfg(k);
         let outcome = launch(
-            &mut self.machine.device,
+            self.machine.devices.primary_mut(),
             &tr.kernel_module,
             &info.name,
             &args,
@@ -228,7 +236,7 @@ impl ExecEnv<'_> {
         }
         self.machine
             .charge_kernel_named(&info.name, &outcome, queue);
-        self.writeback_cells(&cells, true)?;
+        self.writeback_cells(&cells, true, DeviceId::PRIMARY)?;
         // Reductions finalize on the CPU (device partials → host scalar).
         for (var, op, buf) in &reds {
             if let Some(q) = queue {
@@ -244,7 +252,7 @@ impl ExecEnv<'_> {
             self.machine.clock.advance(TimeCategory::MemTransfer, dt);
         }
         for t in temps {
-            self.machine.device.mem.free(t)?;
+            self.machine.devices.primary_mut().mem.free(t)?;
         }
         // Copyout + unmap (copyout only for mappings this launch created —
         // region-managed data stays resident).
@@ -275,7 +283,7 @@ impl ExecEnv<'_> {
         args.insert(0, Value::Int(n as i64));
         let steps = self.run_host_fn(&info.seq_name, &args)?;
         self.machine.charge_cpu(steps);
-        self.writeback_cells(&cells, false)?;
+        self.writeback_cells(&cells, false, DeviceId::PRIMARY)?;
         for (var, op, buf) in &reds {
             let cpu_val = self.fold_host(*buf, *op, n)?;
             let init = self.scalar_value(var)?;

@@ -26,6 +26,7 @@
 //!   simulated device execution.
 //! * `reduce` — reduction operator evaluation and partial-buffer folds.
 
+pub mod dag;
 mod env;
 mod launch;
 mod reduce;
@@ -37,7 +38,7 @@ use crate::translate::Translated;
 use env::ExecEnv;
 pub use reduce::red_eval;
 
-use openarc_gpusim::{LaunchConfig, RaceReport};
+use openarc_gpusim::{DeviceId, LaunchConfig, RaceReport};
 use openarc_runtime::Machine;
 use openarc_trace::Journal;
 use openarc_vm::interp::BasicEnv;
@@ -106,6 +107,25 @@ pub struct VerifyOptions {
     /// value. `1` (the default) compares inline; forced to `1` when
     /// `overlap_reference` is `false`.
     pub compare_jobs: usize,
+    /// Verified launches allowed in flight concurrently on the simulated
+    /// timeline. Each launch *executes* (device run, reference,
+    /// comparison, canonical stores) at issue in program order, but its
+    /// completion accounting — the reference CPU charge, the queue wait,
+    /// the result-comparison charge, the verification event and the
+    /// unmaps — defers until the launch *retires*: when a later launch's
+    /// footprint conflicts with it (RAW/WAR/WAW, see [`dag`]), when the
+    /// in-flight window exceeds this bound, or at a flush point (host
+    /// free of a touched buffer, end of run). `1` (the default) retires
+    /// every launch immediately, reproducing the sequential oracle
+    /// bit-for-bit.
+    pub dag_jobs: usize,
+    /// Simulated devices the DAG executor schedules across (clamped to
+    /// `1..=`[`openarc_runtime::MAX_DEVICES`]). Independent launches —
+    /// same level of the dependency DAG — round-robin over the devices,
+    /// so with `dag_jobs > 1` their queue spans overlap on the simulated
+    /// timeline. `1` (the default) keeps everything on the primary
+    /// device.
+    pub devices: usize,
 }
 
 impl Default for VerifyOptions {
@@ -121,6 +141,8 @@ impl Default for VerifyOptions {
             queue: 1,
             overlap_reference: true,
             compare_jobs: 1,
+            dag_jobs: 1,
+            devices: 1,
         }
     }
 }
@@ -287,8 +309,19 @@ impl RunResult {
 /// Execute a translated program.
 pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError> {
     let host = BasicEnv::for_module(&tr.host_module);
-    let mut machine = Machine::new(host, opts.check_transfers);
-    machine.device.race_detect = opts.race_detect;
+    // The device dimension exists only in verify mode — the sequential
+    // and Normal paths always simulate exactly one device.
+    let (n_devices, device_plan, footprints) = match &opts.mode {
+        ExecMode::Verify(v) => {
+            let d = dag::DepDag::build(&tr.kernels);
+            let n = v.devices.clamp(1, openarc_runtime::MAX_DEVICES);
+            let plan = d.device_plan(n);
+            (n, plan, d.footprints)
+        }
+        _ => (1, vec![DeviceId::PRIMARY; tr.kernels.len()], Vec::new()),
+    };
+    let mut machine = Machine::with_devices(host, opts.check_transfers, n_devices);
+    machine.devices.set_race_detect(opts.race_detect);
     machine.set_journal(opts.journal.clone());
     let mut env = ExecEnv {
         tr,
@@ -309,6 +342,9 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
         kernel_launches: 0,
         deferred: Vec::new(),
         region_active: HashMap::new(),
+        pending: std::collections::VecDeque::new(),
+        device_plan,
+        footprints,
         t0: std::time::Instant::now(),
     };
 
@@ -350,6 +386,9 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
             }
         }
     }
+    // Retire any still-in-flight verified launches (dag_jobs > 1) before
+    // the final barrier, so their completion accounting precedes it.
+    env.retire_all()?;
     env.machine.clock.wait_all();
     // Publish the run's buffered events in one batch — the only journal
     // lock acquisition of the whole run.

@@ -1,7 +1,7 @@
 //! Reduction operator evaluation and partial-buffer folds.
 
 use super::env::ExecEnv;
-use openarc_gpusim::tree_combine;
+use openarc_gpusim::{tree_combine, DeviceId};
 use openarc_minic::ast::BinOp;
 use openarc_openacc::ReductionOp;
 use openarc_vm::interp::eval_bin;
@@ -16,7 +16,19 @@ impl ExecEnv<'_> {
         op: ReductionOp,
         n: u64,
     ) -> Result<Value, VmError> {
-        let b = self.machine.device.mem.get(buf)?;
+        self.fold_device_on(buf, op, n, DeviceId::PRIMARY)
+    }
+
+    /// [`ExecEnv::fold_device`] reading the partial buffer on device
+    /// `dev`.
+    pub(super) fn fold_device_on(
+        &mut self,
+        buf: Handle,
+        op: ReductionOp,
+        n: u64,
+        dev: DeviceId,
+    ) -> Result<Value, VmError> {
+        let b = self.machine.devices.get(dev).mem.get(buf)?;
         let vals: Vec<Value> = (0..n).map(|i| b.get(i)).collect::<Result<_, _>>()?;
         let f = move |a: Value, b: Value| red_eval(op, a, b);
         match tree_combine(&vals, &f)? {

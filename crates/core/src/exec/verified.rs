@@ -39,12 +39,40 @@ use super::reduce::red_eval;
 use super::{AssertKind, VerifyOptions};
 use crate::ir::KernelParam;
 use crate::sched::{chunk_ranges, run_tasks};
-use openarc_gpusim::{launch, KernelOutcome, TimeCategory};
+use openarc_gpusim::{launch, DeviceId, KernelOutcome, TimeCategory};
 use openarc_minic::ScalarTy;
 use openarc_vm::interp::BasicEnv;
 use openarc_vm::{Buffer, Handle, MemSpace, Module, ThreadState, Value, VmError};
 use std::collections::VecDeque;
 use std::time::Instant;
+
+/// One verified launch that has *executed* (issue phase: staging, device
+/// run, CPU reference, comparison, canonical stores — all in program
+/// order) but whose completion accounting has not yet landed on the
+/// simulated timeline. Retirement performs, in oracle order: the CPU
+/// reference charge, the device-queue wait, the result-comparison charge,
+/// the verification record/event, and the staging unmaps.
+#[derive(Debug)]
+pub(super) struct PendingVerify {
+    /// Launch-site index into `tr.kernels` / `self.verify`.
+    pub(super) k: usize,
+    /// Device the launch was scheduled on.
+    dev: DeviceId,
+    /// Async queue (on `dev`) carrying the staging copies and the kernel.
+    queue: i64,
+    /// Interpreted instruction count of the CPU reference run.
+    ref_steps: u64,
+    /// Elements compared.
+    compared: u64,
+    /// Elements that diverged beyond the margin.
+    mismatches: u64,
+    /// Largest absolute divergence.
+    max_err: f64,
+    /// §III-C assertion failures.
+    assertion_failures: u64,
+    /// Host handles of staged aggregates, to unmap from `dev`.
+    touched: Vec<Handle>,
+}
 
 /// Run the sequential reference function against host memory only. The
 /// `__seq_*` fallbacks touch nothing but their parameters and globals, so
@@ -142,6 +170,22 @@ impl ExecEnv<'_> {
     /// Verified launch (§III-A): demoted transfers, async GPU + sequential
     /// CPU reference, comparison, CPU results stay canonical.
     pub(super) fn launch_verified(&mut self, k: usize, v: &VerifyOptions) -> Result<(), VmError> {
+        // DAG ordering: any in-flight launch whose footprint conflicts
+        // with this site (RAW/WAR/WAW — including an earlier launch of
+        // the same site) must complete on the simulated timeline before
+        // this one issues.
+        while self
+            .pending
+            .iter()
+            .any(|p| self.footprints[p.k].conflicts_with(&self.footprints[k]))
+        {
+            self.retire_oldest()?;
+        }
+        let dev = self
+            .device_plan
+            .get(k)
+            .copied()
+            .unwrap_or(DeviceId::PRIMARY);
         // `self.tr` outlives `self`: borrow the kernel record (and its
         // variable names) for the whole launch instead of deep-cloning it.
         let tr = self.tr;
@@ -162,12 +206,16 @@ impl ExecEnv<'_> {
         // One site string for every staging transfer of this launch.
         let verify_site = format!("{}_verify", info.name);
         // Map every touched aggregate first (allocation charges land here,
-        // in variable order), collecting the raw copy pairs.
+        // in variable order), collecting the raw copy pairs. Allocations
+        // are stream-ordered on the launch's queue — like the staging
+        // transfers and the kernel itself — so the host issue loop never
+        // blocks on them and independent launches can overlap on distinct
+        // devices.
         let mut staged: Vec<(Handle, Handle)> = Vec::with_capacity(touched.len());
         for var in &touched {
             let h = self.resolve(var)?;
-            let (dev, _) = self.machine.map_to_device(h)?;
-            staged.push((h, dev));
+            let (dev_h, _) = self.machine.map_to_device_on_queue(dev, h, Some(q))?;
+            staged.push((h, dev_h));
         }
         // Plan the reduction partial buffers of both sides so their O(n)
         // zero-fill can run off the arenas.
@@ -194,7 +242,7 @@ impl ExecEnv<'_> {
         // The raw byte copies overlap the partial-buffer construction; the
         // sequential oracle runs the identical operations inline.
         let (copied, (mut dprep, mut hprep)) = if v.overlap_reference {
-            let dev_mem = &mut self.machine.device.mem;
+            let dev_mem = &mut self.machine.devices.get_mut(dev).mem;
             let host_mem = &self.machine.host.mem;
             std::thread::scope(|scope| {
                 let worker = scope.spawn(|| stage_copies(dev_mem, host_mem, &staged));
@@ -205,7 +253,7 @@ impl ExecEnv<'_> {
             let bufs = build_bufs();
             (
                 stage_copies(
-                    &mut self.machine.device.mem,
+                    &mut self.machine.devices.get_mut(dev).mem,
                     &self.machine.host.mem,
                     &staged,
                 ),
@@ -220,15 +268,16 @@ impl ExecEnv<'_> {
         // blocking host time as Mem Transfer.
         for (host_h, _) in &staged {
             self.machine
-                .account_to_device(*host_h, &verify_site, Some(q), None)?;
+                .account_to_device_on(dev, *host_h, &verify_site, Some(q), None)?;
         }
         // Marshal both sides — argument building mutates host and device
         // memory, so it stays on this thread; pre-built partial buffers
         // publish with a pointer move.
-        let (args, dreds, dtemps, dcells) = self.build_args_prepared(k, n, true, &mut dprep)?;
+        let (args, dreds, dtemps, dcells) =
+            self.build_args_prepared(k, n, true, dev, &mut dprep)?;
         let cfg = self.launch_cfg(k);
         let (mut hargs, hreds, htemps, hcells) =
-            self.build_args_prepared(k, n, false, &mut hprep)?;
+            self.build_args_prepared(k, n, false, dev, &mut hprep)?;
         hargs.insert(0, Value::Int(n as i64));
         self.note_stage("verify:staging", t_staging);
 
@@ -239,7 +288,7 @@ impl ExecEnv<'_> {
         // as the sequential path.
         let t_overlap = timed.then(Instant::now);
         let (outcome, steps): (KernelOutcome, u64) = if v.overlap_reference {
-            let device = &mut self.machine.device;
+            let device = self.machine.devices.get_mut(dev);
             let host = &mut self.machine.host;
             let kernel_module = &self.tr.kernel_module;
             let host_module = &self.tr.host_module;
@@ -251,7 +300,7 @@ impl ExecEnv<'_> {
             (dev_res?, host_res?)
         } else {
             let outcome = launch(
-                &mut self.machine.device,
+                self.machine.devices.get_mut(dev),
                 &self.tr.kernel_module,
                 &info.name,
                 &args,
@@ -265,16 +314,14 @@ impl ExecEnv<'_> {
             self.races.push((info.name.clone(), r.clone()));
         }
         self.machine
-            .charge_kernel_named(&info.name, &outcome, Some(q));
-        self.machine.charge_cpu(steps);
-        // Synchronize before comparing.
-        self.machine.clock.wait(q);
+            .charge_kernel_named_on(&info.name, &outcome, dev, Some(q));
+        // The reference CPU charge and the queue wait defer to this
+        // launch's *retirement*, so independent launches issued while
+        // this one is pending overlap it on the simulated timeline.
         self.note_stage("verify:overlap", t_overlap);
 
         // ------------------------------------------- stage 3: comparison
         let t_compare = timed.then(Instant::now);
-        let rec = &mut self.verify[k];
-        rec.launches += 1;
         // Compare written aggregates element-wise, chunked per variable
         // across the comparison workers. The sequential oracle keeps one
         // inline loop (`run_tasks` with jobs = 1 degenerates to it).
@@ -293,9 +340,9 @@ impl ExecEnv<'_> {
                 let host_h = self.machine.host.globals
                     [self.tr.host_module.global_slot(var).unwrap() as usize];
                 let Value::Ptr(host_h) = host_h else { continue };
-                let dev_h = self.machine.device_of(host_h)?;
+                let dev_h = self.machine.device_of_on(dev, host_h)?;
                 let hbuf = self.machine.host.mem.get(host_h)?;
-                let dbuf = self.machine.device.mem.get(dev_h)?;
+                let dbuf = self.machine.devices.get(dev).mem.get(dev_h)?;
                 let bound = v.bounds.get(var).copied().or_else(|| {
                     info.knowledge
                         .bounds
@@ -324,7 +371,7 @@ impl ExecEnv<'_> {
         }
         // Reductions: compare scalar results; CPU value stays canonical.
         for ((var, op, dbuf), (_, _, hbuf)) in dreds.iter().zip(&hreds) {
-            let gpu_val = self.fold_device(*dbuf, *op, n)?;
+            let gpu_val = self.fold_device_on(*dbuf, *op, n, dev)?;
             let cpu_val = self.fold_host(*hbuf, *op, n)?;
             let init = self.scalar_value(var)?;
             let cpu_final = red_eval(*op, init, cpu_val)?;
@@ -346,7 +393,7 @@ impl ExecEnv<'_> {
         // Falsely-shared global scalars: compare the device cell against
         // the sequential cell; the CPU value stays canonical.
         for ((var, dh), (_, hh)) in dcells.iter().zip(&hcells) {
-            let g = self.machine.device.mem.load(*dh, 0)?.as_f64();
+            let g = self.machine.devices.get(dev).mem.load(*dh, 0)?.as_f64();
             let c = self.machine.host.mem.load(*hh, 0)?.as_f64();
             if c.abs() >= v.min_value_to_check {
                 compared += 1;
@@ -385,8 +432,8 @@ impl ExecEnv<'_> {
         let mut assertion_failures = 0u64;
         for (var, kind) in &checks {
             if let Ok(host_h) = self.resolve(var) {
-                if let Ok(dev_h) = self.machine.device_of(host_h) {
-                    let dbuf = self.machine.device.mem.get(dev_h)?;
+                if let Ok(dev_h) = self.machine.device_of_on(dev, host_h) {
+                    let dbuf = self.machine.devices.get(dev).mem.get(dev_h)?;
                     let ok = match kind {
                         AssertKind::ChecksumWithin { expected, tol } => {
                             let sum: f64 = (0..dbuf.len() as u64)
@@ -406,16 +453,64 @@ impl ExecEnv<'_> {
                 }
             }
         }
+        self.note_stage("verify:compare", t_compare);
+
+        // Discard device temporaries now (pure memory operations with no
+        // clock or journal effect); the staging *unmaps* defer to
+        // retirement because their free charges belong after the queue
+        // wait on the simulated timeline.
+        for t in dtemps {
+            self.machine.devices.get_mut(dev).mem.free(t)?;
+        }
+        for t in htemps {
+            self.machine.host.mem.free(t)?;
+        }
+        let touched_handles = touched
+            .iter()
+            .map(|var| self.resolve(var))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.pending.push_back(PendingVerify {
+            k,
+            dev,
+            queue: q,
+            ref_steps: steps,
+            compared,
+            mismatches,
+            max_err,
+            assertion_failures,
+            touched: touched_handles,
+        });
+        // Capacity: keep at most `dag_jobs` launches in flight. At the
+        // default of 1 this retires the launch immediately, reproducing
+        // the sequential oracle's clock and journal bit-for-bit.
+        while self.pending.len() >= v.dag_jobs.max(1) {
+            self.retire_oldest()?;
+        }
+        Ok(())
+    }
+
+    /// Retire the oldest in-flight verified launch: replay its completion
+    /// accounting in oracle order — reference CPU charge, device-queue
+    /// wait, result-comparison charge, verification record and event,
+    /// staging unmaps.
+    pub(super) fn retire_oldest(&mut self) -> Result<(), VmError> {
+        let Some(p) = self.pending.pop_front() else {
+            return Ok(());
+        };
+        let name = &self.tr.kernels[p.k].name;
+        self.machine.charge_cpu(p.ref_steps);
+        self.machine.clock.wait_on(p.dev, p.queue);
         // Charge the result comparison (~2 interpreted instrs per element).
-        let dt = self.machine.cost.cpu_time(compared * 2);
+        let dt = self.machine.cost.cpu_time(p.compared * 2);
         self.machine.clock.advance(TimeCategory::ResultComp, dt);
 
-        let rec = &mut self.verify[k];
-        rec.compared_elems += compared;
-        rec.mismatched_elems += mismatches;
-        rec.max_abs_err = rec.max_abs_err.max(max_err);
-        rec.assertion_failures += assertion_failures;
-        if mismatches > 0 {
+        let rec = &mut self.verify[p.k];
+        rec.launches += 1;
+        rec.compared_elems += p.compared;
+        rec.mismatched_elems += p.mismatches;
+        rec.max_abs_err = rec.max_abs_err.max(p.max_err);
+        rec.assertion_failures += p.assertion_failures;
+        if p.mismatches > 0 {
             rec.failed_launches += 1;
         }
         if self.machine.journal().is_enabled() {
@@ -424,26 +519,24 @@ impl ExecEnv<'_> {
                 dur_us: 0.0,
                 track: openarc_trace::Track::Host,
                 kind: openarc_trace::EventKind::Verification {
-                    kernel: info.name.clone(),
-                    passed: mismatches == 0 && assertion_failures == 0,
-                    compared_elems: compared,
-                    mismatched_elems: mismatches,
-                    max_abs_err: max_err,
+                    kernel: name.clone(),
+                    passed: p.mismatches == 0 && p.assertion_failures == 0,
+                    compared_elems: p.compared,
+                    mismatched_elems: p.mismatches,
+                    max_abs_err: p.max_err,
                 },
             });
         }
-        self.note_stage("verify:compare", t_compare);
+        for h in &p.touched {
+            self.machine.unmap_from_device_on(p.dev, *h)?;
+        }
+        Ok(())
+    }
 
-        // Discard device results: free temporaries, unmap everything.
-        for t in dtemps {
-            self.machine.device.mem.free(t)?;
-        }
-        for t in htemps {
-            self.machine.host.mem.free(t)?;
-        }
-        for var in &touched {
-            let h = self.resolve(var)?;
-            self.machine.unmap_from_device(h)?;
+    /// Retire every in-flight verified launch, oldest first.
+    pub(super) fn retire_all(&mut self) -> Result<(), VmError> {
+        while !self.pending.is_empty() {
+            self.retire_oldest()?;
         }
         Ok(())
     }

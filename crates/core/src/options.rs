@@ -31,7 +31,12 @@ impl std::error::Error for OptionError {}
 /// * `relTol=<float>` / `absTol=<float>` — comparison margins;
 /// * `queue=<int>` — async queue used for demoted transfers;
 /// * `compareJobs=<int>` — worker threads for the element-wise comparison
-///   stage (≥ 1; results are bit-identical at any value).
+///   stage (≥ 1; results are bit-identical at any value);
+/// * `dagJobs=<int>` — maximum verified launches in flight in the
+///   dependency-DAG executor (≥ 1; `1` retires each launch before the
+///   next issues, which is exactly the sequential oracle);
+/// * `devices=<int>` — simulated devices to schedule independent
+///   launches across (clamped to 1..=8).
 ///
 /// ```
 /// use openarc_core::options::parse_verification_options;
@@ -105,6 +110,26 @@ pub fn parse_verification_options(spec: &str) -> Result<VerifyOptions, OptionErr
                 }
                 opts.compare_jobs = jobs;
             }
+            "dagJobs" => {
+                let jobs: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| OptionError(format!("bad integer `{value}`")))?;
+                if jobs == 0 {
+                    return Err(OptionError("dagJobs must be >= 1".into()));
+                }
+                opts.dag_jobs = jobs;
+            }
+            "devices" => {
+                let n: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| OptionError(format!("bad integer `{value}`")))?;
+                if n == 0 {
+                    return Err(OptionError("devices must be >= 1".into()));
+                }
+                opts.devices = n.min(openarc_runtime::MAX_DEVICES);
+            }
             other => return Err(OptionError(format!("unknown key `{other}`"))),
         }
     }
@@ -175,6 +200,22 @@ mod tests {
         assert_eq!(v.compare_jobs, 8);
         assert!(parse_verification_options("compareJobs=0").is_err());
         assert!(parse_verification_options("compareJobs=x").is_err());
+    }
+
+    #[test]
+    fn parses_dag_jobs_and_devices() {
+        let v = parse_verification_options("dagJobs=4,devices=2").unwrap();
+        assert_eq!(v.dag_jobs, 4);
+        assert_eq!(v.devices, 2);
+        // Defaults keep the sequential oracle.
+        let d = parse_verification_options("").unwrap();
+        assert_eq!(d.dag_jobs, 1);
+        assert_eq!(d.devices, 1);
+        // Device count clamps to the journal's side-name table.
+        let big = parse_verification_options("devices=99").unwrap();
+        assert_eq!(big.devices, openarc_runtime::MAX_DEVICES);
+        assert!(parse_verification_options("dagJobs=0").is_err());
+        assert!(parse_verification_options("devices=0").is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! per-category sums over the journal reproduce [`TimeBreakdown`] exactly
 //! (same `f64` additions, same order).
 
+use crate::device::DeviceId;
 use openarc_trace::{Category, EventKind, JournalPart, TraceEvent, Track};
 use std::collections::HashMap;
 
@@ -96,11 +97,14 @@ impl TimeBreakdown {
     }
 }
 
-/// The machine clock: a host timeline plus one timeline per async queue.
+/// The machine clock: a host timeline plus one timeline per async queue,
+/// where queues are namespaced per simulated device (`(device, queue)`
+/// keys). Single-device callers use the [`SimClock::enqueue_async`] /
+/// [`SimClock::wait`] shorthands, which address [`DeviceId::PRIMARY`].
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
     host_now: f64,
-    queues: HashMap<i64, f64>,
+    queues: HashMap<(DeviceId, i64), f64>,
     /// Per-category accounting of host-visible time.
     pub breakdown: TimeBreakdown,
     /// Event journal writer: a buffered [`JournalPart`] so the per-charge
@@ -116,18 +120,39 @@ impl SimClock {
         SimClock::default()
     }
 
-    /// Rebuild a clock from a recorded final state: host time and
-    /// per-category breakdown. Queue timelines are not restored (a
-    /// finished run has drained them) and the journal starts disabled.
-    /// Used by the on-disk artifact cache to reconstruct the observable
-    /// clock of a cached run.
-    pub fn restore(host_now: f64, breakdown: TimeBreakdown) -> SimClock {
+    /// Rebuild a clock from a recorded final state: host time,
+    /// per-category breakdown, and the per-`(device, queue)` timeline
+    /// snapshot from [`SimClock::queue_snapshot`]. The journal starts
+    /// disabled. Used by the on-disk artifact cache to reconstruct the
+    /// observable clock of a cached run; restoring the queue ends keeps
+    /// any replay across the restore point from seeing in-flight async
+    /// state silently zeroed.
+    pub fn restore(
+        host_now: f64,
+        breakdown: TimeBreakdown,
+        queues: Vec<(DeviceId, i64, f64)>,
+    ) -> SimClock {
         SimClock {
             host_now,
-            queues: HashMap::new(),
+            queues: queues
+                .into_iter()
+                .map(|(d, q, end)| ((d, q), end))
+                .collect(),
             breakdown,
             journal: JournalPart::default(),
         }
+    }
+
+    /// Snapshot every queue timeline as `(device, queue, end)` triples,
+    /// sorted by `(device, queue)` so the encoding is deterministic.
+    pub fn queue_snapshot(&self) -> Vec<(DeviceId, i64, f64)> {
+        let mut out: Vec<(DeviceId, i64, f64)> = self
+            .queues
+            .iter()
+            .map(|((d, q), end)| (*d, *q, *end))
+            .collect();
+        out.sort_unstable_by_key(|(d, q, _)| (*d, *q));
+        out
     }
 
     /// Current host time, µs.
@@ -150,21 +175,35 @@ impl SimClock {
         self.breakdown.add(cat, dt);
     }
 
-    /// Enqueue `dt` µs of asynchronous work on `queue`. The work starts no
-    /// earlier than the host's current time and the queue's previous end;
-    /// the host does not block. Returns the simulated start time of the
-    /// enqueued span, so callers can journal it with a true timestamp.
+    /// Enqueue `dt` µs of asynchronous work on the primary device's
+    /// `queue`. See [`SimClock::enqueue_async_on`].
     pub fn enqueue_async(&mut self, queue: i64, dt: f64) -> f64 {
-        let end = self.queues.entry(queue).or_insert(0.0);
+        self.enqueue_async_on(DeviceId::PRIMARY, queue, dt)
+    }
+
+    /// Enqueue `dt` µs of asynchronous work on device `dev`'s `queue`.
+    /// The work starts no earlier than the host's current time and the
+    /// queue's previous end; the host does not block. Returns the
+    /// simulated start time of the enqueued span, so callers can journal
+    /// it with a true timestamp. Queues on distinct devices are fully
+    /// independent timelines.
+    pub fn enqueue_async_on(&mut self, dev: DeviceId, queue: i64, dt: f64) -> f64 {
+        let end = self.queues.entry((dev, queue)).or_insert(0.0);
         let start = end.max(self.host_now);
         *end = start + dt;
         start
     }
 
-    /// Block the host until `queue` drains, charging the stall to
-    /// [`TimeCategory::AsyncWait`].
+    /// Block the host until the primary device's `queue` drains. See
+    /// [`SimClock::wait_on`].
     pub fn wait(&mut self, queue: i64) {
-        if let Some(end) = self.queues.get(&queue).copied() {
+        self.wait_on(DeviceId::PRIMARY, queue);
+    }
+
+    /// Block the host until device `dev`'s `queue` drains, charging the
+    /// stall to [`TimeCategory::AsyncWait`].
+    pub fn wait_on(&mut self, dev: DeviceId, queue: i64) {
+        if let Some(end) = self.queues.get(&(dev, queue)).copied() {
             if end > self.host_now {
                 let stall = end - self.host_now;
                 self.journal.emit(TraceEvent {
@@ -181,13 +220,30 @@ impl SimClock {
         }
     }
 
-    /// Block the host until every queue drains. Queues drain in sorted-id
-    /// order so journaled stall slices are deterministic.
-    pub fn wait_all(&mut self) {
-        let mut queues: Vec<i64> = self.queues.keys().copied().collect();
+    /// Block the host until every queue on device `dev` drains, in
+    /// sorted-id order.
+    pub fn wait_all_on(&mut self, dev: DeviceId) {
+        let mut queues: Vec<i64> = self
+            .queues
+            .keys()
+            .filter(|(d, _)| *d == dev)
+            .map(|(_, q)| *q)
+            .collect();
         queues.sort_unstable();
         for q in queues {
-            self.wait(q);
+            self.wait_on(dev, q);
+        }
+    }
+
+    /// Block the host until every queue on every device drains. Queues
+    /// drain in sorted `(device, id)` order so journaled stall slices are
+    /// deterministic — identical to sorted-id order when only the primary
+    /// device has queues.
+    pub fn wait_all(&mut self) {
+        let mut keys: Vec<(DeviceId, i64)> = self.queues.keys().copied().collect();
+        keys.sort_unstable();
+        for (d, q) in keys {
+            self.wait_on(d, q);
         }
     }
 }
@@ -304,6 +360,65 @@ mod tests {
             cursor += e.dur_us;
         }
         assert_eq!(cursor, c.now());
+    }
+
+    #[test]
+    fn same_queue_id_on_distinct_devices_is_independent() {
+        let mut c = SimClock::new();
+        c.enqueue_async_on(DeviceId(0), 1, 10.0);
+        c.enqueue_async_on(DeviceId(1), 1, 10.0); // same id, other device
+        c.wait_all();
+        // Independent timelines: both spans ran concurrently.
+        assert_eq!(c.now(), 10.0);
+        // Whereas chaining on one device's queue serializes:
+        let mut c = SimClock::new();
+        c.enqueue_async_on(DeviceId(1), 1, 10.0);
+        c.enqueue_async_on(DeviceId(1), 1, 10.0);
+        c.wait_all();
+        assert_eq!(c.now(), 20.0);
+    }
+
+    #[test]
+    fn wait_all_on_drains_only_that_device() {
+        let mut c = SimClock::new();
+        c.enqueue_async_on(DeviceId(0), 1, 10.0);
+        c.enqueue_async_on(DeviceId(1), 1, 30.0);
+        c.wait_all_on(DeviceId(0));
+        assert_eq!(c.now(), 10.0);
+        c.wait_all_on(DeviceId(1));
+        assert_eq!(c.now(), 30.0);
+    }
+
+    #[test]
+    fn restore_preserves_queue_timelines() {
+        // Regression: `restore` used to drop queue timelines, silently
+        // zeroing in-flight async state for any replay across a restore
+        // point. A wait after restore must still see the queued work.
+        let mut c = SimClock::new();
+        c.enqueue_async_on(DeviceId(0), 1, 40.0);
+        c.enqueue_async_on(DeviceId(1), 2, 70.0);
+        c.advance(TimeCategory::CpuTime, 10.0);
+
+        let snap = c.queue_snapshot();
+        assert_eq!(
+            snap,
+            vec![(DeviceId(0), 1, 40.0), (DeviceId(1), 2, 70.0)],
+            "snapshot is sorted by (device, queue)"
+        );
+        let mut r = SimClock::restore(c.now(), c.breakdown.clone(), snap);
+        assert_eq!(r.now(), c.now());
+        assert_eq!(r.breakdown, c.breakdown);
+        assert_eq!(r.queue_snapshot(), c.queue_snapshot());
+
+        // The restored clock replays exactly like the original.
+        c.wait_all();
+        r.wait_all();
+        assert_eq!(r.now(), c.now());
+        assert_eq!(r.now(), 70.0);
+        assert_eq!(
+            r.breakdown.get(TimeCategory::AsyncWait).to_bits(),
+            c.breakdown.get(TimeCategory::AsyncWait).to_bits()
+        );
     }
 
     #[test]

@@ -6,6 +6,24 @@ use openarc_minic::ScalarTy;
 use openarc_vm::{Env, Handle, MemSpace, Value, VmError};
 use std::collections::HashMap;
 
+/// Identifier of one simulated device within a [`DeviceSet`].
+///
+/// Device 0 ([`DeviceId::PRIMARY`]) is the device every single-device
+/// code path talks to; the multi-device APIs thread an explicit id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// The default device: what every pre-multi-device call site means.
+    pub const PRIMARY: DeviceId = DeviceId(0);
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
 /// A simulated GPU: a separate memory space plus race-detection switch.
 #[derive(Debug, Default)]
 pub struct Device {
@@ -23,6 +41,73 @@ impl Device {
             mem: MemSpace::new(),
             race_detect: true,
         }
+    }
+}
+
+/// N simulated devices, each with its own memory space and race-detection
+/// switch. Device 0 is the primary device that all single-device code
+/// paths address; a DAG-scheduled run fans launches across the rest.
+#[derive(Debug)]
+pub struct DeviceSet {
+    devices: Vec<Device>,
+}
+
+impl DeviceSet {
+    /// `n` fresh devices (race detection on). `n` is clamped to at least 1
+    /// — an empty device set has no meaning for the runtime.
+    pub fn new(n: usize) -> DeviceSet {
+        DeviceSet {
+            devices: (0..n.max(1)).map(|_| Device::new()).collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Always false: a [`DeviceSet`] holds at least one device.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All valid ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.devices.len() as u32).map(DeviceId)
+    }
+
+    /// The primary device (id 0).
+    pub fn primary(&self) -> &Device {
+        &self.devices[0]
+    }
+
+    /// The primary device (id 0), mutably.
+    pub fn primary_mut(&mut self) -> &mut Device {
+        &mut self.devices[0]
+    }
+
+    /// Device `id`. Panics on an out-of-range id: the runtime assigns ids
+    /// from a plan bounded by `len()`, so a bad id is a scheduler bug.
+    pub fn get(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Device `id`, mutably.
+    pub fn get_mut(&mut self, id: DeviceId) -> &mut Device {
+        &mut self.devices[id.0 as usize]
+    }
+
+    /// Toggle race detection on every device.
+    pub fn set_race_detect(&mut self, on: bool) {
+        for d in &mut self.devices {
+            d.race_detect = on;
+        }
+    }
+}
+
+impl Default for DeviceSet {
+    fn default() -> DeviceSet {
+        DeviceSet::new(1)
     }
 }
 

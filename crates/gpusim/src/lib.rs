@@ -44,6 +44,6 @@ pub mod race;
 
 pub use clock::{SimClock, TimeBreakdown, TimeCategory};
 pub use cost::CostModel;
-pub use device::{Device, DeviceEnv};
+pub use device::{Device, DeviceEnv, DeviceId, DeviceSet};
 pub use exec::{launch, tree_combine, KernelOutcome, LaunchConfig};
 pub use race::{AccessKind, RaceDetector, RaceReport};

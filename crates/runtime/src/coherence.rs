@@ -17,6 +17,7 @@
 //! * deallocation sets the state **stale**; a reduction kernel whose final
 //!   value lands on the CPU leaves the GPU copy **stale**.
 
+use openarc_gpusim::DeviceId;
 use openarc_vm::Handle;
 use std::collections::HashMap;
 
@@ -33,7 +34,10 @@ pub enum St {
     Stale,
 }
 
-/// Which copy of the data.
+/// Which copy of the data, in the paper's two-sided vocabulary (the form
+/// the instrumented `check_read`/`check_write` calls are lowered with).
+/// `Gpu` always means the primary device; multi-device code paths use
+/// [`Loc`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DevSide {
     /// Host CPU copy.
@@ -50,6 +54,25 @@ impl DevSide {
             DevSide::Gpu => DevSide::Cpu,
         }
     }
+
+    /// The location this side names: `Gpu` is the primary device.
+    pub fn loc(self) -> Loc {
+        match self {
+            DevSide::Cpu => Loc::Cpu,
+            DevSide::Gpu => Loc::Dev(DeviceId::PRIMARY),
+        }
+    }
+}
+
+/// One location a copy of the data can live at: the host, or one of N
+/// simulated devices. The §III-B state machine "already keys per device
+/// conceptually" — this makes the device dimension real.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// Host CPU copy.
+    Cpu,
+    /// The copy on one device.
+    Dev(DeviceId),
 }
 
 /// Diagnosis of a read access.
@@ -74,31 +97,67 @@ pub struct XferDiag {
     pub redundant: Option<bool>,
 }
 
-/// Per-variable coherence record.
-#[derive(Debug, Clone, Default)]
+/// Per-variable coherence record: one state for the host copy plus one
+/// per device.
+#[derive(Debug, Clone)]
 pub struct VarState {
     /// CPU-side state.
     pub cpu: St,
-    /// GPU-side state.
-    pub gpu: St,
+    /// Per-device states, indexed by [`DeviceId`].
+    gpus: Vec<St>,
     /// Variable label for reports.
     pub label: String,
 }
 
+impl Default for VarState {
+    fn default() -> VarState {
+        VarState {
+            cpu: St::NotStale,
+            gpus: vec![St::NotStale],
+            label: String::new(),
+        }
+    }
+}
+
 impl VarState {
-    /// State of `side`.
+    /// The primary device's state.
+    pub fn gpu(&self) -> St {
+        self.gpus[0]
+    }
+
+    /// Device `d`'s state.
+    pub fn gpu_on(&self, d: DeviceId) -> St {
+        self.gpus[d.0 as usize]
+    }
+
+    /// All device states, indexed by [`DeviceId`].
+    pub fn gpus(&self) -> &[St] {
+        &self.gpus
+    }
+
+    /// State of `side` (two-sided view: `Gpu` is the primary device).
     pub fn get(&self, side: DevSide) -> St {
-        match side {
-            DevSide::Cpu => self.cpu,
-            DevSide::Gpu => self.gpu,
+        self.at(side.loc())
+    }
+
+    /// State at `loc`.
+    pub fn at(&self, loc: Loc) -> St {
+        match loc {
+            Loc::Cpu => self.cpu,
+            Loc::Dev(d) => self.gpus[d.0 as usize],
         }
     }
 
-    fn set(&mut self, side: DevSide, st: St) {
-        match side {
-            DevSide::Cpu => self.cpu = st,
-            DevSide::Gpu => self.gpu = st,
+    fn set_at(&mut self, loc: Loc, st: St) {
+        match loc {
+            Loc::Cpu => self.cpu = st,
+            Loc::Dev(d) => self.gpus[d.0 as usize] = st,
         }
+    }
+
+    /// Every location, in `Cpu`, `Dev(0)`, `Dev(1)`… order.
+    fn locs(&self) -> impl Iterator<Item = Loc> {
+        std::iter::once(Loc::Cpu).chain((0..self.gpus.len() as u32).map(|d| Loc::Dev(DeviceId(d))))
     }
 }
 
@@ -118,31 +177,51 @@ impl VarState {
 /// let diag = c.on_transfer(h, DevSide::Cpu);    // copy it again
 /// assert_eq!(diag.redundant, Some(true));       // now it's redundant
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Coherence {
     vars: HashMap<Handle, VarState>,
+    n_devices: usize,
     /// Master switch: when off (production runs), all checks return Ok and
     /// no state is maintained — used to measure the Figure 4 overhead.
     pub enabled: bool,
 }
 
+impl Default for Coherence {
+    fn default() -> Coherence {
+        Coherence::new(false)
+    }
+}
+
 impl Coherence {
-    /// A tracker with checking enabled.
+    /// A single-device tracker.
     pub fn new(enabled: bool) -> Coherence {
+        Coherence::with_devices(enabled, 1)
+    }
+
+    /// A tracker over `n_devices` simulated devices (clamped to ≥ 1).
+    pub fn with_devices(enabled: bool, n_devices: usize) -> Coherence {
         Coherence {
             vars: HashMap::new(),
+            n_devices: n_devices.max(1),
             enabled,
         }
     }
 
-    /// Begin tracking `h` (first device mapping). Both sides not-stale.
+    /// Number of devices tracked per variable.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// Begin tracking `h` (first device mapping). Every location starts
+    /// not-stale.
     pub fn track(&mut self, h: Handle, label: impl Into<String>) {
         if !self.enabled {
             return;
         }
+        let n = self.n_devices;
         self.vars.entry(h).or_insert_with(|| VarState {
             cpu: St::NotStale,
-            gpu: St::NotStale,
+            gpus: vec![St::NotStale; n],
             label: label.into(),
         });
     }
@@ -157,29 +236,44 @@ impl Coherence {
         self.vars.get(&h)
     }
 
-    /// `check_read(h, side)`: diagnose a read on `side`.
+    /// `check_read(h, side)`: diagnose a read on `side` (two-sided view;
+    /// `Gpu` is the primary device).
     pub fn check_read(&self, h: Handle, side: DevSide) -> ReadDiag {
+        self.check_read_at(h, side.loc())
+    }
+
+    /// Diagnose a read of the copy at `loc`.
+    pub fn check_read_at(&self, h: Handle, loc: Loc) -> ReadDiag {
         if !self.enabled {
             return ReadDiag::Ok;
         }
-        match self.vars.get(&h).map(|v| v.get(side)) {
+        match self.vars.get(&h).map(|v| v.at(loc)) {
             Some(St::Stale) => ReadDiag::Missing,
             Some(St::MayStale) => ReadDiag::MayMissing,
             _ => ReadDiag::Ok,
         }
     }
 
-    /// `check_write(h, side, total)`: diagnose and apply a write on `side`.
-    /// Returns the diagnosis of the *local* copy before the write (a stale
-    /// copy being partially overwritten is the paper's may-missing case).
+    /// `check_write(h, side, total)`: diagnose and apply a write on `side`
+    /// (two-sided view; `Gpu` is the primary device).
     pub fn on_write(&mut self, h: Handle, side: DevSide, total: bool) -> ReadDiag {
+        self.on_write_at(h, side.loc(), total)
+    }
+
+    /// Diagnose and apply a write at `loc`. Returns the diagnosis of the
+    /// *local* copy before the write (a stale copy being partially
+    /// overwritten is the paper's may-missing case). Every *other*
+    /// location's copy goes stale — with one device this is exactly the
+    /// paper's two-sided rule; with N devices a write anywhere stales the
+    /// N remaining copies.
+    pub fn on_write_at(&mut self, h: Handle, loc: Loc, total: bool) -> ReadDiag {
         if !self.enabled {
             return ReadDiag::Ok;
         }
         let Some(v) = self.vars.get_mut(&h) else {
             return ReadDiag::Ok;
         };
-        let before = v.get(side);
+        let before = v.at(loc);
         let diag = match before {
             St::Stale if !total => ReadDiag::MayMissing,
             _ => ReadDiag::Ok,
@@ -194,14 +288,28 @@ impl Coherence {
                 St::NotStale => St::NotStale,
             }
         };
-        v.set(side, local_after);
-        // Remote copy goes stale (reset_status may soften this afterwards).
-        v.set(side.other(), St::Stale);
+        // Remote copies go stale (reset_status may soften this afterwards).
+        let locs: Vec<Loc> = v.locs().collect();
+        for other in locs {
+            if other != loc {
+                v.set_at(other, St::Stale);
+            }
+        }
+        v.set_at(loc, local_after);
         diag
     }
 
-    /// Diagnose and apply a transfer into `dst` side.
+    /// Diagnose and apply a transfer into `dst` side (two-sided view: the
+    /// source is the opposite side, with `Gpu` the primary device).
     pub fn on_transfer(&mut self, h: Handle, dst: DevSide) -> XferDiag {
+        self.on_transfer_between(h, dst.other().loc(), dst.loc())
+    }
+
+    /// Diagnose and apply a transfer from the copy at `src` into the copy
+    /// at `dst` — host↔device in either direction, or device↔device.
+    /// The incorrect verdict reads the source state, the redundant verdict
+    /// the destination state, and the destination becomes not-stale.
+    pub fn on_transfer_between(&mut self, h: Handle, src: Loc, dst: Loc) -> XferDiag {
         if !self.enabled {
             return XferDiag {
                 incorrect: None,
@@ -214,8 +322,8 @@ impl Coherence {
                 redundant: None,
             };
         };
-        let src_state = v.get(dst.other());
-        let dst_state = v.get(dst);
+        let src_state = v.at(src);
+        let dst_state = v.at(dst);
         let incorrect = match src_state {
             St::Stale => Some(true),
             St::MayStale => Some(false),
@@ -226,7 +334,7 @@ impl Coherence {
             St::MayStale => Some(false),
             St::Stale => None,
         };
-        v.set(dst, St::NotStale);
+        v.set_at(dst, St::NotStale);
         XferDiag {
             incorrect,
             redundant,
@@ -234,13 +342,18 @@ impl Coherence {
     }
 
     /// `reset_status(h, side, st)`: compiler-directed state override (dead
-    /// variables, deallocation, CPU-final reductions).
+    /// variables, deallocation, CPU-final reductions). Two-sided view.
     pub fn reset_status(&mut self, h: Handle, side: DevSide, st: St) {
+        self.reset_status_at(h, side.loc(), st);
+    }
+
+    /// State override for the copy at `loc`.
+    pub fn reset_status_at(&mut self, h: Handle, loc: Loc, st: St) {
         if !self.enabled {
             return;
         }
         if let Some(v) = self.vars.get_mut(&h) {
-            v.set(side, st);
+            v.set_at(loc, st);
         }
     }
 }
@@ -262,7 +375,7 @@ mod tests {
         let c = tracked();
         let v = c.state(H).unwrap();
         assert_eq!(v.cpu, St::NotStale);
-        assert_eq!(v.gpu, St::NotStale);
+        assert_eq!(v.gpu(), St::NotStale);
         assert_eq!(c.check_read(H, DevSide::Cpu), ReadDiag::Ok);
     }
 
@@ -318,7 +431,7 @@ mod tests {
         assert_eq!(diag, ReadDiag::Ok);
         assert_eq!(c.state(H).unwrap().cpu, St::NotStale);
         // And the GPU copy went stale in turn.
-        assert_eq!(c.state(H).unwrap().gpu, St::Stale);
+        assert_eq!(c.state(H).unwrap().gpu(), St::Stale);
     }
 
     #[test]

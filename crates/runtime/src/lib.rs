@@ -41,7 +41,7 @@ pub mod machine;
 pub mod present;
 pub mod report;
 
-pub use coherence::{Coherence, DevSide, ReadDiag, St, VarState, XferDiag};
-pub use machine::{Machine, TransferStats};
+pub use coherence::{Coherence, DevSide, Loc, ReadDiag, St, VarState, XferDiag};
+pub use machine::{Machine, TransferStats, MAX_DEVICES};
 pub use present::{Mapping, PresentTable};
 pub use report::{Direction, Issue, IssueKind, Report};

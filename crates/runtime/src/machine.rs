@@ -1,16 +1,34 @@
-//! The composed simulated machine: host memory + device + clock + present
-//! table + coherence tracker + report engine.
+//! The composed simulated machine: host memory + devices + clock + present
+//! tables + coherence tracker + report engine.
 //!
 //! `openarc-core`'s executor drives a [`Machine`] while running translated
 //! host bytecode; every directive-lowered runtime operation lands here.
+//! The machine simulates `N ≥ 1` devices: each device has its own memory
+//! space, race detector and present table, and every runtime operation has
+//! an `_on(DeviceId)` form. The plain forms target the primary device, so
+//! single-device callers read exactly as before the device dimension
+//! existed.
 
-use crate::coherence::{Coherence, DevSide, ReadDiag, St};
+use crate::coherence::{Coherence, DevSide, Loc, ReadDiag, St};
 use crate::present::PresentTable;
 use crate::report::{Direction, Issue, IssueKind, Report};
-use openarc_gpusim::{CostModel, Device, KernelOutcome, SimClock, TimeCategory};
+use openarc_gpusim::{CostModel, DeviceId, DeviceSet, KernelOutcome, SimClock, TimeCategory};
 use openarc_trace::{EventKind, Journal, JournalPart, TraceEvent, Track};
 use openarc_vm::interp::BasicEnv;
 use openarc_vm::{Handle, VmError};
+
+/// Coherence-journal side labels per device: the primary device keeps the
+/// historical `"gpu"` label; device `d ≥ 1` is `"gpuD"`. A closed table
+/// (rather than `format!`) because journal events carry `&'static str`
+/// sides for the binary codec's interned label table — which also caps the
+/// simulation at [`MAX_DEVICES`] devices.
+const GPU_SIDES: [&str; 8] = [
+    "gpu", "gpu1", "gpu2", "gpu3", "gpu4", "gpu5", "gpu6", "gpu7",
+];
+
+/// Largest simulated device count (the closed `gpuN` side-label table
+/// caps it).
+pub const MAX_DEVICES: usize = GPU_SIDES.len();
 
 /// Transfer and allocation statistics (Figure 1's "total transferred data
 /// size" series).
@@ -20,10 +38,14 @@ pub struct TransferStats {
     pub h2d_bytes: u64,
     /// Bytes moved device→host.
     pub d2h_bytes: u64,
+    /// Bytes moved device→device.
+    pub d2d_bytes: u64,
     /// Number of host→device transfers.
     pub h2d_count: u64,
     /// Number of device→host transfers.
     pub d2h_count: u64,
+    /// Number of device→device transfers.
+    pub d2d_count: u64,
     /// Device allocations.
     pub dev_allocs: u64,
     /// Device frees.
@@ -31,30 +53,31 @@ pub struct TransferStats {
 }
 
 impl TransferStats {
-    /// Total bytes moved in either direction.
+    /// Total bytes moved in any direction.
     pub fn total_bytes(&self) -> u64 {
-        self.h2d_bytes + self.d2h_bytes
+        self.h2d_bytes + self.d2h_bytes + self.d2d_bytes
     }
 
     /// Total number of transfers.
     pub fn total_count(&self) -> u64 {
-        self.h2d_count + self.d2h_count
+        self.h2d_count + self.d2h_count + self.d2d_count
     }
 }
 
 /// The whole simulated platform.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Machine {
     /// Host memory and global slots.
     pub host: BasicEnv,
-    /// The simulated GPU.
-    pub device: Device,
+    /// The simulated GPUs.
+    pub devices: DeviceSet,
     /// Simulated time.
     pub clock: SimClock,
     /// Machine cost parameters.
     pub cost: CostModel,
-    /// Host↔device mapping table.
-    pub present: PresentTable,
+    /// Host↔device mapping tables, one per device, indexed by
+    /// [`DeviceId`].
+    pub presents: Vec<PresentTable>,
     /// Coherence tracker (§III-B).
     pub coherence: Coherence,
     /// Findings of the current profiling run.
@@ -66,20 +89,50 @@ pub struct Machine {
     pub loop_context: Vec<(String, i64)>,
 }
 
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new(BasicEnv::default(), false)
+    }
+}
+
 impl Machine {
-    /// Build a machine around a prepared host environment.
+    /// Build a single-device machine around a prepared host environment.
     pub fn new(host: BasicEnv, check_transfers: bool) -> Machine {
+        Machine::with_devices(host, check_transfers, 1)
+    }
+
+    /// Build a machine simulating `n_devices` GPUs (clamped to
+    /// `1..=`[`MAX_DEVICES`]).
+    pub fn with_devices(host: BasicEnv, check_transfers: bool, n_devices: usize) -> Machine {
+        let n = n_devices.clamp(1, MAX_DEVICES);
         Machine {
             host,
-            device: Device::new(),
+            devices: DeviceSet::new(n),
             clock: SimClock::new(),
             cost: CostModel::default(),
-            present: PresentTable::new(),
-            coherence: Coherence::new(check_transfers),
+            presents: vec![PresentTable::new(); n],
+            coherence: Coherence::with_devices(check_transfers, n),
             report: Report::default(),
             stats: TransferStats::default(),
             loop_context: Vec::new(),
         }
+    }
+
+    /// The primary device's present table.
+    pub fn present(&self) -> &PresentTable {
+        &self.presents[0]
+    }
+
+    /// Device `d`'s present table.
+    pub fn present_on(&self, d: DeviceId) -> &PresentTable {
+        &self.presents[d.0 as usize]
+    }
+
+    /// The first device `h` is still mapped on, if any (scan in id order).
+    pub fn present_anywhere(&self, h: Handle) -> Option<DeviceId> {
+        (0..self.presents.len())
+            .map(|i| DeviceId(i as u32))
+            .find(|d| self.presents[d.0 as usize].contains(h))
     }
 
     /// Attach an event journal. The machine writes through a buffered
@@ -129,13 +182,18 @@ impl Machine {
         }
     }
 
-    fn coh_snapshot(&self, h: Handle) -> Option<(St, St)> {
-        self.coherence.state(h).map(|v| (v.cpu, v.gpu))
+    fn coh_snapshot(&self, h: Handle) -> Option<(St, Vec<St>)> {
+        self.coherence.state(h).map(|v| (v.cpu, v.gpus().to_vec()))
     }
 
     /// Journal the coherence transitions between `before` (a
     /// [`Machine::coh_snapshot`] taken before the state change) and now.
-    fn emit_coherence_diff(&mut self, h: Handle, before: Option<(St, St)>, cause: &'static str) {
+    fn emit_coherence_diff(
+        &mut self,
+        h: Handle,
+        before: Option<(St, Vec<St>)>,
+        cause: &'static str,
+    ) {
         if !self.clock.journal.is_enabled() {
             return;
         }
@@ -143,16 +201,23 @@ impl Machine {
             return;
         };
         let var = self.var_label(h);
-        for (side, b, a) in [("cpu", before.0, after.0), ("gpu", before.1, after.1)] {
+        let mut changed: Vec<(&'static str, St, St)> = Vec::new();
+        if before.0 != after.0 {
+            changed.push(("cpu", before.0, after.0));
+        }
+        for (i, (b, a)) in before.1.iter().zip(after.1.iter()).enumerate() {
             if b != a {
-                self.emit(EventKind::Coherence {
-                    var: var.clone(),
-                    side,
-                    from: Self::st_name(b),
-                    to: Self::st_name(a),
-                    cause,
-                });
+                changed.push((GPU_SIDES[i], *b, *a));
             }
+        }
+        for (side, b, a) in changed {
+            self.emit(EventKind::Coherence {
+                var: var.clone(),
+                side,
+                from: Self::st_name(b),
+                to: Self::st_name(a),
+                cause,
+            });
         }
     }
 
@@ -196,17 +261,42 @@ impl Machine {
         });
     }
 
-    /// Ensure `host_h` is mapped on the device; allocates (and charges the
-    /// clock) when absent. Returns (device handle, newly_mapped).
+    /// Ensure `host_h` is mapped on the primary device; allocates (and
+    /// charges the clock) when absent. Returns (device handle,
+    /// newly_mapped).
     pub fn map_to_device(&mut self, host_h: Handle) -> Result<(Handle, bool), VmError> {
-        if let Some(dev) = self.present.device_of(host_h) {
-            self.present.retain(host_h)?;
+        self.map_to_device_on(DeviceId::PRIMARY, host_h)
+    }
+
+    /// [`Machine::map_to_device`] targeting device `dev`.
+    pub fn map_to_device_on(
+        &mut self,
+        dev: DeviceId,
+        host_h: Handle,
+    ) -> Result<(Handle, bool), VmError> {
+        self.map_to_device_on_queue(dev, host_h, None)
+    }
+
+    /// [`Machine::map_to_device_on`] with the allocation charged as
+    /// stream-ordered work on `queue` (the `cudaMallocAsync` model: the
+    /// device runtime services the allocation on the stream, the host
+    /// does not block). `None` keeps the synchronous host-blocking charge
+    /// of the plain mapping path.
+    pub fn map_to_device_on_queue(
+        &mut self,
+        dev: DeviceId,
+        host_h: Handle,
+        queue: Option<i64>,
+    ) -> Result<(Handle, bool), VmError> {
+        let di = dev.0 as usize;
+        if let Some(dev_h) = self.presents[di].device_of(host_h) {
+            self.presents[di].retain(host_h)?;
             if self.clock.journal.is_enabled() {
                 self.emit(EventKind::PresentHit {
                     var: self.var_label(host_h),
                 });
             }
-            return Ok((dev, false));
+            return Ok((dev_h, false));
         }
         let (elem, len, label, bytes) = {
             let b = self.host.mem.get(host_h)?;
@@ -215,22 +305,47 @@ impl Machine {
         if self.clock.journal.is_enabled() {
             self.emit(EventKind::PresentMiss { var: label.clone() });
         }
-        let dev = self.device.mem.alloc(elem, len, label.clone());
-        self.present.insert(host_h, dev, label.clone())?;
+        let dev_h = self
+            .devices
+            .get_mut(dev)
+            .mem
+            .alloc(elem, len, label.clone());
+        self.presents[di].insert(host_h, dev_h, label.clone())?;
         self.coherence.track(host_h, label.clone());
-        self.clock
-            .advance(TimeCategory::GpuMemAlloc, self.cost.alloc_us);
         self.stats.dev_allocs += 1;
-        if self.clock.journal.is_enabled() {
-            self.emit(EventKind::DevAlloc { var: label, bytes });
+        match queue {
+            Some(q) => {
+                let ts = self.clock.enqueue_async_on(dev, q, self.cost.alloc_us);
+                if self.clock.journal.is_enabled() {
+                    self.clock.journal.emit(TraceEvent {
+                        ts_us: ts,
+                        dur_us: self.cost.alloc_us,
+                        track: Track::Queue { dev: dev.0, id: q },
+                        kind: EventKind::DevAlloc { var: label, bytes },
+                    });
+                }
+            }
+            None => {
+                self.clock
+                    .advance(TimeCategory::GpuMemAlloc, self.cost.alloc_us);
+                if self.clock.journal.is_enabled() {
+                    self.emit(EventKind::DevAlloc { var: label, bytes });
+                }
+            }
         }
-        Ok((dev, true))
+        Ok((dev_h, true))
     }
 
-    /// Release one region reference; frees the device mirror at zero.
+    /// Release one region reference; frees the primary-device mirror at
+    /// zero.
     pub fn unmap_from_device(&mut self, host_h: Handle) -> Result<(), VmError> {
-        if let Some(dev) = self.present.release(host_h)? {
-            self.device.mem.free(dev)?;
+        self.unmap_from_device_on(DeviceId::PRIMARY, host_h)
+    }
+
+    /// [`Machine::unmap_from_device`] targeting device `dev`.
+    pub fn unmap_from_device_on(&mut self, dev: DeviceId, host_h: Handle) -> Result<(), VmError> {
+        if let Some(dev_h) = self.presents[dev.0 as usize].release(host_h)? {
+            self.devices.get_mut(dev).mem.free(dev_h)?;
             self.clock
                 .advance(TimeCategory::GpuMemFree, self.cost.free_us);
             self.stats.dev_frees += 1;
@@ -241,13 +356,14 @@ impl Machine {
             }
             // Deallocation makes the device copy stale (paper §III-B).
             let before = self.coh_snapshot(host_h);
-            self.coherence.reset_status(host_h, DevSide::Gpu, St::Stale);
+            self.coherence
+                .reset_status_at(host_h, Loc::Dev(dev), St::Stale);
             self.emit_coherence_diff(host_h, before, "dealloc");
         }
         Ok(())
     }
 
-    /// Copy host → device. `site` names the transfer for reports;
+    /// Copy host → primary device. `site` names the transfer for reports;
     /// `queue` makes it asynchronous.
     pub fn copy_to_device(
         &mut self,
@@ -268,22 +384,33 @@ impl Machine {
         queue: Option<i64>,
         name: Option<&str>,
     ) -> Result<(), VmError> {
-        let dev = self
-            .present
-            .device_of(host_h)
-            .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyin")))?;
-        let (host_mem, dev_mem) = (&self.host.mem, &mut self.device.mem);
-        dev_mem.get_mut(dev)?.copy_from(host_mem.get(host_h)?)?;
-        self.account_to_device(host_h, site, queue, name)
+        self.copy_to_device_named_on(DeviceId::PRIMARY, host_h, site, queue, name)
     }
 
-    /// The accounting half of [`Machine::copy_to_device_named`] — clock
-    /// charge, transfer stats, journal events, coherence transition — with
-    /// no bytes moved. The verified-launch pipeline performs the raw byte
-    /// copies on a worker thread (they have no observable effect on the
-    /// simulated machine) and then replays the accounting here on the main
-    /// thread in a fixed order, so the pair is indistinguishable from a
-    /// plain [`Machine::copy_to_device`] call.
+    /// [`Machine::copy_to_device_named`] targeting device `dev`.
+    pub fn copy_to_device_named_on(
+        &mut self,
+        dev: DeviceId,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
+        let dev_h = self.presents[dev.0 as usize]
+            .device_of(host_h)
+            .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyin")))?;
+        let (host_mem, dev_mem) = (&self.host.mem, &mut self.devices.get_mut(dev).mem);
+        dev_mem.get_mut(dev_h)?.copy_from(host_mem.get(host_h)?)?;
+        self.account_to_device_on(dev, host_h, site, queue, name)
+    }
+
+    /// The accounting half of a host→device copy — clock charge, transfer
+    /// stats, journal events, coherence transition — with no bytes moved.
+    /// The verified-launch pipeline performs the raw byte copies on a
+    /// worker thread (they have no observable effect on the simulated
+    /// machine) and then replays the accounting here on the main thread in
+    /// a fixed order, so the pair is indistinguishable from a plain
+    /// [`Machine::copy_to_device`] call.
     pub fn account_to_device(
         &mut self,
         host_h: Handle,
@@ -291,23 +418,37 @@ impl Machine {
         queue: Option<i64>,
         name: Option<&str>,
     ) -> Result<(), VmError> {
+        self.account_to_device_on(DeviceId::PRIMARY, host_h, site, queue, name)
+    }
+
+    /// [`Machine::account_to_device`] targeting device `dev`.
+    pub fn account_to_device_on(
+        &mut self,
+        dev: DeviceId,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
         self.track_handle(host_h);
-        self.present
+        self.presents[dev.0 as usize]
             .device_of(host_h)
             .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyin")))?;
         let bytes = self.host.mem.get(host_h)?.size_bytes();
-        let (ts, dt, track) = self.charge_transfer(bytes, queue);
+        let (ts, dt, track) = self.charge_transfer(bytes, dev, queue);
         self.stats.h2d_bytes += bytes;
         self.stats.h2d_count += 1;
         self.emit_transfer(host_h, name, site, ts, dt, track, bytes, true);
         let before = self.coh_snapshot(host_h);
-        let diag = self.coherence.on_transfer(host_h, DevSide::Gpu);
+        let diag = self
+            .coherence
+            .on_transfer_between(host_h, Loc::Cpu, Loc::Dev(dev));
         self.emit_coherence_diff(host_h, before, "transfer");
         self.transfer_issues(diag, host_h, site, Direction::ToDevice, name);
         Ok(())
     }
 
-    /// Copy device → host.
+    /// Copy primary device → host.
     pub fn copy_to_host(
         &mut self,
         host_h: Handle,
@@ -325,32 +466,92 @@ impl Machine {
         queue: Option<i64>,
         name: Option<&str>,
     ) -> Result<(), VmError> {
+        self.copy_to_host_named_on(DeviceId::PRIMARY, host_h, site, queue, name)
+    }
+
+    /// [`Machine::copy_to_host_named`] reading back from device `dev`.
+    pub fn copy_to_host_named_on(
+        &mut self,
+        dev: DeviceId,
+        host_h: Handle,
+        site: &str,
+        queue: Option<i64>,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
         self.track_handle(host_h);
-        let dev = self
-            .present
+        let dev_h = self.presents[dev.0 as usize]
             .device_of(host_h)
             .ok_or_else(|| VmError::Internal(format!("{host_h} not present for copyout")))?;
-        let (dev_mem, host_mem) = (&self.device.mem, &mut self.host.mem);
-        let src = dev_mem.get(dev)?;
+        let (dev_mem, host_mem) = (&self.devices.get(dev).mem, &mut self.host.mem);
+        let src = dev_mem.get(dev_h)?;
         host_mem.get_mut(host_h)?.copy_from(src)?;
         let bytes = src.size_bytes();
-        let (ts, dt, track) = self.charge_transfer(bytes, queue);
+        let (ts, dt, track) = self.charge_transfer(bytes, dev, queue);
         self.stats.d2h_bytes += bytes;
         self.stats.d2h_count += 1;
         self.emit_transfer(host_h, name, site, ts, dt, track, bytes, false);
         let before = self.coh_snapshot(host_h);
-        let diag = self.coherence.on_transfer(host_h, DevSide::Cpu);
+        let diag = self
+            .coherence
+            .on_transfer_between(host_h, Loc::Dev(dev), Loc::Cpu);
         self.emit_coherence_diff(host_h, before, "transfer");
         self.transfer_issues(diag, host_h, site, Direction::ToHost, name);
         Ok(())
     }
 
+    /// Copy a mapped buffer from device `src` to device `dst` (both must
+    /// hold a mirror of `host_h`). Charged like any other transfer; the
+    /// span lands on `dst`'s queue when `queue` is given.
+    pub fn copy_device_to_device(
+        &mut self,
+        host_h: Handle,
+        src: DeviceId,
+        dst: DeviceId,
+        site: &str,
+        queue: Option<i64>,
+    ) -> Result<(), VmError> {
+        self.track_handle(host_h);
+        let src_h = self.presents[src.0 as usize]
+            .device_of(host_h)
+            .ok_or_else(|| VmError::Internal(format!("{host_h} not present on {src} for d2d")))?;
+        let dst_h = self.presents[dst.0 as usize]
+            .device_of(host_h)
+            .ok_or_else(|| VmError::Internal(format!("{host_h} not present on {dst} for d2d")))?;
+        let buf = self.devices.get(src).mem.get(src_h)?.clone();
+        let bytes = buf.size_bytes();
+        self.devices
+            .get_mut(dst)
+            .mem
+            .get_mut(dst_h)?
+            .copy_from(&buf)?;
+        let (ts, dt, track) = self.charge_transfer(bytes, dst, queue);
+        self.stats.d2d_bytes += bytes;
+        self.stats.d2d_count += 1;
+        self.emit_transfer(host_h, None, site, ts, dt, track, bytes, true);
+        let before = self.coh_snapshot(host_h);
+        let diag = self
+            .coherence
+            .on_transfer_between(host_h, Loc::Dev(src), Loc::Dev(dst));
+        self.emit_coherence_diff(host_h, before, "transfer");
+        self.transfer_issues(diag, host_h, site, Direction::ToDevice, None);
+        Ok(())
+    }
+
     /// Charge a transfer to the clock. Returns the span's simulated start
     /// time, duration and track for journaling.
-    fn charge_transfer(&mut self, bytes: u64, queue: Option<i64>) -> (f64, f64, Track) {
+    fn charge_transfer(
+        &mut self,
+        bytes: u64,
+        dev: DeviceId,
+        queue: Option<i64>,
+    ) -> (f64, f64, Track) {
         let dt = self.cost.transfer_time(bytes);
         match queue {
-            Some(q) => (self.clock.enqueue_async(q, dt), dt, Track::Queue(q)),
+            Some(q) => (
+                self.clock.enqueue_async_on(dev, q, dt),
+                dt,
+                Track::Queue { dev: dev.0, id: q },
+            ),
             None => {
                 let ts = self.clock.now();
                 self.clock.advance(TimeCategory::MemTransfer, dt);
@@ -423,10 +624,16 @@ impl Machine {
         }
     }
 
-    /// `check_read` runtime call.
+    /// `check_read` runtime call (two-sided form; `Gpu` is the primary
+    /// device).
     pub fn check_read(&mut self, h: Handle, side: DevSide, site: &str) {
+        self.check_read_at(h, side.loc(), site);
+    }
+
+    /// [`Machine::check_read`] at an explicit location.
+    pub fn check_read_at(&mut self, h: Handle, loc: Loc, site: &str) {
         self.track_handle(h);
-        match self.coherence.check_read(h, side) {
+        match self.coherence.check_read_at(h, loc) {
             ReadDiag::Ok => {}
             ReadDiag::Missing => self.issue(IssueKind::Missing, h, site, None),
             ReadDiag::MayMissing => self.issue(IssueKind::MayMissing, h, site, None),
@@ -435,9 +642,14 @@ impl Machine {
 
     /// `check_write` runtime call (also applies the write's state change).
     pub fn check_write(&mut self, h: Handle, side: DevSide, total: bool, site: &str) {
+        self.check_write_at(h, side.loc(), total, site);
+    }
+
+    /// [`Machine::check_write`] at an explicit location.
+    pub fn check_write_at(&mut self, h: Handle, loc: Loc, total: bool, site: &str) {
         self.track_handle(h);
         let before = self.coh_snapshot(h);
-        let diag = self.coherence.on_write(h, side, total);
+        let diag = self.coherence.on_write_at(h, loc, total);
         self.emit_coherence_diff(h, before, "write");
         match diag {
             ReadDiag::Ok => {}
@@ -446,7 +658,7 @@ impl Machine {
         }
     }
 
-    /// Charge a kernel execution to the clock.
+    /// Charge a kernel execution to the clock (primary device).
     pub fn charge_kernel(&mut self, outcome: &KernelOutcome, queue: Option<i64>) {
         self.charge_kernel_named("kernel", outcome, queue);
     }
@@ -454,6 +666,17 @@ impl Machine {
     /// [`Machine::charge_kernel`] journaling the launch and execution span
     /// under the kernel's name.
     pub fn charge_kernel_named(&mut self, name: &str, outcome: &KernelOutcome, queue: Option<i64>) {
+        self.charge_kernel_named_on(name, outcome, DeviceId::PRIMARY, queue);
+    }
+
+    /// [`Machine::charge_kernel_named`] on device `dev`'s queue.
+    pub fn charge_kernel_named_on(
+        &mut self,
+        name: &str,
+        outcome: &KernelOutcome,
+        dev: DeviceId,
+        queue: Option<i64>,
+    ) {
         let dt = self
             .cost
             .kernel_time(outcome.total_instrs, outcome.max_thread_instrs);
@@ -462,10 +685,14 @@ impl Machine {
                 kernel: name.to_string(),
                 n_threads: outcome.n_threads,
                 queue,
+                dev: dev.0,
             });
         }
         let (ts, track) = match queue {
-            Some(q) => (self.clock.enqueue_async(q, dt), Track::Queue(q)),
+            Some(q) => (
+                self.clock.enqueue_async_on(dev, q, dt),
+                Track::Queue { dev: dev.0, id: q },
+            ),
             None => {
                 let ts = self.clock.now();
                 self.clock.advance(TimeCategory::KernelExec, dt);
@@ -490,11 +717,16 @@ impl Machine {
         self.clock.advance(TimeCategory::CpuTime, dt);
     }
 
-    /// Resolve the device handle for a mapped host buffer.
+    /// Resolve the primary-device handle for a mapped host buffer.
     pub fn device_of(&self, host_h: Handle) -> Result<Handle, VmError> {
-        self.present
+        self.device_of_on(DeviceId::PRIMARY, host_h)
+    }
+
+    /// Resolve the device handle for a host buffer mapped on `dev`.
+    pub fn device_of_on(&self, dev: DeviceId, host_h: Handle) -> Result<Handle, VmError> {
+        self.presents[dev.0 as usize]
             .device_of(host_h)
-            .ok_or_else(|| VmError::Internal(format!("{host_h} is not present on the device")))
+            .ok_or_else(|| VmError::Internal(format!("{host_h} is not present on {dev}")))
     }
 }
 
@@ -513,6 +745,15 @@ mod tests {
         (Machine::new(host, true), h)
     }
 
+    fn machine_with_buffer_on(len: usize, n_devices: usize) -> (Machine, Handle) {
+        let mut host = BasicEnv {
+            mem: openarc_vm::MemSpace::new(),
+            ..Default::default()
+        };
+        let h = host.mem.alloc(ScalarTy::Double, len, "a");
+        (Machine::with_devices(host, true, n_devices), h)
+    }
+
     #[test]
     fn map_copy_roundtrip() {
         let (mut m, h) = machine_with_buffer(8);
@@ -522,9 +763,16 @@ mod tests {
         let (dev, new) = m.map_to_device(h).unwrap();
         assert!(new);
         m.copy_to_device(h, "enter", None).unwrap();
-        assert_eq!(m.device.mem.load(dev, 3).unwrap(), Value::F64(3.0));
+        assert_eq!(
+            m.devices.primary().mem.load(dev, 3).unwrap(),
+            Value::F64(3.0)
+        );
         // Mutate on device, copy back.
-        m.device.mem.store(dev, 3, Value::F64(99.0)).unwrap();
+        m.devices
+            .primary_mut()
+            .mem
+            .store(dev, 3, Value::F64(99.0))
+            .unwrap();
         m.coherence.on_write(h, DevSide::Gpu, false);
         m.copy_to_host(h, "exit", None).unwrap();
         assert_eq!(m.host.mem.load(h, 3).unwrap(), Value::F64(99.0));
@@ -550,9 +798,9 @@ mod tests {
         assert!(new1);
         assert!(!new2);
         m.unmap_from_device(h).unwrap();
-        assert!(m.present.contains(h));
+        assert!(m.present().contains(h));
         m.unmap_from_device(h).unwrap();
-        assert!(!m.present.contains(h));
+        assert!(!m.present().contains(h));
         assert_eq!(m.stats.dev_allocs, 1);
         assert_eq!(m.stats.dev_frees, 1);
     }
@@ -600,7 +848,67 @@ mod tests {
         m.unmap_from_device(h).unwrap();
         // Re-map: coherence remembers the device copy is stale.
         m.map_to_device(h).unwrap();
-        assert_eq!(m.coherence.state(h).unwrap().gpu, St::Stale);
+        assert_eq!(m.coherence.state(h).unwrap().gpu(), St::Stale);
+    }
+
+    #[test]
+    fn per_device_mappings_are_independent() {
+        let d1 = DeviceId(1);
+        let (mut m, h) = machine_with_buffer_on(8, 2);
+        let (_, new0) = m.map_to_device_on(DeviceId::PRIMARY, h).unwrap();
+        let (_, new1) = m.map_to_device_on(d1, h).unwrap();
+        assert!(new0 && new1, "each device allocates its own mirror");
+        assert_eq!(m.stats.dev_allocs, 2);
+        assert!(m.present_on(DeviceId::PRIMARY).contains(h));
+        assert!(m.present_on(d1).contains(h));
+        m.unmap_from_device_on(d1, h).unwrap();
+        assert!(m.present_on(DeviceId::PRIMARY).contains(h));
+        assert!(!m.present_on(d1).contains(h));
+        assert_eq!(m.present_anywhere(h), Some(DeviceId::PRIMARY));
+    }
+
+    #[test]
+    fn d2d_copy_moves_bytes_and_accounts() {
+        let d1 = DeviceId(1);
+        let (mut m, h) = machine_with_buffer_on(4, 2);
+        m.host.mem.store(h, 2, Value::F64(7.0)).unwrap();
+        let (dev0, _) = m.map_to_device_on(DeviceId::PRIMARY, h).unwrap();
+        let (dev1, _) = m.map_to_device_on(d1, h).unwrap();
+        m.copy_to_device_named_on(DeviceId::PRIMARY, h, "enter", None, None)
+            .unwrap();
+        m.devices
+            .primary_mut()
+            .mem
+            .store(dev0, 2, Value::F64(42.0))
+            .unwrap();
+        m.check_write_at(h, Loc::Dev(DeviceId::PRIMARY), false, "k0");
+        m.copy_device_to_device(h, DeviceId::PRIMARY, d1, "d2d0", None)
+            .unwrap();
+        assert_eq!(
+            m.devices.get(d1).mem.load(dev1, 2).unwrap(),
+            Value::F64(42.0)
+        );
+        assert_eq!(m.stats.d2d_count, 1);
+        assert_eq!(m.stats.d2d_bytes, 32);
+        // Destination device copy is fresh now; host still stale.
+        assert_eq!(m.coherence.state(h).unwrap().gpu_on(d1), St::NotStale);
+        assert_eq!(m.coherence.state(h).unwrap().cpu, St::Stale);
+    }
+
+    #[test]
+    fn write_on_one_device_stales_all_other_locations() {
+        let d1 = DeviceId(1);
+        let (mut m, h) = machine_with_buffer_on(4, 2);
+        m.map_to_device_on(DeviceId::PRIMARY, h).unwrap();
+        m.map_to_device_on(d1, h).unwrap();
+        m.check_write_at(h, Loc::Dev(d1), false, "k0");
+        let v = m.coherence.state(h).unwrap();
+        assert_eq!(v.cpu, St::Stale);
+        assert_eq!(v.gpu_on(DeviceId::PRIMARY), St::Stale);
+        assert_eq!(v.gpu_on(d1), St::NotStale);
+        // A read on the primary device now reports a missing transfer.
+        m.check_read_at(h, Loc::Dev(DeviceId::PRIMARY), "k1");
+        assert_eq!(m.report.count(IssueKind::Missing), 1);
     }
 
     #[test]
@@ -662,6 +970,29 @@ mod tests {
     }
 
     #[test]
+    fn secondary_device_coherence_events_use_gpu_n_sides() {
+        use openarc_trace::EventKind as Ev;
+        let d1 = DeviceId(1);
+        let (mut m, h) = machine_with_buffer_on(4, 2);
+        m.set_journal(Journal::enabled());
+        m.map_to_device_on(DeviceId::PRIMARY, h).unwrap();
+        m.map_to_device_on(d1, h).unwrap();
+        m.check_write_at(h, Loc::Dev(DeviceId::PRIMARY), false, "k0");
+        m.flush_journal();
+        let events = m.journal().snapshot();
+        let sides: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                Ev::Coherence {
+                    side, to: "stale", ..
+                } => Some(*side),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sides, vec!["cpu", "gpu1"], "{events:?}");
+    }
+
+    #[test]
     fn disabled_journal_changes_nothing() {
         let (mut m, h) = machine_with_buffer(8);
         m.map_to_device(h).unwrap();
@@ -685,5 +1016,31 @@ mod tests {
         let before = m.clock.now();
         m.charge_kernel(&out, Some(2));
         assert_eq!(m.clock.now(), before, "async kernel does not advance host");
+    }
+
+    #[test]
+    fn async_kernels_on_distinct_devices_overlap() {
+        let (mut m, _) = machine_with_buffer_on(1, 2);
+        m.set_journal(Journal::enabled());
+        let out = KernelOutcome {
+            total_instrs: 1_000_000,
+            max_thread_instrs: 1000,
+            races: vec![],
+            n_threads: 1000,
+        };
+        m.charge_kernel_named_on("ka", &out, DeviceId::PRIMARY, Some(1));
+        m.charge_kernel_named_on("kb", &out, DeviceId(1), Some(1));
+        m.flush_journal();
+        let spans: Vec<(f64, f64, Track)> = m
+            .journal()
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::KernelComplete { .. }))
+            .map(|e| (e.ts_us, e.dur_us, e.track))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Same start time on independent device queues → overlapping spans.
+        assert_eq!(spans[0].0, spans[1].0);
+        assert_ne!(spans[0].2, spans[1].2);
     }
 }

@@ -345,7 +345,12 @@ pub fn write_event(w: &mut Writer, ev: &TraceEvent) {
     w.put_u8(t);
     w.put_f64(ev.ts_us);
     w.put_f64(ev.dur_us);
+    // Track: option tag over the queue id, then (present only for queue
+    // tracks) the owning device id.
     w.put_opt_i64(ev.track.queue());
+    if let Some(dev) = ev.track.device() {
+        w.put_u32(dev);
+    }
     match &ev.kind {
         EventKind::Slice { cat } => {
             w.put_u8(Category::ALL.iter().position(|c| c == cat).unwrap() as u8);
@@ -354,10 +359,12 @@ pub fn write_event(w: &mut Writer, ev: &TraceEvent) {
             kernel,
             n_threads,
             queue,
+            dev,
         } => {
             w.put_str(kernel);
             w.put_u64(*n_threads);
             w.put_opt_i64(*queue);
+            w.put_u32(*dev);
         }
         EventKind::KernelComplete { kernel } => w.put_str(kernel),
         EventKind::DevAlloc { var, bytes } => {
@@ -434,7 +441,10 @@ pub fn read_event(r: &mut Reader<'_>) -> Result<TraceEvent, String> {
     let dur_us = r.f64()?;
     let track = match r.opt_i64()? {
         None => Track::Host,
-        Some(q) => Track::Queue(q),
+        Some(q) => Track::Queue {
+            dev: r.u32()?,
+            id: q,
+        },
     };
     let kind = match t {
         tag::SLICE => {
@@ -449,6 +459,7 @@ pub fn read_event(r: &mut Reader<'_>) -> Result<TraceEvent, String> {
             kernel: r.string()?,
             n_threads: r.u64()?,
             queue: r.opt_i64()?,
+            dev: r.u32()?,
         },
         tag::COMPLETE => EventKind::KernelComplete {
             kernel: r.string()?,
@@ -542,17 +553,24 @@ mod tests {
                 },
             ),
             mk(
-                Track::Queue(2),
+                Track::queue0(2),
                 EventKind::KernelLaunch {
                     kernel: "k0".into(),
                     n_threads: 64,
                     queue: Some(2),
+                    dev: 0,
                 },
             ),
             mk(
-                Track::Queue(-3),
+                Track::Queue { dev: 0, id: -3 },
                 EventKind::KernelComplete {
                     kernel: "k0".into(),
+                },
+            ),
+            mk(
+                Track::Queue { dev: 3, id: 1 },
+                EventKind::KernelComplete {
+                    kernel: "k1".into(),
                 },
             ),
             mk(

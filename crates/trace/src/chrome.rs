@@ -6,8 +6,10 @@
 //!
 //! * timestamps/durations are the simulator's microseconds, unchanged
 //!   (`ts`/`dur` are specified in µs);
-//! * the host timeline is `tid 0`; each async queue gets its own `tid`
-//!   (`1 + rank` in sorted queue order), named via `thread_name` metadata;
+//! * the host timeline is `tid 0`; each `(device, queue)` pair gets its
+//!   own `tid` (`1 + rank` in sorted `(device, queue)` order), named via
+//!   `thread_name` metadata — `async queue N` on the primary device,
+//!   `devD async queue N` on others;
 //! * slices and spans become `"X"` events; everything else becomes a
 //!   thread-scoped `"i"` instant;
 //! * the payload (bytes, direction, coherence states, verdicts…) lands in
@@ -19,12 +21,12 @@ use crate::json::Json;
 /// The `pid` every event is tagged with.
 const PID: u64 = 1;
 
-fn tid_of(track: Track, queue_tids: &[(i64, u64)]) -> u64 {
-    match track {
-        Track::Host => 0,
-        Track::Queue(q) => queue_tids
+fn tid_of(track: Track, queue_tids: &[((u32, i64), u64)]) -> u64 {
+    match track.dev_queue() {
+        None => 0,
+        Some(key) => queue_tids
             .iter()
-            .find(|(id, _)| *id == q)
+            .find(|(k, _)| *k == key)
             .map(|(_, t)| *t)
             .unwrap_or(999),
     }
@@ -37,11 +39,18 @@ fn args_of(ev: &TraceEvent) -> Json {
             kernel,
             n_threads,
             queue,
-        } => Json::obj(vec![
-            ("kernel", Json::from(kernel.as_str())),
-            ("n_threads", Json::from(*n_threads)),
-            ("queue", queue.map(Json::I64).unwrap_or(Json::Null)),
-        ]),
+            dev,
+        } => {
+            let mut pairs = vec![
+                ("kernel", Json::from(kernel.as_str())),
+                ("n_threads", Json::from(*n_threads)),
+                ("queue", queue.map(Json::I64).unwrap_or(Json::Null)),
+            ];
+            if *dev != 0 {
+                pairs.push(("device", Json::from(u64::from(*dev))));
+            }
+            Json::obj(pairs)
+        }
         EventKind::KernelComplete { kernel } => {
             Json::obj(vec![("kernel", Json::from(kernel.as_str()))])
         }
@@ -128,21 +137,28 @@ fn meta(name: &str, tid: u64, value: &str) -> Json {
 
 /// Render events as a Chrome `trace_event` JSON document.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
-    // Stable queue → tid assignment: sorted queue ids, starting at tid 1.
-    let mut queues: Vec<i64> = events.iter().filter_map(|e| e.track.queue()).collect();
+    // Stable (device, queue) → tid assignment: sorted keys, starting at
+    // tid 1 — so a single-device trace lays out exactly as before queues
+    // grew a device dimension.
+    let mut queues: Vec<(u32, i64)> = events.iter().filter_map(|e| e.track.dev_queue()).collect();
     queues.sort_unstable();
     queues.dedup();
-    let queue_tids: Vec<(i64, u64)> = queues
+    let queue_tids: Vec<((u32, i64), u64)> = queues
         .iter()
         .enumerate()
-        .map(|(i, q)| (*q, i as u64 + 1))
+        .map(|(i, key)| (*key, i as u64 + 1))
         .collect();
 
     let mut out: Vec<Json> = Vec::with_capacity(events.len() + queue_tids.len() + 2);
     out.push(meta("process_name", 0, "openarc simulated machine"));
     out.push(meta("thread_name", 0, "host"));
-    for (q, tid) in &queue_tids {
-        out.push(meta("thread_name", *tid, &format!("async queue {q}")));
+    for ((dev, q), tid) in &queue_tids {
+        let name = if *dev == 0 {
+            format!("async queue {q}")
+        } else {
+            format!("dev{dev} async queue {q}")
+        };
+        out.push(meta("thread_name", *tid, &name));
     }
     for ev in events {
         let tid = tid_of(ev.track, &queue_tids);
@@ -221,13 +237,13 @@ mod tests {
             ev(
                 0.0,
                 3.0,
-                Track::Queue(4),
+                Track::queue0(4),
                 EventKind::KernelComplete { kernel: "k".into() },
             ),
             ev(
                 0.0,
                 3.0,
-                Track::Queue(1),
+                Track::queue0(1),
                 EventKind::KernelComplete { kernel: "k".into() },
             ),
         ];
@@ -238,6 +254,32 @@ mod tests {
         let i1 = s.find("async queue 1").unwrap();
         let i4 = s.find("async queue 4").unwrap();
         assert!(i1 < i4);
+    }
+
+    #[test]
+    fn each_device_queue_pair_gets_its_own_lane() {
+        let events = vec![
+            ev(
+                0.0,
+                3.0,
+                Track::Queue { dev: 1, id: 1 },
+                EventKind::KernelComplete { kernel: "a".into() },
+            ),
+            ev(
+                0.0,
+                3.0,
+                Track::queue0(1),
+                EventKind::KernelComplete { kernel: "b".into() },
+            ),
+        ];
+        let s = chrome_trace(&events);
+        // Primary-device lane keeps its legacy name; device 1 is named.
+        assert!(s.contains(r#""name": "async queue 1""#), "{s}");
+        assert!(s.contains(r#""name": "dev1 async queue 1""#), "{s}");
+        // (0, 1) sorts before (1, 1) → tids 1 and 2.
+        let i0 = s.find(r#""name": "async queue 1""#).unwrap();
+        let i1 = s.find(r#""name": "dev1 async queue 1""#).unwrap();
+        assert!(i0 < i1);
     }
 
     #[test]

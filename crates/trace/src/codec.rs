@@ -18,8 +18,12 @@ use crate::json::Json;
 
 /// Coherence sides emitted by the runtime. Shared with [`crate::bin`],
 /// whose u8 side codes index into this table (normative order — see
-/// `docs/FORMAT.md`).
-pub const SIDES: &[&str] = &["cpu", "gpu"];
+/// `docs/FORMAT.md`). `"gpu"` is the primary device; `"gpuN"` names
+/// device N of a multi-device run (the simulator caps device counts at
+/// 8, so the table is closed).
+pub const SIDES: &[&str] = &[
+    "cpu", "gpu", "gpu1", "gpu2", "gpu3", "gpu4", "gpu5", "gpu6", "gpu7",
+];
 /// Coherence states (the paper's three-state protocol). Binary codes
 /// index into this table.
 pub const STATES: &[&str] = &["notstale", "maystale", "stale"];
@@ -91,8 +95,13 @@ pub fn event_to_json(ev: &TraceEvent) -> Json {
         ("ts", f64_to_json(ev.ts_us)),
         ("dur", f64_to_json(ev.dur_us)),
     ];
-    if let Track::Queue(q) = ev.track {
-        pairs.push(("q", Json::I64(q)));
+    if let Track::Queue { dev, id } = ev.track {
+        pairs.push(("q", Json::I64(id)));
+        // Device 0 is implicit so primary-device journals encode exactly
+        // as they did before queues grew a device dimension.
+        if dev != 0 {
+            pairs.push(("qdev", Json::from(u64::from(dev))));
+        }
     }
     let (tag, mut fields): (&str, Vec<(&str, Json)>) = match &ev.kind {
         EventKind::Slice { cat } => ("slice", vec![("cat", Json::from(cat.label()))]),
@@ -100,14 +109,18 @@ pub fn event_to_json(ev: &TraceEvent) -> Json {
             kernel,
             n_threads,
             queue,
-        } => (
-            "launch",
-            vec![
+            dev,
+        } => {
+            let mut fields = vec![
                 ("kernel", Json::from(kernel.as_str())),
                 ("n_threads", Json::from(*n_threads)),
                 ("queue", queue.map(Json::I64).unwrap_or(Json::Null)),
-            ],
-        ),
+            ];
+            if *dev != 0 {
+                fields.push(("dev", Json::from(u64::from(*dev))));
+            }
+            ("launch", fields)
+        }
         EventKind::KernelComplete { kernel } => {
             ("complete", vec![("kernel", Json::from(kernel.as_str()))])
         }
@@ -205,10 +218,19 @@ pub fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
     let ts_us = f64_field(v, "ts")?;
     let dur_us = f64_field(v, "dur")?;
     let track = match v.get("q") {
-        Some(q) => Track::Queue(
-            q.as_i64()
+        Some(q) => Track::Queue {
+            dev: match v.get("qdev") {
+                Some(Json::Null) | None => 0,
+                Some(d) => u32::try_from(
+                    d.as_u64()
+                        .ok_or_else(|| "queue device is not an integer".to_string())?,
+                )
+                .map_err(|_| "queue device out of range".to_string())?,
+            },
+            id: q
+                .as_i64()
                 .ok_or_else(|| "queue id is not an integer".to_string())?,
-        ),
+        },
         None => Track::Host,
     };
     let tag = str_field(v, "k")?;
@@ -231,6 +253,14 @@ pub fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
                     q.as_i64()
                         .ok_or_else(|| "launch queue is not an integer".to_string())?,
                 ),
+            },
+            dev: match v.get("dev") {
+                Some(Json::Null) | None => 0,
+                Some(d) => u32::try_from(
+                    d.as_u64()
+                        .ok_or_else(|| "launch device is not an integer".to_string())?,
+                )
+                .map_err(|_| "launch device out of range".to_string())?,
             },
         },
         "complete" => EventKind::KernelComplete {
@@ -327,15 +357,22 @@ mod tests {
                 },
             ),
             mk(
-                Track::Queue(2),
+                Track::queue0(2),
                 EventKind::KernelLaunch {
                     kernel: "k0".into(),
                     n_threads: 64,
                     queue: Some(2),
+                    dev: 0,
                 },
             ),
             mk(
-                Track::Queue(2),
+                Track::queue0(2),
+                EventKind::KernelComplete {
+                    kernel: "k0".into(),
+                },
+            ),
+            mk(
+                Track::Queue { dev: 1, id: 2 },
                 EventKind::KernelComplete {
                     kernel: "k0".into(),
                 },
@@ -409,6 +446,7 @@ mod tests {
                     kernel: "k1".into(),
                     n_threads: 1,
                     queue: None,
+                    dev: 1,
                 },
             ),
         ]
@@ -442,7 +480,7 @@ mod tests {
 
     #[test]
     fn unknown_labels_are_decode_errors() {
-        let mut v = event_to_json(&sample_events()[8]); // coherence
+        let mut v = event_to_json(&sample_events()[9]); // coherence
         if let Json::Obj(pairs) = &mut v {
             for (k, val) in pairs.iter_mut() {
                 if k == "cause" {

@@ -74,16 +74,44 @@ impl fmt::Display for Category {
 pub enum Track {
     /// The host timeline.
     Host,
-    /// An asynchronous device queue.
-    Queue(i64),
+    /// An asynchronous queue on one simulated device. Queues are
+    /// namespaced per device: `(dev, id)` is the timeline identity, and
+    /// the same queue id on two devices names two independent timelines.
+    Queue {
+        /// Device owning the queue (`0` is the primary device).
+        dev: u32,
+        /// Queue id within the device.
+        id: i64,
+    },
 }
 
 impl Track {
-    /// The queue id, if this is a queue track.
+    /// A queue track on the primary device (device 0).
+    pub fn queue0(id: i64) -> Track {
+        Track::Queue { dev: 0, id }
+    }
+
+    /// The queue id, if this is a queue track (any device).
     pub fn queue(self) -> Option<i64> {
         match self {
             Track::Host => None,
-            Track::Queue(q) => Some(q),
+            Track::Queue { id, .. } => Some(id),
+        }
+    }
+
+    /// The device id, if this is a queue track.
+    pub fn device(self) -> Option<u32> {
+        match self {
+            Track::Host => None,
+            Track::Queue { dev, .. } => Some(dev),
+        }
+    }
+
+    /// The `(device, queue)` pair, if this is a queue track.
+    pub fn dev_queue(self) -> Option<(u32, i64)> {
+        match self {
+            Track::Host => None,
+            Track::Queue { dev, id } => Some((dev, id)),
         }
     }
 }
@@ -118,6 +146,8 @@ pub enum EventKind {
         n_threads: u64,
         /// Async queue, if any.
         queue: Option<i64>,
+        /// Device the launch was dispatched to (`0` = primary device).
+        dev: u32,
     },
     /// A kernel's execution span; its end (`ts_us + dur_us`) is the
     /// completion timestamp. Lands on the queue track for async launches.
@@ -163,7 +193,8 @@ pub enum EventKind {
     Coherence {
         /// Variable whose state changed.
         var: String,
-        /// Side that changed: `"cpu"` or `"gpu"`.
+        /// Side that changed: `"cpu"`, `"gpu"` (primary device), or
+        /// `"gpuN"` for device N > 0.
         side: &'static str,
         /// Previous state.
         from: &'static str,

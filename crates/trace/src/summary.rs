@@ -74,8 +74,27 @@ pub struct Summary {
     /// order. Empty unless the journal carries [`EventKind::Cache`] events
     /// from a session with a disk-backed artifact store.
     pub cache: Vec<(&'static str, &'static str, u64)>,
+    /// Per-device activity rows `(device, busy µs, spans, queues)`, sorted
+    /// by device id. Busy time sums the durations of every span journaled
+    /// on one of the device's queue tracks (kernel executions and async
+    /// transfers); `queues` counts the distinct queue ids used. Empty when
+    /// the journal holds no queue-track events.
+    pub devices: Vec<DeviceRow>,
     /// Events summarized.
     pub n_events: usize,
+}
+
+/// Aggregated queue-track activity for one simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRow {
+    /// Device id (`0` is the primary device).
+    pub dev: u32,
+    /// Summed span time on the device's queues, µs.
+    pub busy_us: f64,
+    /// Number of spans.
+    pub spans: u64,
+    /// Distinct queue ids used.
+    pub queues: u64,
 }
 
 /// Digest `events` into per-category totals and per-kernel rows.
@@ -158,6 +177,36 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
             _ => {}
         }
     }
+    // Per-device busy rows from queue-track spans.
+    let mut devices: Vec<DeviceRow> = Vec::new();
+    let mut dev_queues: Vec<(u32, i64)> = Vec::new();
+    for ev in events {
+        let Some((dev, q)) = ev.track.dev_queue() else {
+            continue;
+        };
+        let i = match devices.iter().position(|r| r.dev == dev) {
+            Some(i) => i,
+            None => {
+                devices.push(DeviceRow {
+                    dev,
+                    busy_us: 0.0,
+                    spans: 0,
+                    queues: 0,
+                });
+                devices.len() - 1
+            }
+        };
+        if ev.dur_us > 0.0 {
+            devices[i].busy_us += ev.dur_us;
+            devices[i].spans += 1;
+        }
+        if !dev_queues.contains(&(dev, q)) {
+            dev_queues.push((dev, q));
+            devices[i].queues += 1;
+        }
+    }
+    devices.sort_by_key(|r| r.dev);
+
     // Second pass: transfers and findings attach by report site, which only
     // matches kernels discovered above.
     let names: Vec<String> = kernels.iter().map(|r| r.name.clone()).collect();
@@ -190,6 +239,7 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
         kernels,
         stages,
         cache,
+        devices,
         n_events: events.len(),
     }
 }
@@ -218,6 +268,24 @@ impl fmt::Display for Summary {
             writeln!(f, "disk cache")?;
             for (stage, op, count) in &self.cache {
                 writeln!(f, "  {:<20} {:<8} {:>6}", stage, op, count)?;
+            }
+        }
+        if !self.devices.is_empty() {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "  {:<8} {:>14} {:>8} {:>8}",
+                "device", "busy us", "spans", "queues"
+            )?;
+            for r in &self.devices {
+                writeln!(
+                    f,
+                    "  {:<8} {:>14.3} {:>8} {:>8}",
+                    format!("dev{}", r.dev),
+                    r.busy_us,
+                    r.spans,
+                    r.queues,
+                )?;
             }
         }
         if self.kernels.is_empty() {
@@ -320,6 +388,43 @@ mod tests {
     }
 
     #[test]
+    fn device_rows_aggregate_queue_track_spans() {
+        let span = |dev: u32, id: i64, dur: f64| TraceEvent {
+            ts_us: 0.0,
+            dur_us: dur,
+            track: Track::Queue { dev, id },
+            kind: EventKind::KernelComplete { kernel: "k".into() },
+        };
+        let events = vec![
+            span(1, 1, 4.0),
+            span(0, 1, 2.0),
+            span(0, 2, 3.0),
+            span(0, 1, 1.0),
+        ];
+        let s = summarize(&events);
+        assert_eq!(
+            s.devices,
+            vec![
+                DeviceRow {
+                    dev: 0,
+                    busy_us: 6.0,
+                    spans: 3,
+                    queues: 2
+                },
+                DeviceRow {
+                    dev: 1,
+                    busy_us: 4.0,
+                    spans: 1,
+                    queues: 1
+                },
+            ]
+        );
+        let shown = s.to_string();
+        assert!(shown.contains("dev0"), "{shown}");
+        assert!(shown.contains("dev1"), "{shown}");
+    }
+
+    #[test]
     fn kernels_aggregate_launches_exec_and_verdicts() {
         let mk = |kind| TraceEvent {
             ts_us: 0.0,
@@ -332,11 +437,12 @@ mod tests {
                 kernel: "k0".into(),
                 n_threads: 32,
                 queue: None,
+                dev: 0,
             }),
             TraceEvent {
                 ts_us: 0.0,
                 dur_us: 7.0,
-                track: Track::Queue(1),
+                track: Track::queue0(1),
                 kind: EventKind::KernelComplete {
                     kernel: "k0".into(),
                 },

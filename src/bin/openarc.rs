@@ -75,7 +75,11 @@ fn usage() -> String {
      verify <file.c> [options]  kernel verification; options use the paper's\n\
                                 syntax, e.g. complement=0,kernels=main_kernel0;\n\
                                 compareJobs=<N> fans the comparison stage out\n\
-                                across N workers (bit-identical results)\n\
+                                across N workers (bit-identical results);\n\
+                                dagJobs=<N> keeps up to N verified launches in\n\
+                                flight on the dependency DAG and devices=<N>\n\
+                                spreads independent launches over N simulated\n\
+                                devices (dagJobs=1,devices=1 is the oracle)\n\
      check  <file.c>            memory-transfer verification report\n\
      demote <file.c> <kernel#>  print the memory-transfer-demoted program\n\
      profile <file.c> [flags]   run with the event journal enabled\n\

@@ -1,0 +1,178 @@
+//! Differential tests of the dependency-DAG verified executor against the
+//! sequential oracle, across the whole benchmark suite.
+//!
+//! The refactor's central invariant: `dagJobs=1, devices=1` *is* the
+//! sequential oracle — every launch retires before the next issues, on the
+//! primary device, producing the identical f64 addition sequence on the
+//! simulated clock and the identical journal event stream. Larger windows
+//! and device counts may reorder *accounting* on the simulated timeline,
+//! but never change what verification observes: verdicts, comparison
+//! counts, maximum errors, coherence reports and race oracles are
+//! bit-identical for every configuration.
+
+use openarc::gpusim::clock::TimeCategory;
+use openarc::prelude::*;
+use openarc::trace::{EventKind, TraceEvent, Track};
+
+/// Run one benchmark's naive variant under kernel verification with the
+/// given DAG window and device count, capturing the journal.
+fn verify_run(b: &Benchmark, dag_jobs: usize, devices: usize) -> (RunResult, Vec<TraceEvent>) {
+    let journal = Journal::enabled();
+    let eopts = ExecOptions {
+        mode: ExecMode::Verify(VerifyOptions {
+            dag_jobs,
+            devices,
+            ..Default::default()
+        }),
+        journal: journal.clone(),
+        ..Default::default()
+    };
+    let (_, r) =
+        openarc::suite::run_variant(b, Variant::Naive, &TranslateOptions::default(), &eopts)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let events = journal.snapshot();
+    (r, events)
+}
+
+/// Everything verification *observes* must agree between two runs:
+/// per-kernel verdicts (bit-exact errors included), the coherence report,
+/// the race oracle, and the launch/instruction counts.
+fn assert_observables_identical(name: &str, ctx: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.verify.len(), b.verify.len(), "{name} {ctx}: kernel count");
+    for (x, y) in a.verify.iter().zip(&b.verify) {
+        assert_eq!(x.kernel, y.kernel, "{name} {ctx}");
+        assert_eq!(x.launches, y.launches, "{name} {ctx}: {}", x.kernel);
+        assert_eq!(
+            x.failed_launches, y.failed_launches,
+            "{name} {ctx}: {}",
+            x.kernel
+        );
+        assert_eq!(
+            x.compared_elems, y.compared_elems,
+            "{name} {ctx}: {}",
+            x.kernel
+        );
+        assert_eq!(
+            x.mismatched_elems, y.mismatched_elems,
+            "{name} {ctx}: {}",
+            x.kernel
+        );
+        assert_eq!(
+            x.max_abs_err.to_bits(),
+            y.max_abs_err.to_bits(),
+            "{name} {ctx}: {} max_abs_err",
+            x.kernel
+        );
+        assert_eq!(
+            x.assertion_failures, y.assertion_failures,
+            "{name} {ctx}: {}",
+            x.kernel
+        );
+    }
+    assert_eq!(
+        a.machine.report.issues, b.machine.report.issues,
+        "{name} {ctx}: coherence report"
+    );
+    assert_eq!(a.races, b.races, "{name} {ctx}: race oracle");
+    assert_eq!(a.kernel_launches, b.kernel_launches, "{name} {ctx}");
+    assert_eq!(a.host_instrs, b.host_instrs, "{name} {ctx}");
+}
+
+/// `dagJobs=1, devices=1` is *bit-identical* to the oracle: same journal
+/// event stream (timestamps compared exactly), same clock, same breakdown.
+/// Two runs at the unit configuration pin the executor's determinism and
+/// guard the retire machinery against perturbing the sequential path.
+#[test]
+fn unit_dag_config_is_bit_identical_to_oracle() {
+    for b in openarc::suite::all(Scale::default()) {
+        let (oracle, oracle_events) = verify_run(&b, 1, 1);
+        let (dag, dag_events) = verify_run(&b, 1, 1);
+        assert_observables_identical(b.name, "dagJobs=1 devices=1", &oracle, &dag);
+        assert_eq!(
+            oracle.machine.clock.now().to_bits(),
+            dag.machine.clock.now().to_bits(),
+            "{}: clock now",
+            b.name
+        );
+        for cat in TimeCategory::ALL.iter() {
+            assert_eq!(
+                oracle.machine.clock.breakdown.get(*cat).to_bits(),
+                dag.machine.clock.breakdown.get(*cat).to_bits(),
+                "{}: breakdown {cat:?}",
+                b.name
+            );
+        }
+        assert_eq!(
+            oracle_events, dag_events,
+            "{}: journal event streams differ",
+            b.name
+        );
+        // Every launch landed on the primary device.
+        for e in &dag_events {
+            if let EventKind::KernelLaunch { dev, .. } = &e.kind {
+                assert_eq!(*dev, 0, "{}: launch off primary device", b.name);
+            }
+        }
+    }
+}
+
+/// Widening the in-flight window and adding devices must not change any
+/// verification observable on any benchmark: the full `dagJobs ∈ {1,4} ×
+/// devices ∈ {1,2}` matrix agrees with the sequential oracle bit-for-bit
+/// on verdicts, reports and counters.
+#[test]
+fn dag_matrix_matches_oracle_observables_on_every_benchmark() {
+    for b in openarc::suite::all(Scale::default()) {
+        let (oracle, _) = verify_run(&b, 1, 1);
+        assert!(
+            oracle.verify.iter().all(|k| !k.flagged()),
+            "{}: oracle flags a healthy program",
+            b.name
+        );
+        for dag_jobs in [1usize, 4] {
+            for devices in [1usize, 2] {
+                if dag_jobs == 1 && devices == 1 {
+                    continue;
+                }
+                let (r, _) = verify_run(&b, dag_jobs, devices);
+                let ctx = format!("dagJobs={dag_jobs} devices={devices}");
+                assert_observables_identical(b.name, &ctx, &oracle, &r);
+            }
+        }
+    }
+}
+
+/// With two devices and a widened window, at least one benchmark in the
+/// suite schedules two kernels on *distinct* devices whose device-queue
+/// spans overlap on the simulated timeline — the concurrency the DAG
+/// executor exists to expose.
+#[test]
+fn some_benchmark_overlaps_kernels_across_devices() {
+    let mut overlapped = Vec::new();
+    for b in openarc::suite::all(Scale::default()) {
+        let (_, events) = verify_run(&b, 4, 2);
+        // Kernel execution spans per device queue.
+        let spans: Vec<(u32, f64, f64)> = events
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.track) {
+                (EventKind::KernelComplete { .. }, Track::Queue { dev, .. }) => {
+                    Some((*dev, e.ts_us, e.ts_us + e.dur_us))
+                }
+                _ => None,
+            })
+            .collect();
+        let used_second_device = spans.iter().any(|(d, _, _)| *d != 0);
+        let has_cross_device_overlap = spans.iter().enumerate().any(|(i, a)| {
+            spans[i + 1..]
+                .iter()
+                .any(|b| a.0 != b.0 && a.1 < b.2 && b.1 < a.2)
+        });
+        if used_second_device && has_cross_device_overlap {
+            overlapped.push(b.name);
+        }
+    }
+    assert!(
+        !overlapped.is_empty(),
+        "no benchmark overlapped kernels across devices"
+    );
+}

@@ -5,9 +5,10 @@
 //! small deterministic xorshift PRNG and exhaustive grids — every run
 //! checks the identical case set.
 
+use openarc::gpusim::DeviceId;
 use openarc::minic::{parse, print_program};
 use openarc::openacc::{parse_directive, DataClause, DataClauseKind, Directive, LoopSpec};
-use openarc::runtime::{Coherence, DevSide, PresentTable, ReadDiag, St, XferDiag};
+use openarc::runtime::{Coherence, DevSide, Loc, PresentTable, ReadDiag, St, XferDiag};
 use openarc::vm::interp::eval_bin;
 use openarc::vm::{Handle, MemSpace, Value};
 use openarc_minic::ast::BinOp;
@@ -253,7 +254,7 @@ fn coherence_transfer_always_cleans() {
             // holds the latest data.
             let v = c.state(h).unwrap();
             assert!(
-                !(v.cpu == St::Stale && v.gpu == St::Stale),
+                !(v.cpu == St::Stale && v.gpu() == St::Stale),
                 "both sides stale: {v:?}"
             );
         }
@@ -421,7 +422,7 @@ fn drive_coherence_vs_model(seed: u64, ops: usize) {
                 match (c.state(h), model[i]) {
                     (Some(v), Some(m)) => {
                         assert_eq!(v.cpu, m.cpu, "cpu state {ctx}");
-                        assert_eq!(v.gpu, m.gpu, "gpu state {ctx}");
+                        assert_eq!(v.gpu(), m.gpu, "gpu state {ctx}");
                     }
                     (None, None) => {}
                     (got, want) => panic!("tracked-ness mismatch {ctx}: {got:?} vs {want:?}"),
@@ -434,7 +435,7 @@ fn drive_coherence_vs_model(seed: u64, ops: usize) {
         match (c.state(*h), model[i]) {
             (Some(v), Some(m)) => {
                 assert_eq!(
-                    (v.cpu, v.gpu),
+                    (v.cpu, v.gpu()),
                     (m.cpu, m.gpu),
                     "final state seed={seed} h={h:?}"
                 );
@@ -460,6 +461,214 @@ fn coherence_tracker_matches_reference_model() {
         .and_then(|s| s.parse::<u64>().ok())
     {
         drive_coherence_vs_model(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1), 600);
+    }
+}
+
+// --------------------------------------- N-device coherence model
+
+/// N-device generalisation of the §III-B reference model: one CPU copy
+/// plus one copy per simulated device. A write at any location stales
+/// every *other* location; a transfer between any two locations cleans
+/// the destination and diagnoses against the source. Written from the
+/// rules, not from the tracker's code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ModelVarN {
+    cpu: St,
+    gpus: Vec<St>,
+}
+
+impl ModelVarN {
+    fn new(n_devices: usize) -> ModelVarN {
+        ModelVarN {
+            cpu: St::NotStale,
+            gpus: vec![St::NotStale; n_devices],
+        }
+    }
+
+    fn at(&self, loc: Loc) -> St {
+        match loc {
+            Loc::Cpu => self.cpu,
+            Loc::Dev(d) => self.gpus[d.0 as usize],
+        }
+    }
+
+    fn set_at(&mut self, loc: Loc, st: St) {
+        match loc {
+            Loc::Cpu => self.cpu = st,
+            Loc::Dev(d) => self.gpus[d.0 as usize] = st,
+        }
+    }
+
+    fn locs(&self) -> Vec<Loc> {
+        let mut out = vec![Loc::Cpu];
+        out.extend((0..self.gpus.len()).map(|i| Loc::Dev(DeviceId(i as u32))));
+        out
+    }
+
+    fn check_read_at(&self, loc: Loc) -> ReadDiag {
+        match self.at(loc) {
+            St::Stale => ReadDiag::Missing,
+            St::MayStale => ReadDiag::MayMissing,
+            St::NotStale => ReadDiag::Ok,
+        }
+    }
+
+    fn on_write_at(&mut self, loc: Loc, total: bool) -> ReadDiag {
+        let before = self.at(loc);
+        let diag = if before == St::Stale && !total {
+            ReadDiag::MayMissing
+        } else {
+            ReadDiag::Ok
+        };
+        let local = if total || before == St::NotStale {
+            St::NotStale
+        } else {
+            St::MayStale
+        };
+        for other in self.locs() {
+            if other != loc {
+                self.set_at(other, St::Stale);
+            }
+        }
+        self.set_at(loc, local);
+        diag
+    }
+
+    fn on_transfer_between(&mut self, src: Loc, dst: Loc) -> XferDiag {
+        let incorrect = match self.at(src) {
+            St::Stale => Some(true),
+            St::MayStale => Some(false),
+            St::NotStale => None,
+        };
+        let redundant = match self.at(dst) {
+            St::NotStale => Some(true),
+            St::MayStale => Some(false),
+            St::Stale => None,
+        };
+        self.set_at(dst, St::NotStale);
+        XferDiag {
+            incorrect,
+            redundant,
+        }
+    }
+}
+
+fn rand_loc(rng: &mut Rng, n_devices: usize) -> Loc {
+    let i = rng.below(n_devices as u64 + 1);
+    if i == 0 {
+        Loc::Cpu
+    } else {
+        Loc::Dev(DeviceId((i - 1) as u32))
+    }
+}
+
+/// Drive one random op stream through an N-device tracker and the model
+/// in lockstep, asserting every per-op diagnosis and the final state of
+/// every handle on every location agree.
+fn drive_coherence_vs_model_n(seed: u64, n_devices: usize, ops: usize) {
+    let mut rng = Rng::new(seed);
+    let handles = [Handle(1), Handle(2), Handle(3)];
+    let mut c = Coherence::with_devices(true, n_devices);
+    let mut model: [Option<ModelVarN>; 3] = [None, None, None];
+
+    for step in 0..ops {
+        let i = rng.below(handles.len() as u64) as usize;
+        let h = handles[i];
+        let ctx = format!("seed={seed} devices={n_devices} step={step} h={h:?}");
+        match rng.below(7) {
+            0 => {
+                c.track(h, "v");
+                if model[i].is_none() {
+                    model[i] = Some(ModelVarN::new(n_devices));
+                }
+            }
+            1 => {
+                c.untrack(h);
+                model[i] = None;
+            }
+            2 => {
+                let loc = rand_loc(&mut rng, n_devices);
+                let want = model[i]
+                    .as_ref()
+                    .map_or(ReadDiag::Ok, |m| m.check_read_at(loc));
+                assert_eq!(c.check_read_at(h, loc), want, "check_read_at {ctx}");
+            }
+            3 => {
+                let loc = rand_loc(&mut rng, n_devices);
+                let total = rng.below(2) == 0;
+                let want = model[i]
+                    .as_mut()
+                    .map_or(ReadDiag::Ok, |m| m.on_write_at(loc, total));
+                assert_eq!(c.on_write_at(h, loc, total), want, "on_write_at {ctx}");
+            }
+            4 => {
+                // Transfer between two distinct locations: host↔device or
+                // device↔device.
+                let src = rand_loc(&mut rng, n_devices);
+                let mut dst = rand_loc(&mut rng, n_devices);
+                while dst == src {
+                    dst = rand_loc(&mut rng, n_devices);
+                }
+                let want = model[i].as_mut().map_or(
+                    XferDiag {
+                        incorrect: None,
+                        redundant: None,
+                    },
+                    |m| m.on_transfer_between(src, dst),
+                );
+                assert_eq!(
+                    c.on_transfer_between(h, src, dst),
+                    want,
+                    "on_transfer_between {ctx}"
+                );
+            }
+            5 => {
+                let loc = rand_loc(&mut rng, n_devices);
+                let st = rand_st(&mut rng);
+                c.reset_status_at(h, loc, st);
+                if let Some(m) = model[i].as_mut() {
+                    m.set_at(loc, st);
+                }
+            }
+            _ => match (c.state(h), model[i].as_ref()) {
+                (Some(v), Some(m)) => {
+                    assert_eq!(v.cpu, m.cpu, "cpu state {ctx}");
+                    assert_eq!(v.gpus(), &m.gpus[..], "gpu states {ctx}");
+                }
+                (None, None) => {}
+                (got, want) => panic!("tracked-ness mismatch {ctx}: {got:?} vs {want:?}"),
+            },
+        }
+    }
+    for (i, h) in handles.iter().enumerate() {
+        match (c.state(*h), model[i].as_ref()) {
+            (Some(v), Some(m)) => {
+                assert_eq!(v.cpu, m.cpu, "final cpu seed={seed} h={h:?}");
+                assert_eq!(v.gpus(), &m.gpus[..], "final gpus seed={seed} h={h:?}");
+            }
+            (None, None) => {}
+            (got, want) => panic!("final tracked-ness seed={seed} h={h:?}: {got:?} vs {want:?}"),
+        }
+    }
+}
+
+/// The per-device tracker agrees with the N-device reference model on
+/// every diagnosis and every visible state over long random op streams,
+/// for 2–4 simulated devices. The single-device case is covered by
+/// [`coherence_tracker_matches_reference_model`] through the two-sided
+/// wrappers, so together the two tests pin both views of the tracker.
+#[test]
+fn coherence_tracker_matches_reference_model_n_devices() {
+    for n_devices in 2..=4 {
+        for seed in [0xB0B0_0001_u64, 0xB0B0_0002, 0xB0B0_0003] {
+            drive_coherence_vs_model_n(seed ^ (n_devices as u64) << 32, n_devices, 600);
+        }
+    }
+    if let Some(extra) = std::env::var("OPENARC_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        drive_coherence_vs_model_n(extra.wrapping_mul(0x2545_F491_4F6C_DD1D).max(1), 3, 600);
     }
 }
 
