@@ -18,22 +18,65 @@
 //! order, so host-mediated values are always current; the DAG only
 //! governs which launches may overlap on the *simulated* timeline.
 //!
+//! Variable names are interned once into a shared `u32` table on the DAG
+//! ([`DepDag::vars`]); footprints hold integer-id sets, so the O(n²)
+//! conflict sweep in [`DepDag::build`] compares integers, never strings.
+//!
 //! Everything here is deterministic: sets are ordered (`BTreeSet`), the
-//! topological levels come from longest-path over program order, and the
-//! device plan is a pure function of the level structure — so a schedule
-//! never depends on iteration order of a hash map.
+//! topological levels come from longest-path over program order, and both
+//! device planners ([`DepDag::device_plan`] round-robin and the
+//! cost-model-driven EFT scheduler in [`cost`]) are pure functions of the
+//! DAG, the cost table and the device count — so a schedule never depends
+//! on iteration order of a hash map.
+
+pub mod cost;
 
 use crate::ir::{KernelInfo, KernelParam};
 use openarc_gpusim::DeviceId;
 use std::collections::BTreeSet;
 
-/// The variable sets one launch site touches.
+/// Device-placement policy for the verified executor's launch sites (the
+/// `placement=` key of `verificationOptions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Static per-level round-robin (PR 7's scheme): within each level,
+    /// sites cycle over the devices in program order, ignoring cost.
+    #[default]
+    RoundRobin,
+    /// Cost-model-driven earliest-finish-time list scheduling: each site
+    /// goes to the device minimizing its predicted finish time, using
+    /// [`cost::estimate_site_costs`] static estimates (kernel time over
+    /// footprint sizes and thread counts, staging transfers, cross-device
+    /// d2d penalties).
+    Eft,
+    /// The EFT scheduler fed with per-site costs calibrated from observed
+    /// `KernelLaunch`/transfer durations in a prior run's journal
+    /// ([`cost::MeasuredCosts`]); falls back to the static estimates for
+    /// sites the journal never saw.
+    Measured,
+}
+
+impl Placement {
+    /// The `verificationOptions` spelling of this policy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "roundrobin",
+            Placement::Eft => "eft",
+            Placement::Measured => "measured",
+        }
+    }
+}
+
+/// Interned variable id (index into [`DepDag::vars`]).
+pub type VarId = u32;
+
+/// The variable sets one launch site touches, as interned ids.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Footprint {
     /// Variables read (aggregates, scalar params, reduction inits).
-    pub reads: BTreeSet<String>,
+    pub reads: BTreeSet<VarId>,
     /// Variables written (aggregates, reduction results, cell writebacks).
-    pub writes: BTreeSet<String>,
+    pub writes: BTreeSet<VarId>,
 }
 
 impl Footprint {
@@ -46,36 +89,68 @@ impl Footprint {
     }
 
     /// Does this footprint touch `var` at all?
-    pub fn touches(&self, var: &str) -> bool {
-        self.reads.contains(var) || self.writes.contains(var)
+    pub fn touches(&self, var: VarId) -> bool {
+        self.reads.contains(&var) || self.writes.contains(&var)
     }
 }
 
-/// Compute the footprint of one launch site.
-pub fn footprint(k: &KernelInfo) -> Footprint {
+/// Shared variable-name intern table: one id per distinct name, in
+/// first-seen order. Construction is the only string work; after it,
+/// footprint operations are pure integer-set comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    /// Id → name, in first-intern order.
+    pub names: Vec<String>,
+}
+
+impl VarTable {
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return i as VarId;
+        }
+        self.names.push(name.to_string());
+        (self.names.len() - 1) as VarId
+    }
+
+    /// Id of an already-interned name.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.names.iter().position(|n| n == name).map(|i| i as VarId)
+    }
+
+    /// Name of an id.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id as usize]
+    }
+}
+
+/// Compute the footprint of one launch site, interning names into `vars`.
+pub fn footprint(k: &KernelInfo, vars: &mut VarTable) -> Footprint {
     let mut fp = Footprint::default();
     for v in &k.gpu_reads {
-        fp.reads.insert(v.clone());
+        fp.reads.insert(vars.intern(v));
     }
     for v in &k.gpu_writes {
-        fp.writes.insert(v.clone());
+        fp.writes.insert(vars.intern(v));
     }
     for (var, _) in &k.reductions {
         // The reduction reads the scalar's initial value and writes the
         // final one.
-        fp.reads.insert(var.clone());
-        fp.writes.insert(var.clone());
+        let id = vars.intern(var);
+        fp.reads.insert(id);
+        fp.writes.insert(id);
     }
     for p in &k.params {
         match p {
             KernelParam::Scalar { var } => {
-                fp.reads.insert(var.clone());
+                fp.reads.insert(vars.intern(var));
             }
             KernelParam::SharedCell { var, init_global } => {
                 if init_global.as_deref() == Some(var.as_str()) {
                     // Falsely-shared global: written back after launch.
-                    fp.reads.insert(var.clone());
-                    fp.writes.insert(var.clone());
+                    let id = vars.intern(var);
+                    fp.reads.insert(id);
+                    fp.writes.insert(id);
                 }
             }
             KernelParam::Aggregate { .. } | KernelParam::ReductionSlot { .. } => {}
@@ -87,6 +162,8 @@ pub fn footprint(k: &KernelInfo) -> Footprint {
 /// The dependency DAG over the program's launch sites.
 #[derive(Debug, Clone)]
 pub struct DepDag {
+    /// Shared intern table mapping footprint variable ids to names.
+    pub vars: VarTable,
     /// Per-site footprints, indexed like [`Translated::kernels`](crate::translate::Translated::kernels).
     pub footprints: Vec<Footprint>,
     /// `deps[j]` = sites `i < j` that must retire before `j` issues.
@@ -99,7 +176,9 @@ pub struct DepDag {
 impl DepDag {
     /// Build the DAG from the kernel launch table.
     pub fn build(kernels: &[KernelInfo]) -> DepDag {
-        let footprints: Vec<Footprint> = kernels.iter().map(footprint).collect();
+        let mut vars = VarTable::default();
+        let footprints: Vec<Footprint> =
+            kernels.iter().map(|k| footprint(k, &mut vars)).collect();
         let mut deps: Vec<Vec<usize>> = vec![Vec::new(); kernels.len()];
         let mut levels: Vec<usize> = vec![0; kernels.len()];
         for j in 0..kernels.len() {
@@ -111,6 +190,7 @@ impl DepDag {
             }
         }
         DepDag {
+            vars,
             footprints,
             deps,
             levels,
@@ -161,7 +241,7 @@ impl DepDag {
 mod tests {
     use super::*;
 
-    fn kernel(name: &str, reads: &[&str], writes: &[&str]) -> KernelInfo {
+    pub(super) fn kernel(name: &str, reads: &[&str], writes: &[&str]) -> KernelInfo {
         KernelInfo {
             name: name.to_string(),
             seq_name: format!("__seq_{name}"),
@@ -191,6 +271,23 @@ mod tests {
             assert_eq!(d.deps[1], vec![0]);
             assert_eq!(d.levels, vec![0, 1]);
         }
+    }
+
+    #[test]
+    fn interned_ids_round_trip_names() {
+        let ks = [kernel("a", &["x"], &["y"]), kernel("b", &["y"], &["x"])];
+        let d = DepDag::build(&ks);
+        let x = d.vars.get("x").unwrap();
+        let y = d.vars.get("y").unwrap();
+        assert_ne!(x, y);
+        assert_eq!(d.vars.name(x), "x");
+        assert_eq!(d.vars.name(y), "y");
+        // Both sites touch the same two interned ids, in opposite roles.
+        assert!(d.footprints[0].reads.contains(&x));
+        assert!(d.footprints[0].writes.contains(&y));
+        assert!(d.footprints[1].reads.contains(&y));
+        assert!(d.footprints[1].writes.contains(&x));
+        assert!(d.footprints[0].touches(x) && d.footprints[0].touches(y));
     }
 
     #[test]

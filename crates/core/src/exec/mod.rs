@@ -38,7 +38,7 @@ use crate::translate::Translated;
 use env::ExecEnv;
 pub use reduce::red_eval;
 
-use openarc_gpusim::{DeviceId, LaunchConfig, RaceReport};
+use openarc_gpusim::{CostModel, DeviceId, LaunchConfig, RaceReport};
 use openarc_runtime::Machine;
 use openarc_trace::Journal;
 use openarc_vm::interp::BasicEnv;
@@ -126,6 +126,16 @@ pub struct VerifyOptions {
     /// timeline. `1` (the default) keeps everything on the primary
     /// device.
     pub devices: usize,
+    /// Device-placement policy for launch sites (`placement=` option):
+    /// static round-robin, cost-model EFT, or EFT over journal-calibrated
+    /// costs. With `devices=1` every policy produces the all-primary plan,
+    /// so placement never perturbs the sequential oracle.
+    pub placement: dag::Placement,
+    /// Journal-calibrated per-kernel costs feeding the `measured`
+    /// placement (`None` falls back to static estimates). Populated by
+    /// the two-pass measure-then-place flow in
+    /// [`crate::pipeline::Session`].
+    pub measured: Option<dag::cost::MeasuredCosts>,
 }
 
 impl Default for VerifyOptions {
@@ -143,6 +153,8 @@ impl Default for VerifyOptions {
             compare_jobs: 1,
             dag_jobs: 1,
             devices: 1,
+            placement: dag::Placement::RoundRobin,
+            measured: None,
         }
     }
 }
@@ -315,7 +327,19 @@ pub fn execute(tr: &Translated, opts: &ExecOptions) -> Result<RunResult, VmError
         ExecMode::Verify(v) => {
             let d = dag::DepDag::build(&tr.kernels);
             let n = v.devices.clamp(1, openarc_runtime::MAX_DEVICES);
-            let plan = d.device_plan(n);
+            let plan = match v.placement {
+                dag::Placement::RoundRobin => d.device_plan(n),
+                dag::Placement::Eft | dag::Placement::Measured => {
+                    let model = CostModel::default();
+                    let mut table = dag::cost::estimate_site_costs(tr, &model);
+                    if v.placement == dag::Placement::Measured {
+                        if let Some(m) = &v.measured {
+                            table.apply_measured(&tr.kernels, m);
+                        }
+                    }
+                    dag::cost::eft_plan(&d, &table, &model, n).plan
+                }
+            };
             (n, plan, d.footprints)
         }
         _ => (1, vec![DeviceId::PRIMARY; tr.kernels.len()], Vec::new()),

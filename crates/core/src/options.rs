@@ -36,7 +36,11 @@ impl std::error::Error for OptionError {}
 ///   dependency-DAG executor (≥ 1; `1` retires each launch before the
 ///   next issues, which is exactly the sequential oracle);
 /// * `devices=<int>` — simulated devices to schedule independent
-///   launches across (clamped to 1..=8).
+///   launches across (clamped to 1..=8);
+/// * `placement=roundrobin|eft|measured` — device-placement policy:
+///   static per-level round-robin, cost-model earliest-finish-time, or
+///   EFT over journal-calibrated costs (a two-pass measure-then-place
+///   run).
 ///
 /// ```
 /// use openarc_core::options::parse_verification_options;
@@ -130,6 +134,18 @@ pub fn parse_verification_options(spec: &str) -> Result<VerifyOptions, OptionErr
                 }
                 opts.devices = n.min(openarc_runtime::MAX_DEVICES);
             }
+            "placement" => {
+                opts.placement = match value.trim() {
+                    "roundrobin" => crate::exec::dag::Placement::RoundRobin,
+                    "eft" => crate::exec::dag::Placement::Eft,
+                    "measured" => crate::exec::dag::Placement::Measured,
+                    other => {
+                        return Err(OptionError(format!(
+                            "placement must be roundrobin, eft or measured, got `{other}`"
+                        )))
+                    }
+                }
+            }
             other => return Err(OptionError(format!("unknown key `{other}`"))),
         }
     }
@@ -216,6 +232,23 @@ mod tests {
         assert_eq!(big.devices, openarc_runtime::MAX_DEVICES);
         assert!(parse_verification_options("dagJobs=0").is_err());
         assert!(parse_verification_options("devices=0").is_err());
+    }
+
+    #[test]
+    fn parses_placement() {
+        use crate::exec::dag::Placement;
+        let d = parse_verification_options("").unwrap();
+        assert_eq!(d.placement, Placement::RoundRobin);
+        for (spec, want) in [
+            ("placement=roundrobin", Placement::RoundRobin),
+            ("placement=eft", Placement::Eft),
+            ("placement=measured", Placement::Measured),
+        ] {
+            let v = parse_verification_options(spec).unwrap();
+            assert_eq!(v.placement, want);
+            assert_eq!(v.placement.as_str(), spec.split('=').nth(1).unwrap());
+        }
+        assert!(parse_verification_options("placement=greedy").is_err());
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct Summary {
     /// transfers); `queues` counts the distinct queue ids used. Empty when
     /// the journal holds no queue-track events.
     pub devices: Vec<DeviceRow>,
+    /// End of the simulated timeline: the largest `ts_us + dur_us` over
+    /// every journaled event, µs. Device utilization is measured against
+    /// this span.
+    pub makespan_us: f64,
     /// Events summarized.
     pub n_events: usize,
 }
@@ -95,6 +99,11 @@ pub struct DeviceRow {
     pub spans: u64,
     /// Distinct queue ids used.
     pub queues: u64,
+    /// Busy time over the run's makespan. Can exceed `1.0` when several
+    /// of the device's queues overlap.
+    pub util: f64,
+    /// Idle gap: makespan minus busy time, floored at zero, µs.
+    pub idle_us: f64,
 }
 
 /// Digest `events` into per-category totals and per-kernel rows.
@@ -192,6 +201,8 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
                     busy_us: 0.0,
                     spans: 0,
                     queues: 0,
+                    util: 0.0,
+                    idle_us: 0.0,
                 });
                 devices.len() - 1
             }
@@ -206,6 +217,19 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
         }
     }
     devices.sort_by_key(|r| r.dev);
+    // Stage and Cache events carry *wall-clock* observations; the
+    // makespan is a simulated-time quantity, so they are excluded.
+    let makespan_us = events
+        .iter()
+        .filter(|e| !matches!(e.kind, EventKind::Stage { .. } | EventKind::Cache { .. }))
+        .map(|e| e.ts_us + e.dur_us)
+        .fold(0.0, f64::max);
+    for r in &mut devices {
+        if makespan_us > 0.0 {
+            r.util = r.busy_us / makespan_us;
+            r.idle_us = (makespan_us - r.busy_us).max(0.0);
+        }
+    }
 
     // Second pass: transfers and findings attach by report site, which only
     // matches kernels discovered above.
@@ -240,6 +264,7 @@ pub fn summarize(events: &[TraceEvent]) -> Summary {
         stages,
         cache,
         devices,
+        makespan_us,
         n_events: events.len(),
     }
 }
@@ -274,15 +299,17 @@ impl fmt::Display for Summary {
             writeln!(f)?;
             writeln!(
                 f,
-                "  {:<8} {:>14} {:>8} {:>8}",
-                "device", "busy us", "spans", "queues"
+                "  {:<8} {:>14} {:>7} {:>14} {:>8} {:>8}",
+                "device", "busy us", "util", "idle us", "spans", "queues"
             )?;
             for r in &self.devices {
                 writeln!(
                     f,
-                    "  {:<8} {:>14.3} {:>8} {:>8}",
+                    "  {:<8} {:>14.3} {:>6.1}% {:>14.3} {:>8} {:>8}",
                     format!("dev{}", r.dev),
                     r.busy_us,
+                    r.util * 100.0,
+                    r.idle_us,
                     r.spans,
                     r.queues,
                 )?;
@@ -389,19 +416,21 @@ mod tests {
 
     #[test]
     fn device_rows_aggregate_queue_track_spans() {
-        let span = |dev: u32, id: i64, dur: f64| TraceEvent {
-            ts_us: 0.0,
+        let span = |dev: u32, id: i64, ts: f64, dur: f64| TraceEvent {
+            ts_us: ts,
             dur_us: dur,
             track: Track::Queue { dev, id },
             kind: EventKind::KernelComplete { kernel: "k".into() },
         };
         let events = vec![
-            span(1, 1, 4.0),
-            span(0, 1, 2.0),
-            span(0, 2, 3.0),
-            span(0, 1, 1.0),
+            span(1, 1, 0.0, 4.0),
+            span(0, 1, 0.0, 2.0),
+            span(0, 2, 2.0, 3.0),
+            span(0, 1, 5.0, 1.0),
         ];
         let s = summarize(&events);
+        // Makespan = latest span end = 6 µs.
+        assert_eq!(s.makespan_us, 6.0);
         assert_eq!(
             s.devices,
             vec![
@@ -409,19 +438,25 @@ mod tests {
                     dev: 0,
                     busy_us: 6.0,
                     spans: 3,
-                    queues: 2
+                    queues: 2,
+                    util: 1.0,
+                    idle_us: 0.0,
                 },
                 DeviceRow {
                     dev: 1,
                     busy_us: 4.0,
                     spans: 1,
-                    queues: 1
+                    queues: 1,
+                    util: 4.0 / 6.0,
+                    idle_us: 2.0,
                 },
             ]
         );
         let shown = s.to_string();
         assert!(shown.contains("dev0"), "{shown}");
         assert!(shown.contains("dev1"), "{shown}");
+        assert!(shown.contains("util"), "{shown}");
+        assert!(shown.contains("idle us"), "{shown}");
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! openarc demote <file.c> <kernel#>    print the Listing-2 demotion
 //! openarc profile <file.c> [flags]     event-journal profiling: Chrome
 //!                                      trace export + per-kernel summary
+//! openarc dag <file.c> [spec]          dump the launch dependency DAG as
+//!                                      Graphviz dot, annotated with each
+//!                                      site's level, predicted cost, and
+//!                                      planned device
 //! openarc bench [--jobs N] [flags]     batch mode: run the 12-benchmark ×
 //!                                      3-variant matrix, optionally fanned
 //!                                      across worker threads
@@ -68,7 +72,7 @@ impl From<PipelineError> for CliError {
 }
 
 fn usage() -> String {
-    "usage: openarc <run|cpu|verify|check|demote|profile|bench|cache> [args]\n\
+    "usage: openarc <run|cpu|verify|check|demote|profile|dag|bench|cache> [args]\n\
      \n\
      run    <file.c>            translate and execute on the simulated device\n\
      cpu    <file.c>            execute the sequential reference\n\
@@ -79,7 +83,11 @@ fn usage() -> String {
                                 dagJobs=<N> keeps up to N verified launches in\n\
                                 flight on the dependency DAG and devices=<N>\n\
                                 spreads independent launches over N simulated\n\
-                                devices (dagJobs=1,devices=1 is the oracle)\n\
+                                devices (dagJobs=1,devices=1 is the oracle);\n\
+                                placement=<roundrobin|eft|measured> picks the\n\
+                                device-placement policy (static round-robin,\n\
+                                cost-model EFT, or EFT over costs calibrated\n\
+                                from a measurement pass)\n\
      check  <file.c>            memory-transfer verification report\n\
      demote <file.c> <kernel#>  print the memory-transfer-demoted program\n\
      profile <file.c> [flags]   run with the event journal enabled\n\
@@ -88,6 +96,11 @@ fn usage() -> String {
        --filter-kernel <name>   restrict the trace/kernel table to one kernel\n\
        --explain <var>          print the event timeline for one variable\n\
        --verify                 profile a kernel-verification run instead\n\
+       --verify-opts <spec>     like --verify with verificationOptions, e.g.\n\
+                                devices=2,dagJobs=4,placement=eft\n\
+     dag <file.c> [spec]        print the launch dependency DAG as Graphviz\n\
+                                dot; spec is the verificationOptions syntax\n\
+                                (devices/placement drive the annotations)\n\
      bench [flags]              run the benchmark suite's 12×3 matrix\n\
        --jobs <N|auto>          fan the matrix across N worker threads\n\
        --scale <small|bench>    problem scale (default: bench)\n\
@@ -304,6 +317,7 @@ fn run(args: &[String]) -> Result<i32, CliError> {
             Ok(0)
         }
         "profile" => profile(rest),
+        "dag" => dag_cmd(rest),
         "bench" => bench(rest),
         "cache" => cache_cmd(rest),
         "help" | "--help" | "-h" => {
@@ -450,6 +464,82 @@ fn cache_cmd(rest: &[String]) -> Result<i32, CliError> {
     }
 }
 
+/// `openarc dag`: print the program's launch dependency DAG as Graphviz
+/// dot. Each node carries the site index, kernel name, DAG level, the
+/// cost model's predicted duration, and the device the selected placement
+/// policy plans for it — the "show the user why" view of a placement
+/// decision. `placement=measured` runs one round-robin measurement pass
+/// (through the session cache) to calibrate costs first.
+fn dag_cmd(rest: &[String]) -> Result<i32, CliError> {
+    use openarc::core::exec::dag::{cost, DepDag, Placement};
+    use openarc::gpusim::CostModel;
+
+    let (rest, cache) = cache_flags(rest, None)?;
+    let path = rest.first().ok_or_else(usage)?;
+    let vopts = match rest.get(1) {
+        Some(spec) => parse_verification_options(spec).map_err(|e| e.to_string())?,
+        None => VerifyOptions::default(),
+    };
+    let src = read_source(path)?;
+    let session = session_with(cache.as_ref());
+    let fe = session.frontend(&src)?;
+    let tra = session.translate(&fe, &TranslateOptions::default())?;
+    let tr = &tra.tr;
+    let dag = DepDag::build(&tr.kernels);
+    let n = vopts.devices.clamp(1, openarc::runtime::MAX_DEVICES);
+    let model = CostModel::default();
+    let mut table = cost::estimate_site_costs(tr, &model);
+    if vopts.placement == Placement::Measured {
+        let capture = Journal::enabled();
+        let mut probe = vopts.clone();
+        probe.placement = Placement::RoundRobin;
+        probe.measured = None;
+        session.execute(
+            &tra,
+            &ExecOptions {
+                mode: ExecMode::Verify(probe),
+                journal: capture.clone(),
+                ..Default::default()
+            },
+        )?;
+        let m = cost::MeasuredCosts::from_journal(&capture.drain());
+        table.apply_measured(&tr.kernels, &m);
+    }
+    let sched = match vopts.placement {
+        Placement::RoundRobin => cost::evaluate_plan(&dag, &table, &model, &dag.device_plan(n), n),
+        Placement::Eft | Placement::Measured => cost::eft_plan(&dag, &table, &model, n),
+    };
+    println!("digraph launches {{");
+    println!("  rankdir=TB;");
+    println!("  node [shape=box, fontname=\"monospace\"];");
+    println!(
+        "  label=\"{} · placement={} · devices={} · predicted makespan {:.1} us\";",
+        path,
+        vopts.placement.as_str(),
+        n,
+        sched.makespan_us
+    );
+    for i in 0..dag.len() {
+        println!(
+            "  s{} [label=\"{}: {}\\nlevel {} · dev {}\\nest {:.1} us x{}\"];",
+            i,
+            i,
+            tr.kernels[i].name,
+            dag.levels[i],
+            sched.plan[i].0,
+            table.sites[i].total_us(),
+            table.mult.get(i).copied().unwrap_or(1),
+        );
+    }
+    for (j, deps) in dag.deps.iter().enumerate() {
+        for &i in deps {
+            println!("  s{i} -> s{j};");
+        }
+    }
+    println!("}}");
+    Ok(0)
+}
+
 /// `openarc profile`: run the program with the event journal enabled, then
 /// render the journal as a Chrome trace, a per-kernel summary, and/or a
 /// per-variable timeline. With `--cache-dir` the run goes through the
@@ -463,6 +553,7 @@ fn profile(rest: &[String]) -> Result<i32, CliError> {
     let mut filter_kernel: Option<&str> = None;
     let mut explain: Vec<&str> = Vec::new();
     let mut verify = false;
+    let mut verify_opts: Option<&str> = None;
 
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -477,6 +568,7 @@ fn profile(rest: &[String]) -> Result<i32, CliError> {
             "--filter-kernel" => filter_kernel = Some(value("--filter-kernel")?),
             "--explain" => explain.push(value("--explain")?),
             "--verify" => verify = true,
+            "--verify-opts" => verify_opts = Some(value("--verify-opts")?),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown profile flag `{flag}`\n{}", usage()).into());
             }
@@ -508,7 +600,9 @@ fn profile(rest: &[String]) -> Result<i32, CliError> {
     };
     let fe = session.frontend(&src)?;
     let tra = session.translate(&fe, &topts)?;
-    let mode = if verify {
+    let mode = if let Some(spec) = verify_opts {
+        ExecMode::Verify(parse_verification_options(spec).map_err(|e| e.to_string())?)
+    } else if verify {
         ExecMode::Verify(VerifyOptions::default())
     } else {
         ExecMode::Normal

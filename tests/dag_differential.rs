@@ -4,24 +4,39 @@
 //! The refactor's central invariant: `dagJobs=1, devices=1` *is* the
 //! sequential oracle — every launch retires before the next issues, on the
 //! primary device, producing the identical f64 addition sequence on the
-//! simulated clock and the identical journal event stream. Larger windows
-//! and device counts may reorder *accounting* on the simulated timeline,
-//! but never change what verification observes: verdicts, comparison
-//! counts, maximum errors, coherence reports and race oracles are
-//! bit-identical for every configuration.
+//! simulated clock and the identical journal event stream, *for every
+//! placement policy* (with one device there is nothing to place). Larger
+//! windows and device counts may reorder *accounting* on the simulated
+//! timeline, but never change what verification observes: verdicts,
+//! comparison counts, maximum errors, coherence reports and race oracles
+//! are bit-identical for every configuration in the placement × dagJobs ×
+//! devices matrix.
 
+use openarc::core::exec::dag::cost::MeasuredCosts;
+use openarc::core::exec::dag::Placement;
 use openarc::gpusim::clock::TimeCategory;
 use openarc::prelude::*;
 use openarc::trace::{EventKind, TraceEvent, Track};
 
 /// Run one benchmark's naive variant under kernel verification with the
-/// given DAG window and device count, capturing the journal.
-fn verify_run(b: &Benchmark, dag_jobs: usize, devices: usize) -> (RunResult, Vec<TraceEvent>) {
+/// given DAG window, device count, and placement policy, capturing the
+/// journal. `measured` supplies pre-calibrated costs for
+/// `placement=measured` (the raw-`execute` path has no session to run the
+/// two-pass flow).
+fn placed_run(
+    b: &Benchmark,
+    dag_jobs: usize,
+    devices: usize,
+    placement: Placement,
+    measured: Option<MeasuredCosts>,
+) -> (RunResult, Vec<TraceEvent>) {
     let journal = Journal::enabled();
     let eopts = ExecOptions {
         mode: ExecMode::Verify(VerifyOptions {
             dag_jobs,
             devices,
+            placement,
+            measured,
             ..Default::default()
         }),
         journal: journal.clone(),
@@ -32,6 +47,11 @@ fn verify_run(b: &Benchmark, dag_jobs: usize, devices: usize) -> (RunResult, Vec
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let events = journal.snapshot();
     (r, events)
+}
+
+/// Round-robin shorthand (the historical configuration).
+fn verify_run(b: &Benchmark, dag_jobs: usize, devices: usize) -> (RunResult, Vec<TraceEvent>) {
+    placed_run(b, dag_jobs, devices, Placement::RoundRobin, None)
 }
 
 /// Everything verification *observes* must agree between two runs:
@@ -79,64 +99,80 @@ fn assert_observables_identical(name: &str, ctx: &str, a: &RunResult, b: &RunRes
 }
 
 /// `dagJobs=1, devices=1` is *bit-identical* to the oracle: same journal
-/// event stream (timestamps compared exactly), same clock, same breakdown.
-/// Two runs at the unit configuration pin the executor's determinism and
-/// guard the retire machinery against perturbing the sequential path.
+/// event stream (timestamps compared exactly), same clock, same breakdown
+/// — under every placement policy, since with one device placement has
+/// nothing to decide. Repeated unit-configuration runs pin the executor's
+/// determinism and guard the planner against perturbing the sequential
+/// path.
 #[test]
 fn unit_dag_config_is_bit_identical_to_oracle() {
     for b in openarc::suite::all(Scale::default()) {
         let (oracle, oracle_events) = verify_run(&b, 1, 1);
-        let (dag, dag_events) = verify_run(&b, 1, 1);
-        assert_observables_identical(b.name, "dagJobs=1 devices=1", &oracle, &dag);
-        assert_eq!(
-            oracle.machine.clock.now().to_bits(),
-            dag.machine.clock.now().to_bits(),
-            "{}: clock now",
-            b.name
-        );
-        for cat in TimeCategory::ALL.iter() {
+        for placement in [Placement::RoundRobin, Placement::Eft, Placement::Measured] {
+            let (dag, dag_events) = placed_run(&b, 1, 1, placement, None);
+            let ctx = format!("dagJobs=1 devices=1 placement={}", placement.as_str());
+            assert_observables_identical(b.name, &ctx, &oracle, &dag);
             assert_eq!(
-                oracle.machine.clock.breakdown.get(*cat).to_bits(),
-                dag.machine.clock.breakdown.get(*cat).to_bits(),
-                "{}: breakdown {cat:?}",
+                oracle.machine.clock.now().to_bits(),
+                dag.machine.clock.now().to_bits(),
+                "{}: clock now ({ctx})",
                 b.name
             );
-        }
-        assert_eq!(
-            oracle_events, dag_events,
-            "{}: journal event streams differ",
-            b.name
-        );
-        // Every launch landed on the primary device.
-        for e in &dag_events {
-            if let EventKind::KernelLaunch { dev, .. } = &e.kind {
-                assert_eq!(*dev, 0, "{}: launch off primary device", b.name);
+            for cat in TimeCategory::ALL.iter() {
+                assert_eq!(
+                    oracle.machine.clock.breakdown.get(*cat).to_bits(),
+                    dag.machine.clock.breakdown.get(*cat).to_bits(),
+                    "{}: breakdown {cat:?} ({ctx})",
+                    b.name
+                );
+            }
+            assert_eq!(
+                oracle_events, dag_events,
+                "{}: journal event streams differ ({ctx})",
+                b.name
+            );
+            // Every launch landed on the primary device.
+            for e in &dag_events {
+                if let EventKind::KernelLaunch { dev, .. } = &e.kind {
+                    assert_eq!(*dev, 0, "{}: launch off primary device ({ctx})", b.name);
+                }
             }
         }
     }
 }
 
-/// Widening the in-flight window and adding devices must not change any
-/// verification observable on any benchmark: the full `dagJobs ∈ {1,4} ×
+/// Widening the in-flight window, adding devices, and switching placement
+/// policies must not change any verification observable on any benchmark:
+/// the full `placement ∈ {roundrobin, eft, measured} × dagJobs ∈ {1,4} ×
 /// devices ∈ {1,2}` matrix agrees with the sequential oracle bit-for-bit
-/// on verdicts, reports and counters.
+/// on verdicts, reports and counters. The measured leg calibrates its
+/// costs from the round-robin run's journal, exercising the real two-pass
+/// data path.
 #[test]
 fn dag_matrix_matches_oracle_observables_on_every_benchmark() {
     for b in openarc::suite::all(Scale::default()) {
-        let (oracle, _) = verify_run(&b, 1, 1);
+        let (oracle, oracle_events) = verify_run(&b, 1, 1);
         assert!(
             oracle.verify.iter().all(|k| !k.flagged()),
             "{}: oracle flags a healthy program",
             b.name
         );
-        for dag_jobs in [1usize, 4] {
-            for devices in [1usize, 2] {
-                if dag_jobs == 1 && devices == 1 {
-                    continue;
+        let calibration = MeasuredCosts::from_journal(&oracle_events);
+        for placement in [Placement::RoundRobin, Placement::Eft, Placement::Measured] {
+            for dag_jobs in [1usize, 4] {
+                for devices in [1usize, 2] {
+                    if dag_jobs == 1 && devices == 1 && placement == Placement::RoundRobin {
+                        continue;
+                    }
+                    let measured = (placement == Placement::Measured)
+                        .then(|| calibration.clone());
+                    let (r, _) = placed_run(&b, dag_jobs, devices, placement, measured);
+                    let ctx = format!(
+                        "dagJobs={dag_jobs} devices={devices} placement={}",
+                        placement.as_str()
+                    );
+                    assert_observables_identical(b.name, &ctx, &oracle, &r);
                 }
-                let (r, _) = verify_run(&b, dag_jobs, devices);
-                let ctx = format!("dagJobs={dag_jobs} devices={devices}");
-                assert_observables_identical(b.name, &ctx, &oracle, &r);
             }
         }
     }
@@ -145,34 +181,66 @@ fn dag_matrix_matches_oracle_observables_on_every_benchmark() {
 /// With two devices and a widened window, at least one benchmark in the
 /// suite schedules two kernels on *distinct* devices whose device-queue
 /// spans overlap on the simulated timeline — the concurrency the DAG
-/// executor exists to expose.
+/// executor exists to expose. Checked for both static planners.
 #[test]
 fn some_benchmark_overlaps_kernels_across_devices() {
-    let mut overlapped = Vec::new();
-    for b in openarc::suite::all(Scale::default()) {
-        let (_, events) = verify_run(&b, 4, 2);
-        // Kernel execution spans per device queue.
-        let spans: Vec<(u32, f64, f64)> = events
-            .iter()
-            .filter_map(|e| match (&e.kind, &e.track) {
-                (EventKind::KernelComplete { .. }, Track::Queue { dev, .. }) => {
-                    Some((*dev, e.ts_us, e.ts_us + e.dur_us))
-                }
-                _ => None,
-            })
-            .collect();
-        let used_second_device = spans.iter().any(|(d, _, _)| *d != 0);
-        let has_cross_device_overlap = spans.iter().enumerate().any(|(i, a)| {
-            spans[i + 1..]
+    for placement in [Placement::RoundRobin, Placement::Eft] {
+        let mut overlapped = Vec::new();
+        for b in openarc::suite::all(Scale::default()) {
+            let (_, events) = placed_run(&b, 4, 2, placement, None);
+            // Kernel execution spans per device queue.
+            let spans: Vec<(u32, f64, f64)> = events
                 .iter()
-                .any(|b| a.0 != b.0 && a.1 < b.2 && b.1 < a.2)
-        });
-        if used_second_device && has_cross_device_overlap {
-            overlapped.push(b.name);
+                .filter_map(|e| match (&e.kind, &e.track) {
+                    (EventKind::KernelComplete { .. }, Track::Queue { dev, .. }) => {
+                        Some((*dev, e.ts_us, e.ts_us + e.dur_us))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let used_second_device = spans.iter().any(|(d, _, _)| *d != 0);
+            let has_cross_device_overlap = spans.iter().enumerate().any(|(i, a)| {
+                spans[i + 1..]
+                    .iter()
+                    .any(|b| a.0 != b.0 && a.1 < b.2 && b.1 < a.2)
+            });
+            if used_second_device && has_cross_device_overlap {
+                overlapped.push(b.name);
+            }
         }
+        assert!(
+            !overlapped.is_empty(),
+            "no benchmark overlapped kernels across devices (placement={})",
+            placement.as_str()
+        );
     }
-    assert!(
-        !overlapped.is_empty(),
-        "no benchmark overlapped kernels across devices"
-    );
+}
+
+/// The pipeline `Session` runs the `placement=measured` two-pass flow
+/// itself: pass 1 measures under round-robin, pass 2 re-places with the
+/// calibrated costs. Observables still match the oracle, and a warm
+/// session serves both passes from cache.
+#[test]
+fn session_measured_two_pass_matches_oracle() {
+    use openarc::core::pipeline::Session;
+    let b = &openarc::suite::all(Scale::default())[0];
+    let (oracle, _) = verify_run(b, 1, 1);
+    let session = Session::new();
+    let fe = session.frontend(&b.naive).unwrap();
+    let tra = session.translate(&fe, &TranslateOptions::default()).unwrap();
+    let eopts = ExecOptions {
+        mode: ExecMode::Verify(VerifyOptions {
+            dag_jobs: 4,
+            devices: 2,
+            placement: Placement::Measured,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let r = session.execute(&tra, &eopts).unwrap();
+    assert_observables_identical(b.name, "session measured", &oracle, &r);
+    // A second invocation is fully cache-served (same fingerprint for
+    // both passes) and returns identical observables.
+    let again = session.execute(&tra, &eopts).unwrap();
+    assert_observables_identical(b.name, "session measured warm", &r, &again);
 }
