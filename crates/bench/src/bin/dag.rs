@@ -150,7 +150,16 @@ fn main() {
     let mut eft_wins = 0usize;
     println!(
         "{:<10} {:>9} {:>9} | {:>9} {:>11} | {:>9} {:>11} {:>7} | {:>9} {:>11}",
-        "benchmark", "seq sim", "dag sim", "rr dev", "rr util", "eft dev", "eft util", "cut", "meas dev", "meas util"
+        "benchmark",
+        "seq sim",
+        "dag sim",
+        "rr dev",
+        "rr util",
+        "eft dev",
+        "eft util",
+        "cut",
+        "meas dev",
+        "meas util"
     );
     for b in openarc_suite::all(scale) {
         let tr = openarc_suite::translate_variant(
@@ -164,7 +173,9 @@ fn main() {
         });
 
         let (oracle, _) = verify_run(&tr, 1, 1, Placement::RoundRobin, None);
-        let t_seq = timing::measure(samples, || verify_run(&tr, 1, 1, Placement::RoundRobin, None));
+        let t_seq = timing::measure(samples, || {
+            verify_run(&tr, 1, 1, Placement::RoundRobin, None)
+        });
 
         // Round-robin leg first: its journal calibrates the measured leg.
         let (rr_run, rr_events) = verify_run(&tr, DAG_JOBS, DEVICES, Placement::RoundRobin, None);
@@ -172,8 +183,7 @@ fn main() {
 
         let mut legs: Vec<PlacementResult> = Vec::new();
         for placement in [Placement::RoundRobin, Placement::Eft, Placement::Measured] {
-            let measured =
-                (placement == Placement::Measured).then(|| calibration.clone());
+            let measured = (placement == Placement::Measured).then(|| calibration.clone());
             let (run, events) = if placement == Placement::RoundRobin {
                 // Reuse the calibration run; reruns are bit-identical.
                 (

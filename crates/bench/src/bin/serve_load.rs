@@ -1,0 +1,335 @@
+//! Load generator for the `openarc serve` daemon: N concurrent clients
+//! hammer the 12-benchmark corpus over the newline-framed JSON protocol
+//! and the run writes throughput + latency percentiles to
+//! `BENCH_serve.json`.
+//!
+//! The gate is **byte identity**: every served report is compared
+//! against the report the one-shot path renders for the same program and
+//! action (`core::api::handle` — exactly what `openarc run/check/verify`
+//! print). A daemon that drops, reorders, or cross-contaminates tenant
+//! state fails the `identical_reports` bit; a daemon whose shared
+//! sessions actually warm up shows `warm_cache_hits > 0` once a second
+//! client repeats the corpus.
+//!
+//! ```text
+//! serve_load [--clients N] [--jobs N] [--queue N] [--scale small|bench]
+//!            [--connect ADDR] [--out PATH]
+//! ```
+//!
+//! Without `--connect` the daemon is self-hosted in-process on an
+//! ephemeral port; with it, the generator drives an external
+//! `openarc serve` (CI starts the real binary and passes its address).
+
+use openarc_bench::timing::Stats;
+use openarc_core::api::{self, Action, Request, Response};
+use openarc_core::pipeline::Session;
+use openarc_core::serve::{Server, ServerConfig};
+use openarc_suite::{all, Scale, Variant};
+use openarc_trace::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Actions the corpus cycles through. `profile` is excluded: its
+/// deliverable is a wall-clock journal, not a deterministic report.
+const ACTIONS: [Action; 3] = [Action::Run, Action::Check, Action::Verify];
+
+struct Args {
+    clients: usize,
+    jobs: usize,
+    queue: usize,
+    scale: Scale,
+    connect: Option<String>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 4,
+        jobs: 4,
+        queue: 64,
+        scale: Scale::default(),
+        connect: None,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients expects a positive integer".to_string())?;
+                if args.clients == 0 {
+                    return Err("--clients must be >= 1".into());
+                }
+            }
+            "--jobs" => args.jobs = openarc_core::sched::parse_jobs(value("--jobs")?)?,
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue expects a positive integer".to_string())?;
+            }
+            "--scale" => {
+                args.scale = match value("--scale")? {
+                    "small" => Scale::default(),
+                    "bench" => Scale::bench(),
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--connect" => args.connect = Some(value("--connect")?.to_string()),
+            "--out" => args.out = value("--out")?.to_string(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One corpus item: what to send and what the one-shot path prints.
+#[derive(Clone)]
+struct Expected {
+    name: &'static str,
+    request: Request,
+    report: String,
+    exit_code: i32,
+}
+
+/// Build the request corpus and its one-shot ground truth: the 12
+/// benchmarks (naive variant), each under run/check/verify in rotation.
+fn build_corpus(scale: Scale) -> Result<Vec<Expected>, String> {
+    let session = Session::builder().build();
+    all(scale)
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let action = ACTIONS[i % ACTIONS.len()];
+            let request = Request::new(action, b.source(Variant::Naive));
+            let resp = api::handle(&session, &request)
+                .map_err(|e| format!("{} one-shot {}: {e}", b.name, action.as_str()))?;
+            Ok(Expected {
+                name: b.name,
+                request,
+                report: resp.report,
+                exit_code: resp.exit_code,
+            })
+        })
+        .collect()
+}
+
+/// Send one line, read one line.
+fn round_trip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<Json, String> {
+    writeln!(stream, "{line}").map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+    if reply.is_empty() {
+        return Err("server closed the connection".into());
+    }
+    Json::parse(&reply).map_err(|e| format!("bad response line: {e}"))
+}
+
+/// What one client measured over its pass through the corpus.
+struct ClientReport {
+    latencies_ns: Vec<u128>,
+    mismatches: Vec<String>,
+    retries: u64,
+}
+
+/// One client: a single connection, the full corpus in order, every
+/// report checked against the one-shot ground truth. `Overloaded`
+/// refusals honour the server's `retry_after_ms` hint.
+fn run_client(addr: &str, corpus: &[Expected]) -> Result<ClientReport, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut out = ClientReport {
+        latencies_ns: Vec::with_capacity(corpus.len()),
+        mismatches: Vec::new(),
+        retries: 0,
+    };
+    for item in corpus {
+        let line = item.request.to_json().to_string();
+        let reply = loop {
+            let t0 = Instant::now();
+            let reply = round_trip(&mut stream, &mut reader, &line)?;
+            if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                out.latencies_ns.push(t0.elapsed().as_nanos());
+                break reply;
+            }
+            let err = reply
+                .get("error")
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| reply.to_string());
+            let retry_after = reply
+                .get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Json::as_u64);
+            match retry_after {
+                Some(ms) if out.retries < 100 => {
+                    out.retries += 1;
+                    std::thread::sleep(Duration::from_millis(ms.min(100)));
+                }
+                _ => return Err(format!("{}: {err}", item.name)),
+            }
+        };
+        let resp = Response::from_json(
+            reply
+                .get("response")
+                .ok_or_else(|| format!("{}: response payload missing", item.name))?,
+        )
+        .map_err(|e| format!("{}: {e}", item.name))?;
+        if resp.report != item.report || resp.exit_code != item.exit_code {
+            out.mismatches.push(format!(
+                "{} {}: served report differs from one-shot",
+                item.name,
+                item.request.action.as_str()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = drive(&args) {
+        eprintln!("serve_load: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn drive(args: &Args) -> Result<(), String> {
+    eprintln!(
+        "building the {}-benchmark one-shot ground truth (n={}, iters={})...",
+        all(args.scale).len(),
+        args.scale.n,
+        args.scale.iters
+    );
+    let corpus = build_corpus(args.scale)?;
+
+    // Self-host unless CI pointed us at an external daemon.
+    let (addr, hosted) = match &args.connect {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind_tcp(
+                ServerConfig {
+                    workers: args.jobs,
+                    queue_capacity: args.queue,
+                    cache_dir: None,
+                    stats_interval: Some(Duration::from_millis(500)),
+                    ..ServerConfig::default()
+                },
+                "127.0.0.1:0",
+            )
+            .map_err(|e| e.to_string())?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?.to_string();
+            let handle = std::thread::spawn(move || {
+                server.run().expect("serve loop failed");
+            });
+            (addr, Some(handle))
+        }
+    };
+    eprintln!(
+        "driving {} clients x {} requests at {addr}",
+        args.clients,
+        corpus.len()
+    );
+
+    let t0 = Instant::now();
+    let reports = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| scope.spawn(|| run_client(&addr, &corpus)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let wall = t0.elapsed();
+
+    // One trailing stats probe: did the shared sessions actually warm up?
+    let mut stream = TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let stats = round_trip(&mut stream, &mut reader, r#"{"action":"stats"}"#)?;
+    let stats = stats.get("stats").cloned().ok_or("stats payload missing")?;
+    if hosted.is_some() {
+        round_trip(&mut stream, &mut reader, r#"{"action":"shutdown"}"#)?;
+    }
+    drop((stream, reader));
+    if let Some(handle) = hosted {
+        handle.join().map_err(|_| "server thread panicked")?;
+    }
+
+    let mut latencies: Vec<u128> = Vec::new();
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut retries = 0;
+    for r in reports {
+        latencies.extend(r.latencies_ns);
+        mismatches.extend(r.mismatches);
+        retries += r.retries;
+    }
+    let lat = Stats::from_samples(latencies.clone());
+    let total = latencies.len() as u64;
+    let throughput = total as f64 / wall.as_secs_f64();
+    let warm_hits = stats
+        .get("stages")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| r.get("hits").and_then(Json::as_u64))
+                .sum::<u64>()
+        })
+        .unwrap_or(0);
+
+    for m in &mismatches {
+        eprintln!("MISMATCH: {m}");
+    }
+    println!(
+        "{} requests over {} clients in {:.1} ms: {:.1} req/s, p50 {:.2} ms, p95 {:.2} ms, \
+         {} warm stage hits, {} retries, identical_reports={}",
+        total,
+        args.clients,
+        wall.as_secs_f64() * 1e3,
+        throughput,
+        lat.p50_ms(),
+        lat.p95_ms(),
+        warm_hits,
+        retries,
+        mismatches.is_empty()
+    );
+
+    let out = Json::obj(vec![
+        ("clients", Json::from(args.clients as u64)),
+        ("jobs", Json::from(args.jobs as u64)),
+        ("queue_capacity", Json::from(args.queue as u64)),
+        ("n", Json::from(args.scale.n as u64)),
+        ("iters", Json::from(args.scale.iters as u64)),
+        ("requests", Json::from(total)),
+        ("wall_ms", Json::from(wall.as_secs_f64() * 1e3)),
+        ("throughput_rps", Json::from(throughput)),
+        ("latency", lat.to_json()),
+        ("identical_reports", Json::from(mismatches.is_empty())),
+        ("warm_cache_hits", Json::from(warm_hits)),
+        ("retries", Json::from(retries)),
+        ("server", stats),
+    ]);
+    std::fs::write(&args.out, format!("{}\n", out.pretty()))
+        .map_err(|e| format!("{}: {e}", args.out))?;
+    eprintln!("wrote {}", args.out);
+    if !mismatches.is_empty() {
+        return Err(format!("{} served reports mismatched", mismatches.len()));
+    }
+    Ok(())
+}

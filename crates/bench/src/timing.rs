@@ -53,6 +53,25 @@ impl Stats {
     }
 }
 
+impl Stats {
+    /// Stats over externally collected samples (nanoseconds) — e.g. the
+    /// per-request latencies a load generator measured across many
+    /// client threads. Panics on an empty sample set.
+    pub fn from_samples(mut times: Vec<u128>) -> Stats {
+        assert!(!times.is_empty(), "Stats::from_samples needs >= 1 sample");
+        times.sort_unstable();
+        // Nearest-rank percentile on the sorted samples.
+        let rank = |p: usize| times[(p * (times.len() - 1) + 50) / 100];
+        Stats {
+            median_ns: rank(50),
+            p95_ns: rank(95),
+            min_ns: times[0],
+            max_ns: *times.last().unwrap(),
+            samples: times.len(),
+        }
+    }
+}
+
 /// Run `f` once as warmup, then `samples` timed times; returns the stats.
 pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> Stats {
     std::hint::black_box(f());
@@ -62,16 +81,7 @@ pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> Stats {
         std::hint::black_box(f());
         times.push(t0.elapsed().as_nanos());
     }
-    times.sort_unstable();
-    // Nearest-rank percentile on the sorted samples.
-    let rank = |p: usize| times[(p * (times.len() - 1) + 50) / 100];
-    Stats {
-        median_ns: rank(50),
-        p95_ns: rank(95),
-        min_ns: times[0],
-        max_ns: *times.last().unwrap(),
-        samples,
-    }
+    Stats::from_samples(times)
 }
 
 /// Measure and print one labelled row (`label  p50  p95  min  max`).
@@ -99,6 +109,16 @@ mod tests {
         assert_eq!(s.samples, 5);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
         assert!(s.p95_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn from_samples_matches_measure_semantics() {
+        let s = Stats::from_samples(vec![5, 1, 3, 2, 4]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 5);
+        assert_eq!(s.median_ns, 3);
+        assert_eq!(s.p95_ns, 5);
     }
 
     #[test]

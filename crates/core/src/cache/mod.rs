@@ -141,6 +141,9 @@ pub struct ExportReport {
 /// recompute.
 pub struct DiskCache {
     root: PathBuf,
+    /// Tenant namespace folded into every entry key (`""` = the default
+    /// namespace, whose keys are identical to a pre-namespace store).
+    namespace: String,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
@@ -168,10 +171,21 @@ pub const DISK_STAGES: [Stage; 4] = [
 
 impl DiskCache {
     /// Open (lazily — directories are created on first store) a cache
-    /// rooted at `root`.
+    /// rooted at `root`, in the default (empty) tenant namespace.
     pub fn new(root: impl Into<PathBuf>) -> DiskCache {
+        DiskCache::with_namespace(root, "")
+    }
+
+    /// Open a cache rooted at `root` whose entry keys are folded with the
+    /// tenant namespace `namespace`. Two caches over the same root with
+    /// different namespaces address disjoint key sets: one tenant's
+    /// entries are plain misses for every other tenant (the multi-tenant
+    /// isolation layer behind `openarc serve`). The empty namespace
+    /// addresses exactly the keys [`DiskCache::new`] does.
+    pub fn with_namespace(root: impl Into<PathBuf>, namespace: impl Into<String>) -> DiskCache {
         DiskCache {
             root: root.into(),
+            namespace: namespace.into(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
@@ -183,6 +197,11 @@ impl DiskCache {
     /// Root directory of the store.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Tenant namespace this handle addresses (`""` = default).
+    pub fn namespace(&self) -> &str {
+        &self.namespace
     }
 
     /// Snapshot of this process's traffic counters.
@@ -197,15 +216,21 @@ impl DiskCache {
     }
 
     /// Entry key: the artifact's content hash folded with the schema
-    /// version and tool fingerprint, so incompatible layouts are simply
-    /// never addressed.
-    fn entry_key(stage: Stage, id: ArtifactId) -> u64 {
-        Fnv::new()
-            .write_u64(SCHEMA_VERSION)
+    /// version, tool fingerprint, and (when non-empty) the tenant
+    /// namespace, so incompatible layouts — and other tenants' entries —
+    /// are simply never addressed. The empty namespace writes nothing
+    /// into the hash, keeping default-namespace keys stable across the
+    /// namespace feature's introduction.
+    fn entry_key(&self, stage: Stage, id: ArtifactId) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(SCHEMA_VERSION)
             .write_str(tool_fingerprint())
             .write_str(stage.label())
-            .write_u64(id.0)
-            .finish()
+            .write_u64(id.0);
+        if !self.namespace.is_empty() {
+            h.write_str("tenant").write_str(&self.namespace);
+        }
+        h.finish()
     }
 
     fn entry_path(&self, stage: Stage, key: u64, ext: &str) -> PathBuf {
@@ -235,7 +260,7 @@ impl DiskCache {
         decode_json: impl FnOnce(&Json) -> Result<T, String>,
         reencode: impl FnOnce(&T) -> Vec<u8>,
     ) -> Lookup<T> {
-        let key = Self::entry_key(stage, id);
+        let key = self.entry_key(stage, id);
         let bin_path = self.entry_path(stage, key, "bin");
         if let Ok(bytes) = fs::read(&bin_path) {
             return match decode_bin(&bytes) {
@@ -278,7 +303,7 @@ impl DiskCache {
         id: ArtifactId,
         decode: impl FnOnce(&Json) -> Result<T, String>,
     ) -> Lookup<T> {
-        let key = Self::entry_key(stage, id);
+        let key = self.entry_key(stage, id);
         let path = self.entry_path(stage, key, "json");
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
@@ -358,7 +383,7 @@ impl DiskCache {
     }
 
     fn store_bytes(&self, stage: Stage, id: ArtifactId, bytes: &[u8]) -> bool {
-        let ok = self.publish(stage, Self::entry_key(stage, id), "bin", bytes);
+        let ok = self.publish(stage, self.entry_key(stage, id), "bin", bytes);
         if ok {
             self.stores.fetch_add(1, Ordering::Relaxed);
         }
@@ -399,7 +424,7 @@ impl DiskCache {
             ("id", Json::from(id.0)),
             ("payload", payload),
         ]);
-        let key = Self::entry_key(stage, id);
+        let key = self.entry_key(stage, id);
         let ok = self.publish(stage, key, "json", entry.pretty().as_bytes());
         if ok {
             self.stores.fetch_add(1, Ordering::Relaxed);
@@ -771,7 +796,7 @@ mod tests {
         // deleted, none panic.
         let cache = DiskCache::new(scratch("corrupt"));
         let id = ArtifactId(9);
-        let key = DiskCache::entry_key(Stage::Frontend, id);
+        let key = cache.entry_key(Stage::Frontend, id);
         let path = cache.entry_path(Stage::Frontend, key, "json");
         let wrong_schema = Json::obj(vec![
             ("schema", Json::from(SCHEMA_VERSION + 1)),
@@ -823,7 +848,7 @@ mod tests {
         // it becomes the newest and survives eviction.
         let now = SystemTime::now();
         for n in 0..4u64 {
-            let key = DiskCache::entry_key(Stage::Frontend, ArtifactId(n));
+            let key = cache.entry_key(Stage::Frontend, ArtifactId(n));
             let f = fs::File::open(cache.entry_path(Stage::Frontend, key, "json")).unwrap();
             f.set_modified(now - Duration::from_secs(100 - n)).unwrap();
         }
@@ -863,7 +888,7 @@ mod tests {
             .as_secs();
         let bucket = SystemTime::UNIX_EPOCH + Duration::from_secs(secs);
         let touch = |stage: Stage, id: ArtifactId, offset_ms: u64| {
-            let key = DiskCache::entry_key(stage, id);
+            let key = cache.entry_key(stage, id);
             let f = fs::File::open(cache.entry_path(stage, key, "json")).unwrap();
             f.set_modified(bucket + Duration::from_millis(offset_ms))
                 .unwrap();
@@ -937,7 +962,7 @@ mod tests {
         let art = frontend_artifact(3);
         assert!(matches!(cache.load_frontend(art.id), Lookup::Miss));
         assert!(cache.store_frontend(&art));
-        let key = DiskCache::entry_key(Stage::Frontend, art.id);
+        let key = cache.entry_key(Stage::Frontend, art.id);
         assert!(cache.entry_path(Stage::Frontend, key, "bin").exists());
         assert!(!cache.entry_path(Stage::Frontend, key, "json").exists());
         match cache.load_frontend(art.id) {
@@ -959,7 +984,7 @@ mod tests {
             art.id,
             codec::frontend_payload(&art.program, &art.sema),
         ));
-        let key = DiskCache::entry_key(Stage::Frontend, art.id);
+        let key = cache.entry_key(Stage::Frontend, art.id);
         assert!(cache.entry_path(Stage::Frontend, key, "json").exists());
         assert!(!cache.entry_path(Stage::Frontend, key, "bin").exists());
         // The hit decodes the JSON entry and migrates it in place.
@@ -986,7 +1011,7 @@ mod tests {
     fn corrupt_binary_entries_are_deleted_and_recomputable() {
         let cache = DiskCache::new(scratch("bin-corrupt"));
         let art = frontend_artifact(5);
-        let key = DiskCache::entry_key(Stage::Frontend, art.id);
+        let key = cache.entry_key(Stage::Frontend, art.id);
         let path = cache.entry_path(Stage::Frontend, key, "bin");
         let good = cache.store_frontend(&art);
         assert!(good);
@@ -1038,6 +1063,48 @@ mod tests {
         assert_eq!((src_row.bin_entries, src_row.json_entries), (1, 1));
         let _ = fs::remove_dir_all(cache.root());
         let _ = fs::remove_dir_all(dest.root());
+    }
+
+    #[test]
+    fn tenant_namespaces_are_disjoint() {
+        // Same root, same artifact id, three namespaces: each handle
+        // addresses its own key, so one tenant's warm entries are plain
+        // misses for every other tenant and for the default namespace.
+        let root = scratch("tenant");
+        let a = DiskCache::with_namespace(&root, "tenant-a");
+        let b = DiskCache::with_namespace(&root, "tenant-b");
+        let default = DiskCache::new(&root);
+        let id = ArtifactId(7);
+        assert_ne!(
+            a.entry_key(Stage::Frontend, id),
+            b.entry_key(Stage::Frontend, id)
+        );
+        assert_ne!(
+            a.entry_key(Stage::Frontend, id),
+            default.entry_key(Stage::Frontend, id)
+        );
+        assert!(a.store(Stage::Frontend, id, payload(1)));
+        assert!(matches!(
+            a.load_with(Stage::Frontend, id, decode_n),
+            Lookup::Hit(1)
+        ));
+        assert!(matches!(
+            b.load_with(Stage::Frontend, id, decode_n),
+            Lookup::Miss
+        ));
+        assert!(matches!(
+            default.load_with(Stage::Frontend, id, decode_n),
+            Lookup::Miss
+        ));
+        // The default namespace is the identity: a second handle made via
+        // `new` reads what the first wrote.
+        assert!(default.store(Stage::Execute, id, payload(2)));
+        let again = DiskCache::new(&root);
+        assert!(matches!(
+            again.load_with(Stage::Execute, id, decode_n),
+            Lookup::Hit(2)
+        ));
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

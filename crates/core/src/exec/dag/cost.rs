@@ -165,10 +165,20 @@ fn walk_mult(block: &Block, mult: u64, ops: &[RtOp], out: &mut [u64]) {
                 body,
             } => {
                 let trips = loop_trips(init.as_deref(), cond.as_ref(), step.as_deref());
-                walk_mult(body, mult.saturating_mul(trips.max(1)).min(MULT_CAP), ops, out);
+                walk_mult(
+                    body,
+                    mult.saturating_mul(trips.max(1)).min(MULT_CAP),
+                    ops,
+                    out,
+                );
             }
             StmtKind::While { body, .. } => {
-                walk_mult(body, mult.saturating_mul(DEFAULT_TRIPS).min(MULT_CAP), ops, out);
+                walk_mult(
+                    body,
+                    mult.saturating_mul(DEFAULT_TRIPS).min(MULT_CAP),
+                    ops,
+                    out,
+                );
             }
             StmtKind::If {
                 then_blk, else_blk, ..
@@ -199,7 +209,7 @@ fn walk_mult(block: &Block, mult: u64, ops: &[RtOp], out: &mut [u64]) {
 /// Estimate how many times each launch site fires over one program run:
 /// the product of the trip counts of the loops enclosing its `__host_op`
 /// marker in the lowered host AST. Constant-bound counted loops fold
-/// exactly; anything else contributes [`DEFAULT_TRIPS`]. Sites the walk
+/// exactly; anything else contributes `DEFAULT_TRIPS`. Sites the walk
 /// never reaches (dead code) report 1.
 pub fn launch_multiplicity(tr: &Translated) -> Vec<u64> {
     let mut out = vec![0u64; tr.kernels.len()];
@@ -547,12 +557,17 @@ pub fn eft_plan(dag: &DepDag, costs: &CostTable, model: &CostModel, n_devices: u
     // terminates; the cap is a belt-and-braces bound.
     for _ in 0..(2 * dag.len() + 8) {
         let b = (0..n)
-            .max_by(|&a, &c| busy[a].partial_cmp(&busy[c]).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|&a, &c| {
+                busy[a]
+                    .partial_cmp(&busy[c])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .unwrap_or(0);
         let bottleneck = busy[b];
         // Candidate donors on the bottleneck device, heaviest first.
-        let mut donors: Vec<usize> =
-            (0..dag.len()).filter(|&j| plan[j].0 as usize == b).collect();
+        let mut donors: Vec<usize> = (0..dag.len())
+            .filter(|&j| plan[j].0 as usize == b)
+            .collect();
         donors.sort_by(|&x, &y| {
             site_cost(y)
                 .partial_cmp(&site_cost(x))
@@ -734,7 +749,7 @@ mod tests {
         assert_eq!(m.kernel_us.get("k0"), Some(&20.0));
         // 7 µs of verify staging over 2 launches.
         assert_eq!(m.stage_us.get("k0"), Some(&3.5));
-        assert!(m.stage_us.get("update0").is_none());
+        assert!(!m.stage_us.contains_key("update0"));
     }
 
     #[test]

@@ -115,7 +115,10 @@ impl VarTable {
 
     /// Id of an already-interned name.
     pub fn get(&self, name: &str) -> Option<VarId> {
-        self.names.iter().position(|n| n == name).map(|i| i as VarId)
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as VarId)
     }
 
     /// Name of an id.
@@ -177,8 +180,7 @@ impl DepDag {
     /// Build the DAG from the kernel launch table.
     pub fn build(kernels: &[KernelInfo]) -> DepDag {
         let mut vars = VarTable::default();
-        let footprints: Vec<Footprint> =
-            kernels.iter().map(|k| footprint(k, &mut vars)).collect();
+        let footprints: Vec<Footprint> = kernels.iter().map(|k| footprint(k, &mut vars)).collect();
         let mut deps: Vec<Vec<usize>> = vec![Vec::new(); kernels.len()];
         let mut levels: Vec<usize> = vec![0; kernels.len()];
         for j in 0..kernels.len() {

@@ -196,6 +196,10 @@ impl TransferOverlay {
 }
 
 /// Execution mode.
+///
+/// `Verify` carries the full option block inline: one `ExecMode` exists
+/// per pipeline run, so the size skew between variants never multiplies.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Default)]
 pub enum ExecMode {
     /// Production run.

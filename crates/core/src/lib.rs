@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
 pub mod exec;
 pub mod faults;
@@ -29,9 +30,11 @@ pub mod knowledge;
 pub mod options;
 pub mod pipeline;
 pub mod sched;
+pub mod serve;
 pub mod translate;
 pub mod verify;
 
+pub use api::{Action, ApiError, ErrorKind, Request, Response};
 pub use cache::{DiskCache, DiskStats};
 pub use exec::{
     execute, ExecMode, ExecOptions, KernelVerification, RunResult, TransferKey, TransferOverlay,
@@ -43,6 +46,7 @@ pub use ir::{DataAction, KernelInfo, KernelParam, RtOp};
 pub use knowledge::{KernelAssert, KernelBound, KernelKnowledge};
 pub use options::{parse_verification_options, verification_options_from_env};
 pub use pipeline::{PipelineRun, PipelineStats, Session, Stage};
-pub use sched::{parse_jobs, run_tasks};
+pub use sched::{parse_jobs, run_tasks, WorkQueue};
+pub use serve::{Server, ServerConfig};
 pub use translate::{translate, TranslateOptions, Translated};
 pub use verify::{demote_source, verify_kernels, VerificationReport};

@@ -8,6 +8,21 @@
 use crate::exec::VerifyOptions;
 use std::collections::BTreeSet;
 
+/// Every key `parse_verification_options` accepts, sorted — quoted in
+/// the unknown-key diagnostic so a typo'd spec names its own fix.
+pub const ACCEPTED_KEYS: [&str; 10] = [
+    "absTol",
+    "compareJobs",
+    "complement",
+    "dagJobs",
+    "devices",
+    "kernels",
+    "minValueToCheck",
+    "placement",
+    "queue",
+    "relTol",
+];
+
 /// Error from parsing an option string.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptionError(pub String);
@@ -53,11 +68,18 @@ impl std::error::Error for OptionError {}
 /// ```
 pub fn parse_verification_options(spec: &str) -> Result<VerifyOptions, OptionError> {
     let mut opts = VerifyOptions::default();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
     for pair in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         let Some((key, value)) = pair.split_once('=') else {
             return Err(OptionError(format!("`{pair}` is not key=value")));
         };
-        match key.trim() {
+        let key = key.trim();
+        if !seen.insert(key) {
+            return Err(OptionError(format!(
+                "duplicate key `{key}` (each key may appear once)"
+            )));
+        }
+        match key {
             "complement" => {
                 opts.complement = match value.trim() {
                     "0" => false,
@@ -146,7 +168,12 @@ pub fn parse_verification_options(spec: &str) -> Result<VerifyOptions, OptionErr
                     }
                 }
             }
-            other => return Err(OptionError(format!("unknown key `{other}`"))),
+            other => {
+                return Err(OptionError(format!(
+                    "unknown key `{other}` (accepted: {})",
+                    ACCEPTED_KEYS.join(", ")
+                )))
+            }
         }
     }
     Ok(opts)
@@ -265,6 +292,61 @@ mod tests {
         assert!(parse_verification_options("kernels=").is_err());
         assert!(parse_verification_options("minValueToCheck=abc").is_err());
         assert!(parse_verification_options("frobnicate=1").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        for spec in [
+            "complement=0,complement=1",
+            "kernels=k0,kernels=k1",
+            "relTol=1e-4,absTol=1e-8,relTol=1e-6",
+            // Whitespace around a key does not hide the repeat.
+            "queue=1, queue =2",
+        ] {
+            let err = parse_verification_options(spec).unwrap_err();
+            assert!(err.0.contains("duplicate key"), "{spec}: {err}");
+        }
+        // The message names the offending key, not just "a duplicate".
+        let err = parse_verification_options("dagJobs=2,dagJobs=4").unwrap_err();
+        assert!(err.0.contains("`dagJobs`"), "{err}");
+        // Distinct keys never trip the check.
+        assert!(parse_verification_options("relTol=1e-4,absTol=1e-8").is_ok());
+    }
+
+    #[test]
+    fn unknown_key_reports_the_accepted_set() {
+        let err = parse_verification_options("frobnicate=1").unwrap_err();
+        assert!(err.0.contains("`frobnicate`"), "{err}");
+        for key in ACCEPTED_KEYS {
+            assert!(err.0.contains(key), "missing {key} in: {err}");
+        }
+        // The list stays sorted so the diagnostic is scannable.
+        let mut sorted = ACCEPTED_KEYS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, ACCEPTED_KEYS);
+    }
+
+    #[test]
+    fn malformed_input_classes_each_name_their_problem() {
+        for (spec, needle) in [
+            ("complement", "not key=value"),
+            ("complement=2", "complement must be 0 or 1"),
+            ("kernels=", "kernels list is empty"),
+            ("kernels=::", "kernels list is empty"),
+            ("minValueToCheck=abc", "bad float"),
+            ("relTol=", "bad float"),
+            ("absTol=1e", "bad float"),
+            ("queue=1.5", "bad integer"),
+            ("compareJobs=0", "compareJobs must be >= 1"),
+            ("dagJobs=-1", "bad integer"),
+            ("devices=0", "devices must be >= 1"),
+            ("placement=greedy", "placement must be"),
+            ("queue=1,queue=2", "duplicate key"),
+            ("frobnicate=1", "unknown key"),
+        ] {
+            let err = parse_verification_options(spec).unwrap_err();
+            assert!(err.0.contains(needle), "{spec}: {err}");
+        }
     }
 
     #[test]

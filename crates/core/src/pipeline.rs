@@ -52,7 +52,7 @@
 //! Every stage records its **wall-clock** cost (cache hits included, so
 //! reuse is visible as near-zero time): [`Session::stage_times`] returns
 //! the accumulated per-stage breakdown, and a session built with
-//! [`Session::with_stage_journal`] additionally emits one
+//! [`SessionBuilder::journal`] additionally emits one
 //! [`EventKind::Stage`] span per stage request into the given journal.
 //! Stage spans measure real time, not simulated time — they never enter
 //! the deterministic per-run journals compared across worker counts.
@@ -615,6 +615,7 @@ impl Default for Session {
 pub struct SessionBuilder {
     journal: Option<Journal>,
     disk: Option<PathBuf>,
+    namespace: String,
 }
 
 impl SessionBuilder {
@@ -642,11 +643,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Fold a tenant namespace into the disk layer's entry keys (see
+    /// [`DiskCache::with_namespace`]): sessions with different namespaces
+    /// over the same [`SessionBuilder::disk_cache`] root never observe
+    /// each other's persisted artifacts. No effect without a disk layer;
+    /// the empty namespace (the default) is the identity.
+    pub fn cache_namespace(mut self, namespace: impl Into<String>) -> SessionBuilder {
+        self.namespace = namespace.into();
+        self
+    }
+
     /// Construct the session.
     pub fn build(self) -> Session {
         Session {
             stage_journal: self.journal.unwrap_or_else(Journal::disabled),
-            disk: self.disk.map(|dir| Arc::new(DiskCache::new(dir))),
+            disk: self
+                .disk
+                .map(|dir| Arc::new(DiskCache::with_namespace(dir, self.namespace))),
             ..Session::default()
         }
     }
@@ -679,23 +692,17 @@ impl Session {
         SessionBuilder::default()
     }
 
-    /// Fresh session with empty caches.
-    #[deprecated(note = "use `Session::builder().build()`")]
-    pub fn new() -> Session {
-        Session::default()
-    }
-
-    /// Fresh session that additionally emits one [`EventKind::Stage`] span
-    /// per stage request into `journal`.
-    #[deprecated(note = "use `Session::builder().journal(journal).build()`")]
-    pub fn with_stage_journal(journal: Journal) -> Session {
-        Session::builder().journal(journal).build()
-    }
-
     /// The persistent artifact store, when the session was built with
     /// [`SessionBuilder::disk_cache`].
     pub fn disk_cache(&self) -> Option<&DiskCache> {
         self.disk.as_deref()
+    }
+
+    /// The session-level stage journal ([`SessionBuilder::journal`]);
+    /// disabled when the session was built without one. Cloning the
+    /// handle shares the underlying stream.
+    pub fn stage_journal(&self) -> &Journal {
+        &self.stage_journal
     }
 
     /// Journal one disk-cache operation (zero-duration marker event).

@@ -12,8 +12,10 @@
 //! figure/table drivers (`--jobs N`), and mirrored in miniature inside the
 //! verified launch path where the CPU reference overlaps the device run.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of workers the host can usefully run (`available_parallelism`,
 /// falling back to 1 when the platform cannot say).
@@ -127,6 +129,166 @@ where
         .collect()
 }
 
+/// Admission refusal from [`WorkQueue::try_submit`]: the bounded queue
+/// is at capacity. Carries the depth observed at refusal so the caller
+/// can size a retry-after hint (depth × recent service time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Jobs waiting (excluding those already running) when refused.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work queue full ({} jobs waiting)", self.depth)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct QueueInner {
+    state: Mutex<QueueState>,
+    /// Signalled when a job is enqueued or shutdown begins.
+    available: Condvar,
+    capacity: usize,
+    /// Jobs whose closure panicked (the worker survives and keeps
+    /// serving; the panic is contained, not resurfaced).
+    panicked: AtomicUsize,
+}
+
+/// A persistent worker pool with a **bounded** submission queue — the
+/// admission-control half of the `openarc serve` daemon.
+///
+/// Where [`run_tasks`] fans a known batch over short-lived scoped
+/// threads, `WorkQueue` keeps `workers` threads alive for the life of
+/// the pool and accepts jobs one at a time, refusing (never blocking)
+/// when more than `capacity` jobs are already waiting: callers get a
+/// [`QueueFull`] carrying the observed depth and decide whether to shed
+/// load or retry later. A panicking job is contained to its worker
+/// ([`WorkQueue::panicked`] counts them); dropping the pool finishes
+/// every admitted job before the workers exit.
+///
+/// ```
+/// use openarc_core::sched::WorkQueue;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// let pool = WorkQueue::new(2, 16);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let hits = hits.clone();
+///     pool.try_submit(move || {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     })
+///     .unwrap();
+/// }
+/// drop(pool); // joins the workers; every admitted job has run
+/// assert_eq!(hits.load(Ordering::SeqCst), 8);
+/// ```
+pub struct WorkQueue {
+    inner: Arc<QueueInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkQueue {
+    /// Start a pool of `workers` threads (min 1) admitting at most
+    /// `capacity` waiting jobs (min 1; running jobs don't count against
+    /// the bound).
+    pub fn new(workers: usize, capacity: usize) -> WorkQueue {
+        let inner = Arc::new(QueueInner {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            panicked: AtomicUsize::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut st = inner.state.lock().expect("work queue poisoned");
+                        loop {
+                            if let Some(job) = st.jobs.pop_front() {
+                                break job;
+                            }
+                            if st.shutdown {
+                                return;
+                            }
+                            st = inner.available.wait(st).expect("work queue poisoned");
+                        }
+                    };
+                    if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                        inner.panicked.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        WorkQueue { inner, workers }
+    }
+
+    /// Enqueue `job`, or refuse with [`QueueFull`] if `capacity` jobs
+    /// are already waiting. Never blocks the caller.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), QueueFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut st = self.inner.state.lock().expect("work queue poisoned");
+        if st.jobs.len() >= self.inner.capacity {
+            return Err(QueueFull {
+                depth: st.jobs.len(),
+            });
+        }
+        st.jobs.push_back(Box::new(job));
+        drop(st);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs admitted but not yet started.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("work queue poisoned")
+            .jobs
+            .len()
+    }
+
+    /// The queue bound this pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Jobs whose closure panicked (contained; the pool kept serving).
+    pub fn panicked(&self) -> usize {
+        self.inner.panicked.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkQueue {
+    /// Graceful shutdown: admitted jobs all run, then workers exit.
+    fn drop(&mut self) {
+        self.inner
+            .state
+            .lock()
+            .expect("work queue poisoned")
+            .shutdown = true;
+        self.inner.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// Split `0..total` into at most `parts` contiguous, near-equal ranges
 /// (`lo..hi` half-open), in order. Used by the verified-launch comparison
 /// stage to chunk one written aggregate across [`run_tasks`] workers:
@@ -215,6 +377,86 @@ mod tests {
         let r = catch_unwind(AssertUnwindSafe(|| run_tasks(4, tasks)));
         assert!(r.is_err());
         assert_eq!(DONE.load(Ordering::SeqCst), 7, "other tasks still ran");
+    }
+
+    #[test]
+    fn work_queue_runs_every_admitted_job() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkQueue::new(3, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let done = done.clone();
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn work_queue_refuses_when_full_and_recovers() {
+        // One worker pinned on a gate; capacity 2 means the third
+        // *waiting* job is refused with the observed depth.
+        let pool = WorkQueue::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = gate.clone();
+        pool.try_submit(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        // Wait until the worker has picked the gate job up, so the
+        // queue depth is deterministic.
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(|| {}).unwrap();
+        pool.try_submit(|| {}).unwrap();
+        let err = pool.try_submit(|| {}).unwrap_err();
+        assert_eq!(err, QueueFull { depth: 2 });
+        assert!(err.to_string().contains("2 jobs waiting"));
+        // Opening the gate drains the queue and admission resumes.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        while pool.depth() >= pool.capacity() {
+            std::thread::yield_now();
+        }
+        assert!(pool.try_submit(|| {}).is_ok());
+    }
+
+    #[test]
+    fn work_queue_contains_job_panics() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkQueue::new(1, 8);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.try_submit(|| panic!("job exploded")).unwrap();
+        let d = done.clone();
+        pool.try_submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        // Single worker, FIFO: once the second job has run, the first
+        // has already panicked and been counted.
+        while done.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panicked(), 1);
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker survived the panic");
+    }
+
+    #[test]
+    fn work_queue_clamps_degenerate_sizes() {
+        let pool = WorkQueue::new(0, 0);
+        assert_eq!(pool.capacity(), 1);
+        pool.try_submit(|| {}).unwrap();
+        drop(pool);
     }
 
     #[test]

@@ -322,6 +322,7 @@ mod tag {
     pub const VERIFICATION: u8 = 10;
     pub const STAGE: u8 = 11;
     pub const CACHE: u8 = 12;
+    pub const SERVE: u8 = 13;
 }
 
 /// Encode one event: kind tag, timestamps as bit patterns, track, then
@@ -341,6 +342,7 @@ pub fn write_event(w: &mut Writer, ev: &TraceEvent) {
         EventKind::Verification { .. } => tag::VERIFICATION,
         EventKind::Stage { .. } => tag::STAGE,
         EventKind::Cache { .. } => tag::CACHE,
+        EventKind::Serve { .. } => tag::SERVE,
     };
     w.put_u8(t);
     w.put_f64(ev.ts_us);
@@ -431,6 +433,10 @@ pub fn write_event(w: &mut Writer, ev: &TraceEvent) {
             w.put_u8(label_code(stage, STAGES));
             w.put_u8(label_code(op, CACHE_OPS));
         }
+        EventKind::Serve { gauge, value } => {
+            w.put_str(gauge);
+            w.put_f64(*value);
+        }
     }
 }
 
@@ -505,6 +511,10 @@ pub fn read_event(r: &mut Reader<'_>) -> Result<TraceEvent, String> {
         tag::CACHE => EventKind::Cache {
             stage: code_label(r.u8()?, STAGES, "stage")?,
             op: code_label(r.u8()?, CACHE_OPS, "cache op")?,
+        },
+        tag::SERVE => EventKind::Serve {
+            gauge: r.string()?,
+            value: r.f64()?,
         },
         other => return Err(format!("unknown event tag {other}")),
     };

@@ -122,6 +122,10 @@ fn args_of(ev: &TraceEvent) -> Json {
         EventKind::Cache { stage, op } => {
             Json::obj(vec![("stage", Json::from(*stage)), ("op", Json::from(*op))])
         }
+        EventKind::Serve { gauge, value } => Json::obj(vec![
+            ("gauge", Json::from(gauge.as_str())),
+            ("value", Json::from(*value)),
+        ]),
     }
 }
 

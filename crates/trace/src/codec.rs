@@ -207,6 +207,13 @@ pub fn event_to_json(ev: &TraceEvent) -> Json {
             "cache",
             vec![("stage", Json::from(*stage)), ("op", Json::from(*op))],
         ),
+        EventKind::Serve { gauge, value } => (
+            "serve",
+            vec![
+                ("gauge", Json::from(gauge.as_str())),
+                ("value", f64_to_json(*value)),
+            ],
+        ),
     };
     pairs.push(("k", Json::from(tag)));
     pairs.append(&mut fields);
@@ -313,6 +320,10 @@ pub fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
         "cache" => EventKind::Cache {
             stage: intern(str_field(v, "stage")?, STAGES, "stage")?,
             op: intern(str_field(v, "op")?, CACHE_OPS, "cache op")?,
+        },
+        "serve" => EventKind::Serve {
+            gauge: str_field(v, "gauge")?.to_string(),
+            value: f64_field(v, "value")?,
         },
         other => return Err(format!("unknown event tag {other:?}")),
     };
@@ -447,6 +458,13 @@ mod tests {
                     n_threads: 1,
                     queue: None,
                     dev: 1,
+                },
+            ),
+            mk(
+                Track::Host,
+                EventKind::Serve {
+                    gauge: "queue_depth".into(),
+                    value: 3.0,
                 },
             ),
         ]

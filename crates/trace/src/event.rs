@@ -255,6 +255,17 @@ pub enum EventKind {
         /// `"corrupt"`.
         op: &'static str,
     },
+    /// One gauge sample from the `openarc serve` daemon's periodic stats
+    /// heartbeat (instant, server-level stream — real wall-clock offsets
+    /// since daemon start, same rules as [`EventKind::Stage`]: never part
+    /// of the deterministic per-run journals).
+    Serve {
+        /// Gauge name, e.g. `"in_flight"`, `"queue_depth"`, `"p95_us"`,
+        /// `"cache_hits"`.
+        gauge: String,
+        /// Sampled value.
+        value: f64,
+    },
 }
 
 impl TraceEvent {
@@ -284,6 +295,7 @@ impl TraceEvent {
                 format!("stage {stage}{}", if *cached { " (cached)" } else { "" })
             }
             EventKind::Cache { stage, op } => format!("cache {op} {stage}"),
+            EventKind::Serve { gauge, value } => format!("serve {gauge}={value}"),
         }
     }
 
@@ -302,6 +314,7 @@ impl TraceEvent {
             EventKind::Verification { .. } => "verify",
             EventKind::Stage { .. } => "stage",
             EventKind::Cache { .. } => "cache",
+            EventKind::Serve { .. } => "serve",
         }
     }
 

@@ -29,6 +29,7 @@
 //! input or usage, `3` execution failure.
 
 use openarc::bench::args::BenchArgs;
+use openarc::core::api::{self, Action, ApiError, Request};
 use openarc::core::cache::{DiskCache, DEFAULT_DIR};
 use openarc::core::options::parse_verification_options;
 use openarc::core::pipeline::{PipelineError, Session};
@@ -71,6 +72,15 @@ impl From<PipelineError> for CliError {
     }
 }
 
+impl From<ApiError> for CliError {
+    fn from(e: ApiError) -> CliError {
+        CliError {
+            code: e.exit_code(),
+            msg: e.message,
+        }
+    }
+}
+
 fn usage() -> String {
     "usage: openarc <run|cpu|verify|check|demote|profile|dag|bench|cache> [args]\n\
      \n\
@@ -98,6 +108,18 @@ fn usage() -> String {
        --verify                 profile a kernel-verification run instead\n\
        --verify-opts <spec>     like --verify with verificationOptions, e.g.\n\
                                 devices=2,dagJobs=4,placement=eft\n\
+     serve [flags]              start the compile-and-verify daemon; clients\n\
+                                send newline-framed JSON requests (see the\n\
+                                README's wire-protocol table)\n\
+       --tcp <ADDR>             listen address (default 127.0.0.1:0; the\n\
+                                chosen port is printed as `listening on ...`)\n\
+       --jobs <N|auto>          pipeline worker threads (default 2)\n\
+       --queue <N>              admission queue bound (default 64); beyond\n\
+                                it requests are refused with retry_after_ms\n\
+       --stats-interval-ms <N>  heartbeat period for serve gauge events\n\
+                                (default 1000, 0 disables)\n\
+       --journal-out <path>     write the heartbeat journal as a Chrome\n\
+                                trace on shutdown\n\
      dag <file.c> [spec]        print the launch dependency DAG as Graphviz\n\
                                 dot; spec is the verificationOptions syntax\n\
                                 (devices/placement drive the annotations)\n\
@@ -170,130 +192,32 @@ fn load(path: &str) -> Result<(openarc::minic::Program, openarc::minic::Sema), S
     })
 }
 
-fn print_outputs(tr: &Translated, r: &openarc::core::exec::RunResult) {
-    for g in &tr.host_module.globals {
-        if g.name.starts_with("__") {
-            continue;
-        }
-        match &g.ty {
-            openarc::minic::Ty::Scalar(_) => {
-                if let Some(v) = r.global_scalar(tr, &g.name) {
-                    println!("{:<16} = {v}", g.name);
-                }
-            }
-            openarc::minic::Ty::Array(..) | openarc::minic::Ty::Ptr(_) => {
-                if let Some(vals) = r.global_array(tr, &g.name) {
-                    let head: Vec<String> =
-                        vals.iter().take(6).map(|v| format!("{v:.6}")).collect();
-                    let ell = if vals.len() > 6 { ", …" } else { "" };
-                    println!(
-                        "{:<16} = [{}{}] (len {})",
-                        g.name,
-                        head.join(", "),
-                        ell,
-                        vals.len()
-                    );
-                }
-            }
-            _ => {}
-        }
+/// Route a one-shot pipeline command through [`api::handle`] — the same
+/// entry point the `serve` daemon uses — and print the rendered report
+/// verbatim, so one-shot and served output are byte-identical by
+/// construction.
+fn one_shot(action: Action, rest: &[String]) -> Result<i32, CliError> {
+    let (rest, cache) = cache_flags(rest, None)?;
+    let path = rest.first().ok_or_else(usage)?;
+    let mut req = Request::new(action, read_source(path)?);
+    if action == Action::Verify {
+        req.options = rest.get(1).cloned();
+    } else if rest.len() > 1 {
+        return Err(format!("unexpected argument `{}`\n{}", rest[1], usage()).into());
     }
+    let session = session_with(cache.as_ref());
+    let resp = api::handle(&session, &req)?;
+    print!("{}", resp.report);
+    Ok(resp.exit_code)
 }
 
 fn run(args: &[String]) -> Result<i32, CliError> {
     let (cmd, rest) = args.split_first().ok_or_else(usage)?;
     match cmd.as_str() {
-        "run" | "cpu" => {
-            let (rest, cache) = cache_flags(rest, None)?;
-            let path = rest.first().ok_or_else(usage)?;
-            let src = read_source(path)?;
-            let session = session_with(cache.as_ref());
-            let fe = session.frontend(&src)?;
-            let tra = session.translate(&fe, &TranslateOptions::default())?;
-            let mode = if cmd == "cpu" {
-                ExecMode::CpuOnly
-            } else {
-                ExecMode::Normal
-            };
-            let r = session.execute(
-                &tra,
-                &ExecOptions {
-                    mode,
-                    ..Default::default()
-                },
-            )?;
-            print_outputs(&tra.tr, &r);
-            println!("--");
-            println!("kernel launches   : {}", r.kernel_launches);
-            println!("simulated time    : {:.1} µs", r.sim_time_us());
-            println!(
-                "transfers         : {} ops, {} bytes",
-                r.machine.stats.total_count(),
-                r.machine.stats.total_bytes()
-            );
-            if !r.races.is_empty() {
-                println!("data races        : {}", r.races.len());
-                for (k, race) in &r.races {
-                    println!("  {k}: {} ({} conflicts)", race.label, race.conflicts);
-                }
-                return Ok(1);
-            }
-            Ok(0)
-        }
-        "verify" => {
-            let path = rest.first().ok_or_else(usage)?;
-            let vopts = match rest.get(1) {
-                Some(spec) => parse_verification_options(spec).map_err(|e| e.to_string())?,
-                None => VerifyOptions::default(),
-            };
-            let (p, s) = load(path)?;
-            let (_, report) = verify_kernels(&p, &s, &TranslateOptions::default(), vopts)
-                .map_err(PipelineError::from)?;
-            for k in &report.kernels {
-                let verdict = if k.flagged() {
-                    "FAIL"
-                } else if k.launches > 0 {
-                    "ok"
-                } else {
-                    "skipped"
-                };
-                println!(
-                    "{:<20} launches={:<4} mismatched={:<8} max|err|={:<12.3e} asserts_failed={:<3} {verdict}",
-                    k.kernel, k.launches, k.mismatched_elems, k.max_abs_err, k.assertion_failures
-                );
-            }
-            println!(
-                "--\nverification time = {:.2}x sequential CPU",
-                report.normalized_time()
-            );
-            Ok(if report.flagged().is_empty() { 0 } else { 1 })
-        }
-        "check" => {
-            let (rest, cache) = cache_flags(rest, None)?;
-            let path = rest.first().ok_or_else(usage)?;
-            let src = read_source(path)?;
-            let session = session_with(cache.as_ref());
-            let fe = session.frontend(&src)?;
-            let topts = TranslateOptions {
-                instrument: true,
-                ..Default::default()
-            };
-            let tra = session.translate(&fe, &topts)?;
-            let r = session.execute(
-                &tra,
-                &ExecOptions {
-                    check_transfers: true,
-                    ..Default::default()
-                },
-            )?;
-            if r.machine.report.issues.is_empty() {
-                println!("no memory-transfer issues found");
-                Ok(0)
-            } else {
-                print!("{}", r.machine.report);
-                Ok(if r.machine.report.has_errors() { 1 } else { 0 })
-            }
-        }
+        "run" => one_shot(Action::Run, rest),
+        "cpu" => one_shot(Action::Cpu, rest),
+        "verify" => one_shot(Action::Verify, rest),
+        "check" => one_shot(Action::Check, rest),
         "demote" => {
             let path = rest.first().ok_or_else(usage)?;
             let idx: usize = rest
@@ -317,6 +241,7 @@ fn run(args: &[String]) -> Result<i32, CliError> {
             Ok(0)
         }
         "profile" => profile(rest),
+        "serve" => serve(rest),
         "dag" => dag_cmd(rest),
         "bench" => bench(rest),
         "cache" => cache_cmd(rest),
@@ -326,6 +251,64 @@ fn run(args: &[String]) -> Result<i32, CliError> {
         }
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
+}
+
+/// `openarc serve`: start the multi-tenant compile-and-verify daemon.
+/// Requests route through the same `core::api` entry point as the
+/// one-shot commands, so served reports are byte-identical to the CLI;
+/// tenant ids map to namespaced sessions over one shared disk store
+/// (default `target/openarc-cache`, `--no-cache` for memory-only).
+fn serve(rest: &[String]) -> Result<i32, CliError> {
+    use openarc::core::serve::{Server, ServerConfig};
+
+    let (rest, cache) = cache_flags(rest, Some(DEFAULT_DIR))?;
+    let mut cfg = ServerConfig {
+        cache_dir: cache,
+        ..ServerConfig::default()
+    };
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut journal_out: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--tcp" => addr = value("--tcp")?.to_string(),
+            "--jobs" => cfg.workers = openarc::core::sched::parse_jobs(value("--jobs")?)?,
+            "--queue" => {
+                cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue expects a positive integer".to_string())?;
+            }
+            "--stats-interval-ms" => {
+                let ms: u64 = value("--stats-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--stats-interval-ms expects an integer".to_string())?;
+                cfg.stats_interval = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--journal-out" => journal_out = Some(value("--journal-out")?),
+            flag => return Err(format!("unknown serve flag `{flag}`\n{}", usage()).into()),
+        }
+    }
+    let server =
+        Server::bind_tcp(cfg, &addr).map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| format!("serve: {e}"))?;
+    // The discovery line clients (and CI) parse to find the port.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    let stats = server.stats_json();
+    if let Some(out) = journal_out {
+        let events = server.journal().drain();
+        std::fs::write(out, chrome_trace(&events)).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {} heartbeat events to {out}", events.len());
+    }
+    println!("serve: shut down\n{}", stats.pretty());
+    Ok(0)
 }
 
 /// `openarc bench`: batch mode. Runs the full 12-benchmark × 3-variant
@@ -582,14 +565,11 @@ fn profile(rest: &[String]) -> Result<i32, CliError> {
         summary = true;
     }
 
-    let src = read_source(path)?;
-    let topts = TranslateOptions {
-        instrument: true,
-        ..Default::default()
-    };
     // Route the run through a pipeline session with a stage journal so the
     // summary can show where wall-clock time went per pipeline stage
     // (frontend/translate/execute), alongside the simulated-time tables.
+    // The execution itself goes through `api::handle`, the same entry point
+    // behind the one-shot commands and the serve daemon.
     let stage_journal = Journal::enabled();
     let session = match &cache {
         Some(dir) => Session::builder()
@@ -598,30 +578,17 @@ fn profile(rest: &[String]) -> Result<i32, CliError> {
             .build(),
         None => Session::builder().journal(stage_journal.clone()).build(),
     };
-    let fe = session.frontend(&src)?;
-    let tra = session.translate(&fe, &topts)?;
-    let mode = if let Some(spec) = verify_opts {
-        ExecMode::Verify(parse_verification_options(spec).map_err(|e| e.to_string())?)
+    let mut req = Request::new(Action::Profile, read_source(path)?);
+    req.options = if let Some(spec) = verify_opts {
+        Some(spec.to_string())
     } else if verify {
-        ExecMode::Verify(VerifyOptions::default())
+        // The empty spec parses to `VerifyOptions::default()`.
+        Some(String::new())
     } else {
-        ExecMode::Normal
+        None
     };
-    // Keep our own journal handle: a cached journaled run replays into it,
-    // while `r.machine.journal()` would point at the recording capture.
-    let journal = Journal::enabled();
-    let opts = ExecOptions {
-        mode,
-        check_transfers: true,
-        journal: journal.clone(),
-        // Verified launches add their wall-clock verify:staging/overlap/
-        // compare spans to the same stage table (fresh runs only — stage
-        // spans are observations, never replayed from cached artifacts).
-        stage_journal: stage_journal.clone(),
-        ..Default::default()
-    };
-    let r = session.execute(&tra, &opts)?;
-    let events = journal.drain();
+    let resp = api::handle(&session, &req)?;
+    let events = resp.events;
 
     if let Some(out) = trace_out {
         let filtered: Vec<openarc::trace::TraceEvent> = match filter_kernel {
@@ -662,14 +629,9 @@ fn profile(rest: &[String]) -> Result<i32, CliError> {
         print!("{sum}");
         println!("--");
         println!("journal events    : {}", events.len());
-        println!("kernel launches   : {}", r.kernel_launches);
-        println!("simulated time    : {:.1} µs", r.sim_time_us());
+        println!("kernel launches   : {}", resp.kernel_launches);
+        println!("simulated time    : {:.1} µs", resp.sim_time_us);
     }
 
-    let flagged = r.verify.iter().any(|k| k.flagged());
-    Ok(if r.machine.report.has_errors() || flagged {
-        1
-    } else {
-        0
-    })
+    Ok(resp.exit_code)
 }

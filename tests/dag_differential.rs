@@ -164,8 +164,7 @@ fn dag_matrix_matches_oracle_observables_on_every_benchmark() {
                     if dag_jobs == 1 && devices == 1 && placement == Placement::RoundRobin {
                         continue;
                     }
-                    let measured = (placement == Placement::Measured)
-                        .then(|| calibration.clone());
+                    let measured = (placement == Placement::Measured).then(|| calibration.clone());
                     let (r, _) = placed_run(&b, dag_jobs, devices, placement, measured);
                     let ctx = format!(
                         "dagJobs={dag_jobs} devices={devices} placement={}",
@@ -225,9 +224,11 @@ fn session_measured_two_pass_matches_oracle() {
     use openarc::core::pipeline::Session;
     let b = &openarc::suite::all(Scale::default())[0];
     let (oracle, _) = verify_run(b, 1, 1);
-    let session = Session::new();
+    let session = Session::builder().build();
     let fe = session.frontend(&b.naive).unwrap();
-    let tra = session.translate(&fe, &TranslateOptions::default()).unwrap();
+    let tra = session
+        .translate(&fe, &TranslateOptions::default())
+        .unwrap();
     let eopts = ExecOptions {
         mode: ExecMode::Verify(VerifyOptions {
             dag_jobs: 4,
