@@ -13,6 +13,7 @@
 
 pub mod args;
 pub mod experiments;
+pub mod fuzzstats;
 pub mod render;
 pub mod sweep;
 pub mod timing;

@@ -131,6 +131,16 @@ impl ExecEnv<'_> {
             }
         }
         let h = self.resolve(var)?;
+        // An `update` of data with no live mapping is a *user* error per
+        // OpenACC, not a runtime invariant break — the region paths
+        // (`data_enter`/`data_exit` sites) keep the internal-error
+        // classification because their entry action always maps first.
+        if site.starts_with("update") && !self.machine.is_present(h) {
+            return Err(VmError::NotPresent {
+                var: var.to_string(),
+                to_device,
+            });
+        }
         if to_device {
             self.machine.copy_to_device_named(h, site, queue, Some(var))
         } else {
@@ -291,7 +301,7 @@ impl ExecEnv<'_> {
                 let dt = self.machine.cost.check_us;
                 self.machine.clock.advance(TimeCategory::CpuTime, dt);
                 if let Ok(h) = self.resolve(var) {
-                    self.machine.coherence.reset_status(h, *side, *st);
+                    self.machine.reset_status(h, *side, *st);
                 }
             }
             RtOp::Launch(k) => {

@@ -311,6 +311,28 @@ fn verify_mode_catches_injected_race() {
 }
 
 #[test]
+fn race_detector_catches_loop_carried_dependence() {
+    // `b[j] = f(b[j-1], b[j])`: thread j reads the element thread j-1
+    // writes — a cross-thread read/write conflict the detector must see.
+    let src = "float b[8];\nvoid main() {\n int j;\n #pragma acc kernels loop gang worker\n for (j = 1; j < 7; j++) { b[j] = (float) ((double) b[(j - 1)] + ((3.0 * (double) b[j]) * 1.5)); }\n}";
+    let (_, r) = run_src(
+        src,
+        &TranslateOptions::default(),
+        &ExecOptions {
+            race_detect: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        r.races
+            .iter()
+            .any(|(k, rr)| k == "main_kernel0" && rr.label.contains('b')),
+        "loop-carried dependence must race: {:?}",
+        r.races
+    );
+}
+
+#[test]
 fn verify_untargeted_kernels_run_sequentially() {
     let vopts = VerifyOptions {
         targets: Some(std::iter::once("main_kernel9".to_string()).collect()),

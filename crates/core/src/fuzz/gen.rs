@@ -1,0 +1,292 @@
+//! Grammar-aware program generator.
+//!
+//! Emits MiniC programs in the shape of the suite benchmarks — global
+//! arrays, an init phase, an optional `data` region around an iteration
+//! loop of 1–3 OpenACC kernels, optional `update` round trips, and a host
+//! checksum — drawn entirely from a [`FuzzRng`]. Every production in the
+//! grammar prints syntax the MiniC parser accepts, so generated programs
+//! are parseable *by construction*; whether they survive semantic checks,
+//! directive validation, and coherent execution is exactly what the fuzzer
+//! explores.
+//!
+//! The generator is type-disciplined (int/float/double arrays are read
+//! through casts matching the destination element type) and keeps every
+//! array index inside the declared bounds, so a program that reaches the
+//! simulator is race-free and in-bounds by construction — any divergence
+//! the oracle then observes is a pipeline bug, not an artifact of a
+//! nonsense input.
+
+use super::rng::FuzzRng;
+
+/// Element type of a generated array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ElemTy {
+    Int,
+    Float,
+    Double,
+}
+
+impl ElemTy {
+    fn kw(self) -> &'static str {
+        match self {
+            ElemTy::Int => "int",
+            ElemTy::Float => "float",
+            ElemTy::Double => "double",
+        }
+    }
+}
+
+struct Arr {
+    name: &'static str,
+    ty: ElemTy,
+}
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+/// A `src[idx]` read coerced to double.
+fn read_d(a: &Arr, idx: &str) -> String {
+    match a.ty {
+        ElemTy::Double => format!("{}[{}]", a.name, idx),
+        _ => format!("(double){}[{}]", a.name, idx),
+    }
+}
+
+/// One double-typed term over the available arrays.
+fn term_d(rng: &mut FuzzRng, arrs: &[Arr], idx: &str, stencil: bool) -> String {
+    let a = &arrs[rng.below(arrs.len())];
+    let ix = if stencil && rng.chance(50) {
+        if rng.chance(50) {
+            format!("{idx} - 1")
+        } else {
+            format!("{idx} + 1")
+        }
+    } else {
+        idx.to_string()
+    };
+    match rng.below(4) {
+        0 => format!(
+            "{} * {}",
+            read_d(a, &ix),
+            rng.pick(&["0.5", "0.25", "1.5", "2.0"])
+        ),
+        1 => format!("{} + {}", read_d(a, &ix), rng.pick(&["1.0", "0.5", "3.0"])),
+        2 => format!("(double){idx} * 0.125 + {}", read_d(a, &ix)),
+        _ => read_d(a, &ix),
+    }
+}
+
+/// A full double-typed right-hand side; sometimes a ternary.
+fn rhs_d(rng: &mut FuzzRng, arrs: &[Arr], idx: &str, stencil: bool) -> String {
+    let t1 = term_d(rng, arrs, idx, stencil);
+    if rng.chance(15) {
+        let t2 = term_d(rng, arrs, idx, stencil);
+        let guard = &arrs[rng.below(arrs.len())];
+        return format!("({} > 1.0) ? ({t1}) : ({t2})", read_d(guard, idx));
+    }
+    if rng.chance(55) {
+        let t2 = term_d(rng, arrs, idx, stencil);
+        format!("{t1} {} {t2}", rng.pick(&["+", "-", "*"]))
+    } else {
+        t1
+    }
+}
+
+/// Cast a double-typed rhs to the destination element type.
+fn store(dst: &Arr, idx: &str, rhs: &str) -> String {
+    match dst.ty {
+        ElemTy::Double => format!("{}[{}] = {};", dst.name, idx, rhs),
+        ElemTy::Float => format!("{}[{}] = (float)({});", dst.name, idx, rhs),
+        ElemTy::Int => format!("{}[{}] = (int)({});", dst.name, idx, rhs),
+    }
+}
+
+/// One kernel loop: the pragma line plus the loop text, indented by 8.
+fn kernel(rng: &mut FuzzRng, arrs: &[Arr], n: usize, async_q: Option<i64>) -> String {
+    let dst = &arrs[rng.below(arrs.len())];
+    let mut spec = String::from("acc kernels loop gang");
+    if rng.chance(50) {
+        spec.push_str(" worker");
+    }
+    if let Some(q) = async_q {
+        spec.push_str(&format!(" async({q})"));
+    }
+    let form = rng.below(10);
+    if form < 4 {
+        // Map over the full range.
+        let body = store(dst, "i", &rhs_d(rng, arrs, "i", false));
+        format!("        #pragma {spec}\n        for (i = 0; i < {n}; i++) {{ {body} }}")
+    } else if form < 7 {
+        // 3-point stencil over the interior.
+        let body = store(dst, "i", &rhs_d(rng, arrs, "i", true));
+        format!(
+            "        #pragma {spec}\n        for (i = 1; i < {}; i++) {{ {body} }}",
+            n - 1
+        )
+    } else if form < 9 {
+        // Inner accumulation into a privatized temporary.
+        if rng.chance(50) {
+            spec.push_str(" private(tmp)");
+        }
+        let m = 2 + rng.below(n - 1);
+        let inner = term_d(rng, arrs, "j", false);
+        let out = store(dst, "i", "tmp");
+        format!(
+            "        #pragma {spec}\n        for (i = 0; i < {n}; i++) {{\n            tmp = 0.0;\n            for (j = 0; j < {m}; j++) {{ tmp = tmp + ({inner}) * 0.5; }}\n            {out}\n        }}"
+        )
+    } else {
+        // Scalar reduction into the checksum global.
+        spec.push_str(" reduction(+:total)");
+        let t = term_d(rng, arrs, "i", false);
+        format!(
+            "        #pragma {spec}\n        for (i = 0; i < {n}; i++) {{ total = total + ({t}); }}"
+        )
+    }
+}
+
+/// Host-side increment of one array element, matching its type.
+fn host_bump(a: &Arr, idx: &str) -> String {
+    match a.ty {
+        ElemTy::Double => format!("{}[{idx}] = {}[{idx}] + 1.0;", a.name, a.name),
+        ElemTy::Float => format!("{}[{idx}] = {}[{idx}] + (float)1.0;", a.name, a.name),
+        ElemTy::Int => format!("{}[{idx}] = {}[{idx}] + 1;", a.name, a.name),
+    }
+}
+
+/// Generate one program from the rng.
+pub fn generate(rng: &mut FuzzRng) -> String {
+    let n = *rng.pick(&[8usize, 12, 16, 24]);
+    let n_arr = 2 + rng.below(3);
+    let arrs: Vec<Arr> = (0..n_arr)
+        .map(|k| Arr {
+            name: NAMES[k],
+            ty: match rng.below(10) {
+                0..=4 => ElemTy::Double,
+                5..=7 => ElemTy::Float,
+                _ => ElemTy::Int,
+            },
+        })
+        .collect();
+    let iters = 1 + rng.below(3);
+
+    let mut out = String::new();
+    for a in &arrs {
+        out.push_str(&format!("{} {}[{}];\n", a.ty.kw(), a.name, n));
+    }
+    out.push_str("double total;\n");
+    out.push_str("void main() {\n    int i; int j; int t; double tmp;\n");
+
+    // Init phase: one loop per array; occasionally a while-loop spelling.
+    for (k, a) in arrs.iter().enumerate() {
+        let init = match a.ty {
+            ElemTy::Double => format!("{}[i] = (double)(i % {}) * 0.5 + 1.0;", a.name, 3 + k),
+            ElemTy::Float => format!(
+                "{}[i] = (float)((double)(i % {}) * 0.5 + 1.0);",
+                a.name,
+                3 + k
+            ),
+            ElemTy::Int => format!("{}[i] = i % {} + 1;", a.name, 3 + k),
+        };
+        if rng.chance(10) {
+            out.push_str(&format!(
+                "    i = 0;\n    while (i < {n}) {{ {init} i = i + 1; }}\n"
+            ));
+        } else {
+            out.push_str(&format!("    for (i = 0; i < {n}; i++) {{ {init} }}\n"));
+        }
+    }
+    out.push_str("    total = 0.0;\n");
+
+    // Data region clauses: one clause kind per array.
+    let with_data = rng.chance(80);
+    if with_data {
+        let mut clauses = String::new();
+        for a in &arrs {
+            let kind = match rng.below(10) {
+                0..=3 => "copy",
+                4..=6 => "copyin",
+                7 => "copyout",
+                _ => "create",
+            };
+            clauses.push_str(&format!(" {kind}({})", a.name));
+        }
+        out.push_str(&format!("    #pragma acc data{clauses}\n    {{\n"));
+    }
+
+    // Iteration loop with 1–3 kernels, optional update round trip.
+    let use_async = rng.chance(15);
+    out.push_str(&format!("    for (t = 0; t < {iters}; t++) {{\n"));
+    let n_kern = 1 + rng.below(3);
+    for _ in 0..n_kern {
+        let q = if use_async && rng.chance(60) {
+            Some(1 + rng.below(2) as i64)
+        } else {
+            None
+        };
+        out.push_str(&kernel(rng, &arrs, n, q));
+        out.push('\n');
+    }
+    if rng.chance(25) {
+        let x = &arrs[rng.below(arrs.len())];
+        out.push_str(&format!("        #pragma acc update host({})\n", x.name));
+        out.push_str(&format!(
+            "        for (i = 0; i < {n}; i++) {{ {} }}\n",
+            host_bump(x, "i")
+        ));
+        out.push_str(&format!("        #pragma acc update device({})\n", x.name));
+        out.push_str("        total = total * 1.0;\n");
+    }
+    out.push_str("    }\n");
+    if use_async {
+        out.push_str("    #pragma acc wait\n    total = total + 0.0;\n");
+    }
+    if with_data {
+        out.push_str("    }\n");
+    }
+
+    // Host checksum over every array.
+    for a in &arrs {
+        out.push_str(&format!(
+            "    for (i = 0; i < {n}; i++) {{ total = total + (double){}[i]; }}\n",
+            a.name
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_parseable() {
+        for seed in 0..300u64 {
+            let mut rng = FuzzRng::new(seed + 1);
+            let src = generate(&mut rng);
+            if let Err(ds) = openarc_minic::parse(&src) {
+                panic!("seed {seed}: parse failed {ds:?}\n{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn mostly_frontend_clean() {
+        // Sema-level rejects should be rare: the grammar is type-correct.
+        let mut ok = 0;
+        for seed in 0..100u64 {
+            let mut rng = FuzzRng::new(seed * 7 + 3);
+            let src = generate(&mut rng);
+            if openarc_minic::frontend(&src).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 95, "only {ok}/100 generated programs pass sema");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&mut FuzzRng::new(99));
+        let b = generate(&mut FuzzRng::new(99));
+        assert_eq!(a, b);
+    }
+}

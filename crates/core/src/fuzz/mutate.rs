@@ -1,0 +1,530 @@
+//! Grammar-aware mutations over parsed programs.
+//!
+//! A mutation parses the source, edits the AST (or a directive re-parsed
+//! from its pragma text via the typed `openarc-openacc` layer), and
+//! re-prints with the MiniC pretty-printer — so every mutant is parseable
+//! by construction, and directive edits round-trip through the same
+//! `Display ↔ parse` pair the demotion pass uses.
+//!
+//! The catalogue covers the issue's list: data-clause kind permutation
+//! (`copy`/`copyin`/`copyout`/`create`), clause add/drop/swap, loop-bound
+//! and trip-count perturbation (always shrinking, so indices stay in
+//! bounds), statement-nest reordering, scalar/aggregate type flips,
+//! schedule toggles (`worker`, `async`), `update host`/`device` flips, and
+//! whole-pragma deletion.
+
+use super::rng::FuzzRng;
+use openarc_minic::ast::*;
+use openarc_minic::{parse, print_program};
+use openarc_openacc::{parse_directive, DataClause, DataClauseKind, DataItem, Directive};
+
+/// Visit every block of a program in a fixed pre-order, giving each an
+/// ordinal. `f` returns `true` to stop early.
+fn walk_blocks_mut(
+    b: &mut Block,
+    ord: &mut usize,
+    f: &mut impl FnMut(usize, &mut Block) -> bool,
+) -> bool {
+    let my = *ord;
+    *ord += 1;
+    if f(my, b) {
+        return true;
+    }
+    for s in &mut b.stmts {
+        let stop = match &mut s.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                walk_blocks_mut(then_blk, ord, f)
+                    || match else_blk {
+                        Some(e) => walk_blocks_mut(e, ord, f),
+                        None => false,
+                    }
+            }
+            StmtKind::For { body, .. } => walk_blocks_mut(body, ord, f),
+            StmtKind::While { body, .. } => walk_blocks_mut(body, ord, f),
+            StmtKind::Block(bb) => walk_blocks_mut(bb, ord, f),
+            _ => false,
+        };
+        if stop {
+            return true;
+        }
+    }
+    false
+}
+
+/// Immutable twin of [`walk_blocks_mut`].
+fn walk_blocks(b: &Block, ord: &mut usize, f: &mut impl FnMut(usize, &Block)) {
+    let my = *ord;
+    *ord += 1;
+    f(my, b);
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                walk_blocks(then_blk, ord, f);
+                if let Some(e) = else_blk {
+                    walk_blocks(e, ord, f);
+                }
+            }
+            StmtKind::For { body, .. } => walk_blocks(body, ord, f),
+            StmtKind::While { body, .. } => walk_blocks(body, ord, f),
+            StmtKind::Block(bb) => walk_blocks(bb, ord, f),
+            _ => {}
+        }
+    }
+}
+
+/// Run `f` over every block of every function, in a fixed order.
+pub(crate) fn program_blocks(p: &Program, f: &mut impl FnMut(usize, &Block)) {
+    let mut ord = 0;
+    for it in &p.items {
+        if let Item::Func(func) = it {
+            walk_blocks(&func.body, &mut ord, f);
+        }
+    }
+}
+
+/// Apply `f` to the block with the given ordinal.
+pub(crate) fn with_block_mut(p: &mut Program, target: usize, f: impl FnOnce(&mut Block)) -> bool {
+    let mut ord = 0;
+    let mut f = Some(f);
+    for it in &mut p.items {
+        if let Item::Func(func) = it {
+            let hit = walk_blocks_mut(&mut func.body, &mut ord, &mut |o, b| {
+                if o == target {
+                    if let Some(f) = f.take() {
+                        f(b);
+                    }
+                    true
+                } else {
+                    false
+                }
+            });
+            if hit {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One concrete edit the mutator (or minimizer) can apply.
+#[derive(Debug, Clone)]
+pub(crate) enum MutOp {
+    /// Remove statement `idx` of block `blk`.
+    DropStmt { blk: usize, idx: usize },
+    /// Swap statements `idx` and `idx + 1` of block `blk`.
+    SwapStmts { blk: usize, idx: usize },
+    /// Remove pragma `pr` from statement `idx` of block `blk`.
+    DropPragma { blk: usize, idx: usize, pr: usize },
+    /// Re-kind data clause `cl` of the directive in pragma `pr`.
+    PermuteClause {
+        blk: usize,
+        idx: usize,
+        pr: usize,
+        cl: usize,
+    },
+    /// Delete data clause `cl`.
+    DropClause {
+        blk: usize,
+        idx: usize,
+        pr: usize,
+        cl: usize,
+    },
+    /// Reverse the clause list (order swap).
+    SwapClauses { blk: usize, idx: usize, pr: usize },
+    /// Add a fresh data clause naming a random global array.
+    AddClause { blk: usize, idx: usize, pr: usize },
+    /// Toggle the `worker` schedule flag of a compute directive.
+    ToggleWorker { blk: usize, idx: usize, pr: usize },
+    /// Add or remove `async(1)` on a compute directive.
+    ToggleAsync { blk: usize, idx: usize, pr: usize },
+    /// Swap the `host(...)` and `device(...)` lists of an update.
+    FlipUpdate { blk: usize, idx: usize, pr: usize },
+    /// Shrink an integer `for` upper bound (or trip count).
+    ShrinkBound { blk: usize, idx: usize },
+    /// Flip a global's element type between double and float.
+    FlipType { item: usize },
+}
+
+/// Collect every applicable mutation site of a program.
+pub(crate) fn collect_ops(p: &Program) -> Vec<MutOp> {
+    let mut ops = Vec::new();
+    program_blocks(p, &mut |blk, b| {
+        for (idx, s) in b.stmts.iter().enumerate() {
+            let is_decl = matches!(s.kind, StmtKind::Decl(_));
+            if !is_decl && b.stmts.len() > 1 {
+                ops.push(MutOp::DropStmt { blk, idx });
+            }
+            if idx + 1 < b.stmts.len()
+                && !is_decl
+                && !matches!(b.stmts[idx + 1].kind, StmtKind::Decl(_))
+            {
+                ops.push(MutOp::SwapStmts { blk, idx });
+            }
+            for (pr, pragma) in s.pragmas.iter().enumerate() {
+                ops.push(MutOp::DropPragma { blk, idx, pr });
+                let Ok(Some(d)) = parse_directive(&pragma.text, pragma.span) else {
+                    continue;
+                };
+                match &d {
+                    Directive::Data(spec) => {
+                        for (cl, _) in spec.clauses.iter().enumerate() {
+                            ops.push(MutOp::PermuteClause { blk, idx, pr, cl });
+                            ops.push(MutOp::DropClause { blk, idx, pr, cl });
+                        }
+                        if spec.clauses.len() > 1 {
+                            ops.push(MutOp::SwapClauses { blk, idx, pr });
+                        }
+                        ops.push(MutOp::AddClause { blk, idx, pr });
+                    }
+                    Directive::Compute(spec) => {
+                        for (cl, _) in spec.data.iter().enumerate() {
+                            ops.push(MutOp::PermuteClause { blk, idx, pr, cl });
+                            ops.push(MutOp::DropClause { blk, idx, pr, cl });
+                        }
+                        ops.push(MutOp::AddClause { blk, idx, pr });
+                        ops.push(MutOp::ToggleWorker { blk, idx, pr });
+                        ops.push(MutOp::ToggleAsync { blk, idx, pr });
+                    }
+                    Directive::Update(_) => {
+                        ops.push(MutOp::FlipUpdate { blk, idx, pr });
+                    }
+                    _ => {}
+                }
+            }
+            if let StmtKind::For { cond: Some(c), .. } = &s.kind {
+                if let ExprKind::Binary { rhs, .. } = &c.kind {
+                    if matches!(rhs.kind, ExprKind::IntLit(v) if v > 2) {
+                        ops.push(MutOp::ShrinkBound { blk, idx });
+                    }
+                }
+            }
+        }
+    });
+    for (item, it) in p.items.iter().enumerate() {
+        if let Item::Global(g) = it {
+            if matches!(
+                g.ty,
+                Ty::Array(ScalarTy::Double, _)
+                    | Ty::Array(ScalarTy::Float, _)
+                    | Ty::Scalar(ScalarTy::Double)
+                    | Ty::Scalar(ScalarTy::Float)
+            ) {
+                ops.push(MutOp::FlipType { item });
+            }
+        }
+    }
+    ops
+}
+
+/// Global aggregate names, for `AddClause`.
+fn aggregate_names(p: &Program) -> Vec<String> {
+    p.globals()
+        .filter(|g| g.ty.is_aggregate())
+        .map(|g| g.name.clone())
+        .collect()
+}
+
+const KINDS: [DataClauseKind; 4] = [
+    DataClauseKind::Copy,
+    DataClauseKind::CopyIn,
+    DataClauseKind::CopyOut,
+    DataClauseKind::Create,
+];
+
+/// Rewrite one pragma's directive in place via parse → edit → Display.
+fn edit_pragma(
+    p: &mut Program,
+    blk: usize,
+    idx: usize,
+    pr: usize,
+    edit: impl FnOnce(&mut Directive, &mut FuzzRng),
+    rng: &mut FuzzRng,
+) -> bool {
+    let arrays = aggregate_names(p);
+    let mut done = false;
+    with_block_mut(p, blk, |b| {
+        let Some(s) = b.stmts.get_mut(idx) else {
+            return;
+        };
+        let Some(pragma) = s.pragmas.get_mut(pr) else {
+            return;
+        };
+        let Ok(Some(mut d)) = parse_directive(&pragma.text, pragma.span) else {
+            return;
+        };
+        let _ = &arrays; // captured for AddClause closures below
+        edit(&mut d, rng);
+        pragma.text = d.to_string();
+        done = true;
+    });
+    done
+}
+
+/// Clause list of a data or compute directive.
+fn clauses_mut(d: &mut Directive) -> Option<&mut Vec<DataClause>> {
+    match d {
+        Directive::Data(spec) => Some(&mut spec.clauses),
+        Directive::Compute(spec) => Some(&mut spec.data),
+        _ => None,
+    }
+}
+
+/// Apply one op. Returns `false` when the op no longer matches the
+/// program shape (e.g. after earlier edits in a stacked mutation).
+pub(crate) fn apply_op(p: &mut Program, op: &MutOp, rng: &mut FuzzRng) -> bool {
+    match *op {
+        MutOp::DropStmt { blk, idx } => {
+            let mut done = false;
+            with_block_mut(p, blk, |b| {
+                if idx < b.stmts.len() && b.stmts.len() > 1 {
+                    b.stmts.remove(idx);
+                    done = true;
+                }
+            });
+            done
+        }
+        MutOp::SwapStmts { blk, idx } => {
+            let mut done = false;
+            with_block_mut(p, blk, |b| {
+                if idx + 1 < b.stmts.len() {
+                    b.stmts.swap(idx, idx + 1);
+                    done = true;
+                }
+            });
+            done
+        }
+        MutOp::DropPragma { blk, idx, pr } => {
+            let mut done = false;
+            with_block_mut(p, blk, |b| {
+                if let Some(s) = b.stmts.get_mut(idx) {
+                    if pr < s.pragmas.len() {
+                        s.pragmas.remove(pr);
+                        done = true;
+                    }
+                }
+            });
+            done
+        }
+        MutOp::PermuteClause { blk, idx, pr, cl } => edit_pragma(
+            p,
+            blk,
+            idx,
+            pr,
+            |d, rng| {
+                if let Some(cs) = clauses_mut(d) {
+                    if let Some(c) = cs.get_mut(cl) {
+                        c.kind = KINDS[rng.below(KINDS.len())];
+                    }
+                }
+            },
+            rng,
+        ),
+        MutOp::DropClause { blk, idx, pr, cl } => edit_pragma(
+            p,
+            blk,
+            idx,
+            pr,
+            |d, _| {
+                if let Some(cs) = clauses_mut(d) {
+                    if cl < cs.len() {
+                        cs.remove(cl);
+                    }
+                }
+            },
+            rng,
+        ),
+        MutOp::SwapClauses { blk, idx, pr } => edit_pragma(
+            p,
+            blk,
+            idx,
+            pr,
+            |d, _| {
+                if let Some(cs) = clauses_mut(d) {
+                    cs.reverse();
+                }
+            },
+            rng,
+        ),
+        MutOp::AddClause { blk, idx, pr } => {
+            let arrays = aggregate_names(p);
+            if arrays.is_empty() {
+                return false;
+            }
+            let name = arrays[rng.below(arrays.len())].clone();
+            let kind = KINDS[rng.below(KINDS.len())];
+            edit_pragma(
+                p,
+                blk,
+                idx,
+                pr,
+                move |d, _| {
+                    if let Some(cs) = clauses_mut(d) {
+                        cs.push(DataClause {
+                            kind,
+                            items: vec![DataItem::new(name)],
+                        });
+                    }
+                },
+                rng,
+            )
+        }
+        MutOp::ToggleWorker { blk, idx, pr } => edit_pragma(
+            p,
+            blk,
+            idx,
+            pr,
+            |d, _| {
+                if let Directive::Compute(spec) = d {
+                    spec.loop_spec.worker = !spec.loop_spec.worker;
+                }
+            },
+            rng,
+        ),
+        MutOp::ToggleAsync { blk, idx, pr } => edit_pragma(
+            p,
+            blk,
+            idx,
+            pr,
+            |d, _| {
+                if let Directive::Compute(spec) = d {
+                    spec.async_queue = match spec.async_queue {
+                        Some(_) => None,
+                        None => Some(1),
+                    };
+                }
+            },
+            rng,
+        ),
+        MutOp::FlipUpdate { blk, idx, pr } => edit_pragma(
+            p,
+            blk,
+            idx,
+            pr,
+            |d, _| {
+                if let Directive::Update(u) = d {
+                    std::mem::swap(&mut u.host, &mut u.device);
+                }
+            },
+            rng,
+        ),
+        MutOp::ShrinkBound { blk, idx } => {
+            let delta = 1 + rng.below(3) as i64;
+            let mut done = false;
+            with_block_mut(p, blk, |b| {
+                if let Some(s) = b.stmts.get_mut(idx) {
+                    if let StmtKind::For { cond: Some(c), .. } = &mut s.kind {
+                        if let ExprKind::Binary { rhs, .. } = &mut c.kind {
+                            if let ExprKind::IntLit(v) = &mut rhs.kind {
+                                if *v > 2 {
+                                    *v = (*v - delta).max(2);
+                                    done = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            done
+        }
+        MutOp::FlipType { item } => {
+            let Some(Item::Global(g)) = p.items.get_mut(item) else {
+                return false;
+            };
+            g.ty = match &g.ty {
+                Ty::Array(ScalarTy::Double, d) => Ty::Array(ScalarTy::Float, d.clone()),
+                Ty::Array(ScalarTy::Float, d) => Ty::Array(ScalarTy::Double, d.clone()),
+                Ty::Scalar(ScalarTy::Double) => Ty::Scalar(ScalarTy::Float),
+                Ty::Scalar(ScalarTy::Float) => Ty::Scalar(ScalarTy::Double),
+                _ => return false,
+            };
+            true
+        }
+    }
+}
+
+/// Apply one random mutation to `src`. Returns `None` when the program
+/// offers no mutation site or the chosen op no longer applies.
+pub fn mutate_source(rng: &mut FuzzRng, src: &str) -> Option<String> {
+    let mut p = parse(src).ok()?;
+    let ops = collect_ops(&p);
+    if ops.is_empty() {
+        return None;
+    }
+    let op = ops[rng.below(ops.len())].clone();
+    if !apply_op(&mut p, &op, rng) {
+        return None;
+    }
+    Some(print_program(&p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "double a[16];\nfloat b[16];\ndouble total;\nvoid main() {\n int i; int t; double tmp;\n for (i = 0; i < 16; i++) { a[i] = 1.0; }\n for (i = 0; i < 16; i++) { b[i] = (float)2.0; }\n total = 0.0;\n #pragma acc data copyin(a) copy(b)\n {\n for (t = 0; t < 3; t++) {\n #pragma acc kernels loop gang worker\n for (i = 0; i < 16; i++) { b[i] = (float)(a[i] * 0.5); }\n #pragma acc update host(b)\n total = total * 1.0;\n }\n }\n for (i = 0; i < 16; i++) { total = total + (double)b[i]; }\n}";
+
+    #[test]
+    fn mutants_stay_parseable() {
+        let mut rng = FuzzRng::new(11);
+        let mut produced = 0;
+        for _ in 0..300 {
+            if let Some(m) = mutate_source(&mut rng, SRC) {
+                produced += 1;
+                assert!(
+                    openarc_minic::parse(&m).is_ok(),
+                    "mutant failed to parse:\n{m}"
+                );
+            }
+        }
+        assert!(produced > 250, "only {produced}/300 mutations applied");
+    }
+
+    #[test]
+    fn mutations_change_the_program() {
+        let mut rng = FuzzRng::new(5);
+        let mut changed = 0;
+        for _ in 0..50 {
+            if let Some(m) = mutate_source(&mut rng, SRC) {
+                let p0 = parse(SRC).unwrap();
+                let pm = parse(&m).unwrap();
+                if openarc_minic::fingerprint_program(&p0)
+                    != openarc_minic::fingerprint_program(&pm)
+                {
+                    changed += 1;
+                }
+            }
+        }
+        assert!(
+            changed > 30,
+            "only {changed}/50 mutants differ semantically"
+        );
+    }
+
+    #[test]
+    fn op_catalogue_covers_clause_and_bound_space() {
+        let p = parse(SRC).unwrap();
+        let ops = collect_ops(&p);
+        let has = |pat: &str| ops.iter().any(|o| format!("{o:?}").starts_with(pat));
+        assert!(has("PermuteClause"));
+        assert!(has("DropClause"));
+        assert!(has("AddClause"));
+        assert!(has("SwapClauses"));
+        assert!(has("ShrinkBound"));
+        assert!(has("FlipUpdate"));
+        assert!(has("ToggleWorker"));
+        assert!(has("FlipType"));
+        assert!(has("SwapStmts"));
+        assert!(has("DropStmt"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mutate_source(&mut FuzzRng::new(77), SRC);
+        let b = mutate_source(&mut FuzzRng::new(77), SRC);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,1075 @@
+//! Conservative static host/device synchronization check.
+//!
+//! The output-divergence oracle compares the instrumented GPU run's
+//! observables against the CPU reference — but that comparison is only
+//! meaningful when the program's data clauses actually publish every
+//! GPU-written array back to the host before the host reads it. A
+//! generated (or mutated) program with a `copyin`-only region whose
+//! checksum reads the stale host copy is a *program* bug, not a pipeline
+//! bug, and the §III-B checker's first-access placement intentionally
+//! tolerates some of those shapes.
+//!
+//! [`statically_synced`] walks the AST with a small abstract state —
+//! which arrays are stale on the host, which device copies mirror the
+//! CPU-reference values — and returns `true` only when every host read
+//! provably sees fresh data. To keep `copyout`/`create` programs in
+//! scope it proves *total writes* for full-range map kernels
+//! (`for (i = 0; i < N; i++) arr[i] = ...` with `N` equal to the
+//! declared length). Anything it cannot reason about — nested data
+//! regions, subarrays, exotic clause kinds, async/update interplay,
+//! non-private scalar writes in kernels — makes it return `false`,
+//! which merely skips the output oracle for that input; the verdict,
+//! coherence and cross-config oracles still apply. False `false` loses
+//! a little coverage; a false `true` would manufacture findings — so
+//! every unknown resolves to `false`.
+
+use openarc_minic::ast::{
+    AssignOp, BinOp, Block, Expr, ExprKind, Item, LValue, Program, Stmt, StmtKind, Ty,
+};
+use openarc_openacc::{parse_directive, ComputeSpec, DataClause, DataClauseKind, Directive};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract machine state while walking one function body.
+#[derive(Default, Clone, PartialEq)]
+struct Sync {
+    /// Declared element count per 1-D global array; `None` for arrays
+    /// whose totality we will not reason about (multi-dimensional).
+    dims: BTreeMap<String, Option<u64>>,
+    /// Arrays whose host copy may differ from the CPU-reference value.
+    stale: BTreeSet<String>,
+    /// Inside a data region: the region's clause kind per array.
+    frame: Option<BTreeMap<String, DataClauseKind>>,
+    /// Arrays whose device copy provably equals the CPU-reference value
+    /// over their whole extent (only meaningful inside a region).
+    device_fresh: BTreeSet<String>,
+    /// Arrays written by any kernel in the current region.
+    gpu_written: BTreeSet<String>,
+    /// An async construct launched in the current region.
+    saw_async: bool,
+}
+
+impl Sync {
+    fn is_array(&self, name: &str) -> bool {
+        self.dims.contains_key(name)
+    }
+}
+
+/// Result of the static sync check.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SyncVerdict {
+    /// Beyond the model: the output oracle must be skipped entirely.
+    Unknown,
+    /// Modelled: every host *read* observes CPU-reference data, but the
+    /// named arrays may be legitimately stale at program exit
+    /// (`copyin`-only results never published) and must be excluded from
+    /// the final-state comparison.
+    Synced {
+        /// Arrays possibly stale on the host when `main` returns.
+        stale_at_exit: BTreeSet<String>,
+    },
+}
+
+/// Walk `p` with the abstract host/device state. [`SyncVerdict::Synced`]
+/// means every host read provably sees data identical to the CPU-only
+/// reference execution; anything stale or unknowable along the way is
+/// [`SyncVerdict::Unknown`].
+pub(crate) fn sync_check(p: &Program) -> SyncVerdict {
+    let mut dims = BTreeMap::new();
+    for it in &p.items {
+        if let Item::Global(d) = it {
+            match &d.ty {
+                Ty::Array(_, shape) if shape.len() == 1 => {
+                    dims.insert(d.name.clone(), Some(shape[0]));
+                }
+                Ty::Array(..) | Ty::Ptr(_) => {
+                    dims.insert(d.name.clone(), None);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut stale_at_exit = BTreeSet::new();
+    for it in &p.items {
+        if let Item::Func(f) = it {
+            let mut st = Sync {
+                dims: dims.clone(),
+                ..Sync::default()
+            };
+            if !check_block(&f.body, &mut st) {
+                return SyncVerdict::Unknown;
+            }
+            stale_at_exit.extend(st.stale);
+        }
+    }
+    SyncVerdict::Synced { stale_at_exit }
+}
+
+/// `true` when any compute construct's `private` variable may be read
+/// before the kernel body assigns it. An uninitialized private copy is
+/// undefined behaviour in OpenACC — the sequential reference, the
+/// simulated device, and the verify-mode replay may all legitimately
+/// disagree on such a program, so the oracle rejects it outright.
+pub(crate) fn uninit_private_read(p: &Program) -> bool {
+    fn scan(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| {
+            if let Some(Some(Directive::Compute(spec))) = acc_directive(s) {
+                let privates: BTreeSet<String> = spec.loop_spec.private.iter().cloned().collect();
+                if !privates.is_empty() {
+                    let mut defined = BTreeSet::new();
+                    if !definitely_initialized(s, &mut defined, &privates) {
+                        return true;
+                    }
+                }
+            }
+            match &s.kind {
+                StmtKind::For { body, .. } | StmtKind::While { body, .. } => scan(&body.stmts),
+                StmtKind::Block(b) => scan(&b.stmts),
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => scan(&then_blk.stmts) || else_blk.as_ref().is_some_and(|b| scan(&b.stmts)),
+                _ => false,
+            }
+        })
+    }
+    p.items.iter().any(|it| match it {
+        Item::Func(f) => scan(&f.body.stmts),
+        Item::Global(_) => false,
+    })
+}
+
+/// Definite-assignment walk for `private` vars: returns `false` when a
+/// var in `privates` may be read while absent from `defined`. Nested
+/// loops and branches are conservative — their assignments never promote
+/// out (the body may run zero times; only one branch runs).
+fn definitely_initialized(
+    s: &Stmt,
+    defined: &mut BTreeSet<String>,
+    privates: &BTreeSet<String>,
+) -> bool {
+    let expr_ok = |e: &Expr, defined: &BTreeSet<String>| {
+        e.reads()
+            .iter()
+            .all(|v| !privates.contains(v) || defined.contains(v))
+    };
+    match &s.kind {
+        StmtKind::Assign { target, op, value } => {
+            if !expr_ok(value, defined) {
+                return false;
+            }
+            match target {
+                LValue::Var(n) => {
+                    if *op != AssignOp::Set && privates.contains(n) && !defined.contains(n) {
+                        return false;
+                    }
+                    defined.insert(n.clone());
+                }
+                LValue::Index { base, indices } => {
+                    if !indices.iter().all(|ix| expr_ok(ix, defined)) {
+                        return false;
+                    }
+                    if *op != AssignOp::Set && privates.contains(base) && !defined.contains(base) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        StmtKind::Decl(d) => {
+            if let Some(e) = &d.init {
+                if !expr_ok(e, defined) {
+                    return false;
+                }
+                defined.insert(d.name.clone());
+            }
+            true
+        }
+        StmtKind::Expr(e) => expr_ok(e, defined),
+        StmtKind::Return(e) => e.as_ref().is_none_or(|e| expr_ok(e, defined)),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            if !expr_ok(cond, defined) {
+                return false;
+            }
+            let mut t = defined.clone();
+            if !then_blk
+                .stmts
+                .iter()
+                .all(|s| definitely_initialized(s, &mut t, privates))
+            {
+                return false;
+            }
+            let mut e = defined.clone();
+            if let Some(b) = else_blk {
+                if !b
+                    .stmts
+                    .iter()
+                    .all(|s| definitely_initialized(s, &mut e, privates))
+                {
+                    return false;
+                }
+            }
+            // Exactly one branch ran: only the intersection is definite.
+            *defined = t.intersection(&e).cloned().collect();
+            true
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                if !definitely_initialized(i, defined, privates) {
+                    return false;
+                }
+            }
+            if let Some(c) = cond {
+                if !expr_ok(c, defined) {
+                    return false;
+                }
+            }
+            let mut inner = defined.clone();
+            if !body
+                .stmts
+                .iter()
+                .all(|s| definitely_initialized(s, &mut inner, privates))
+            {
+                return false;
+            }
+            if let Some(stp) = step {
+                if !definitely_initialized(stp, &mut inner, privates) {
+                    return false;
+                }
+            }
+            true // zero-trip possible: body assignments don't promote
+        }
+        StmtKind::While { cond, body } => {
+            if !expr_ok(cond, defined) {
+                return false;
+            }
+            let mut inner = defined.clone();
+            body.stmts
+                .iter()
+                .all(|s| definitely_initialized(s, &mut inner, privates))
+        }
+        StmtKind::Block(b) => b
+            .stmts
+            .iter()
+            .all(|s| definitely_initialized(s, defined, privates)),
+        StmtKind::Break | StmtKind::Continue => true,
+    }
+}
+
+fn check_block(b: &Block, st: &mut Sync) -> bool {
+    b.stmts.iter().all(|s| check_stmt(s, st))
+}
+
+/// Parse the statement's acc pragmas; `None` for plain host statements,
+/// `Some(None)` when a directive exists but is one we refuse to model.
+fn acc_directive(s: &Stmt) -> Option<Option<Directive>> {
+    for pr in &s.pragmas {
+        match parse_directive(&pr.text, pr.span) {
+            Ok(Some(d)) => return Some(Some(d)),
+            Ok(None) => continue,
+            Err(_) => return Some(None),
+        }
+    }
+    None
+}
+
+fn check_stmt(s: &Stmt, st: &mut Sync) -> bool {
+    match acc_directive(s) {
+        None => check_host_stmt(s, st),
+        Some(None) => false,
+        Some(Some(d)) => match d {
+            Directive::Data(spec) => {
+                let StmtKind::Block(body) = &s.kind else {
+                    return false;
+                };
+                check_data_region(&spec.clauses, body, st)
+            }
+            Directive::Compute(spec) => check_compute(&spec, s, st),
+            Directive::Update(spec) => {
+                // Async update, or an update racing an async kernel, is
+                // beyond the model.
+                if spec.async_queue.is_some() || st.saw_async {
+                    return false;
+                }
+                if st.frame.is_none() {
+                    return false; // update outside any region: not modelled
+                }
+                for v in &spec.host {
+                    if st.device_fresh.contains(v) {
+                        st.stale.remove(v);
+                    } else {
+                        st.stale.insert(v.clone());
+                    }
+                }
+                for v in &spec.device {
+                    if st.stale.contains(v) {
+                        return false; // pushing a stale host copy down
+                    }
+                    st.device_fresh.insert(v.clone());
+                }
+                true
+            }
+            Directive::Wait(..) => true,
+            // declare / cache / host_data / orphaned loop at host level:
+            // outside the generator's grammar, refuse to model.
+            _ => false,
+        },
+    }
+}
+
+fn check_data_region(clauses: &[DataClause], body: &Block, st: &mut Sync) -> bool {
+    if st.frame.is_some() {
+        return false; // nested data regions: not modelled
+    }
+    let mut kinds = BTreeMap::new();
+    for c in clauses {
+        for item in &c.items {
+            if item.bounds.is_some() {
+                return false; // subarrays: not modelled
+            }
+            kinds.insert(item.name.clone(), c.kind);
+        }
+    }
+    // Region entry: copy / copyin read the host copy into the device.
+    let mut fresh = BTreeSet::new();
+    for (name, kind) in &kinds {
+        match kind {
+            DataClauseKind::Copy | DataClauseKind::CopyIn => {
+                if st.stale.contains(name) {
+                    return false; // uploading a stale host copy
+                }
+                fresh.insert(name.clone());
+            }
+            DataClauseKind::CopyOut | DataClauseKind::Create => {}
+            _ => return false, // present / deviceptr / ... : not modelled
+        }
+    }
+    st.frame = Some(kinds);
+    st.device_fresh = fresh;
+    st.gpu_written.clear();
+    st.saw_async = false;
+    if !check_block(body, st) {
+        return false;
+    }
+    // Region exit.
+    let kinds = st.frame.take().expect("set above");
+    for (name, kind) in &kinds {
+        match kind {
+            DataClauseKind::Copy | DataClauseKind::CopyOut => {
+                if st.device_fresh.contains(name) {
+                    st.stale.remove(name);
+                } else {
+                    // Untouched or partially written device memory
+                    // publishes to the host: contents unknown.
+                    st.stale.insert(name.clone());
+                }
+            }
+            DataClauseKind::CopyIn | DataClauseKind::Create => {
+                // Device copy discarded; if a kernel advanced it, the CPU
+                // reference moved on without the host copy.
+                if st.gpu_written.contains(name) {
+                    st.stale.insert(name.clone());
+                }
+            }
+            _ => return false,
+        }
+    }
+    st.device_fresh.clear();
+    st.gpu_written.clear();
+    st.saw_async = false;
+    true
+}
+
+fn check_compute(spec: &ComputeSpec, s: &Stmt, st: &mut Sync) -> bool {
+    if !matches!(s.kind, StmtKind::For { .. }) {
+        return false; // compute pragma on a non-loop: not modelled
+    }
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut scalar_writes = BTreeSet::new();
+    collect_accesses(s, &mut reads, &mut writes, &mut scalar_writes);
+    let (arr_reads, arr_writes): (BTreeSet<&String>, BTreeSet<&String>) = (
+        reads.iter().filter(|v| st.is_array(v)).collect(),
+        writes.iter().filter(|v| st.is_array(v)).collect(),
+    );
+
+    // Scalar writes must be private, reduction, or loop-induction.
+    let mut benign: BTreeSet<String> = spec.loop_spec.private.iter().cloned().collect();
+    benign.extend(spec.loop_spec.firstprivate.iter().cloned());
+    for r in &spec.loop_spec.reductions {
+        benign.extend(r.vars.iter().cloned());
+    }
+    collect_induction_vars(s, &mut benign);
+    if scalar_writes.iter().any(|v| !benign.contains(v)) {
+        return false;
+    }
+    // Scalar reads of host scalars are passed by value — always fresh
+    // (scalars never enter `stale`); nothing to check for them.
+
+    if spec.async_queue.is_some() {
+        if !spec.loop_spec.reductions.is_empty() {
+            return false; // async reduction sync point: not modelled
+        }
+        if st.frame.is_none() {
+            return false; // async without a region to sync at
+        }
+        st.saw_async = true;
+    }
+
+    // The construct's own data clauses act as a one-statement region.
+    let mut own = BTreeMap::new();
+    for c in &spec.data {
+        for item in &c.items {
+            if item.bounds.is_some() {
+                return false;
+            }
+            if st
+                .frame
+                .as_ref()
+                .is_some_and(|f| f.contains_key(&item.name))
+            {
+                return false; // construct clause shadowing a region clause
+            }
+            own.insert(item.name.clone(), c.kind);
+        }
+    }
+    let kind_of = |name: &String| -> Option<Option<DataClauseKind>> {
+        // Outer None: array is ungoverned inside a region (refuse);
+        // inner None: no clause anywhere — the translator's implicit
+        // full-copy path (the "naive" semantics).
+        if let Some(k) = own.get(name) {
+            return Some(Some(*k));
+        }
+        match &st.frame {
+            Some(f) => f.get(name).map(|k| Some(*k)),
+            None => Some(None),
+        }
+    };
+
+    // Reads: the device copy must hold the CPU-reference value.
+    for name in &arr_reads {
+        let Some(kind) = kind_of(name) else {
+            return false; // in a region but in no clause: not modelled
+        };
+        match kind {
+            // Implicit copy or construct-level copy/copyin upload the
+            // host copy at launch.
+            None | Some(DataClauseKind::Copy) | Some(DataClauseKind::CopyIn)
+                if own.contains_key(*name) || st.frame.is_none() =>
+            {
+                if st.stale.contains(*name) {
+                    return false; // uploading a stale host copy
+                }
+            }
+            // Region-resident: the device copy must be proven fresh.
+            Some(DataClauseKind::Copy) | Some(DataClauseKind::CopyIn) => {
+                if !st.device_fresh.contains(*name) {
+                    return false;
+                }
+            }
+            // create/copyout reads see device-alloc garbage unless an
+            // earlier kernel made the whole extent fresh.
+            Some(DataClauseKind::CopyOut) | Some(DataClauseKind::Create) => {
+                if !st.device_fresh.contains(*name) {
+                    return false;
+                }
+            }
+            Some(_) => return false,
+            // `None` only occurs with no enclosing region, which the
+            // first arm's guard always covers.
+            None => return false,
+        }
+    }
+
+    // Inputs are all fresh from here on, so a total write leaves the
+    // written array fresh too (deterministic kernel over fresh inputs).
+    let totals = total_writes(s, &st.dims);
+    for name in &arr_writes {
+        let Some(kind) = kind_of(name) else {
+            return false;
+        };
+        let total = totals.contains(*name);
+        if !own.contains_key(*name) && st.frame.is_some() {
+            // Governed by the enclosing region: the device advances, the
+            // host copy is immediately behind (until region exit or an
+            // update host republishes it).
+            st.gpu_written.insert((*name).clone());
+            st.stale.insert((*name).clone());
+            if total {
+                st.device_fresh.insert((*name).clone());
+            } else if !st.device_fresh.contains(*name) {
+                // Partial write over unknown device contents: stays unknown.
+            }
+        } else {
+            // Construct-level (or implicit) data movement resolves at the
+            // end of this statement.
+            match kind {
+                None | Some(DataClauseKind::Copy) => {
+                    st.stale.remove(*name); // copied back on exit
+                }
+                Some(DataClauseKind::CopyOut) => {
+                    if total {
+                        st.stale.remove(*name);
+                    } else {
+                        st.stale.insert((*name).clone()); // partial garbage
+                    }
+                }
+                Some(DataClauseKind::CopyIn) | Some(DataClauseKind::Create) => {
+                    st.stale.insert((*name).clone()); // result discarded
+                }
+                Some(_) => return false,
+            }
+        }
+    }
+    // Reduction results sync back at the (synchronous) construct end.
+    true
+}
+
+/// Host statement: every read must be of non-stale data.
+fn check_host_stmt(s: &Stmt, st: &mut Sync) -> bool {
+    match &s.kind {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                if !check_stmt(i, st) {
+                    return false;
+                }
+            }
+            if let Some(c) = cond {
+                if reads_stale(c, st) {
+                    return false;
+                }
+            }
+            // A loop body runs zero or more times: iterate the abstract
+            // state to a fixed point so effects of iteration N are visible
+            // when judging iteration N+1.
+            for _ in 0..4 {
+                let before = st.clone();
+                if !check_block(body, st) {
+                    return false;
+                }
+                if let Some(stp) = step {
+                    if !check_stmt(stp, st) {
+                        return false;
+                    }
+                }
+                if let Some(c) = cond {
+                    if reads_stale(c, st) {
+                        return false;
+                    }
+                }
+                if *st == before {
+                    return true;
+                }
+            }
+            false // did not stabilize: refuse to model
+        }
+        StmtKind::While { cond, body } => {
+            if reads_stale(cond, st) {
+                return false;
+            }
+            for _ in 0..4 {
+                let before = st.clone();
+                if !check_block(body, st) {
+                    return false;
+                }
+                if reads_stale(cond, st) {
+                    return false;
+                }
+                if *st == before {
+                    return true;
+                }
+            }
+            false
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            if reads_stale(cond, st) {
+                return false;
+            }
+            // Either branch may run: require both clean, merge
+            // conservatively.
+            let mut t = st.clone();
+            if !check_block(then_blk, &mut t) {
+                return false;
+            }
+            let mut e = st.clone();
+            if let Some(b) = else_blk {
+                if !check_block(b, &mut e) {
+                    return false;
+                }
+            }
+            st.stale = t.stale.union(&e.stale).cloned().collect();
+            st.device_fresh = t
+                .device_fresh
+                .intersection(&e.device_fresh)
+                .cloned()
+                .collect();
+            st.gpu_written = t.gpu_written.union(&e.gpu_written).cloned().collect();
+            st.saw_async = t.saw_async || e.saw_async;
+            true
+        }
+        StmtKind::Block(b) => check_block(b, st),
+        StmtKind::Decl(d) => {
+            if st.is_array(&d.name) || d.ty.is_aggregate() {
+                return false; // shadowing / local aggregates: not modelled
+            }
+            d.init.as_ref().is_none_or(|e| !reads_stale(e, st))
+        }
+        StmtKind::Expr(e) => !reads_stale(e, st),
+        StmtKind::Assign { target, op, value } => {
+            if reads_stale(value, st) {
+                return false;
+            }
+            match target {
+                LValue::Var(n) => {
+                    if *op != AssignOp::Set && st.stale.contains(n) {
+                        return false;
+                    }
+                }
+                LValue::Index { base, indices } => {
+                    for ix in indices {
+                        if reads_stale(ix, st) {
+                            return false;
+                        }
+                    }
+                    // Compound ops read the target element too.
+                    if *op != AssignOp::Set && st.stale.contains(base) {
+                        return false;
+                    }
+                    // An element write leaves the rest of a stale array
+                    // stale — no state change either way.
+                }
+            }
+            // A host write to region-mapped data leaves the device copy
+            // behind: a later kernel read sees the entry snapshot, and a
+            // copy/copyout exit clobbers this write with it.
+            if st
+                .frame
+                .as_ref()
+                .is_some_and(|f| f.contains_key(target.base()))
+            {
+                st.device_fresh.remove(target.base());
+            }
+            true
+        }
+        StmtKind::Return(e) => e.as_ref().is_none_or(|e| !reads_stale(e, st)),
+        StmtKind::Break | StmtKind::Continue => true,
+    }
+}
+
+fn reads_stale(e: &Expr, st: &Sync) -> bool {
+    e.reads().iter().any(|v| st.stale.contains(v))
+}
+
+/// All array reads/writes and scalar writes inside a kernel loop nest.
+fn collect_accesses(
+    s: &Stmt,
+    reads: &mut BTreeSet<String>,
+    writes: &mut BTreeSet<String>,
+    scalar_writes: &mut BTreeSet<String>,
+) {
+    let on_expr = |e: &Expr, reads: &mut BTreeSet<String>| {
+        for v in e.reads() {
+            reads.insert(v);
+        }
+    };
+    match &s.kind {
+        StmtKind::Assign { target, op, value } => {
+            on_expr(value, reads);
+            match target {
+                LValue::Var(n) => {
+                    scalar_writes.insert(n.clone());
+                    if *op != AssignOp::Set {
+                        reads.insert(n.clone());
+                    }
+                }
+                LValue::Index { base, indices } => {
+                    writes.insert(base.clone());
+                    for ix in indices {
+                        on_expr(ix, reads);
+                    }
+                    if *op != AssignOp::Set {
+                        reads.insert(base.clone());
+                    }
+                }
+            }
+        }
+        StmtKind::Decl(d) => {
+            if let Some(e) = &d.init {
+                on_expr(e, reads);
+            }
+        }
+        StmtKind::Expr(e) | StmtKind::Return(Some(e)) => on_expr(e, reads),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            on_expr(cond, reads);
+            for t in &then_blk.stmts {
+                collect_accesses(t, reads, writes, scalar_writes);
+            }
+            if let Some(b) = else_blk {
+                for t in &b.stmts {
+                    collect_accesses(t, reads, writes, scalar_writes);
+                }
+            }
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            for part in [init, step].into_iter().flatten() {
+                collect_accesses(part, reads, writes, scalar_writes);
+            }
+            if let Some(c) = cond {
+                on_expr(c, reads);
+            }
+            for t in &body.stmts {
+                collect_accesses(t, reads, writes, scalar_writes);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            on_expr(cond, reads);
+            for t in &body.stmts {
+                collect_accesses(t, reads, writes, scalar_writes);
+            }
+        }
+        StmtKind::Block(b) => {
+            for t in &b.stmts {
+                collect_accesses(t, reads, writes, scalar_writes);
+            }
+        }
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+/// Induction variables of a kernel loop nest: every `for`'s init/step
+/// target. These are per-thread after translation, so writes are benign.
+fn collect_induction_vars(s: &Stmt, out: &mut BTreeSet<String>) {
+    match &s.kind {
+        StmtKind::For {
+            init, step, body, ..
+        } => {
+            for part in [init, step].into_iter().flatten() {
+                match &part.kind {
+                    StmtKind::Assign {
+                        target: LValue::Var(n),
+                        ..
+                    } => {
+                        out.insert(n.clone());
+                    }
+                    StmtKind::Decl(d) => {
+                        out.insert(d.name.clone());
+                    }
+                    _ => {}
+                }
+            }
+            for t in &body.stmts {
+                collect_induction_vars(t, out);
+            }
+        }
+        StmtKind::Block(b) => {
+            for t in &b.stmts {
+                collect_induction_vars(t, out);
+            }
+        }
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
+            for t in &then_blk.stmts {
+                collect_induction_vars(t, out);
+            }
+            if let Some(b) = else_blk {
+                for t in &b.stmts {
+                    collect_induction_vars(t, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Arrays provably written over their entire declared extent by the
+/// kernel: the loop is `for (v = 0; v < N; v += 1)` with `N` equal to the
+/// declared length, and a top-level body statement is `arr[v] = ...`
+/// (plain `=`, unconditional).
+fn total_writes(s: &Stmt, dims: &BTreeMap<String, Option<u64>>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let StmtKind::For {
+        init,
+        cond,
+        step,
+        body,
+    } = &s.kind
+    else {
+        return out;
+    };
+    // Induction variable and zero start.
+    let var = match init.as_deref().map(|i| &i.kind) {
+        Some(StmtKind::Assign {
+            target: LValue::Var(n),
+            op: AssignOp::Set,
+            value,
+        }) if matches!(value.kind, ExprKind::IntLit(0)) => n.clone(),
+        Some(StmtKind::Decl(d)) => match &d.init {
+            Some(e) if matches!(e.kind, ExprKind::IntLit(0)) => d.name.clone(),
+            _ => return out,
+        },
+        _ => return out,
+    };
+    // Strict upper bound.
+    let bound = match cond.as_ref().map(|c| &c.kind) {
+        Some(ExprKind::Binary {
+            op: BinOp::Lt,
+            lhs,
+            rhs,
+        }) => match (&lhs.kind, &rhs.kind) {
+            (ExprKind::Var(v), ExprKind::IntLit(b)) if *v == var && *b > 0 => *b as u64,
+            _ => return out,
+        },
+        _ => return out,
+    };
+    // Unit step.
+    let unit = match step.as_deref().map(|p| &p.kind) {
+        Some(StmtKind::Assign {
+            target: LValue::Var(n),
+            op: AssignOp::Add,
+            value,
+        }) => *n == var && matches!(value.kind, ExprKind::IntLit(1)),
+        Some(StmtKind::Assign {
+            target: LValue::Var(n),
+            op: AssignOp::Set,
+            value,
+        }) => {
+            *n == var
+                && matches!(
+                    &value.kind,
+                    ExprKind::Binary { op: BinOp::Add, lhs, rhs }
+                        if matches!(&lhs.kind, ExprKind::Var(v) if v == &var)
+                            && matches!(rhs.kind, ExprKind::IntLit(1))
+                )
+        }
+        _ => false,
+    };
+    if !unit {
+        return out;
+    }
+    for t in &body.stmts {
+        if let StmtKind::Assign {
+            target: LValue::Index { base, indices },
+            op: AssignOp::Set,
+            ..
+        } = &t.kind
+        {
+            if indices.len() == 1
+                && matches!(&indices[0].kind, ExprKind::Var(v) if *v == var)
+                && dims.get(base) == Some(&Some(bound))
+            {
+                out.insert(base.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openarc_minic::parse;
+
+    fn synced(src: &str) -> bool {
+        matches!(
+            sync_check(&parse(src).expect("parses")),
+            SyncVerdict::Synced { .. }
+        )
+    }
+
+    fn stale_at_exit(src: &str) -> BTreeSet<String> {
+        match sync_check(&parse(src).expect("parses")) {
+            SyncVerdict::Synced { stale_at_exit } => stale_at_exit,
+            SyncVerdict::Unknown => panic!("expected a modelled program"),
+        }
+    }
+
+    #[test]
+    fn copy_region_is_synced() {
+        assert!(synced(
+            "double a[8];\ndouble total;\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copy(a)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }\n }\n for (i = 0; i < 8; i++) { total = total + a[i]; }\n}"
+        ));
+    }
+
+    #[test]
+    fn copyin_then_host_read_is_unsynced() {
+        assert!(!synced(
+            "double a[8];\ndouble total;\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copyin(a)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }\n }\n for (i = 0; i < 8; i++) { total = total + a[i]; }\n}"
+        ));
+    }
+
+    #[test]
+    fn copyin_without_host_read_is_synced_but_stale_at_exit() {
+        // The stale array is never *read* again, so the walk succeeds —
+        // but the final-state comparison must skip `a`, whose host copy
+        // legitimately never sees the GPU writes.
+        let src = "double a[8];\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copyin(a)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }\n }\n}";
+        assert!(synced(src));
+        assert_eq!(
+            stale_at_exit(src).into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string()]
+        );
+    }
+
+    #[test]
+    fn host_write_in_region_is_clobbered_by_copyout() {
+        // The host loop mutates `a` while it is region-mapped; the
+        // `copy(a)` exit copies the entry snapshot back over those
+        // writes, so the final host copy diverges from the CPU
+        // reference and must be excluded from the comparison.
+        let src = "float a[8];\nvoid main() {\n int i;\n #pragma acc data copy(a)\n {\n for (i = 0; i < 2; i++) { a[i] = a[i] + 1.0; }\n }\n}";
+        assert!(synced(src));
+        assert_eq!(
+            stale_at_exit(src).into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string()]
+        );
+    }
+
+    #[test]
+    fn kernel_read_after_host_write_in_region_is_unsynced() {
+        // Host write leaves the device copy at the entry snapshot; the
+        // kernel then reads that stale device data.
+        assert!(!synced(
+            "double a[8];\ndouble b[8];\nvoid main() {\n int i;\n #pragma acc data copy(a) copy(b)\n {\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { b[i] = a[i]; }\n }\n}"
+        ));
+    }
+
+    #[test]
+    fn copy_region_leaves_nothing_stale_at_exit() {
+        assert!(stale_at_exit(
+            "double a[8];\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copy(a)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }\n }\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn copyout_total_write_is_synced() {
+        // The map kernel provably covers b's whole extent, so copyout
+        // publishes fully fresh data.
+        assert!(synced(
+            "double a[8];\ndouble b[8];\ndouble total;\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copyin(a) copyout(b)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { b[i] = a[i] * 2.0; }\n }\n for (i = 0; i < 8; i++) { total = total + b[i]; }\n}"
+        ));
+    }
+
+    #[test]
+    fn copyout_partial_write_is_unsynced() {
+        // Stencil writes 1..n-1 only: copyout publishes unknown memory at
+        // the edges.
+        assert!(!synced(
+            "double a[8];\ndouble b[8];\ndouble total;\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copyin(a) copyout(b)\n {\n #pragma acc kernels loop gang\n for (i = 1; i < 7; i++) { b[i] = a[i] * 2.0; }\n }\n for (i = 0; i < 8; i++) { total = total + b[i]; }\n}"
+        ));
+    }
+
+    #[test]
+    fn create_read_in_kernel_is_unsynced() {
+        // Kernel reads b which was only created: device garbage.
+        assert!(!synced(
+            "double a[8];\ndouble b[8];\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { b[i] = 1.0; }\n #pragma acc data copy(a) create(b)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = b[i]; }\n }\n}"
+        ));
+    }
+
+    #[test]
+    fn create_total_write_then_read_is_synced() {
+        // First kernel fills b completely; the second may read it.
+        assert!(synced(
+            "double a[8];\ndouble b[8];\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copy(a) create(b)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { b[i] = a[i] + 1.0; }\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = b[i] * 2.0; }\n }\n}"
+        ));
+    }
+
+    #[test]
+    fn update_host_republishes() {
+        assert!(synced(
+            "double a[8];\ndouble total;\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc data copy(a)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }\n #pragma acc update host(a)\n }\n for (i = 0; i < 8; i++) { total = total + a[i]; }\n}"
+        ));
+    }
+
+    #[test]
+    fn no_region_implicit_copies_are_synced() {
+        assert!(synced(
+            "double a[8];\ndouble total;\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = a[i] + 1.0; }\n for (i = 0; i < 8; i++) { total = total + a[i]; }\n}"
+        ));
+    }
+
+    #[test]
+    fn iterated_region_in_loop_reaches_fixed_point() {
+        // The t-loop wraps a whole region; state must stabilize.
+        assert!(synced(
+            "double a[8];\nvoid main() {\n int i; int t;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n for (t = 0; t < 3; t++) {\n #pragma acc data copy(a)\n {\n #pragma acc kernels loop gang\n for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }\n }\n }\n}"
+        ));
+    }
+
+    fn uninit(src: &str) -> bool {
+        uninit_private_read(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn private_read_before_write_is_uninit() {
+        // `tmp` accumulates from an uninitialized private copy — UB.
+        assert!(uninit(
+            "double a[8];\ndouble c[8];\nvoid main() {\n int i; int j; double tmp;\n #pragma acc kernels loop gang private(tmp)\n for (i = 0; i < 8; i++) {\n for (j = 0; j < 2; j++) { tmp = tmp + c[j]; }\n a[i] = tmp;\n }\n}"
+        ));
+    }
+
+    #[test]
+    fn private_written_before_read_is_defined() {
+        assert!(!uninit(
+            "double a[8];\ndouble c[8];\nvoid main() {\n int i; int j; double tmp;\n #pragma acc kernels loop gang private(tmp)\n for (i = 0; i < 8; i++) {\n tmp = 0.0;\n for (j = 0; j < 2; j++) { tmp = tmp + c[j]; }\n a[i] = tmp;\n }\n}"
+        ));
+    }
+
+    #[test]
+    fn private_init_inside_branch_does_not_promote() {
+        // Only the then-branch assigns tmp: the read after the `if` may
+        // still see the uninitialized copy.
+        assert!(uninit(
+            "double a[8];\nvoid main() {\n int i; double tmp;\n #pragma acc kernels loop gang private(tmp)\n for (i = 0; i < 8; i++) {\n if (i > 2) { tmp = 1.0; }\n a[i] = tmp;\n }\n}"
+        ));
+    }
+
+    #[test]
+    fn private_init_in_both_branches_promotes() {
+        assert!(!uninit(
+            "double a[8];\nvoid main() {\n int i; double tmp;\n #pragma acc kernels loop gang private(tmp)\n for (i = 0; i < 8; i++) {\n if (i > 2) { tmp = 1.0; } else { tmp = 2.0; }\n a[i] = tmp;\n }\n}"
+        ));
+    }
+
+    #[test]
+    fn firstprivate_read_is_not_uninit() {
+        // firstprivate copies are initialized from the host value.
+        assert!(!uninit(
+            "double a[8];\nvoid main() {\n int i; double tmp;\n tmp = 3.0;\n #pragma acc kernels loop gang firstprivate(tmp)\n for (i = 0; i < 8; i++) { a[i] = tmp; }\n}"
+        ));
+    }
+
+    #[test]
+    fn reduction_is_synced() {
+        assert!(synced(
+            "double a[8];\ndouble total;\nvoid main() {\n int i;\n for (i = 0; i < 8; i++) { a[i] = 1.0; }\n total = 0.0;\n #pragma acc data copyin(a)\n {\n #pragma acc kernels loop gang reduction(+:total)\n for (i = 0; i < 8; i++) { total = total + a[i]; }\n }\n}"
+        ));
+    }
+}

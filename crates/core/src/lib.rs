@@ -23,6 +23,7 @@ pub mod api;
 pub mod cache;
 pub mod exec;
 pub mod faults;
+pub mod fuzz;
 pub mod instrument;
 pub mod interactive;
 pub mod ir;
@@ -41,6 +42,7 @@ pub use exec::{
     VerifyOptions,
 };
 pub use faults::strip_privatization;
+pub use fuzz::{run_campaign, CampaignConfig, CampaignReport};
 pub use interactive::{optimize_transfers, InteractiveOutcome, OutputSpec};
 pub use ir::{DataAction, KernelInfo, KernelParam, RtOp};
 pub use knowledge::{KernelAssert, KernelBound, KernelKnowledge};

@@ -40,6 +40,11 @@ struct LastAccess {
     wrote: bool,
     read_tid: u64,
     read_any: bool,
+    /// More than one distinct thread has read this element. Without this
+    /// a later read by the eventual writer would mask the foreign read
+    /// (lockstep order: foreign read, own read, own write) and the
+    /// write-after-read conflict would go unreported.
+    read_many: bool,
 }
 
 /// Per-launch access table. Tracks, per element, the last writer and
@@ -66,20 +71,30 @@ impl RaceDetector {
                     wrote: kind == AccessKind::Write,
                     read_tid: tid,
                     read_any: kind == AccessKind::Read,
+                    read_many: false,
                 });
             }
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 let la = o.get_mut();
                 let conflict = match kind {
-                    // write-after-write or write-after-read by another thread
+                    // write-after-write, or write after a read by any
+                    // other thread (even one since shadowed by the
+                    // writer's own read).
                     AccessKind::Write => {
-                        (la.wrote && la.tid != tid) || (la.read_any && la.read_tid != tid)
+                        (la.wrote && la.tid != tid)
+                            || (la.read_any && (la.read_tid != tid || la.read_many))
                     }
                     // read-after-write by another thread
                     AccessKind::Read => la.wrote && la.tid != tid,
                 };
                 if conflict {
-                    let other = if la.wrote { la.tid } else { la.read_tid };
+                    let other = if la.wrote {
+                        la.tid
+                    } else if la.read_tid != tid {
+                        la.read_tid
+                    } else {
+                        la.tid
+                    };
                     let rep = self.races.entry(handle).or_insert_with(|| RaceReport {
                         handle,
                         label: label.to_string(),
@@ -95,6 +110,9 @@ impl RaceDetector {
                         la.tid = tid;
                     }
                     AccessKind::Read => {
+                        if la.read_any && la.read_tid != tid {
+                            la.read_many = true;
+                        }
                         la.read_any = true;
                         la.read_tid = tid;
                     }
@@ -178,6 +196,18 @@ mod tests {
         let r = &d.reports()[0];
         assert!(r.conflicts >= 9, "{}", r.conflicts);
         assert_eq!(d.reports().len(), 1);
+    }
+
+    #[test]
+    fn own_read_does_not_mask_foreign_read() {
+        // Lockstep loop-carried dependence order: thread 2 reads, then
+        // thread 1 reads and writes the same element. The write still
+        // conflicts with thread 2's earlier read.
+        let mut d = RaceDetector::new();
+        d.record(H, "b", 1, 2, AccessKind::Read);
+        d.record(H, "b", 1, 1, AccessKind::Read);
+        d.record(H, "b", 1, 1, AccessKind::Write);
+        assert!(d.any());
     }
 
     #[test]

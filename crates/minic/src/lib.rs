@@ -18,6 +18,7 @@
 
 pub mod ast;
 pub mod binio;
+pub mod fingerprint;
 pub mod jsonio;
 pub mod lexer;
 pub mod parser;
@@ -30,6 +31,7 @@ pub use ast::{
     Block, Expr, ExprKind, Func, Item, LValue, NodeId, Pragma, Program, ScalarTy, Stmt, StmtKind,
     Ty, VarDecl,
 };
+pub use fingerprint::fingerprint_program;
 pub use parser::{parse, parse_expression};
 pub use pretty::print_program;
 pub use sema::{check, Sema};

@@ -100,10 +100,29 @@ impl Validator<'_> {
         }
     }
 
+    /// OpenACC restriction: a variable may appear in at most one data
+    /// clause per directive. `copy(a) create(a)` has no defined meaning
+    /// — real compilers silently pick one, which is exactly the
+    /// conflicting-directive class §II-B warns about.
+    fn no_duplicate_items(&mut self, clauses: &[DataClause]) {
+        let mut seen = std::collections::BTreeMap::new();
+        for c in clauses {
+            for item in &c.items {
+                if let Some(prev) = seen.insert(item.name.clone(), c.kind) {
+                    self.err(format!(
+                        "variable `{}` appears in both `{prev}` and `{}` clauses",
+                        item.name, c.kind
+                    ));
+                }
+            }
+        }
+    }
+
     fn data(&mut self, d: &DataSpec) {
         for c in &d.clauses {
             self.data_clause(c);
         }
+        self.no_duplicate_items(&d.clauses);
     }
 
     fn loop_spec(&mut self, ls: &LoopSpec) {
@@ -139,6 +158,7 @@ impl Validator<'_> {
         for dc in &c.data {
             self.data_clause(dc);
         }
+        self.no_duplicate_items(&c.data);
         self.loop_spec(&c.loop_spec);
         for (what, v) in [
             ("num_gangs", c.num_gangs),
@@ -227,6 +247,20 @@ mod tests {
         let (_, sema) = frontend(SRC).unwrap();
         let errs = validate_directive(&d, &sema, "main", Span::dummy());
         assert!(errs[0].message.contains("positive"));
+    }
+
+    #[test]
+    fn duplicate_variable_across_data_clauses_flagged() {
+        let errs = check(SRC, "acc data copy(q) create(q)");
+        assert!(
+            errs.iter().any(|e| e.message.contains("appears in both")),
+            "{errs:?}"
+        );
+        let errs = check(SRC, "acc kernels loop gang copyin(q) copyout(q)");
+        assert!(errs.iter().any(|e| e.message.contains("appears in both")));
+        // The same variable in different clauses of *different* regions
+        // is fine; so is one variable listed once per clause kind.
+        assert!(check(SRC, "acc data copy(q) create(w)").is_empty());
     }
 
     #[test]

@@ -336,6 +336,14 @@ impl Machine {
         Ok((dev_h, true))
     }
 
+    /// True when `host_h` currently has a live mirror on the primary
+    /// device.
+    pub fn is_present(&self, host_h: Handle) -> bool {
+        self.presents[DeviceId::PRIMARY.0 as usize]
+            .device_of(host_h)
+            .is_some()
+    }
+
     /// Release one region reference; frees the primary-device mirror at
     /// zero.
     pub fn unmap_from_device(&mut self, host_h: Handle) -> Result<(), VmError> {
@@ -638,6 +646,17 @@ impl Machine {
             ReadDiag::Missing => self.issue(IssueKind::Missing, h, site, None),
             ReadDiag::MayMissing => self.issue(IssueKind::MayMissing, h, site, None),
         }
+    }
+
+    /// Compiler-directed coherence override (`resetstatus` runtime call),
+    /// journaled as a `"reset"` transition like every other state change —
+    /// a silent override would break the journal's per-(var, side)
+    /// transition chain, which the fuzzer's reference-model replay checks.
+    pub fn reset_status(&mut self, h: Handle, side: DevSide, st: St) {
+        self.track_handle(h);
+        let before = self.coh_snapshot(h);
+        self.coherence.reset_status(h, side, st);
+        self.emit_coherence_diff(h, before, "reset");
     }
 
     /// `check_write` runtime call (also applies the write's state change).

@@ -137,6 +137,18 @@ pub fn all(scale: Scale) -> Vec<Benchmark> {
     ]
 }
 
+/// The reduced regression corpus: every benchmark's hand-optimized
+/// variant at the given (small) scale, as `(name, source)` pairs. This is
+/// what seeds the fuzzer's corpus and defines its coverage baseline — a
+/// fuzz campaign must discover atoms *beyond* what these twelve programs
+/// already exercise.
+pub fn reduced_corpus(scale: Scale) -> Vec<(&'static str, String)> {
+    all(scale)
+        .into_iter()
+        .map(|b| (b.name, b.optimized))
+        .collect()
+}
+
 /// Translate a benchmark variant.
 pub fn translate_variant(
     b: &Benchmark,

@@ -41,6 +41,7 @@
 pub mod bin;
 pub mod chrome;
 pub mod codec;
+pub mod coverage;
 pub mod event;
 pub mod explain;
 pub mod journal;
@@ -48,6 +49,7 @@ pub mod json;
 pub mod summary;
 
 pub use chrome::chrome_trace;
+pub use coverage::{signature_of, Signature};
 pub use event::{Category, EventKind, TraceEvent, Track};
 pub use explain::explain_var;
 pub use journal::{merge_parts, Journal, JournalPart};

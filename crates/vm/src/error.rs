@@ -36,6 +36,15 @@ pub enum VmError {
     Internal(String),
     /// malloc with a non-positive size.
     BadAlloc(i64),
+    /// An `update` directive touched data with no live device mapping —
+    /// a *program* error per OpenACC (the sequential semantics are fine,
+    /// the directives are wrong), unlike [`VmError::Internal`].
+    NotPresent {
+        /// Variable the update named.
+        var: String,
+        /// Transfer direction (`true` = host → device).
+        to_device: bool,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -54,6 +63,14 @@ impl fmt::Display for VmError {
             VmError::StepLimit(n) => write!(f, "step limit {n} exhausted"),
             VmError::Internal(m) => write!(f, "internal VM error: {m}"),
             VmError::BadAlloc(n) => write!(f, "malloc of non-positive size {n}"),
+            VmError::NotPresent { var, to_device } => {
+                let dir = if *to_device { "device" } else { "host" };
+                write!(
+                    f,
+                    "update {dir}({var}): `{var}` is not present on the device \
+                     (no enclosing data region maps it)"
+                )
+            }
         }
     }
 }

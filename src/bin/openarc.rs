@@ -18,6 +18,9 @@
 //! openarc bench [--jobs N] [flags]     batch mode: run the 12-benchmark ×
 //!                                      3-variant matrix, optionally fanned
 //!                                      across worker threads
+//! openarc fuzz [--seed N] [flags]      coverage-guided differential fuzzing
+//!                                      of the whole pipeline; writes
+//!                                      BENCH_fuzz.json and minimized repros
 //! openarc cache <stats|gc|export|clear> inspect, prune, or JSON-export
 //!                                      the persistent artifact store
 //! ```
@@ -82,7 +85,7 @@ impl From<ApiError> for CliError {
 }
 
 fn usage() -> String {
-    "usage: openarc <run|cpu|verify|check|demote|profile|dag|bench|cache> [args]\n\
+    "usage: openarc <run|cpu|verify|check|demote|profile|dag|bench|fuzz|cache> [args]\n\
      \n\
      run    <file.c>            translate and execute on the simulated device\n\
      cpu    <file.c>            execute the sequential reference\n\
@@ -127,6 +130,19 @@ fn usage() -> String {
        --jobs <N|auto>          fan the matrix across N worker threads\n\
        --scale <small|bench>    problem scale (default: bench)\n\
        --n <SIZE> --iters <N>   override the scale's size/iterations\n\
+     fuzz [flags]               coverage-guided differential fuzzing: generated\n\
+                                and mutated programs run through the CPU-vs-GPU,\n\
+                                coherence-model, and cross-config oracles; the\n\
+                                campaign is bit-reproducible from --seed\n\
+       --seed <N>               campaign seed (default 1)\n\
+       --programs <N>           generated/mutated programs (default 200)\n\
+       --jobs <N|auto>          executor worker threads (never affects results)\n\
+       --time-budget-s <S>      stop after S wall-clock seconds (marks the\n\
+                                report truncated)\n\
+       --corpus <DIR>           seed the campaign with every *.c in DIR\n\
+       --replay                 only replay the corpus + baseline (no generation)\n\
+       --out <DIR>              write minimized finding-NNN.c repros to DIR\n\
+       --report <PATH>          BENCH_fuzz.json path (default BENCH_fuzz.json)\n\
      cache stats [--json]       per-stage entry counts, format mix, and bytes\n\
      cache gc --max-bytes <N>   evict least-recently-used entries to <= N bytes\n\
      cache export --out <DIR>   re-encode every entry as a JSON store at DIR\n\
@@ -244,6 +260,7 @@ fn run(args: &[String]) -> Result<i32, CliError> {
         "serve" => serve(rest),
         "dag" => dag_cmd(rest),
         "bench" => bench(rest),
+        "fuzz" => fuzz_cmd(rest),
         "cache" => cache_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -342,6 +359,154 @@ fn bench(rest: &[String]) -> Result<i32, CliError> {
     );
     println!("pipeline cache:\n{}", sw.session.stats());
     Ok(0)
+}
+
+/// `openarc fuzz`: run a coverage-guided differential fuzzing campaign.
+/// The baseline coverage set is always the 12 reduced benchmarks
+/// ([`openarc::suite::reduced_corpus`]); `--corpus DIR` additionally seeds
+/// the mutation corpus with the committed regression repros. Everything
+/// the campaign reports is a pure function of `--seed` (and `--programs`);
+/// `--jobs` only changes wall-clock time. Exits `1` when the oracle found
+/// divergences, `0` on a clean campaign.
+fn fuzz_cmd(rest: &[String]) -> Result<i32, CliError> {
+    use openarc::core::fuzz::{run_campaign, CampaignConfig};
+
+    let mut cfg = CampaignConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut report_path = "BENCH_fuzz.json".to_string();
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut replay = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--programs" => {
+                cfg.max_programs = value("--programs")?
+                    .parse()
+                    .map_err(|_| "--programs expects an integer".to_string())?;
+            }
+            "--jobs" => cfg.jobs = openarc::core::sched::parse_jobs(value("--jobs")?)?,
+            "--time-budget-s" => {
+                cfg.time_budget_s = Some(
+                    value("--time-budget-s")?
+                        .parse()
+                        .map_err(|_| "--time-budget-s expects seconds".to_string())?,
+                );
+            }
+            "--corpus" => corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            "--replay" => replay = true,
+            "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
+            "--report" => report_path = value("--report")?.to_string(),
+            flag => return Err(format!("unknown fuzz flag `{flag}`\n{}", usage()).into()),
+        }
+    }
+    if replay {
+        cfg.max_programs = 0;
+    }
+    cfg.baseline = openarc::suite::reduced_corpus(openarc::suite::Scale { n: 8, iters: 2 })
+        .into_iter()
+        .map(|(_, src)| src)
+        .collect();
+    if let Some(dir) = &corpus_dir {
+        // Sorted path order keeps the corpus contribution deterministic.
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "c"))
+            .collect();
+        paths.sort();
+        for p in &paths {
+            cfg.seeds
+                .push(std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?);
+        }
+        println!(
+            "corpus: {} seed program(s) from {}",
+            paths.len(),
+            dir.display()
+        );
+    }
+
+    let r = run_campaign(&cfg);
+
+    println!(
+        "fuzz: seed {} · {} program(s) executed ({} rejected, {} racy){}",
+        r.seed,
+        r.programs,
+        r.rejected,
+        r.racy,
+        if r.truncated {
+            " · TRUNCATED by time budget"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "coverage: {} atoms total, {} baseline, {} new · corpus {} · fingerprint {:016x}",
+        r.coverage.len(),
+        r.baseline_coverage.len(),
+        r.new_atoms().len(),
+        r.corpus,
+        r.fingerprint
+    );
+    for (i, f) in r.findings.iter().enumerate() {
+        println!(
+            "finding {i}: {} on {} (x{}, minimized {}) — {}",
+            f.kind.name(),
+            f.config,
+            f.occurrences,
+            if f.minimized_ok {
+                "ok"
+            } else {
+                "BUDGET EXPIRED"
+            },
+            f.detail
+        );
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for (i, f) in r.findings.iter().enumerate() {
+            // Self-contained repro: the header comment carries everything
+            // needed to replay the finding by hand.
+            let repro = format!(
+                "// openarc fuzz finding {i}: {kind} on config `{config}`\n\
+                 // detail: {detail}\n\
+                 // verificationOptions: {options}\n\
+                 // replay: openarc verify <this file> {options}\n\
+                 //         openarc check <this file>\n\
+                 {src}",
+                kind = f.kind.name(),
+                config = f.config,
+                detail = f.detail,
+                options = f.options,
+                src = f.minimized
+            );
+            let path = dir.join(format!("finding-{i:03}.c"));
+            std::fs::write(&path, repro).map_err(|e| format!("{}: {e}", path.display()))?;
+            let orig = dir.join(format!("finding-{i:03}.orig.c"));
+            std::fs::write(&orig, &f.source).map_err(|e| format!("{}: {e}", orig.display()))?;
+            println!("wrote {}", path.display());
+        }
+    }
+
+    let json = openarc::bench::fuzzstats::campaign_json(&r);
+    if let Some(parent) = std::path::Path::new(&report_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&report_path, json.pretty()).map_err(|e| format!("{report_path}: {e}"))?;
+    println!("wrote {report_path}");
+    Ok(if r.findings.is_empty() { 0 } else { 1 })
 }
 
 /// `openarc cache`: inspect or prune the persistent artifact store without

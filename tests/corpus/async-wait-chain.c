@@ -1,0 +1,28 @@
+// Directive edge: two async queues joined by a bare `wait`, then a host
+// read of both results. Exercises queue bookkeeping in every
+// verificationOptions configuration of the matrix.
+double a[16];
+double b[16];
+double total;
+void main(void) {
+    int i;
+    for (i = 0; i < 16; i += 1) {
+        a[i] = (double) i;
+        b[i] = (double) i * 0.5;
+    }
+    #pragma acc data copy(a) copy(b)
+    {
+        #pragma acc kernels loop gang async(1)
+        for (i = 0; i < 16; i += 1) {
+            a[i] = a[i] + 1.0;
+        }
+        #pragma acc kernels loop gang async(2)
+        for (i = 0; i < 16; i += 1) {
+            b[i] = b[i] * 2.0;
+        }
+        #pragma acc wait
+    }
+    for (i = 0; i < 16; i += 1) {
+        total = total + (a[i] + b[i]);
+    }
+}

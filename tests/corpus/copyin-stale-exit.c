@@ -1,0 +1,20 @@
+// Regression: a `copyin`-only array written on the GPU is legitimately
+// stale on the host at program exit (the device result is deliberately
+// discarded). The output oracle must exclude `a` from the final-state
+// comparison instead of reporting an output divergence.
+double a[12];
+double c[12];
+int d[12];
+void main(void) {
+    int i;
+    int t;
+    #pragma acc data copyin(a) copy(c) copy(d)
+    {
+        for (t = 0; t < 2; t += 1) {
+            #pragma acc kernels loop gang worker
+            for (i = 1; i < 2; i += 1) {
+                a[i] = ((((double) i * 0.125) + c[i]) + ((double) d[(i - 1)] * 0.5));
+            }
+        }
+    }
+}

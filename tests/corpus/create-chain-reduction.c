@@ -1,0 +1,25 @@
+// Directive edge: a `create` scratch array filled by one kernel and
+// consumed by a reduction kernel inside the same region — the scratch
+// never moves across the PCI bus, and the reduction result syncs back
+// at the construct end.
+double a[16];
+double s[16];
+double total;
+void main(void) {
+    int i;
+    for (i = 0; i < 16; i += 1) {
+        a[i] = (double) i + 1.0;
+    }
+    total = 0.0;
+    #pragma acc data copyin(a) create(s)
+    {
+        #pragma acc kernels loop gang
+        for (i = 0; i < 16; i += 1) {
+            s[i] = a[i] * a[i];
+        }
+        #pragma acc kernels loop gang reduction(+:total)
+        for (i = 0; i < 16; i += 1) {
+            total = total + s[i];
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// Regression: a host loop mutating `a` while it is mapped by a
+// `data copy(a)` region. Region exit copies the entry-snapshot device
+// copy back over the host writes — correct OpenACC behaviour that
+// diverges from the directive-ignoring CPU reference. The sync model
+// must mark `a` stale at exit so the comparison skips it.
+float a[8];
+void main(void) {
+    int i;
+    int t;
+    #pragma acc data copy(a)
+    {
+        for (t = 0; t < 1; t += 1) {
+            for (i = 0; i < 2; i += 1) {
+                a[i] = (a[i] + (float) 1.0);
+            }
+        }
+    }
+}

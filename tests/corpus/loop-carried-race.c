@@ -1,0 +1,18 @@
+// Regression: a parallelized loop-carried dependence
+// (`b[i] = f(b[i-1], b[i])`) escaped the race detector because the
+// writer's own read of the element masked the earlier foreign read in
+// the per-element last-access table. The detector must classify this
+// program as racy so divergence oracles are skipped.
+int a[8];
+float b[8];
+double total;
+void main(void) {
+    int i;
+    for (i = 0; i < 2; i += 1) {
+        b[i] = (float) (((double) (i % 4) * 0.5) + 1.0);
+    }
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < 7; i += 1) {
+        b[i] = (float) ((double) b[(i - 1)] + ((3.0 * (double) b[i]) * 1.5));
+    }
+}

@@ -1,0 +1,16 @@
+// Regression: the instrumentation pass plants a reset_status after the
+// host write to `a` (its GPU copy is must-dead — the kernel never
+// touches it). The runtime used to apply that reset to the coherence
+// tracker without journaling it, so the event stream showed an
+// impossible stale -> notstale jump at the next transition and the
+// oracle's coherence-chain validator reported a broken chain.
+double a[8];
+double b[8];
+void main(void) {
+    int j;
+    a[0] = 1.0;
+    #pragma acc kernels loop gang
+    for (j = 0; j < 8; j += 1) {
+        b[j] = 2.0;
+    }
+}

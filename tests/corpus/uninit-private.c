@@ -1,0 +1,25 @@
+// Regression: `private(tmp)` kernel that reads `tmp` before any write.
+// An uninitialized private copy is OpenACC undefined behaviour — the
+// sequential reference, the simulated device, and the verify replay may
+// all legitimately disagree, so the oracle must reject the program
+// instead of reporting a verify divergence.
+double a[12];
+double c[12];
+void main(void) {
+    int i;
+    int j;
+    int t;
+    double tmp;
+    for (i = 0; i < 2; i += 1) {
+        c[i] = (((double) (i % 5) * 0.5) + 1.0);
+    }
+    for (t = 0; t < 2; t += 1) {
+        #pragma acc kernels loop gang private(tmp)
+        for (i = 0; i < 2; i += 1) {
+            for (j = 0; j < 2; j += 1) {
+                tmp = (tmp + ((c[j] * 1.5) * 0.5));
+            }
+            a[i] = tmp;
+        }
+    }
+}

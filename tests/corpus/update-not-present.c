@@ -1,0 +1,13 @@
+// Regression: `update host(a)` with no enclosing data region used to
+// abort the run with an internal-invariant error ("buf not present for
+// copyout") instead of the user-facing not-present diagnostic. The
+// oracle classifies this program as rejected (program error), never as
+// a crash finding.
+double a[8];
+void main(void) {
+    int i;
+    for (i = 0; i < 8; i += 1) {
+        a[i] = 1.0;
+    }
+    #pragma acc update host(a)
+}

@@ -1,0 +1,31 @@
+// Directive edge: host mutation between kernels inside a data region,
+// republished with `update device`, then pulled back with `update host`
+// before a host read — the paper's canonical interactive-debugging
+// workflow for stale-transfer warnings.
+double a[8];
+double total;
+void main(void) {
+    int i;
+    for (i = 0; i < 8; i += 1) {
+        a[i] = 1.0;
+    }
+    #pragma acc data copy(a)
+    {
+        #pragma acc kernels loop gang
+        for (i = 0; i < 8; i += 1) {
+            a[i] = a[i] * 2.0;
+        }
+        #pragma acc update host(a)
+        for (i = 0; i < 8; i += 1) {
+            a[i] = a[i] + 0.5;
+        }
+        #pragma acc update device(a)
+        #pragma acc kernels loop gang
+        for (i = 0; i < 8; i += 1) {
+            a[i] = a[i] * 3.0;
+        }
+    }
+    for (i = 0; i < 8; i += 1) {
+        total = total + a[i];
+    }
+}

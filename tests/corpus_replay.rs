@@ -1,0 +1,78 @@
+//! Replay the minimized regression corpus through the full fuzzing
+//! oracle. Every entry is either a minimized repro of a bug the fuzzer
+//! found (now fixed) or a handcrafted directive-edge program; none of
+//! them may ever produce a finding again.
+
+use openarc::core::fuzz::{default_matrix, run_oracle, Verdict};
+use openarc::core::pipeline::Session;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_sources() -> Vec<(String, String)> {
+    let mut entries: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| {
+            let p = e.expect("readable dir entry").path();
+            if p.extension().is_some_and(|x| x == "c") {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                let src = std::fs::read_to_string(&p).expect("readable corpus file");
+                Some((name, src))
+            } else {
+                None
+            }
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        corpus_sources().len() >= 6,
+        "regression corpus shrank unexpectedly"
+    );
+}
+
+#[test]
+fn corpus_replays_without_findings() {
+    let session = Session::builder().build();
+    let matrix = default_matrix();
+    for (name, src) in corpus_sources() {
+        let out = run_oracle(&session, &src, &matrix);
+        assert!(
+            !matches!(out.verdict, Verdict::Finding(_)),
+            "{name}: corpus entry regressed into a finding: {:?}",
+            out.verdict
+        );
+    }
+}
+
+#[test]
+fn corpus_verdicts_stay_pinned() {
+    // Pin the *class* of each regression entry so a silent behaviour
+    // change (e.g. a repro starting to reject at the frontend) is as
+    // loud as a new finding.
+    let session = Session::builder().build();
+    let matrix = default_matrix();
+    let expect = |name: &str, verdict: &Verdict| match name {
+        // Program errors must resolve to rejection, not crash findings.
+        "update-not-present.c" => matches!(verdict, Verdict::Rejected(r) if r == "run:not-present"),
+        "uninit-private.c" => matches!(verdict, Verdict::Rejected(r) if r == "uninit-private"),
+        // The loop-carried dependence must be classified racy.
+        "loop-carried-race.c" => matches!(verdict, Verdict::Racy),
+        // Everything else executes cleanly through the whole matrix.
+        _ => matches!(verdict, Verdict::Clean),
+    };
+    for (name, src) in corpus_sources() {
+        let out = run_oracle(&session, &src, &matrix);
+        assert!(
+            expect(&name, &out.verdict),
+            "{name}: unexpected verdict {:?}",
+            out.verdict
+        );
+    }
+}

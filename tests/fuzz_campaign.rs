@@ -1,0 +1,96 @@
+//! Campaign-level integration properties: journal-derived coverage
+//! signatures are a pure function of the input program (stable across
+//! `--jobs`), and whole campaigns are bit-reproducible from the seed.
+
+use openarc::core::fuzz::{run_campaign, CampaignConfig};
+use openarc::suite::{jacobi, Scale};
+
+fn scale() -> Scale {
+    Scale { n: 8, iters: 2 }
+}
+
+/// JACOBI's coverage signature at `jobs` worker threads: an empty
+/// campaign (no generated programs) over a one-benchmark baseline
+/// harvests exactly the baseline's journal atoms.
+fn jacobi_signature(jobs: usize) -> (Vec<String>, u64) {
+    let b = jacobi::benchmark(scale());
+    let cfg = CampaignConfig {
+        seed: 7,
+        max_programs: 0,
+        jobs,
+        baseline: vec![b.optimized.clone()],
+        ..Default::default()
+    };
+    let r = run_campaign(&cfg);
+    let atoms: Vec<String> = r.baseline_coverage.iter().map(|a| a.to_string()).collect();
+    (atoms, r.baseline_coverage.fingerprint())
+}
+
+#[test]
+fn jacobi_signature_is_jobs_stable() {
+    let (atoms1, fp1) = jacobi_signature(1);
+    let (atoms4, fp4) = jacobi_signature(4);
+    assert!(!atoms1.is_empty(), "JACOBI must produce coverage atoms");
+    assert_eq!(atoms1, atoms4, "signature atoms differ across --jobs");
+    assert_eq!(fp1, fp4, "signature fingerprint differs across --jobs");
+}
+
+#[test]
+fn jacobi_signature_covers_the_pipeline_stages() {
+    // Regression-pin the load-bearing atom families rather than the full
+    // set: kernel launches, memory traffic, and a clean output verdict
+    // must all appear in JACOBI's journal-derived signature.
+    let (atoms, _) = jacobi_signature(1);
+    for prefix in [
+        "event:kernel-launch",
+        "launch:",
+        "transfer:",
+        "coh:",
+        "verdict:pass",
+    ] {
+        assert!(
+            atoms.iter().any(|a| a.starts_with(prefix)),
+            "JACOBI signature lost the `{prefix}` atom family: {atoms:?}"
+        );
+    }
+}
+
+#[test]
+fn campaign_report_is_bit_reproducible_across_jobs() {
+    let run = |jobs: usize| {
+        let cfg = CampaignConfig {
+            seed: 99,
+            max_programs: 48,
+            jobs,
+            ..Default::default()
+        };
+        run_campaign(&cfg)
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.programs, 48);
+    assert_eq!(a.rejected, b.rejected);
+    assert_eq!(a.racy, b.racy);
+    assert_eq!(a.corpus, b.corpus);
+}
+
+#[test]
+fn campaign_expands_coverage_beyond_the_benchmark_baseline() {
+    let baseline: Vec<String> = openarc::suite::reduced_corpus(scale())
+        .into_iter()
+        .map(|(_, src)| src)
+        .collect();
+    let cfg = CampaignConfig {
+        seed: 3,
+        max_programs: 64,
+        jobs: 4,
+        baseline,
+        ..Default::default()
+    };
+    let r = run_campaign(&cfg);
+    assert!(
+        !r.new_atoms().is_empty(),
+        "64 generated programs must reach atoms the 12 benchmarks do not"
+    );
+}

@@ -1,0 +1,80 @@
+//! Pretty-printer round-trip properties.
+//!
+//! The fuzzer's minimizer and mutator both lean on `print_program` as
+//! the canonical surface form: a mutant is parsed, transformed, and
+//! re-printed many times per campaign. These properties pin the two
+//! invariants that workflow needs:
+//!
+//! 1. *Fixed point*: `print(parse(print(parse(src))))` equals
+//!    `print(parse(src))` — one round of printing reaches the
+//!    canonical form and further rounds change nothing.
+//! 2. *Fingerprint preservation*: re-parsing the printed form yields a
+//!    structurally identical program (same semantic fingerprint), so
+//!    printing never alters meaning.
+
+use openarc::core::fuzz::gen::generate;
+use openarc::core::fuzz::mutate::mutate_source;
+use openarc::core::fuzz::FuzzRng;
+use openarc::minic::fingerprint::fingerprint_program;
+use openarc::minic::{parse, print_program};
+use openarc::suite::{all, Scale};
+
+/// Assert both round-trip properties for one source.
+fn assert_roundtrip(label: &str, src: &str) {
+    let p1 = parse(src).unwrap_or_else(|e| panic!("{label}: parse failed: {e:?}"));
+    let printed = print_program(&p1);
+    let p2 =
+        parse(&printed).unwrap_or_else(|e| panic!("{label}: reparse failed: {e:?}\n{printed}"));
+    let printed2 = print_program(&p2);
+    assert_eq!(
+        printed, printed2,
+        "{label}: printing is not a fixed point after one round"
+    );
+    assert_eq!(
+        fingerprint_program(&p1),
+        fingerprint_program(&p2),
+        "{label}: printed form changed the program's fingerprint"
+    );
+}
+
+#[test]
+fn benchmarks_round_trip_across_all_variants() {
+    let scale = Scale { n: 8, iters: 2 };
+    let benches = all(scale);
+    assert_eq!(benches.len(), 12, "paper suite is 12 benchmarks");
+    for b in &benches {
+        assert_roundtrip(&format!("{} (naive)", b.name), &b.naive);
+        assert_roundtrip(&format!("{} (unoptimized)", b.name), &b.unoptimized);
+        assert_roundtrip(&format!("{} (optimized)", b.name), &b.optimized);
+    }
+}
+
+#[test]
+fn generated_programs_round_trip() {
+    let mut rng = FuzzRng::new(0xF00D);
+    for i in 0..200 {
+        let src = generate(&mut rng);
+        assert_roundtrip(&format!("generated #{i}"), &src);
+    }
+}
+
+#[test]
+fn mutants_round_trip() {
+    let mut rng = FuzzRng::new(0xBEEF);
+    let mut src = generate(&mut rng);
+    let mut mutated = 0;
+    for i in 0..400 {
+        match mutate_source(&mut rng, &src) {
+            Some(m) => {
+                assert_roundtrip(&format!("mutant #{i}"), &m);
+                src = m;
+                mutated += 1;
+            }
+            None => src = generate(&mut rng),
+        }
+    }
+    assert!(
+        mutated >= 100,
+        "mutator made too little progress: {mutated}"
+    );
+}
